@@ -1,0 +1,77 @@
+//! Criterion bench for event dispatch: how fast bound events flow from
+//! the (simulated) server through binding match, `%` substitution, and
+//! Tcl evaluation — the path every keystroke of Figure 7 takes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tk_bench::env_with_apps;
+
+fn bench_bind(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bind");
+
+    // Motion events bound to a Tcl command with % substitution — the
+    // paint-with-the-mouse path of Section 7.
+    {
+        let (env, apps) = env_with_apps(&["bench"]);
+        let app = apps[0].clone();
+        app.eval("frame .c -geometry 300x300").unwrap();
+        app.eval("pack append . .c {top}").unwrap();
+        app.update();
+        app.eval("set n 0; bind .c <Motion> {set pos %x,%y; incr n}")
+            .unwrap();
+        let d = env.display().clone();
+        let mut x = 10;
+        g.bench_function("motion_event_to_tcl", |b| {
+            b.iter(|| {
+                x = if x > 250 { 10 } else { x + 1 };
+                d.move_pointer(x, 50);
+                app.process_pending();
+            })
+        });
+    }
+
+    // Key events through the focus path.
+    {
+        let (env, apps) = env_with_apps(&["bench"]);
+        let app = apps[0].clone();
+        app.eval("frame .k -geometry 50x50").unwrap();
+        app.eval("pack append . .k {top}").unwrap();
+        app.eval("focus .k").unwrap();
+        app.eval("set n 0; bind .k a {incr n}").unwrap();
+        app.update();
+        let d = env.display().clone();
+        g.bench_function("keystroke_to_tcl", |b| {
+            b.iter(|| {
+                d.type_char('a');
+                app.process_pending();
+            })
+        });
+    }
+
+    // Binding-table match cost with many bindings installed.
+    {
+        let (env, apps) = env_with_apps(&["bench"]);
+        let app = apps[0].clone();
+        app.eval("frame .m -geometry 50x50").unwrap();
+        app.eval("pack append . .m {top}").unwrap();
+        app.eval("focus .m").unwrap();
+        for i in 0..50 {
+            let key = char::from(b'a' + (i % 26) as u8);
+            app.eval(&format!("bind .m <Control-{key}> {{set hit {i}}}"))
+                .unwrap();
+        }
+        app.eval("bind .m z {set z 1}").unwrap();
+        app.update();
+        let d = env.display().clone();
+        g.bench_function("match_among_50_bindings", |b| {
+            b.iter(|| {
+                d.type_char('z');
+                app.process_pending();
+            })
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_bind);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion bench for Table II row 3: create, display, and delete 50
+//! buttons (plus smaller sizes, to expose the per-widget slope).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tk_bench::{create_display_delete_buttons, env_with_apps};
+
+fn bench_buttons(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2/buttons");
+    g.sample_size(20);
+    for n in [10usize, 50] {
+        g.bench_with_input(BenchmarkId::new("create_display_delete", n), &n, |b, &n| {
+            let (_env, apps) = env_with_apps(&["bench"]);
+            let app = apps[0].clone();
+            create_display_delete_buttons(&app, n); // warm caches
+            b.iter(|| create_display_delete_buttons(&app, n));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_buttons);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for the Section 3.3 resource caches: the same color
+//! lookup with the cache enabled and disabled.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tk::ResourceCache;
+use xsim::Display;
+
+fn bench_cache(c: &mut Criterion) {
+    let display = Display::new();
+    let conn = display.connect();
+
+    let mut g = c.benchmark_group("cache");
+    let cache = ResourceCache::new();
+    cache.color(&conn, "MediumSeaGreen").unwrap();
+    g.bench_function("color_hit", |b| {
+        b.iter(|| cache.color(&conn, black_box("MediumSeaGreen")).unwrap())
+    });
+    let uncached = ResourceCache::new();
+    uncached.set_enabled(false);
+    g.bench_function("color_uncached", |b| {
+        b.iter(|| uncached.color(&conn, black_box("MediumSeaGreen")).unwrap())
+    });
+    let cache2 = ResourceCache::new();
+    cache2.font(&conn, "fixed").unwrap();
+    g.bench_function("font_metrics_hit", |b| {
+        b.iter(|| cache2.font(&conn, black_box("fixed")).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

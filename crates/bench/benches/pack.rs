@@ -1,0 +1,25 @@
+//! Criterion bench for the packer (Figure 8's algorithm): relayout cost
+//! as the number of managed windows grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tk_bench::env_with_apps;
+
+fn bench_pack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pack/relayout");
+    for n in [4usize, 16, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let (_env, apps) = env_with_apps(&["bench"]);
+            let app = apps[0].clone();
+            for i in 0..n {
+                app.eval(&format!("frame .f{i} -geometry 40x12")).unwrap();
+                app.eval(&format!("pack append . .f{i} {{top fillx}}")).unwrap();
+            }
+            app.update();
+            b.iter(|| tk::pack::relayout(&app, "."));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pack);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for Table II row 2: `send` between applications, plus
+//! the DESIGN.md ablation separating transport cost from evaluation cost
+//! (send-to-self short-circuits the property transport).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tk_bench::env_with_apps;
+
+fn bench_send(c: &mut Criterion) {
+    let (_env, apps) = env_with_apps(&["alpha", "beta"]);
+    let sender = apps[0].clone();
+    sender.eval("send beta {}").unwrap();
+
+    let mut g = c.benchmark_group("send");
+    g.bench_function("empty_command", |b| {
+        b.iter(|| sender.eval(black_box("send beta {}")).unwrap())
+    });
+    g.bench_function("set_in_target", |b| {
+        b.iter(|| sender.eval(black_box("send beta {set x 1}")).unwrap())
+    });
+    g.bench_function("to_self_direct_eval", |b| {
+        // Ablation: same command, no property transport.
+        b.iter(|| sender.eval(black_box("send alpha {set x 1}")).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_send);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Criterion benches for the Tcl interpreter: Table II row 1 (`set a 1`)
+//! plus a spread of interpreter operations, and the brace-vs-substitution
+//! ablation called out in DESIGN.md (brace-quoted operands skip the
+//! substitution pass; the expression evaluator re-scans them instead).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_simple_command(c: &mut Criterion) {
+    let interp = tcl::Interp::new();
+    interp.eval("set a 0").unwrap();
+    c.bench_function("table2/set_a_1", |b| {
+        b.iter(|| interp.eval(black_box("set a 1")).unwrap())
+    });
+}
+
+fn bench_interpreter_ops(c: &mut Criterion) {
+    let interp = tcl::Interp::new();
+    interp
+        .eval("proc add {x y} {return [expr {$x + $y}]}")
+        .unwrap();
+    interp.eval("set list {a b c d e f g h}").unwrap();
+    interp.eval("set s {hello world}").unwrap();
+
+    let mut g = c.benchmark_group("tcl");
+    g.bench_function("expr_braced", |b| {
+        b.iter(|| interp.eval(black_box("expr {3*4 + 17 < 100}")).unwrap())
+    });
+    g.bench_function("expr_substituted", |b| {
+        // The same expression arriving already substituted: the ablation
+        // partner of expr_braced.
+        b.iter(|| interp.eval(black_box("expr 3*4 + 17 < 100")).unwrap())
+    });
+    g.bench_function("proc_call", |b| {
+        b.iter(|| interp.eval(black_box("add 3 4")).unwrap())
+    });
+    g.bench_function("foreach_8", |b| {
+        b.iter(|| interp.eval(black_box("foreach i $list {set x $i}")).unwrap())
+    });
+    g.bench_function("lindex", |b| {
+        b.iter(|| interp.eval(black_box("lindex $list 4")).unwrap())
+    });
+    g.bench_function("string_match", |b| {
+        b.iter(|| interp.eval(black_box("string match *wor* $s")).unwrap())
+    });
+    g.bench_function("format", |b| {
+        b.iter(|| interp.eval(black_box("format {%s is %d} x 42")).unwrap())
+    });
+    g.bench_function("command_substitution", |b| {
+        b.iter(|| interp.eval(black_box("set y [set s]")).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_parser(c: &mut Criterion) {
+    let script = r#"
+        proc browse {dir file} {
+            if {[string compare $dir "."] != 0} {set file $dir/$file}
+            if [file $file isdirectory] {
+                set cmd [list exec sh -c "browse $file &"]
+                eval $cmd
+            }
+        }
+    "#;
+    c.bench_function("tcl/parse_figure9_proc", |b| {
+        b.iter(|| {
+            let mut pos = 0;
+            while let Some(cmd) =
+                tcl::parser::parse_command(black_box(script), &mut pos).unwrap()
+            {
+                black_box(cmd);
+            }
+            pos = 0;
+        })
+    });
+}
+
+/// A seeded random mix of the commands an interactive session issues —
+/// the "many hundreds of Tcl commands within a human response time"
+/// workload of Section 7, measured end to end.
+fn bench_mixed_workload(c: &mut Criterion) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(1991);
+    let mut script = String::new();
+    script.push_str("set total 0\nset words {}\n");
+    for i in 0..200 {
+        match rng.gen_range(0..5) {
+            0 => script.push_str(&format!("set v{i} {}\n", rng.gen_range(0..1000))),
+            1 => script.push_str(&format!(
+                "incr total [expr {{{} * {}}}]\n",
+                rng.gen_range(1..50),
+                rng.gen_range(1..50)
+            )),
+            2 => script.push_str(&format!("lappend words w{}\n", rng.gen_range(0..100))),
+            3 => script.push_str("if {$total > 100} {set big 1} else {set big 0}\n"),
+            _ => script.push_str("set total [llength $words]\n"),
+        }
+    }
+    let interp = tcl::Interp::new();
+    c.bench_function("tcl/mixed_200_commands", |b| {
+        b.iter(|| interp.eval(black_box(&script)).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_simple_command,
+    bench_interpreter_ops,
+    bench_parser,
+    bench_mixed_workload
+);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Reproduces **Figure 8** of the paper: "An example of geometry
+//! management" — four windows with requested sizes packed all-in-a-column
+//! into a parent that is too small, so "Window C ended up with less width
+//! than requested and window D received less height than requested".
+//!
+//! Prints the requested sizes (Figure 8a), the parent size (8b), and the
+//! resulting layout (8c), then verifies the paper's two observations.
+//!
+//! Run with: `cargo run -p tk-bench --bin figure8`
+
+use tk_bench::env_with_apps;
+
+fn main() {
+    let (env, apps) = env_with_apps(&["figure8"]);
+    let app = &apps[0];
+
+    // (a) Requested sizes of four windows.
+    let requested: &[(&str, u32, u32)] = &[
+        (".p.a", 60, 35),
+        (".p.b", 90, 30),
+        (".p.c", 130, 25),
+        (".p.d", 60, 60),
+    ];
+    // (b) The parent they must fit into.
+    let (parent_w, parent_h) = (110u32, 110u32);
+
+    app.eval(&format!("frame .p -geometry {parent_w}x{parent_h}"))
+        .unwrap();
+    app.eval("pack append . .p {top}").unwrap();
+    for (path, w, h) in requested {
+        app.eval(&format!("frame {path} -geometry {w}x{h}")).unwrap();
+    }
+    // (c) An "all-in-a-column" geometry manager arranges them top down.
+    app.eval("pack append .p .p.a {top} .p.b {top} .p.c {top} .p.d {top}")
+        .unwrap();
+    app.update();
+    // Pin the parent at its Figure 8b size (it is not a toplevel, so the
+    // packer's propagation request for it lands on no manager).
+    let p = app.window(".p").unwrap();
+    app.conn()
+        .configure_window(p.xid, None, None, Some(parent_w), Some(parent_h), None);
+    app.update();
+    tk::pack::relayout(app, ".p");
+    app.update();
+
+    println!("Figure 8 — geometry management\n");
+    println!("(a) requested sizes:");
+    for (path, w, h) in requested {
+        println!("    {path}: {w}x{h}");
+    }
+    println!("(b) parent size: {parent_w}x{parent_h}");
+    println!("(c) packed layout (all-in-a-column):");
+    println!("    {:<6} {:>9} {:>9} {:>12}", "window", "position", "size", "requested");
+    for (path, w, h) in requested {
+        let rec = app.window(path).unwrap();
+        println!(
+            "    {:<6} {:>9} {:>9} {:>12}",
+            &path[3..],
+            format!("+{}+{}", rec.x.get(), rec.y.get()),
+            format!("{}x{}", rec.width.get(), rec.height.get()),
+            format!("{w}x{h}")
+        );
+    }
+
+    let c = app.window(".p.c").unwrap();
+    let d = app.window(".p.d").unwrap();
+    assert!(
+        c.width.get() < 130,
+        "C must receive less width than requested"
+    );
+    assert!(
+        d.height.get() < 60,
+        "D must receive less height than requested"
+    );
+    println!(
+        "\nPaper's observations hold: C got {} < 130 wide, D got {} < 60 high.",
+        c.width.get(),
+        d.height.get()
+    );
+    println!("\nScreen:\n{}", env.display().ascii_dump());
+}

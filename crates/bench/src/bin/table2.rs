@@ -1,0 +1,117 @@
+//! Reproduces **Table II** of the paper: "Execution times for selected
+//! operations in Tk" — measured on this reproduction, printed alongside
+//! the paper's DECstation 3100 numbers.
+//!
+//! | Operation                           | Paper  |
+//! |-------------------------------------|--------|
+//! | Simple Tcl command (set a 1)        | 68 µs  |
+//! | Send empty command                  | 15 ms  |
+//! | Create, display, delete 50 buttons  | 440 ms |
+//!
+//! Absolute values on modern hardware are orders of magnitude smaller; the
+//! *shape* — send costs hundreds of simple commands, widget creation costs
+//! hundreds of sends — is what EXPERIMENTS.md compares. The paper also
+//! reports that in the 50-button measurement "about half of the elapsed
+//! time was spent executing in the client and about half in the X server";
+//! because the simulated server runs in-process, we report the protocol
+//! accounting (requests, round trips, drawing requests) for that row.
+//!
+//! Run with: `cargo run -p tk-bench --release --bin table2`
+
+use tk_bench::{create_display_delete_buttons, env_with_apps, fmt_time, time_per_iter};
+
+fn main() {
+    println!("Table II — execution times, paper vs this reproduction\n");
+    println!(
+        "{:<38} {:>12} {:>14}",
+        "Operation", "Paper (1991)", "Measured"
+    );
+
+    // Row 1: simple Tcl command.
+    let interp = tcl::Interp::new();
+    interp.eval("set a 0").unwrap();
+    let t_set = time_per_iter(200_000, || {
+        interp.eval("set a 1").unwrap();
+    });
+    println!(
+        "{:<38} {:>12} {:>14}",
+        "Simple Tcl command (set a 1)",
+        "68 \u{b5}s",
+        fmt_time(t_set)
+    );
+
+    // Row 2: send an empty command between two applications. Real send
+    // paid X IPC for its property traffic; the simulated server charges
+    // the same synthetic round-trip latency the cache ablation uses.
+    let rt_cost = std::time::Duration::from_micros(50);
+    let (env_send, apps) = env_with_apps(&["alpha", "beta"]);
+    env_send
+        .display()
+        .with_server(|s| s.set_round_trip_cost(rt_cost));
+    let sender = &apps[0];
+    sender.eval("send beta {}").unwrap(); // warm up
+    let t_send = time_per_iter(5_000, || {
+        sender.eval("send beta {}").unwrap();
+    });
+    println!(
+        "{:<38} {:>12} {:>14}",
+        "Send empty command",
+        "15 ms",
+        fmt_time(t_send)
+    );
+
+    // Row 3: create, display, delete 50 buttons.
+    let (env50, apps50) = env_with_apps(&["buttons"]);
+    env50
+        .display()
+        .with_server(|s| s.set_round_trip_cost(rt_cost));
+    let app = &apps50[0];
+    create_display_delete_buttons(app, 50); // warm caches
+    env50.display().with_server(|s| s.reset_stats());
+    let iters = 20;
+    let t_buttons = time_per_iter(iters, || {
+        create_display_delete_buttons(app, 50);
+    });
+    println!(
+        "{:<38} {:>12} {:>14}",
+        "Create, display, delete 50 buttons",
+        "440 ms",
+        fmt_time(t_buttons)
+    );
+
+    let stats = app.conn().stats();
+    let (draws, server_time) =
+        env50.display().with_server(|s| (s.draw_requests, s.work_time));
+    println!(
+        "\n  50-button protocol profile (per iteration): {} requests, {} round trips,\n\
+         \u{20} {} drawing requests executed by the server",
+        stats.requests / iters,
+        stats.round_trips / iters,
+        draws / iters
+    );
+    // The paper: "about half of the elapsed time was spent executing in
+    // the client and about half in the X server."
+    let server_frac = server_time.as_secs_f64() / (t_buttons * iters as f64);
+    println!(
+        "  client/server split: {:.0}% client, {:.0}% server (paper: ~50/50)",
+        100.0 * (1.0 - server_frac),
+        100.0 * server_frac
+    );
+
+    println!("\nShape checks against the paper:");
+    println!(
+        "  send / simple-command ratio: paper {:.0}x, measured {:.0}x",
+        15_000.0 / 68.0,
+        t_send / t_set
+    );
+    println!(
+        "  50-buttons / send ratio:     paper {:.0}x, measured {:.0}x",
+        440.0 / 15.0,
+        t_buttons / t_send
+    );
+    println!(
+        "  commands per 100 ms (the \"hundreds of Tcl commands within a human\n\
+         \u{20} response time\" claim): paper ~1470, measured {:.0}",
+        0.1 / t_set
+    );
+}

@@ -1,0 +1,120 @@
+//! Shared helpers for the benchmark harness: workload builders used by
+//! both the Criterion benches and the table-printing binaries that
+//! regenerate the paper's Tables I and II and Figure 8.
+
+use std::time::Instant;
+
+use tk::{TkApp, TkEnv};
+
+/// Creates an environment with `n` named applications.
+pub fn env_with_apps(names: &[&str]) -> (TkEnv, Vec<TkApp>) {
+    let env = TkEnv::new();
+    let apps = names.iter().map(|n| env.app(n)).collect();
+    (env, apps)
+}
+
+/// The Table II row 3 workload: create `n` buttons, pack and display them,
+/// then delete them all. Returns nothing; timing is the caller's job.
+pub fn create_display_delete_buttons(app: &TkApp, n: usize) {
+    for i in 0..n {
+        app.eval(&format!(
+            "button .b{i} -text \"Button {i}\" -command {{}}"
+        ))
+        .expect("create button");
+        app.eval(&format!("pack append . .b{i} {{top fillx}}"))
+            .expect("pack button");
+    }
+    app.update();
+    for i in 0..n {
+        app.eval(&format!("destroy .b{i}")).expect("destroy button");
+    }
+    app.update();
+}
+
+/// Times `f` over `iters` runs and returns mean seconds per run.
+pub fn time_per_iter(iters: u64, mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+/// Formats seconds with an adaptive unit, for table printing.
+pub fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.0} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.1} \u{b5}s", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+/// Counts the source lines of a Rust file: non-blank, non-`//`-comment
+/// lines, split at the first `#[cfg(test)]` into (code, test) counts.
+pub fn count_loc(path: &std::path::Path) -> (usize, usize) {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return (0, 0);
+    };
+    let mut code = 0;
+    let mut test = 0;
+    let mut in_tests = false;
+    for line in text.lines() {
+        let t = line.trim();
+        if t.contains("#[cfg(test)]") {
+            in_tests = true;
+        }
+        if t.is_empty() || t.starts_with("//") {
+            continue;
+        }
+        if in_tests {
+            test += 1;
+        } else {
+            code += 1;
+        }
+    }
+    (code, test)
+}
+
+/// Sums [`count_loc`] over files: `(code, test)`.
+pub fn count_loc_files(base: &std::path::Path, files: &[&str]) -> (usize, usize) {
+    files
+        .iter()
+        .map(|f| count_loc(&base.join(f)))
+        .fold((0, 0), |(a, b), (c, d)| (a + c, b + d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buttons_workload_leaves_app_clean() {
+        let (_env, apps) = env_with_apps(&["bench"]);
+        create_display_delete_buttons(&apps[0], 5);
+        assert_eq!(apps[0].eval("winfo children .").unwrap(), "");
+    }
+
+    #[test]
+    fn fmt_time_units() {
+        assert!(fmt_time(5e-9).ends_with("ns"));
+        assert!(fmt_time(5e-5).contains("\u{b5}s"));
+        assert!(fmt_time(5e-3).ends_with("ms"));
+        assert!(fmt_time(5.0).ends_with('s'));
+    }
+
+    #[test]
+    fn count_loc_separates_tests() {
+        let dir = std::env::temp_dir().join("rtk_loc_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let f = dir.join("x.rs");
+        std::fs::write(&f, "fn a() {}\n\n// comment\nfn b() {}\n#[cfg(test)]\nmod tests {\n fn t() {}\n}\n").unwrap();
+        let (code, test) = count_loc(&f);
+        assert_eq!(code, 2);
+        // The `#[cfg(test)]` attribute line itself counts on the test side.
+        assert_eq!(test, 4);
+    }
+}

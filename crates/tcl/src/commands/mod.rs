@@ -1,0 +1,25 @@
+//! Registration of the built-in Tcl command set.
+//!
+//! The built-ins cover the language of the paper's era (Tcl 6.x, 1990-91):
+//! variables, control flow, procedures, lists, strings, expressions, files,
+//! and process execution — plus the old-style aliases (`print`, `index`,
+//! `range`) that the Figure 9 browser script uses.
+
+mod control;
+mod info_cmd;
+mod list_cmds;
+mod misc;
+mod string_cmds;
+mod var;
+
+use crate::interp::Interp;
+
+/// Registers every built-in command on `interp`.
+pub fn register_all(interp: &Interp) {
+    var::register(interp);
+    control::register(interp);
+    list_cmds::register(interp);
+    string_cmds::register(interp);
+    info_cmd::register(interp);
+    misc::register(interp);
+}

@@ -1,0 +1,1145 @@
+//! The Tcl interpreter: command registry, call frames, and evaluation.
+//!
+//! The interpreter is a cheaply clonable handle (`Rc` inside) whose methods
+//! take `&self`; interior mutability is scoped to individual operations and
+//! never held across a nested evaluation. This is what lets command
+//! procedures re-enter the interpreter — the pattern the paper relies on
+//! everywhere: `if` evaluating its body, widgets evaluating their `-command`
+//! scripts, `send` evaluating scripts that arrive from other applications.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::error::{Code, Exception, TclResult};
+use crate::parser::{parse_command, Part, Word};
+
+/// A native command procedure.
+///
+/// `argv[0]` is the command name, further elements are the fully
+/// substituted arguments — the same calling convention as the C `Tcl_CmdProc`.
+pub type CmdFn = Rc<dyn Fn(&Interp, &[String]) -> TclResult>;
+
+/// A registered command: either native Rust or a Tcl `proc`.
+#[derive(Clone)]
+pub enum Command {
+    /// A command implemented in Rust.
+    Native(CmdFn),
+    /// A command defined by the `proc` built-in.
+    Proc(Rc<ProcDef>),
+}
+
+/// The definition of a Tcl procedure.
+pub struct ProcDef {
+    /// Formal parameters: `(name, default)`. The final parameter may be the
+    /// special name `args`, which collects remaining arguments as a list.
+    pub params: Vec<(String, Option<String>)>,
+    /// The body script.
+    pub body: String,
+}
+
+/// One variable slot in a call frame.
+#[derive(Clone, Debug)]
+pub enum Var {
+    /// An ordinary string-valued variable.
+    Scalar(String),
+    /// An associative array of elements.
+    Array(HashMap<String, String>),
+    /// A link to a variable in another frame, created by `upvar`/`global`.
+    Link { level: usize, name: String },
+}
+
+/// Which operations a variable trace fires on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceOps {
+    /// Fire on reads.
+    pub read: bool,
+    /// Fire on writes.
+    pub write: bool,
+    /// Fire on unset.
+    pub unset: bool,
+}
+
+impl TraceOps {
+    /// Parses an ops string of `r`, `w`, and `u` characters.
+    pub fn parse(spec: &str) -> Result<TraceOps, Exception> {
+        let mut ops = TraceOps::default();
+        for c in spec.chars() {
+            match c {
+                'r' => ops.read = true,
+                'w' => ops.write = true,
+                'u' => ops.unset = true,
+                other => {
+                    return Err(Exception::error(format!(
+                        "bad operation \"{other}\": should be one or more of rwu"
+                    )))
+                }
+            }
+        }
+        if ops == TraceOps::default() {
+            return Err(Exception::error(
+                "bad operations \"\": should be one or more of rwu",
+            ));
+        }
+        Ok(ops)
+    }
+
+    /// Renders back into the `rwu` form.
+    pub fn text(&self) -> String {
+        let mut s = String::new();
+        if self.read {
+            s.push('r');
+        }
+        if self.write {
+            s.push('w');
+        }
+        if self.unset {
+            s.push('u');
+        }
+        s
+    }
+}
+
+/// What a trace runs when it fires.
+pub enum TraceAction {
+    /// A Tcl command, called as `command name1 name2 op`.
+    Script(String),
+    /// A native callback `(interp, name1, name2, op)` — used by Tk widgets
+    /// to track their `-variable` options.
+    Native(Rc<dyn Fn(&Interp, &str, &str, &str)>),
+}
+
+/// One registered variable trace.
+pub struct TraceDef {
+    /// Unique id (for removal of native traces).
+    pub id: u64,
+    /// The operations this trace fires on.
+    pub ops: TraceOps,
+    /// The action to run.
+    pub action: TraceAction,
+    /// Re-entrancy guard: a trace does not fire while it is running.
+    firing: std::cell::Cell<bool>,
+}
+
+/// A call frame holding local variables. Frame 0 is the global frame.
+#[derive(Default)]
+pub struct Frame {
+    vars: HashMap<String, Var>,
+    traces: HashMap<String, Vec<Rc<TraceDef>>>,
+    /// The proc invocation that created this frame, for `info level`.
+    pub invocation: Vec<String>,
+}
+
+/// Where `print`/`puts` output goes.
+enum Output {
+    /// Write to the process standard output.
+    Stdout,
+    /// Capture into an in-memory buffer readable by tests.
+    Capture(Rc<RefCell<String>>),
+}
+
+/// Runs external commands on behalf of `exec`. Applications substitute a
+/// fake executor to keep tests hermetic.
+pub trait Executor {
+    /// Runs `argv` and returns its standard output, or an error message.
+    fn run(&self, interp: &Interp, argv: &[String]) -> Result<String, String>;
+}
+
+/// The default executor: `std::process::Command`.
+struct SystemExecutor;
+
+impl Executor for SystemExecutor {
+    fn run(&self, _interp: &Interp, argv: &[String]) -> Result<String, String> {
+        if argv.is_empty() {
+            return Err("exec: no command given".into());
+        }
+        // A trailing `&` requests background execution, as in Figure 9's
+        // `exec sh -c "browse $file &"`.
+        let (argv, background) = match argv.last().map(String::as_str) {
+            Some("&") => (&argv[..argv.len() - 1], true),
+            _ => (argv, false),
+        };
+        if argv.is_empty() {
+            return Err("exec: no command given".into());
+        }
+        let mut cmd = std::process::Command::new(&argv[0]);
+        cmd.args(&argv[1..]);
+        if background {
+            match cmd.spawn() {
+                Ok(_) => Ok(String::new()),
+                Err(e) => Err(format!("couldn't execute \"{}\": {e}", argv[0])),
+            }
+        } else {
+            match cmd.output() {
+                Ok(out) => {
+                    let mut text = String::from_utf8_lossy(&out.stdout).into_owned();
+                    // Tcl's exec trims one trailing newline.
+                    if text.ends_with('\n') {
+                        text.pop();
+                    }
+                    if out.status.success() {
+                        Ok(text)
+                    } else {
+                        let err = String::from_utf8_lossy(&out.stderr).into_owned();
+                        Err(if err.is_empty() {
+                            format!("command \"{}\" returned non-zero status", argv[0])
+                        } else {
+                            err.trim_end().to_string()
+                        })
+                    }
+                }
+                Err(e) => Err(format!("couldn't execute \"{}\": {e}", argv[0])),
+            }
+        }
+    }
+}
+
+struct InterpInner {
+    commands: RefCell<HashMap<String, Command>>,
+    frames: RefCell<Vec<Frame>>,
+    output: RefCell<Output>,
+    executor: RefCell<Rc<dyn Executor>>,
+    nesting: RefCell<usize>,
+    next_trace_id: std::cell::Cell<u64>,
+    /// Set by the `exit` command so embedding shells can terminate cleanly.
+    exit_requested: RefCell<Option<i32>>,
+}
+
+/// A Tcl interpreter. Clones share the same state.
+#[derive(Clone)]
+pub struct Interp {
+    inner: Rc<InterpInner>,
+}
+
+/// The maximum depth of nested script evaluations before the interpreter
+/// reports an infinite-recursion error.
+const MAX_NESTING: usize = 150;
+
+impl Default for Interp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Interp {
+    /// Creates an interpreter with all built-in commands registered.
+    pub fn new() -> Interp {
+        let interp = Interp {
+            inner: Rc::new(InterpInner {
+                commands: RefCell::new(HashMap::new()),
+                frames: RefCell::new(vec![Frame::default()]),
+                output: RefCell::new(Output::Stdout),
+                executor: RefCell::new(Rc::new(SystemExecutor)),
+                nesting: RefCell::new(0),
+                next_trace_id: std::cell::Cell::new(0),
+                exit_requested: RefCell::new(None),
+            }),
+        };
+        crate::commands::register_all(&interp);
+        interp
+    }
+
+    /// Creates an interpreter with no commands at all (for parser-level
+    /// testing or highly restricted embeddings).
+    pub fn bare() -> Interp {
+        Interp {
+            inner: Rc::new(InterpInner {
+                commands: RefCell::new(HashMap::new()),
+                frames: RefCell::new(vec![Frame::default()]),
+                output: RefCell::new(Output::Stdout),
+                executor: RefCell::new(Rc::new(SystemExecutor)),
+                nesting: RefCell::new(0),
+                next_trace_id: std::cell::Cell::new(0),
+                exit_requested: RefCell::new(None),
+            }),
+        }
+    }
+
+    // ----- command registry -------------------------------------------------
+
+    /// Registers a native command, replacing any existing command of the
+    /// same name (exactly like `Tcl_CreateCommand`).
+    pub fn register<F>(&self, name: &str, f: F)
+    where
+        F: Fn(&Interp, &[String]) -> TclResult + 'static,
+    {
+        self.inner
+            .commands
+            .borrow_mut()
+            .insert(name.to_string(), Command::Native(Rc::new(f)));
+    }
+
+    /// Registers a Tcl procedure.
+    pub fn register_proc(&self, name: &str, def: ProcDef) {
+        self.inner
+            .commands
+            .borrow_mut()
+            .insert(name.to_string(), Command::Proc(Rc::new(def)));
+    }
+
+    /// Removes a command. Returns true if it existed.
+    pub fn unregister(&self, name: &str) -> bool {
+        self.inner.commands.borrow_mut().remove(name).is_some()
+    }
+
+    /// Renames a command; an empty new name deletes it.
+    pub fn rename(&self, from: &str, to: &str) -> Result<(), Exception> {
+        let mut cmds = self.inner.commands.borrow_mut();
+        let Some(cmd) = cmds.remove(from) else {
+            return Err(Exception::error(format!(
+                "can't rename \"{from}\": command doesn't exist"
+            )));
+        };
+        if !to.is_empty() {
+            cmds.insert(to.to_string(), cmd);
+        }
+        Ok(())
+    }
+
+    /// Looks up a command by name.
+    pub fn command(&self, name: &str) -> Option<Command> {
+        self.inner.commands.borrow().get(name).cloned()
+    }
+
+    /// Returns the names of all registered commands, sorted.
+    pub fn command_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.commands.borrow().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Returns the names of commands defined as Tcl procs, sorted.
+    pub fn proc_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .inner
+            .commands
+            .borrow()
+            .iter()
+            .filter(|(_, c)| matches!(c, Command::Proc(_)))
+            .map(|(n, _)| n.clone())
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Returns the definition of a proc, if `name` is one.
+    pub fn proc_def(&self, name: &str) -> Option<Rc<ProcDef>> {
+        match self.inner.commands.borrow().get(name) {
+            Some(Command::Proc(p)) => Some(p.clone()),
+            _ => None,
+        }
+    }
+
+    // ----- output and exec hooks --------------------------------------------
+
+    /// Redirects `print`/`puts` into a capture buffer and returns it.
+    pub fn capture_output(&self) -> Rc<RefCell<String>> {
+        let buf = Rc::new(RefCell::new(String::new()));
+        *self.inner.output.borrow_mut() = Output::Capture(buf.clone());
+        buf
+    }
+
+    /// Writes text to the interpreter's output sink.
+    pub fn write_output(&self, text: &str) {
+        match &*self.inner.output.borrow() {
+            Output::Stdout => {
+                use std::io::Write;
+                let stdout = std::io::stdout();
+                let mut lock = stdout.lock();
+                let _ = lock.write_all(text.as_bytes());
+                let _ = lock.flush();
+            }
+            Output::Capture(buf) => buf.borrow_mut().push_str(text),
+        }
+    }
+
+    /// Replaces the `exec` executor (tests install fakes here).
+    pub fn set_executor(&self, exec: Rc<dyn Executor>) {
+        *self.inner.executor.borrow_mut() = exec;
+    }
+
+    /// Runs `argv` through the current executor.
+    pub fn run_exec(&self, argv: &[String]) -> Result<String, String> {
+        let exec = self.inner.executor.borrow().clone();
+        exec.run(self, argv)
+    }
+
+    /// Records a request to exit with the given status (set by `exit`).
+    pub fn request_exit(&self, status: i32) {
+        *self.inner.exit_requested.borrow_mut() = Some(status);
+    }
+
+    /// The status passed to `exit`, if it has been called.
+    pub fn exit_requested(&self) -> Option<i32> {
+        *self.inner.exit_requested.borrow()
+    }
+
+    // ----- variables ----------------------------------------------------------
+
+    fn frame_count(&self) -> usize {
+        self.inner.frames.borrow().len()
+    }
+
+    /// The current frame's level (0 = global).
+    pub fn level(&self) -> usize {
+        self.frame_count() - 1
+    }
+
+    /// Resolves links: returns the (level, name) a variable access lands on.
+    fn resolve(&self, mut level: usize, mut name: String) -> (usize, String) {
+        loop {
+            let frames = self.inner.frames.borrow();
+            match frames[level].vars.get(&name) {
+                Some(Var::Link { level: l, name: n }) => {
+                    let (l, n) = (*l, n.clone());
+                    drop(frames);
+                    level = l;
+                    name = n;
+                }
+                _ => return (level, name),
+            }
+        }
+    }
+
+    /// Reads a variable (scalar or array element) in the current frame.
+    pub fn get_var(&self, name: &str, index: Option<&str>) -> Result<String, Exception> {
+        self.get_var_at(self.level(), name, index)
+    }
+
+    // ----- variable traces ------------------------------------------------
+
+    /// Attaches a trace to a variable in the current frame; returns its id.
+    pub fn trace_variable(&self, name: &str, ops: TraceOps, action: TraceAction) -> u64 {
+        let (base, _) = split_var_name(name);
+        let (level, base) = self.resolve(self.level(), base);
+        let id = self.inner.next_trace_id.get() + 1;
+        self.inner.next_trace_id.set(id);
+        self.inner.frames.borrow_mut()[level]
+            .traces
+            .entry(base)
+            .or_default()
+            .push(Rc::new(TraceDef {
+                id,
+                ops,
+                action,
+                firing: std::cell::Cell::new(false),
+            }));
+        id
+    }
+
+    /// Removes the first script trace matching ops and command text.
+    pub fn trace_vdelete(&self, name: &str, ops: TraceOps, command: &str) -> bool {
+        let (base, _) = split_var_name(name);
+        let (level, base) = self.resolve(self.level(), base);
+        let mut frames = self.inner.frames.borrow_mut();
+        let Some(list) = frames[level].traces.get_mut(&base) else {
+            return false;
+        };
+        let pos = list.iter().position(|t| {
+            t.ops == ops
+                && matches!(&t.action, TraceAction::Script(c) if c == command)
+        });
+        match pos {
+            Some(i) => {
+                list.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes a trace by id (native traces use this).
+    pub fn trace_remove(&self, name: &str, id: u64) -> bool {
+        let (base, _) = split_var_name(name);
+        let (level, base) = self.resolve(self.level(), base);
+        let mut frames = self.inner.frames.borrow_mut();
+        let Some(list) = frames[level].traces.get_mut(&base) else {
+            return false;
+        };
+        let before = list.len();
+        list.retain(|t| t.id != id);
+        list.len() != before
+    }
+
+    /// Lists the traces on a variable as `(ops, command)` pairs; native
+    /// traces show a placeholder command.
+    pub fn trace_info(&self, name: &str) -> Vec<(String, String)> {
+        let (base, _) = split_var_name(name);
+        let (level, base) = self.resolve(self.level(), base);
+        let frames = self.inner.frames.borrow();
+        frames[level]
+            .traces
+            .get(&base)
+            .map(|list| {
+                list.iter()
+                    .map(|t| {
+                        let cmd = match &t.action {
+                            TraceAction::Script(c) => c.clone(),
+                            TraceAction::Native(_) => "<native>".to_string(),
+                        };
+                        (t.ops.text(), cmd)
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Fires the traces on `(level, name)` for operation `op` (`r`/`w`/`u`).
+    /// Script-trace errors propagate (except for unset traces, as in Tcl).
+    fn fire_traces(
+        &self,
+        level: usize,
+        name: &str,
+        index: Option<&str>,
+        op: &str,
+    ) -> Result<(), Exception> {
+        let list: Vec<Rc<TraceDef>> = {
+            let frames = self.inner.frames.borrow();
+            match frames[level].traces.get(name) {
+                Some(l) if !l.is_empty() => l.clone(),
+                _ => return Ok(()),
+            }
+        };
+        for t in list {
+            let wanted = match op {
+                "r" => t.ops.read,
+                "w" => t.ops.write,
+                "u" => t.ops.unset,
+                _ => false,
+            };
+            if !wanted || t.firing.get() {
+                continue;
+            }
+            t.firing.set(true);
+            let result = match &t.action {
+                TraceAction::Script(cmd) => {
+                    let call = format!(
+                        "{cmd} {}",
+                        crate::list::format_list(&[name, index.unwrap_or(""), op])
+                    );
+                    self.eval(&call).map(|_| ())
+                }
+                TraceAction::Native(f) => {
+                    f(self, name, index.unwrap_or(""), op);
+                    Ok(())
+                }
+            };
+            t.firing.set(false);
+            if let Err(e) = result {
+                if op != "u" && e.code == Code::Error {
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a variable in an explicit frame level.
+    pub fn get_var_at(
+        &self,
+        level: usize,
+        name: &str,
+        index: Option<&str>,
+    ) -> Result<String, Exception> {
+        let (level, name) = self.resolve(level, name.to_string());
+        self.fire_traces(level, &name, index, "r")?;
+        let frames = self.inner.frames.borrow();
+        match (frames[level].vars.get(&name), index) {
+            (Some(Var::Scalar(v)), None) => Ok(v.clone()),
+            (Some(Var::Array(_)), None) => Err(Exception::error(format!(
+                "can't read \"{name}\": variable is array"
+            ))),
+            (Some(Var::Array(map)), Some(idx)) => map.get(idx).cloned().ok_or_else(|| {
+                Exception::error(format!(
+                    "can't read \"{name}({idx})\": no such element in array"
+                ))
+            }),
+            (Some(Var::Scalar(_)), Some(_)) => Err(Exception::error(format!(
+                "can't read \"{name}\": variable isn't array"
+            ))),
+            (Some(Var::Link { .. }), _) => unreachable!("links resolved above"),
+            (None, _) => Err(Exception::error(format!(
+                "can't read \"{name}\": no such variable"
+            ))),
+        }
+    }
+
+    /// Writes a variable in the current frame. Returns the value written.
+    pub fn set_var(
+        &self,
+        name: &str,
+        index: Option<&str>,
+        value: &str,
+    ) -> Result<String, Exception> {
+        self.set_var_at(self.level(), name, index, value)
+    }
+
+    /// Writes a variable in an explicit frame level.
+    pub fn set_var_at(
+        &self,
+        level: usize,
+        name: &str,
+        index: Option<&str>,
+        value: &str,
+    ) -> Result<String, Exception> {
+        let (level, name) = self.resolve(level, name.to_string());
+        let written: Result<(), Exception> = {
+            let mut frames = self.inner.frames.borrow_mut();
+            let slot = frames[level].vars.entry(name.clone());
+            use std::collections::hash_map::Entry;
+            match (slot, index) {
+                (Entry::Occupied(mut e), None) => match e.get_mut() {
+                    Var::Scalar(s) => {
+                        *s = value.to_string();
+                        Ok(())
+                    }
+                    Var::Array(_) => Err(Exception::error(format!(
+                        "can't set \"{name}\": variable is array"
+                    ))),
+                    Var::Link { .. } => unreachable!(),
+                },
+                (Entry::Occupied(mut e), Some(idx)) => match e.get_mut() {
+                    Var::Array(map) => {
+                        map.insert(idx.to_string(), value.to_string());
+                        Ok(())
+                    }
+                    Var::Scalar(_) => Err(Exception::error(format!(
+                        "can't set \"{name}({idx})\": variable isn't array"
+                    ))),
+                    Var::Link { .. } => unreachable!(),
+                },
+                (Entry::Vacant(e), None) => {
+                    e.insert(Var::Scalar(value.to_string()));
+                    Ok(())
+                }
+                (Entry::Vacant(e), Some(idx)) => {
+                    let mut map = HashMap::new();
+                    map.insert(idx.to_string(), value.to_string());
+                    e.insert(Var::Array(map));
+                    Ok(())
+                }
+            }
+        };
+        written?;
+        self.fire_traces(level, &name, index, "w")?;
+        Ok(value.to_string())
+    }
+
+    /// Removes a variable (or array element) from the current frame. Unset
+    /// traces fire after the removal; a whole-variable unset then discards
+    /// its traces, as in Tcl.
+    pub fn unset_var(&self, name: &str, index: Option<&str>) -> Result<(), Exception> {
+        let (level, name) = self.resolve(self.level(), name.to_string());
+        let whole = {
+            let mut frames = self.inner.frames.borrow_mut();
+            match index {
+                None => {
+                    if frames[level].vars.remove(&name).is_none() {
+                        return Err(Exception::error(format!(
+                            "can't unset \"{name}\": no such variable"
+                        )));
+                    }
+                    true
+                }
+                Some(idx) => match frames[level].vars.get_mut(&name) {
+                    Some(Var::Array(map)) => {
+                        if map.remove(idx).is_none() {
+                            return Err(Exception::error(format!(
+                                "can't unset \"{name}({idx})\": no such element in array"
+                            )));
+                        }
+                        false
+                    }
+                    Some(_) => {
+                        return Err(Exception::error(format!(
+                            "can't unset \"{name}({idx})\": variable isn't array"
+                        )))
+                    }
+                    None => {
+                        return Err(Exception::error(format!(
+                            "can't unset \"{name}\": no such variable"
+                        )))
+                    }
+                },
+            }
+        };
+        let _ = self.fire_traces(level, &name, index, "u");
+        if whole {
+            self.inner.frames.borrow_mut()[level].traces.remove(&name);
+        }
+        Ok(())
+    }
+
+    /// Does the variable exist (readably) in the current frame?
+    pub fn var_exists(&self, name: &str, index: Option<&str>) -> bool {
+        let (level, name) = self.resolve(self.level(), name.to_string());
+        let frames = self.inner.frames.borrow();
+        match (frames[level].vars.get(&name), index) {
+            (Some(Var::Scalar(_)), None) => true,
+            (Some(Var::Array(_)), None) => true,
+            (Some(Var::Array(map)), Some(i)) => map.contains_key(i),
+            _ => false,
+        }
+    }
+
+    /// Names of variables visible in the current frame, sorted.
+    pub fn var_names(&self) -> Vec<String> {
+        let frames = self.inner.frames.borrow();
+        let mut names: Vec<String> = frames[self.level()].vars.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Names of global variables, sorted.
+    pub fn global_names(&self) -> Vec<String> {
+        let frames = self.inner.frames.borrow();
+        let mut names: Vec<String> = frames[0].vars.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Creates a link (`upvar`) in the current frame to `(level, other)`.
+    pub fn link_var(&self, local: &str, level: usize, other: &str) -> Result<(), Exception> {
+        if level >= self.frame_count() {
+            return Err(Exception::error("bad level for upvar"));
+        }
+        let (target_level, target_name) = self.resolve(level, other.to_string());
+        let cur = self.level();
+        if target_level == cur && target_name == local {
+            return Err(Exception::error(format!(
+                "can't upvar \"{local}\" to itself"
+            )));
+        }
+        let mut frames = self.inner.frames.borrow_mut();
+        frames[cur].vars.insert(
+            local.to_string(),
+            Var::Link {
+                level: target_level,
+                name: target_name,
+            },
+        );
+        Ok(())
+    }
+
+    /// Returns the sorted element names of an array variable.
+    pub fn array_names(&self, name: &str) -> Result<Vec<String>, Exception> {
+        let (level, name) = self.resolve(self.level(), name.to_string());
+        let frames = self.inner.frames.borrow();
+        match frames[level].vars.get(&name) {
+            Some(Var::Array(map)) => {
+                let mut keys: Vec<String> = map.keys().cloned().collect();
+                keys.sort();
+                Ok(keys)
+            }
+            _ => Err(Exception::error(format!("\"{name}\" isn't an array"))),
+        }
+    }
+
+    // ----- evaluation ---------------------------------------------------------
+
+    /// Evaluates a script: parses commands one at a time, substitutes their
+    /// words, and invokes them. Returns the result of the last command.
+    pub fn eval(&self, script: &str) -> TclResult {
+        {
+            let mut n = self.inner.nesting.borrow_mut();
+            if *n >= MAX_NESTING {
+                return Err(Exception::error(
+                    "too many nested calls to Tcl_Eval (infinite loop?)",
+                ));
+            }
+            *n += 1;
+        }
+        let result = self.eval_inner(script);
+        *self.inner.nesting.borrow_mut() -= 1;
+        result
+    }
+
+    fn eval_inner(&self, script: &str) -> TclResult {
+        let mut pos = 0usize;
+        let mut result = String::new();
+        loop {
+            let start = pos;
+            let words = match parse_command(script, &mut pos) {
+                Ok(Some(w)) => w,
+                Ok(None) => return Ok(result),
+                Err(e) => return Err(e),
+            };
+            let source = script[start..pos].trim();
+            let mut argv = Vec::with_capacity(words.len());
+            let mut subst_err = None;
+            for w in &words {
+                match self.subst_word(w) {
+                    Ok(v) => argv.push(v),
+                    Err(e) => {
+                        subst_err = Some(e);
+                        break;
+                    }
+                }
+            }
+            let outcome = match subst_err {
+                Some(e) => Err(e),
+                None => self.invoke(&argv),
+            };
+            match outcome {
+                Ok(r) => result = r,
+                Err(e) if e.code == Code::Error => {
+                    let line = if e.trace.is_empty() {
+                        format!("while executing\n\"{}\"", truncate(source, 150))
+                    } else {
+                        format!("invoked from within\n\"{}\"", truncate(source, 150))
+                    };
+                    let e = e.add_trace(line);
+                    self.record_error_info(&e);
+                    return Err(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Stores `errorInfo` in the global frame when an error unwinds.
+    fn record_error_info(&self, e: &Exception) {
+        let _ = self.set_var_at(0, "errorInfo", None, &e.error_info());
+    }
+
+    /// Performs the substitutions of Figures 3-5 on one parsed word.
+    pub fn subst_word(&self, word: &Word) -> Result<String, Exception> {
+        // Fast path: a single literal part needs no allocation gymnastics.
+        if let [Part::Lit(s)] = word.as_slice() {
+            return Ok(s.clone());
+        }
+        let mut out = String::new();
+        for part in word {
+            match part {
+                Part::Lit(s) => out.push_str(s),
+                Part::Var(name, None) => out.push_str(&self.get_var(name, None)?),
+                Part::Var(name, Some(idx_parts)) => {
+                    let idx = self.subst_word(idx_parts)?;
+                    out.push_str(&self.get_var(name, Some(&idx))?);
+                }
+                Part::Cmd(script) => out.push_str(&self.eval(script)?),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Performs `$`, `[]`, and `\` substitution on an arbitrary string (the
+    /// `subst` command, also used by `expr` for brace-shielded operands).
+    pub fn subst_string(&self, src: &str) -> Result<String, Exception> {
+        use crate::parser::{backslash, parse_brackets};
+        let bytes = src.as_bytes();
+        let mut out = String::new();
+        let mut i = 0usize;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'$' => {
+                    let mut parts = Vec::new();
+                    i = crate::parser::parse_dollar(src, i, &mut parts)?;
+                    out.push_str(&self.subst_word(&parts)?);
+                }
+                b'[' => {
+                    let (script, next) = parse_brackets(src, i)?;
+                    out.push_str(&self.eval(&script)?);
+                    i = next;
+                }
+                b'\\' => {
+                    let (s, used) = backslash(src, i);
+                    out.push_str(&s);
+                    i += used;
+                }
+                _ => {
+                    let ch = src[i..].chars().next().unwrap();
+                    out.push(ch);
+                    i += ch.len_utf8();
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Invokes a fully substituted command line.
+    pub fn invoke(&self, argv: &[String]) -> TclResult {
+        if argv.is_empty() || argv.iter().all(|a| a.is_empty()) && argv.len() == 1 {
+            return Ok(String::new());
+        }
+        let cmd = self.command(&argv[0]);
+        match cmd {
+            Some(Command::Native(f)) => f(self, argv),
+            Some(Command::Proc(def)) => self.invoke_proc(&argv[0], &def, argv),
+            None => {
+                // The `unknown` hook: if a proc or command named `unknown`
+                // exists, it is called with the original words.
+                if self.command("unknown").is_some() && argv[0] != "unknown" {
+                    let mut call = vec!["unknown".to_string()];
+                    call.extend_from_slice(argv);
+                    return self.invoke(&call);
+                }
+                Err(Exception::error(format!(
+                    "invalid command name \"{}\"",
+                    argv[0]
+                )))
+            }
+        }
+    }
+
+    /// Invokes a Tcl proc: binds formals in a fresh frame, evaluates the
+    /// body, and maps `return` to a normal completion.
+    fn invoke_proc(&self, name: &str, def: &ProcDef, argv: &[String]) -> TclResult {
+        let mut frame = Frame {
+            vars: HashMap::new(),
+            traces: HashMap::new(),
+            invocation: argv.to_vec(),
+        };
+        let mut ai = 1usize;
+        for (pi, (pname, default)) in def.params.iter().enumerate() {
+            if pname == "args" && pi == def.params.len() - 1 {
+                let rest: Vec<String> = argv[ai.min(argv.len())..].to_vec();
+                frame
+                    .vars
+                    .insert("args".into(), Var::Scalar(crate::list::format_list(&rest)));
+                ai = argv.len();
+                break;
+            }
+            let value = if ai < argv.len() {
+                let v = argv[ai].clone();
+                ai += 1;
+                v
+            } else if let Some(d) = default {
+                d.clone()
+            } else {
+                return Err(Exception::error(format!(
+                    "no value given for parameter \"{pname}\" to \"{name}\""
+                )));
+            };
+            frame.vars.insert(pname.clone(), Var::Scalar(value));
+        }
+        if ai < argv.len() {
+            return Err(Exception::error(format!(
+                "called \"{name}\" with too many arguments"
+            )));
+        }
+        self.inner.frames.borrow_mut().push(frame);
+        let result = self.eval(&def.body);
+        self.inner.frames.borrow_mut().pop();
+        match result {
+            Err(e) if e.code == Code::Return => Ok(e.msg),
+            Err(e) if e.code == Code::Error => Err(e.add_trace(format!(
+                "(procedure \"{name}\" line ?)"
+            ))),
+            Err(e) if e.code == Code::Break => Err(Exception::error(
+                "invoked \"break\" outside of a loop",
+            )),
+            Err(e) if e.code == Code::Continue => Err(Exception::error(
+                "invoked \"continue\" outside of a loop",
+            )),
+            other => other,
+        }
+    }
+
+    /// Evaluates a script in the frame at `level` (for `uplevel`).
+    pub fn eval_at_level(&self, level: usize, script: &str) -> TclResult {
+        if level >= self.frame_count() {
+            return Err(Exception::error(format!("bad level \"{level}\"")));
+        }
+        // Temporarily hide the frames above `level`.
+        let hidden: Vec<Frame> = {
+            let mut frames = self.inner.frames.borrow_mut();
+            frames.split_off(level + 1)
+        };
+        let result = self.eval(script);
+        self.inner.frames.borrow_mut().extend(hidden);
+        result
+    }
+
+    /// The invocation words of the proc at `level`, for `info level`.
+    pub fn invocation_at(&self, level: usize) -> Option<Vec<String>> {
+        let frames = self.inner.frames.borrow();
+        frames.get(level).map(|f| f.invocation.clone())
+    }
+
+    /// Parses a `level` argument for `uplevel`/`upvar`: either `#N`
+    /// (absolute) or `N` (relative to the current frame).
+    pub fn parse_level(&self, spec: &str) -> Result<usize, Exception> {
+        let cur = self.level();
+        if let Some(abs) = spec.strip_prefix('#') {
+            let n: usize = abs
+                .parse()
+                .map_err(|_| Exception::error(format!("bad level \"{spec}\"")))?;
+            if n > cur {
+                return Err(Exception::error(format!("bad level \"{spec}\"")));
+            }
+            Ok(n)
+        } else {
+            let n: usize = spec
+                .parse()
+                .map_err(|_| Exception::error(format!("bad level \"{spec}\"")))?;
+            if n > cur {
+                return Err(Exception::error(format!("bad level \"{spec}\"")));
+            }
+            Ok(cur - n)
+        }
+    }
+}
+
+/// Truncates a source excerpt for tracebacks.
+fn truncate(s: &str, max: usize) -> &str {
+    if s.len() <= max {
+        s
+    } else {
+        let mut end = max;
+        while !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        &s[..end]
+    }
+}
+
+/// Splits a variable reference `name(index)` into name and index parts.
+/// Used by commands like `set` that accept either form.
+pub fn split_var_name(spec: &str) -> (String, Option<String>) {
+    if let Some(open) = spec.find('(') {
+        if spec.ends_with(')') {
+            return (
+                spec[..open].to_string(),
+                Some(spec[open + 1..spec.len() - 1].to_string()),
+            );
+        }
+    }
+    (spec.to_string(), None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_get_variable() {
+        let i = Interp::new();
+        assert_eq!(i.eval("set a 1000").unwrap(), "1000");
+        assert_eq!(i.eval("set a").unwrap(), "1000");
+    }
+
+    #[test]
+    fn variable_substitution() {
+        let i = Interp::new();
+        i.eval("set msg hello").unwrap();
+        assert_eq!(i.eval("set b $msg").unwrap(), "hello");
+    }
+
+    #[test]
+    fn command_substitution() {
+        let i = Interp::new();
+        i.eval("set x 5").unwrap();
+        assert_eq!(i.eval("set y [set x]").unwrap(), "5");
+    }
+
+    #[test]
+    fn unknown_command_reports_error() {
+        let i = Interp::new();
+        let e = i.eval("definitely_not_a_command").unwrap_err();
+        assert!(e.msg.contains("invalid command name"));
+    }
+
+    #[test]
+    fn unknown_hook_is_called() {
+        let i = Interp::new();
+        i.eval("proc unknown {args} {return \"caught: $args\"}")
+            .unwrap();
+        assert_eq!(i.eval("frobnicate 1 2").unwrap(), "caught: frobnicate 1 2");
+    }
+
+    #[test]
+    fn undefined_variable_reports_error() {
+        let i = Interp::new();
+        let e = i.eval("set b $nosuch").unwrap_err();
+        assert!(e.msg.contains("no such variable"), "{}", e.msg);
+    }
+
+    #[test]
+    fn array_elements() {
+        let i = Interp::new();
+        i.eval("set a(x) 1; set a(y) 2").unwrap();
+        assert_eq!(i.eval("set a(x)").unwrap(), "1");
+        i.eval("set k y").unwrap();
+        assert_eq!(i.eval("set b $a($k)").unwrap(), "2");
+    }
+
+    #[test]
+    fn scalar_vs_array_mismatch_errors() {
+        let i = Interp::new();
+        i.eval("set s 1").unwrap();
+        assert!(i.eval("set s(x) 2").is_err());
+        i.eval("set arr(e) 1").unwrap();
+        assert!(i.eval("set arr").is_err());
+    }
+
+    #[test]
+    fn native_command_registration() {
+        let i = Interp::new();
+        i.register("double", |_i, argv| {
+            let n: i64 = argv[1].parse().unwrap();
+            Ok((n * 2).to_string())
+        });
+        assert_eq!(i.eval("double 21").unwrap(), "42");
+    }
+
+    #[test]
+    fn rename_and_delete_command() {
+        let i = Interp::new();
+        i.register("orig", |_i, _a| Ok("hi".into()));
+        i.rename("orig", "renamed").unwrap();
+        assert_eq!(i.eval("renamed").unwrap(), "hi");
+        assert!(i.eval("orig").is_err());
+        i.rename("renamed", "").unwrap();
+        assert!(i.eval("renamed").is_err());
+    }
+
+    #[test]
+    fn result_is_last_command() {
+        let i = Interp::new();
+        assert_eq!(i.eval("set a 1; set b 2").unwrap(), "2");
+    }
+
+    #[test]
+    fn nesting_limit_reported() {
+        let i = Interp::new();
+        i.eval("proc loop {} {loop}").unwrap();
+        let e = i.eval("loop").unwrap_err();
+        assert!(e.msg.contains("too many nested calls") || e.msg.contains("recursion"));
+    }
+
+    #[test]
+    fn error_info_recorded() {
+        let i = Interp::new();
+        i.eval("proc f {} {set x $nosuch}").unwrap();
+        assert!(i.eval("f").is_err());
+        let info = i.get_var_at(0, "errorInfo", None).unwrap();
+        assert!(info.contains("no such variable"));
+        assert!(info.contains("while executing"));
+    }
+
+    #[test]
+    fn capture_output_collects_print() {
+        let i = Interp::new();
+        let buf = i.capture_output();
+        i.eval("print hello").unwrap();
+        assert_eq!(&*buf.borrow(), "hello");
+    }
+
+    #[test]
+    fn split_var_name_forms() {
+        assert_eq!(split_var_name("a"), ("a".into(), None));
+        assert_eq!(split_var_name("a(i)"), ("a".into(), Some("i".into())));
+        assert_eq!(split_var_name("a(i"), ("a(i".into(), None));
+    }
+
+    #[test]
+    fn subst_string_performs_all_substitutions() {
+        let i = Interp::new();
+        i.eval("set x world").unwrap();
+        assert_eq!(
+            i.subst_string("hello $x [set x] \\n").unwrap(),
+            "hello world world \n"
+        );
+    }
+}

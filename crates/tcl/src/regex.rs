@@ -1,0 +1,557 @@
+//! A from-scratch regular-expression engine for the `regexp` and `regsub`
+//! commands, covering the Henry Spencer feature set Tcl shipped with:
+//! `.` `[...]` `[^...]` `*` `+` `?` `(...)` `|` `^` `$` and `\c` escapes,
+//! with numbered capture groups. Matching is backtracking, greedy, and
+//! leftmost-first.
+
+use crate::error::Exception;
+
+/// A parsed regular expression.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    root: Alt,
+    /// Number of capture groups (not counting group 0, the whole match).
+    pub group_count: usize,
+    nocase: bool,
+}
+
+/// Alternation of sequences.
+#[derive(Debug, Clone)]
+struct Alt(Vec<Seq>);
+
+/// Concatenation of quantified atoms.
+#[derive(Debug, Clone)]
+struct Seq(Vec<Piece>);
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    quant: Quant,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Quant {
+    One,
+    Star,
+    Plus,
+    Opt,
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Char(char),
+    Any,
+    Class { negated: bool, items: Vec<ClassItem> },
+    Group(usize, Alt),
+    Start,
+    End,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ClassItem {
+    Single(char),
+    Range(char, char),
+}
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    group_count: usize,
+    src: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn error(&self, msg: &str) -> Exception {
+        Exception::error(format!("couldn't compile regular expression \"{}\": {msg}", self.src))
+    }
+
+    fn parse_alt(&mut self) -> Result<Alt, Exception> {
+        let mut seqs = vec![self.parse_seq()?];
+        while self.peek() == Some('|') {
+            self.bump();
+            seqs.push(self.parse_seq()?);
+        }
+        Ok(Alt(seqs))
+    }
+
+    fn parse_seq(&mut self) -> Result<Seq, Exception> {
+        let mut pieces = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.parse_atom()?;
+            let quant = match self.peek() {
+                Some('*') => {
+                    self.bump();
+                    Quant::Star
+                }
+                Some('+') => {
+                    self.bump();
+                    Quant::Plus
+                }
+                Some('?') => {
+                    self.bump();
+                    Quant::Opt
+                }
+                _ => Quant::One,
+            };
+            pieces.push(Piece { atom, quant });
+        }
+        Ok(Seq(pieces))
+    }
+
+    fn parse_atom(&mut self) -> Result<Atom, Exception> {
+        match self.bump() {
+            Some('.') => Ok(Atom::Any),
+            Some('^') => Ok(Atom::Start),
+            Some('$') => Ok(Atom::End),
+            Some('(') => {
+                self.group_count += 1;
+                let idx = self.group_count;
+                let inner = self.parse_alt()?;
+                if self.bump() != Some(')') {
+                    return Err(self.error("unmatched ()"));
+                }
+                Ok(Atom::Group(idx, inner))
+            }
+            Some('[') => {
+                let negated = self.peek() == Some('^');
+                if negated {
+                    self.bump();
+                }
+                let mut items = Vec::new();
+                // A `]` first in the set is a literal.
+                if self.peek() == Some(']') {
+                    self.bump();
+                    items.push(ClassItem::Single(']'));
+                }
+                loop {
+                    match self.bump() {
+                        None => return Err(self.error("unmatched []")),
+                        Some(']') => break,
+                        Some(c) => {
+                            if self.peek() == Some('-')
+                                && self.chars.get(self.pos + 1).copied() != Some(']')
+                                && self.chars.get(self.pos + 1).is_some()
+                            {
+                                self.bump(); // the '-'
+                                let hi = self.bump().unwrap();
+                                items.push(ClassItem::Range(c, hi));
+                            } else {
+                                items.push(ClassItem::Single(c));
+                            }
+                        }
+                    }
+                }
+                Ok(Atom::Class { negated, items })
+            }
+            Some('\\') => match self.bump() {
+                Some('n') => Ok(Atom::Char('\n')),
+                Some('t') => Ok(Atom::Char('\t')),
+                Some(c) => Ok(Atom::Char(c)),
+                None => Err(self.error("trailing backslash")),
+            },
+            Some('*') | Some('+') | Some('?') => Err(self.error("quantifier with nothing to repeat")),
+            Some(')') => Err(self.error("unmatched ()")),
+            Some(c) => Ok(Atom::Char(c)),
+            None => Err(self.error("unexpected end")),
+        }
+    }
+}
+
+/// Capture slots: index 0 is the whole match; groups start at 1.
+pub type Captures = Vec<Option<(usize, usize)>>;
+
+impl Regex {
+    /// Compiles a pattern.
+    pub fn compile(pattern: &str, nocase: bool) -> Result<Regex, Exception> {
+        let mut p = Parser {
+            chars: pattern.chars().collect(),
+            pos: 0,
+            group_count: 0,
+            src: pattern,
+        };
+        let root = p.parse_alt()?;
+        if p.pos != p.chars.len() {
+            return Err(p.error("unmatched ()"));
+        }
+        Ok(Regex {
+            root,
+            group_count: p.group_count,
+            nocase,
+        })
+    }
+
+    /// Finds the leftmost match in `text` starting at or after char
+    /// `from`; returns capture positions (char indices) on success.
+    pub fn find_at(&self, text: &[char], from: usize) -> Option<Captures> {
+        for start in from..=text.len() {
+            let mut caps: Captures = vec![None; self.group_count + 1];
+            let mut end_pos = None;
+            let matched = self.m_alt(&self.root, text, start, &mut caps, &mut |p, _| {
+                end_pos = Some(p);
+                true
+            });
+            if matched {
+                caps[0] = Some((start, end_pos.unwrap()));
+                return Some(caps);
+            }
+        }
+        None
+    }
+
+    /// Does the pattern match anywhere in `text`?
+    pub fn find(&self, text: &str) -> Option<Captures> {
+        let chars: Vec<char> = text.chars().collect();
+        self.find_at(&chars, 0)
+    }
+
+    fn chars_eq(&self, a: char, b: char) -> bool {
+        if self.nocase {
+            a.eq_ignore_ascii_case(&b)
+        } else {
+            a == b
+        }
+    }
+
+    fn m_alt(
+        &self,
+        alt: &Alt,
+        text: &[char],
+        pos: usize,
+        caps: &mut Captures,
+        k: &mut dyn FnMut(usize, &mut Captures) -> bool,
+    ) -> bool {
+        for seq in &alt.0 {
+            let saved = caps.clone();
+            if self.m_seq(&seq.0, text, pos, caps, k) {
+                return true;
+            }
+            *caps = saved;
+        }
+        false
+    }
+
+    fn m_seq(
+        &self,
+        pieces: &[Piece],
+        text: &[char],
+        pos: usize,
+        caps: &mut Captures,
+        k: &mut dyn FnMut(usize, &mut Captures) -> bool,
+    ) -> bool {
+        let Some((piece, rest)) = pieces.split_first() else {
+            return k(pos, caps);
+        };
+        match piece.quant {
+            Quant::One => self.m_atom(&piece.atom, text, pos, caps, &mut |p, c| {
+                self.m_seq(rest, text, p, c, k)
+            }),
+            Quant::Opt => {
+                let saved = caps.clone();
+                if self.m_atom(&piece.atom, text, pos, caps, &mut |p, c| {
+                    self.m_seq(rest, text, p, c, k)
+                }) {
+                    return true;
+                }
+                *caps = saved;
+                self.m_seq(rest, text, pos, caps, k)
+            }
+            Quant::Star => self.m_star(&piece.atom, rest, text, pos, caps, k),
+            Quant::Plus => self.m_atom(&piece.atom, text, pos, caps, &mut |p, c| {
+                self.m_star(&piece.atom, rest, text, p, c, k)
+            }),
+        }
+    }
+
+    /// Greedy star: consume as many atoms as possible, backing off until
+    /// the rest of the sequence matches.
+    fn m_star(
+        &self,
+        atom: &Atom,
+        rest: &[Piece],
+        text: &[char],
+        pos: usize,
+        caps: &mut Captures,
+        k: &mut dyn FnMut(usize, &mut Captures) -> bool,
+    ) -> bool {
+        let saved = caps.clone();
+        // Try one more repetition first (greedy); zero-width repetitions
+        // are cut off to avoid infinite regress.
+        if self.m_atom(atom, text, pos, caps, &mut |p, c| {
+            if p > pos {
+                self.m_star(atom, rest, text, p, c, k)
+            } else {
+                false
+            }
+        }) {
+            return true;
+        }
+        *caps = saved;
+        self.m_seq(rest, text, pos, caps, k)
+    }
+
+    fn m_atom(
+        &self,
+        atom: &Atom,
+        text: &[char],
+        pos: usize,
+        caps: &mut Captures,
+        k: &mut dyn FnMut(usize, &mut Captures) -> bool,
+    ) -> bool {
+        match atom {
+            Atom::Char(c) => {
+                if pos < text.len() && self.chars_eq(*c, text[pos]) {
+                    k(pos + 1, caps)
+                } else {
+                    false
+                }
+            }
+            Atom::Any => {
+                if pos < text.len() {
+                    k(pos + 1, caps)
+                } else {
+                    false
+                }
+            }
+            Atom::Class { negated, items } => {
+                if pos >= text.len() {
+                    return false;
+                }
+                let c = text[pos];
+                let mut hit = false;
+                for item in items {
+                    match item {
+                        ClassItem::Single(s) => {
+                            if self.chars_eq(*s, c) {
+                                hit = true;
+                            }
+                        }
+                        ClassItem::Range(lo, hi) => {
+                            let (c2, lo2, hi2) = if self.nocase {
+                                (
+                                    c.to_ascii_lowercase(),
+                                    lo.to_ascii_lowercase(),
+                                    hi.to_ascii_lowercase(),
+                                )
+                            } else {
+                                (c, *lo, *hi)
+                            };
+                            if lo2 <= c2 && c2 <= hi2 {
+                                hit = true;
+                            }
+                        }
+                    }
+                }
+                if hit != *negated {
+                    k(pos + 1, caps)
+                } else {
+                    false
+                }
+            }
+            Atom::Group(idx, inner) => {
+                let open = pos;
+                let idx = *idx;
+                self.m_alt(inner, text, pos, caps, &mut |p, c| {
+                    let prev = c[idx];
+                    c[idx] = Some((open, p));
+                    if k(p, c) {
+                        true
+                    } else {
+                        c[idx] = prev;
+                        false
+                    }
+                })
+            }
+            Atom::Start => {
+                if pos == 0 {
+                    k(pos, caps)
+                } else {
+                    false
+                }
+            }
+            Atom::End => {
+                if pos == text.len() {
+                    k(pos, caps)
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+/// Substitutes a match into a `regsub` replacement spec: `&` (or `\0`) is
+/// the whole match, `\1`-`\9` are groups, `\&`/`\\` escape.
+pub fn substitute(spec: &str, text: &[char], caps: &Captures) -> String {
+    let group = |n: usize| -> String {
+        caps.get(n)
+            .and_then(|c| *c)
+            .map(|(a, b)| text[a..b].iter().collect())
+            .unwrap_or_default()
+    };
+    let mut out = String::new();
+    let mut it = spec.chars().peekable();
+    while let Some(c) = it.next() {
+        match c {
+            '&' => out.push_str(&group(0)),
+            '\\' => match it.next() {
+                Some(d @ '0'..='9') => out.push_str(&group(d as usize - '0' as usize)),
+                Some('&') => out.push('&'),
+                Some('\\') => out.push('\\'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            },
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn caps_text(pattern: &str, text: &str) -> Option<Vec<String>> {
+        let re = Regex::compile(pattern, false).unwrap();
+        let chars: Vec<char> = text.chars().collect();
+        re.find(text).map(|caps| {
+            caps.iter()
+                .map(|c| match c {
+                    Some((a, b)) => chars[*a..*b].iter().collect(),
+                    None => String::new(),
+                })
+                .collect()
+        })
+    }
+
+    fn matches(pattern: &str, text: &str) -> bool {
+        caps_text(pattern, text).is_some()
+    }
+
+    #[test]
+    fn literals_and_any() {
+        assert!(matches("abc", "xxabcxx"));
+        assert!(!matches("abc", "ab"));
+        assert!(matches("a.c", "azc"));
+        assert!(!matches("a.c", "ac"));
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(matches("^abc", "abcdef"));
+        assert!(!matches("^abc", "xabc"));
+        assert!(matches("def$", "abcdef"));
+        assert!(!matches("def$", "defx"));
+        assert!(matches("^$", ""));
+        assert!(!matches("^$", "x"));
+    }
+
+    #[test]
+    fn quantifiers() {
+        assert!(matches("ab*c", "ac"));
+        assert!(matches("ab*c", "abbbc"));
+        assert!(matches("ab+c", "abc"));
+        assert!(!matches("ab+c", "ac"));
+        assert!(matches("ab?c", "ac"));
+        assert!(matches("ab?c", "abc"));
+        assert!(!matches("ab?c", "abbc"));
+    }
+
+    #[test]
+    fn classes() {
+        assert!(matches("[abc]+", "cab"));
+        assert!(!matches("^[abc]+$", "cad"));
+        assert!(matches("[a-z0-9]+", "q7"));
+        assert!(matches("[^0-9]", "x"));
+        assert!(!matches("^[^0-9]$", "5"));
+        assert!(matches("[]x]", "]"));
+        assert!(matches("[a-]", "-"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        assert!(matches("cat|dog", "hotdog"));
+        assert!(matches("^(cat|dog)$", "cat"));
+        assert!(!matches("^(cat|dog)$", "cow"));
+        let caps = caps_text("(a+)(b+)", "xxaabbbyy").unwrap();
+        assert_eq!(caps, vec!["aabbb", "aa", "bbb"]);
+    }
+
+    #[test]
+    fn greedy_matching() {
+        let caps = caps_text("a.*b", "aXbYb").unwrap();
+        assert_eq!(caps[0], "aXbYb");
+        let caps = caps_text("<(.*)>", "<one> <two>").unwrap();
+        assert_eq!(caps[1], "one> <two");
+    }
+
+    #[test]
+    fn nested_groups() {
+        let caps = caps_text("((a)(b))c", "abc").unwrap();
+        assert_eq!(caps, vec!["abc", "ab", "a", "b"]);
+    }
+
+    #[test]
+    fn unmatched_group_is_empty() {
+        let caps = caps_text("(a)|(b)", "b").unwrap();
+        assert_eq!(caps[0], "b");
+        assert_eq!(caps[1], "");
+        assert_eq!(caps[2], "b");
+    }
+
+    #[test]
+    fn escapes() {
+        assert!(matches(r"a\.c", "a.c"));
+        assert!(!matches(r"a\.c", "axc"));
+        assert!(matches(r"\(x\)", "(x)"));
+        assert!(matches(r"a\\b", r"a\b"));
+    }
+
+    #[test]
+    fn nocase() {
+        let re = Regex::compile("hello", true).unwrap();
+        assert!(re.find("say HELLO!").is_some());
+        let re = Regex::compile("[a-z]+", true).unwrap();
+        assert!(re.find("ABC").is_some());
+    }
+
+    #[test]
+    fn compile_errors() {
+        assert!(Regex::compile("(", false).is_err());
+        assert!(Regex::compile(")", false).is_err());
+        assert!(Regex::compile("[abc", false).is_err());
+        assert!(Regex::compile("*x", false).is_err());
+        assert!(Regex::compile("a\\", false).is_err());
+    }
+
+    #[test]
+    fn empty_star_terminates() {
+        // `(a*)*` against "b" must not loop forever.
+        assert!(matches("(a*)*", "b"));
+        assert!(matches("(a*)*b", "b"));
+    }
+
+    #[test]
+    fn substitution_spec() {
+        let re = Regex::compile("(a+)(b+)", false).unwrap();
+        let text: Vec<char> = "xaabby".chars().collect();
+        let caps = re.find_at(&text, 0).unwrap();
+        assert_eq!(substitute(r"<&>", &text, &caps), "<aabb>");
+        assert_eq!(substitute(r"\2-\1", &text, &caps), "bb-aa");
+        assert_eq!(substitute(r"\&", &text, &caps), "&");
+    }
+}

@@ -1,0 +1,944 @@
+//! The Tk application object and event loop.
+//!
+//! [`TkEnv`] is one simulated display plus the set of Tk applications
+//! connected to it (the paper ran each application in its own UNIX
+//! process; we run them in one process — see DESIGN.md). [`TkApp`] is one
+//! application: a Tcl interpreter, an X connection, the window table, the
+//! binding table, the resource caches, the option database, geometry
+//! management, timers, and when-idle handlers.
+//!
+//! Everything is single-threaded and reentrant: event dispatch evaluates
+//! Tcl scripts which may create windows, re-enter the event loop
+//! (`update`), or `send` commands to sibling applications.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::{Rc, Weak};
+
+use tcl::{Exception, Interp, TclResult};
+use xsim::event::mask;
+use xsim::{Connection, Display, Event, WindowId};
+
+use crate::bind::{percent_substitute, BindingTable, EventInfo};
+use crate::cache::ResourceCache;
+use crate::optiondb::OptionDb;
+use crate::pack::Packer;
+use crate::selection::SelectionState;
+use crate::send::SendState;
+use crate::window::{parent_path, validate_path, TkWindow};
+
+/// A scheduled `after` timer.
+struct Timer {
+    id: u64,
+    deadline: u64,
+    script: String,
+}
+
+/// A file handler (Section 3.2's "file events, which trigger when a file
+/// becomes readable or writable"). The simulation polls the file during
+/// event processing and fires when it appears or its contents change --
+/// the moment new data "becomes readable".
+struct FileHandler {
+    id: u64,
+    path: std::path::PathBuf,
+    script: String,
+    /// `(len, mtime)` at the last check; `None` until first seen.
+    last: Option<(u64, std::time::SystemTime)>,
+}
+
+/// A when-idle task.
+pub(crate) enum IdleTask {
+    /// Run a Tcl script.
+    Script(String),
+    /// Redraw the widget on this path.
+    Redraw(String),
+    /// Recompute a geometry master's layout.
+    Relayout(String),
+}
+
+/// The environment: one display shared by any number of Tk applications.
+#[derive(Clone)]
+pub struct TkEnv {
+    display: Display,
+    apps: Rc<RefCell<Vec<Weak<AppInner>>>>,
+    clock: Rc<Cell<u64>>,
+}
+
+impl Default for TkEnv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TkEnv {
+    /// Creates a fresh display with no applications.
+    pub fn new() -> TkEnv {
+        TkEnv {
+            display: Display::new(),
+            apps: Rc::new(RefCell::new(Vec::new())),
+            clock: Rc::new(Cell::new(0)),
+        }
+    }
+
+    /// The underlying display (for input synthesis and screendumps).
+    pub fn display(&self) -> &Display {
+        &self.display
+    }
+
+    /// The current virtual time in milliseconds.
+    pub fn now(&self) -> u64 {
+        self.clock.get()
+    }
+
+    /// Creates a new application with interpreter and main window.
+    pub fn app(&self, name: &str) -> TkApp {
+        TkApp::new(self, name)
+    }
+
+    /// Processes pending work (events, idle tasks) for every application
+    /// until nothing is pending. Returns true if anything ran. Bounded so
+    /// that a pathological self-rescheduling idle handler cannot hang the
+    /// environment.
+    pub fn dispatch_all(&self) -> bool {
+        let mut any = false;
+        for _ in 0..1000 {
+            let mut progressed = false;
+            let apps: Vec<Rc<AppInner>> = self
+                .apps
+                .borrow()
+                .iter()
+                .filter_map(Weak::upgrade)
+                .collect();
+            for inner in apps {
+                let app = TkApp { inner };
+                if app.process_pending() {
+                    progressed = true;
+                }
+                if app.run_idle_tasks() {
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+            any = true;
+        }
+        any
+    }
+
+    /// Advances virtual time by `ms`, firing due timers in every app, then
+    /// settles all pending work.
+    pub fn advance(&self, ms: u64) {
+        self.clock.set(self.clock.get() + ms);
+        let apps: Vec<Rc<AppInner>> = self
+            .apps
+            .borrow()
+            .iter()
+            .filter_map(Weak::upgrade)
+            .collect();
+        for inner in apps {
+            let app = TkApp { inner };
+            app.run_due_timers();
+        }
+        self.dispatch_all();
+    }
+
+    /// Applications currently registered for `send`, by name.
+    pub fn application_names(&self) -> Vec<String> {
+        self.apps
+            .borrow()
+            .iter()
+            .filter_map(Weak::upgrade)
+            .map(|a| a.name.borrow().clone())
+            .collect()
+    }
+
+    fn register_app(&self, inner: &Rc<AppInner>) {
+        self.apps.borrow_mut().push(Rc::downgrade(inner));
+        self.apps.borrow_mut().retain(|w| w.strong_count() > 0);
+    }
+}
+
+/// Shared state of one Tk application.
+pub struct AppInner {
+    pub(crate) name: RefCell<String>,
+    pub(crate) env: TkEnv,
+    pub(crate) conn: Connection,
+    pub(crate) interp: Interp,
+    pub(crate) windows: RefCell<HashMap<String, Rc<TkWindow>>>,
+    pub(crate) by_xid: RefCell<HashMap<WindowId, String>>,
+    pub(crate) bindings: RefCell<BindingTable>,
+    pub(crate) cache: ResourceCache,
+    pub(crate) options: RefCell<OptionDb>,
+    pub(crate) packer: RefCell<Packer>,
+    pub(crate) selection: RefCell<SelectionState>,
+    pub(crate) send: RefCell<SendState>,
+    timers: RefCell<Vec<Timer>>,
+    next_timer: Cell<u64>,
+    file_handlers: RefCell<Vec<FileHandler>>,
+    idle: RefCell<Vec<IdleTask>>,
+    /// The invisible communication window used by `send`.
+    pub(crate) comm: WindowId,
+    destroyed: Cell<bool>,
+}
+
+/// One Tk application (cheaply clonable handle).
+#[derive(Clone)]
+pub struct TkApp {
+    pub(crate) inner: Rc<AppInner>,
+}
+
+impl TkApp {
+    /// Creates an application on `env` named `name`, with its interpreter,
+    /// main window `"."`, and all Tk commands registered.
+    pub fn new(env: &TkEnv, name: &str) -> TkApp {
+        let conn = env.display.connect();
+        let interp = Interp::new();
+        // The send communication window: an unmapped child of the root on
+        // which this app listens for property changes.
+        let comm = conn
+            .create_window(conn.root(), 0, 0, 1, 1, 0)
+            .expect("root window exists");
+        conn.select_input(comm, mask::PROPERTY_CHANGE);
+        let inner = Rc::new(AppInner {
+            name: RefCell::new(name.to_string()),
+            env: env.clone(),
+            conn,
+            interp,
+            windows: RefCell::new(HashMap::new()),
+            by_xid: RefCell::new(HashMap::new()),
+            bindings: RefCell::new(BindingTable::new()),
+            cache: ResourceCache::new(),
+            options: RefCell::new(OptionDb::new()),
+            packer: RefCell::new(Packer::new()),
+            selection: RefCell::new(SelectionState::default()),
+            send: RefCell::new(SendState::default()),
+            timers: RefCell::new(Vec::new()),
+            next_timer: Cell::new(0),
+            file_handlers: RefCell::new(Vec::new()),
+            idle: RefCell::new(Vec::new()),
+            comm,
+            destroyed: Cell::new(false),
+        });
+        let app = TkApp { inner };
+        env.register_app(&app.inner);
+
+        // The main window "." — a toplevel child of the root.
+        let main_xid = app
+            .conn()
+            .create_window(app.conn().root(), 0, 0, 200, 200, 0)
+            .expect("root window exists");
+        let rec = Rc::new(TkWindow::new(".", "Toplevel", main_xid));
+        rec.width.set(200);
+        rec.height.set(200);
+        rec.req_width.set(200);
+        rec.req_height.set(200);
+        app.select_standard_input(main_xid);
+        app.inner.windows.borrow_mut().insert(".".into(), rec);
+        app.inner.by_xid.borrow_mut().insert(main_xid, ".".into());
+        app.conn().map_window(main_xid);
+
+        crate::cmds::register_all(&app);
+        crate::widget::register_all(&app);
+        crate::pack::register(&app);
+        crate::send::register(&app);
+        crate::selection::register(&app);
+        crate::send::announce(&app);
+        app.process_pending();
+        app
+    }
+
+    /// The event mask every Tk window selects.
+    fn select_standard_input(&self, xid: WindowId) {
+        self.conn().select_input(
+            xid,
+            mask::EXPOSURE
+                | mask::STRUCTURE_NOTIFY
+                | mask::BUTTON_PRESS
+                | mask::BUTTON_RELEASE
+                | mask::KEY_PRESS
+                | mask::ENTER_WINDOW
+                | mask::LEAVE_WINDOW
+                | mask::POINTER_MOTION
+                | mask::FOCUS_CHANGE,
+        );
+    }
+
+    /// This application's `send` name.
+    pub fn name(&self) -> String {
+        self.inner.name.borrow().clone()
+    }
+
+    /// The Tcl interpreter.
+    pub fn interp(&self) -> &Interp {
+        &self.inner.interp
+    }
+
+    /// The X connection.
+    pub fn conn(&self) -> &Connection {
+        &self.inner.conn
+    }
+
+    /// The environment this app lives in.
+    pub fn env(&self) -> &TkEnv {
+        &self.inner.env
+    }
+
+    /// The resource cache.
+    pub fn cache(&self) -> &ResourceCache {
+        &self.inner.cache
+    }
+
+    /// Evaluates a Tcl script in this application.
+    pub fn eval(&self, script: &str) -> TclResult {
+        self.inner.interp.eval(script)
+    }
+
+    /// Looks up a window record by path.
+    pub fn window(&self, path: &str) -> Option<Rc<TkWindow>> {
+        self.inner.windows.borrow().get(path).cloned()
+    }
+
+    /// Looks up a window record by path, or errors like Tk.
+    pub fn require_window(&self, path: &str) -> Result<Rc<TkWindow>, Exception> {
+        self.window(path).ok_or_else(|| {
+            Exception::error(format!("bad window path name \"{path}\""))
+        })
+    }
+
+    /// Path of the window with the given X id, if it is one of ours.
+    pub fn path_of(&self, xid: WindowId) -> Option<String> {
+        self.inner.by_xid.borrow().get(&xid).cloned()
+    }
+
+    /// All window paths, sorted.
+    pub fn window_paths(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.inner.windows.borrow().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Creates a new Tk window (and its X window) at `path`.
+    ///
+    /// The parent path must already exist; the new window is registered but
+    /// left unmapped — geometry managers map it when they place it.
+    pub fn make_window(
+        &self,
+        path: &str,
+        class: &str,
+        width: u32,
+        height: u32,
+        border_width: u32,
+    ) -> Result<Rc<TkWindow>, Exception> {
+        validate_path(path)?;
+        if self.inner.windows.borrow().contains_key(path) {
+            return Err(Exception::error(format!(
+                "window name \"{}\" already exists in parent",
+                crate::window::name_of(path)
+            )));
+        }
+        let parent = parent_path(path)
+            .ok_or_else(|| Exception::error(format!("bad window path name \"{path}\"")))?;
+        let parent_rec = self.require_window(parent)?;
+        let xid = self
+            .conn()
+            .create_window(parent_rec.xid, 0, 0, width, height, border_width)
+            .ok_or_else(|| Exception::error("parent window is gone"))?;
+        self.select_standard_input(xid);
+        let rec = Rc::new(TkWindow::new(path, class, xid));
+        rec.width.set(width.max(1));
+        rec.height.set(height.max(1));
+        rec.req_width.set(width.max(1));
+        rec.req_height.set(height.max(1));
+        rec.border_width.set(border_width);
+        self.inner
+            .windows
+            .borrow_mut()
+            .insert(path.to_string(), rec.clone());
+        self.inner.by_xid.borrow_mut().insert(xid, path.to_string());
+        Ok(rec)
+    }
+
+    /// Destroys a window and all its descendants: Tk records, widget
+    /// commands, bindings, pack slots, and the X windows themselves.
+    pub fn destroy_window(&self, path: &str) -> Result<(), Exception> {
+        self.require_window(path)?;
+        // Collect this window and all descendants by path prefix.
+        let prefix = if path == "." {
+            ".".to_string()
+        } else {
+            format!("{path}.")
+        };
+        let doomed: Vec<String> = self
+            .inner
+            .windows
+            .borrow()
+            .keys()
+            .filter(|p| *p == path || p.starts_with(&prefix))
+            .cloned()
+            .collect();
+        let mut xids = Vec::with_capacity(doomed.len());
+        for p in &doomed {
+            if let Some(w) = self.window(p) {
+                let widget = w.widget.borrow().clone();
+                if let Some(widget) = widget {
+                    widget.destroyed(self, p);
+                }
+                self.inner.interp.unregister(p);
+                self.inner.bindings.borrow_mut().forget_window(p);
+                self.inner.packer.borrow_mut().forget(p);
+                self.inner.by_xid.borrow_mut().remove(&w.xid);
+                xids.push(w.xid);
+            }
+            self.inner.windows.borrow_mut().remove(p);
+        }
+        // Destroy every X window explicitly: reparented windows (menus)
+        // are not X descendants of the subtree root; re-destroying an
+        // already-gone id is a no-op.
+        for xid in xids {
+            self.conn().destroy_window(xid);
+        }
+        if path == "." {
+            self.inner.destroyed.set(true);
+        }
+        Ok(())
+    }
+
+    /// Has the application's main window been destroyed?
+    pub fn destroyed(&self) -> bool {
+        self.inner.destroyed.get()
+    }
+
+    // ----- geometry management ----------------------------------------------
+
+    /// `Tk_GeometryRequest`: a widget announces its preferred size; the
+    /// geometry manager (or the pseudo window manager, for toplevels)
+    /// reacts (Section 3.4).
+    pub fn geometry_request(&self, path: &str, width: u32, height: u32) {
+        let Some(rec) = self.window(path) else {
+            return;
+        };
+        rec.req_width.set(width.max(1));
+        rec.req_height.set(height.max(1));
+        let manager = rec.manager.borrow().clone();
+        if manager == "pack" {
+            if let Some(master) = self.inner.packer.borrow().master_of(path) {
+                self.schedule_relayout(&master);
+            }
+        } else if self.is_toplevel(path) {
+            // No real window manager in the simulation: grant the request.
+            self.conn()
+                .configure_window(rec.xid, None, None, Some(width.max(1)), Some(height.max(1)), None);
+        }
+    }
+
+    /// Is this path a toplevel (the main window or a Toplevel widget)?
+    pub fn is_toplevel(&self, path: &str) -> bool {
+        path == "."
+            || self
+                .window(path)
+                .map(|w| w.class == "Toplevel")
+                .unwrap_or(false)
+    }
+
+    /// Moves/resizes a window (geometry managers call this).
+    pub fn place_window(&self, path: &str, x: i32, y: i32, width: u32, height: u32) {
+        let Some(rec) = self.window(path) else {
+            return;
+        };
+        let (width, height) = (width.max(1), height.max(1));
+        if rec.x.get() == x
+            && rec.y.get() == y
+            && rec.width.get() == width
+            && rec.height.get() == height
+            && rec.mapped.get()
+        {
+            return;
+        }
+        self.conn()
+            .configure_window(rec.xid, Some(x), Some(y), Some(width), Some(height), None);
+        if !rec.mapped.get() {
+            self.conn().map_window(rec.xid);
+        }
+    }
+
+    // ----- idle & timer machinery ----------------------------------------------
+
+    /// Schedules a Tcl script to run when the application goes idle.
+    pub fn schedule_idle_script(&self, script: &str) {
+        self.inner
+            .idle
+            .borrow_mut()
+            .push(IdleTask::Script(script.to_string()));
+    }
+
+    /// Schedules a widget redraw (deduplicated).
+    pub fn schedule_redraw(&self, path: &str) {
+        let mut idle = self.inner.idle.borrow_mut();
+        if !idle
+            .iter()
+            .any(|t| matches!(t, IdleTask::Redraw(p) if p == path))
+        {
+            idle.push(IdleTask::Redraw(path.to_string()));
+        }
+    }
+
+    /// Schedules a packer relayout of `master` (deduplicated).
+    pub fn schedule_relayout(&self, master: &str) {
+        let mut idle = self.inner.idle.borrow_mut();
+        if !idle
+            .iter()
+            .any(|t| matches!(t, IdleTask::Relayout(p) if p == master))
+        {
+            idle.push(IdleTask::Relayout(master.to_string()));
+        }
+    }
+
+    /// Schedules `script` to run `ms` virtual milliseconds from now;
+    /// returns a timer id for `after cancel`-style use.
+    pub fn schedule_after(&self, ms: u64, script: &str) -> u64 {
+        let id = self.inner.next_timer.get() + 1;
+        self.inner.next_timer.set(id);
+        self.inner.timers.borrow_mut().push(Timer {
+            id,
+            deadline: self.inner.env.now() + ms,
+            script: script.to_string(),
+        });
+        id
+    }
+
+    /// Cancels a timer; true if it existed.
+    pub fn cancel_after(&self, id: u64) -> bool {
+        let mut timers = self.inner.timers.borrow_mut();
+        let before = timers.len();
+        timers.retain(|t| t.id != id);
+        timers.len() != before
+    }
+
+    /// Runs timers whose deadline has passed.
+    pub fn run_due_timers(&self) {
+        let now = self.inner.env.now();
+        loop {
+            let due: Option<Timer> = {
+                let mut timers = self.inner.timers.borrow_mut();
+                match timers
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.deadline <= now)
+                    .min_by_key(|(_, t)| (t.deadline, t.id))
+                    .map(|(i, _)| i)
+                {
+                    Some(i) => Some(timers.remove(i)),
+                    None => None,
+                }
+            };
+            match due {
+                Some(t) => self.eval_background(&t.script),
+                None => break,
+            }
+        }
+    }
+
+    /// Registers a file handler: `script` runs whenever `path` appears or
+    /// its contents change (checked during event processing). Returns an
+    /// id for [`TkApp::delete_file_handler`].
+    pub fn create_file_handler(&self, path: impl Into<std::path::PathBuf>, script: &str) -> u64 {
+        let id = self.inner.next_timer.get() + 1;
+        self.inner.next_timer.set(id);
+        self.inner.file_handlers.borrow_mut().push(FileHandler {
+            id,
+            path: path.into(),
+            script: script.to_string(),
+            last: None,
+        });
+        id
+    }
+
+    /// Removes a file handler; true if it existed.
+    pub fn delete_file_handler(&self, id: u64) -> bool {
+        let mut handlers = self.inner.file_handlers.borrow_mut();
+        let before = handlers.len();
+        handlers.retain(|h| h.id != id);
+        handlers.len() != before
+    }
+
+    /// Polls the registered file handlers, firing scripts for files whose
+    /// state changed. Returns true if any fired.
+    pub fn poll_file_handlers(&self) -> bool {
+        let mut due: Vec<String> = Vec::new();
+        {
+            let mut handlers = self.inner.file_handlers.borrow_mut();
+            for h in handlers.iter_mut() {
+                let state = std::fs::metadata(&h.path)
+                    .ok()
+                    .map(|m| (m.len(), m.modified().unwrap_or(std::time::UNIX_EPOCH)));
+                if let Some(state) = state {
+                    if h.last != Some(state) {
+                        h.last = Some(state);
+                        due.push(h.script.clone());
+                    }
+                }
+            }
+        }
+        let fired = !due.is_empty();
+        for script in due {
+            self.eval_background(&script);
+        }
+        fired
+    }
+
+    /// Runs queued idle tasks. Returns true if any ran.
+    pub fn run_idle_tasks(&self) -> bool {
+        let mut ran = false;
+        // Idle tasks may schedule more idle tasks; loop until drained but
+        // bound the number of generations to catch runaway loops.
+        for _ in 0..100 {
+            let tasks: Vec<IdleTask> = self.inner.idle.borrow_mut().drain(..).collect();
+            if tasks.is_empty() {
+                break;
+            }
+            ran = true;
+            for task in tasks {
+                match task {
+                    IdleTask::Script(s) => self.eval_background(&s),
+                    IdleTask::Redraw(path) => {
+                        if let Some(rec) = self.window(&path) {
+                            let widget = rec.widget.borrow().clone();
+                            if let Some(w) = widget {
+                                w.redraw(self, &path);
+                            }
+                        }
+                    }
+                    IdleTask::Relayout(master) => {
+                        crate::pack::relayout(self, &master);
+                    }
+                }
+            }
+        }
+        ran
+    }
+
+    /// Processes every queued X event (and polls file handlers, which are
+    /// part of the Section 3.2 dispatcher). Returns true if any work ran.
+    pub fn process_pending(&self) -> bool {
+        let mut any = false;
+        while let Some(ev) = self.conn().poll_event() {
+            any = true;
+            self.dispatch_event(&ev);
+        }
+        if !self.inner.file_handlers.borrow().is_empty() && self.poll_file_handlers() {
+            any = true;
+        }
+        any
+    }
+
+    /// Processes events and idle tasks until both are drained (`update`).
+    ///
+    /// Bounded: an idle handler that perpetually re-schedules itself (the
+    /// classic `DoWhenIdle` footgun) makes some progress and then returns
+    /// instead of hanging the application.
+    pub fn update(&self) {
+        for _ in 0..100 {
+            let events = self.process_pending();
+            let idle = self.run_idle_tasks();
+            if !events && !idle {
+                break;
+            }
+        }
+    }
+
+    /// Evaluates a script whose errors are reported through `tkerror`
+    /// rather than propagated (bindings, timers, idle scripts).
+    pub fn eval_background(&self, script: &str) {
+        if let Err(e) = self.inner.interp.eval(script) {
+            if e.code != tcl::Code::Error {
+                return; // break/continue/return at background level: ignore
+            }
+            let msg = e.msg.clone();
+            if self.inner.interp.command("tkerror").is_some() {
+                let call = tcl::format_list(&["tkerror".to_string(), msg]);
+                let _ = self.inner.interp.eval(&call);
+            } else {
+                self.inner
+                    .interp
+                    .write_output(&format!("background error: {msg}\n"));
+            }
+        }
+    }
+
+    /// Dispatches one X event: structure cache, send/selection protocol,
+    /// the widget's built-in handler, then user bindings.
+    pub fn dispatch_event(&self, ev: &Event) {
+        // Selection protocol events (including SelectionNotify answers
+        // that land on the comm window).
+        match ev {
+            Event::SelectionRequest { .. }
+            | Event::SelectionClear { .. }
+            | Event::SelectionNotify { .. } => {
+                crate::selection::handle_event(self, ev);
+                return;
+            }
+            _ => {}
+        }
+        // Send protocol traffic arrives on the comm window.
+        if ev.window() == self.inner.comm {
+            crate::send::handle_comm_event(self, ev);
+            return;
+        }
+        let Some(path) = self.path_of(ev.window()) else {
+            return;
+        };
+        // Structure cache updates.
+        if let Some(rec) = self.window(&path) {
+            match ev {
+                Event::ConfigureNotify {
+                    x,
+                    y,
+                    width,
+                    height,
+                    border_width,
+                    ..
+                } => {
+                    rec.x.set(*x);
+                    rec.y.set(*y);
+                    let resized = rec.width.get() != *width || rec.height.get() != *height;
+                    rec.width.set(*width);
+                    rec.height.set(*height);
+                    rec.border_width.set(*border_width);
+                    if resized {
+                        // A resized master must re-place its packed slaves.
+                        if self.inner.packer.borrow().has_slaves(&path) {
+                            self.schedule_relayout(&path);
+                        }
+                        self.schedule_redraw(&path);
+                    }
+                }
+                Event::MapNotify { .. } => rec.mapped.set(true),
+                Event::UnmapNotify { .. } => rec.mapped.set(false),
+                Event::DestroyNotify { .. } => {
+                    // Destroyed from outside `destroy` (e.g. a parent died
+                    // server-side): clean up our records.
+                    let _ = self.destroy_window(&path);
+                    return;
+                }
+                _ => {}
+            }
+            // The widget's built-in (C-level, here Rust-level) handler.
+            let widget = rec.widget.borrow().clone();
+            if let Some(widget) = widget {
+                widget.event(self, &path, ev);
+            }
+        }
+        // User bindings (Figure 7).
+        let class = self
+            .window(&path)
+            .map(|r| r.class.clone())
+            .unwrap_or_default();
+        if let Some(info) = EventInfo::from_event(ev) {
+            let script = self
+                .inner
+                .bindings
+                .borrow_mut()
+                .match_event(&path, &class, &info);
+            if let Some(script) = script {
+                let script = percent_substitute(&script, &info, &path);
+                self.eval_background(&script);
+            }
+        }
+    }
+
+    /// Queries the option database for `path`'s option `name`/`class`,
+    /// following Section 3.5's name/class matching.
+    pub fn option_get(&self, path: &str, name: &str, class: &str) -> Option<String> {
+        let comps = crate::window::components(path);
+        let mut names: Vec<&str> = comps.clone();
+        names.push(name);
+        // The class list parallels the name list: the class of each window
+        // on the path, then the option's class.
+        let mut classes: Vec<String> = Vec::with_capacity(comps.len() + 1);
+        let mut cur = String::new();
+        for comp in &comps {
+            cur.push('.');
+            cur.push_str(comp);
+            classes.push(
+                self.window(&cur)
+                    .map(|w| w.class.clone())
+                    .unwrap_or_else(|| "Frame".to_string()),
+            );
+        }
+        classes.push(class.to_string());
+        let class_refs: Vec<&str> = classes.iter().map(String::as_str).collect();
+        self.inner.options.borrow().get(&names, &class_refs)
+    }
+
+    /// Registers a Tcl command whose closure receives this app (weakly,
+    /// so the interpreter's registry does not keep the app alive).
+    pub fn register_command<F>(&self, name: &str, f: F)
+    where
+        F: Fn(&TkApp, &Interp, &[String]) -> TclResult + 'static,
+    {
+        let weak = Rc::downgrade(&self.inner);
+        self.inner.interp.register(name, move |interp, argv| {
+            let Some(inner) = weak.upgrade() else {
+                return Err(Exception::error("application has been destroyed"));
+            };
+            let app = TkApp { inner };
+            f(&app, interp, argv)
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_has_main_window() {
+        let env = TkEnv::new();
+        let app = env.app("test");
+        let main = app.window(".").unwrap();
+        assert_eq!(main.class, "Toplevel");
+        assert!(app.path_of(main.xid).is_some());
+    }
+
+    #[test]
+    fn make_window_validates_parent() {
+        let env = TkEnv::new();
+        let app = env.app("t");
+        assert!(app.make_window(".a.b", "Frame", 10, 10, 0).is_err());
+        app.make_window(".a", "Frame", 10, 10, 0).unwrap();
+        app.make_window(".a.b", "Frame", 10, 10, 0).unwrap();
+        // Duplicate names rejected.
+        assert!(app.make_window(".a", "Frame", 10, 10, 0).is_err());
+    }
+
+    #[test]
+    fn destroy_removes_subtree() {
+        let env = TkEnv::new();
+        let app = env.app("t");
+        app.make_window(".a", "Frame", 10, 10, 0).unwrap();
+        app.make_window(".a.b", "Frame", 10, 10, 0).unwrap();
+        app.make_window(".c", "Frame", 10, 10, 0).unwrap();
+        app.destroy_window(".a").unwrap();
+        assert!(app.window(".a").is_none());
+        assert!(app.window(".a.b").is_none());
+        assert!(app.window(".c").is_some());
+    }
+
+    #[test]
+    fn structure_cache_tracks_configure() {
+        let env = TkEnv::new();
+        let app = env.app("t");
+        let rec = app.make_window(".f", "Frame", 30, 40, 0).unwrap();
+        app.conn()
+            .configure_window(rec.xid, Some(7), Some(8), Some(50), Some(60), None);
+        app.process_pending();
+        assert_eq!(rec.x.get(), 7);
+        assert_eq!(rec.width.get(), 50);
+        assert_eq!(rec.height.get(), 60);
+    }
+
+    #[test]
+    fn timers_fire_in_deadline_order() {
+        let env = TkEnv::new();
+        let app = env.app("t");
+        app.eval("set order {}").unwrap();
+        app.schedule_after(200, "lappend order b");
+        app.schedule_after(100, "lappend order a");
+        env.advance(50);
+        assert_eq!(app.eval("set order").unwrap(), "");
+        env.advance(100);
+        assert_eq!(app.eval("set order").unwrap(), "a");
+        env.advance(100);
+        assert_eq!(app.eval("set order").unwrap(), "a b");
+    }
+
+    #[test]
+    fn cancel_timer() {
+        let env = TkEnv::new();
+        let app = env.app("t");
+        app.eval("set hits 0").unwrap();
+        let id = app.schedule_after(10, "incr hits");
+        assert!(app.cancel_after(id));
+        assert!(!app.cancel_after(id));
+        env.advance(100);
+        assert_eq!(app.eval("set hits").unwrap(), "0");
+    }
+
+    #[test]
+    fn idle_scripts_run_on_update() {
+        let env = TkEnv::new();
+        let app = env.app("t");
+        app.eval("set x 0").unwrap();
+        app.schedule_idle_script("set x 1");
+        assert_eq!(app.eval("set x").unwrap(), "0");
+        app.update();
+        assert_eq!(app.eval("set x").unwrap(), "1");
+    }
+
+    #[test]
+    fn background_errors_go_to_tkerror() {
+        let env = TkEnv::new();
+        let app = env.app("t");
+        app.eval("proc tkerror {msg} {global caught; set caught $msg}")
+            .unwrap();
+        app.schedule_idle_script("error boom");
+        app.update();
+        assert_eq!(app.eval("set caught").unwrap(), "boom");
+    }
+
+    #[test]
+    fn register_command_receives_app() {
+        let env = TkEnv::new();
+        let app = env.app("t");
+        app.register_command("appname", |app, _i, _argv| Ok(app.name()));
+        assert_eq!(app.eval("appname").unwrap(), "t");
+    }
+
+    #[test]
+    fn option_get_resolves_classes() {
+        let env = TkEnv::new();
+        let app = env.app("t");
+        app.make_window(".b", "Button", 10, 10, 0).unwrap();
+        app.inner
+            .options
+            .borrow_mut()
+            .add("*Button.background", "red", 60);
+        assert_eq!(
+            app.option_get(".b", "background", "Background"),
+            Some("red".into())
+        );
+        assert_eq!(app.option_get(".b", "foreground", "Foreground"), None);
+    }
+}
+
+#[cfg(test)]
+mod file_handler_tests {
+    use super::*;
+
+    #[test]
+    fn file_handler_fires_on_appearance_and_change() {
+        let env = TkEnv::new();
+        let app = env.app("t");
+        let dir = std::env::temp_dir().join("rtk_filehandler_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("watched.log");
+        let _ = std::fs::remove_file(&path);
+        app.eval("set fires 0").unwrap();
+        let id = app.create_file_handler(&path, "incr fires");
+        app.update();
+        assert_eq!(app.eval("set fires").unwrap(), "0", "no file yet");
+        std::fs::write(&path, "first").unwrap();
+        app.update();
+        assert_eq!(app.eval("set fires").unwrap(), "1", "file appeared");
+        app.update();
+        assert_eq!(app.eval("set fires").unwrap(), "1", "no change, no fire");
+        std::fs::write(&path, "second-longer").unwrap();
+        app.update();
+        assert_eq!(app.eval("set fires").unwrap(), "2", "contents changed");
+        assert!(app.delete_file_handler(id));
+        std::fs::write(&path, "third!").unwrap();
+        app.update();
+        assert_eq!(app.eval("set fires").unwrap(), "2", "handler removed");
+    }
+}

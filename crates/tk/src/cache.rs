@@ -1,0 +1,393 @@
+//! Resource caches (Section 3.3).
+//!
+//! Allocating X resources requires round trips to the server, so Tk caches
+//! them per application, indexed by their *textual descriptions* — color
+//! names like `MediumSeaGreen`, cursor names like `coffee_mug`, font
+//! names — and shares one server object among all uses. Given a resource,
+//! the cache can also return the textual name it was created from, which
+//! is how widgets report their configuration in human-readable form.
+//!
+//! The cache can be disabled (`set_enabled(false)`) for the ablation
+//! benchmark that reproduces the section's claim about server traffic.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
+use tcl::Exception;
+use xsim::{Connection, CursorId, FontId, FontMetrics, GcId, GcValues, Pixel};
+
+/// A three-shade border derived from a background color, used for the 3-D
+/// reliefs of Motif-like widgets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Border {
+    /// The background itself.
+    pub bg: Pixel,
+    /// A lighter shade (top/left bevel of a raised relief).
+    pub light: Pixel,
+    /// A darker shade (bottom/right bevel).
+    pub dark: Pixel,
+}
+
+/// Per-application resource caches.
+pub struct ResourceCache {
+    enabled: Cell<bool>,
+    colors: RefCell<HashMap<String, Pixel>>,
+    color_names: RefCell<HashMap<Pixel, String>>,
+    fonts: RefCell<HashMap<String, (FontId, FontMetrics)>>,
+    font_names: RefCell<HashMap<FontId, String>>,
+    cursors: RefCell<HashMap<String, CursorId>>,
+    borders: RefCell<HashMap<String, Border>>,
+    gcs: RefCell<HashMap<(Pixel, Pixel, u32, FontId), GcId>>,
+    bitmaps: RefCell<HashMap<String, (xsim::BitmapId, u32, u32)>>,
+}
+
+impl Default for ResourceCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ResourceCache {
+    /// Creates an empty, enabled cache.
+    pub fn new() -> ResourceCache {
+        ResourceCache {
+            enabled: Cell::new(true),
+            colors: RefCell::new(HashMap::new()),
+            color_names: RefCell::new(HashMap::new()),
+            fonts: RefCell::new(HashMap::new()),
+            font_names: RefCell::new(HashMap::new()),
+            cursors: RefCell::new(HashMap::new()),
+            borders: RefCell::new(HashMap::new()),
+            gcs: RefCell::new(HashMap::new()),
+            bitmaps: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Enables or disables caching (ablation experiments).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.set(on);
+    }
+
+    /// Is the cache enabled?
+    pub fn enabled(&self) -> bool {
+        self.enabled.get()
+    }
+
+    /// Resolves a color name to a pixel, consulting the cache first.
+    pub fn color(&self, conn: &Connection, name: &str) -> Result<Pixel, Exception> {
+        let key = name.to_ascii_lowercase();
+        if self.enabled.get() {
+            if let Some(&p) = self.colors.borrow().get(&key) {
+                return Ok(p);
+            }
+        }
+        let (pixel, _) = conn
+            .alloc_named_color(name)
+            .ok_or_else(|| Exception::error(format!("unknown color name \"{name}\"")))?;
+        if self.enabled.get() {
+            self.colors.borrow_mut().insert(key, pixel);
+            self.color_names
+                .borrow_mut()
+                .entry(pixel)
+                .or_insert_with(|| name.to_string());
+        }
+        Ok(pixel)
+    }
+
+    /// The textual name a pixel was allocated under (reverse lookup).
+    pub fn name_of_color(&self, pixel: Pixel) -> Option<String> {
+        self.color_names.borrow().get(&pixel).cloned()
+    }
+
+    /// Resolves a font name to `(id, metrics)`, cached. Caching the
+    /// metrics is what lets widgets measure text without server traffic.
+    pub fn font(&self, conn: &Connection, name: &str) -> Result<(FontId, FontMetrics), Exception> {
+        if self.enabled.get() {
+            if let Some(&f) = self.fonts.borrow().get(name) {
+                return Ok(f);
+            }
+        }
+        let id = conn
+            .open_font(name)
+            .ok_or_else(|| Exception::error(format!("font \"{name}\" doesn't exist")))?;
+        let metrics = conn
+            .font_metrics(id)
+            .ok_or_else(|| Exception::error(format!("font \"{name}\" doesn't exist")))?;
+        if self.enabled.get() {
+            self.fonts
+                .borrow_mut()
+                .insert(name.to_string(), (id, metrics));
+            self.font_names
+                .borrow_mut()
+                .entry(id)
+                .or_insert_with(|| name.to_string());
+        }
+        Ok((id, metrics))
+    }
+
+    /// The name a font was opened under.
+    pub fn name_of_font(&self, id: FontId) -> Option<String> {
+        self.font_names.borrow().get(&id).cloned()
+    }
+
+    /// Resolves a cursor name, cached.
+    pub fn cursor(&self, conn: &Connection, name: &str) -> Result<CursorId, Exception> {
+        if self.enabled.get() {
+            if let Some(&c) = self.cursors.borrow().get(name) {
+                return Ok(c);
+            }
+        }
+        let id = conn
+            .create_cursor(name)
+            .ok_or_else(|| Exception::error(format!("bad cursor spec \"{name}\"")))?;
+        if self.enabled.get() {
+            self.cursors.borrow_mut().insert(name.to_string(), id);
+        }
+        Ok(id)
+    }
+
+    /// Builds (and caches) the three-shade border for a background color.
+    pub fn border(&self, conn: &Connection, bg_name: &str) -> Result<Border, Exception> {
+        let key = bg_name.to_ascii_lowercase();
+        if self.enabled.get() {
+            if let Some(&b) = self.borders.borrow().get(&key) {
+                return Ok(b);
+            }
+        }
+        let rgb = xsim::lookup_color(bg_name)
+            .ok_or_else(|| Exception::error(format!("unknown color name \"{bg_name}\"")))?;
+        let scale = |v: u8, num: u32, den: u32| -> u8 { ((v as u32 * num / den).min(255)) as u8 };
+        let light = xsim::Rgb {
+            r: scale(rgb.r, 14, 10).max(60),
+            g: scale(rgb.g, 14, 10).max(60),
+            b: scale(rgb.b, 14, 10).max(60),
+        };
+        let dark = xsim::Rgb {
+            r: scale(rgb.r, 6, 10),
+            g: scale(rgb.g, 6, 10),
+            b: scale(rgb.b, 6, 10),
+        };
+        let border = Border {
+            bg: self.color(conn, bg_name)?,
+            light: conn.alloc_color(light),
+            dark: conn.alloc_color(dark),
+        };
+        if self.enabled.get() {
+            self.borders.borrow_mut().insert(key, border);
+        }
+        Ok(border)
+    }
+
+    /// Resolves a bitmap name, cached: `@file` loads an XBM file (the
+    /// Section 3.3 `@star` form), other names are Tk's built-ins
+    /// (`gray25`, `gray50`, `black`, `white`). Returns `(id, w, h)`.
+    pub fn bitmap(
+        &self,
+        conn: &Connection,
+        name: &str,
+    ) -> Result<(xsim::BitmapId, u32, u32), Exception> {
+        if self.enabled.get() {
+            if let Some(&b) = self.bitmaps.borrow().get(name) {
+                return Ok(b);
+            }
+        }
+        let bitmap = if let Some(path) = name.strip_prefix('@') {
+            let text = std::fs::read_to_string(path).map_err(|e| {
+                Exception::error(format!("error reading bitmap file \"{path}\": {e}"))
+            })?;
+            xsim::Bitmap::parse_xbm(&text).ok_or_else(|| {
+                Exception::error(format!("file \"{path}\" isn't in bitmap format"))
+            })?
+        } else {
+            xsim::bitmap::builtin(name)
+                .ok_or_else(|| Exception::error(format!("bitmap \"{name}\" not defined")))?
+        };
+        let (w, h) = (bitmap.width, bitmap.height);
+        let id = conn.create_bitmap(bitmap);
+        if self.enabled.get() {
+            self.bitmaps
+                .borrow_mut()
+                .insert(name.to_string(), (id, w, h));
+        }
+        Ok((id, w, h))
+    }
+
+    /// Returns a GC with the given values, shared among all requesters.
+    pub fn gc(&self, conn: &Connection, values: GcValues) -> GcId {
+        let key = (
+            values.foreground,
+            values.background,
+            values.line_width,
+            values.font,
+        );
+        if self.enabled.get() {
+            if let Some(&gc) = self.gcs.borrow().get(&key) {
+                return gc;
+            }
+        }
+        let gc = conn.create_gc(values);
+        if self.enabled.get() {
+            self.gcs.borrow_mut().insert(key, gc);
+        }
+        gc
+    }
+
+    /// Cache sizes `(colors, fonts, cursors, borders, gcs)`, for tests.
+    pub fn sizes(&self) -> (usize, usize, usize, usize, usize) {
+        (
+            self.colors.borrow().len(),
+            self.fonts.borrow().len(),
+            self.cursors.borrow().len(),
+            self.borders.borrow().len(),
+            self.gcs.borrow().len(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsim::Display;
+
+    #[test]
+    fn color_cache_avoids_round_trips() {
+        let d = Display::new();
+        let conn = d.connect();
+        let cache = ResourceCache::new();
+        let before = conn.stats().round_trips;
+        let p1 = cache.color(&conn, "red").unwrap();
+        let after_first = conn.stats().round_trips;
+        let p2 = cache.color(&conn, "Red").unwrap();
+        let p3 = cache.color(&conn, "RED").unwrap();
+        let after_all = conn.stats().round_trips;
+        assert_eq!(p1, p2);
+        assert_eq!(p2, p3);
+        assert_eq!(after_first - before, 1);
+        assert_eq!(after_all, after_first, "cached hits must not touch the server");
+    }
+
+    #[test]
+    fn disabled_cache_goes_to_server_every_time() {
+        let d = Display::new();
+        let conn = d.connect();
+        let cache = ResourceCache::new();
+        cache.set_enabled(false);
+        let before = conn.stats().round_trips;
+        cache.color(&conn, "red").unwrap();
+        cache.color(&conn, "red").unwrap();
+        cache.color(&conn, "red").unwrap();
+        assert_eq!(conn.stats().round_trips - before, 3);
+    }
+
+    #[test]
+    fn reverse_color_lookup_returns_text() {
+        let d = Display::new();
+        let conn = d.connect();
+        let cache = ResourceCache::new();
+        let p = cache.color(&conn, "MediumSeaGreen").unwrap();
+        assert_eq!(cache.name_of_color(p), Some("MediumSeaGreen".into()));
+    }
+
+    #[test]
+    fn unknown_color_reports_error() {
+        let d = Display::new();
+        let conn = d.connect();
+        let cache = ResourceCache::new();
+        let e = cache.color(&conn, "NotAColor").unwrap_err();
+        assert!(e.msg.contains("unknown color name"));
+    }
+
+    #[test]
+    fn font_cache_includes_metrics() {
+        let d = Display::new();
+        let conn = d.connect();
+        let cache = ResourceCache::new();
+        let (id, m) = cache.font(&conn, "fixed").unwrap();
+        let before = conn.stats().round_trips;
+        let (id2, m2) = cache.font(&conn, "fixed").unwrap();
+        assert_eq!(conn.stats().round_trips, before);
+        assert_eq!(id, id2);
+        assert_eq!(m, m2);
+        assert_eq!(cache.name_of_font(id), Some("fixed".into()));
+    }
+
+    #[test]
+    fn cursor_cache() {
+        let d = Display::new();
+        let conn = d.connect();
+        let cache = ResourceCache::new();
+        let c = cache.cursor(&conn, "coffee_mug").unwrap();
+        assert_eq!(cache.cursor(&conn, "coffee_mug").unwrap(), c);
+        assert!(cache.cursor(&conn, "bogus_cursor").is_err());
+    }
+
+    #[test]
+    fn border_shades_differ() {
+        let d = Display::new();
+        let conn = d.connect();
+        let cache = ResourceCache::new();
+        let b = cache.border(&conn, "gray").unwrap();
+        assert_ne!(b.light, b.dark);
+        let b2 = cache.border(&conn, "gray").unwrap();
+        assert_eq!(b, b2);
+    }
+
+    #[test]
+    fn gc_cache_shares_by_values() {
+        let d = Display::new();
+        let conn = d.connect();
+        let cache = ResourceCache::new();
+        let v = GcValues::default();
+        let g1 = cache.gc(&conn, v);
+        let g2 = cache.gc(&conn, v);
+        assert_eq!(g1, g2);
+        let mut v2 = v;
+        v2.line_width = 3;
+        assert_ne!(cache.gc(&conn, v2), g1);
+    }
+}
+
+#[cfg(test)]
+mod bitmap_tests {
+    use super::*;
+    use xsim::Display;
+
+    #[test]
+    fn builtin_bitmaps_resolve_and_cache() {
+        let d = Display::new();
+        let conn = d.connect();
+        let cache = ResourceCache::new();
+        let (id, w, h) = cache.bitmap(&conn, "gray50").unwrap();
+        assert_eq!((w, h), (16, 16));
+        let before = conn.stats().requests;
+        let (id2, _, _) = cache.bitmap(&conn, "gray50").unwrap();
+        assert_eq!(id, id2);
+        assert_eq!(conn.stats().requests, before, "cached hit is free");
+    }
+
+    #[test]
+    fn at_file_form_loads_xbm() {
+        let d = Display::new();
+        let conn = d.connect();
+        let cache = ResourceCache::new();
+        let path = std::env::temp_dir().join("rtk_star.xbm");
+        std::fs::write(
+            &path,
+            "#define star_width 8\n#define star_height 2\nstatic char star_bits[] = {0xff, 0x81};\n",
+        )
+        .unwrap();
+        let (_, w, h) = cache
+            .bitmap(&conn, &format!("@{}", path.display()))
+            .unwrap();
+        assert_eq!((w, h), (8, 2));
+    }
+
+    #[test]
+    fn bad_bitmaps_error() {
+        let d = Display::new();
+        let conn = d.connect();
+        let cache = ResourceCache::new();
+        assert!(cache.bitmap(&conn, "nosuchbitmap").is_err());
+        assert!(cache.bitmap(&conn, "@/no/such/file").is_err());
+    }
+}

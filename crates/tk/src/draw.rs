@@ -1,0 +1,263 @@
+//! Drawing helpers shared by widgets: reliefs, anchors, and 3-D borders.
+
+use tcl::Exception;
+use xsim::{Connection, GcValues, WindowId};
+
+use crate::cache::{Border, ResourceCache};
+
+/// The 3-D appearance of a widget's border (the paper's Section 4 example
+/// flips a button from `raised` to `sunken`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Relief {
+    #[default]
+    Flat,
+    Raised,
+    Sunken,
+    Groove,
+    Ridge,
+}
+
+impl Relief {
+    /// Parses a relief name.
+    pub fn parse(s: &str) -> Result<Relief, Exception> {
+        Ok(match s {
+            "flat" => Relief::Flat,
+            "raised" => Relief::Raised,
+            "sunken" => Relief::Sunken,
+            "groove" => Relief::Groove,
+            "ridge" => Relief::Ridge,
+            other => {
+                return Err(Exception::error(format!(
+                    "bad relief type \"{other}\": must be flat, groove, raised, ridge, or sunken"
+                )))
+            }
+        })
+    }
+
+    /// The textual name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Relief::Flat => "flat",
+            Relief::Raised => "raised",
+            Relief::Sunken => "sunken",
+            Relief::Groove => "groove",
+            Relief::Ridge => "ridge",
+        }
+    }
+}
+
+/// Where content sits within its window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Anchor {
+    N,
+    S,
+    E,
+    W,
+    Ne,
+    Nw,
+    Se,
+    Sw,
+    #[default]
+    Center,
+}
+
+impl Anchor {
+    /// Parses an anchor name (`n`, `sw`, `center`, ...).
+    pub fn parse(s: &str) -> Result<Anchor, Exception> {
+        Ok(match s {
+            "n" => Anchor::N,
+            "s" => Anchor::S,
+            "e" => Anchor::E,
+            "w" => Anchor::W,
+            "ne" => Anchor::Ne,
+            "nw" => Anchor::Nw,
+            "se" => Anchor::Se,
+            "sw" => Anchor::Sw,
+            "center" => Anchor::Center,
+            other => {
+                return Err(Exception::error(format!(
+                    "bad anchor position \"{other}\": must be n, ne, e, se, s, sw, w, nw, or center"
+                )))
+            }
+        })
+    }
+
+    /// The textual name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Anchor::N => "n",
+            Anchor::S => "s",
+            Anchor::E => "e",
+            Anchor::W => "w",
+            Anchor::Ne => "ne",
+            Anchor::Nw => "nw",
+            Anchor::Se => "se",
+            Anchor::Sw => "sw",
+            Anchor::Center => "center",
+        }
+    }
+
+    /// Positions a `(cw, ch)` box inside a `(w, h)` area with `pad` margin;
+    /// returns the box origin.
+    pub fn place(self, w: i32, h: i32, cw: i32, ch: i32, pad: i32) -> (i32, i32) {
+        let x = match self {
+            Anchor::W | Anchor::Nw | Anchor::Sw => pad,
+            Anchor::E | Anchor::Ne | Anchor::Se => w - cw - pad,
+            _ => (w - cw) / 2,
+        };
+        let y = match self {
+            Anchor::N | Anchor::Ne | Anchor::Nw => pad,
+            Anchor::S | Anchor::Se | Anchor::Sw => h - ch - pad,
+            _ => (h - ch) / 2,
+        };
+        (x, y)
+    }
+}
+
+/// Draws a 3-D bevel border of width `bw` just inside the rectangle
+/// `(x, y, w, h)` of the window, in the given relief.
+pub fn draw_3d_rect(
+    conn: &Connection,
+    cache: &ResourceCache,
+    win: WindowId,
+    border: Border,
+    x: i32,
+    y: i32,
+    w: u32,
+    h: u32,
+    bw: u32,
+    relief: Relief,
+) {
+    if bw == 0 || w == 0 || h == 0 {
+        return;
+    }
+    let (top, bottom) = match relief {
+        Relief::Flat => (border.bg, border.bg),
+        Relief::Raised => (border.light, border.dark),
+        Relief::Sunken => (border.dark, border.light),
+        // Groove/ridge use half-width double bevels; approximated with a
+        // single bevel pair in opposite order.
+        Relief::Groove => (border.dark, border.light),
+        Relief::Ridge => (border.light, border.dark),
+    };
+    let top_gc = cache.gc(
+        conn,
+        GcValues {
+            foreground: top,
+            ..Default::default()
+        },
+    );
+    let bottom_gc = cache.gc(
+        conn,
+        GcValues {
+            foreground: bottom,
+            ..Default::default()
+        },
+    );
+    let (w, h) = (w as i32, h as i32);
+    for i in 0..bw as i32 {
+        // Top and left edges.
+        conn.draw_line(win, top_gc, x + i, y + i, x + w - 1 - i, y + i);
+        conn.draw_line(win, top_gc, x + i, y + i, x + i, y + h - 1 - i);
+        // Bottom and right edges.
+        conn.draw_line(win, bottom_gc, x + i, y + h - 1 - i, x + w - 1 - i, y + h - 1 - i);
+        conn.draw_line(win, bottom_gc, x + w - 1 - i, y + i, x + w - 1 - i, y + h - 1 - i);
+    }
+}
+
+/// Parses a screen-distance option (pixels; Tk's `c`/`m`/`i` suffixes are
+/// converted at 80 dpi).
+pub fn parse_pixels(s: &str) -> Result<i64, Exception> {
+    let t = s.trim();
+    let bad = || Exception::error(format!("bad screen distance \"{s}\""));
+    if t.is_empty() {
+        return Err(bad());
+    }
+    let (num, suffix) = match t.char_indices().last() {
+        Some((i, c)) if matches!(c, 'c' | 'm' | 'i' | 'p') => (&t[..i], Some(c)),
+        _ => (t, None),
+    };
+    let v: f64 = num.trim().parse().map_err(|_| bad())?;
+    let pixels = match suffix {
+        None => v,
+        Some('c') => v * 80.0 / 2.54,       // centimeters
+        Some('m') => v * 80.0 / 25.4,       // millimeters
+        Some('i') => v * 80.0,              // inches
+        Some('p') => v * 80.0 / 72.0,       // points
+        _ => unreachable!(),
+    };
+    Ok(pixels.round() as i64)
+}
+
+/// Parses a `WIDTHxHEIGHT` geometry option (the `-geometry 20x20` of the
+/// Figure 9 listbox).
+pub fn parse_geometry(s: &str) -> Result<(u32, u32), Exception> {
+    let bad = || Exception::error(format!("bad geometry \"{s}\": expected widthxheight"));
+    let (w, h) = s.split_once('x').ok_or_else(bad)?;
+    Ok((
+        w.trim().parse().map_err(|_| bad())?,
+        h.trim().parse().map_err(|_| bad())?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relief_parse_and_name() {
+        assert_eq!(Relief::parse("raised").unwrap(), Relief::Raised);
+        assert_eq!(Relief::parse("sunken").unwrap().name(), "sunken");
+        assert!(Relief::parse("bogus").is_err());
+    }
+
+    #[test]
+    fn anchor_placement() {
+        assert_eq!(Anchor::Center.place(100, 50, 20, 10, 0), (40, 20));
+        assert_eq!(Anchor::Nw.place(100, 50, 20, 10, 2), (2, 2));
+        assert_eq!(Anchor::Se.place(100, 50, 20, 10, 2), (78, 38));
+        assert_eq!(Anchor::E.place(100, 50, 20, 10, 0), (80, 20));
+    }
+
+    #[test]
+    fn anchor_parse() {
+        assert_eq!(Anchor::parse("nw").unwrap(), Anchor::Nw);
+        assert!(Anchor::parse("middle").is_err());
+    }
+
+    #[test]
+    fn pixel_distances() {
+        assert_eq!(parse_pixels("15").unwrap(), 15);
+        assert_eq!(parse_pixels("-3").unwrap(), -3);
+        assert_eq!(parse_pixels("1i").unwrap(), 80);
+        assert_eq!(parse_pixels("2.54c").unwrap(), 80);
+        assert!(parse_pixels("abc").is_err());
+        assert!(parse_pixels("").is_err());
+    }
+
+    #[test]
+    fn geometry_parse() {
+        assert_eq!(parse_geometry("20x10").unwrap(), (20, 10));
+        assert!(parse_geometry("20").is_err());
+        assert!(parse_geometry("ax10").is_err());
+    }
+
+    #[test]
+    fn bevel_draws_light_and_dark() {
+        use crate::cache::ResourceCache;
+        let d = xsim::Display::new();
+        let conn = d.connect();
+        let cache = ResourceCache::new();
+        let w = conn.create_window(conn.root(), 0, 0, 20, 20, 0).unwrap();
+        conn.map_window(w);
+        let border = cache.border(&conn, "gray").unwrap();
+        draw_3d_rect(&conn, &cache, w, border, 0, 0, 20, 20, 2, Relief::Raised);
+        let light = conn.query_color(border.light);
+        let dark = conn.query_color(border.dark);
+        d.with_server(|s| {
+            let surf = s.window_surface(w).unwrap();
+            assert_eq!(surf.pixel(0, 0), light);
+            assert_eq!(surf.pixel(19, 19), dark);
+        });
+    }
+}

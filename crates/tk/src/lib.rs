@@ -1,0 +1,60 @@
+//! # tk — a Tcl-based toolkit for the (simulated) X window system
+//!
+//! A from-scratch Rust reproduction of Tk as described in Ousterhout's
+//! "An X11 Toolkit Based on the Tcl Language" (USENIX Winter 1991). The
+//! toolkit *intrinsics* (Section 3) and the widget set (Section 4/7) are
+//! all scriptable through the embedded Tcl interpreter:
+//!
+//! * window path names (`.a.b.c`) and classes;
+//! * event dispatching: X events, timers, and when-idle handlers, plus the
+//!   `bind` command with event sequences and `%` substitution (Figure 7);
+//! * resource caches indexed by textual names, with reverse lookup;
+//! * geometry management with the *packer* (`pack append . .x {top}`) and
+//!   geometry propagation (Figure 8);
+//! * the option database (`*Button.background: red`);
+//! * ICCCM selection support with Tcl- or widget-level handlers;
+//! * focus management;
+//! * the widget set: frame, toplevel, label, button, checkbutton,
+//!   radiobutton, message, listbox, scrollbar, scale, entry, menu, and
+//!   menubutton;
+//! * **`send`** (Section 6): remote evaluation of Tcl commands in any
+//!   other Tk application on the display.
+//!
+//! # Examples
+//!
+//! The paper's Section 4 example, verbatim:
+//!
+//! ```
+//! use tk::TkEnv;
+//!
+//! let env = TkEnv::new();
+//! let app = env.app("demo");
+//! app.eval(r#"button .hello -bg Red -text "Hello, world" -command "print Hello!\n""#)
+//!     .unwrap();
+//! app.eval("pack append . .hello {top}").unwrap();
+//! app.update();
+//!
+//! // The user clicks the button:
+//! let rec = app.window(".hello").unwrap();
+//! env.display().move_pointer(rec.x.get() + 5, rec.y.get() + 5);
+//! env.display().click(1);
+//! env.dispatch_all();
+//! ```
+
+pub mod app;
+pub mod bind;
+pub mod cache;
+pub mod cmds;
+pub mod config;
+pub mod draw;
+pub mod optiondb;
+pub mod pack;
+pub mod selection;
+pub mod send;
+pub mod widget;
+pub mod window;
+
+pub use app::{TkApp, TkEnv};
+pub use cache::{Border, ResourceCache};
+pub use draw::{Anchor, Relief};
+pub use window::TkWindow;

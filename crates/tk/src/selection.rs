@@ -1,0 +1,296 @@
+//! Selection support (Section 3.6).
+//!
+//! Tk hides the ICCCM selection protocols: widgets (or Tcl scripts)
+//! register a *selection handler* that produces the selection's value;
+//! claiming the selection notifies the previous owner through the server;
+//! `selection get` retrieves the selection from whichever application owns
+//! it, converting through `SelectionRequest`/`SelectionNotify` property
+//! traffic exactly as the ICCCM prescribes.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use tcl::{wrong_args, Exception, TclResult};
+use xsim::Event;
+
+use crate::app::TkApp;
+
+/// A widget-provided (Rust-level) selection handler.
+pub struct NativeHandler {
+    /// Produces the selection value.
+    pub fetch: Rc<dyn Fn(&TkApp) -> String>,
+    /// Called when the selection is lost to another owner.
+    pub lost: Rc<dyn Fn(&TkApp)>,
+}
+
+/// Per-application selection state.
+#[derive(Default)]
+pub struct SelectionState {
+    /// Tcl-level handlers, by window path.
+    handlers: HashMap<String, String>,
+    /// Widget-level handlers, by window path.
+    native: HashMap<String, NativeHandler>,
+    /// The path that currently owns the PRIMARY selection (in this app).
+    owner: Option<String>,
+    /// Result slot for an in-progress `selection get`.
+    pending: Option<Result<String, String>>,
+}
+
+/// Registers the `selection` command.
+pub fn register(app: &TkApp) {
+    app.register_command("selection", cmd_selection);
+}
+
+fn cmd_selection(app: &TkApp, _interp: &tcl::Interp, argv: &[String]) -> TclResult {
+    if argv.len() < 2 {
+        return Err(wrong_args("selection option ?arg ...?"));
+    }
+    match argv[1].as_str() {
+        "get" => {
+            if argv.len() != 2 {
+                return Err(wrong_args("selection get"));
+            }
+            retrieve(app)
+        }
+        "own" => match argv.len() {
+            2 => Ok(app
+                .inner
+                .selection
+                .borrow()
+                .owner
+                .clone()
+                .unwrap_or_default()),
+            3 => {
+                let path = argv[2].clone();
+                app.require_window(&path)?;
+                claim(app, &path, None);
+                Ok(String::new())
+            }
+            _ => Err(wrong_args("selection own ?window?")),
+        },
+        "handle" => {
+            if argv.len() != 4 {
+                return Err(wrong_args("selection handle window command"));
+            }
+            app.require_window(&argv[2])?;
+            app.inner
+                .selection
+                .borrow_mut()
+                .handlers
+                .insert(argv[2].clone(), argv[3].clone());
+            Ok(String::new())
+        }
+        "clear" => {
+            let primary = app.conn().intern_atom("PRIMARY");
+            app.conn().set_selection_owner(primary, xsim::Xid::NONE);
+            app.inner.selection.borrow_mut().owner = None;
+            Ok(String::new())
+        }
+        other => Err(Exception::error(format!(
+            "bad option \"{other}\": should be clear, get, handle, or own"
+        ))),
+    }
+}
+
+/// Claims the PRIMARY selection for `path`, optionally installing a
+/// widget-level handler. Widgets call this when the user selects in them.
+pub fn claim(app: &TkApp, path: &str, native: Option<NativeHandler>) {
+    let Some(rec) = app.window(path) else { return };
+    let primary = app.conn().intern_atom("PRIMARY");
+    app.conn().set_selection_owner(primary, rec.xid);
+    let mut st = app.inner.selection.borrow_mut();
+    st.owner = Some(path.to_string());
+    if let Some(h) = native {
+        st.native.insert(path.to_string(), h);
+    }
+}
+
+/// Retrieves the PRIMARY selection as a string, pumping the environment
+/// until the owner (possibly another application) answers.
+pub fn retrieve(app: &TkApp) -> TclResult {
+    let conn = app.conn();
+    let primary = conn.intern_atom("PRIMARY");
+    let string = conn.intern_atom("STRING");
+    let prop = conn.intern_atom("TK_SELECTION");
+    app.inner.selection.borrow_mut().pending = None;
+    conn.convert_selection(app.inner.comm, primary, string, prop);
+    // Pump all applications until the notify lands; each round makes
+    // progress because the owner is in-process.
+    for _ in 0..1000 {
+        if let Some(result) = app.inner.selection.borrow_mut().pending.take() {
+            return result.map_err(Exception::error);
+        }
+        if !app.env().dispatch_all() {
+            // Ensure our own queue was drained even with no global work.
+            app.process_pending();
+            if let Some(result) = app.inner.selection.borrow_mut().pending.take() {
+                return result.map_err(Exception::error);
+            }
+            break;
+        }
+    }
+    Err(Exception::error(
+        "selection owner didn't respond (PRIMARY selection may not exist)",
+    ))
+}
+
+/// Produces the selection value for a request landing on `path`.
+fn fetch_value(app: &TkApp, path: &str) -> Option<String> {
+    // Widget handler first, then Tcl handler (Tcl handlers are called with
+    // the byte range arguments Tk supplies: offset and max bytes).
+    let native = {
+        let st = app.inner.selection.borrow();
+        st.native.get(path).map(|h| h.fetch.clone())
+    };
+    if let Some(fetch) = native {
+        return Some(fetch(app));
+    }
+    let script = {
+        let st = app.inner.selection.borrow();
+        st.handlers.get(path).cloned()
+    };
+    if let Some(script) = script {
+        let call = format!("{script} 0 1000000");
+        return app.interp().eval(&call).ok();
+    }
+    None
+}
+
+/// Handles selection protocol events for this application.
+pub fn handle_event(app: &TkApp, ev: &Event) {
+    match ev {
+        Event::SelectionRequest {
+            owner,
+            requestor,
+            selection,
+            target,
+            property,
+            ..
+        } => {
+            let conn = app.conn();
+            let value = app
+                .path_of(*owner)
+                .and_then(|path| fetch_value(app, &path));
+            match value {
+                Some(v) => {
+                    conn.change_property(*requestor, *property, &v);
+                    conn.send_selection_notify(*requestor, *selection, *target, *property);
+                }
+                None => {
+                    conn.send_selection_notify(
+                        *requestor,
+                        *selection,
+                        *target,
+                        xsim::Atom::NONE,
+                    );
+                }
+            }
+        }
+        Event::SelectionClear { window, .. } => {
+            let path = app.path_of(*window);
+            let mut st = app.inner.selection.borrow_mut();
+            if st.owner.as_deref() == path.as_deref() {
+                st.owner = None;
+            }
+            let lost = path.and_then(|p| st.native.get(&p).map(|h| h.lost.clone()));
+            drop(st);
+            if let Some(lost) = lost {
+                lost(app);
+            }
+        }
+        Event::SelectionNotify { property, .. } => {
+            let mut result: Result<String, String> =
+                Err("PRIMARY selection doesn't exist or form \"STRING\" not defined".into());
+            if !matches!(*property, xsim::Atom::NONE) {
+                if let Some(v) = app.conn().get_property(app.inner.comm, *property) {
+                    app.conn().delete_property(app.inner.comm, *property);
+                    result = Ok(v);
+                }
+            }
+            app.inner.selection.borrow_mut().pending = Some(result);
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::app::TkEnv;
+
+    #[test]
+    fn tcl_handler_services_selection_get() {
+        let env = TkEnv::new();
+        let app = env.app("t");
+        app.eval("frame .f").unwrap();
+        app.eval("proc give {offset max} {return {the goods}}").unwrap();
+        app.eval("selection handle .f give").unwrap();
+        app.eval("selection own .f").unwrap();
+        assert_eq!(app.eval("selection get").unwrap(), "the goods");
+        assert_eq!(app.eval("selection own").unwrap(), ".f");
+    }
+
+    #[test]
+    fn selection_get_without_owner_errors() {
+        let env = TkEnv::new();
+        let app = env.app("t");
+        let e = app.eval("selection get").unwrap_err();
+        assert!(
+            e.msg.contains("selection") || e.msg.contains("PRIMARY"),
+            "{}",
+            e.msg
+        );
+    }
+
+    #[test]
+    fn cross_application_selection() {
+        let env = TkEnv::new();
+        let owner = env.app("owner");
+        let reader = env.app("reader");
+        owner.eval("frame .f").unwrap();
+        owner
+            .eval("proc give {offset max} {return {shared text}}")
+            .unwrap();
+        owner.eval("selection handle .f give").unwrap();
+        owner.eval("selection own .f").unwrap();
+        env.dispatch_all();
+        assert_eq!(reader.eval("selection get").unwrap(), "shared text");
+    }
+
+    #[test]
+    fn new_owner_clears_old() {
+        let env = TkEnv::new();
+        let a = env.app("a");
+        let b = env.app("b");
+        a.eval("frame .f; selection handle .f {give}; selection own .f")
+            .unwrap();
+        env.dispatch_all();
+        b.eval("frame .g; selection handle .g {give2}; selection own .g")
+            .unwrap();
+        env.dispatch_all();
+        assert_eq!(a.eval("selection own").unwrap(), "");
+        assert_eq!(b.eval("selection own").unwrap(), ".g");
+    }
+
+    #[test]
+    fn selection_clear_releases() {
+        let env = TkEnv::new();
+        let app = env.app("t");
+        app.eval("frame .f; selection handle .f give; selection own .f")
+            .unwrap();
+        app.eval("selection clear").unwrap();
+        env.dispatch_all();
+        assert_eq!(app.eval("selection own").unwrap(), "");
+        assert!(app.eval("selection get").is_err());
+    }
+
+    #[test]
+    fn handler_error_refuses_conversion() {
+        let env = TkEnv::new();
+        let app = env.app("t");
+        app.eval("frame .f").unwrap();
+        app.eval("proc bad {offset max} {error nope}").unwrap();
+        app.eval("selection handle .f bad").unwrap();
+        app.eval("selection own .f").unwrap();
+        assert!(app.eval("selection get").is_err());
+    }
+}

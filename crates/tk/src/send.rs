@@ -1,0 +1,333 @@
+//! The `send` command (Section 6).
+//!
+//! `send name command ?arg ...?` evaluates a Tcl command in the named
+//! application and returns its result — a remote procedure call between
+//! applications on the same display. The machinery follows the paper:
+//!
+//! * every application registers `name → comm-window` in a property named
+//!   `InterpRegistry` on the root window;
+//! * a request is transported by appending to a `TkSendCommand` property
+//!   on the target's comm window (the target hears the `PropertyNotify`);
+//! * the result returns the same way via `TkSendResult` on the sender's
+//!   comm window;
+//! * while waiting, the sender keeps processing events, so nested and
+//!   re-entrant sends work.
+
+use std::collections::HashMap;
+
+use tcl::{wrong_args, Code, Exception, TclResult};
+use xsim::{Event, WindowId, Xid};
+
+use crate::app::TkApp;
+
+/// Per-application send state.
+#[derive(Default)]
+pub struct SendState {
+    next_serial: u64,
+    /// Results by serial, filled in by `TkSendResult` property traffic.
+    results: HashMap<u64, (i64, String)>,
+}
+
+/// Registers the `send` command and `winfo interps` support bits.
+pub fn register(app: &TkApp) {
+    app.register_command("send", cmd_send);
+}
+
+/// Adds this application to the root-window registry, uniquifying its
+/// name if necessary (returns the final name).
+pub fn announce(app: &TkApp) -> String {
+    let conn = app.conn();
+    let registry = conn.intern_atom("InterpRegistry");
+    let root = conn.root();
+    let existing = conn.get_property(root, registry).unwrap_or_default();
+    let mut entries = parse_registry(&existing);
+    let base = app.name();
+    let mut name = base.clone();
+    let mut n = 1;
+    while entries.iter().any(|(e, _)| *e == name) {
+        n += 1;
+        name = format!("{base} #{n}");
+    }
+    entries.push((name.clone(), app.inner.comm));
+    conn.change_property(root, registry, &format_registry(&entries));
+    *app.inner.name.borrow_mut() = name.clone();
+    name
+}
+
+/// Removes an application from the registry (on destroy).
+pub fn withdraw(app: &TkApp) {
+    let conn = app.conn();
+    let registry = conn.intern_atom("InterpRegistry");
+    let root = conn.root();
+    let existing = conn.get_property(root, registry).unwrap_or_default();
+    let name = app.name();
+    let entries: Vec<(String, WindowId)> = parse_registry(&existing)
+        .into_iter()
+        .filter(|(e, _)| *e != name)
+        .collect();
+    conn.change_property(root, registry, &format_registry(&entries));
+}
+
+/// Names of all registered applications (`winfo interps`).
+pub fn interps(app: &TkApp) -> Vec<String> {
+    let conn = app.conn();
+    let registry = conn.intern_atom("InterpRegistry");
+    let existing = conn.get_property(conn.root(), registry).unwrap_or_default();
+    parse_registry(&existing).into_iter().map(|(n, _)| n).collect()
+}
+
+fn parse_registry(text: &str) -> Vec<(String, WindowId)> {
+    let mut out = Vec::new();
+    if let Ok(items) = tcl::parse_list(text) {
+        for item in items {
+            if let Ok(pair) = tcl::parse_list(&item) {
+                if pair.len() == 2 {
+                    if let Ok(xid) = pair[1].parse::<u32>() {
+                        out.push((pair[0].clone(), Xid(xid)));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn format_registry(entries: &[(String, WindowId)]) -> String {
+    let items: Vec<String> = entries
+        .iter()
+        .map(|(n, w)| tcl::format_list(&[n.clone(), w.0.to_string()]))
+        .collect();
+    tcl::format_list(&items)
+}
+
+/// `send name command ?arg ...?`.
+fn cmd_send(app: &TkApp, _interp: &tcl::Interp, argv: &[String]) -> TclResult {
+    if argv.len() < 3 {
+        return Err(wrong_args("send interpName arg ?arg ...?"));
+    }
+    let target_name = &argv[1];
+    let script = if argv.len() == 3 {
+        argv[2].clone()
+    } else {
+        argv[2..].join(" ")
+    };
+    // Sending to ourselves is a direct evaluation (as in Tk).
+    if *target_name == app.name() {
+        return app.interp().eval(&script);
+    }
+    let conn = app.conn();
+    let registry = conn.intern_atom("InterpRegistry");
+    let existing = conn.get_property(conn.root(), registry).unwrap_or_default();
+    let target_comm = parse_registry(&existing)
+        .into_iter()
+        .find(|(n, _)| n == target_name)
+        .map(|(_, w)| w)
+        .ok_or_else(|| {
+            Exception::error(format!(
+                "no registered interpreter named \"{target_name}\""
+            ))
+        })?;
+
+    // Compose and append the request to the target's comm property.
+    let serial = {
+        let mut st = app.inner.send.borrow_mut();
+        st.next_serial += 1;
+        st.next_serial
+    };
+    let request = tcl::format_list(&[
+        serial.to_string(),
+        app.inner.comm.0.to_string(),
+        script,
+    ]);
+    append_to_property(app, target_comm, "TkSendCommand", &request);
+
+    // Wait for the reply, processing everyone's events (the paper: the
+    // sender waits for the result to come back).
+    for _ in 0..10_000 {
+        if let Some((code, value)) = app.inner.send.borrow_mut().results.remove(&serial) {
+            return if code == 0 {
+                Ok(value)
+            } else {
+                Err(Exception {
+                    code: Code::Error,
+                    msg: value,
+                    trace: vec![format!("invoked from within send to \"{target_name}\"")],
+                })
+            };
+        }
+        if !app.env().dispatch_all() {
+            app.process_pending();
+            if app.inner.send.borrow().results.contains_key(&serial) {
+                continue;
+            }
+            return Err(Exception::error(format!(
+                "target interpreter \"{target_name}\" died or did not respond"
+            )));
+        }
+    }
+    Err(Exception::error(format!(
+        "send to \"{target_name}\" timed out"
+    )))
+}
+
+/// Appends one line to a property (requests/results queue there until the
+/// owner drains them).
+fn append_to_property(app: &TkApp, window: WindowId, atom_name: &str, line: &str) {
+    let conn = app.conn();
+    let atom = conn.intern_atom(atom_name);
+    let mut value = conn.get_property(window, atom).unwrap_or_default();
+    if !value.is_empty() {
+        value.push('\n');
+    }
+    value.push_str(line);
+    conn.change_property(window, atom, &value);
+}
+
+/// Handles property traffic on this application's comm window.
+pub fn handle_comm_event(app: &TkApp, ev: &Event) {
+    let Event::PropertyNotify { atom, deleted: false, .. } = ev else {
+        return;
+    };
+    let conn = app.conn();
+    let Some(name) = conn.atom_name(*atom) else {
+        return;
+    };
+    match name.as_str() {
+        "TkSendCommand" => {
+            let Some(value) = conn.get_property(app.inner.comm, *atom) else {
+                return;
+            };
+            conn.delete_property(app.inner.comm, *atom);
+            for line in value.lines() {
+                let Ok(fields) = tcl::parse_list(line) else {
+                    continue;
+                };
+                if fields.len() != 3 {
+                    continue;
+                }
+                let serial = &fields[0];
+                let sender: u32 = fields[1].parse().unwrap_or(0);
+                let script = &fields[2];
+                // "The Tk of the target application executes the command
+                // and returns the result back to the originating
+                // application."
+                let (code, result) = match app.interp().eval(script) {
+                    Ok(v) => (0, v),
+                    Err(e) => (1, e.msg),
+                };
+                let reply = tcl::format_list(&[serial.clone(), code.to_string(), result]);
+                append_to_property(app, Xid(sender), "TkSendResult", &reply);
+            }
+        }
+        "TkSendResult" => {
+            let Some(value) = conn.get_property(app.inner.comm, *atom) else {
+                return;
+            };
+            conn.delete_property(app.inner.comm, *atom);
+            for line in value.lines() {
+                let Ok(fields) = tcl::parse_list(line) else {
+                    continue;
+                };
+                if fields.len() != 3 {
+                    continue;
+                }
+                if let (Ok(serial), Ok(code)) =
+                    (fields[0].parse::<u64>(), fields[1].parse::<i64>())
+                {
+                    app.inner
+                        .send
+                        .borrow_mut()
+                        .results
+                        .insert(serial, (code, fields[2].clone()));
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::app::TkEnv;
+
+    #[test]
+    fn send_evaluates_in_target() {
+        let env = TkEnv::new();
+        let a = env.app("alpha");
+        let b = env.app("beta");
+        b.eval("set x in-beta").unwrap();
+        let r = a.eval("send beta {set x}").unwrap();
+        assert_eq!(r, "in-beta");
+    }
+
+    #[test]
+    fn send_concatenates_args() {
+        let env = TkEnv::new();
+        let a = env.app("alpha");
+        let _b = env.app("beta");
+        assert_eq!(a.eval("send beta set y 41").unwrap(), "41");
+        assert_eq!(a.eval("send beta expr {$y + 1}").unwrap(), "42");
+    }
+
+    #[test]
+    fn send_to_self_works() {
+        let env = TkEnv::new();
+        let a = env.app("alpha");
+        assert_eq!(a.eval("send alpha {expr 1+1}").unwrap(), "2");
+    }
+
+    #[test]
+    fn send_errors_propagate() {
+        let env = TkEnv::new();
+        let a = env.app("alpha");
+        let _b = env.app("beta");
+        let e = a.eval("send beta {error remote-boom}").unwrap_err();
+        assert_eq!(e.msg, "remote-boom");
+    }
+
+    #[test]
+    fn send_unknown_app_errors() {
+        let env = TkEnv::new();
+        let a = env.app("alpha");
+        let e = a.eval("send nosuch {set x}").unwrap_err();
+        assert!(e.msg.contains("no registered interpreter"), "{}", e.msg);
+    }
+
+    #[test]
+    fn nested_send_round_trip() {
+        // a sends to b a script that sends back to a.
+        let env = TkEnv::new();
+        let a = env.app("alpha");
+        let _b = env.app("beta");
+        a.eval("set here from-alpha").unwrap();
+        let r = a.eval("send beta {send alpha {set here}}").unwrap();
+        assert_eq!(r, "from-alpha");
+    }
+
+    #[test]
+    fn duplicate_names_uniquified() {
+        let env = TkEnv::new();
+        let _a1 = env.app("app");
+        let a2 = env.app("app");
+        assert_eq!(a2.name(), "app #2");
+        let names = crate::send::interps(&a2);
+        assert!(names.contains(&"app".to_string()));
+        assert!(names.contains(&"app #2".to_string()));
+    }
+
+    #[test]
+    fn send_reaches_widgets() {
+        // The debugger/editor scenario: one app manipulates the other's
+        // interface ("any command that could be invoked within an
+        // application may be invoked by other applications using send").
+        let env = TkEnv::new();
+        let editor = env.app("editor");
+        let debugger = env.app("debugger");
+        editor.eval("button .b -text idle -command {}").unwrap();
+        debugger
+            .eval("send editor {.b configure -text running}")
+            .unwrap();
+        let info = editor.eval(".b configure -text").unwrap();
+        assert!(info.contains("running"), "{info}");
+    }
+}

@@ -1,0 +1,111 @@
+//! Atoms: interned strings, as in the X11 protocol.
+//!
+//! Properties, selections, and targets are all named by atoms. The server
+//! owns the intern table; `InternAtom` is a round-trip request.
+
+use std::collections::HashMap;
+
+/// An interned string identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom(pub u32);
+
+impl Atom {
+    /// The reserved "none" atom.
+    pub const NONE: Atom = Atom(0);
+}
+
+/// The server-side atom table. Pre-interns the handful of atoms the ICCCM
+/// and Tk rely on so their values are stable across servers.
+#[derive(Debug)]
+pub struct AtomTable {
+    by_name: HashMap<String, Atom>,
+    by_id: Vec<String>,
+}
+
+/// Atoms interned at server startup, in order; `Atom(1)` is `PRIMARY`.
+pub const PREDEFINED: &[&str] = &[
+    "PRIMARY",
+    "SECONDARY",
+    "STRING",
+    "ATOM",
+    "TARGETS",
+    "WM_NAME",
+    "WM_CLASS",
+    "WM_COMMAND",
+    "CLIPBOARD",
+    "RESOURCE_MANAGER",
+];
+
+impl Default for AtomTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomTable {
+    /// Creates a table with the predefined atoms interned.
+    pub fn new() -> AtomTable {
+        let mut t = AtomTable {
+            by_name: HashMap::new(),
+            by_id: vec![String::new()], // index 0 = NONE
+        };
+        for name in PREDEFINED {
+            t.intern(name);
+        }
+        t
+    }
+
+    /// Interns `name`, returning its atom (existing or new).
+    pub fn intern(&mut self, name: &str) -> Atom {
+        if let Some(&a) = self.by_name.get(name) {
+            return a;
+        }
+        let a = Atom(self.by_id.len() as u32);
+        self.by_id.push(name.to_string());
+        self.by_name.insert(name.to_string(), a);
+        a
+    }
+
+    /// Looks up an atom without interning.
+    pub fn lookup(&self, name: &str) -> Option<Atom> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of an atom, if valid.
+    pub fn name(&self, atom: Atom) -> Option<&str> {
+        self.by_id.get(atom.0 as usize).map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = AtomTable::new();
+        let a = t.intern("FOO");
+        let b = t.intern("FOO");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn predefined_atoms_are_stable() {
+        let t = AtomTable::new();
+        assert_eq!(t.lookup("PRIMARY"), Some(Atom(1)));
+        assert_eq!(t.name(Atom(1)), Some("PRIMARY"));
+    }
+
+    #[test]
+    fn unknown_atom_has_no_name() {
+        let t = AtomTable::new();
+        assert_eq!(t.name(Atom(9999)), None);
+        assert_eq!(t.lookup("NOSUCH"), None);
+    }
+
+    #[test]
+    fn distinct_names_distinct_atoms() {
+        let mut t = AtomTable::new();
+        assert_ne!(t.intern("A"), t.intern("B"));
+    }
+}

@@ -1,0 +1,512 @@
+//! Client-side handles: [`Display`] (the shared server) and [`Connection`]
+//! (one client's protocol endpoint).
+//!
+//! A `Connection` mirrors Xlib's calling surface. Methods that return data
+//! from the server are counted as *round trips*; fire-and-forget requests
+//! are one-way. The counts power the Table II client/server split and the
+//! Section 3.3 cache-ablation experiment.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::atom::Atom;
+use crate::color::Rgb;
+use crate::event::{Event, Keysym};
+use crate::font::FontMetrics;
+use crate::gc::GcValues;
+use crate::ids::{ClientId, CursorId, FontId, GcId, Pixel, WindowId};
+use crate::render::Surface;
+use crate::server::{ClientStats, Server};
+
+/// A simulated display: the shared server plus a factory for connections.
+///
+/// Cloning a `Display` yields another handle to the same server, the way
+/// several processes share one physical display.
+#[derive(Clone)]
+pub struct Display {
+    server: Rc<RefCell<Server>>,
+}
+
+impl Default for Display {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Display {
+    /// Opens a fresh simulated display.
+    pub fn new() -> Display {
+        Display {
+            server: Rc::new(RefCell::new(Server::new())),
+        }
+    }
+
+    /// Connects a new client.
+    pub fn connect(&self) -> Connection {
+        let client = self.server.borrow_mut().connect();
+        Connection {
+            server: self.server.clone(),
+            client,
+        }
+    }
+
+    /// Runs `f` with direct access to the server (test assertions,
+    /// compositing, statistics).
+    pub fn with_server<R>(&self, f: impl FnOnce(&mut Server) -> R) -> R {
+        f(&mut self.server.borrow_mut())
+    }
+
+    /// Composites the current screen contents.
+    pub fn screenshot(&self) -> Surface {
+        self.server.borrow().compose_screen()
+    }
+
+    /// ASCII rendering of the screen (Figure 10-style dumps).
+    pub fn ascii_dump(&self) -> String {
+        self.server.borrow().ascii_dump()
+    }
+
+    // --- input synthesis (the "user") ---
+
+    /// Moves the pointer, generating crossing/motion events.
+    pub fn move_pointer(&self, x: i32, y: i32) {
+        self.server.borrow_mut().warp_pointer(x, y);
+    }
+
+    /// Presses then releases a mouse button at the current position.
+    pub fn click(&self, button: u8) {
+        let mut s = self.server.borrow_mut();
+        s.press_button(button);
+        s.release_button(button);
+    }
+
+    /// Presses a mouse button (no release).
+    pub fn press_button(&self, button: u8) {
+        self.server.borrow_mut().press_button(button);
+    }
+
+    /// Releases a mouse button.
+    pub fn release_button(&self, button: u8) {
+        self.server.borrow_mut().release_button(button);
+    }
+
+    /// Types a single character key.
+    pub fn type_char(&self, c: char) {
+        self.server.borrow_mut().press_key(Keysym::from_char(c));
+    }
+
+    /// Types a whole string.
+    pub fn type_string(&self, text: &str) {
+        for c in text.chars() {
+            self.type_char(c);
+        }
+    }
+
+    /// Presses a named key (`"Escape"`, `"Return"`, ...).
+    pub fn press_key(&self, name: &str) {
+        self.server.borrow_mut().press_key(Keysym::named(name));
+    }
+
+    /// Sets the modifier state for subsequent input (see [`crate::event::state`]).
+    pub fn set_modifiers(&self, modifiers: u32) {
+        self.server.borrow_mut().set_modifiers(modifiers);
+    }
+}
+
+/// One client's connection to the display.
+#[derive(Clone)]
+pub struct Connection {
+    server: Rc<RefCell<Server>>,
+    client: ClientId,
+}
+
+impl Connection {
+    /// This connection's client id.
+    pub fn client_id(&self) -> ClientId {
+        self.client
+    }
+
+    /// The root window.
+    pub fn root(&self) -> WindowId {
+        self.server.borrow().root()
+    }
+
+    /// Protocol statistics for this client.
+    pub fn stats(&self) -> ClientStats {
+        self.server.borrow().stats(self.client)
+    }
+
+    fn one_way<R>(&self, f: impl FnOnce(&mut Server) -> R) -> R {
+        let mut s = self.server.borrow_mut();
+        s.note_request(self.client, false);
+        let start = std::time::Instant::now();
+        let r = f(&mut s);
+        s.work_time += start.elapsed();
+        r
+    }
+
+    fn round_trip<R>(&self, f: impl FnOnce(&mut Server) -> R) -> R {
+        let mut s = self.server.borrow_mut();
+        s.note_request(self.client, true);
+        let start = std::time::Instant::now();
+        let r = f(&mut s);
+        s.work_time += start.elapsed();
+        r
+    }
+
+    // --- atoms ---
+
+    /// Interns an atom (round trip).
+    pub fn intern_atom(&self, name: &str) -> Atom {
+        self.round_trip(|s| s.atoms.intern(name))
+    }
+
+    /// Gets an atom's name (round trip).
+    pub fn atom_name(&self, atom: Atom) -> Option<String> {
+        self.round_trip(|s| s.atoms.name(atom).map(str::to_string))
+    }
+
+    // --- windows ---
+
+    /// Creates an (unmapped) window.
+    pub fn create_window(
+        &self,
+        parent: WindowId,
+        x: i32,
+        y: i32,
+        width: u32,
+        height: u32,
+        border_width: u32,
+    ) -> Option<WindowId> {
+        self.one_way(|s| s.create_window(self.client, parent, x, y, width, height, border_width))
+    }
+
+    /// Destroys a window and its descendants.
+    pub fn destroy_window(&self, id: WindowId) {
+        self.one_way(|s| s.destroy_window(id));
+    }
+
+    /// Maps a window.
+    pub fn map_window(&self, id: WindowId) {
+        self.one_way(|s| s.map_window(id));
+    }
+
+    /// Unmaps a window.
+    pub fn unmap_window(&self, id: WindowId) {
+        self.one_way(|s| s.unmap_window(id));
+    }
+
+    /// Moves/resizes a window.
+    pub fn configure_window(
+        &self,
+        id: WindowId,
+        x: Option<i32>,
+        y: Option<i32>,
+        width: Option<u32>,
+        height: Option<u32>,
+        border_width: Option<u32>,
+    ) {
+        self.one_way(|s| s.configure_window(id, x, y, width, height, border_width));
+    }
+
+    /// Raises a window above its siblings.
+    pub fn raise_window(&self, id: WindowId) {
+        self.one_way(|s| s.raise_window(id));
+    }
+
+    /// Reparents a window to a new parent at the given position.
+    pub fn reparent_window(&self, id: WindowId, new_parent: WindowId, x: i32, y: i32) {
+        self.one_way(|s| s.reparent_window(id, new_parent, x, y));
+    }
+
+    /// Selects the events this client wants from a window.
+    pub fn select_input(&self, id: WindowId, event_mask: u32) {
+        self.one_way(|s| s.select_input(self.client, id, event_mask));
+    }
+
+    /// Sets the window background pixel.
+    pub fn set_window_background(&self, id: WindowId, pixel: Pixel) {
+        self.one_way(|s| s.set_window_background(id, pixel));
+    }
+
+    /// Sets the window border pixel.
+    pub fn set_window_border(&self, id: WindowId, pixel: Pixel) {
+        self.one_way(|s| s.set_window_border(id, pixel));
+    }
+
+    /// Marks a window override-redirect (popup menus).
+    pub fn set_override_redirect(&self, id: WindowId, on: bool) {
+        self.one_way(|s| s.set_override_redirect(id, on));
+    }
+
+    /// Attaches a cursor to a window.
+    pub fn define_cursor(&self, id: WindowId, cursor: CursorId) {
+        self.one_way(|s| s.define_cursor(id, cursor));
+    }
+
+    /// Queries parent and children (round trip).
+    pub fn query_tree(&self, id: WindowId) -> Option<(WindowId, Vec<WindowId>)> {
+        self.round_trip(|s| s.query_tree(id))
+    }
+
+    /// Queries geometry (round trip).
+    pub fn get_geometry(&self, id: WindowId) -> Option<(i32, i32, u32, u32, u32)> {
+        self.round_trip(|s| s.get_geometry(id))
+    }
+
+    /// Is the window viewable? (round trip)
+    pub fn is_viewable(&self, id: WindowId) -> bool {
+        self.round_trip(|s| s.is_viewable(id))
+    }
+
+    // --- properties ---
+
+    /// Sets a property.
+    pub fn change_property(&self, id: WindowId, atom: Atom, value: &str) {
+        self.one_way(|s| s.change_property(id, atom, value.to_string()));
+    }
+
+    /// Reads a property (round trip).
+    pub fn get_property(&self, id: WindowId, atom: Atom) -> Option<String> {
+        self.round_trip(|s| s.get_property(id, atom))
+    }
+
+    /// Deletes a property.
+    pub fn delete_property(&self, id: WindowId, atom: Atom) {
+        self.one_way(|s| s.delete_property(id, atom));
+    }
+
+    // --- colors, fonts, cursors, GCs ---
+
+    /// Allocates a named color (round trip), returning pixel and RGB.
+    pub fn alloc_named_color(&self, name: &str) -> Option<(Pixel, Rgb)> {
+        self.round_trip(|s| s.alloc_named_color(name))
+    }
+
+    /// Allocates an RGB color (round trip).
+    pub fn alloc_color(&self, rgb: Rgb) -> Pixel {
+        self.round_trip(|s| s.colormap.alloc(rgb))
+    }
+
+    /// Frees one reference to a pixel.
+    pub fn free_color(&self, pixel: Pixel) {
+        self.one_way(|s| s.colormap.free(pixel));
+    }
+
+    /// Looks up the RGB stored in a pixel (round trip).
+    pub fn query_color(&self, pixel: Pixel) -> Rgb {
+        self.round_trip(|s| s.colormap.rgb(pixel))
+    }
+
+    /// Opens a font (round trip).
+    pub fn open_font(&self, name: &str) -> Option<FontId> {
+        self.round_trip(|s| s.open_font(name))
+    }
+
+    /// Queries font metrics (round trip).
+    pub fn font_metrics(&self, font: FontId) -> Option<FontMetrics> {
+        self.round_trip(|s| s.fonts.metrics(font))
+    }
+
+    /// Creates a cursor from the cursor font (round trip).
+    pub fn create_cursor(&self, name: &str) -> Option<CursorId> {
+        self.round_trip(|s| s.cursors.create(name))
+    }
+
+    /// Uploads a bitmap to the server.
+    pub fn create_bitmap(&self, bitmap: crate::bitmap::Bitmap) -> crate::bitmap::BitmapId {
+        self.one_way(|s| s.bitmaps.create(bitmap))
+    }
+
+    /// Frees a bitmap.
+    pub fn free_bitmap(&self, id: crate::bitmap::BitmapId) {
+        self.one_way(|s| s.bitmaps.free(id));
+    }
+
+    /// Dimensions of an uploaded bitmap (round trip).
+    pub fn bitmap_size(&self, id: crate::bitmap::BitmapId) -> Option<(u32, u32)> {
+        self.round_trip(|s| s.bitmaps.get(id).map(|b| (b.width, b.height)))
+    }
+
+    /// Draws a bitmap's set bits in the GC foreground at `(x, y)`.
+    pub fn copy_bitmap(
+        &self,
+        id: WindowId,
+        gc: GcId,
+        x: i32,
+        y: i32,
+        bitmap: crate::bitmap::BitmapId,
+    ) {
+        self.one_way(|s| s.copy_bitmap(id, gc, x, y, bitmap));
+    }
+
+    /// Creates a GC.
+    pub fn create_gc(&self, values: GcValues) -> GcId {
+        self.one_way(|s| s.gcs.create(values))
+    }
+
+    /// Changes a GC.
+    pub fn change_gc(&self, gc: GcId, values: GcValues) {
+        self.one_way(|s| {
+            s.gcs.change(gc, values);
+        });
+    }
+
+    /// Frees a GC.
+    pub fn free_gc(&self, gc: GcId) {
+        self.one_way(|s| s.gcs.free(gc));
+    }
+
+    // --- drawing ---
+
+    /// Fills a rectangle in window coordinates.
+    pub fn fill_rectangle(&self, id: WindowId, gc: GcId, x: i32, y: i32, w: u32, h: u32) {
+        self.one_way(|s| s.fill_rectangle(id, gc, x, y, w, h));
+    }
+
+    /// Draws a rectangle outline.
+    pub fn draw_rectangle(&self, id: WindowId, gc: GcId, x: i32, y: i32, w: u32, h: u32) {
+        self.one_way(|s| s.draw_rectangle(id, gc, x, y, w, h));
+    }
+
+    /// Draws a line.
+    pub fn draw_line(&self, id: WindowId, gc: GcId, x0: i32, y0: i32, x1: i32, y1: i32) {
+        self.one_way(|s| s.draw_line(id, gc, x0, y0, x1, y1));
+    }
+
+    /// Draws a string, baseline at `(x, y)`.
+    pub fn draw_string(&self, id: WindowId, gc: GcId, x: i32, y: i32, text: &str) {
+        self.one_way(|s| s.draw_string(id, gc, x, y, text));
+    }
+
+    /// Clears an area to the window background (0 size = whole window).
+    pub fn clear_area(&self, id: WindowId, x: i32, y: i32, w: u32, h: u32) {
+        self.one_way(|s| s.clear_area(id, x, y, w, h));
+    }
+
+    // --- selections ---
+
+    /// Claims selection ownership.
+    pub fn set_selection_owner(&self, selection: Atom, owner: WindowId) {
+        self.one_way(|s| s.set_selection_owner(self.client, selection, owner));
+    }
+
+    /// Queries the selection owner (round trip).
+    pub fn get_selection_owner(&self, selection: Atom) -> WindowId {
+        self.round_trip(|s| s.get_selection_owner(selection))
+    }
+
+    /// Requests conversion of a selection into a property on `requestor`.
+    pub fn convert_selection(
+        &self,
+        requestor: WindowId,
+        selection: Atom,
+        target: Atom,
+        property: Atom,
+    ) {
+        self.one_way(|s| s.convert_selection(requestor, selection, target, property));
+    }
+
+    /// Replies to a SelectionRequest after storing the converted value.
+    pub fn send_selection_notify(
+        &self,
+        requestor: WindowId,
+        selection: Atom,
+        target: Atom,
+        property: Atom,
+    ) {
+        self.one_way(|s| s.send_selection_notify(requestor, selection, target, property));
+    }
+
+    // --- focus ---
+
+    /// Assigns the input focus.
+    pub fn set_input_focus(&self, id: WindowId) {
+        self.one_way(|s| s.set_input_focus(id));
+    }
+
+    /// Queries the input focus (round trip).
+    pub fn get_input_focus(&self) -> WindowId {
+        self.round_trip(|s| s.get_input_focus())
+    }
+
+    // --- events ---
+
+    /// Takes the next queued event, if any.
+    pub fn poll_event(&self) -> Option<Event> {
+        self.server.borrow_mut().poll_event(self.client)
+    }
+
+    /// Number of queued events.
+    pub fn pending(&self) -> usize {
+        self.server.borrow().pending(self.client)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::mask;
+
+    #[test]
+    fn connection_counts_round_trips() {
+        let d = Display::new();
+        let c = d.connect();
+        let w = c.create_window(c.root(), 0, 0, 10, 10, 0).unwrap(); // one-way
+        c.map_window(w); // one-way
+        let _ = c.get_geometry(w); // round trip
+        let _ = c.intern_atom("X"); // round trip
+        let st = c.stats();
+        assert_eq!(st.requests, 4);
+        assert_eq!(st.round_trips, 2);
+    }
+
+    #[test]
+    fn two_clients_share_one_display() {
+        let d = Display::new();
+        let c1 = d.connect();
+        let c2 = d.connect();
+        assert_ne!(c1.client_id(), c2.client_id());
+        assert_eq!(c1.root(), c2.root());
+        let atom = c1.intern_atom("SHARED");
+        c1.change_property(c1.root(), atom, "from c1");
+        assert_eq!(c2.get_property(c2.root(), atom), Some("from c1".into()));
+    }
+
+    #[test]
+    fn events_are_per_client() {
+        let d = Display::new();
+        let c1 = d.connect();
+        let c2 = d.connect();
+        let w = c1.create_window(c1.root(), 0, 0, 20, 20, 0).unwrap();
+        c1.select_input(w, mask::STRUCTURE_NOTIFY);
+        c1.map_window(w);
+        assert!(c1.pending() > 0);
+        assert_eq!(c2.pending(), 0);
+    }
+
+    #[test]
+    fn driver_click_reaches_selecting_client() {
+        let d = Display::new();
+        let c = d.connect();
+        let w = c.create_window(c.root(), 10, 10, 100, 100, 0).unwrap();
+        c.select_input(w, mask::BUTTON_PRESS | mask::BUTTON_RELEASE);
+        c.map_window(w);
+        d.move_pointer(50, 50);
+        d.click(1);
+        let events: Vec<Event> = std::iter::from_fn(|| c.poll_event()).collect();
+        assert!(events.iter().any(|e| matches!(e, Event::ButtonPress { .. })));
+        assert!(events.iter().any(|e| matches!(e, Event::ButtonRelease { .. })));
+    }
+
+    #[test]
+    fn color_sharing_across_clients() {
+        let d = Display::new();
+        let c1 = d.connect();
+        let c2 = d.connect();
+        let (p1, rgb) = c1.alloc_named_color("MediumSeaGreen").unwrap();
+        let (p2, _) = c2.alloc_named_color("mediumseagreen").unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(rgb, Rgb::new(60, 179, 113));
+    }
+}

@@ -1,0 +1,139 @@
+//! The cursor font: named mouse cursors.
+//!
+//! X11 cursors come from a special "cursor font" with entries like
+//! `arrow`, `coffee_mug` (the paper's example), and `watch`. The server
+//! validates names and hands out cursor ids; appearance is not simulated
+//! beyond identity.
+
+use std::collections::HashMap;
+
+use crate::ids::{CursorId, IdAllocator};
+
+/// The standard X11 cursor-font glyph names (subset).
+pub const CURSOR_NAMES: &[&str] = &[
+    "X_cursor",
+    "arrow",
+    "based_arrow_down",
+    "based_arrow_up",
+    "boat",
+    "bogosity",
+    "bottom_left_corner",
+    "bottom_right_corner",
+    "bottom_side",
+    "bottom_tee",
+    "box_spiral",
+    "center_ptr",
+    "circle",
+    "clock",
+    "coffee_mug",
+    "cross",
+    "cross_reverse",
+    "crosshair",
+    "diamond_cross",
+    "dot",
+    "dotbox",
+    "double_arrow",
+    "draft_large",
+    "draft_small",
+    "draped_box",
+    "exchange",
+    "fleur",
+    "gobbler",
+    "gumby",
+    "hand1",
+    "hand2",
+    "heart",
+    "icon",
+    "iron_cross",
+    "left_ptr",
+    "left_side",
+    "left_tee",
+    "leftbutton",
+    "ll_angle",
+    "lr_angle",
+    "man",
+    "middlebutton",
+    "mouse",
+    "pencil",
+    "pirate",
+    "plus",
+    "question_arrow",
+    "right_ptr",
+    "right_side",
+    "right_tee",
+    "rightbutton",
+    "rtl_logo",
+    "sailboat",
+    "sb_down_arrow",
+    "sb_h_double_arrow",
+    "sb_left_arrow",
+    "sb_right_arrow",
+    "sb_up_arrow",
+    "sb_v_double_arrow",
+    "shuttle",
+    "sizing",
+    "spider",
+    "spraycan",
+    "star",
+    "target",
+    "tcross",
+    "top_left_arrow",
+    "top_left_corner",
+    "top_right_corner",
+    "top_side",
+    "top_tee",
+    "trek",
+    "ul_angle",
+    "umbrella",
+    "ur_angle",
+    "watch",
+    "xterm",
+];
+
+/// The server-side cursor table.
+#[derive(Debug, Default)]
+pub struct CursorTable {
+    ids: IdAllocator,
+    by_name: HashMap<String, CursorId>,
+    names: HashMap<CursorId, String>,
+}
+
+impl CursorTable {
+    /// Creates (or reuses) a cursor for a valid glyph name.
+    pub fn create(&mut self, name: &str) -> Option<CursorId> {
+        if let Some(&id) = self.by_name.get(name) {
+            return Some(id);
+        }
+        if !CURSOR_NAMES.contains(&name) {
+            return None;
+        }
+        let id = self.ids.alloc();
+        self.by_name.insert(name.to_string(), id);
+        self.names.insert(id, name.to_string());
+        Some(id)
+    }
+
+    /// The glyph name of a cursor.
+    pub fn name(&self, id: CursorId) -> Option<&str> {
+        self.names.get(&id).map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_cursor_names_resolve() {
+        let mut t = CursorTable::default();
+        let c = t.create("coffee_mug").unwrap();
+        assert_eq!(t.name(c), Some("coffee_mug"));
+        assert_eq!(t.create("coffee_mug"), Some(c));
+    }
+
+    #[test]
+    fn unknown_cursor_rejected() {
+        let mut t = CursorTable::default();
+        assert_eq!(t.create("no_such_cursor"), None);
+    }
+}

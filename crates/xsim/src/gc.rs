@@ -1,0 +1,94 @@
+//! Graphics contexts.
+//!
+//! A GC bundles the drawing parameters (foreground/background pixel, line
+//! width, font) that accompany every rendering request, exactly as in X.
+//! Tk's GC cache shares these server objects between widgets.
+
+use std::collections::HashMap;
+
+use crate::ids::{FontId, GcId, IdAllocator, Pixel, Xid};
+
+/// The mutable drawing parameters of a graphics context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcValues {
+    /// Foreground pixel used by drawing primitives.
+    pub foreground: Pixel,
+    /// Background pixel.
+    pub background: Pixel,
+    /// Line width for `DrawLine`/`DrawRectangle` (0 = thin, as in X).
+    pub line_width: u32,
+    /// Font for `DrawString`.
+    pub font: FontId,
+}
+
+impl Default for GcValues {
+    fn default() -> Self {
+        GcValues {
+            foreground: Pixel(0),
+            background: Pixel(1),
+            line_width: 0,
+            font: Xid::NONE,
+        }
+    }
+}
+
+/// The server-side GC table.
+#[derive(Debug, Default)]
+pub struct GcTable {
+    ids: IdAllocator,
+    gcs: HashMap<GcId, GcValues>,
+}
+
+impl GcTable {
+    /// Creates a GC with the given values.
+    pub fn create(&mut self, values: GcValues) -> GcId {
+        let id = self.ids.alloc();
+        self.gcs.insert(id, values);
+        id
+    }
+
+    /// Updates an existing GC; returns false if the id is stale.
+    pub fn change(&mut self, id: GcId, values: GcValues) -> bool {
+        match self.gcs.get_mut(&id) {
+            Some(v) => {
+                *v = values;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Reads a GC's values.
+    pub fn get(&self, id: GcId) -> Option<GcValues> {
+        self.gcs.get(&id).copied()
+    }
+
+    /// Frees a GC.
+    pub fn free(&mut self, id: GcId) {
+        self.gcs.remove(&id);
+    }
+
+    /// Number of live GCs (for cache ablation measurements).
+    pub fn count(&self) -> usize {
+        self.gcs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_change_free() {
+        let mut t = GcTable::default();
+        let gc = t.create(GcValues::default());
+        assert_eq!(t.get(gc).unwrap().line_width, 0);
+        let mut v = GcValues::default();
+        v.line_width = 2;
+        assert!(t.change(gc, v));
+        assert_eq!(t.get(gc).unwrap().line_width, 2);
+        t.free(gc);
+        assert!(t.get(gc).is_none());
+        assert!(!t.change(gc, v));
+    }
+}

@@ -1,0 +1,264 @@
+//! Rasterization: per-window backing surfaces and drawing primitives.
+//!
+//! Each viewable window owns a pixel surface the size of its interior.
+//! Clients draw into surfaces with GC-driven primitives; the server
+//! composites the window tree into a single screen image for screendumps
+//! (the reproduction of the paper's Figure 10).
+
+use crate::color::Rgb;
+use crate::font::{glyph, FontMetrics};
+
+/// A rectangular pixel buffer, `0x00RRGGBB` per pixel.
+#[derive(Debug, Clone)]
+pub struct Surface {
+    width: u32,
+    height: u32,
+    pixels: Vec<u32>,
+    /// Text drawn since the last clear, for legible ASCII dumps:
+    /// `(x, baseline_y, text)`.
+    pub texts: Vec<(i32, i32, String)>,
+}
+
+impl Surface {
+    /// Creates a surface filled with `fill`.
+    pub fn new(width: u32, height: u32, fill: Rgb) -> Surface {
+        Surface {
+            width,
+            height,
+            pixels: vec![fill.packed(); (width * height) as usize],
+            texts: Vec::new(),
+        }
+    }
+
+    /// Surface width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Surface height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Reads one pixel (black if out of bounds).
+    pub fn pixel(&self, x: i32, y: i32) -> Rgb {
+        if x < 0 || y < 0 || x as u32 >= self.width || y as u32 >= self.height {
+            return Rgb::new(0, 0, 0);
+        }
+        Rgb::from_packed(self.pixels[(y as u32 * self.width + x as u32) as usize])
+    }
+
+    /// Writes one pixel, clipping silently.
+    pub fn put_pixel(&mut self, x: i32, y: i32, color: Rgb) {
+        if x < 0 || y < 0 || x as u32 >= self.width || y as u32 >= self.height {
+            return;
+        }
+        self.pixels[(y as u32 * self.width + x as u32) as usize] = color.packed();
+    }
+
+    /// Fills a rectangle, clipping to the surface. A fill that covers the
+    /// whole surface also forgets recorded text (it repainted everything).
+    pub fn fill_rect(&mut self, x: i32, y: i32, w: u32, h: u32, color: Rgb) {
+        if x <= 0
+            && y <= 0
+            && x + w as i32 >= self.width as i32
+            && y + h as i32 >= self.height as i32
+        {
+            self.texts.clear();
+        }
+        let x0 = x.max(0);
+        let y0 = y.max(0);
+        let x1 = (x + w as i32).min(self.width as i32);
+        let y1 = (y + h as i32).min(self.height as i32);
+        let packed = color.packed();
+        for yy in y0..y1 {
+            let row = yy as u32 * self.width;
+            for xx in x0..x1 {
+                self.pixels[(row + xx as u32) as usize] = packed;
+            }
+        }
+    }
+
+    /// Fills the whole surface and forgets recorded text.
+    pub fn clear(&mut self, color: Rgb) {
+        let packed = color.packed();
+        self.pixels.fill(packed);
+        self.texts.clear();
+    }
+
+    /// Draws a 1-pixel (or wider) rectangle outline.
+    pub fn draw_rect(&mut self, x: i32, y: i32, w: u32, h: u32, lw: u32, color: Rgb) {
+        let lw = lw.max(1);
+        self.fill_rect(x, y, w, lw, color); // top
+        self.fill_rect(x, y + h as i32 - lw as i32, w, lw, color); // bottom
+        self.fill_rect(x, y, lw, h, color); // left
+        self.fill_rect(x + w as i32 - lw as i32, y, lw, h, color); // right
+    }
+
+    /// Draws a line with Bresenham's algorithm.
+    pub fn draw_line(&mut self, x0: i32, y0: i32, x1: i32, y1: i32, lw: u32, color: Rgb) {
+        let lw = lw.max(1) as i32;
+        let (mut x, mut y) = (x0, y0);
+        let dx = (x1 - x0).abs();
+        let dy = -(y1 - y0).abs();
+        let sx = if x0 < x1 { 1 } else { -1 };
+        let sy = if y0 < y1 { 1 } else { -1 };
+        let mut err = dx + dy;
+        loop {
+            // A square pen of side `lw`.
+            for oy in 0..lw {
+                for ox in 0..lw {
+                    self.put_pixel(x + ox - lw / 2, y + oy - lw / 2, color);
+                }
+            }
+            if x == x1 && y == y1 {
+                break;
+            }
+            let e2 = 2 * err;
+            if e2 >= dy {
+                err += dy;
+                x += sx;
+            }
+            if e2 <= dx {
+                err += dx;
+                y += sy;
+            }
+        }
+    }
+
+    /// Draws text with its baseline at `(x, y)` using the built-in 5x7
+    /// face scaled into the font's cell, and records it for ASCII dumps.
+    pub fn draw_text(&mut self, x: i32, y: i32, text: &str, metrics: FontMetrics, color: Rgb) {
+        let mut cx = x;
+        let top = y - metrics.ascent as i32;
+        for c in text.chars() {
+            let bits = glyph(c);
+            // Center the 5x7 glyph horizontally in the advance cell and
+            // sit it on the baseline.
+            let gx = cx + (metrics.char_width as i32 - 5) / 2;
+            let gy = top + metrics.ascent as i32 - 7;
+            for (row, rowbits) in bits.iter().enumerate() {
+                for col in 0..5 {
+                    if rowbits & (0x10 >> col) != 0 {
+                        self.put_pixel(gx + col, gy + row as i32, color);
+                    }
+                }
+            }
+            cx += metrics.char_width as i32;
+        }
+        self.texts.push((x, y, text.to_string()));
+    }
+
+    /// Copies `src` into this surface at `(x, y)`, clipping.
+    pub fn blit(&mut self, src: &Surface, x: i32, y: i32) {
+        for sy in 0..src.height as i32 {
+            let dy = y + sy;
+            if dy < 0 || dy >= self.height as i32 {
+                continue;
+            }
+            for sx in 0..src.width as i32 {
+                let dx = x + sx;
+                if dx < 0 || dx >= self.width as i32 {
+                    continue;
+                }
+                self.pixels[(dy as u32 * self.width + dx as u32) as usize] =
+                    src.pixels[(sy as u32 * src.width + sx as u32) as usize];
+            }
+        }
+    }
+
+    /// Resizes the surface, preserving the overlapping region and filling
+    /// new area with `fill`.
+    pub fn resize(&mut self, width: u32, height: u32, fill: Rgb) {
+        let mut next = Surface::new(width, height, fill);
+        next.blit(self, 0, 0);
+        next.texts = std::mem::take(&mut self.texts);
+        *self = next;
+    }
+
+    /// Serializes as a binary PPM (P6) image.
+    pub fn to_ppm(&self) -> Vec<u8> {
+        let mut out = format!("P6\n{} {}\n255\n", self.width, self.height).into_bytes();
+        for &p in &self.pixels {
+            let c = Rgb::from_packed(p);
+            out.extend_from_slice(&[c.r, c.g, c.b]);
+        }
+        out
+    }
+
+    /// Count of pixels exactly matching `color` (for tests).
+    pub fn count_pixels(&self, color: Rgb) -> usize {
+        let packed = color.packed();
+        self.pixels.iter().filter(|&&p| p == packed).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RED: Rgb = Rgb::new(255, 0, 0);
+    const WHITE: Rgb = Rgb::new(255, 255, 255);
+
+    #[test]
+    fn fill_rect_clips() {
+        let mut s = Surface::new(10, 10, WHITE);
+        s.fill_rect(-5, -5, 8, 8, RED);
+        assert_eq!(s.pixel(0, 0), RED);
+        assert_eq!(s.pixel(2, 2), RED);
+        assert_eq!(s.pixel(3, 3), WHITE);
+        assert_eq!(s.count_pixels(RED), 9);
+    }
+
+    #[test]
+    fn draw_rect_outline_only() {
+        let mut s = Surface::new(10, 10, WHITE);
+        s.draw_rect(1, 1, 8, 8, 1, RED);
+        assert_eq!(s.pixel(1, 1), RED);
+        assert_eq!(s.pixel(8, 8), RED);
+        assert_eq!(s.pixel(4, 4), WHITE);
+    }
+
+    #[test]
+    fn draw_line_endpoints() {
+        let mut s = Surface::new(10, 10, WHITE);
+        s.draw_line(0, 0, 9, 9, 1, RED);
+        assert_eq!(s.pixel(0, 0), RED);
+        assert_eq!(s.pixel(9, 9), RED);
+        assert_eq!(s.pixel(5, 5), RED);
+        assert_eq!(s.pixel(0, 9), WHITE);
+    }
+
+    #[test]
+    fn text_marks_pixels_and_records() {
+        let mut s = Surface::new(60, 20, WHITE);
+        let m = FontMetrics {
+            char_width: 6,
+            ascent: 10,
+            descent: 3,
+        };
+        s.draw_text(2, 12, "Hi", m, RED);
+        assert!(s.count_pixels(RED) > 5);
+        assert_eq!(s.texts.len(), 1);
+        assert_eq!(s.texts[0].2, "Hi");
+    }
+
+    #[test]
+    fn blit_and_resize() {
+        let mut dst = Surface::new(10, 10, WHITE);
+        let src = Surface::new(4, 4, RED);
+        dst.blit(&src, 8, 8); // clipped to 2x2
+        assert_eq!(dst.count_pixels(RED), 4);
+        dst.resize(12, 12, WHITE);
+        assert_eq!(dst.count_pixels(RED), 4);
+        assert_eq!(dst.width(), 12);
+    }
+
+    #[test]
+    fn ppm_header() {
+        let s = Surface::new(2, 3, WHITE);
+        let ppm = s.to_ppm();
+        assert!(ppm.starts_with(b"P6\n2 3\n255\n"));
+        assert_eq!(ppm.len(), 11 + 2 * 3 * 3);
+    }
+}

@@ -1,0 +1,1421 @@
+//! The simulated X server: request dispatch, event generation, and
+//! compositing.
+//!
+//! All protocol state lives here: the window tree, atoms, the colormap,
+//! fonts, cursors, GCs, selections, the input focus, and the pointer.
+//! Requests arrive through [`crate::connection::Connection`] handles; the
+//! server queues events per client and counts requests and round trips per
+//! client, which is the accounting the paper's Table II and Section 3.3
+//! experiments rely on.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::atom::{Atom, AtomTable};
+use crate::color::{lookup_color, Colormap, Rgb};
+use crate::cursor::CursorTable;
+use crate::event::{mask, state, Event, Keysym};
+use crate::font::{FontMetrics, FontTable};
+use crate::gc::{GcTable, GcValues};
+use crate::ids::{ClientId, CursorId, FontId, GcId, IdAllocator, Pixel, WindowId, Xid};
+use crate::render::Surface;
+use crate::window::{Window, WindowTree};
+
+/// Per-client protocol statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Total requests issued.
+    pub requests: u64,
+    /// Requests that required a reply (a full round trip).
+    pub round_trips: u64,
+    /// Events delivered to this client.
+    pub events: u64,
+}
+
+#[derive(Debug, Default)]
+struct ClientState {
+    queue: VecDeque<Event>,
+    stats: ClientStats,
+}
+
+/// The selection table entry: who owns a selection.
+#[derive(Debug, Clone, Copy)]
+struct SelectionOwner {
+    window: WindowId,
+    client: ClientId,
+    since: u64,
+}
+
+/// The simulated X server.
+pub struct Server {
+    tree: WindowTree,
+    pub(crate) atoms: AtomTable,
+    pub(crate) colormap: Colormap,
+    pub(crate) fonts: FontTable,
+    pub(crate) cursors: CursorTable,
+    pub(crate) gcs: GcTable,
+    pub(crate) bitmaps: crate::bitmap::BitmapTable,
+    ids: IdAllocator,
+    next_client: u32,
+    clients: HashMap<ClientId, ClientState>,
+    selections: HashMap<Atom, SelectionOwner>,
+    focus: WindowId,
+    pointer: (i32, i32),
+    pointer_window: WindowId,
+    buttons: u32,
+    modifiers: u32,
+    time: u64,
+    /// Cumulative count of drawing requests processed (server work proxy).
+    pub draw_requests: u64,
+    /// Cumulative wall time spent executing requests inside the server —
+    /// the "server half" of the paper's Table II row 3 split.
+    pub work_time: std::time::Duration,
+    /// Synthetic latency charged per round trip, simulating the IPC cost a
+    /// real X connection pays (zero by default; benchmarks opt in).
+    round_trip_cost: std::time::Duration,
+}
+
+/// Screen dimensions of the simulated display.
+pub const SCREEN_WIDTH: u32 = 1024;
+/// Screen dimensions of the simulated display.
+pub const SCREEN_HEIGHT: u32 = 768;
+
+impl Default for Server {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Server {
+    /// Creates a server with a mapped root window covering the screen.
+    pub fn new() -> Server {
+        let mut ids = IdAllocator::default();
+        let root_id = ids.alloc();
+        let mut root = Window::new(
+            root_id,
+            Xid::NONE,
+            ClientId(0),
+            0,
+            0,
+            SCREEN_WIDTH,
+            SCREEN_HEIGHT,
+            0,
+        );
+        root.mapped = true;
+        root.background = Pixel(1);
+        Server {
+            tree: WindowTree::with_root(root),
+            atoms: AtomTable::new(),
+            colormap: Colormap::new(),
+            fonts: FontTable::default(),
+            cursors: CursorTable::default(),
+            gcs: GcTable::default(),
+            bitmaps: crate::bitmap::BitmapTable::default(),
+            ids,
+            next_client: 0,
+            clients: HashMap::new(),
+            selections: HashMap::new(),
+            focus: Xid::NONE,
+            pointer: (0, 0),
+            pointer_window: root_id,
+            buttons: 0,
+            modifiers: 0,
+            time: 0,
+            draw_requests: 0,
+            work_time: std::time::Duration::ZERO,
+            round_trip_cost: std::time::Duration::ZERO,
+        }
+    }
+
+    /// Sets the synthetic per-round-trip latency (see the cache-ablation
+    /// benchmark: real X requests with replies cost an IPC round trip).
+    pub fn set_round_trip_cost(&mut self, cost: std::time::Duration) {
+        self.round_trip_cost = cost;
+    }
+
+    /// Registers a new client connection.
+    pub fn connect(&mut self) -> ClientId {
+        self.next_client += 1;
+        let id = ClientId(self.next_client);
+        self.clients.insert(id, ClientState::default());
+        id
+    }
+
+    /// The root window.
+    pub fn root(&self) -> WindowId {
+        self.tree.root()
+    }
+
+    /// The current server timestamp.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Statistics for one client.
+    pub fn stats(&self, client: ClientId) -> ClientStats {
+        self.clients
+            .get(&client)
+            .map(|c| c.stats)
+            .unwrap_or_default()
+    }
+
+    /// Resets statistics for all clients (benchmark warm-up boundary).
+    pub fn reset_stats(&mut self) {
+        for c in self.clients.values_mut() {
+            c.stats = ClientStats::default();
+        }
+        self.draw_requests = 0;
+        self.work_time = std::time::Duration::ZERO;
+    }
+
+    pub(crate) fn note_request(&mut self, client: ClientId, round_trip: bool) {
+        self.time += 1;
+        if round_trip && !self.round_trip_cost.is_zero() {
+            // Busy-wait: simulated IPC latency must not depend on the
+            // scheduler's sleep granularity.
+            let start = std::time::Instant::now();
+            while start.elapsed() < self.round_trip_cost {
+                std::hint::spin_loop();
+            }
+        }
+        if let Some(c) = self.clients.get_mut(&client) {
+            c.stats.requests += 1;
+            if round_trip {
+                c.stats.round_trips += 1;
+            }
+        }
+    }
+
+    // ----- event delivery -----------------------------------------------------
+
+    fn enqueue(&mut self, client: ClientId, event: Event) {
+        if let Some(c) = self.clients.get_mut(&client) {
+            c.stats.events += 1;
+            c.queue.push_back(event);
+        }
+    }
+
+    /// Delivers `event` to every client that selected its mask bit on the
+    /// event window; maskless (selection) events go to the window's owner.
+    fn deliver(&mut self, event: Event) {
+        let window = event.window();
+        match event.mask_bit() {
+            None => {
+                if let Some(w) = self.tree.get(window) {
+                    let owner = w.owner;
+                    self.enqueue(owner, event);
+                }
+            }
+            Some(bit) => {
+                let Some(w) = self.tree.get(window) else {
+                    return;
+                };
+                let targets: Vec<ClientId> = w
+                    .event_masks
+                    .iter()
+                    .filter(|(_, m)| *m & bit != 0)
+                    .map(|(c, _)| *c)
+                    .collect();
+                for c in targets {
+                    self.enqueue(c, event.clone());
+                }
+            }
+        }
+    }
+
+    /// Delivers a structure event to the window itself and, as a
+    /// substructure event, to its parent.
+    fn deliver_structure(&mut self, event: Event) {
+        let window = event.window();
+        self.deliver(event.clone());
+        let Some(w) = self.tree.get(window) else {
+            return;
+        };
+        let parent = w.parent;
+        if parent.is_none() {
+            return;
+        }
+        let Some(p) = self.tree.get(parent) else {
+            return;
+        };
+        let targets: Vec<ClientId> = p
+            .event_masks
+            .iter()
+            .filter(|(_, m)| *m & mask::SUBSTRUCTURE_NOTIFY != 0)
+            .map(|(c, _)| *c)
+            .collect();
+        for c in targets {
+            self.enqueue(c, event.clone());
+        }
+    }
+
+    /// Finds the window (starting at `start` and walking up) on which some
+    /// client selected `bit`; returns it, or `None` if nobody cares.
+    fn propagation_target(&self, start: WindowId, bit: u32) -> Option<WindowId> {
+        for w in self.tree.ancestors(start) {
+            if let Some(win) = self.tree.get(w) {
+                if win.any_mask() & bit != 0 {
+                    return Some(w);
+                }
+            }
+        }
+        None
+    }
+
+    /// Next queued event for a client.
+    pub fn poll_event(&mut self, client: ClientId) -> Option<Event> {
+        self.clients.get_mut(&client)?.queue.pop_front()
+    }
+
+    /// Number of queued events for a client.
+    pub fn pending(&self, client: ClientId) -> usize {
+        self.clients.get(&client).map(|c| c.queue.len()).unwrap_or(0)
+    }
+
+    // ----- window requests ------------------------------------------------------
+
+    /// Creates a window. The window starts unmapped.
+    pub fn create_window(
+        &mut self,
+        client: ClientId,
+        parent: WindowId,
+        x: i32,
+        y: i32,
+        width: u32,
+        height: u32,
+        border_width: u32,
+    ) -> Option<WindowId> {
+        self.tree.get(parent)?;
+        let id = self.ids.alloc();
+        let mut w = Window::new(id, parent, client, x, y, width, height, border_width);
+        let bg = self.colormap.rgb(w.background);
+        w.surface.clear(bg);
+        self.tree.insert(w);
+        Some(id)
+    }
+
+    /// Destroys a window and its subtree, generating DestroyNotify.
+    pub fn destroy_window(&mut self, id: WindowId) {
+        if id == self.tree.root() || self.tree.get(id).is_none() {
+            return;
+        }
+        // Capture masks before removal so DestroyNotify can be delivered.
+        let removed = self.tree.remove_subtree(id);
+        for w in &removed {
+            // Release any selections owned by the window.
+            self.selections.retain(|_, o| o.window != *w);
+            if self.focus == *w {
+                self.focus = Xid::NONE;
+            }
+        }
+        // The windows are gone from the tree; notify every client (the
+        // real server uses the saved masks; broadcasting a DestroyNotify
+        // is observationally equivalent for well-behaved toolkits).
+        let clients: Vec<ClientId> = self.clients.keys().copied().collect();
+        for w in removed {
+            for c in &clients {
+                self.enqueue(*c, Event::DestroyNotify { window: w });
+            }
+        }
+        self.refresh_pointer_window();
+    }
+
+    /// Maps a window, generating MapNotify and Expose as appropriate.
+    pub fn map_window(&mut self, id: WindowId) {
+        let Some(w) = self.tree.get_mut(id) else {
+            return;
+        };
+        if w.mapped {
+            return;
+        }
+        w.mapped = true;
+        self.deliver_structure(Event::MapNotify { window: id });
+        if self.tree.viewable(id) {
+            self.expose_subtree(id);
+        }
+        self.refresh_pointer_window();
+    }
+
+    /// Unmaps a window, generating UnmapNotify.
+    pub fn unmap_window(&mut self, id: WindowId) {
+        let Some(w) = self.tree.get_mut(id) else {
+            return;
+        };
+        if !w.mapped {
+            return;
+        }
+        w.mapped = false;
+        self.deliver_structure(Event::UnmapNotify { window: id });
+        self.refresh_pointer_window();
+    }
+
+    /// Generates Expose for `id` and all its viewable descendants.
+    fn expose_subtree(&mut self, id: WindowId) {
+        let mut stack = vec![id];
+        while let Some(w) = stack.pop() {
+            if !self.tree.viewable(w) {
+                continue;
+            }
+            let (width, height, children) = {
+                let win = self.tree.get(w).unwrap();
+                (win.width, win.height, win.children.clone())
+            };
+            self.deliver(Event::Expose {
+                window: w,
+                x: 0,
+                y: 0,
+                width,
+                height,
+                count: 0,
+            });
+            stack.extend(children);
+        }
+    }
+
+    /// Moves/resizes a window; generates ConfigureNotify and, when the size
+    /// changed, clears the surface to the background and exposes.
+    pub fn configure_window(
+        &mut self,
+        id: WindowId,
+        x: Option<i32>,
+        y: Option<i32>,
+        width: Option<u32>,
+        height: Option<u32>,
+        border_width: Option<u32>,
+    ) {
+        let Some(w) = self.tree.get_mut(id) else {
+            return;
+        };
+        let new_w = width.unwrap_or(w.width).max(1);
+        let new_h = height.unwrap_or(w.height).max(1);
+        let resized = new_w != w.width || new_h != w.height;
+        w.x = x.unwrap_or(w.x);
+        w.y = y.unwrap_or(w.y);
+        w.width = new_w;
+        w.height = new_h;
+        w.border_width = border_width.unwrap_or(w.border_width);
+        let (nx, ny, bw, bg) = (w.x, w.y, w.border_width, w.background);
+        if resized {
+            let bg_rgb = self.colormap.rgb(bg);
+            let w = self.tree.get_mut(id).unwrap();
+            w.surface = Surface::new(new_w, new_h, bg_rgb);
+        }
+        self.deliver_structure(Event::ConfigureNotify {
+            window: id,
+            x: nx,
+            y: ny,
+            width: new_w,
+            height: new_h,
+            border_width: bw,
+        });
+        if resized && self.tree.viewable(id) {
+            self.expose_subtree(id);
+        }
+        self.refresh_pointer_window();
+    }
+
+    /// Reparents a window: unlinks it from its old parent and makes it the
+    /// topmost child of `new_parent` at `(x, y)` (Tk uses this to hang
+    /// menus off the root window so they can extend beyond their logical
+    /// parent).
+    pub fn reparent_window(&mut self, id: WindowId, new_parent: WindowId, x: i32, y: i32) {
+        if id == self.tree.root() || self.tree.get(new_parent).is_none() {
+            return;
+        }
+        let Some(w) = self.tree.get(id) else { return };
+        let old_parent = w.parent;
+        if let Some(p) = self.tree.get_mut(old_parent) {
+            p.children.retain(|c| *c != id);
+        }
+        if let Some(p) = self.tree.get_mut(new_parent) {
+            p.children.push(id);
+        }
+        if let Some(w) = self.tree.get_mut(id) {
+            w.parent = new_parent;
+            w.x = x;
+            w.y = y;
+        }
+        self.refresh_pointer_window();
+    }
+
+    /// Raises a window to the top of its siblings.
+    pub fn raise_window(&mut self, id: WindowId) {
+        let Some(w) = self.tree.get(id) else { return };
+        let parent = w.parent;
+        if let Some(p) = self.tree.get_mut(parent) {
+            p.children.retain(|c| *c != id);
+            p.children.push(id);
+        }
+        if self.tree.viewable(id) {
+            self.expose_subtree(id);
+        }
+        self.refresh_pointer_window();
+    }
+
+    /// Sets a client's event mask on a window.
+    pub fn select_input(&mut self, client: ClientId, id: WindowId, event_mask: u32) {
+        if let Some(w) = self.tree.get_mut(id) {
+            if event_mask == 0 {
+                w.event_masks.remove(&client);
+            } else {
+                w.event_masks.insert(client, event_mask);
+            }
+        }
+    }
+
+    /// Sets window attributes that affect rendering.
+    pub fn set_window_background(&mut self, id: WindowId, pixel: Pixel) {
+        if let Some(w) = self.tree.get_mut(id) {
+            w.background = pixel;
+        }
+    }
+
+    /// Sets the border pixel.
+    pub fn set_window_border(&mut self, id: WindowId, pixel: Pixel) {
+        if let Some(w) = self.tree.get_mut(id) {
+            w.border_pixel = pixel;
+        }
+    }
+
+    /// Sets override-redirect (popups).
+    pub fn set_override_redirect(&mut self, id: WindowId, on: bool) {
+        if let Some(w) = self.tree.get_mut(id) {
+            w.override_redirect = on;
+        }
+    }
+
+    /// Attaches a cursor to a window.
+    pub fn define_cursor(&mut self, id: WindowId, cursor: CursorId) {
+        if let Some(w) = self.tree.get_mut(id) {
+            w.cursor = cursor;
+        }
+    }
+
+    /// Parent and children (bottom-to-top) of a window.
+    pub fn query_tree(&self, id: WindowId) -> Option<(WindowId, Vec<WindowId>)> {
+        self.tree.get(id).map(|w| (w.parent, w.children.clone()))
+    }
+
+    /// Geometry of a window.
+    pub fn get_geometry(&self, id: WindowId) -> Option<(i32, i32, u32, u32, u32)> {
+        self.tree
+            .get(id)
+            .map(|w| (w.x, w.y, w.width, w.height, w.border_width))
+    }
+
+    /// Is the window viewable (mapped with all ancestors mapped)?
+    pub fn is_viewable(&self, id: WindowId) -> bool {
+        self.tree.viewable(id)
+    }
+
+    // ----- properties -------------------------------------------------------------
+
+    /// Sets a property, generating PropertyNotify.
+    pub fn change_property(&mut self, id: WindowId, atom: Atom, value: String) {
+        let Some(w) = self.tree.get_mut(id) else {
+            return;
+        };
+        w.properties.insert(atom, value);
+        let time = self.time;
+        self.deliver(Event::PropertyNotify {
+            window: id,
+            atom,
+            deleted: false,
+            time,
+        });
+    }
+
+    /// Reads a property.
+    pub fn get_property(&self, id: WindowId, atom: Atom) -> Option<String> {
+        self.tree.get(id)?.properties.get(&atom).cloned()
+    }
+
+    /// Deletes a property, generating PropertyNotify (deleted).
+    pub fn delete_property(&mut self, id: WindowId, atom: Atom) {
+        let Some(w) = self.tree.get_mut(id) else {
+            return;
+        };
+        if w.properties.remove(&atom).is_some() {
+            let time = self.time;
+            self.deliver(Event::PropertyNotify {
+                window: id,
+                atom,
+                deleted: true,
+                time,
+            });
+        }
+    }
+
+    // ----- selections ----------------------------------------------------------------
+
+    /// Makes `window` the owner of `selection`; the previous owner gets
+    /// SelectionClear (the ICCCM handshake of Section 3.6).
+    pub fn set_selection_owner(&mut self, client: ClientId, selection: Atom, window: WindowId) {
+        let time = self.time;
+        if let Some(prev) = self.selections.get(&selection).copied() {
+            if prev.window != window {
+                self.deliver(Event::SelectionClear {
+                    window: prev.window,
+                    selection,
+                    time,
+                });
+            }
+        }
+        if window.is_none() {
+            self.selections.remove(&selection);
+        } else {
+            self.selections.insert(
+                selection,
+                SelectionOwner {
+                    window,
+                    client,
+                    since: time,
+                },
+            );
+        }
+    }
+
+    /// Current owner window of a selection.
+    pub fn get_selection_owner(&self, selection: Atom) -> WindowId {
+        self.selections
+            .get(&selection)
+            .map(|o| o.window)
+            .unwrap_or(Xid::NONE)
+    }
+
+    /// Asks the owner of `selection` to convert it to `target` and store
+    /// the result in `property` on `requestor`. If there is no owner the
+    /// requestor immediately gets a refusal SelectionNotify.
+    pub fn convert_selection(
+        &mut self,
+        requestor: WindowId,
+        selection: Atom,
+        target: Atom,
+        property: Atom,
+    ) {
+        let time = self.time;
+        match self.selections.get(&selection).copied() {
+            Some(owner) => {
+                let ev = Event::SelectionRequest {
+                    owner: owner.window,
+                    requestor,
+                    selection,
+                    target,
+                    property,
+                    time,
+                };
+                self.enqueue(owner.client, ev);
+            }
+            None => {
+                self.deliver(Event::SelectionNotify {
+                    requestor,
+                    selection,
+                    target,
+                    property: Atom::NONE,
+                    time,
+                });
+            }
+        }
+    }
+
+    /// Sent by a selection owner after servicing a SelectionRequest.
+    pub fn send_selection_notify(
+        &mut self,
+        requestor: WindowId,
+        selection: Atom,
+        target: Atom,
+        property: Atom,
+    ) {
+        let time = self.time;
+        self.deliver(Event::SelectionNotify {
+            requestor,
+            selection,
+            target,
+            property,
+            time,
+        });
+    }
+
+    /// Timestamp when the selection was acquired (tests/ICCCM ordering).
+    pub fn selection_since(&self, selection: Atom) -> Option<u64> {
+        self.selections.get(&selection).map(|o| o.since)
+    }
+
+    // ----- focus ------------------------------------------------------------------------
+
+    /// Sets the input focus, generating FocusOut/FocusIn.
+    pub fn set_input_focus(&mut self, id: WindowId) {
+        if self.focus == id {
+            return;
+        }
+        let old = self.focus;
+        self.focus = id;
+        if !old.is_none() && self.tree.get(old).is_some() {
+            self.deliver(Event::FocusOut { window: old });
+        }
+        if !id.is_none() && self.tree.get(id).is_some() {
+            self.deliver(Event::FocusIn { window: id });
+        }
+    }
+
+    /// The focus window (`NONE` = pointer-driven).
+    pub fn get_input_focus(&self) -> WindowId {
+        self.focus
+    }
+
+    // ----- drawing ---------------------------------------------------------------------
+
+    fn gc_color(&self, gc: GcId) -> (Rgb, GcValues) {
+        let values = self.gcs.get(gc).unwrap_or_default();
+        (self.colormap.rgb(values.foreground), values)
+    }
+
+    /// Fills a rectangle in window coordinates.
+    pub fn fill_rectangle(&mut self, id: WindowId, gc: GcId, x: i32, y: i32, w: u32, h: u32) {
+        self.draw_requests += 1;
+        let (color, _) = self.gc_color(gc);
+        if let Some(win) = self.tree.get_mut(id) {
+            win.surface.fill_rect(x, y, w, h, color);
+        }
+    }
+
+    /// Draws a rectangle outline.
+    pub fn draw_rectangle(&mut self, id: WindowId, gc: GcId, x: i32, y: i32, w: u32, h: u32) {
+        self.draw_requests += 1;
+        let (color, values) = self.gc_color(gc);
+        if let Some(win) = self.tree.get_mut(id) {
+            win.surface.draw_rect(x, y, w, h, values.line_width.max(1), color);
+        }
+    }
+
+    /// Draws a line.
+    pub fn draw_line(&mut self, id: WindowId, gc: GcId, x0: i32, y0: i32, x1: i32, y1: i32) {
+        self.draw_requests += 1;
+        let (color, values) = self.gc_color(gc);
+        if let Some(win) = self.tree.get_mut(id) {
+            win.surface
+                .draw_line(x0, y0, x1, y1, values.line_width.max(1), color);
+        }
+    }
+
+    /// Draws text with the GC's font, baseline at `(x, y)`.
+    pub fn draw_string(&mut self, id: WindowId, gc: GcId, x: i32, y: i32, text: &str) {
+        self.draw_requests += 1;
+        let (color, values) = self.gc_color(gc);
+        let metrics = self
+            .fonts
+            .metrics(values.font)
+            .unwrap_or(FontMetrics {
+                char_width: 6,
+                ascent: 10,
+                descent: 3,
+            });
+        if let Some(win) = self.tree.get_mut(id) {
+            win.surface.draw_text(x, y, text, metrics, color);
+        }
+    }
+
+    /// Draws a bitmap at `(x, y)`: set bits in the GC foreground.
+    pub fn copy_bitmap(
+        &mut self,
+        id: WindowId,
+        gc: GcId,
+        x: i32,
+        y: i32,
+        bitmap: crate::bitmap::BitmapId,
+    ) {
+        self.draw_requests += 1;
+        let (color, _) = self.gc_color(gc);
+        let Some(bm) = self.bitmaps.get(bitmap).cloned() else {
+            return;
+        };
+        let Some(win) = self.tree.get_mut(id) else {
+            return;
+        };
+        for by in 0..bm.height {
+            for bx in 0..bm.width {
+                if bm.get(bx, by) {
+                    win.surface.put_pixel(x + bx as i32, y + by as i32, color);
+                }
+            }
+        }
+    }
+
+    /// Clears an area to the window background (whole window when w/h are 0).
+    pub fn clear_area(&mut self, id: WindowId, x: i32, y: i32, w: u32, h: u32) {
+        self.draw_requests += 1;
+        let Some(win) = self.tree.get(id) else {
+            return;
+        };
+        let bg = self.colormap.rgb(win.background);
+        let full = (x, y) == (0, 0) && (w == 0 || w >= win.width) && (h == 0 || h >= win.height);
+        let (w, h) = (
+            if w == 0 { win.width } else { w },
+            if h == 0 { win.height } else { h },
+        );
+        let win = self.tree.get_mut(id).unwrap();
+        if full {
+            win.surface.clear(bg);
+        } else {
+            win.surface.fill_rect(x, y, w, h, bg);
+        }
+    }
+
+    // ----- input synthesis (the test/driver interface) -------------------------------------
+
+    /// Recomputes which window the pointer is in, generating Enter/Leave.
+    fn refresh_pointer_window(&mut self) {
+        let (x, y) = self.pointer;
+        let new = self.tree.window_at(x, y);
+        if new == self.pointer_window {
+            return;
+        }
+        let old = self.pointer_window;
+        self.pointer_window = new;
+        let time = self.time;
+        let st = self.buttons | self.modifiers;
+        if self.tree.get(old).is_some() {
+            let (ax, ay) = self.tree.abs_pos(old);
+            self.deliver(Event::LeaveNotify {
+                window: old,
+                x: x - ax,
+                y: y - ay,
+                state: st,
+                time,
+            });
+        }
+        let (ax, ay) = self.tree.abs_pos(new);
+        self.deliver(Event::EnterNotify {
+            window: new,
+            x: x - ax,
+            y: y - ay,
+            state: st,
+            time,
+        });
+    }
+
+    /// Moves the pointer to root coordinates, generating crossing and
+    /// motion events.
+    pub fn warp_pointer(&mut self, x: i32, y: i32) {
+        self.time += 1;
+        self.pointer = (x, y);
+        self.refresh_pointer_window();
+        // Motion propagates from the deepest window upward.
+        let deepest = self.pointer_window;
+        if let Some(target) = self.propagation_target(deepest, mask::POINTER_MOTION) {
+            let (ax, ay) = self.tree.abs_pos(target);
+            let time = self.time;
+            let st = self.buttons | self.modifiers;
+            self.deliver(Event::MotionNotify {
+                window: target,
+                x: x - ax,
+                y: y - ay,
+                x_root: x,
+                y_root: y,
+                state: st,
+                time,
+            });
+        }
+    }
+
+    /// Current pointer position in root coordinates.
+    pub fn pointer(&self) -> (i32, i32) {
+        self.pointer
+    }
+
+    /// Presses a mouse button at the current pointer position.
+    pub fn press_button(&mut self, button: u8) {
+        self.time += 1;
+        let (x, y) = self.pointer;
+        let st = self.buttons | self.modifiers;
+        self.buttons |= state::BUTTON1 << (button.saturating_sub(1).min(2));
+        let deepest = self.pointer_window;
+        if let Some(target) = self.propagation_target(deepest, mask::BUTTON_PRESS) {
+            let (ax, ay) = self.tree.abs_pos(target);
+            let time = self.time;
+            self.deliver(Event::ButtonPress {
+                window: target,
+                button,
+                x: x - ax,
+                y: y - ay,
+                x_root: x,
+                y_root: y,
+                state: st,
+                time,
+            });
+        }
+    }
+
+    /// Releases a mouse button.
+    pub fn release_button(&mut self, button: u8) {
+        self.time += 1;
+        let (x, y) = self.pointer;
+        self.buttons &= !(state::BUTTON1 << (button.saturating_sub(1).min(2)));
+        let st = self.buttons | self.modifiers;
+        let deepest = self.pointer_window;
+        if let Some(target) = self.propagation_target(deepest, mask::BUTTON_RELEASE) {
+            let (ax, ay) = self.tree.abs_pos(target);
+            let time = self.time;
+            self.deliver(Event::ButtonRelease {
+                window: target,
+                button,
+                x: x - ax,
+                y: y - ay,
+                x_root: x,
+                y_root: y,
+                state: st,
+                time,
+            });
+        }
+    }
+
+    /// Sets the logical modifier state used for subsequent key events.
+    pub fn set_modifiers(&mut self, modifiers: u32) {
+        self.modifiers = modifiers;
+    }
+
+    /// Presses (and releases) a key. Key events go to the focus window if
+    /// one is set, otherwise to the window under the pointer; either way
+    /// they propagate upward to a selecting window.
+    pub fn press_key(&mut self, keysym: Keysym) {
+        self.time += 1;
+        let start = if self.focus.is_none() || self.tree.get(self.focus).is_none() {
+            self.pointer_window
+        } else {
+            self.focus
+        };
+        let st = self.buttons | self.modifiers;
+        let (x, y) = self.pointer;
+        if let Some(target) = self.propagation_target(start, mask::KEY_PRESS) {
+            let (ax, ay) = self.tree.abs_pos(target);
+            let time = self.time;
+            self.deliver(Event::KeyPress {
+                window: target,
+                keysym: keysym.clone(),
+                x: x - ax,
+                y: y - ay,
+                state: st,
+                time,
+            });
+        }
+        if let Some(target) = self.propagation_target(start, mask::KEY_RELEASE) {
+            let (ax, ay) = self.tree.abs_pos(target);
+            let time = self.time;
+            self.deliver(Event::KeyRelease {
+                window: target,
+                keysym,
+                x: x - ax,
+                y: y - ay,
+                state: st,
+                time,
+            });
+        }
+    }
+
+    // ----- compositing ------------------------------------------------------------------
+
+    /// Composites the visible window tree into a single screen image.
+    pub fn compose_screen(&self) -> Surface {
+        let root = self.tree.root();
+        let rw = self.tree.get(root).unwrap();
+        let mut screen = Surface::new(rw.width, rw.height, self.colormap.rgb(rw.background));
+        self.compose_into(&mut screen, root);
+        screen
+    }
+
+    fn compose_into(&self, screen: &mut Surface, id: WindowId) {
+        let Some(w) = self.tree.get(id) else {
+            return;
+        };
+        if !self.tree.viewable(id) {
+            return;
+        }
+        let (ax, ay) = self.tree.abs_pos(id);
+        if w.border_width > 0 {
+            let b = w.border_width;
+            screen.draw_rect(
+                ax - b as i32,
+                ay - b as i32,
+                w.width + 2 * b,
+                w.height + 2 * b,
+                b,
+                self.colormap.rgb(w.border_pixel),
+            );
+        }
+        screen.blit(&w.surface, ax, ay);
+        for &c in &w.children {
+            self.compose_into(screen, c);
+        }
+    }
+
+    /// Renders an ASCII-art screen dump: window frames become box-drawing
+    /// characters and drawn text appears at its character cell. Used for
+    /// the Figure 10 reproduction and debugging.
+    pub fn ascii_dump(&self) -> String {
+        const CELL_W: i32 = 6;
+        const CELL_H: i32 = 8;
+        let root = self.tree.root();
+        let rw = self.tree.get(root).unwrap();
+        let cols = (rw.width as i32 / CELL_W) as usize;
+        let rows = (rw.height as i32 / CELL_H) as usize;
+        let mut grid = vec![vec![' '; cols]; rows];
+        let mut order: Vec<WindowId> = Vec::new();
+        self.paint_order(root, &mut order);
+        let mut any_min_col = cols;
+        let mut any_max_col = 0usize;
+        let mut any_min_row = rows;
+        let mut any_max_row = 0usize;
+        for id in order {
+            let w = self.tree.get(id).unwrap();
+            if id == root {
+                continue;
+            }
+            let (ax, ay) = self.tree.abs_pos(id);
+            let c0 = (ax / CELL_W).max(0) as usize;
+            let r0 = (ay / CELL_H).max(0) as usize;
+            let c1 = (((ax + w.width as i32) / CELL_W) as usize).min(cols.saturating_sub(1));
+            let r1 = (((ay + w.height as i32) / CELL_H) as usize).min(rows.saturating_sub(1));
+            if c0 >= cols || r0 >= rows || c1 <= c0 || r1 <= r0 {
+                continue;
+            }
+            any_min_col = any_min_col.min(c0);
+            any_max_col = any_max_col.max(c1);
+            any_min_row = any_min_row.min(r0);
+            any_max_row = any_max_row.max(r1);
+            for c in c0..=c1 {
+                grid[r0][c] = '-';
+                grid[r1][c] = '-';
+            }
+            for row in grid.iter_mut().take(r1 + 1).skip(r0) {
+                row[c0] = '|';
+                row[c1] = '|';
+            }
+            grid[r0][c0] = '+';
+            grid[r0][c1] = '+';
+            grid[r1][c0] = '+';
+            grid[r1][c1] = '+';
+            // Interior: clear, then text overlay.
+            for row in grid.iter_mut().take(r1).skip(r0 + 1) {
+                for cell in row.iter_mut().take(c1).skip(c0 + 1) {
+                    *cell = ' ';
+                }
+            }
+            for (tx, ty, text) in &w.surface.texts {
+                let tc = ((ax + tx) / CELL_W) as usize;
+                // Clamp the text row into the box interior so that short
+                // widgets (a one-line button) still show their label.
+                let tr = (((ay + ty) / CELL_H) as usize)
+                    .clamp(r0 + 1, r1.saturating_sub(1).max(r0 + 1));
+                if tr >= rows || tr >= r1 {
+                    continue;
+                }
+                // Shift text starting at the border inward one cell.
+                let start_col = tc.max(c0 + 1);
+                for (n, ch) in text.chars().enumerate() {
+                    let col = start_col + n;
+                    if col < cols && col < c1 {
+                        grid[tr][col] = ch;
+                    }
+                }
+            }
+        }
+        if any_max_col <= any_min_col {
+            return String::new();
+        }
+        let mut out = String::new();
+        for row in grid.iter().take(any_max_row + 1).skip(any_min_row) {
+            let line: String = row[any_min_col..=any_max_col].iter().collect();
+            out.push_str(line.trim_end());
+            out.push('\n');
+        }
+        out
+    }
+
+    fn paint_order(&self, id: WindowId, out: &mut Vec<WindowId>) {
+        if !self.tree.viewable(id) {
+            return;
+        }
+        out.push(id);
+        if let Some(w) = self.tree.get(id) {
+            for &c in &w.children {
+                self.paint_order(c, out);
+            }
+        }
+    }
+
+    // ----- resource helpers used by Connection ------------------------------------------------
+
+    pub(crate) fn alloc_named_color(&mut self, name: &str) -> Option<(Pixel, Rgb)> {
+        let rgb = lookup_color(name)?;
+        Some((self.colormap.alloc(rgb), rgb))
+    }
+
+    pub(crate) fn open_font(&mut self, name: &str) -> Option<FontId> {
+        self.fonts.open(name)
+    }
+
+    /// Direct read access for tests: a window's surface.
+    pub fn window_surface(&self, id: WindowId) -> Option<&Surface> {
+        self.tree.get(id).map(|w| &w.surface)
+    }
+
+    /// Number of live windows including the root.
+    pub fn window_count(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Number of distinct colormap cells (cache ablation metric).
+    pub fn colormap_cells(&self) -> usize {
+        self.colormap.cell_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Server, ClientId) {
+        let mut s = Server::new();
+        let c = s.connect();
+        (s, c)
+    }
+
+    #[test]
+    fn create_and_map_generates_expose() {
+        let (mut s, c) = setup();
+        let root = s.root();
+        let w = s.create_window(c, root, 10, 10, 100, 50, 1).unwrap();
+        s.select_input(c, w, mask::EXPOSURE | mask::STRUCTURE_NOTIFY);
+        s.map_window(w);
+        let events: Vec<Event> = std::iter::from_fn(|| s.poll_event(c)).collect();
+        assert!(events.iter().any(|e| matches!(e, Event::MapNotify { .. })));
+        assert!(events.iter().any(|e| matches!(e, Event::Expose { .. })));
+    }
+
+    #[test]
+    fn unmapped_window_gets_no_expose() {
+        let (mut s, c) = setup();
+        let root = s.root();
+        let parent = s.create_window(c, root, 0, 0, 100, 100, 0).unwrap();
+        let child = s.create_window(c, parent, 0, 0, 50, 50, 0).unwrap();
+        s.select_input(c, child, mask::EXPOSURE);
+        s.map_window(child); // parent still unmapped: not viewable
+        assert_eq!(s.pending(c), 0);
+        s.map_window(parent); // now the child becomes viewable
+        let events: Vec<Event> = std::iter::from_fn(|| s.poll_event(c)).collect();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::Expose { window, .. } if *window == child)));
+    }
+
+    #[test]
+    fn configure_resize_exposes_and_notifies() {
+        let (mut s, c) = setup();
+        let root = s.root();
+        let w = s.create_window(c, root, 0, 0, 50, 50, 0).unwrap();
+        s.select_input(c, w, mask::EXPOSURE | mask::STRUCTURE_NOTIFY);
+        s.map_window(w);
+        while s.poll_event(c).is_some() {}
+        s.configure_window(w, Some(5), None, Some(80), Some(60), None);
+        let events: Vec<Event> = std::iter::from_fn(|| s.poll_event(c)).collect();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::ConfigureNotify { x: 5, width: 80, height: 60, .. }
+        )));
+        assert!(events.iter().any(|e| matches!(e, Event::Expose { .. })));
+        assert_eq!(s.get_geometry(w).unwrap(), (5, 0, 80, 60, 0));
+    }
+
+    #[test]
+    fn destroy_notifies_and_removes() {
+        let (mut s, c) = setup();
+        let root = s.root();
+        let w = s.create_window(c, root, 0, 0, 50, 50, 0).unwrap();
+        let kid = s.create_window(c, w, 0, 0, 10, 10, 0).unwrap();
+        s.destroy_window(w);
+        let events: Vec<Event> = std::iter::from_fn(|| s.poll_event(c)).collect();
+        let destroyed: Vec<WindowId> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::DestroyNotify { window } => Some(*window),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(destroyed, vec![kid, w]);
+        assert!(s.get_geometry(w).is_none());
+    }
+
+    #[test]
+    fn enter_leave_on_pointer_motion() {
+        let (mut s, c) = setup();
+        let root = s.root();
+        let w = s.create_window(c, root, 100, 100, 50, 50, 0).unwrap();
+        s.select_input(c, w, mask::ENTER_WINDOW | mask::LEAVE_WINDOW);
+        s.map_window(w);
+        s.warp_pointer(125, 125);
+        let events: Vec<Event> = std::iter::from_fn(|| s.poll_event(c)).collect();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::EnterNotify { window, .. } if *window == w)));
+        s.warp_pointer(10, 10);
+        let events: Vec<Event> = std::iter::from_fn(|| s.poll_event(c)).collect();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::LeaveNotify { window, .. } if *window == w)));
+    }
+
+    #[test]
+    fn button_press_propagates_to_selecting_ancestor() {
+        let (mut s, c) = setup();
+        let root = s.root();
+        let parent = s.create_window(c, root, 0, 0, 200, 200, 0).unwrap();
+        let child = s.create_window(c, parent, 50, 50, 100, 100, 0).unwrap();
+        s.select_input(c, parent, mask::BUTTON_PRESS);
+        s.map_window(parent);
+        s.map_window(child);
+        s.warp_pointer(75, 75); // inside child
+        s.press_button(1);
+        let events: Vec<Event> = std::iter::from_fn(|| s.poll_event(c)).collect();
+        let press = events
+            .iter()
+            .find_map(|e| match e {
+                Event::ButtonPress { window, x, y, .. } => Some((*window, *x, *y)),
+                _ => None,
+            })
+            .expect("press delivered");
+        assert_eq!(press, (parent, 75, 75)); // coordinates relative to parent
+    }
+
+    #[test]
+    fn key_goes_to_focus_window() {
+        let (mut s, c) = setup();
+        let root = s.root();
+        let w = s.create_window(c, root, 0, 0, 50, 50, 0).unwrap();
+        s.select_input(c, w, mask::KEY_PRESS);
+        s.map_window(w);
+        s.set_input_focus(w);
+        s.press_key(Keysym::from_char('a'));
+        let events: Vec<Event> = std::iter::from_fn(|| s.poll_event(c)).collect();
+        assert!(events.iter().any(
+            |e| matches!(e, Event::KeyPress { window, keysym, .. } if *window == w && keysym.name == "a")
+        ));
+    }
+
+    #[test]
+    fn property_roundtrip_and_notify() {
+        let (mut s, c) = setup();
+        let root = s.root();
+        s.select_input(c, root, mask::PROPERTY_CHANGE);
+        let atom = s.atoms.intern("MY_PROP");
+        s.change_property(root, atom, "hello".into());
+        assert_eq!(s.get_property(root, atom), Some("hello".into()));
+        let ev = s.poll_event(c).unwrap();
+        assert!(matches!(ev, Event::PropertyNotify { deleted: false, .. }));
+        s.delete_property(root, atom);
+        assert_eq!(s.get_property(root, atom), None);
+        let ev = s.poll_event(c).unwrap();
+        assert!(matches!(ev, Event::PropertyNotify { deleted: true, .. }));
+    }
+
+    #[test]
+    fn selection_handshake() {
+        let mut s = Server::new();
+        let c1 = s.connect();
+        let c2 = s.connect();
+        let root = s.root();
+        let w1 = s.create_window(c1, root, 0, 0, 10, 10, 0).unwrap();
+        let w2 = s.create_window(c2, root, 20, 0, 10, 10, 0).unwrap();
+        let primary = s.atoms.intern("PRIMARY");
+        let string = s.atoms.intern("STRING");
+        let prop = s.atoms.intern("RESULT");
+
+        s.set_selection_owner(c1, primary, w1);
+        assert_eq!(s.get_selection_owner(primary), w1);
+
+        // c2 requests conversion; c1 gets SelectionRequest.
+        s.convert_selection(w2, primary, string, prop);
+        let req = s.poll_event(c1).unwrap();
+        assert!(matches!(req, Event::SelectionRequest { .. }));
+
+        // c1 services it.
+        s.change_property(w2, prop, "the selection".into());
+        s.send_selection_notify(w2, primary, string, prop);
+        let notify = std::iter::from_fn(|| s.poll_event(c2))
+            .find(|e| matches!(e, Event::SelectionNotify { .. }))
+            .unwrap();
+        if let Event::SelectionNotify { property, .. } = notify {
+            assert_eq!(s.get_property(w2, property), Some("the selection".into()));
+        }
+
+        // New owner: old owner gets SelectionClear.
+        s.set_selection_owner(c2, primary, w2);
+        let clear = std::iter::from_fn(|| s.poll_event(c1))
+            .find(|e| matches!(e, Event::SelectionClear { .. }))
+            .unwrap();
+        assert_eq!(clear.window(), w1);
+    }
+
+    #[test]
+    fn convert_with_no_owner_refuses() {
+        let (mut s, c) = setup();
+        let root = s.root();
+        let w = s.create_window(c, root, 0, 0, 10, 10, 0).unwrap();
+        let sel = s.atoms.intern("PRIMARY");
+        let tgt = s.atoms.intern("STRING");
+        let prop = s.atoms.intern("R");
+        s.convert_selection(w, sel, tgt, prop);
+        let ev = s.poll_event(c).unwrap();
+        assert!(matches!(
+            ev,
+            Event::SelectionNotify {
+                property: Atom::NONE,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn focus_events() {
+        let (mut s, c) = setup();
+        let root = s.root();
+        let a = s.create_window(c, root, 0, 0, 10, 10, 0).unwrap();
+        let b = s.create_window(c, root, 20, 0, 10, 10, 0).unwrap();
+        s.select_input(c, a, mask::FOCUS_CHANGE);
+        s.select_input(c, b, mask::FOCUS_CHANGE);
+        s.set_input_focus(a);
+        s.set_input_focus(b);
+        let events: Vec<Event> = std::iter::from_fn(|| s.poll_event(c)).collect();
+        assert!(events.iter().any(|e| matches!(e, Event::FocusIn { window } if *window == a)));
+        assert!(events.iter().any(|e| matches!(e, Event::FocusOut { window } if *window == a)));
+        assert!(events.iter().any(|e| matches!(e, Event::FocusIn { window } if *window == b)));
+    }
+
+    #[test]
+    fn drawing_affects_surface_and_compose() {
+        let (mut s, c) = setup();
+        let root = s.root();
+        let w = s.create_window(c, root, 10, 10, 50, 50, 0).unwrap();
+        s.map_window(w);
+        let red = s.alloc_named_color("red").unwrap().0;
+        let gc = s.gcs.create(GcValues {
+            foreground: red,
+            ..Default::default()
+        });
+        s.fill_rectangle(w, gc, 0, 0, 50, 50);
+        let screen = s.compose_screen();
+        assert_eq!(screen.pixel(10, 10), Rgb::new(255, 0, 0));
+        assert_eq!(screen.pixel(9, 9), Rgb::new(255, 255, 255));
+        assert_eq!(s.draw_requests, 1);
+    }
+
+    #[test]
+    fn stats_count_requests_and_round_trips() {
+        let (mut s, c) = setup();
+        s.note_request(c, false);
+        s.note_request(c, true);
+        let st = s.stats(c);
+        assert_eq!(st.requests, 2);
+        assert_eq!(st.round_trips, 1);
+        s.reset_stats();
+        assert_eq!(s.stats(c), ClientStats::default());
+    }
+
+    #[test]
+    fn raise_window_changes_stacking() {
+        let (mut s, c) = setup();
+        let root = s.root();
+        let a = s.create_window(c, root, 0, 0, 50, 50, 0).unwrap();
+        let b = s.create_window(c, root, 0, 0, 50, 50, 0).unwrap();
+        s.map_window(a);
+        s.map_window(b);
+        s.warp_pointer(25, 25);
+        // b was created later so it is on top.
+        assert_eq!(s.query_tree(root).unwrap().1, vec![a, b]);
+        s.raise_window(a);
+        assert_eq!(s.query_tree(root).unwrap().1, vec![b, a]);
+    }
+
+    #[test]
+    fn reparent_moves_window_to_new_parent() {
+        let (mut s, c) = setup();
+        let root = s.root();
+        let a = s.create_window(c, root, 0, 0, 50, 50, 0).unwrap();
+        let w = s.create_window(c, a, 5, 5, 10, 10, 0).unwrap();
+        s.reparent_window(w, root, 200, 100, );
+        let (parent, _) = s.query_tree(w).unwrap();
+        assert_eq!(parent, root);
+        assert_eq!(s.get_geometry(w).unwrap(), (200, 100, 10, 10, 0));
+        assert!(!s.query_tree(a).unwrap().1.contains(&w));
+        assert!(s.query_tree(root).unwrap().1.contains(&w));
+    }
+
+    #[test]
+    fn reparented_window_is_hit_by_pointer() {
+        let (mut s, c) = setup();
+        let root = s.root();
+        let a = s.create_window(c, root, 0, 0, 20, 20, 0).unwrap();
+        let menu = s.create_window(c, a, 0, 0, 40, 40, 0).unwrap();
+        s.map_window(a);
+        s.reparent_window(menu, root, 300, 300);
+        s.map_window(menu);
+        // The point is far outside `a`, but inside the reparented window.
+        assert_eq!(s.tree.window_at(310, 310), menu);
+    }
+
+    #[test]
+    fn reparent_rejects_root_and_unknown_parents() {
+        let (mut s, c) = setup();
+        let root = s.root();
+        let w = s.create_window(c, root, 0, 0, 10, 10, 0).unwrap();
+        s.reparent_window(root, w, 0, 0); // no-op
+        assert_eq!(s.query_tree(root).unwrap().0, Xid::NONE);
+        s.reparent_window(w, Xid(9999), 0, 0); // no-op
+        assert_eq!(s.query_tree(w).unwrap().0, root);
+    }
+
+    #[test]
+    fn compose_draws_borders() {
+        let (mut s, c) = setup();
+        let root = s.root();
+        let w = s.create_window(c, root, 10, 10, 20, 20, 2).unwrap();
+        let red = s.alloc_named_color("red").unwrap().0;
+        s.set_window_border(w, red);
+        s.map_window(w);
+        let screen = s.compose_screen();
+        // The window is at (10,10) with border 2, so its interior origin
+        // is (12,12) and the border ring covers (10,10) and (11,11).
+        assert_eq!(screen.pixel(10, 10), Rgb::new(255, 0, 0));
+        assert_eq!(screen.pixel(11, 11), Rgb::new(255, 0, 0));
+        assert_ne!(screen.pixel(9, 9), Rgb::new(255, 0, 0));
+    }
+
+    #[test]
+    fn unmapped_windows_are_not_composited() {
+        let (mut s, c) = setup();
+        let root = s.root();
+        let w = s.create_window(c, root, 0, 0, 50, 50, 0).unwrap();
+        let red = s.alloc_named_color("red").unwrap().0;
+        s.set_window_background(w, red);
+        s.map_window(w);
+        s.clear_area(w, 0, 0, 0, 0);
+        assert_eq!(s.compose_screen().pixel(5, 5), Rgb::new(255, 0, 0));
+        s.unmap_window(w);
+        assert_eq!(s.compose_screen().pixel(5, 5), Rgb::new(255, 255, 255));
+    }
+
+    #[test]
+    fn ascii_dump_shows_boxes_and_text() {
+        let (mut s, c) = setup();
+        let root = s.root();
+        let w = s.create_window(c, root, 16, 32, 200, 100, 1).unwrap();
+        s.map_window(w);
+        let font = s.open_font("fixed").unwrap();
+        let gc = s.gcs.create(GcValues {
+            font,
+            ..Default::default()
+        });
+        s.draw_string(w, gc, 40, 50, "Hello");
+        let dump = s.ascii_dump();
+        assert!(dump.contains('+'), "dump:\n{dump}");
+        assert!(dump.contains("Hello"), "dump:\n{dump}");
+    }
+}

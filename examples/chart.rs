@@ -1,0 +1,106 @@
+//! Section 6's decomposition argument, made concrete: "Commercial
+//! spreadsheet programs tend to be lumped together with chart packages
+//! ... in order to allow the different functions to work together. The
+//! lumping results in unnecessary re-implementation of functions."
+//!
+//! Here the spreadsheet and the chart tool are *separate applications*.
+//! The chart tool knows nothing about spreadsheets — it exposes one Tcl
+//! proc, `plot values`, drawn with the canvas widget (the drawing
+//! commands the paper lists as wish's next step). The spreadsheet pushes
+//! its column through `send` whenever a cell changes.
+//!
+//! Run with: `cargo run --example chart`
+
+use tk::TkEnv;
+
+fn main() {
+    let env = TkEnv::new();
+
+    // ---- The chart tool: a reusable plotting application.
+    let chart = env.app("chart");
+    chart
+        .eval(
+            r#"
+        canvas .plot -geometry 220x120 -background white
+        label .caption -text "chart: no data"
+        pack append . .plot {top expand fill} .caption {bottom fillx}
+        wm geometry . +300+0
+        proc plot {values} {
+            .plot delete all
+            .plot create line 10 100 210 100
+            .plot create line 10 100 10 8
+            set x 16
+            set max 1
+            foreach v $values {if {$v > $max} {set max $v}}
+            foreach v $values {
+                set h [expr {$v * 88 / $max}]
+                .plot create rectangle $x [expr {100 - $h}] [expr {$x + 18}] 100 -fill SteelBlue -tag bar
+                .plot create text $x [expr {97 - $h}] -text $v
+                set x [expr {$x + 26}]
+            }
+            .caption configure -text "chart: [llength $values] bars, max $max"
+            return [llength $values]
+        }
+    "#,
+        )
+        .expect("chart setup");
+
+    // ---- The spreadsheet: cells in entry widgets; every change replots.
+    let sheet = env.app("spreadsheet");
+    sheet
+        .eval(
+            r#"
+        label .head -text "Q1 Q2 Q3 Q4 revenue"
+        pack append . .head {top fillx}
+        set cells {}
+        foreach q {1 2 3 4} {
+            entry .e$q -width 8
+            pack append . .e$q {top}
+            lappend cells .e$q
+        }
+        wm geometry . +0+0
+        proc replot {} {
+            global cells
+            set values {}
+            foreach c $cells {
+                set v [$c get]
+                if {$v == ""} {set v 0}
+                lappend values $v
+            }
+            send chart [list plot $values]
+        }
+    "#,
+        )
+        .expect("spreadsheet setup");
+    env.dispatch_all();
+
+    // The user types quarterly numbers into the spreadsheet.
+    for (i, v) in [("1", "30"), ("2", "55"), ("3", "42"), ("4", "70")] {
+        sheet.eval(&format!(".e{i} insert 0 {v}")).unwrap();
+    }
+    // ... and the sheet pushes the column to the chart tool.
+    let bars = sheet.eval("replot").expect("replot");
+    println!("spreadsheet sent its column; the chart drew it (result: {bars})");
+    println!(
+        "chart caption: {}",
+        chart.eval("lindex [.caption configure -text] 4").unwrap()
+    );
+    env.dispatch_all();
+    chart.update();
+
+    println!("\nTwo cooperating tools:\n{}", env.display().ascii_dump());
+
+    // A cell changes; the chart follows — live data, not a copy.
+    sheet.eval(".e2 delete 0 end; .e2 insert 0 90").unwrap();
+    sheet.eval("replot").unwrap();
+    println!(
+        "after editing Q2: {}",
+        chart.eval("lindex [.caption configure -text] 4").unwrap()
+    );
+    assert_eq!(chart.eval(".plot bbox bar").unwrap().is_empty(), false);
+
+    let ppm = env.display().screenshot().to_ppm();
+    let out = std::env::temp_dir().join("rtk_chart.ppm");
+    std::fs::write(&out, ppm).expect("write screenshot");
+    println!("Screenshot written to {}", out.display());
+}

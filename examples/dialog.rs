@@ -1,0 +1,88 @@
+//! Section 5: "Tk contains no special support for dialog boxes. The basic
+//! commands for creating and arranging widgets are already sufficient ...
+//! dialogs are created by writing short Tcl scripts."
+//!
+//! A file-save dialog built from stock widgets in a dozen lines of Tcl:
+//! a toplevel, a message, an entry (focused, per Section 3.7), and two
+//! buttons. No C — er, Rust — code specific to dialogs exists anywhere in
+//! the toolkit.
+//!
+//! Run with: `cargo run --example dialog`
+
+use tk::TkEnv;
+
+fn main() {
+    let env = TkEnv::new();
+    let app = env.app("editor");
+
+    app.eval(
+        r#"
+        # The main application window.
+        label .title -text "My Editor"
+        button .save -text "Save As..." -command show-dialog
+        pack append . .title {top fillx} .save {top}
+
+        set dialog-result ""
+
+        proc show-dialog {} {
+            toplevel .d
+            wm geometry .d +60+40
+            message .d.msg -text "Save the current buffer to which file?" -width 180
+            entry .d.name -width 24
+            frame .d.buttons
+            button .d.buttons.ok -text Save -command {
+                global dialog-result
+                set dialog-result [.d.name get]
+                destroy .d
+            }
+            button .d.buttons.cancel -text Cancel -command {
+                global dialog-result
+                set dialog-result "(cancelled)"
+                destroy .d
+            }
+            pack append .d.buttons .d.buttons.ok {left expand} .d.buttons.cancel {right expand}
+            pack append .d .d.msg {top fillx} .d.name {top fillx} .d.buttons {top fillx}
+            # Section 3.7: focus moves to the entry so the user can type
+            # without moving the mouse.
+            focus .d.name
+        }
+    "#,
+    )
+    .expect("application setup");
+    app.update();
+
+    // The user clicks "Save As...".
+    app.eval(".save invoke").expect("open dialog");
+    app.update();
+    assert_eq!(app.eval("winfo exists .d").unwrap(), "1");
+    println!("Dialog on screen:\n{}", env.display().ascii_dump());
+
+    // The focus is on the entry; the user just types.
+    assert_eq!(app.eval("focus").unwrap(), ".d.name");
+    env.display().type_string("chapter1.txt");
+    env.dispatch_all();
+
+    // Click Save.
+    let ok = app.window(".d.buttons.ok").expect("ok button");
+    let mut x = ok.x.get() + ok.width.get() as i32 / 2;
+    let mut y = ok.y.get() + ok.height.get() as i32 / 2;
+    // Accumulate ancestor offsets to get root coordinates.
+    for anc in [".d.buttons", ".d"] {
+        let rec = app.window(anc).unwrap();
+        x += rec.x.get();
+        y += rec.y.get();
+    }
+    env.display().move_pointer(x, y);
+    env.display().click(1);
+    env.dispatch_all();
+    app.update();
+
+    println!(
+        "Dialog answered: {}",
+        app.eval("set dialog-result").unwrap()
+    );
+    assert_eq!(app.eval("set dialog-result").unwrap(), "chapter1.txt");
+    assert_eq!(app.eval("winfo exists .d").unwrap(), "0");
+    println!("The dialog destroyed itself; the main window remains:");
+    println!("{}", env.display().ascii_dump());
+}

@@ -1,0 +1,93 @@
+//! Section 7's performance vignette, as a working program: "it is possible
+//! to paint with the mouse in one application, have all the mouse motion
+//! events bound into Tcl commands, which in turn use send to forward
+//! commands to another application in a different process, which finally
+//! draws the painted object in its own window."
+//!
+//! The "canvas" application exposes one primitive, `dot x y`, that draws a
+//! filled square. The "painter" application binds `<B1-Motion>` to a Tcl
+//! command that forwards every motion event through `send`.
+//!
+//! Run with: `cargo run --example painter`
+
+use tk::TkEnv;
+
+fn main() {
+    let env = TkEnv::new();
+
+    // The canvas application: a frame plus a drawing primitive written as
+    // a native command (the kind of "key primitive operation" the paper
+    // says an application should implement and let Tcl compose).
+    let canvas = env.app("canvas");
+    canvas
+        .eval("frame .c -geometry 200x120 -background white; pack append . .c {top expand fill}")
+        .expect("canvas setup");
+    canvas.eval("wm geometry . +0+0").unwrap();
+    canvas.register_command("dot", |app, _interp, argv| {
+        if argv.len() != 3 {
+            return Err(tcl::wrong_args("dot x y"));
+        }
+        let x: i32 = argv[1].parse().map_err(|_| tcl::Exception::error("bad x"))?;
+        let y: i32 = argv[2].parse().map_err(|_| tcl::Exception::error("bad y"))?;
+        let rec = app.require_window(".c")?;
+        let black = app.cache().color(app.conn(), "black")?;
+        let gc = app.cache().gc(
+            app.conn(),
+            xsim::GcValues {
+                foreground: black,
+                ..Default::default()
+            },
+        );
+        app.conn().fill_rectangle(rec.xid, gc, x - 2, y - 2, 4, 4);
+        Ok(String::new())
+    });
+    canvas.eval("set dots 0; proc count-dot {} {global dots; incr dots}").unwrap();
+
+    // The painter application: its window mirrors the canvas size; every
+    // B1 drag forwards the stroke.
+    let painter = env.app("painter");
+    painter
+        .eval(
+            r#"
+        frame .pad -geometry 200x120 -background gray
+        pack append . .pad {top expand fill}
+        wm geometry . +300+0
+        bind .pad <B1-Motion> {send canvas "dot %x %y; count-dot"}
+        bind .pad <Button-1> {send canvas "dot %x %y; count-dot"}
+    "#,
+        )
+        .expect("painter setup");
+    env.dispatch_all();
+
+    // The user paints a diagonal stroke in the painter's window.
+    let pad = painter.window(".pad").expect("pad window");
+    let (ox, oy) = (pad.x.get() + 300, pad.y.get()); // painter is at +300+0
+    let d = env.display();
+    d.move_pointer(ox + 10, oy + 10);
+    d.press_button(1);
+    for i in 0..40 {
+        d.move_pointer(ox + 10 + i * 4, oy + 10 + i * 2);
+        env.dispatch_all();
+    }
+    d.release_button(1);
+    env.dispatch_all();
+
+    let dots = canvas.eval("set dots").unwrap();
+    println!("The canvas drew {dots} dots forwarded through send.");
+
+    // Verify the pixels really landed in the canvas application's window.
+    let rec = canvas.window(".c").unwrap();
+    let black = xsim::Rgb::new(0, 0, 0);
+    let painted = env.display().with_server(|s| {
+        s.window_surface(rec.xid)
+            .map(|surf| surf.count_pixels(black))
+            .unwrap_or(0)
+    });
+    println!("Black pixels on the canvas: {painted}");
+    assert!(painted > 100, "the stroke should be visible");
+
+    let ppm = env.display().screenshot().to_ppm();
+    let out = std::env::temp_dir().join("rtk_painter.ppm");
+    std::fs::write(&out, ppm).expect("write screenshot");
+    println!("Screenshot written to {}", out.display());
+}

@@ -1,0 +1,52 @@
+//! Quickstart: the paper's Section 4 "Hello, world" button, created,
+//! configured, clicked, and reconfigured entirely through Tcl.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use tk::TkEnv;
+
+fn main() {
+    // One simulated display, one Tk application.
+    let env = TkEnv::new();
+    let app = env.app("hello");
+
+    // Capture `print` output so we can show what the button's command did.
+    let output = app.interp().capture_output();
+
+    // The exact creation command from Section 4 of the paper.
+    app.eval(r#"button .hello -bg Red -text "Hello, world" -command "print Hello!\n""#)
+        .expect("create the button");
+    app.eval("pack append . .hello {top}").expect("pack it");
+    app.update();
+
+    println!("Screen after creation:\n{}", env.display().ascii_dump());
+
+    // The user moves the mouse over the button and clicks.
+    let rec = app.window(".hello").expect("button window");
+    env.display().move_pointer(
+        rec.x.get() + rec.width.get() as i32 / 2,
+        rec.y.get() + rec.height.get() as i32 / 2,
+    );
+    env.display().click(1);
+    env.dispatch_all();
+    println!("The -command printed: {:?}", output.borrow().as_str());
+
+    // Manipulate the widget through its widget command (also Section 4):
+    app.eval(".hello flash").expect("flash");
+    app.eval(".hello configure -bg PalePink1 -relief sunken")
+        .expect("reconfigure");
+    app.update();
+    println!(
+        "Current -bg: {}",
+        app.eval("lindex [.hello configure -background] 4").unwrap()
+    );
+
+    // Everything is introspectable from Tcl at run time:
+    println!("Windows: {}", app.eval("winfo children .").unwrap());
+    println!(
+        "Button geometry: {}x{} requested, {} actual",
+        app.eval("winfo reqwidth .hello").unwrap(),
+        app.eval("winfo reqheight .hello").unwrap(),
+        app.eval("winfo geometry .hello").unwrap(),
+    );
+}

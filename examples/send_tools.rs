@@ -1,0 +1,126 @@
+//! Section 6's headline scenario: "Tk-based debuggers and editors can be
+//! built as separate programs. The debugger can send commands to the
+//! editor to highlight the current line of execution, and the editor can
+//! send commands to the debugger to print the contents of a selected
+//! variable or set a breakpoint."
+//!
+//! Two independent applications — an "editor" showing source lines in a
+//! listbox, and a "debugger" stepping through a program — cooperate purely
+//! through `send`. Neither knows the other's implementation; each exposes
+//! a couple of Tcl procs as its public interface.
+//!
+//! Run with: `cargo run --example send_tools`
+
+use tk::TkEnv;
+
+fn main() {
+    let env = TkEnv::new();
+
+    // ---- The editor: a listbox of source lines plus a `goto-line` API.
+    let editor = env.app("editor");
+    editor
+        .eval(
+            r#"
+        listbox .text -geometry 32x10 -relief sunken
+        label .status -text "editor: idle"
+        pack append . .status {top fillx} .text {top expand fill}
+        foreach line {
+            {PROGRAM compute}
+            {  total = 0}
+            {  FOR i = 0 TO 9}
+            {    total = total + compute(i)}
+            {  END}
+            {  RETURN report(total)}
+            {END}
+        } {.text insert end $line}
+        wm geometry . +0+0
+        proc goto-line {n} {
+            .text select clear
+            .text select from $n
+            .status configure -text "editor: at line $n"
+            return "editor showing line $n"
+        }
+        proc selected-text {} {
+            set sel [.text curselection]
+            if {[llength $sel] == 0} {return ""}
+            return [.text get [lindex $sel 0]]
+        }
+    "#,
+        )
+        .expect("editor setup");
+
+    // ---- The debugger: steps a fake program; tells the editor where it is.
+    let debugger = env.app("debugger");
+    debugger
+        .eval(
+            r#"
+        label .state -text "stopped"
+        button .step -text Step -command step
+        button .break -text "Breakpoint at editor selection" -command break-here
+        pack append . .state {top fillx} .step {top fillx} .break {top fillx}
+        wm geometry . +400+0
+        set pc 0
+        set breakpoints {}
+        proc step {} {
+            global pc breakpoints
+            set pc [expr $pc+1]
+            .state configure -text "stopped at line $pc"
+            # The debugger reaches into the editor to highlight the line.
+            send editor [list goto-line $pc]
+            if {[lsearch $breakpoints $pc] >= 0} {
+                .state configure -text "hit breakpoint at line $pc"
+            }
+            return $pc
+        }
+        proc break-here {} {
+            global breakpoints
+            # Ask the editor which line its user selected.
+            set line [send editor {.text curselection}]
+            if {$line != ""} {lappend breakpoints [lindex $line 0]}
+            return $breakpoints
+        }
+        proc breakpoints {} {global breakpoints; return $breakpoints}
+    "#,
+        )
+        .expect("debugger setup");
+    env.dispatch_all();
+
+    // The user clicks Step twice in the debugger.
+    for _ in 0..2 {
+        debugger.eval(".step invoke").expect("step");
+    }
+    println!(
+        "debugger state: {}",
+        debugger.eval("lindex [.state configure -text] 4").unwrap()
+    );
+    println!(
+        "editor status:  {}",
+        editor.eval("lindex [.status configure -text] 4").unwrap()
+    );
+
+    // The editor's user selects line 4 and the debugger sets a breakpoint
+    // there — by asking the editor via send.
+    editor.eval(".text select from 4").expect("select");
+    debugger.eval(".break invoke").expect("breakpoint");
+    println!(
+        "debugger breakpoints: {}",
+        debugger.eval("breakpoints").unwrap()
+    );
+
+    // Step until the breakpoint is hit.
+    for _ in 0..2 {
+        debugger.eval(".step invoke").expect("step");
+    }
+    println!(
+        "debugger state: {}",
+        debugger.eval("lindex [.state configure -text] 4").unwrap()
+    );
+
+    // And the editor can drive the debugger just as easily.
+    let from_editor = editor
+        .eval("send debugger {expr {$pc * 100}}")
+        .expect("editor querying debugger");
+    println!("editor asked debugger for pc*100: {from_editor}");
+
+    println!("\nBoth applications, one display:\n{}", env.display().ascii_dump());
+}

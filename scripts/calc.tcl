@@ -1,0 +1,35 @@
+#!wish -f
+# A four-function calculator in pure Tcl — the kind of application the
+# paper's Section 5 promises can be written "entirely in Tcl".
+
+entry .display -width 16 -relief sunken
+pack append . .display {top fillx}
+
+set accum ""
+proc key {k} {
+    global accum
+    if {$k == "C"} {
+        set accum ""
+    } elseif {$k == "="} {
+        if {[catch {expr $accum} value]} {set value error}
+        set accum $value
+    } else {
+        set accum $accum$k
+    }
+    .display delete 0 end
+    .display insert 0 $accum
+}
+
+set rows {{7 8 9 /} {4 5 6 *} {1 2 3 -} {C 0 = +}}
+set r 0
+foreach row $rows {
+    frame .row$r
+    pack append . .row$r {top fillx}
+    set c 0
+    foreach k $row {
+        button .row$r.b$c -text $k -width 3 -command [list key $k]
+        pack append .row$r .row$r.b$c {left expand fillx}
+        set c [expr $c+1]
+    }
+    set r [expr $r+1]
+}

@@ -1,0 +1,29 @@
+//! # rtk — a Rust reproduction of Tk, the Tcl-based X11 toolkit
+//!
+//! The facade crate of the workspace: re-exports the three layers so that
+//! examples and integration tests (and downstream users who want the
+//! whole stack) need a single dependency.
+//!
+//! * [`tcl`] — the embeddable Tool Command Language interpreter;
+//! * [`xsim`] — the simulated X11 server substrate;
+//! * [`tk`] — the toolkit: intrinsics, widgets, and `send`.
+//!
+//! See the repository README for the architecture and DESIGN.md for the
+//! paper-to-implementation mapping.
+//!
+//! # Examples
+//!
+//! ```
+//! use rtk::tk::TkEnv;
+//!
+//! let env = TkEnv::new();
+//! let app = env.app("demo");
+//! app.eval("button .b -text Hello -command {print hi}").unwrap();
+//! app.eval("pack append . .b {top}").unwrap();
+//! app.update();
+//! assert_eq!(app.eval("winfo class .b").unwrap(), "Button");
+//! ```
+
+pub use tcl;
+pub use tk;
+pub use xsim;

@@ -1,0 +1,207 @@
+//! Failure-injection tests: the toolkit must degrade with Tcl errors, not
+//! panics, when applications die, windows vanish mid-operation, handlers
+//! fail, or scripts go wrong at event time.
+
+use tk::TkEnv;
+
+#[test]
+fn send_to_departed_application_errors_cleanly() {
+    let env = TkEnv::new();
+    let a = env.app("alpha");
+    {
+        let b = env.app("beta");
+        assert_eq!(a.eval("send beta {expr 1+1}").unwrap(), "2");
+        b.destroy_window(".").unwrap();
+        drop(b);
+    }
+    // The registry still names beta, but the application is gone; the
+    // sender must get an error, not hang or crash.
+    let e = a.eval("send beta {expr 1+1}").unwrap_err();
+    assert!(
+        e.msg.contains("died") || e.msg.contains("no registered"),
+        "{}",
+        e.msg
+    );
+    // And the sender still works.
+    assert_eq!(a.eval("expr 2+2").unwrap(), "4");
+}
+
+#[test]
+fn widget_command_on_destroyed_window_errors() {
+    let env = TkEnv::new();
+    let app = env.app("t");
+    app.eval("button .b -text x").unwrap();
+    app.eval("destroy .b").unwrap();
+    let e = app.eval(".b invoke").unwrap_err();
+    assert!(e.msg.contains("invalid command name"), "{}", e.msg);
+}
+
+#[test]
+fn binding_errors_report_and_do_not_stop_dispatch() {
+    let env = TkEnv::new();
+    let app = env.app("t");
+    app.eval("set errors {}; proc tkerror {m} {global errors; lappend errors $m}")
+        .unwrap();
+    app.eval("frame .f -geometry 60x60; pack append . .f {top}")
+        .unwrap();
+    app.update();
+    app.eval("bind .f a {error first-bad}").unwrap();
+    app.eval("bind .f b {set ok 1}").unwrap();
+    app.eval("focus .f").unwrap();
+    env.display().type_char('a');
+    env.display().type_char('b');
+    env.dispatch_all();
+    assert_eq!(app.eval("set errors").unwrap(), "first-bad");
+    assert_eq!(app.eval("set ok").unwrap(), "1");
+}
+
+#[test]
+fn after_script_errors_are_background_errors() {
+    let env = TkEnv::new();
+    let app = env.app("t");
+    app.eval("proc tkerror {m} {global caught; set caught $m}").unwrap();
+    app.eval("after 10 {error timer-bang}").unwrap();
+    app.eval("after 10 {set survived 1}").unwrap();
+    env.advance(20);
+    assert_eq!(app.eval("set caught").unwrap(), "timer-bang");
+    assert_eq!(app.eval("set survived").unwrap(), "1");
+}
+
+#[test]
+fn selection_owner_destruction_releases_selection() {
+    let env = TkEnv::new();
+    let app = env.app("t");
+    app.eval("listbox .l -geometry 10x4; pack append . .l {top}")
+        .unwrap();
+    app.eval(".l insert end a b c").unwrap();
+    app.update();
+    app.eval(".l select from 1").unwrap();
+    assert_eq!(app.eval("selection get").unwrap(), "b");
+    app.eval("destroy .l").unwrap();
+    env.dispatch_all();
+    assert!(app.eval("selection get").is_err());
+}
+
+#[test]
+fn recursive_widget_destruction_from_callback() {
+    // A button whose command destroys the button itself (and its parent)
+    // while the invocation is still on the stack.
+    let env = TkEnv::new();
+    let app = env.app("t");
+    app.eval("frame .f; pack append . .f {top}").unwrap();
+    app.eval("button .f.b -text boom -command {destroy .f}").unwrap();
+    app.eval("pack append .f .f.b {top}").unwrap();
+    app.update();
+    let rec = app.window(".f.b").unwrap();
+    let fx = app.window(".f").unwrap().x.get();
+    let fy = app.window(".f").unwrap().y.get();
+    env.display().move_pointer(
+        fx + rec.x.get() + rec.width.get() as i32 / 2,
+        fy + rec.y.get() + rec.height.get() as i32 / 2,
+    );
+    env.display().click(1);
+    env.dispatch_all();
+    app.update();
+    assert_eq!(app.eval("winfo exists .f").unwrap(), "0");
+    assert_eq!(app.eval("winfo exists .f.b").unwrap(), "0");
+}
+
+#[test]
+fn infinite_idle_rescheduling_is_bounded() {
+    // An idle script that re-schedules itself must not hang `update`.
+    let env = TkEnv::new();
+    let app = env.app("t");
+    app.eval("set n 0").unwrap();
+    app.eval("proc again {} {global n; incr n; after idle again}").unwrap();
+    app.eval("after idle again").unwrap();
+    app.update(); // must terminate
+    let n: i64 = app.eval("set n").unwrap().parse().unwrap();
+    assert!(n > 0);
+}
+
+#[test]
+fn malformed_pack_options_leave_state_consistent() {
+    let env = TkEnv::new();
+    let app = env.app("t");
+    app.eval("frame .a -geometry 10x10").unwrap();
+    assert!(app.eval("pack append . .a {sideways}").is_err());
+    assert!(app.eval("pack append . .nonexistent {top}").is_err());
+    // The packer still works afterwards.
+    app.eval("pack append . .a {top}").unwrap();
+    app.update();
+    assert!(app.window(".a").unwrap().mapped.get());
+}
+
+#[test]
+fn canvas_with_unknown_color_skips_item_not_crashes() {
+    let env = TkEnv::new();
+    let app = env.app("t");
+    app.eval("canvas .c -geometry 50x50; pack append . .c {top}")
+        .unwrap();
+    // Item creation doesn't validate the color (it may be configured
+    // later); redraw must simply skip unpaintable items.
+    app.eval(".c create rectangle 1 1 20 20 -fill NotAColor").unwrap();
+    app.update(); // no panic
+    app.eval(".c itemconfigure all -fill red").unwrap();
+    app.update();
+}
+
+#[test]
+fn destroyed_app_commands_error_not_crash() {
+    let env = TkEnv::new();
+    let app = env.app("t");
+    app.eval("destroy .").unwrap();
+    assert!(app.destroyed());
+    // Widget creation now fails cleanly: the main window is gone.
+    let e = app.eval("button .b -text x").unwrap_err();
+    assert!(e.msg.contains("bad window path name"), "{}", e.msg);
+}
+
+#[test]
+fn deeply_nested_widget_tree_works() {
+    let env = TkEnv::new();
+    let app = env.app("t");
+    let mut path = String::new();
+    for i in 0..12 {
+        let parent = if path.is_empty() { ".".to_string() } else { path.clone() };
+        path = format!("{}{}f{i}", if path.is_empty() { "." } else { "" }, {
+            if path.is_empty() {
+                String::new()
+            } else {
+                format!("{path}.")
+            }
+        });
+        // Rebuild path cleanly.
+        path = if parent == "." {
+            format!(".f{i}")
+        } else {
+            format!("{parent}.f{i}")
+        };
+        app.eval(&format!("frame {path} -geometry 20x20")).unwrap();
+        app.eval(&format!("pack append {parent} {path} {{top}}")).unwrap();
+    }
+    app.update();
+    assert_eq!(app.eval(&format!("winfo class {path}")).unwrap(), "Frame");
+    // Destroying the top kills the whole chain.
+    app.eval("destroy .f0").unwrap();
+    assert_eq!(app.eval("winfo exists .f0.f1.f2").unwrap(), "0");
+}
+
+#[test]
+fn interp_errors_inside_send_do_not_poison_transport() {
+    let env = TkEnv::new();
+    let a = env.app("a");
+    let _b = env.app("b");
+    for _ in 0..5 {
+        assert!(a.eval("send b {nosuchcommand}").is_err());
+        assert_eq!(a.eval("send b {expr 1}").unwrap(), "1");
+    }
+}
+
+#[test]
+fn option_db_bad_priority_is_error() {
+    let env = TkEnv::new();
+    let app = env.app("t");
+    assert!(app.eval("option add *x y notapriority").is_err());
+    app.eval("option add *x y interactive").unwrap();
+}

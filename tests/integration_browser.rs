@@ -1,0 +1,221 @@
+//! End-to-end reproduction of Figure 9: the 21-line directory browser
+//! script, exercised through the full stack — Tcl interpreter, Tk
+//! intrinsics, widgets, packer, selection, bindings, and the simulated
+//! X server — with the user driven through synthesized input events.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use tk::TkEnv;
+
+const BROWSE_SCRIPT: &str = r#"
+scrollbar .scroll -command ".list view"
+listbox .list -scroll ".scroll set" -relief raised -geometry 20x20
+pack append . .scroll {right filly} .list {left expand fill}
+proc browse {dir file} {
+    if {[string compare $dir "."] != 0} {set file $dir/$file}
+    if [file $file isdirectory] {
+        set cmd [list exec sh -c "browse $file &"]
+        eval $cmd
+    } else {
+        if [file $file isfile] {exec mx $file} else {
+            print "$file isn't a directory or regular file\n"
+        }
+    }
+}
+if $argc>0 {set dir [index $argv 0]} else {set dir "."}
+foreach i [exec ls -a $dir] {
+    .list insert end $i
+}
+bind .list <space> {foreach i [selection get] {browse $dir $i}}
+bind .list <Control-q> {destroy .}
+"#;
+
+struct FakeExec {
+    listing: Vec<String>,
+    launched: Rc<RefCell<Vec<String>>>,
+}
+
+impl tcl::Executor for FakeExec {
+    fn run(&self, _i: &tcl::Interp, argv: &[String]) -> Result<String, String> {
+        match argv[0].as_str() {
+            "ls" => Ok(self.listing.join("\n")),
+            "mx" | "sh" => {
+                self.launched.borrow_mut().push(argv.join(" "));
+                Ok(String::new())
+            }
+            other => Err(format!("couldn't execute \"{other}\"")),
+        }
+    }
+}
+
+struct Browser {
+    env: TkEnv,
+    app: tk::TkApp,
+    launched: Rc<RefCell<Vec<String>>>,
+    dir: std::path::PathBuf,
+}
+
+fn setup(tag: &str) -> Browser {
+    let dir = std::env::temp_dir().join(format!("rtk_browser_it_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("subdir")).unwrap();
+    for f in ["alpha.txt", "beta.c", "gamma.h"] {
+        std::fs::write(dir.join(f), "x").unwrap();
+    }
+    let env = TkEnv::new();
+    let app = env.app("browse");
+    let launched = Rc::new(RefCell::new(Vec::new()));
+    let mut listing: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    listing.sort();
+    app.interp().set_executor(Rc::new(FakeExec {
+        listing,
+        launched: launched.clone(),
+    }));
+    let dirs = dir.display().to_string();
+    app.interp()
+        .set_var_at(0, "argv", None, &tcl::format_list(&[dirs]))
+        .unwrap();
+    app.interp().set_var_at(0, "argc", None, "1").unwrap();
+    app.eval(BROWSE_SCRIPT).expect("script runs");
+    app.update();
+    Browser {
+        env,
+        app,
+        launched,
+        dir,
+    }
+}
+
+/// Clicks on the listbox line holding item `index`.
+fn click_item(b: &Browser, index: i32) {
+    let list = b.app.window(".list").unwrap();
+    b.env.display().move_pointer(
+        list.x.get() + 20,
+        list.y.get() + 4 + index * 13 + 6,
+    );
+    b.env.display().click(1);
+    b.env.dispatch_all();
+}
+
+#[test]
+fn script_populates_listbox() {
+    let b = setup("populate");
+    assert_eq!(b.app.eval(".list size").unwrap(), "4");
+    assert_eq!(b.app.eval(".list get 0").unwrap(), "alpha.txt");
+    assert_eq!(b.app.eval(".list get end").unwrap(), "subdir");
+}
+
+#[test]
+fn layout_matches_figure10() {
+    let b = setup("layout");
+    // Scrollbar on the right at full height, listbox filling the rest.
+    let main = b.app.window(".").unwrap();
+    let scroll = b.app.window(".scroll").unwrap();
+    let list = b.app.window(".list").unwrap();
+    assert_eq!(
+        scroll.x.get() + scroll.width.get() as i32,
+        main.width.get() as i32
+    );
+    assert_eq!(scroll.height.get(), main.height.get());
+    assert_eq!(list.height.get(), main.height.get());
+    // The dump shows all four entries.
+    let dump = b.env.display().ascii_dump();
+    for item in ["alpha.txt", "beta.c", "gamma.h", "subdir"] {
+        assert!(dump.contains(item), "missing {item} in\n{dump}");
+    }
+}
+
+#[test]
+fn space_browses_selected_file_with_mx() {
+    let b = setup("mx");
+    click_item(&b, 1); // beta.c
+    assert_eq!(b.app.eval("selection get").unwrap(), "beta.c");
+    b.env.display().press_key("space");
+    b.env.dispatch_all();
+    let launched = b.launched.borrow().join("; ");
+    assert_eq!(
+        launched,
+        format!("mx {}/beta.c", b.dir.display()),
+        "space on a file must run the editor"
+    );
+}
+
+#[test]
+fn space_browses_directory_with_subshell() {
+    let b = setup("sh");
+    click_item(&b, 3); // subdir
+    b.env.display().press_key("space");
+    b.env.dispatch_all();
+    let launched = b.launched.borrow().join("; ");
+    assert!(
+        launched.contains("sh -c") && launched.contains("subdir"),
+        "space on a directory must spawn a sub-browser: {launched}"
+    );
+}
+
+#[test]
+fn missing_file_prints_diagnostic() {
+    let b = setup("missing");
+    let buf = b.app.interp().capture_output();
+    // Browse something that is neither file nor directory.
+    b.app.eval("browse /definitely no-such-entry").unwrap();
+    assert!(
+        buf.borrow().contains("isn't a directory or regular file"),
+        "{}",
+        buf.borrow()
+    );
+}
+
+#[test]
+fn control_q_destroys_application() {
+    let b = setup("quit");
+    assert!(!b.app.destroyed());
+    b.env.display().set_modifiers(xsim::event::state::CONTROL);
+    b.env.display().type_char('q');
+    b.env.display().set_modifiers(0);
+    b.env.dispatch_all();
+    assert!(b.app.destroyed());
+}
+
+#[test]
+fn scrollbar_scrolls_long_listing() {
+    let dir = std::env::temp_dir().join("rtk_browser_it_long");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    for i in 0..40 {
+        std::fs::write(dir.join(format!("file{i:02}.txt")), "x").unwrap();
+    }
+    let env = TkEnv::new();
+    let app = env.app("browse");
+    let launched = Rc::new(RefCell::new(Vec::new()));
+    let mut listing: Vec<String> = (0..40).map(|i| format!("file{i:02}.txt")).collect();
+    listing.sort();
+    app.interp().set_executor(Rc::new(FakeExec { listing, launched }));
+    let dirs = dir.display().to_string();
+    app.interp()
+        .set_var_at(0, "argv", None, &tcl::format_list(&[dirs]))
+        .unwrap();
+    app.interp().set_var_at(0, "argc", None, "1").unwrap();
+    app.eval(BROWSE_SCRIPT).unwrap();
+    app.update();
+
+    // Click the scrollbar's down-arrow three times.
+    let scroll = app.window(".scroll").unwrap();
+    for _ in 0..3 {
+        env.display().move_pointer(
+            scroll.x.get() + scroll.width.get() as i32 / 2,
+            scroll.y.get() + scroll.height.get() as i32 - 3,
+        );
+        env.display().click(1);
+        env.dispatch_all();
+    }
+    let state = app.eval(".scroll get").unwrap();
+    let first: i64 = state.split_whitespace().nth(2).unwrap().parse().unwrap();
+    assert_eq!(first, 3, "three arrow clicks scroll three units: {state}");
+    // The top visible item changed accordingly.
+    assert_eq!(app.eval(".list nearest 1").unwrap(), "3");
+}

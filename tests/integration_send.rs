@@ -1,0 +1,193 @@
+//! Integration tests for Section 6: applications working together through
+//! `send` — the debugger/editor pair, the spreadssheet-style active
+//! objects, the hypertext pattern, and the live interface editor.
+
+use tk::TkEnv;
+
+#[test]
+fn debugger_editor_cooperate() {
+    let env = TkEnv::new();
+    let editor = env.app("editor");
+    let debugger = env.app("debugger");
+    editor
+        .eval("listbox .src -geometry 20x8; pack append . .src {top}")
+        .unwrap();
+    editor.eval("foreach l {l0 l1 l2 l3 l4} {.src insert end $l}").unwrap();
+    editor
+        .eval("proc highlight {n} {.src select clear; .src select from $n; return done}")
+        .unwrap();
+    // The debugger highlights the current line in the editor.
+    let r = debugger.eval("send editor {highlight 3}").unwrap();
+    assert_eq!(r, "done");
+    assert_eq!(editor.eval(".src curselection").unwrap(), "3");
+    // The editor asks the debugger for a variable's value.
+    debugger.eval("set counter 42").unwrap();
+    assert_eq!(
+        editor.eval("send debugger {set counter}").unwrap(),
+        "42"
+    );
+}
+
+#[test]
+fn spreadsheet_cells_with_embedded_commands() {
+    // "A Tk-based spreadsheet might permit cells to contain embedded Tcl
+    // commands. When such a cell is evaluated the Tcl command would be
+    // executed automatically; it could fetch information from an
+    // independent database package."
+    let env = TkEnv::new();
+    let database = env.app("database");
+    database.eval("set prices(widget) 19; set prices(gadget) 7").unwrap();
+    let sheet = env.app("spreadsheet");
+    sheet
+        .eval(
+            r#"
+        set cell(a1) {=send database {set prices(widget)}}
+        set cell(a2) {=send database {set prices(gadget)}}
+        set cell(a3) {=expr {[eval-cell a1] + [eval-cell a2]}}
+        proc eval-cell {name} {
+            global cell
+            set v $cell($name)
+            if {[string index $v 0] == "="} {
+                return [eval [string range $v 1 end]]
+            }
+            return $v
+        }
+    "#,
+        )
+        .unwrap();
+    assert_eq!(sheet.eval("eval-cell a1").unwrap(), "19");
+    assert_eq!(sheet.eval("eval-cell a3").unwrap(), "26");
+    // Fresh data propagates on the next evaluation.
+    database.eval("set prices(widget) 25").unwrap();
+    assert_eq!(sheet.eval("eval-cell a3").unwrap(), "32");
+}
+
+#[test]
+fn hypertext_links_open_views() {
+    // "A hypertext system can be implemented by associating Tcl commands
+    // with pieces of text ... a 'link' can be produced by writing a Tcl
+    // command that opens a new view."
+    let env = TkEnv::new();
+    let app = env.app("hyper");
+    app.eval(
+        r#"
+        label .doc -text "See also: chapter 2"
+        pack append . .doc {top}
+        bind .doc <Button-1> {
+            toplevel .view
+            label .view.body -text "Chapter 2 contents"
+            pack append .view .view.body {top}
+        }
+    "#,
+    )
+    .unwrap();
+    app.update();
+    let doc = app.window(".doc").unwrap();
+    env.display()
+        .move_pointer(doc.x.get() + 5, doc.y.get() + 5);
+    env.display().click(1);
+    env.dispatch_all();
+    app.update();
+    assert_eq!(app.eval("winfo exists .view").unwrap(), "1");
+    assert!(app.window(".view.body").unwrap().mapped.get());
+}
+
+#[test]
+fn interface_editor_works_on_live_application() {
+    // "With Tk and send it becomes possible for an interface editor to
+    // work on live applications, using send to query and modify the
+    // application's interface."
+    let env = TkEnv::new();
+    let target = env.app("target");
+    target
+        .eval("button .go -text Start -bg gray -command {}; pack append . .go {top}")
+        .unwrap();
+    let ui_editor = env.app("uieditor");
+    // Query the live interface...
+    assert_eq!(
+        ui_editor.eval("send target {winfo children .}").unwrap(),
+        ".go"
+    );
+    assert_eq!(
+        ui_editor.eval("send target {winfo class .go}").unwrap(),
+        "Button"
+    );
+    // ...modify it, and read the change back.
+    ui_editor
+        .eval("send target {.go configure -text Launch -bg red}")
+        .unwrap();
+    assert_eq!(
+        ui_editor
+            .eval("send target {lindex [.go configure -text] 4}")
+            .unwrap(),
+        "Launch"
+    );
+    // Produce a startup file describing the final interface.
+    let config = ui_editor
+        .eval("send target {format {button .go -text %s -bg %s} [lindex [.go configure -text] 4] [lindex [.go configure -background] 4]}")
+        .unwrap();
+    assert_eq!(config, "button .go -text Launch -bg red");
+}
+
+#[test]
+fn send_is_reentrant_through_chains() {
+    let env = TkEnv::new();
+    let _a = env.app("a");
+    let _b = env.app("b");
+    let _c = env.app("c");
+    let a = env.application_names();
+    assert!(a.contains(&"a".to_string()));
+    // a -> b -> c -> back to a.
+    let first = env.app("driver");
+    first.eval("set home base").unwrap();
+    let r = first
+        .eval("send a {send b {send c {send driver {set home}}}}")
+        .unwrap();
+    assert_eq!(r, "base");
+}
+
+#[test]
+fn send_survives_target_errors_with_trace() {
+    let env = TkEnv::new();
+    let a = env.app("a");
+    let _b = env.app("b");
+    let e = a.eval("send b {expr {1/0}}").unwrap_err();
+    assert!(e.msg.contains("divide by zero"));
+    // The sender keeps working afterwards.
+    assert_eq!(a.eval("send b {expr {2+2}}").unwrap(), "4");
+}
+
+#[test]
+fn painting_pipeline_forwards_many_events() {
+    // The Section 7 latency vignette, as a throughput check.
+    let env = TkEnv::new();
+    let canvas = env.app("canvas");
+    canvas.eval("set strokes {}").unwrap();
+    canvas
+        .eval("proc stroke {x y} {global strokes; lappend strokes $x,$y}")
+        .unwrap();
+    let painter = env.app("painter");
+    painter
+        .eval("frame .pad -geometry 100x100; pack append . .pad {top}")
+        .unwrap();
+    painter
+        .eval(r#"bind .pad <B1-Motion> {send canvas "stroke %x %y"}"#)
+        .unwrap();
+    env.dispatch_all();
+    let pad = painter.window(".pad").unwrap();
+    let d = env.display();
+    d.move_pointer(pad.x.get() + 5, pad.y.get() + 5);
+    d.press_button(1);
+    for i in 0..20 {
+        d.move_pointer(pad.x.get() + 5 + i, pad.y.get() + 5);
+        env.dispatch_all();
+    }
+    d.release_button(1);
+    env.dispatch_all();
+    let n: usize = canvas
+        .eval("llength $strokes")
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert_eq!(n, 20, "every motion event must arrive at the canvas");
+}

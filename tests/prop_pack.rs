@@ -1,0 +1,167 @@
+//! Property-based tests on the packer and the window tree: layout
+//! invariants that must hold for any combination of requested sizes and
+//! packing options.
+
+use proptest::prelude::*;
+use tk::TkEnv;
+
+/// A random pack side.
+fn side_strategy() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("top"),
+        Just("bottom"),
+        Just("left"),
+        Just("right"),
+    ]
+}
+
+/// A random fill/expand option suffix.
+fn fill_strategy() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just(""),
+        Just(" fill"),
+        Just(" fillx"),
+        Just(" filly"),
+        Just(" expand"),
+        Just(" expand fill"),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every packed slave stays inside its master's bounds, whatever the
+    /// requested sizes, sides, and fill options.
+    #[test]
+    fn slaves_stay_inside_master(
+        sizes in proptest::collection::vec((5u32..150, 5u32..150), 1..6),
+        sides in proptest::collection::vec(side_strategy(), 6),
+        fills in proptest::collection::vec(fill_strategy(), 6),
+    ) {
+        let env = TkEnv::new();
+        let app = env.app("prop");
+        app.eval("frame .m -geometry 120x100").unwrap();
+        app.eval("pack append . .m {top}").unwrap();
+        let mut spec = String::new();
+        for (i, (w, h)) in sizes.iter().enumerate() {
+            app.eval(&format!("frame .m.s{i} -geometry {w}x{h}")).unwrap();
+            spec.push_str(&format!(" .m.s{i} {{{}{}}}", sides[i], fills[i]));
+        }
+        app.eval(&format!("pack append .m{spec}")).unwrap();
+        app.update();
+        // Pin the master's size (it is not a toplevel).
+        let m = app.window(".m").unwrap();
+        app.conn().configure_window(m.xid, None, None, Some(120), Some(100), None);
+        app.update();
+        tk::pack::relayout(&app, ".m");
+        app.update();
+        for i in 0..sizes.len() {
+            let s = app.window(&format!(".m.s{i}")).unwrap();
+            prop_assert!(s.x.get() >= 0, "slave {i} x={}", s.x.get());
+            prop_assert!(s.y.get() >= 0, "slave {i} y={}", s.y.get());
+            // When the cavity is exhausted a slave still gets the minimum
+            // 1-pixel size at the cavity edge (real X clips it away), so
+            // edges may exceed the master by that single pixel.
+            prop_assert!(
+                s.x.get() + s.width.get() as i32 <= 121,
+                "slave {i} right edge {} exceeds master", s.x.get() + s.width.get() as i32
+            );
+            prop_assert!(
+                s.y.get() + s.height.get() as i32 <= 101,
+                "slave {i} bottom edge {} exceeds master", s.y.get() + s.height.get() as i32
+            );
+        }
+    }
+
+    /// All-in-a-column slaves never overlap and appear in packing order.
+    #[test]
+    fn column_slaves_are_disjoint_and_ordered(
+        heights in proptest::collection::vec(5u32..40, 2..6),
+    ) {
+        let env = TkEnv::new();
+        let app = env.app("prop");
+        let mut spec = String::new();
+        for (i, h) in heights.iter().enumerate() {
+            app.eval(&format!("frame .s{i} -geometry 50x{h}")).unwrap();
+            spec.push_str(&format!(" .s{i} {{top}}"));
+        }
+        app.eval(&format!("pack append .{spec}")).unwrap();
+        app.update();
+        let mut last_bottom = 0i32;
+        for i in 0..heights.len() {
+            let s = app.window(&format!(".s{i}")).unwrap();
+            prop_assert!(
+                s.y.get() >= last_bottom,
+                "slave {i} top {} above previous bottom {last_bottom}", s.y.get()
+            );
+            last_bottom = s.y.get() + s.height.get() as i32;
+        }
+    }
+
+    /// Geometry propagation: a toplevel master's requested size equals the
+    /// column's max width and summed height.
+    #[test]
+    fn propagation_matches_column_arithmetic(
+        sizes in proptest::collection::vec((5u32..80, 5u32..40), 1..6),
+    ) {
+        let env = TkEnv::new();
+        let app = env.app("prop");
+        let mut spec = String::new();
+        for (i, (w, h)) in sizes.iter().enumerate() {
+            app.eval(&format!("frame .s{i} -geometry {w}x{h}")).unwrap();
+            spec.push_str(&format!(" .s{i} {{top}}"));
+        }
+        app.eval(&format!("pack append .{spec}")).unwrap();
+        app.update();
+        let main = app.window(".").unwrap();
+        let want_w = sizes.iter().map(|(w, _)| *w).max().unwrap();
+        let want_h: u32 = sizes.iter().map(|(_, h)| *h).sum();
+        prop_assert_eq!(main.req_width.get(), want_w);
+        prop_assert_eq!(main.req_height.get(), want_h);
+    }
+
+    /// Unpacking every slave leaves the packer empty and the windows
+    /// unmapped, in any unpack order.
+    #[test]
+    fn unpack_always_cleans_up(
+        n in 1usize..5,
+        seed in proptest::num::u64::ANY,
+    ) {
+        let env = TkEnv::new();
+        let app = env.app("prop");
+        let mut spec = String::new();
+        for i in 0..n {
+            app.eval(&format!("frame .s{i} -geometry 20x20")).unwrap();
+            spec.push_str(&format!(" .s{i} {{top}}"));
+        }
+        app.eval(&format!("pack append .{spec}")).unwrap();
+        app.update();
+        // Deterministic pseudo-random unpack order.
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut s = seed;
+        for i in (1..order.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            order.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        for i in order {
+            app.eval(&format!("pack unpack .s{i}")).unwrap();
+        }
+        app.update();
+        for i in 0..n {
+            let rec = app.window(&format!(".s{i}")).unwrap();
+            prop_assert!(!rec.mapped.get());
+        }
+    }
+
+    /// Window path utilities invert each other for arbitrary components.
+    #[test]
+    fn path_join_and_split(parts in proptest::collection::vec("[a-z][a-z0-9]{0,6}", 1..5)) {
+        let mut path = String::from(".");
+        path.push_str(&parts.join("."));
+        prop_assert_eq!(tk::window::components(&path), parts.clone());
+        prop_assert_eq!(tk::window::name_of(&path), parts.last().unwrap().as_str());
+        let parent = tk::window::parent_path(&path).unwrap();
+        let joined = tk::window::join(parent, parts.last().unwrap());
+        prop_assert_eq!(joined, path);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests on the Tcl core: list round-trips, parser
+//! robustness, expression-evaluator equivalence with Rust arithmetic, and
+//! glob-match consistency.
+
+use proptest::prelude::*;
+
+proptest! {
+    /// format_list / parse_list round-trip for arbitrary element content.
+    #[test]
+    fn list_round_trip(elems in proptest::collection::vec(".*", 0..8)) {
+        let formatted = tcl::format_list(&elems);
+        let parsed = tcl::parse_list(&formatted).unwrap();
+        prop_assert_eq!(parsed, elems);
+    }
+
+    /// Nested lists round-trip: a list of lists survives two levels.
+    #[test]
+    fn nested_list_round_trip(outer in proptest::collection::vec(
+        proptest::collection::vec("[a-zA-Z0-9 {}$\\[\\]\"\\\\]*", 0..4), 0..4))
+    {
+        let inner: Vec<String> = outer.iter().map(|v| tcl::format_list(v)).collect();
+        let top = tcl::format_list(&inner);
+        let back_outer = tcl::parse_list(&top).unwrap();
+        prop_assert_eq!(back_outer.len(), outer.len());
+        for (parsed, original) in back_outer.iter().zip(&outer) {
+            prop_assert_eq!(&tcl::parse_list(parsed).unwrap(), original);
+        }
+    }
+
+    /// The parser never panics, whatever bytes arrive.
+    #[test]
+    fn parser_never_panics(script in ".*") {
+        let mut pos = 0;
+        for _ in 0..1000 {
+            match tcl::parser::parse_command(&script, &mut pos) {
+                Ok(Some(_)) => continue,
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+
+    /// The interpreter never panics evaluating arbitrary input (errors are
+    /// fine; crashes are not).
+    #[test]
+    fn eval_never_panics(script in ".{0,80}") {
+        let interp = tcl::Interp::new();
+        let _ = interp.eval(&script);
+    }
+
+    /// Integer arithmetic in expr matches Rust's (wrapping) arithmetic.
+    #[test]
+    fn expr_matches_rust_arithmetic(a in -10_000i64..10_000, b in -10_000i64..10_000) {
+        let interp = tcl::Interp::new();
+        let sum = interp.eval(&format!("expr {{{a} + {b}}}")).unwrap();
+        prop_assert_eq!(sum, (a + b).to_string());
+        let prod = interp.eval(&format!("expr {{{a} * {b}}}")).unwrap();
+        prop_assert_eq!(prod, (a.wrapping_mul(b)).to_string());
+        if b != 0 {
+            let quot = interp.eval(&format!("expr {{{a} / {b}}}")).unwrap();
+            prop_assert_eq!(quot, a.div_euclid(b).to_string());
+            let rem = interp.eval(&format!("expr {{{a} % {b}}}")).unwrap();
+            prop_assert_eq!(rem, a.rem_euclid(b).to_string());
+        }
+    }
+
+    /// Comparison operators agree with Rust's.
+    #[test]
+    fn expr_comparisons_match(a in -100i64..100, b in -100i64..100) {
+        let interp = tcl::Interp::new();
+        for (op, expect) in [
+            ("<", a < b), ("<=", a <= b), (">", a > b),
+            (">=", a >= b), ("==", a == b), ("!=", a != b),
+        ] {
+            let r = interp.eval(&format!("expr {{{a} {op} {b}}}")).unwrap();
+            prop_assert_eq!(r, if expect { "1" } else { "0" }, "{} {} {}", a, op, b);
+        }
+    }
+
+    /// A literal pattern (no metacharacters) glob-matches exactly itself.
+    #[test]
+    fn glob_literal_matches_self(s in "[a-zA-Z0-9_.]{0,20}") {
+        prop_assert!(tcl::strutil::glob_match(&s, &s));
+        let other = format!("{s}x");
+        prop_assert!(!tcl::strutil::glob_match(&s, &other));
+    }
+
+    /// `*` prefix/suffix patterns behave like starts_with/ends_with.
+    #[test]
+    fn glob_star_prefix_suffix(s in "[a-z]{1,12}", pre in "[a-z]{0,4}") {
+        let starts = tcl::strutil::glob_match(&format!("{pre}*"), &s);
+        prop_assert_eq!(starts, s.starts_with(&pre));
+        let ends = tcl::strutil::glob_match(&format!("*{pre}"), &s);
+        prop_assert_eq!(ends, s.ends_with(&pre));
+    }
+
+    /// `set`/read round-trips arbitrary values through a variable.
+    #[test]
+    fn variables_store_arbitrary_strings(value in ".{0,60}") {
+        let interp = tcl::Interp::new();
+        interp.set_var("v", None, &value).unwrap();
+        prop_assert_eq!(interp.get_var("v", None).unwrap(), value);
+    }
+
+    /// Quoting through `list` makes any single word safe to pass through
+    /// evaluation as one argument (the property Tk's callbacks rely on).
+    #[test]
+    fn list_quoting_protects_arguments(word in ".{0,40}") {
+        let interp = tcl::Interp::new();
+        let script = format!("lindex [list {}] 0", tcl::format_list(&[word.clone()]));
+        prop_assert_eq!(interp.eval(&script).unwrap(), word);
+    }
+
+    /// format %d agrees with Rust's Display for i64.
+    #[test]
+    fn format_d_matches_rust(v in proptest::num::i64::ANY) {
+        let interp = tcl::Interp::new();
+        let r = interp.eval(&format!("format %d {v}")).unwrap();
+        prop_assert_eq!(r, v.to_string());
+    }
+}
+
+proptest! {
+    /// The regex compiler/matcher never panics on arbitrary patterns and
+    /// inputs (errors are fine).
+    #[test]
+    fn regex_never_panics(pattern in ".{0,20}", text in ".{0,40}") {
+        if let Ok(re) = tcl::regex::Regex::compile(&pattern, false) {
+            let _ = re.find(&text);
+        }
+    }
+
+    /// A literal pattern (alphanumerics only) behaves like `contains`.
+    #[test]
+    fn regex_literal_is_contains(needle in "[a-z0-9]{1,6}", hay in "[a-z0-9 ]{0,30}") {
+        let re = tcl::regex::Regex::compile(&needle, false).unwrap();
+        prop_assert_eq!(re.find(&hay).is_some(), hay.contains(&needle));
+    }
+
+    /// Anchored full matches agree with equality for literals.
+    #[test]
+    fn regex_anchored_literal_is_equality(a in "[a-z]{0,8}", b in "[a-z]{0,8}") {
+        let re = tcl::regex::Regex::compile(&format!("^{a}$"), false).unwrap();
+        prop_assert_eq!(re.find(&b).is_some(), a == b);
+    }
+
+    /// regsub with an empty-effect spec round-trips the input when the
+    /// pattern never matches.
+    #[test]
+    fn regsub_no_match_is_identity(text in "[a-y ]{0,30}") {
+        let interp = tcl::Interp::new();
+        interp.set_var("t", None, &text).unwrap();
+        interp.eval("regsub -all {zzz} $t {Q} out").unwrap();
+        prop_assert_eq!(interp.get_var("out", None).unwrap(), text);
+    }
+}
