@@ -1,0 +1,120 @@
+//! `bench` — replays the Table II workloads with the observability core
+//! switched on and writes a machine-readable `BENCH_obs.json`: per-workload
+//! latency percentiles (from `rtk_obs::Histogram`), protocol request and
+//! round-trip counts per kind, and resource-cache hit rates.
+//!
+//! Run with: `cargo run -p tk-bench --release --bin bench -- [output.json]`
+//! (the output path defaults to `BENCH_obs.json` in the current directory).
+
+use std::time::Instant;
+
+use rtk_obs::{json, Histogram};
+use tk_bench::{create_display_delete_buttons, env_with_apps, fmt_time};
+
+/// Times `iters` runs of `f`, recording each run into a histogram.
+fn measure(iters: u64, mut f: impl FnMut()) -> Histogram {
+    let mut h = Histogram::new();
+    for _ in 0..iters {
+        let start = Instant::now();
+        f();
+        h.record_duration(start.elapsed());
+    }
+    h
+}
+
+fn workload_json(name: &str, iters: u64, h: &Histogram, extra: Option<(&str, String)>) -> String {
+    let mut o = json::Object::new();
+    o.field_str("name", name);
+    o.field_u64("iters", iters);
+    o.field_raw("time_ns", &h.to_json());
+    if let Some((key, raw)) = extra {
+        o.field_raw(key, &raw);
+    }
+    o.build()
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_obs.json".to_string());
+
+    // Row 1: simple Tcl command (no X traffic at all).
+    let interp = tcl::Interp::new();
+    interp.eval("set a 0").unwrap();
+    let set_iters = 100_000;
+    let h_set = measure(set_iters, || {
+        interp.eval("set a 1").unwrap();
+    });
+    println!(
+        "set_a_1:     p50 {}",
+        fmt_time(h_set.quantile(0.5) as f64 * 1e-9)
+    );
+
+    // Row 2: send an empty command between two applications, with the
+    // synthetic round-trip cost the paper's IPC numbers imply.
+    let rt_cost = std::time::Duration::from_micros(50);
+    let (env_send, apps) = env_with_apps(&["alpha", "beta"]);
+    env_send
+        .display()
+        .with_server(|s| s.set_round_trip_cost(rt_cost));
+    let sender = &apps[0];
+    sender.eval("send beta {}").unwrap(); // warm up
+    sender.conn().reset_obs();
+    let send_iters = 2_000;
+    let h_send = measure(send_iters, || {
+        sender.eval("send beta {}").unwrap();
+    });
+    let send_protocol = sender.conn().obs_json();
+    println!(
+        "send_empty:  p50 {}",
+        fmt_time(h_send.quantile(0.5) as f64 * 1e-9)
+    );
+
+    // Row 3: create, display, delete 50 buttons, with the full
+    // observability stack collecting underneath.
+    let (env50, apps50) = env_with_apps(&["buttons"]);
+    env50
+        .display()
+        .with_server(|s| s.set_round_trip_cost(rt_cost));
+    let app = &apps50[0];
+    create_display_delete_buttons(app, 50); // warm caches
+    app.eval("obs reset").unwrap();
+    let button_iters = 20;
+    let h_buttons = measure(button_iters, || {
+        create_display_delete_buttons(app, 50);
+    });
+    let buttons_dump = tk::obs_cmd::dump_json(app);
+    let stats = app.conn().stats();
+    println!(
+        "buttons_50:  p50 {} ({} requests, {} round trips per iteration)",
+        fmt_time(h_buttons.quantile(0.5) as f64 * 1e-9),
+        stats.requests / button_iters,
+        stats.round_trips / button_iters
+    );
+
+    let mut workloads = json::Array::new();
+    workloads.push_raw(&workload_json("set_a_1", set_iters, &h_set, None));
+    workloads.push_raw(&workload_json(
+        "send_empty",
+        send_iters,
+        &h_send,
+        Some(("protocol", send_protocol)),
+    ));
+    workloads.push_raw(&workload_json(
+        "buttons_50",
+        button_iters,
+        &h_buttons,
+        Some(("obs", buttons_dump)),
+    ));
+
+    let mut root = json::Object::new();
+    root.field_str("source", "Table II workloads, Ousterhout USENIX 1991");
+    root.field_str("regenerate", "cargo run -p tk-bench --release --bin bench");
+    root.field_u64("round_trip_cost_us", rt_cost.as_micros() as u64);
+    root.field_raw("workloads", &workloads.build());
+    let text = root.build();
+    assert!(json::is_valid(&text), "bench produced invalid JSON");
+
+    std::fs::write(&out_path, format!("{text}\n")).expect("write BENCH_obs.json");
+    println!("wrote {out_path}");
+}

@@ -28,7 +28,8 @@ fn main() {
         .unwrap();
     app.eval("pack append . .p {top}").unwrap();
     for (path, w, h) in requested {
-        app.eval(&format!("frame {path} -geometry {w}x{h}")).unwrap();
+        app.eval(&format!("frame {path} -geometry {w}x{h}"))
+            .unwrap();
     }
     // (c) An "all-in-a-column" geometry manager arranges them top down.
     app.eval("pack append .p .p.a {top} .p.b {top} .p.c {top} .p.d {top}")
@@ -50,7 +51,10 @@ fn main() {
     }
     println!("(b) parent size: {parent_w}x{parent_h}");
     println!("(c) packed layout (all-in-a-column):");
-    println!("    {:<6} {:>9} {:>9} {:>12}", "window", "position", "size", "requested");
+    println!(
+        "    {:<6} {:>9} {:>9} {:>12}",
+        "window", "position", "size", "requested"
+    );
     for (path, w, h) in requested {
         let rec = app.window(path).unwrap();
         println!(

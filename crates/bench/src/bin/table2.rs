@@ -80,8 +80,9 @@ fn main() {
     );
 
     let stats = app.conn().stats();
-    let (draws, server_time) =
-        env50.display().with_server(|s| (s.draw_requests, s.work_time));
+    let (draws, server_time) = env50
+        .display()
+        .with_server(|s| (s.draw_requests, s.work_time));
     println!(
         "\n  50-button protocol profile (per iteration): {} requests, {} round trips,\n\
          \u{20} {} drawing requests executed by the server",

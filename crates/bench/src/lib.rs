@@ -13,14 +13,47 @@ pub fn env_with_apps(names: &[&str]) -> (TkEnv, Vec<TkApp>) {
     (env, apps)
 }
 
+/// A tiny deterministic xorshift64* PRNG, so workload generation needs no
+/// external crate and produces the same sequences on every run.
+pub struct XorShift {
+    state: u64,
+}
+
+impl XorShift {
+    /// Seeds the generator (a zero seed is nudged to a fixed constant).
+    pub fn new(seed: u64) -> XorShift {
+        XorShift {
+            state: if seed == 0 { 0x9e3779b97f4a7c15 } else { seed },
+        }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    /// A value uniform in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// A value uniform in `[lo, hi)`; `lo < hi` required.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.below(hi - lo)
+    }
+}
+
 /// The Table II row 3 workload: create `n` buttons, pack and display them,
 /// then delete them all. Returns nothing; timing is the caller's job.
 pub fn create_display_delete_buttons(app: &TkApp, n: usize) {
     for i in 0..n {
-        app.eval(&format!(
-            "button .b{i} -text \"Button {i}\" -command {{}}"
-        ))
-        .expect("create button");
+        app.eval(&format!("button .b{i} -text \"Button {i}\" -command {{}}"))
+            .expect("create button");
         app.eval(&format!("pack append . .b{i} {{top fillx}}"))
             .expect("pack button");
     }
@@ -99,6 +132,22 @@ mod tests {
     }
 
     #[test]
+    fn xorshift_is_deterministic_and_bounded() {
+        let mut a = XorShift::new(42);
+        let mut b = XorShift::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = XorShift::new(7);
+        for _ in 0..1000 {
+            let v = c.range(3, 10);
+            assert!((3..10).contains(&v), "{v}");
+        }
+        // Different seeds diverge.
+        assert_ne!(XorShift::new(1).next_u64(), XorShift::new(2).next_u64());
+    }
+
+    #[test]
     fn fmt_time_units() {
         assert!(fmt_time(5e-9).ends_with("ns"));
         assert!(fmt_time(5e-5).contains("\u{b5}s"));
@@ -111,7 +160,11 @@ mod tests {
         let dir = std::env::temp_dir().join("rtk_loc_test");
         std::fs::create_dir_all(&dir).unwrap();
         let f = dir.join("x.rs");
-        std::fs::write(&f, "fn a() {}\n\n// comment\nfn b() {}\n#[cfg(test)]\nmod tests {\n fn t() {}\n}\n").unwrap();
+        std::fs::write(
+            &f,
+            "fn a() {}\n\n// comment\nfn b() {}\n#[cfg(test)]\nmod tests {\n fn t() {}\n}\n",
+        )
+        .unwrap();
         let (code, test) = count_loc(&f);
         assert_eq!(code, 2);
         // The `#[cfg(test)]` attribute line itself counts on the test side.

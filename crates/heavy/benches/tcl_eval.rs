@@ -79,20 +79,18 @@ fn bench_parser(c: &mut Criterion) {
 /// the "many hundreds of Tcl commands within a human response time"
 /// workload of Section 7, measured end to end.
 fn bench_mixed_workload(c: &mut Criterion) {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(1991);
+    let mut rng = tk_bench::XorShift::new(1991);
     let mut script = String::new();
     script.push_str("set total 0\nset words {}\n");
     for i in 0..200 {
-        match rng.gen_range(0..5) {
-            0 => script.push_str(&format!("set v{i} {}\n", rng.gen_range(0..1000))),
+        match rng.below(5) {
+            0 => script.push_str(&format!("set v{i} {}\n", rng.below(1000))),
             1 => script.push_str(&format!(
                 "incr total [expr {{{} * {}}}]\n",
-                rng.gen_range(1..50),
-                rng.gen_range(1..50)
+                rng.range(1, 50),
+                rng.range(1, 50)
             )),
-            2 => script.push_str(&format!("lappend words w{}\n", rng.gen_range(0..100))),
+            2 => script.push_str(&format!("lappend words w{}\n", rng.below(100))),
             3 => script.push_str("if {$total > 100} {set big 1} else {set big 0}\n"),
             _ => script.push_str("set total [llength $words]\n"),
         }

@@ -1,0 +1,177 @@
+//! A tiny JSON emitter — just enough for `obs dump -format json` and the
+//! bench harness, with correct string escaping and no dependencies.
+
+/// Escapes `s` into a quoted JSON string literal.
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Builds a JSON object field by field.
+#[derive(Default)]
+pub struct Object {
+    parts: Vec<String>,
+}
+
+impl Object {
+    /// An empty object.
+    pub fn new() -> Object {
+        Object::default()
+    }
+
+    /// Adds a field whose value is already-serialized JSON.
+    pub fn field_raw(&mut self, key: &str, raw_json: &str) -> &mut Self {
+        self.parts.push(format!("{}:{}", string(key), raw_json));
+        self
+    }
+
+    /// Adds a string field.
+    pub fn field_str(&mut self, key: &str, value: &str) -> &mut Self {
+        let v = string(value);
+        self.field_raw(key, &v)
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn field_u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.field_raw(key, &value.to_string())
+    }
+
+    /// Adds a float field (finite values; NaN/inf become null).
+    pub fn field_f64(&mut self, key: &str, value: f64) -> &mut Self {
+        let v = if value.is_finite() {
+            format!("{value}")
+        } else {
+            "null".to_string()
+        };
+        self.field_raw(key, &v)
+    }
+
+    /// Adds a boolean field.
+    pub fn field_bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.field_raw(key, if value { "true" } else { "false" })
+    }
+
+    /// Serializes the object.
+    pub fn build(&self) -> String {
+        format!("{{{}}}", self.parts.join(","))
+    }
+}
+
+/// Builds a JSON array element by element.
+#[derive(Default)]
+pub struct Array {
+    parts: Vec<String>,
+}
+
+impl Array {
+    /// An empty array.
+    pub fn new() -> Array {
+        Array::default()
+    }
+
+    /// Appends already-serialized JSON.
+    pub fn push_raw(&mut self, raw_json: &str) -> &mut Self {
+        self.parts.push(raw_json.to_string());
+        self
+    }
+
+    /// Appends a string element.
+    pub fn push_str(&mut self, value: &str) -> &mut Self {
+        let v = string(value);
+        self.push_raw(&v)
+    }
+
+    /// Appends an unsigned integer element.
+    pub fn push_u64(&mut self, value: u64) -> &mut Self {
+        self.push_raw(&value.to_string())
+    }
+
+    /// Serializes the array.
+    pub fn build(&self) -> String {
+        format!("[{}]", self.parts.join(","))
+    }
+}
+
+/// Minimal structural validation: balanced strings, braces, and brackets.
+/// Used by tests to check `obs dump` output without a JSON dependency.
+pub fn is_valid(s: &str) -> bool {
+    let mut stack: Vec<char> = Vec::new();
+    let mut chars = s.chars().peekable();
+    let mut in_string = false;
+    let mut any = false;
+    while let Some(c) = chars.next() {
+        if in_string {
+            match c {
+                '\\' => {
+                    chars.next();
+                }
+                '"' => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' | '[' => {
+                any = true;
+                stack.push(c);
+            }
+            '}' if stack.pop() != Some('{') => {
+                return false;
+            }
+            ']' if stack.pop() != Some('[') => {
+                return false;
+            }
+            _ => {}
+        }
+    }
+    any && stack.is_empty() && !in_string
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(string("a\"b"), r#""a\"b""#);
+        assert_eq!(string("a\\b"), r#""a\\b""#);
+        assert_eq!(string("a\nb"), r#""a\nb""#);
+        assert_eq!(string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn object_and_array_compose() {
+        let mut inner = Array::new();
+        inner.push_u64(1).push_str("two");
+        let mut o = Object::new();
+        o.field_str("name", "x")
+            .field_u64("n", 7)
+            .field_bool("on", true)
+            .field_raw("list", &inner.build());
+        let j = o.build();
+        assert_eq!(j, r#"{"name":"x","n":7,"on":true,"list":[1,"two"]}"#);
+        assert!(is_valid(&j));
+    }
+
+    #[test]
+    fn validator_rejects_imbalance() {
+        assert!(!is_valid("{\"a\":1"));
+        assert!(!is_valid("{]}"));
+        assert!(!is_valid("plain text"));
+        assert!(is_valid("{\"a\":\"}\"}"));
+    }
+}

@@ -1,0 +1,28 @@
+//! `rtk-obs` — the observability core shared by every layer of the
+//! toolkit (xsim server, Tk intrinsics, wish, benchmarks).
+//!
+//! The paper's empirical claims (Table II, the Section 3.3 cache
+//! argument) all rest on counting and timing protocol traffic, so this
+//! crate provides the primitives to do that *cheaply enough to leave on
+//! in production*:
+//!
+//! * [`Registry`] — named monotonic counters and latency histograms with
+//!   interior mutability, so instrumented code needs only `&Registry`;
+//! * [`Histogram`] — fixed log₂-bucket latency histograms (no external
+//!   dependencies, constant memory, O(1) record);
+//! * [`Span`] — a drop guard that times a scope into a histogram;
+//! * [`Ring`] — a bounded ring buffer for trace entries;
+//! * [`json`] — a tiny hand-rolled JSON emitter used by `obs dump`.
+//!
+//! Everything here is single-threaded (`Cell`/`RefCell`), matching the
+//! toolkit's one-process simulation design; counters are plain integer
+//! bumps and histogram records are one array increment.
+
+mod hist;
+pub mod json;
+mod registry;
+mod ring;
+
+pub use hist::Histogram;
+pub use registry::{Registry, Span};
+pub use ring::Ring;

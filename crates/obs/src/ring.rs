@@ -1,0 +1,120 @@
+//! A bounded ring buffer for trace entries.
+//!
+//! Pushing beyond capacity silently drops the oldest entry, so a trace
+//! that is left on forever uses constant memory. The buffer also keeps a
+//! running sequence number of everything ever pushed, which lets readers
+//! detect how much history was lost.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO that drops its oldest element when full.
+#[derive(Debug, Clone)]
+pub struct Ring<T> {
+    buf: VecDeque<T>,
+    cap: usize,
+    pushed: u64,
+}
+
+impl<T> Ring<T> {
+    /// A ring holding at most `cap` elements (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Ring<T> {
+        Ring {
+            buf: VecDeque::with_capacity(cap.clamp(1, 1 << 20)),
+            cap: cap.max(1),
+            pushed: 0,
+        }
+    }
+
+    /// Appends an element, evicting the oldest when full.
+    pub fn push(&mut self, item: T) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(item);
+        self.pushed += 1;
+    }
+
+    /// Elements currently held, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+
+    /// The most recent `n` elements, oldest first.
+    pub fn last_n(&self, n: usize) -> Vec<&T> {
+        let skip = self.buf.len().saturating_sub(n);
+        self.buf.iter().skip(skip).collect()
+    }
+
+    /// Number of elements currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Is the ring empty?
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum number of elements held.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Total number of elements ever pushed (including evicted ones).
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Removes all elements (the total-pushed count is kept).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_only_latest_cap_elements() {
+        let mut r = Ring::new(3);
+        for i in 0..10 {
+            r.push(i);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![7, 8, 9]);
+        assert_eq!(r.total_pushed(), 10);
+    }
+
+    #[test]
+    fn last_n_returns_tail_oldest_first() {
+        let mut r = Ring::new(5);
+        for i in 0..5 {
+            r.push(i);
+        }
+        assert_eq!(
+            r.last_n(2).into_iter().copied().collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+        assert_eq!(r.last_n(99).len(), 5);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_total() {
+        let mut r = Ring::new(2);
+        r.push(1);
+        r.push(2);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.total_pushed(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut r = Ring::new(0);
+        r.push('a');
+        r.push('b');
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec!['b']);
+    }
+}

@@ -44,7 +44,9 @@ fn cmd_if(interp: &Interp, argv: &[String]) -> TclResult {
     let mut i = 1usize;
     loop {
         if i >= argv.len() {
-            return Err(wrong_args("if test script ?elseif test script? ?else script?"));
+            return Err(wrong_args(
+                "if test script ?elseif test script? ?else script?",
+            ));
         }
         let cond = expr_bool(interp, &argv[i])?;
         i += 1;
@@ -192,7 +194,9 @@ fn cmd_eval(interp: &Interp, argv: &[String]) -> TclResult {
 /// `case string ?in? pat body ?pat body ...?` or with a single list arg.
 fn cmd_case(interp: &Interp, argv: &[String]) -> TclResult {
     if argv.len() < 3 {
-        return Err(wrong_args("case string ?in? patList body ?patList body ...?"));
+        return Err(wrong_args(
+            "case string ?in? patList body ?patList body ...?",
+        ));
     }
     let string = &argv[1];
     let mut rest: Vec<String> = if argv[2] == "in" {
@@ -203,7 +207,7 @@ fn cmd_case(interp: &Interp, argv: &[String]) -> TclResult {
     if rest.len() == 1 {
         rest = crate::list::parse_list(&rest[0])?;
     }
-    if rest.len() % 2 != 0 {
+    if !rest.len().is_multiple_of(2) {
         return Err(Exception::error("extra case pattern with no body"));
     }
     let mut default_body: Option<&String> = None;
@@ -245,7 +249,9 @@ fn cmd_switch(interp: &Interp, argv: &[String]) -> TclResult {
         i += 1;
     }
     if i >= argv.len() {
-        return Err(wrong_args("switch ?options? string pattern body ?pattern body ...?"));
+        return Err(wrong_args(
+            "switch ?options? string pattern body ?pattern body ...?",
+        ));
     }
     let string = argv[i].clone();
     i += 1;
@@ -253,7 +259,7 @@ fn cmd_switch(interp: &Interp, argv: &[String]) -> TclResult {
     if pairs.len() == 1 {
         pairs = crate::list::parse_list(&pairs[0])?;
     }
-    if pairs.is_empty() || pairs.len() % 2 != 0 {
+    if pairs.is_empty() || !pairs.len().is_multiple_of(2) {
         return Err(Exception::error("extra switch pattern with no body"));
     }
     let mut matched = false;
@@ -317,18 +323,17 @@ fn cmd_source(interp: &Interp, argv: &[String]) -> TclResult {
     if argv.len() != 2 {
         return Err(wrong_args("source fileName"));
     }
-    let text = std::fs::read_to_string(&argv[1]).map_err(|e| {
-        Exception::error(format!("couldn't read file \"{}\": {e}", argv[1]))
-    })?;
+    let text = std::fs::read_to_string(&argv[1])
+        .map_err(|e| Exception::error(format!("couldn't read file \"{}\": {e}", argv[1])))?;
     interp.eval(&text)
 }
 
 fn cmd_exit(interp: &Interp, argv: &[String]) -> TclResult {
     let status = match argv.len() {
         1 => 0,
-        2 => argv[1].parse().map_err(|_| {
-            Exception::error(format!("expected integer but got \"{}\"", argv[1]))
-        })?,
+        2 => argv[1]
+            .parse()
+            .map_err(|_| Exception::error(format!("expected integer but got \"{}\"", argv[1])))?,
         _ => return Err(wrong_args("exit ?status?")),
     };
     interp.request_exit(status);
@@ -347,7 +352,8 @@ mod tests {
         i.eval("set i 1").unwrap();
         assert_eq!(i.eval("if $i<2 {set j 43}; set j").unwrap(), "43");
         assert_eq!(
-            i.eval("if {$i > 5} {set k yes} else {set k no}; set k").unwrap(),
+            i.eval("if {$i > 5} {set k yes} else {set k no}; set k")
+                .unwrap(),
             "no"
         );
     }
@@ -385,8 +391,7 @@ mod tests {
     #[test]
     fn while_continue() {
         let i = Interp::new();
-        i.eval("set sum 0; set n 0")
-            .unwrap();
+        i.eval("set sum 0; set n 0").unwrap();
         i.eval("while {$n < 5} {incr n; if {$n == 3} continue; incr sum $n}")
             .unwrap();
         assert_eq!(i.eval("set sum").unwrap(), "12"); // 1+2+4+5
@@ -403,7 +408,8 @@ mod tests {
     #[test]
     fn foreach_iterates_list() {
         let i = Interp::new();
-        i.eval("set out {}; foreach x {a b c} {append out $x-}").unwrap();
+        i.eval("set out {}; foreach x {a b c} {append out $x-}")
+            .unwrap();
         assert_eq!(i.eval("set out").unwrap(), "a-b-c-");
     }
 
@@ -479,7 +485,9 @@ mod tests {
             .eval("case abc in {a*} {set r first} default {set r other}")
             .unwrap();
         assert_eq!(r, "first");
-        let r = i.eval("case zzz in {a*} {set r first} default {set r other}").unwrap();
+        let r = i
+            .eval("case zzz in {a*} {set r first} default {set r other}")
+            .unwrap();
         assert_eq!(r, "other");
     }
 

@@ -39,7 +39,12 @@ fn cmd_info(interp: &Interp, argv: &[String]) -> TclResult {
                 return Err(wrong_args("info exists varName"));
             }
             let (name, idx) = crate::interp::split_var_name(&argv[2]);
-            Ok(if interp.var_exists(&name, idx.as_deref()) { "1" } else { "0" }.into())
+            Ok(if interp.var_exists(&name, idx.as_deref()) {
+                "1"
+            } else {
+                "0"
+            }
+            .into())
         }
         "body" => {
             if argv.len() != 3 {
@@ -59,7 +64,10 @@ fn cmd_info(interp: &Interp, argv: &[String]) -> TclResult {
             }
             match interp.proc_def(&argv[2]) {
                 Some(def) => Ok(format_list(
-                    &def.params.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>(),
+                    &def.params
+                        .iter()
+                        .map(|(n, _)| n.clone())
+                        .collect::<Vec<_>>(),
                 )),
                 None => Err(Exception::error(format!(
                     "\"{}\" isn't a procedure",
@@ -71,15 +79,19 @@ fn cmd_info(interp: &Interp, argv: &[String]) -> TclResult {
             if argv.len() != 5 {
                 return Err(wrong_args("info default procName arg varName"));
             }
-            let def = interp.proc_def(&argv[2]).ok_or_else(|| {
-                Exception::error(format!("\"{}\" isn't a procedure", argv[2]))
-            })?;
-            let param = def.params.iter().find(|(n, _)| n == &argv[3]).ok_or_else(|| {
-                Exception::error(format!(
-                    "procedure \"{}\" doesn't have an argument \"{}\"",
-                    argv[2], argv[3]
-                ))
-            })?;
+            let def = interp
+                .proc_def(&argv[2])
+                .ok_or_else(|| Exception::error(format!("\"{}\" isn't a procedure", argv[2])))?;
+            let param = def
+                .params
+                .iter()
+                .find(|(n, _)| n == &argv[3])
+                .ok_or_else(|| {
+                    Exception::error(format!(
+                        "procedure \"{}\" doesn't have an argument \"{}\"",
+                        argv[2], argv[3]
+                    ))
+                })?;
             match &param.1 {
                 Some(d) => {
                     interp.set_var(&argv[4], None, d)?;
@@ -171,7 +183,8 @@ mod tests {
     fn info_vars_and_globals() {
         let i = Interp::new();
         i.eval("set g 1").unwrap();
-        i.eval("proc f {} {set local 2; return [info vars]}").unwrap();
+        i.eval("proc f {} {set local 2; return [info vars]}")
+            .unwrap();
         let vars = i.eval("f").unwrap();
         assert!(vars.contains("local"));
         assert!(!vars.contains('g'));

@@ -130,7 +130,11 @@ fn cmd_lreplace(_i: &Interp, argv: &[String]) -> TclResult {
         items.extend(argv[4..].iter().cloned());
         return Ok(format_list(&items));
     }
-    let last = if last < 0 { 0 } else { (last as usize).min(items.len() - 1) };
+    let last = if last < 0 {
+        0
+    } else {
+        (last as usize).min(items.len() - 1)
+    };
     if last >= first {
         items.splice(first..=last, argv[4..].iter().cloned());
     } else {
@@ -171,11 +175,13 @@ fn cmd_lsort(_i: &Interp, argv: &[String]) -> TclResult {
     let mut list_arg: Option<&String> = None;
     for arg in &argv[1..] {
         match arg.as_str() {
-            "-ascii" | "-integer" | "-real" => mode = match arg.as_str() {
-                "-integer" => "-integer",
-                "-real" => "-real",
-                _ => "-ascii",
-            },
+            "-ascii" | "-integer" | "-real" => {
+                mode = match arg.as_str() {
+                    "-integer" => "-integer",
+                    "-real" => "-real",
+                    _ => "-ascii",
+                }
+            }
             "-increasing" => decreasing = false,
             "-decreasing" => decreasing = true,
             _ => {
@@ -194,9 +200,10 @@ fn cmd_lsort(_i: &Interp, argv: &[String]) -> TclResult {
         "-integer" => {
             let mut keyed: Vec<(i64, String)> = Vec::with_capacity(items.len());
             for s in items {
-                let k: i64 = s.trim().parse().map_err(|_| {
-                    Exception::error(format!("expected integer but got \"{s}\""))
-                })?;
+                let k: i64 = s
+                    .trim()
+                    .parse()
+                    .map_err(|_| Exception::error(format!("expected integer but got \"{s}\"")))?;
                 keyed.push((k, s));
             }
             keyed.sort_by_key(|(k, _)| *k);
@@ -234,7 +241,11 @@ fn cmd_join(_i: &Interp, argv: &[String]) -> TclResult {
     if argv.len() != 2 && argv.len() != 3 {
         return Err(wrong_args("join list ?joinString?"));
     }
-    let sep = if argv.len() == 3 { argv[2].as_str() } else { " " };
+    let sep = if argv.len() == 3 {
+        argv[2].as_str()
+    } else {
+        " "
+    };
     let items = parse_list(&argv[1])?;
     Ok(items.join(sep))
 }

@@ -34,8 +34,11 @@ pub fn register(interp: &Interp) {
             .cloned()
             .or_else(|| std::env::var("HOME").ok())
             .unwrap_or_else(|| "/".to_string());
-        std::env::set_current_dir(&dir)
-            .map_err(|e| Exception::error(format!("couldn't change working directory to \"{dir}\": {e}")))?;
+        std::env::set_current_dir(&dir).map_err(|e| {
+            Exception::error(format!(
+                "couldn't change working directory to \"{dir}\": {e}"
+            ))
+        })?;
         Ok(String::new())
     });
 }
@@ -121,8 +124,21 @@ fn cmd_file(_i: &Interp, argv: &[String]) -> TclResult {
         return Err(wrong_args("file option name ?arg ...?"));
     }
     const OPTIONS: &[&str] = &[
-        "atime", "dirname", "executable", "exists", "extension", "isdirectory", "isfile",
-        "mtime", "owned", "readable", "rootname", "size", "tail", "type", "writable",
+        "atime",
+        "dirname",
+        "executable",
+        "exists",
+        "extension",
+        "isdirectory",
+        "isfile",
+        "mtime",
+        "owned",
+        "readable",
+        "rootname",
+        "size",
+        "tail",
+        "type",
+        "writable",
     ];
     let (opt, name) = if OPTIONS.contains(&argv[1].as_str()) {
         (argv[1].as_str(), argv[2].as_str())
@@ -142,9 +158,7 @@ fn cmd_file(_i: &Interp, argv: &[String]) -> TclResult {
         "isdirectory" => yes_no(path.is_dir()),
         "isfile" => yes_no(path.is_file()),
         "readable" => yes_no(std::fs::File::open(path).is_ok() || path.is_dir()),
-        "writable" => yes_no(
-            std::fs::OpenOptions::new().append(true).open(path).is_ok(),
-        ),
+        "writable" => yes_no(std::fs::OpenOptions::new().append(true).open(path).is_ok()),
         "executable" => {
             #[cfg(unix)]
             {
@@ -204,7 +218,13 @@ fn cmd_file(_i: &Interp, argv: &[String]) -> TclResult {
             .map_err(|e| Exception::error(format!("couldn't stat \"{name}\": {e}"))),
         "mtime" | "atime" => path
             .metadata()
-            .and_then(|m| if opt == "mtime" { m.modified() } else { m.accessed() })
+            .and_then(|m| {
+                if opt == "mtime" {
+                    m.modified()
+                } else {
+                    m.accessed()
+                }
+            })
             .map(|t| {
                 t.duration_since(std::time::UNIX_EPOCH)
                     .map(|d| d.as_secs().to_string())
@@ -230,9 +250,7 @@ fn cmd_exec(interp: &Interp, argv: &[String]) -> TclResult {
     if argv.len() < 2 {
         return Err(wrong_args("exec command ?arg ...?"));
     }
-    interp
-        .run_exec(&argv[1..])
-        .map_err(Exception::error)
+    interp.run_exec(&argv[1..]).map_err(Exception::error)
 }
 
 /// `glob ?-nocomplain? pattern ...`: file name globbing in the current
@@ -296,7 +314,12 @@ fn glob_pattern(pattern: &str, out: &mut Vec<String>) {
             }
         }
     }
-    walk(Path::new(&root), &comps, if root == "/" { "/" } else { "" }, out);
+    walk(
+        Path::new(&root),
+        &comps,
+        if root == "/" { "/" } else { "" },
+        out,
+    );
 }
 
 #[cfg(test)]
@@ -406,17 +429,13 @@ mod tests {
         std::fs::write(dir.join("b.txt"), "").unwrap();
         std::fs::write(dir.join("c.dat"), "").unwrap();
         let i = Interp::new();
-        let r = i
-            .eval(&format!("glob {}/*.txt", dir.display()))
-            .unwrap();
+        let r = i.eval(&format!("glob {}/*.txt", dir.display())).unwrap();
         assert!(r.contains("a.txt") && r.contains("b.txt") && !r.contains("c.dat"));
         assert_eq!(
             i.eval(&format!("glob -nocomplain {}/*.zzz", dir.display()))
                 .unwrap(),
             ""
         );
-        assert!(i
-            .eval(&format!("glob {}/*.zzz", dir.display()))
-            .is_err());
+        assert!(i.eval(&format!("glob {}/*.zzz", dir.display())).is_err());
     }
 }

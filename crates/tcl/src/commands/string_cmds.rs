@@ -196,7 +196,10 @@ fn cmd_string(_i: &Interp, argv: &[String]) -> TclResult {
             if idx < 0 {
                 return Ok(String::new());
             }
-            Ok(s.chars().nth(idx as usize).map(|c| c.to_string()).unwrap_or_default())
+            Ok(s.chars()
+                .nth(idx as usize)
+                .map(|c| c.to_string())
+                .unwrap_or_default())
         }
         "range" => {
             if argv.len() != 5 {
@@ -208,8 +211,7 @@ fn cmd_string(_i: &Interp, argv: &[String]) -> TclResult {
             if first > last {
                 return Ok(String::new());
             }
-            Ok(s
-                .chars()
+            Ok(s.chars()
                 .skip(first as usize)
                 .take((last - first + 1) as usize)
                 .collect())
@@ -361,25 +363,16 @@ mod regex_cmd_tests {
     fn regexp_nocase_and_indices() {
         let i = Interp::new();
         assert_eq!(i.eval("regexp -nocase HELLO {say hello}").unwrap(), "1");
-        assert_eq!(
-            i.eval("regexp -indices {l+} {hello} span").unwrap(),
-            "1"
-        );
+        assert_eq!(i.eval("regexp -indices {l+} {hello} span").unwrap(), "1");
         assert_eq!(i.eval("set span").unwrap(), "2 3");
     }
 
     #[test]
     fn regsub_single_and_all() {
         let i = Interp::new();
-        assert_eq!(
-            i.eval("regsub {o} {foo boo} {0} out").unwrap(),
-            "1"
-        );
+        assert_eq!(i.eval("regsub {o} {foo boo} {0} out").unwrap(), "1");
         assert_eq!(i.eval("set out").unwrap(), "f0o boo");
-        assert_eq!(
-            i.eval("regsub -all {o} {foo boo} {0} out").unwrap(),
-            "4"
-        );
+        assert_eq!(i.eval("regsub -all {o} {foo boo} {0} out").unwrap(), "4");
         assert_eq!(i.eval("set out").unwrap(), "f00 b00");
     }
 

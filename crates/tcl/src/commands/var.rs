@@ -88,15 +88,15 @@ fn cmd_incr(interp: &Interp, argv: &[String]) -> TclResult {
     }
     let (name, idx) = split_var_name(&argv[1]);
     let cur = interp.get_var(&name, idx.as_deref())?;
-    let cur: i64 = cur.trim().parse().map_err(|_| {
-        Exception::error(format!(
-            "expected integer but got \"{cur}\""
-        ))
-    })?;
+    let cur: i64 = cur
+        .trim()
+        .parse()
+        .map_err(|_| Exception::error(format!("expected integer but got \"{cur}\"")))?;
     let by: i64 = if argv.len() == 3 {
-        argv[2].trim().parse().map_err(|_| {
-            Exception::error(format!("expected integer but got \"{}\"", argv[2]))
-        })?
+        argv[2]
+            .trim()
+            .parse()
+            .map_err(|_| Exception::error(format!("expected integer but got \"{}\"", argv[2])))?
     } else {
         1
     };
@@ -135,7 +135,9 @@ fn cmd_global(interp: &Interp, argv: &[String]) -> TclResult {
 
 fn cmd_upvar(interp: &Interp, argv: &[String]) -> TclResult {
     if argv.len() < 3 {
-        return Err(wrong_args("upvar ?level? otherVar localVar ?otherVar localVar ...?"));
+        return Err(wrong_args(
+            "upvar ?level? otherVar localVar ?otherVar localVar ...?",
+        ));
     }
     // The optional level is recognized by its shape: a number or `#number`.
     let (level, rest) = if argv[1].starts_with('#') || argv[1].parse::<usize>().is_ok() {
@@ -144,7 +146,9 @@ fn cmd_upvar(interp: &Interp, argv: &[String]) -> TclResult {
         (interp.parse_level("1")?, &argv[1..])
     };
     if rest.is_empty() || rest.len() % 2 != 0 {
-        return Err(wrong_args("upvar ?level? otherVar localVar ?otherVar localVar ...?"));
+        return Err(wrong_args(
+            "upvar ?level? otherVar localVar ?otherVar localVar ...?",
+        ));
     }
     for pair in rest.chunks(2) {
         interp.link_var(&pair[1], level, &pair[0])?;
@@ -156,12 +160,12 @@ fn cmd_uplevel(interp: &Interp, argv: &[String]) -> TclResult {
     if argv.len() < 2 {
         return Err(wrong_args("uplevel ?level? command ?arg ...?"));
     }
-    let (level, rest) = if argv.len() > 2 && (argv[1].starts_with('#') || argv[1].parse::<usize>().is_ok())
-    {
-        (interp.parse_level(&argv[1])?, &argv[2..])
-    } else {
-        (interp.parse_level("1")?, &argv[1..])
-    };
+    let (level, rest) =
+        if argv.len() > 2 && (argv[1].starts_with('#') || argv[1].parse::<usize>().is_ok()) {
+            (interp.parse_level(&argv[1])?, &argv[2..])
+        } else {
+            (interp.parse_level("1")?, &argv[1..])
+        };
     if rest.is_empty() {
         return Err(wrong_args("uplevel ?level? command ?arg ...?"));
     }
@@ -181,7 +185,12 @@ fn cmd_array(interp: &Interp, argv: &[String]) -> TclResult {
     match argv[1].as_str() {
         "names" => Ok(crate::list::format_list(&interp.array_names(name)?)),
         "size" => Ok(interp.array_names(name)?.len().to_string()),
-        "exists" => Ok(if interp.array_names(name).is_ok() { "1" } else { "0" }.into()),
+        "exists" => Ok(if interp.array_names(name).is_ok() {
+            "1"
+        } else {
+            "0"
+        }
+        .into()),
         "get" => {
             let mut out: Vec<String> = Vec::new();
             for key in interp.array_names(name)? {
@@ -197,7 +206,9 @@ fn cmd_array(interp: &Interp, argv: &[String]) -> TclResult {
             }
             let pairs = crate::list::parse_list(&argv[3])?;
             if pairs.len() % 2 != 0 {
-                return Err(Exception::error("list must have an even number of elements"));
+                return Err(Exception::error(
+                    "list must have an even number of elements",
+                ));
             }
             for pair in pairs.chunks(2) {
                 interp.set_var(name, Some(&pair[0]), &pair[1])?;
@@ -267,8 +278,10 @@ mod tests {
     #[test]
     fn upvar_two_levels() {
         let i = Interp::new();
-        i.eval("proc outer {} {set x outer-x; inner; set x}").unwrap();
-        i.eval("proc inner {} {upvar 1 x y; set y changed}").unwrap();
+        i.eval("proc outer {} {set x outer-x; inner; set x}")
+            .unwrap();
+        i.eval("proc inner {} {upvar 1 x y; set y changed}")
+            .unwrap();
         assert_eq!(i.eval("outer").unwrap(), "changed");
     }
 
@@ -346,7 +359,8 @@ mod tests {
     fn unset_trace_fires_and_traces_are_discarded() {
         let i = Interp::new();
         i.eval("set gone 0").unwrap();
-        i.eval("proc bye {n1 n2 op} {global gone; set gone 1}").unwrap();
+        i.eval("proc bye {n1 n2 op} {global gone; set gone 1}")
+            .unwrap();
         i.eval("set v x; trace variable v u bye").unwrap();
         i.eval("unset v").unwrap();
         assert_eq!(i.eval("set gone").unwrap(), "1");
@@ -360,7 +374,8 @@ mod tests {
         // A read-only variable implemented with an erroring write trace.
         let i = Interp::new();
         i.eval("set const 42").unwrap();
-        i.eval("proc deny {n1 n2 op} {error {is read-only}}").unwrap();
+        i.eval("proc deny {n1 n2 op} {error {is read-only}}")
+            .unwrap();
         i.eval("trace variable const w deny").unwrap();
         let e = i.eval("set const 7").unwrap_err();
         assert!(e.msg.contains("read-only"), "{}", e.msg);
@@ -406,7 +421,8 @@ mod tests {
     fn traces_on_globals_fire_from_procs() {
         let i = Interp::new();
         i.eval("set hits 0").unwrap();
-        i.eval("proc count {a b c} {global hits; incr hits}").unwrap();
+        i.eval("proc count {a b c} {global hits; incr hits}")
+            .unwrap();
         i.eval("trace variable g w count").unwrap();
         i.eval("proc setter {} {global g; set g 5}").unwrap();
         i.eval("setter").unwrap();

@@ -270,7 +270,9 @@ impl<'a> Lexer<'a> {
                     }
                 }
                 let one = self.src.get(self.pos..self.pos + 1).unwrap_or("");
-                for op in ["+", "-", "*", "/", "%", "<", ">", "!", "~", "&", "|", "^", "?", ":"] {
+                for op in [
+                    "+", "-", "*", "/", "%", "<", ">", "!", "~", "&", "|", "^", "?", ":",
+                ] {
                     if one == op {
                         self.pos += 1;
                         return Ok(Token::Op(op));
@@ -393,14 +395,8 @@ impl<'a> Parser<'a> {
 
     fn parse_binary(&mut self, min_prec: u8) -> Result<Ast, Exception> {
         let mut lhs = self.parse_unary()?;
-        loop {
-            let (op, prec) = match self.peek()? {
-                Token::Op(o) => match binop(o) {
-                    Some(p) => p,
-                    None => break,
-                },
-                _ => break,
-            };
+        while let Token::Op(o) = self.peek()? {
+            let Some((op, prec)) = binop(o) else { break };
             if prec < min_prec {
                 break;
             }
@@ -580,13 +576,21 @@ fn eval_ast(interp: &Interp, ast: &Ast) -> Result<Value, Exception> {
                     if !eval_ast(interp, l)?.truthy()? {
                         return Ok(Value::Int(0));
                     }
-                    return Ok(Value::Int(if eval_ast(interp, r)?.truthy()? { 1 } else { 0 }));
+                    return Ok(Value::Int(if eval_ast(interp, r)?.truthy()? {
+                        1
+                    } else {
+                        0
+                    }));
                 }
                 Op::Or => {
                     if eval_ast(interp, l)?.truthy()? {
                         return Ok(Value::Int(1));
                     }
-                    return Ok(Value::Int(if eval_ast(interp, r)?.truthy()? { 1 } else { 0 }));
+                    return Ok(Value::Int(if eval_ast(interp, r)?.truthy()? {
+                        1
+                    } else {
+                        0
+                    }));
                 }
                 _ => {}
             }

@@ -100,13 +100,16 @@ impl TraceOps {
     }
 }
 
+/// A native trace callback: `(interp, name1, name2, op)`.
+pub type NativeTraceFn = Rc<dyn Fn(&Interp, &str, &str, &str)>;
+
 /// What a trace runs when it fires.
 pub enum TraceAction {
     /// A Tcl command, called as `command name1 name2 op`.
     Script(String),
-    /// A native callback `(interp, name1, name2, op)` — used by Tk widgets
-    /// to track their `-variable` options.
-    Native(Rc<dyn Fn(&Interp, &str, &str, &str)>),
+    /// A native callback — used by Tk widgets to track their
+    /// `-variable` options.
+    Native(NativeTraceFn),
 }
 
 /// One registered variable trace.
@@ -436,8 +439,7 @@ impl Interp {
             return false;
         };
         let pos = list.iter().position(|t| {
-            t.ops == ops
-                && matches!(&t.action, TraceAction::Script(c) if c == command)
+            t.ops == ops && matches!(&t.action, TraceAction::Script(c) if c == command)
         });
         match pos {
             Some(i) => {
@@ -923,15 +925,15 @@ impl Interp {
         self.inner.frames.borrow_mut().pop();
         match result {
             Err(e) if e.code == Code::Return => Ok(e.msg),
-            Err(e) if e.code == Code::Error => Err(e.add_trace(format!(
-                "(procedure \"{name}\" line ?)"
-            ))),
-            Err(e) if e.code == Code::Break => Err(Exception::error(
-                "invoked \"break\" outside of a loop",
-            )),
-            Err(e) if e.code == Code::Continue => Err(Exception::error(
-                "invoked \"continue\" outside of a loop",
-            )),
+            Err(e) if e.code == Code::Error => {
+                Err(e.add_trace(format!("(procedure \"{name}\" line ?)")))
+            }
+            Err(e) if e.code == Code::Break => {
+                Err(Exception::error("invoked \"break\" outside of a loop"))
+            }
+            Err(e) if e.code == Code::Continue => {
+                Err(Exception::error("invoked \"continue\" outside of a loop"))
+            }
             other => other,
         }
     }

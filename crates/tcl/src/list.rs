@@ -126,8 +126,9 @@ fn quoting_for(elem: &str) -> Quoting {
     let mut idx = 0;
     while idx < bytes.len() {
         match bytes[idx] {
-            b' ' | b'\t' | b'\n' | b'\r' | b';' | b'"' | b'$' | b'[' | b']' | b'\x0b'
-            | b'\x0c' => needs = needs.max_braces(),
+            b' ' | b'\t' | b'\n' | b'\r' | b';' | b'"' | b'$' | b'[' | b']' | b'\x0b' | b'\x0c' => {
+                needs = needs.max_braces()
+            }
             b'{' => {
                 depth += 1;
                 needs = needs.max_braces();
@@ -229,10 +230,7 @@ mod tests {
 
     #[test]
     fn parses_braced_elements() {
-        assert_eq!(
-            parse_list("a b {x1 x2}").unwrap(),
-            vec!["a", "b", "x1 x2"]
-        );
+        assert_eq!(parse_list("a b {x1 x2}").unwrap(), vec!["a", "b", "x1 x2"]);
     }
 
     #[test]

@@ -53,7 +53,9 @@ pub fn backslash(src: &str, pos: usize) -> (String, usize) {
         b'\n' => {
             // Backslash-newline plus following whitespace becomes one space.
             let mut used = 2;
-            while pos + used < bytes.len() && (bytes[pos + used] == b' ' || bytes[pos + used] == b'\t') {
+            while pos + used < bytes.len()
+                && (bytes[pos + used] == b' ' || bytes[pos + used] == b'\t')
+            {
                 used += 1;
             }
             (" ".into(), used)

@@ -41,7 +41,10 @@ enum Quant {
 enum Atom {
     Char(char),
     Any,
-    Class { negated: bool, items: Vec<ClassItem> },
+    Class {
+        negated: bool,
+        items: Vec<ClassItem>,
+    },
     Group(usize, Alt),
     Start,
     End,
@@ -74,7 +77,10 @@ impl<'a> Parser<'a> {
     }
 
     fn error(&self, msg: &str) -> Exception {
-        Exception::error(format!("couldn't compile regular expression \"{}\": {msg}", self.src))
+        Exception::error(format!(
+            "couldn't compile regular expression \"{}\": {msg}",
+            self.src
+        ))
     }
 
     fn parse_alt(&mut self) -> Result<Alt, Exception> {
@@ -164,7 +170,9 @@ impl<'a> Parser<'a> {
                 Some(c) => Ok(Atom::Char(c)),
                 None => Err(self.error("trailing backslash")),
             },
-            Some('*') | Some('+') | Some('?') => Err(self.error("quantifier with nothing to repeat")),
+            Some('*') | Some('+') | Some('?') => {
+                Err(self.error("quantifier with nothing to repeat"))
+            }
             Some(')') => Err(self.error("unmatched ()")),
             Some(c) => Ok(Atom::Char(c)),
             None => Err(self.error("unexpected end")),

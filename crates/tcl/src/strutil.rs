@@ -128,7 +128,9 @@ pub fn format_cmd(spec: &str, args: &[String]) -> TclResult {
         }
         i += 1;
         if i >= chars.len() {
-            return Err(Exception::error("format string ended in middle of field specifier"));
+            return Err(Exception::error(
+                "format string ended in middle of field specifier",
+            ));
         }
         if chars[i] == '%' {
             out.push('%');
@@ -190,7 +192,9 @@ pub fn format_cmd(spec: &str, args: &[String]) -> TclResult {
             i += 1;
         }
         if i >= chars.len() {
-            return Err(Exception::error("format string ended in middle of field specifier"));
+            return Err(Exception::error(
+                "format string ended in middle of field specifier",
+            ));
         }
         let conv = chars[i];
         i += 1;
@@ -198,7 +202,9 @@ pub fn format_cmd(spec: &str, args: &[String]) -> TclResult {
             match crate::expr::parse_number(s) {
                 Some(crate::expr::Value::Int(v)) => Ok(v),
                 Some(crate::expr::Value::Double(d)) => Ok(d as i64),
-                _ => Err(Exception::error(format!("expected integer but got \"{s}\""))),
+                _ => Err(Exception::error(format!(
+                    "expected integer but got \"{s}\""
+                ))),
             }
         };
         let float_arg = |s: &str| -> Result<f64, Exception> {
@@ -241,17 +247,29 @@ pub fn format_cmd(spec: &str, args: &[String]) -> TclResult {
             'x' => {
                 let v = int_arg(&next_arg(&mut arg_i)?)?;
                 let s = format!("{:x}", v as u64);
-                if alt { format!("0x{s}") } else { s }
+                if alt {
+                    format!("0x{s}")
+                } else {
+                    s
+                }
             }
             'X' => {
                 let v = int_arg(&next_arg(&mut arg_i)?)?;
                 let s = format!("{:X}", v as u64);
-                if alt { format!("0X{s}") } else { s }
+                if alt {
+                    format!("0X{s}")
+                } else {
+                    s
+                }
             }
             'o' => {
                 let v = int_arg(&next_arg(&mut arg_i)?)?;
                 let s = format!("{:o}", v as u64);
-                if alt { format!("0{s}") } else { s }
+                if alt {
+                    format!("0{s}")
+                } else {
+                    s
+                }
             }
             'f' => {
                 let v = float_arg(&next_arg(&mut arg_i)?)?;
@@ -262,26 +280,30 @@ pub fn format_cmd(spec: &str, args: &[String]) -> TclResult {
                 let s = format!("{:.*e}", precision.unwrap_or(6), v);
                 // Rust writes `1.5e3`; C writes `1.500000e+03`.
                 let s = fix_exponent(&s);
-                if conv == 'E' { s.to_uppercase() } else { s }
+                if conv == 'E' {
+                    s.to_uppercase()
+                } else {
+                    s
+                }
             }
             'g' | 'G' => {
                 let v = float_arg(&next_arg(&mut arg_i)?)?;
                 let p = precision.unwrap_or(6).max(1);
                 let s = format_g(v, p);
-                if conv == 'G' { s.to_uppercase() } else { s }
+                if conv == 'G' {
+                    s.to_uppercase()
+                } else {
+                    s
+                }
             }
-            other => {
-                return Err(Exception::error(format!(
-                    "bad field specifier \"{other}\""
-                )))
-            }
+            other => return Err(Exception::error(format!("bad field specifier \"{other}\""))),
         };
         // Apply width.
         if body.chars().count() < width {
             let pad = width - body.chars().count();
             if left {
                 out.push_str(&body);
-                out.extend(std::iter::repeat(' ').take(pad));
+                out.extend(std::iter::repeat_n(' ', pad));
             } else if zero && !matches!(conv, 's' | 'c') {
                 // Zero padding goes after any sign.
                 let (sign, digits) = match body.strip_prefix('-') {
@@ -289,10 +311,10 @@ pub fn format_cmd(spec: &str, args: &[String]) -> TclResult {
                     None => ("", body.as_str()),
                 };
                 out.push_str(sign);
-                out.extend(std::iter::repeat('0').take(pad));
+                out.extend(std::iter::repeat_n('0', pad));
                 out.push_str(digits);
             } else {
-                out.extend(std::iter::repeat(' ').take(pad));
+                out.extend(std::iter::repeat_n(' ', pad));
                 out.push_str(&body);
             }
         } else {
@@ -363,7 +385,9 @@ pub fn scan_cmd(input: &str, spec: &str) -> Result<Vec<Option<String>>, Exceptio
         if sc == '%' {
             si += 1;
             if si >= sb.len() {
-                return Err(Exception::error("format string ended in middle of field specifier"));
+                return Err(Exception::error(
+                    "format string ended in middle of field specifier",
+                ));
             }
             let mut suppress = false;
             if sb[si] == '*' {
@@ -385,7 +409,9 @@ pub fn scan_cmd(input: &str, spec: &str) -> Result<Vec<Option<String>>, Exceptio
                 si += 1;
             }
             if si >= sb.len() {
-                return Err(Exception::error("format string ended in middle of field specifier"));
+                return Err(Exception::error(
+                    "format string ended in middle of field specifier",
+                ));
             }
             let conv = sb[si];
             si += 1;
@@ -440,15 +466,14 @@ pub fn scan_cmd(input: &str, spec: &str) -> Result<Vec<Option<String>>, Exceptio
                         ii += 1;
                     }
                     while ii < ib.len()
-                        && (ib[ii].is_ascii_digit() || matches!(ib[ii], '.' | 'e' | 'E' | '+' | '-'))
+                        && (ib[ii].is_ascii_digit()
+                            || matches!(ib[ii], '.' | 'e' | 'E' | '+' | '-'))
                         && ii - start < width
                     {
                         ii += 1;
                     }
                     let text: String = ib[start..ii].iter().collect();
-                    text.parse::<f64>()
-                        .ok()
-                        .map(crate::expr::double_to_string)
+                    text.parse::<f64>().ok().map(crate::expr::double_to_string)
                 }
                 other => {
                     return Err(Exception::error(format!(
@@ -532,7 +557,10 @@ mod tests {
     #[test]
     fn format_strings() {
         assert_eq!(format_cmd("x is %s", &["hi".into()]).unwrap(), "x is hi");
-        assert_eq!(format_cmd("%d-%d", &["3".into(), "4".into()]).unwrap(), "3-4");
+        assert_eq!(
+            format_cmd("%d-%d", &["3".into(), "4".into()]).unwrap(),
+            "3-4"
+        );
         assert_eq!(format_cmd("%5d", &["42".into()]).unwrap(), "   42");
         assert_eq!(format_cmd("%-5d|", &["42".into()]).unwrap(), "42   |");
         assert_eq!(format_cmd("%05d", &["42".into()]).unwrap(), "00042");
@@ -560,8 +588,14 @@ mod tests {
     #[test]
     fn format_percent_and_star() {
         assert_eq!(format_cmd("100%%", &[]).unwrap(), "100%");
-        assert_eq!(format_cmd("%*d", &["5".into(), "42".into()]).unwrap(), "   42");
-        assert_eq!(format_cmd("%.*s", &["2".into(), "hello".into()]).unwrap(), "he");
+        assert_eq!(
+            format_cmd("%*d", &["5".into(), "42".into()]).unwrap(),
+            "   42"
+        );
+        assert_eq!(
+            format_cmd("%.*s", &["2".into(), "hello".into()]).unwrap(),
+            "he"
+        );
     }
 
     #[test]
@@ -579,7 +613,10 @@ mod tests {
             vec![Some("12".into()), Some("34".into())]
         );
         assert_eq!(scan_cmd("ff", "%x").unwrap(), vec![Some("255".into())]);
-        assert_eq!(scan_cmd("hello world", "%s").unwrap(), vec![Some("hello".into())]);
+        assert_eq!(
+            scan_cmd("hello world", "%s").unwrap(),
+            vec![Some("hello".into())]
+        );
         assert_eq!(scan_cmd("A", "%c").unwrap(), vec![Some("65".into())]);
         assert_eq!(scan_cmd("1.5", "%f").unwrap(), vec![Some("1.5".into())]);
     }
@@ -590,24 +627,27 @@ mod tests {
             scan_cmd("12 34", "%*d %d").unwrap(),
             vec![Some("34".into())]
         );
-        assert_eq!(scan_cmd("12345", "%2d%3d").unwrap(), vec![
-            Some("12".into()),
-            Some("345".into())
-        ]);
+        assert_eq!(
+            scan_cmd("12345", "%2d%3d").unwrap(),
+            vec![Some("12".into()), Some("345".into())]
+        );
     }
 
     #[test]
     fn scan_literal_matching() {
+        assert_eq!(scan_cmd("x=42", "x=%d").unwrap(), vec![Some("42".into())]);
         assert_eq!(
-            scan_cmd("x=42", "x=%d").unwrap(),
-            vec![Some("42".into())]
+            scan_cmd("y=42", "x=%d").unwrap(),
+            Vec::<Option<String>>::new()
         );
-        assert_eq!(scan_cmd("y=42", "x=%d").unwrap(), Vec::<Option<String>>::new());
     }
 
     #[test]
     fn scan_negative_numbers() {
         assert_eq!(scan_cmd("-17", "%d").unwrap(), vec![Some("-17".into())]);
-        assert_eq!(scan_cmd("-1.5e2", "%f").unwrap(), vec![Some("-150.0".into())]);
+        assert_eq!(
+            scan_cmd("-1.5e2", "%f").unwrap(),
+            vec![Some("-150.0".into())]
+        );
     }
 }

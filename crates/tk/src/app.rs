@@ -173,6 +173,9 @@ pub struct AppInner {
     pub(crate) packer: RefCell<Packer>,
     pub(crate) selection: RefCell<SelectionState>,
     pub(crate) send: RefCell<SendState>,
+    /// Toolkit-level observability: counters and latency histograms for
+    /// event dispatch, bindings, redraw, relayout, timers, and idle work.
+    pub(crate) obs: rtk_obs::Registry,
     timers: RefCell<Vec<Timer>>,
     next_timer: Cell<u64>,
     file_handlers: RefCell<Vec<FileHandler>>,
@@ -213,6 +216,7 @@ impl TkApp {
             packer: RefCell::new(Packer::new()),
             selection: RefCell::new(SelectionState::default()),
             send: RefCell::new(SendState::default()),
+            obs: rtk_obs::Registry::new(),
             timers: RefCell::new(Vec::new()),
             next_timer: Cell::new(0),
             file_handlers: RefCell::new(Vec::new()),
@@ -289,6 +293,11 @@ impl TkApp {
         &self.inner.cache
     }
 
+    /// Toolkit-level observability metrics for this application.
+    pub fn obs(&self) -> &rtk_obs::Registry {
+        &self.inner.obs
+    }
+
     /// Evaluates a Tcl script in this application.
     pub fn eval(&self, script: &str) -> TclResult {
         self.inner.interp.eval(script)
@@ -301,9 +310,8 @@ impl TkApp {
 
     /// Looks up a window record by path, or errors like Tk.
     pub fn require_window(&self, path: &str) -> Result<Rc<TkWindow>, Exception> {
-        self.window(path).ok_or_else(|| {
-            Exception::error(format!("bad window path name \"{path}\""))
-        })
+        self.window(path)
+            .ok_or_else(|| Exception::error(format!("bad window path name \"{path}\"")))
     }
 
     /// Path of the window with the given X id, if it is one of ours.
@@ -427,8 +435,14 @@ impl TkApp {
             }
         } else if self.is_toplevel(path) {
             // No real window manager in the simulation: grant the request.
-            self.conn()
-                .configure_window(rec.xid, None, None, Some(width.max(1)), Some(height.max(1)), None);
+            self.conn().configure_window(
+                rec.xid,
+                None,
+                None,
+                Some(width.max(1)),
+                Some(height.max(1)),
+                None,
+            );
         }
     }
 
@@ -521,19 +535,19 @@ impl TkApp {
         loop {
             let due: Option<Timer> = {
                 let mut timers = self.inner.timers.borrow_mut();
-                match timers
+                timers
                     .iter()
                     .enumerate()
                     .filter(|(_, t)| t.deadline <= now)
                     .min_by_key(|(_, t)| (t.deadline, t.id))
                     .map(|(i, _)| i)
-                {
-                    Some(i) => Some(timers.remove(i)),
-                    None => None,
-                }
+                    .map(|i| timers.remove(i))
             };
             match due {
-                Some(t) => self.eval_background(&t.script),
+                Some(t) => {
+                    self.inner.obs.incr("timers.fired");
+                    self.eval_background(&t.script);
+                }
                 None => break,
             }
         }
@@ -600,16 +614,23 @@ impl TkApp {
             ran = true;
             for task in tasks {
                 match task {
-                    IdleTask::Script(s) => self.eval_background(&s),
+                    IdleTask::Script(s) => {
+                        self.inner.obs.incr("idle.scripts");
+                        self.eval_background(&s);
+                    }
                     IdleTask::Redraw(path) => {
+                        self.inner.obs.incr("idle.redraws");
                         if let Some(rec) = self.window(&path) {
                             let widget = rec.widget.borrow().clone();
                             if let Some(w) = widget {
+                                let span = self.inner.obs.span("redraw_ns");
                                 w.redraw(self, &path);
+                                span.finish();
                             }
                         }
                     }
                     IdleTask::Relayout(master) => {
+                        self.inner.obs.incr("idle.relayouts");
                         crate::pack::relayout(self, &master);
                     }
                 }
@@ -638,6 +659,7 @@ impl TkApp {
     /// classic `DoWhenIdle` footgun) makes some progress and then returns
     /// instead of hanging the application.
     pub fn update(&self) {
+        let span = self.inner.obs.span("update_ns");
         for _ in 0..100 {
             let events = self.process_pending();
             let idle = self.run_idle_tasks();
@@ -645,6 +667,7 @@ impl TkApp {
                 break;
             }
         }
+        span.finish();
     }
 
     /// Evaluates a script whose errors are reported through `tkerror`
@@ -654,6 +677,7 @@ impl TkApp {
             if e.code != tcl::Code::Error {
                 return; // break/continue/return at background level: ignore
             }
+            self.inner.obs.incr("background.errors");
             let msg = e.msg.clone();
             if self.inner.interp.command("tkerror").is_some() {
                 let call = tcl::format_list(&["tkerror".to_string(), msg]);
@@ -669,6 +693,13 @@ impl TkApp {
     /// Dispatches one X event: structure cache, send/selection protocol,
     /// the widget's built-in handler, then user bindings.
     pub fn dispatch_event(&self, ev: &Event) {
+        self.inner.obs.incr("events.dispatched");
+        let dispatch_span = self.inner.obs.span("dispatch_ns");
+        self.dispatch_event_inner(ev);
+        dispatch_span.finish();
+    }
+
+    fn dispatch_event_inner(&self, ev: &Event) {
         // Selection protocol events (including SelectionNotify answers
         // that land on the comm window).
         match ev {
@@ -741,8 +772,13 @@ impl TkApp {
                 .borrow_mut()
                 .match_event(&path, &class, &info);
             if let Some(script) = script {
+                self.inner.obs.incr("bind.matches");
                 let script = percent_substitute(&script, &info, &path);
+                let span = self.inner.obs.span("bind.script_ns");
                 self.eval_background(&script);
+                span.finish();
+            } else {
+                self.inner.obs.incr("bind.misses");
             }
         }
     }

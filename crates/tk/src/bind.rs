@@ -395,9 +395,8 @@ fn parse_bracketed(inner: &str, whole: &str) -> Result<Pattern, Exception> {
             }
         }
     }
-    let kind = kind.ok_or_else(|| {
-        Exception::error(format!("no event type in binding \"{whole}\""))
-    })?;
+    let kind =
+        kind.ok_or_else(|| Exception::error(format!("no event type in binding \"{whole}\"")))?;
     Ok(Pattern {
         kind,
         detail,
@@ -408,13 +407,65 @@ fn parse_bracketed(inner: &str, whole: &str) -> Result<Pattern, Exception> {
 
 /// The named (multi-character) keysyms the simulation understands.
 const NAMED_KEYSYMS: &[&str] = &[
-    "space", "Escape", "Return", "Tab", "BackSpace", "Delete", "Linefeed", "Up", "Down",
-    "Left", "Right", "Home", "End", "Prior", "Next", "Insert", "F1", "F2", "F3", "F4",
-    "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12", "period", "comma", "semicolon",
-    "colon", "exclam", "question", "slash", "backslash", "minus", "plus", "equal",
-    "underscore", "less", "greater", "numbersign", "dollar", "percent", "ampersand",
-    "asterisk", "parenleft", "parenright", "bracketleft", "bracketright", "apostrophe",
-    "quotedbl", "at", "bar", "asciitilde", "asciicircum", "grave", "braceleft",
+    "space",
+    "Escape",
+    "Return",
+    "Tab",
+    "BackSpace",
+    "Delete",
+    "Linefeed",
+    "Up",
+    "Down",
+    "Left",
+    "Right",
+    "Home",
+    "End",
+    "Prior",
+    "Next",
+    "Insert",
+    "F1",
+    "F2",
+    "F3",
+    "F4",
+    "F5",
+    "F6",
+    "F7",
+    "F8",
+    "F9",
+    "F10",
+    "F11",
+    "F12",
+    "period",
+    "comma",
+    "semicolon",
+    "colon",
+    "exclam",
+    "question",
+    "slash",
+    "backslash",
+    "minus",
+    "plus",
+    "equal",
+    "underscore",
+    "less",
+    "greater",
+    "numbersign",
+    "dollar",
+    "percent",
+    "ampersand",
+    "asterisk",
+    "parenleft",
+    "parenright",
+    "bracketleft",
+    "bracketright",
+    "apostrophe",
+    "quotedbl",
+    "at",
+    "bar",
+    "asciitilde",
+    "asciicircum",
+    "grave",
+    "braceleft",
     "braceright",
 ];
 
@@ -463,6 +514,10 @@ pub struct Binding {
 pub struct BindingTable {
     by_owner: HashMap<String, Vec<Binding>>,
     history: HashMap<String, VecDeque<EventInfo>>,
+    /// Bindings whose sequences were examined during matching.
+    considered: u64,
+    /// `match_event` calls that produced a script.
+    matched: u64,
 }
 
 impl BindingTable {
@@ -516,6 +571,18 @@ impl BindingTable {
             .unwrap_or_default()
     }
 
+    /// `(considered, matched)`: how many binding sequences were examined
+    /// across all `match_event` calls, and how many calls found a script.
+    pub fn match_stats(&self) -> (u64, u64) {
+        (self.considered, self.matched)
+    }
+
+    /// Zeroes the match counters (bindings themselves stay).
+    pub fn reset_stats(&mut self) {
+        self.considered = 0;
+        self.matched = 0;
+    }
+
     /// Drops all bindings and history for a window (on destroy).
     pub fn forget_window(&mut self, path: &str) {
         self.by_owner.remove(path);
@@ -526,12 +593,7 @@ impl BindingTable {
     /// window path (bindings on the path shadow bindings on the class).
     ///
     /// Returns the raw script; the caller performs `%` substitution.
-    pub fn match_event(
-        &mut self,
-        path: &str,
-        class: &str,
-        event: &EventInfo,
-    ) -> Option<String> {
+    pub fn match_event(&mut self, path: &str, class: &str, event: &EventInfo) -> Option<String> {
         // Record key/button events in the history for sequence matching.
         if matches!(
             event.kind,
@@ -549,6 +611,7 @@ impl BindingTable {
             let Some(list) = self.by_owner.get(owner) else {
                 continue;
             };
+            self.considered += list.len() as u64;
             let mut best: Option<(u32, &Binding)> = None;
             for b in list {
                 if let Some(weight) = sequence_matches(&b.sequence, event, history) {
@@ -558,6 +621,7 @@ impl BindingTable {
                 }
             }
             if let Some((_, b)) = best {
+                self.matched += 1;
                 return Some(b.script.clone());
             }
         }

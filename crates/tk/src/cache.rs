@@ -28,6 +28,28 @@ pub struct Border {
     pub dark: Pixel,
 }
 
+/// Hit/miss counters for one cache class. A disabled cache counts every
+/// lookup as a miss, which is exactly what the ablation experiment wants
+/// to see.
+#[derive(Default)]
+struct ClassStats {
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+impl ClassStats {
+    fn hit(&self) {
+        self.hits.set(self.hits.get() + 1);
+    }
+
+    fn miss(&self) {
+        self.misses.set(self.misses.get() + 1);
+    }
+}
+
+/// The cache classes reported by [`ResourceCache::stats`], in order.
+pub const CACHE_CLASSES: [&str; 6] = ["color", "font", "cursor", "border", "bitmap", "gc"];
+
 /// Per-application resource caches.
 pub struct ResourceCache {
     enabled: Cell<bool>,
@@ -39,6 +61,7 @@ pub struct ResourceCache {
     borders: RefCell<HashMap<String, Border>>,
     gcs: RefCell<HashMap<(Pixel, Pixel, u32, FontId), GcId>>,
     bitmaps: RefCell<HashMap<String, (xsim::BitmapId, u32, u32)>>,
+    stats: [ClassStats; 6],
 }
 
 impl Default for ResourceCache {
@@ -60,6 +83,7 @@ impl ResourceCache {
             borders: RefCell::new(HashMap::new()),
             gcs: RefCell::new(HashMap::new()),
             bitmaps: RefCell::new(HashMap::new()),
+            stats: Default::default(),
         }
     }
 
@@ -73,14 +97,64 @@ impl ResourceCache {
         self.enabled.get()
     }
 
+    fn class(&self, name: &str) -> &ClassStats {
+        let i = CACHE_CLASSES
+            .iter()
+            .position(|c| *c == name)
+            .expect("known class");
+        &self.stats[i]
+    }
+
+    /// Hit/miss counts per cache class, in [`CACHE_CLASSES`] order, as
+    /// `(class, hits, misses)`.
+    pub fn stats(&self) -> Vec<(&'static str, u64, u64)> {
+        CACHE_CLASSES
+            .iter()
+            .zip(&self.stats)
+            .map(|(c, s)| (*c, s.hits.get(), s.misses.get()))
+            .collect()
+    }
+
+    /// Total hits across every class.
+    pub fn hits(&self) -> u64 {
+        self.stats.iter().map(|s| s.hits.get()).sum()
+    }
+
+    /// Total misses across every class.
+    pub fn misses(&self) -> u64 {
+        self.stats.iter().map(|s| s.misses.get()).sum()
+    }
+
+    /// Zeroes all hit/miss counters (cached entries stay).
+    pub fn reset_stats(&self) {
+        for s in &self.stats {
+            s.hits.set(0);
+            s.misses.set(0);
+        }
+    }
+
+    /// JSON object `{"color":{"hits":..,"misses":..},...}`.
+    pub fn stats_json(&self) -> String {
+        let mut o = rtk_obs::json::Object::new();
+        for (class, hits, misses) in self.stats() {
+            let mut c = rtk_obs::json::Object::new();
+            c.field_u64("hits", hits);
+            c.field_u64("misses", misses);
+            o.field_raw(class, &c.build());
+        }
+        o.build()
+    }
+
     /// Resolves a color name to a pixel, consulting the cache first.
     pub fn color(&self, conn: &Connection, name: &str) -> Result<Pixel, Exception> {
         let key = name.to_ascii_lowercase();
         if self.enabled.get() {
             if let Some(&p) = self.colors.borrow().get(&key) {
+                self.class("color").hit();
                 return Ok(p);
             }
         }
+        self.class("color").miss();
         let (pixel, _) = conn
             .alloc_named_color(name)
             .ok_or_else(|| Exception::error(format!("unknown color name \"{name}\"")))?;
@@ -104,9 +178,11 @@ impl ResourceCache {
     pub fn font(&self, conn: &Connection, name: &str) -> Result<(FontId, FontMetrics), Exception> {
         if self.enabled.get() {
             if let Some(&f) = self.fonts.borrow().get(name) {
+                self.class("font").hit();
                 return Ok(f);
             }
         }
+        self.class("font").miss();
         let id = conn
             .open_font(name)
             .ok_or_else(|| Exception::error(format!("font \"{name}\" doesn't exist")))?;
@@ -134,9 +210,11 @@ impl ResourceCache {
     pub fn cursor(&self, conn: &Connection, name: &str) -> Result<CursorId, Exception> {
         if self.enabled.get() {
             if let Some(&c) = self.cursors.borrow().get(name) {
+                self.class("cursor").hit();
                 return Ok(c);
             }
         }
+        self.class("cursor").miss();
         let id = conn
             .create_cursor(name)
             .ok_or_else(|| Exception::error(format!("bad cursor spec \"{name}\"")))?;
@@ -151,9 +229,11 @@ impl ResourceCache {
         let key = bg_name.to_ascii_lowercase();
         if self.enabled.get() {
             if let Some(&b) = self.borders.borrow().get(&key) {
+                self.class("border").hit();
                 return Ok(b);
             }
         }
+        self.class("border").miss();
         let rgb = xsim::lookup_color(bg_name)
             .ok_or_else(|| Exception::error(format!("unknown color name \"{bg_name}\"")))?;
         let scale = |v: u8, num: u32, den: u32| -> u8 { ((v as u32 * num / den).min(255)) as u8 };
@@ -188,9 +268,11 @@ impl ResourceCache {
     ) -> Result<(xsim::BitmapId, u32, u32), Exception> {
         if self.enabled.get() {
             if let Some(&b) = self.bitmaps.borrow().get(name) {
+                self.class("bitmap").hit();
                 return Ok(b);
             }
         }
+        self.class("bitmap").miss();
         let bitmap = if let Some(path) = name.strip_prefix('@') {
             let text = std::fs::read_to_string(path).map_err(|e| {
                 Exception::error(format!("error reading bitmap file \"{path}\": {e}"))
@@ -222,9 +304,11 @@ impl ResourceCache {
         );
         if self.enabled.get() {
             if let Some(&gc) = self.gcs.borrow().get(&key) {
+                self.class("gc").hit();
                 return gc;
             }
         }
+        self.class("gc").miss();
         let gc = conn.create_gc(values);
         if self.enabled.get() {
             self.gcs.borrow_mut().insert(key, gc);
@@ -263,7 +347,10 @@ mod tests {
         assert_eq!(p1, p2);
         assert_eq!(p2, p3);
         assert_eq!(after_first - before, 1);
-        assert_eq!(after_all, after_first, "cached hits must not touch the server");
+        assert_eq!(
+            after_all, after_first,
+            "cached hits must not touch the server"
+        );
     }
 
     #[test]

@@ -16,6 +16,7 @@ pub fn register_all(app: &TkApp) {
     app.register_command("after", cmd_after);
     app.register_command("update", cmd_update);
     app.register_command("wm", cmd_wm);
+    crate::obs_cmd::register(app);
 }
 
 /// `bind window ?sequence? ?command?` (Figure 7). `window` may also be a
@@ -73,7 +74,9 @@ fn cmd_winfo(app: &TkApp, _interp: &tcl::Interp, argv: &[String]) -> TclResult {
         "screenwidth" => return Ok(xsim::SCREEN_WIDTH.to_string()),
         "screenheight" => return Ok(xsim::SCREEN_HEIGHT.to_string()),
         "exists" => {
-            let path = argv.get(2).ok_or_else(|| wrong_args("winfo exists window"))?;
+            let path = argv
+                .get(2)
+                .ok_or_else(|| wrong_args("winfo exists window"))?;
             return Ok(if app.window(path).is_some() { "1" } else { "0" }.into());
         }
         _ => {}
@@ -194,9 +197,9 @@ fn cmd_option(app: &TkApp, _interp: &tcl::Interp, argv: &[String]) -> TclResult 
             Some("startupFile") => Ok(priority::STARTUP_FILE),
             Some("userDefault") => Ok(priority::USER_DEFAULT),
             Some("interactive") => Ok(priority::INTERACTIVE),
-            Some(n) => n.parse().map_err(|_| {
-                Exception::error(format!("bad priority level \"{n}\""))
-            }),
+            Some(n) => n
+                .parse()
+                .map_err(|_| Exception::error(format!("bad priority level \"{n}\""))),
         }
     };
     match argv[1].as_str() {

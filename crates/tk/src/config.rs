@@ -195,13 +195,15 @@ impl ConfigStore {
                 }
             }
         }
-        self.values.borrow_mut().insert(spec.name, value.to_string());
+        self.values
+            .borrow_mut()
+            .insert(spec.name, value.to_string());
         Ok(())
     }
 
     /// Applies `-option value` pairs (widget creation and `configure`).
     pub fn set_args(&self, app: &TkApp, args: &[String]) -> Result<(), Exception> {
-        if args.len() % 2 != 0 {
+        if !args.len().is_multiple_of(2) {
             return Err(Exception::error(format!(
                 "value for \"{}\" missing",
                 args.last().map(String::as_str).unwrap_or("")
@@ -266,7 +268,7 @@ impl ConfigStore {
                 Ok(line(spec))
             }
             None => {
-                let lines: Vec<String> = self.specs.iter().map(|s| line(s)).collect();
+                let lines: Vec<String> = self.specs.iter().map(line).collect();
                 Ok(tcl::format_list(&lines))
             }
         }
@@ -290,9 +292,21 @@ mod tests {
     use crate::app::TkEnv;
 
     static SPECS: &[OptSpec] = &[
-        opt("-background", "background", "Background", "gray", OptKind::Color),
+        opt(
+            "-background",
+            "background",
+            "Background",
+            "gray",
+            OptKind::Color,
+        ),
         synonym("-bg", "-background"),
-        opt("-borderwidth", "borderWidth", "BorderWidth", "2", OptKind::Pixels),
+        opt(
+            "-borderwidth",
+            "borderWidth",
+            "BorderWidth",
+            "2",
+            OptKind::Pixels,
+        ),
         opt("-text", "text", "Text", "", OptKind::Str),
         opt("-relief", "relief", "Relief", "flat", OptKind::Relief),
     ];
@@ -315,10 +329,7 @@ mod tests {
     #[test]
     fn init_prefers_option_database() {
         let (_e, app, store) = setup();
-        app.inner
-            .options
-            .borrow_mut()
-            .add("*background", "red", 60);
+        app.inner.options.borrow_mut().add("*background", "red", 60);
         store.init(&app, ".w").unwrap();
         assert_eq!(store.get("-background"), "red");
     }

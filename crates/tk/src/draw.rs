@@ -116,6 +116,7 @@ impl Anchor {
 
 /// Draws a 3-D bevel border of width `bw` just inside the rectangle
 /// `(x, y, w, h)` of the window, in the given relief.
+#[allow(clippy::too_many_arguments)]
 pub fn draw_3d_rect(
     conn: &Connection,
     cache: &ResourceCache,
@@ -160,8 +161,22 @@ pub fn draw_3d_rect(
         conn.draw_line(win, top_gc, x + i, y + i, x + w - 1 - i, y + i);
         conn.draw_line(win, top_gc, x + i, y + i, x + i, y + h - 1 - i);
         // Bottom and right edges.
-        conn.draw_line(win, bottom_gc, x + i, y + h - 1 - i, x + w - 1 - i, y + h - 1 - i);
-        conn.draw_line(win, bottom_gc, x + w - 1 - i, y + i, x + w - 1 - i, y + h - 1 - i);
+        conn.draw_line(
+            win,
+            bottom_gc,
+            x + i,
+            y + h - 1 - i,
+            x + w - 1 - i,
+            y + h - 1 - i,
+        );
+        conn.draw_line(
+            win,
+            bottom_gc,
+            x + w - 1 - i,
+            y + i,
+            x + w - 1 - i,
+            y + h - 1 - i,
+        );
     }
 }
 
@@ -180,10 +195,10 @@ pub fn parse_pixels(s: &str) -> Result<i64, Exception> {
     let v: f64 = num.trim().parse().map_err(|_| bad())?;
     let pixels = match suffix {
         None => v,
-        Some('c') => v * 80.0 / 2.54,       // centimeters
-        Some('m') => v * 80.0 / 25.4,       // millimeters
-        Some('i') => v * 80.0,              // inches
-        Some('p') => v * 80.0 / 72.0,       // points
+        Some('c') => v * 80.0 / 2.54, // centimeters
+        Some('m') => v * 80.0 / 25.4, // millimeters
+        Some('i') => v * 80.0,        // inches
+        Some('p') => v * 80.0 / 72.0, // points
         _ => unreachable!(),
     };
     Ok(pixels.round() as i64)

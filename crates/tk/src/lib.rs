@@ -47,6 +47,7 @@ pub mod cache;
 pub mod cmds;
 pub mod config;
 pub mod draw;
+pub mod obs_cmd;
 pub mod optiondb;
 pub mod pack;
 pub mod selection;

@@ -1,0 +1,327 @@
+//! The `obs` command: the Tcl-level surface of the observability core.
+//!
+//! Everything the toolkit measures — protocol requests per kind, round-trip
+//! latency, cache hits and misses, binding dispatch, redraw and relayout
+//! timing — is inspectable from scripts:
+//!
+//! ```tcl
+//! obs counters              ;# flat name/value list
+//! obs histogram redraw_ns   ;# one-line latency summary
+//! obs trace on              ;# start recording the protocol trace
+//! obs trace 10              ;# the last 10 protocol requests
+//! obs snapshot              ;# human-readable overview
+//! obs reset                 ;# zero every counter, histogram, and trace
+//! obs dump -format json     ;# machine-readable dump of everything
+//! ```
+
+use tcl::{wrong_args, Exception, TclResult};
+
+use crate::app::TkApp;
+
+/// Registers the `obs` command.
+pub fn register(app: &TkApp) {
+    app.register_command("obs", cmd_obs);
+}
+
+fn cmd_obs(app: &TkApp, _interp: &tcl::Interp, argv: &[String]) -> TclResult {
+    if argv.len() < 2 {
+        return Err(wrong_args("obs option ?arg ...?"));
+    }
+    match argv[1].as_str() {
+        "counters" => Ok(counters_list(app)),
+        "histogram" => {
+            let name = argv
+                .get(2)
+                .ok_or_else(|| wrong_args("obs histogram name"))?;
+            match find_histogram(app, name) {
+                Some(h) => Ok(h.summary()),
+                None => Err(Exception::error(format!(
+                    "no histogram named \"{name}\": should be one of {}",
+                    histogram_names(app).join(", ")
+                ))),
+            }
+        }
+        "trace" => match argv.get(2).map(String::as_str) {
+            Some("on") => {
+                app.conn().obs_set_trace(true);
+                Ok(String::new())
+            }
+            Some("off") => {
+                app.conn().obs_set_trace(false);
+                Ok(String::new())
+            }
+            Some(n) => {
+                let n: usize = n.parse().map_err(|_| {
+                    Exception::error(format!("expected integer or on|off but got \"{n}\""))
+                })?;
+                Ok(trace_lines(app, n))
+            }
+            None => Ok(trace_lines(app, usize::MAX)),
+        },
+        "snapshot" => Ok(snapshot(app)),
+        "reset" => {
+            app.conn().reset_obs();
+            app.obs().reset();
+            app.cache().reset_stats();
+            app.inner.bindings.borrow_mut().reset_stats();
+            Ok(String::new())
+        }
+        "dump" => {
+            match argv.get(2).map(String::as_str) {
+                None => {}
+                Some("-format") => {
+                    let fmt = argv.get(3).map(String::as_str).unwrap_or("");
+                    if fmt != "json" {
+                        return Err(Exception::error(format!(
+                            "bad format \"{fmt}\": must be json"
+                        )));
+                    }
+                }
+                Some(other) => {
+                    return Err(Exception::error(format!(
+                        "bad option \"{other}\": must be -format"
+                    )))
+                }
+            }
+            Ok(dump_json(app))
+        }
+        other => Err(Exception::error(format!(
+            "bad option \"{other}\": must be counters, histogram, trace, snapshot, reset, or dump"
+        ))),
+    }
+}
+
+/// Every counter the toolkit knows, as a flat Tcl list of name/value pairs:
+/// protocol requests per kind (prefixed `req.`), cache hits and misses
+/// (`cache.<class>.hits`/`.misses`), binding match statistics, and the
+/// toolkit registry counters.
+fn counters_list(app: &TkApp) -> String {
+    let mut items: Vec<String> = Vec::new();
+    let stats = app.conn().stats();
+    items.push("protocol.requests".into());
+    items.push(stats.requests.to_string());
+    items.push("protocol.round_trips".into());
+    items.push(stats.round_trips.to_string());
+    items.push("protocol.events".into());
+    items.push(stats.events.to_string());
+    for (kind, n) in app.conn().obs_kind_counts() {
+        items.push(format!("req.{kind}"));
+        items.push(n.to_string());
+    }
+    for (class, hits, misses) in app.cache().stats() {
+        items.push(format!("cache.{class}.hits"));
+        items.push(hits.to_string());
+        items.push(format!("cache.{class}.misses"));
+        items.push(misses.to_string());
+    }
+    let (considered, matched) = app.inner.bindings.borrow().match_stats();
+    items.push("bind.considered".into());
+    items.push(considered.to_string());
+    items.push("bind.matched".into());
+    items.push(matched.to_string());
+    for (name, v) in app.obs().counters() {
+        items.push(name);
+        items.push(v.to_string());
+    }
+    tcl::format_list(&items)
+}
+
+/// Looks up a histogram by name: the protocol histograms have the fixed
+/// names `request_ns` and `round_trip_ns`; everything else lives in the
+/// toolkit registry.
+fn find_histogram(app: &TkApp, name: &str) -> Option<rtk_obs::Histogram> {
+    match name {
+        "request_ns" => Some(app.conn().obs_request_histogram()),
+        "round_trip_ns" => Some(app.conn().obs_round_trip_histogram()),
+        _ => app.obs().histogram(name),
+    }
+}
+
+fn histogram_names(app: &TkApp) -> Vec<String> {
+    let mut names = vec!["request_ns".to_string(), "round_trip_ns".to_string()];
+    names.extend(app.obs().histogram_names());
+    names
+}
+
+/// The last `n` protocol trace entries, one per line:
+/// `seq kind one-way|round-trip window duration_ns`.
+fn trace_lines(app: &TkApp, n: usize) -> String {
+    app.conn()
+        .obs_trace(n)
+        .iter()
+        .map(|e| {
+            format!(
+                "{} {} {} 0x{:x} {}",
+                e.seq,
+                e.kind.name(),
+                if e.round_trip {
+                    "round-trip"
+                } else {
+                    "one-way"
+                },
+                e.window.0,
+                e.duration_ns
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// A human-readable overview of everything, for interactive poking.
+fn snapshot(app: &TkApp) -> String {
+    let mut out = String::new();
+    let stats = app.conn().stats();
+    out.push_str(&format!(
+        "protocol: {} requests, {} round trips, {} events\n",
+        stats.requests, stats.round_trips, stats.events
+    ));
+    for (kind, n) in app.conn().obs_kind_counts() {
+        out.push_str(&format!("  {kind}: {n}\n"));
+    }
+    out.push_str(&format!(
+        "round_trip_ns: {}\n",
+        app.conn().obs_round_trip_histogram().summary()
+    ));
+    out.push_str("cache:\n");
+    for (class, hits, misses) in app.cache().stats() {
+        if hits + misses > 0 {
+            out.push_str(&format!("  {class}: {hits} hits, {misses} misses\n"));
+        }
+    }
+    let (considered, matched) = app.inner.bindings.borrow().match_stats();
+    out.push_str(&format!(
+        "bind: {considered} considered, {matched} matched\n"
+    ));
+    out.push_str("toolkit:\n");
+    for (name, v) in app.obs().counters() {
+        out.push_str(&format!("  {name}: {v}\n"));
+    }
+    for name in app.obs().histogram_names() {
+        if let Some(h) = app.obs().histogram(&name) {
+            out.push_str(&format!("  {name}: {}\n", h.summary()));
+        }
+    }
+    out.push_str(&format!(
+        "trace: {}\n",
+        if app.conn().obs_trace_enabled() {
+            "on"
+        } else {
+            "off"
+        }
+    ));
+    out.pop();
+    out
+}
+
+/// The full machine-readable dump: the acceptance surface of the
+/// observability core. Validated JSON with the app name, the protocol
+/// view (compat `ClientStats` plus the structured per-kind counters,
+/// histograms, and trace), the cache hit/miss table, binding match
+/// statistics, and the toolkit registry.
+pub fn dump_json(app: &TkApp) -> String {
+    let stats = app.conn().stats();
+    let mut protocol = rtk_obs::json::Object::new();
+    protocol.field_u64("requests", stats.requests);
+    protocol.field_u64("round_trips", stats.round_trips);
+    protocol.field_u64("events", stats.events);
+    protocol.field_raw("detail", &app.conn().obs_json());
+
+    let (considered, matched) = app.inner.bindings.borrow().match_stats();
+    let mut bind = rtk_obs::json::Object::new();
+    bind.field_u64("considered", considered);
+    bind.field_u64("matched", matched);
+
+    let mut o = rtk_obs::json::Object::new();
+    o.field_str("app", &app.name());
+    o.field_raw("protocol", &protocol.build());
+    o.field_raw("cache", &app.cache().stats_json());
+    o.field_raw("bind", &bind.build());
+    o.field_raw("toolkit", &app.obs().to_json());
+    o.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::TkEnv;
+
+    #[test]
+    fn counters_include_protocol_and_cache() {
+        let env = TkEnv::new();
+        let app = env.app("t");
+        app.eval("button .b -text hi").unwrap();
+        app.update();
+        let out = app.eval("obs counters").unwrap();
+        assert!(out.contains("protocol.requests"), "{out}");
+        assert!(out.contains("req.CreateWindow"), "{out}");
+        assert!(out.contains("cache.color.misses"), "{out}");
+    }
+
+    #[test]
+    fn histogram_summary_and_unknown_name() {
+        let env = TkEnv::new();
+        let app = env.app("t");
+        let out = app.eval("obs histogram round_trip_ns").unwrap();
+        assert!(out.starts_with("count "), "{out}");
+        let err = app.eval("obs histogram nosuch").unwrap_err();
+        assert!(err.msg.contains("no histogram named"), "{}", err.msg);
+    }
+
+    #[test]
+    fn trace_toggles_and_lists() {
+        let env = TkEnv::new();
+        let app = env.app("t");
+        app.eval("obs trace on").unwrap();
+        app.eval("frame .f").unwrap();
+        let out = app.eval("obs trace 5").unwrap();
+        assert!(out.contains("CreateWindow"), "{out}");
+        app.eval("obs trace off").unwrap();
+        let before = app.eval("obs trace").unwrap();
+        app.eval("frame .g").unwrap();
+        assert_eq!(
+            app.eval("obs trace").unwrap(),
+            before,
+            "trace off records nothing"
+        );
+    }
+
+    #[test]
+    fn dump_is_valid_json() {
+        let env = TkEnv::new();
+        let app = env.app("t");
+        app.eval("button .b -text hi").unwrap();
+        app.update();
+        let j = app.eval("obs dump -format json").unwrap();
+        assert!(rtk_obs::json::is_valid(&j), "{j}");
+        assert!(j.contains("\"by_kind\""), "{j}");
+        assert!(j.contains("\"cache\""), "{j}");
+        assert!(j.contains("\"round_trip_ns\""), "{j}");
+        let err = app.eval("obs dump -format xml").unwrap_err();
+        assert!(err.msg.contains("must be json"), "{}", err.msg);
+    }
+
+    #[test]
+    fn reset_zeroes_every_layer() {
+        let env = TkEnv::new();
+        let app = env.app("t");
+        app.eval("button .b -text hi; pack append . .b {top}")
+            .unwrap();
+        app.update();
+        assert!(app.conn().stats().requests > 0);
+        app.eval("obs reset").unwrap();
+        assert_eq!(app.conn().stats().requests, 0);
+        assert!(app.conn().obs_kind_counts().is_empty());
+        assert_eq!(app.cache().hits() + app.cache().misses(), 0);
+        assert!(app.obs().counters().is_empty());
+        let (considered, matched) = app.inner.bindings.borrow().match_stats();
+        assert_eq!((considered, matched), (0, 0));
+    }
+
+    #[test]
+    fn snapshot_is_human_readable() {
+        let env = TkEnv::new();
+        let app = env.app("t");
+        let out = app.eval("obs snapshot").unwrap();
+        assert!(out.contains("protocol:"), "{out}");
+        assert!(out.contains("trace: off"), "{out}");
+    }
+}

@@ -224,7 +224,10 @@ mod tests {
     fn star_class_pattern_matches_any_depth() {
         let d = db(&[("*Button.background", "red")]);
         assert_eq!(
-            d.get(&["a", "b", "background"], &["Frame", "Button", "Background"]),
+            d.get(
+                &["a", "b", "background"],
+                &["Frame", "Button", "Background"]
+            ),
             Some("red".into())
         );
         assert_eq!(
@@ -244,11 +247,17 @@ mod tests {
     fn exact_name_pattern() {
         let d = db(&[(".a.b.foreground", "blue")]);
         assert_eq!(
-            d.get(&["a", "b", "foreground"], &["Frame", "Button", "Foreground"]),
+            d.get(
+                &["a", "b", "foreground"],
+                &["Frame", "Button", "Foreground"]
+            ),
             Some("blue".into())
         );
         assert_eq!(
-            d.get(&["a", "c", "foreground"], &["Frame", "Button", "Foreground"]),
+            d.get(
+                &["a", "c", "foreground"],
+                &["Frame", "Button", "Foreground"]
+            ),
             None
         );
     }
@@ -259,7 +268,10 @@ mod tests {
         d.add("*Button.background", "red", priority::USER_DEFAULT);
         d.add("*b.background", "green", priority::USER_DEFAULT);
         assert_eq!(
-            d.get(&["a", "b", "background"], &["Frame", "Button", "Background"]),
+            d.get(
+                &["a", "b", "background"],
+                &["Frame", "Button", "Background"]
+            ),
             Some("green".into())
         );
     }
@@ -270,7 +282,10 @@ mod tests {
         d.add(".a.b.background", "specific", priority::WIDGET_DEFAULT);
         d.add("*background", "loud", priority::INTERACTIVE);
         assert_eq!(
-            d.get(&["a", "b", "background"], &["Frame", "Button", "Background"]),
+            d.get(
+                &["a", "b", "background"],
+                &["Frame", "Button", "Background"]
+            ),
             Some("loud".into())
         );
     }
@@ -290,7 +305,10 @@ mod tests {
     fn global_star_option() {
         let d = db(&[("*background", "gray")]);
         assert_eq!(
-            d.get(&["x", "y", "z", "background"], &["A", "B", "C", "Background"]),
+            d.get(
+                &["x", "y", "z", "background"],
+                &["A", "B", "C", "Background"]
+            ),
             Some("gray".into())
         );
     }
@@ -335,10 +353,7 @@ mod tests {
         // "*Button.background: red" means that all button widgets should
         // have a red background color.
         let d = db(&[("*Button.background", "red")]);
-        for path in [
-            vec!["hello", "background"],
-            vec!["box", "ok", "background"],
-        ] {
+        for path in [vec!["hello", "background"], vec!["box", "ok", "background"]] {
             // Every inner level is a Frame, the widget itself a Button.
             let mut cls: Vec<&str> = vec!["Frame"; path.len() - 1];
             cls[path.len() - 2] = "Button";

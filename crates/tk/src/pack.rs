@@ -113,12 +113,9 @@ pub fn parse_options(path: &str, spec: &str) -> Result<Slot, Exception> {
             "filly" => slot.fill_y = true,
             "padx" | "pady" => {
                 i += 1;
-                let v: u32 = words
-                    .get(i)
-                    .and_then(|w| w.parse().ok())
-                    .ok_or_else(|| {
-                        Exception::error(format!("missing or bad pad value in \"{spec}\""))
-                    })?;
+                let v: u32 = words.get(i).and_then(|w| w.parse().ok()).ok_or_else(|| {
+                    Exception::error(format!("missing or bad pad value in \"{spec}\""))
+                })?;
                 if words[i - 1] == "padx" {
                     slot.padx = v;
                 } else {
@@ -127,9 +124,9 @@ pub fn parse_options(path: &str, spec: &str) -> Result<Slot, Exception> {
             }
             "frame" => {
                 i += 1;
-                let a = words.get(i).ok_or_else(|| {
-                    Exception::error(format!("missing anchor in \"{spec}\""))
-                })?;
+                let a = words
+                    .get(i)
+                    .ok_or_else(|| Exception::error(format!("missing anchor in \"{spec}\"")))?;
                 slot.anchor = Anchor::parse(a)?;
             }
             other => {
@@ -164,7 +161,10 @@ impl Packer {
 
     /// Does this master have packed slaves?
     pub fn has_slaves(&self, master: &str) -> bool {
-        self.masters.get(master).map(|s| !s.is_empty()).unwrap_or(false)
+        self.masters
+            .get(master)
+            .map(|s| !s.is_empty())
+            .unwrap_or(false)
     }
 
     /// The slots of a master, in packing order.
@@ -176,8 +176,7 @@ impl Packer {
     /// previous master.
     pub fn insert(&mut self, master: &str, slot: Slot, index: Option<usize>) {
         self.unpack(&slot.path);
-        self.master_of
-            .insert(slot.path.clone(), master.to_string());
+        self.master_of.insert(slot.path.clone(), master.to_string());
         let list = self.masters.entry(master.to_string()).or_default();
         match index {
             Some(i) if i <= list.len() => list.insert(i, slot),
@@ -269,6 +268,8 @@ pub fn relayout(app: &TkApp, master: &str) {
     if slots.is_empty() {
         return;
     }
+    app.inner.obs.incr("pack.relayouts");
+    let _span = app.inner.obs.span("pack.relayout_ns");
     // Requested sizes of every slave (the structure cache; no server trip).
     let req: Vec<(u32, u32)> = slots
         .iter()
@@ -296,8 +297,7 @@ pub fn relayout(app: &TkApp, master: &str) {
     }
     need_w += 2 * ib;
     need_h += 2 * ib;
-    if need_w != master_rec.req_width.get() as i64 || need_h != master_rec.req_height.get() as i64
-    {
+    if need_w != master_rec.req_width.get() as i64 || need_h != master_rec.req_height.get() as i64 {
         app.geometry_request(master, need_w.max(1) as u32, need_h.max(1) as u32);
     }
 
@@ -345,8 +345,16 @@ pub fn relayout(app: &TkApp, master: &str) {
         // Size the slave within its parcel.
         let avail_w = (frame_w - 2 * slot.padx as i64).max(1);
         let avail_h = (frame_h - 2 * slot.pady as i64).max(1);
-        let w = if slot.fill_x { avail_w } else { (rw as i64).min(avail_w) };
-        let h = if slot.fill_y { avail_h } else { (rh as i64).min(avail_h) };
+        let w = if slot.fill_x {
+            avail_w
+        } else {
+            (rw as i64).min(avail_w)
+        };
+        let h = if slot.fill_y {
+            avail_h
+        } else {
+            (rh as i64).min(avail_h)
+        };
         let (ox, oy) = slot.anchor.place(
             (frame_w - 2 * slot.padx as i64) as i32,
             (frame_h - 2 * slot.pady as i64) as i32,
@@ -380,8 +388,10 @@ fn cmd_pack(app: &TkApp, _interp: &tcl::Interp, argv: &[String]) -> TclResult {
             let master = &argv[2];
             app.require_window(master)?;
             let rest = &argv[3..];
-            if rest.is_empty() || rest.len() % 2 != 0 {
-                return Err(wrong_args("pack append master window options ?window options ...?"));
+            if rest.is_empty() || !rest.len().is_multiple_of(2) {
+                return Err(wrong_args(
+                    "pack append master window options ?window options ...?",
+                ));
             }
             for pair in rest.chunks(2) {
                 let (path, options) = (&pair[0], &pair[1]);
@@ -403,14 +413,14 @@ fn cmd_pack(app: &TkApp, _interp: &tcl::Interp, argv: &[String]) -> TclResult {
                 .packer
                 .borrow()
                 .master_of(sibling)
-                .ok_or_else(|| {
-                    Exception::error(format!("window \"{sibling}\" isn't packed"))
-                })?;
+                .ok_or_else(|| Exception::error(format!("window \"{sibling}\" isn't packed")))?;
             let rest = &argv[3..];
-            if rest.is_empty() || rest.len() % 2 != 0 {
-                return Err(wrong_args("pack before|after sibling window options ?window options ...?"));
+            if rest.is_empty() || !rest.len().is_multiple_of(2) {
+                return Err(wrong_args(
+                    "pack before|after sibling window options ?window options ...?",
+                ));
             }
-            let mut insert_at = {
+            let insert_at = {
                 let p = app.inner.packer.borrow();
                 let base = p.index_of(&packer_master, sibling).unwrap_or(0);
                 if argv[1] == "before" {
@@ -419,17 +429,17 @@ fn cmd_pack(app: &TkApp, _interp: &tcl::Interp, argv: &[String]) -> TclResult {
                     base + 1
                 }
             };
-            for pair in rest.chunks(2) {
+            for (offset, pair) in rest.chunks(2).enumerate() {
                 let (path, options) = (&pair[0], &pair[1]);
                 let rec = app.require_window(path)?;
                 check_master(&packer_master, path)?;
                 let slot = parse_options(path, options)?;
                 *rec.manager.borrow_mut() = "pack".into();
-                app.inner
-                    .packer
-                    .borrow_mut()
-                    .insert(&packer_master, slot, Some(insert_at));
-                insert_at += 1;
+                app.inner.packer.borrow_mut().insert(
+                    &packer_master,
+                    slot,
+                    Some(insert_at + offset),
+                );
             }
             app.schedule_relayout(&packer_master);
             relayout(app, &packer_master);
@@ -571,10 +581,7 @@ mod tests {
         );
         // The listbox fills the rest.
         assert_eq!(list.x.get(), 0);
-        assert_eq!(
-            list.width.get(),
-            main.width.get() - scroll.width.get()
-        );
+        assert_eq!(list.width.get(), main.width.get() - scroll.width.get());
         assert_eq!(list.height.get(), main.height.get());
     }
 

@@ -168,21 +168,14 @@ pub fn handle_event(app: &TkApp, ev: &Event) {
             ..
         } => {
             let conn = app.conn();
-            let value = app
-                .path_of(*owner)
-                .and_then(|path| fetch_value(app, &path));
+            let value = app.path_of(*owner).and_then(|path| fetch_value(app, &path));
             match value {
                 Some(v) => {
                     conn.change_property(*requestor, *property, &v);
                     conn.send_selection_notify(*requestor, *selection, *target, *property);
                 }
                 None => {
-                    conn.send_selection_notify(
-                        *requestor,
-                        *selection,
-                        *target,
-                        xsim::Atom::NONE,
-                    );
+                    conn.send_selection_notify(*requestor, *selection, *target, xsim::Atom::NONE);
                 }
             }
         }
@@ -222,7 +215,8 @@ mod tests {
         let env = TkEnv::new();
         let app = env.app("t");
         app.eval("frame .f").unwrap();
-        app.eval("proc give {offset max} {return {the goods}}").unwrap();
+        app.eval("proc give {offset max} {return {the goods}}")
+            .unwrap();
         app.eval("selection handle .f give").unwrap();
         app.eval("selection own .f").unwrap();
         assert_eq!(app.eval("selection get").unwrap(), "the goods");

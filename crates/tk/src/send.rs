@@ -73,7 +73,10 @@ pub fn interps(app: &TkApp) -> Vec<String> {
     let conn = app.conn();
     let registry = conn.intern_atom("InterpRegistry");
     let existing = conn.get_property(conn.root(), registry).unwrap_or_default();
-    parse_registry(&existing).into_iter().map(|(n, _)| n).collect()
+    parse_registry(&existing)
+        .into_iter()
+        .map(|(n, _)| n)
+        .collect()
 }
 
 fn parse_registry(text: &str) -> Vec<(String, WindowId)> {
@@ -123,9 +126,7 @@ fn cmd_send(app: &TkApp, _interp: &tcl::Interp, argv: &[String]) -> TclResult {
         .find(|(n, _)| n == target_name)
         .map(|(_, w)| w)
         .ok_or_else(|| {
-            Exception::error(format!(
-                "no registered interpreter named \"{target_name}\""
-            ))
+            Exception::error(format!("no registered interpreter named \"{target_name}\""))
         })?;
 
     // Compose and append the request to the target's comm property.
@@ -134,11 +135,7 @@ fn cmd_send(app: &TkApp, _interp: &tcl::Interp, argv: &[String]) -> TclResult {
         st.next_serial += 1;
         st.next_serial
     };
-    let request = tcl::format_list(&[
-        serial.to_string(),
-        app.inner.comm.0.to_string(),
-        script,
-    ]);
+    let request = tcl::format_list(&[serial.to_string(), app.inner.comm.0.to_string(), script]);
     append_to_property(app, target_comm, "TkSendCommand", &request);
 
     // Wait for the reply, processing everyone's events (the paper: the
@@ -185,7 +182,12 @@ fn append_to_property(app: &TkApp, window: WindowId, atom_name: &str, line: &str
 
 /// Handles property traffic on this application's comm window.
 pub fn handle_comm_event(app: &TkApp, ev: &Event) {
-    let Event::PropertyNotify { atom, deleted: false, .. } = ev else {
+    let Event::PropertyNotify {
+        atom,
+        deleted: false,
+        ..
+    } = ev
+    else {
         return;
     };
     let conn = app.conn();
@@ -231,8 +233,7 @@ pub fn handle_comm_event(app: &TkApp, ev: &Event) {
                 if fields.len() != 3 {
                     continue;
                 }
-                if let (Ok(serial), Ok(code)) =
-                    (fields[0].parse::<u64>(), fields[1].parse::<i64>())
+                if let (Ok(serial), Ok(code)) = (fields[0].parse::<u64>(), fields[1].parse::<i64>())
                 {
                     app.inner
                         .send

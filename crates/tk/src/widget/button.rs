@@ -17,18 +17,48 @@ use crate::draw::{draw_3d_rect, Relief};
 use crate::widget::{bad_subcommand, create_widget, handle_configure, WidgetOps};
 
 static BUTTON_SPECS: &[OptSpec] = &[
-    opt("-activebackground", "activeBackground", "Foreground", "white", OptKind::Color),
-    opt("-activeforeground", "activeForeground", "Background", "black", OptKind::Color),
+    opt(
+        "-activebackground",
+        "activeBackground",
+        "Foreground",
+        "white",
+        OptKind::Color,
+    ),
+    opt(
+        "-activeforeground",
+        "activeForeground",
+        "Background",
+        "black",
+        OptKind::Color,
+    ),
     opt("-anchor", "anchor", "Anchor", "center", OptKind::Anchor),
     opt("-bitmap", "bitmap", "Bitmap", "", OptKind::Str),
-    opt("-background", "background", "Background", "gray", OptKind::Color),
+    opt(
+        "-background",
+        "background",
+        "Background",
+        "gray",
+        OptKind::Color,
+    ),
     synonym("-bg", "-background"),
-    opt("-borderwidth", "borderWidth", "BorderWidth", "2", OptKind::Pixels),
+    opt(
+        "-borderwidth",
+        "borderWidth",
+        "BorderWidth",
+        "2",
+        OptKind::Pixels,
+    ),
     synonym("-bd", "-borderwidth"),
     opt("-command", "command", "Command", "", OptKind::Str),
     opt("-cursor", "cursor", "Cursor", "", OptKind::Cursor),
     opt("-font", "font", "Font", "fixed", OptKind::Font),
-    opt("-foreground", "foreground", "Foreground", "black", OptKind::Color),
+    opt(
+        "-foreground",
+        "foreground",
+        "Foreground",
+        "black",
+        OptKind::Color,
+    ),
     synonym("-fg", "-foreground"),
     opt("-height", "height", "Height", "0", OptKind::Int),
     opt("-padx", "padX", "Pad", "3", OptKind::Pixels),
@@ -44,13 +74,31 @@ static BUTTON_SPECS: &[OptSpec] = &[
 static LABEL_SPECS: &[OptSpec] = &[
     opt("-anchor", "anchor", "Anchor", "center", OptKind::Anchor),
     opt("-bitmap", "bitmap", "Bitmap", "", OptKind::Str),
-    opt("-background", "background", "Background", "gray", OptKind::Color),
+    opt(
+        "-background",
+        "background",
+        "Background",
+        "gray",
+        OptKind::Color,
+    ),
     synonym("-bg", "-background"),
-    opt("-borderwidth", "borderWidth", "BorderWidth", "0", OptKind::Pixels),
+    opt(
+        "-borderwidth",
+        "borderWidth",
+        "BorderWidth",
+        "0",
+        OptKind::Pixels,
+    ),
     synonym("-bd", "-borderwidth"),
     opt("-cursor", "cursor", "Cursor", "", OptKind::Cursor),
     opt("-font", "font", "Font", "fixed", OptKind::Font),
-    opt("-foreground", "foreground", "Foreground", "black", OptKind::Color),
+    opt(
+        "-foreground",
+        "foreground",
+        "Foreground",
+        "black",
+        OptKind::Color,
+    ),
     synonym("-fg", "-foreground"),
     opt("-height", "height", "Height", "0", OptKind::Int),
     opt("-padx", "padX", "Pad", "3", OptKind::Pixels),
@@ -113,10 +161,7 @@ impl ButtonWidget {
         if var.is_empty() {
             return false;
         }
-        let value = app
-            .interp()
-            .get_var_at(0, &var, None)
-            .unwrap_or_default();
+        let value = app.interp().get_var_at(0, &var, None).unwrap_or_default();
         match self.kind {
             ButtonKind::CheckButton => value == "1",
             ButtonKind::RadioButton => !value.is_empty() && value == self.config.get("-value"),
@@ -219,13 +264,13 @@ impl WidgetOps for ButtonWidget {
         let sub = argv
             .get(1)
             .ok_or_else(|| {
-                Exception::error(format!("wrong # args: should be \"{path} option ?arg ...?\""))
+                Exception::error(format!(
+                    "wrong # args: should be \"{path} option ?arg ...?\""
+                ))
             })?
             .as_str();
         match (self.kind, sub) {
-            (ButtonKind::Label, other) => {
-                Err(bad_subcommand(path, other, "configure"))
-            }
+            (ButtonKind::Label, other) => Err(bad_subcommand(path, other, "configure")),
             (_, "invoke") => self.invoke(app, path),
             (_, "activate") => {
                 self.active.set(true);
@@ -364,27 +409,23 @@ impl WidgetOps for ButtonWidget {
                 self.pressed.set(true);
                 app.schedule_redraw(path);
             }
-            Event::ButtonRelease { button: 1, .. } => {
-                if self.pressed.replace(false) {
-                    app.schedule_redraw(path);
-                    // The release completes the click: run the action.
-                    let widget_path = path.to_string();
-                    let this = app.clone();
-                    // Invoke directly; errors are background errors.
-                    if let Some(rec) = this.window(&widget_path) {
-                        let widget = rec.widget.borrow().clone();
-                        if let Some(w) = widget {
-                            if let Err(e) = w.command(
-                                &this,
-                                &widget_path,
-                                &[widget_path.clone(), "invoke".into()],
-                            ) {
-                                if e.code == tcl::Code::Error {
-                                    this.eval_background(&format!(
-                                        "error {}",
-                                        tcl::format_list(&[e.msg])
-                                    ));
-                                }
+            Event::ButtonRelease { button: 1, .. } if self.pressed.replace(false) => {
+                app.schedule_redraw(path);
+                // The release completes the click: run the action.
+                let widget_path = path.to_string();
+                let this = app.clone();
+                // Invoke directly; errors are background errors.
+                if let Some(rec) = this.window(&widget_path) {
+                    let widget = rec.widget.borrow().clone();
+                    if let Some(w) = widget {
+                        if let Err(e) =
+                            w.command(&this, &widget_path, &[widget_path.clone(), "invoke".into()])
+                        {
+                            if e.code == tcl::Code::Error {
+                                this.eval_background(&format!(
+                                    "error {}",
+                                    tcl::format_list(&[e.msg])
+                                ));
                             }
                         }
                     }
@@ -468,14 +509,7 @@ impl WidgetOps for ButtonWidget {
                 conn.draw_line(rec.xid, fg_gc, cx, cy + r, cx - r, cy);
                 conn.draw_line(rec.xid, fg_gc, cx - r, cy, cx, cy - r);
                 if self.selected(app) {
-                    conn.fill_rectangle(
-                        rec.xid,
-                        fg_gc,
-                        cx - r / 2,
-                        cy - r / 2,
-                        r as u32,
-                        r as u32,
-                    );
+                    conn.fill_rectangle(rec.xid, fg_gc, cx - r / 2, cy - r / 2, r as u32, r as u32);
                 }
             }
         }
@@ -493,13 +527,8 @@ impl WidgetOps for ButtonWidget {
                 let pad = bw as i32 + self.config.get_pixels("-padx") as i32;
                 let anchor = self.config.get_anchor("-anchor");
                 let ind = self.indicator_space(metrics.line_height() as i64) as i32;
-                let (bx, by) = anchor.place(
-                    w as i32 - ind,
-                    h as i32,
-                    bm_w as i32,
-                    bm_h as i32,
-                    pad,
-                );
+                let (bx, by) =
+                    anchor.place(w as i32 - ind, h as i32, bm_w as i32, bm_h as i32, pad);
                 conn.copy_bitmap(rec.xid, gc, ind + bx, by, bm);
             }
             return;
@@ -519,13 +548,7 @@ impl WidgetOps for ButtonWidget {
             let pad = bw as i32 + self.config.get_pixels("-padx") as i32;
             let anchor = self.config.get_anchor("-anchor");
             let avail_x = ind as i32;
-            let (tx, ty) = anchor.place(
-                w as i32 - avail_x,
-                h as i32,
-                tw,
-                th,
-                pad,
-            );
+            let (tx, ty) = anchor.place(w as i32 - avail_x, h as i32, tw, th, pad);
             conn.draw_string(
                 rec.xid,
                 text_gc,
@@ -546,10 +569,8 @@ mod tests {
         let env = TkEnv::new();
         let app = env.app("t");
         let buf = app.interp().capture_output();
-        app.eval(
-            "button .hello -bg Red -text \"Hello, world\" -command \"print Hello!\\n\"",
-        )
-        .unwrap();
+        app.eval("button .hello -bg Red -text \"Hello, world\" -command \"print Hello!\\n\"")
+            .unwrap();
         app.eval("pack append . .hello {top}").unwrap();
         app.update();
         // Click it with the mouse.
@@ -571,13 +592,17 @@ mod tests {
     fn paper_section4_reconfigure() {
         let env = TkEnv::new();
         let app = env.app("t");
-        app.eval("button .hello -bg Red -text hi -command {}").unwrap();
+        app.eval("button .hello -bg Red -text hi -command {}")
+            .unwrap();
         app.eval(".hello flash").unwrap();
-        app.eval(".hello configure -bg PalePink1 -relief sunken").unwrap();
+        app.eval(".hello configure -bg PalePink1 -relief sunken")
+            .unwrap();
         let info = app.eval(".hello configure -background").unwrap();
         assert!(info.contains("PalePink1"), "{info}");
-        assert_eq!(app.eval(".hello configure -relief").unwrap(),
-            "-relief relief Relief raised sunken");
+        assert_eq!(
+            app.eval(".hello configure -relief").unwrap(),
+            "-relief relief Relief raised sunken"
+        );
     }
 
     #[test]
@@ -620,8 +645,10 @@ mod tests {
     fn radiobuttons_share_variable() {
         let env = TkEnv::new();
         let app = env.app("t");
-        app.eval("radiobutton .r1 -variable choice -value one").unwrap();
-        app.eval("radiobutton .r2 -variable choice -value two").unwrap();
+        app.eval("radiobutton .r1 -variable choice -value one")
+            .unwrap();
+        app.eval("radiobutton .r2 -variable choice -value two")
+            .unwrap();
         app.eval(".r1 invoke").unwrap();
         assert_eq!(app.eval("set choice").unwrap(), "one");
         app.eval(".r2 invoke").unwrap();
@@ -680,8 +707,7 @@ mod tests {
         app.eval("pack append . .b {top}").unwrap();
         app.update();
         let rec = app.window(".b").unwrap();
-        env.display()
-            .move_pointer(rec.x.get() + 5, rec.y.get() + 5);
+        env.display().move_pointer(rec.x.get() + 5, rec.y.get() + 5);
         env.dispatch_all();
         // Just ensure the event machinery ran without error; the visual
         // check happens via the framebuffer in integration tests.
@@ -697,7 +723,8 @@ mod trace_tests {
     fn variable_write_schedules_indicator_redraw() {
         let env = TkEnv::new();
         let app = env.app("t");
-        app.eval("checkbutton .c -variable flag -text Flag").unwrap();
+        app.eval("checkbutton .c -variable flag -text Flag")
+            .unwrap();
         app.eval("pack append . .c {top}").unwrap();
         app.update();
         // An external write redraws the indicator: verify by pixel count
@@ -712,15 +739,20 @@ mod trace_tests {
         let after = env
             .display()
             .with_server(|s| s.window_surface(rec.xid).unwrap().count_pixels(black));
-        assert!(after > before, "checked state paints more: {before} -> {after}");
+        assert!(
+            after > before,
+            "checked state paints more: {before} -> {after}"
+        );
     }
 
     #[test]
     fn radio_group_redraws_all_members() {
         let env = TkEnv::new();
         let app = env.app("t");
-        app.eval("radiobutton .r1 -variable choice -value a -text A").unwrap();
-        app.eval("radiobutton .r2 -variable choice -value b -text B").unwrap();
+        app.eval("radiobutton .r1 -variable choice -value a -text A")
+            .unwrap();
+        app.eval("radiobutton .r2 -variable choice -value b -text B")
+            .unwrap();
         app.eval("pack append . .r1 {top} .r2 {top}").unwrap();
         app.update();
         // Selecting via one member updates the variable; both members'

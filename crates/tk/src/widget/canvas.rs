@@ -19,12 +19,30 @@ use crate::draw::draw_3d_rect;
 use crate::widget::{bad_subcommand, create_widget, handle_configure, WidgetOps};
 
 static SPECS: &[OptSpec] = &[
-    opt("-background", "background", "Background", "white", OptKind::Color),
+    opt(
+        "-background",
+        "background",
+        "Background",
+        "white",
+        OptKind::Color,
+    ),
     synonym("-bg", "-background"),
-    opt("-borderwidth", "borderWidth", "BorderWidth", "0", OptKind::Pixels),
+    opt(
+        "-borderwidth",
+        "borderWidth",
+        "BorderWidth",
+        "0",
+        OptKind::Pixels,
+    ),
     synonym("-bd", "-borderwidth"),
     opt("-cursor", "cursor", "Cursor", "crosshair", OptKind::Cursor),
-    opt("-geometry", "geometry", "Geometry", "200x150", OptKind::Geometry),
+    opt(
+        "-geometry",
+        "geometry",
+        "Geometry",
+        "200x150",
+        OptKind::Geometry,
+    ),
     opt("-relief", "relief", "Relief", "flat", OptKind::Relief),
 ];
 
@@ -118,7 +136,7 @@ fn parse_item_opts(args: &[String]) -> Result<ItemOpts, Exception> {
         text: None,
         filled: None,
     };
-    if args.len() % 2 != 0 {
+    if !args.len().is_multiple_of(2) {
         return Err(Exception::error(format!(
             "value for \"{}\" missing",
             args.last().map(String::as_str).unwrap_or("")
@@ -137,16 +155,14 @@ fn parse_item_opts(args: &[String]) -> Result<ItemOpts, Exception> {
             "-font" => o.font = Some(pair[1].clone()),
             "-tag" | "-tags" => o.tag = Some(pair[1].clone()),
             "-width" => {
-                o.width = Some(pair[1].parse().map_err(|_| {
-                    Exception::error(format!("bad width \"{}\"", pair[1]))
-                })?)
+                o.width = Some(
+                    pair[1]
+                        .parse()
+                        .map_err(|_| Exception::error(format!("bad width \"{}\"", pair[1])))?,
+                )
             }
             "-text" => o.text = Some(pair[1].clone()),
-            other => {
-                return Err(Exception::error(format!(
-                    "unknown item option \"{other}\""
-                )))
-            }
+            other => return Err(Exception::error(format!("unknown item option \"{other}\""))),
         }
     }
     Ok(o)
@@ -304,7 +320,9 @@ impl WidgetOps for Canvas {
         let sub = argv
             .get(1)
             .ok_or_else(|| {
-                Exception::error(format!("wrong # args: should be \"{path} option ?arg ...?\""))
+                Exception::error(format!(
+                    "wrong # args: should be \"{path} option ?arg ...?\""
+                ))
             })?
             .as_str();
         match sub {
@@ -338,9 +356,10 @@ impl WidgetOps for Canvas {
                 Ok(String::new())
             }
             "coords" => {
-                let which = self.matching(argv.get(2).ok_or_else(|| {
-                    Exception::error("wrong # args: coords tagOrId")
-                })?);
+                let which = self.matching(
+                    argv.get(2)
+                        .ok_or_else(|| Exception::error("wrong # args: coords tagOrId"))?,
+                );
                 let items = self.items.borrow();
                 match which.first() {
                     Some(&i) => {
@@ -356,8 +375,10 @@ impl WidgetOps for Canvas {
                     return Ok(String::new());
                 }
                 let items = self.items.borrow();
-                let boxes: Vec<(i32, i32, i32, i32)> =
-                    which.iter().map(|&i| Canvas::bbox_of(&items[i].shape)).collect();
+                let boxes: Vec<(i32, i32, i32, i32)> = which
+                    .iter()
+                    .map(|&i| Canvas::bbox_of(&items[i].shape))
+                    .collect();
                 let x1 = boxes.iter().map(|b| b.0).min().unwrap();
                 let y1 = boxes.iter().map(|b| b.1).min().unwrap();
                 let x2 = boxes.iter().map(|b| b.2).max().unwrap();
@@ -467,7 +488,13 @@ impl WidgetOps for Canvas {
                         conn.draw_line(rec.xid, gc, pair[0].0, pair[0].1, pair[1].0, pair[1].1);
                     }
                 }
-                Shape::Rectangle { x1, y1, x2, y2, filled } => {
+                Shape::Rectangle {
+                    x1,
+                    y1,
+                    x2,
+                    y2,
+                    filled,
+                } => {
                     let gc = cache.gc(
                         conn,
                         GcValues {
@@ -482,7 +509,13 @@ impl WidgetOps for Canvas {
                         conn.draw_rectangle(rec.xid, gc, *x1, *y1, w, h);
                     }
                 }
-                Shape::Oval { x1, y1, x2, y2, filled } => {
+                Shape::Oval {
+                    x1,
+                    y1,
+                    x2,
+                    y2,
+                    filled,
+                } => {
                     let gc = cache.gc(
                         conn,
                         GcValues {
@@ -569,13 +602,14 @@ mod tests {
     #[test]
     fn items_draw_pixels() {
         let (env, app) = setup();
-        app.eval(".c create rectangle 10 10 30 30 -fill red").unwrap();
+        app.eval(".c create rectangle 10 10 30 30 -fill red")
+            .unwrap();
         app.update();
         let rec = app.window(".c").unwrap();
         let red = xsim::Rgb::new(255, 0, 0);
-        let painted = env.display().with_server(|s| {
-            s.window_surface(rec.xid).unwrap().count_pixels(red)
-        });
+        let painted = env
+            .display()
+            .with_server(|s| s.window_surface(rec.xid).unwrap().count_pixels(red));
         assert!(painted >= 19 * 19, "filled rect: {painted} red pixels");
     }
 
@@ -606,7 +640,8 @@ mod tests {
         let (env, app) = setup();
         let id = app.eval(".c create text 20 40 -text before").unwrap();
         app.update();
-        app.eval(&format!(".c itemconfigure {id} -text after")).unwrap();
+        app.eval(&format!(".c itemconfigure {id} -text after"))
+            .unwrap();
         app.update();
         let dump = env.display().ascii_dump();
         assert!(dump.contains("after"), "{dump}");
@@ -663,10 +698,7 @@ mod tests {
         )
         .unwrap();
         app.update();
-        assert_eq!(
-            app.eval(".c items").unwrap().split_whitespace().count(),
-            4
-        );
+        assert_eq!(app.eval(".c items").unwrap().split_whitespace().count(), 4);
         assert_eq!(app.eval(".c bbox bar").unwrap(), "10 10 85 70");
     }
 }

@@ -19,19 +19,55 @@ use crate::draw::draw_3d_rect;
 use crate::widget::{bad_subcommand, create_widget, handle_configure, WidgetOps};
 
 static SPECS: &[OptSpec] = &[
-    opt("-background", "background", "Background", "white", OptKind::Color),
+    opt(
+        "-background",
+        "background",
+        "Background",
+        "white",
+        OptKind::Color,
+    ),
     synonym("-bg", "-background"),
-    opt("-borderwidth", "borderWidth", "BorderWidth", "2", OptKind::Pixels),
+    opt(
+        "-borderwidth",
+        "borderWidth",
+        "BorderWidth",
+        "2",
+        OptKind::Pixels,
+    ),
     synonym("-bd", "-borderwidth"),
     opt("-cursor", "cursor", "Cursor", "xterm", OptKind::Cursor),
     opt("-font", "font", "Font", "fixed", OptKind::Font),
-    opt("-foreground", "foreground", "Foreground", "black", OptKind::Color),
+    opt(
+        "-foreground",
+        "foreground",
+        "Foreground",
+        "black",
+        OptKind::Color,
+    ),
     synonym("-fg", "-foreground"),
     opt("-relief", "relief", "Relief", "sunken", OptKind::Relief),
-    opt("-scroll", "scrollCommand", "ScrollCommand", "", OptKind::Str),
+    opt(
+        "-scroll",
+        "scrollCommand",
+        "ScrollCommand",
+        "",
+        OptKind::Str,
+    ),
     synonym("-scrollcommand", "-scroll"),
-    opt("-selectbackground", "selectBackground", "Foreground", "lightsteelblue", OptKind::Color),
-    opt("-textvariable", "textVariable", "Variable", "", OptKind::Str),
+    opt(
+        "-selectbackground",
+        "selectBackground",
+        "Foreground",
+        "lightsteelblue",
+        OptKind::Color,
+    ),
+    opt(
+        "-textvariable",
+        "textVariable",
+        "Variable",
+        "",
+        OptKind::Str,
+    ),
     opt("-width", "width", "Width", "20", OptKind::Int),
 ];
 
@@ -77,9 +113,10 @@ impl Entry {
         match spec {
             "end" => Ok(self.char_len()),
             "insert" => Ok(self.icursor.get()),
-            _ => spec.parse::<usize>().map(|i| i.min(self.char_len())).map_err(|_| {
-                Exception::error(format!("bad entry index \"{spec}\""))
-            }),
+            _ => spec
+                .parse::<usize>()
+                .map(|i| i.min(self.char_len()))
+                .map_err(|_| Exception::error(format!("bad entry index \"{spec}\""))),
         }
     }
 
@@ -95,8 +132,7 @@ impl Entry {
         let b = self.byte_of(at);
         self.text.borrow_mut().insert_str(b, what);
         if self.icursor.get() >= at {
-            self.icursor
-                .set(self.icursor.get() + what.chars().count());
+            self.icursor.set(self.icursor.get() + what.chars().count());
         }
         self.sync_variable(app);
         self.notify_scroll(app, path);
@@ -109,7 +145,8 @@ impl Entry {
             self.text.borrow_mut().drain(b0..b1);
             let cur = self.icursor.get();
             if cur > first {
-                self.icursor.set(first.max(cur.saturating_sub(last - first)));
+                self.icursor
+                    .set(first.max(cur.saturating_sub(last - first)));
             }
             self.sync_variable(app);
             self.notify_scroll(app, path);
@@ -121,15 +158,15 @@ impl Entry {
     fn sync_variable(&self, app: &TkApp) {
         let var = self.config.get("-textvariable");
         if !var.is_empty() {
-            let _ = app
-                .interp()
-                .set_var_at(0, &var, None, &self.text.borrow());
+            let _ = app.interp().set_var_at(0, &var, None, &self.text.borrow());
         }
     }
 
     /// Characters that fit in the window.
     fn visible_chars(&self, app: &TkApp, path: &str) -> usize {
-        let Some(rec) = app.window(path) else { return 1 };
+        let Some(rec) = app.window(path) else {
+            return 1;
+        };
         let Ok((_, m)) = app.cache().font(app.conn(), &self.config.get("-font")) else {
             return 1;
         };
@@ -214,7 +251,9 @@ impl WidgetOps for Entry {
         let sub = argv
             .get(1)
             .ok_or_else(|| {
-                Exception::error(format!("wrong # args: should be \"{path} option ?arg ...?\""))
+                Exception::error(format!(
+                    "wrong # args: should be \"{path} option ?arg ...?\""
+                ))
             })?
             .as_str();
         match sub {
@@ -288,9 +327,10 @@ impl WidgetOps for Entry {
                         Ok(String::new())
                     }
                     Some("to") => {
-                        let i = self.index(argv.get(3).ok_or_else(|| {
-                            Exception::error("wrong # args: select to index")
-                        })?)?;
+                        let i = self
+                            .index(argv.get(3).ok_or_else(|| {
+                                Exception::error("wrong # args: select to index")
+                            })?)?;
                         let anchor = self.selection.get().map(|(a, _)| a).unwrap_or(i);
                         self.selection.set(Some((anchor.min(i), anchor.max(i))));
                         self.claim_selection(app, path);
@@ -380,7 +420,12 @@ impl WidgetOps for Entry {
                                 let _ = widget.command(
                                     &app,
                                     &path_owned,
-                                    &[path_owned.clone(), "delete".into(), "0".into(), "end".into()],
+                                    &[
+                                        path_owned.clone(),
+                                        "delete".into(),
+                                        "0".into(),
+                                        "end".into(),
+                                    ],
                                 );
                                 let _ = widget.command(
                                     &app,
@@ -431,9 +476,8 @@ impl WidgetOps for Entry {
                 _ => {
                     // Control/Meta chords are left to user bindings (the
                     // Section 5 Control-w example relies on this).
-                    let chord = state
-                        & (xsim::event::state::CONTROL | xsim::event::state::MOD1)
-                        != 0;
+                    let chord =
+                        state & (xsim::event::state::CONTROL | xsim::event::state::MOD1) != 0;
                     if let Some(ch) = keysym.ch {
                         if !ch.is_control() && !chord {
                             self.insert_text(app, path, self.icursor.get(), &ch.to_string());
@@ -569,10 +613,8 @@ mod tests {
     fn typing_inserts_at_cursor() {
         let (env, app) = setup();
         let rec = app.window(".e").unwrap();
-        env.display().move_pointer(
-            rec.x.get() + 5,
-            rec.y.get() + rec.height.get() as i32 / 2,
-        );
+        env.display()
+            .move_pointer(rec.x.get() + 5, rec.y.get() + rec.height.get() as i32 / 2);
         env.display().click(1); // focus + cursor at 0
         env.dispatch_all();
         env.display().type_string("hi there");
@@ -700,7 +742,8 @@ mod selection_tests {
     fn selected_range_becomes_x_selection() {
         let env = TkEnv::new();
         let app = env.app("t");
-        app.eval("entry .e -width 20; pack append . .e {top}").unwrap();
+        app.eval("entry .e -width 20; pack append . .e {top}")
+            .unwrap();
         app.update();
         app.eval(".e insert 0 {hello brave world}").unwrap();
         app.eval(".e select from 6").unwrap();

@@ -12,9 +12,21 @@ use crate::draw::draw_3d_rect;
 use crate::widget::{bad_subcommand, create_widget, handle_configure, WidgetOps};
 
 static FRAME_SPECS: &[OptSpec] = &[
-    opt("-background", "background", "Background", "gray", OptKind::Color),
+    opt(
+        "-background",
+        "background",
+        "Background",
+        "gray",
+        OptKind::Color,
+    ),
     synonym("-bg", "-background"),
-    opt("-borderwidth", "borderWidth", "BorderWidth", "0", OptKind::Pixels),
+    opt(
+        "-borderwidth",
+        "borderWidth",
+        "BorderWidth",
+        "0",
+        OptKind::Pixels,
+    ),
     synonym("-bd", "-borderwidth"),
     opt("-cursor", "cursor", "Cursor", "", OptKind::Cursor),
     opt("-geometry", "geometry", "Geometry", "", OptKind::Str),
@@ -183,7 +195,10 @@ mod tests {
         let all = app.eval(".f configure").unwrap();
         assert!(all.contains("-borderwidth"));
         app.eval(".f configure -bg red").unwrap();
-        assert!(app.eval(".f configure -background").unwrap().contains("red"));
+        assert!(app
+            .eval(".f configure -background")
+            .unwrap()
+            .contains("red"));
     }
 
     #[test]

@@ -20,19 +20,55 @@ use crate::selection::NativeHandler;
 use crate::widget::{bad_subcommand, create_widget, handle_configure, WidgetOps};
 
 static SPECS: &[OptSpec] = &[
-    opt("-background", "background", "Background", "white", OptKind::Color),
+    opt(
+        "-background",
+        "background",
+        "Background",
+        "white",
+        OptKind::Color,
+    ),
     synonym("-bg", "-background"),
-    opt("-borderwidth", "borderWidth", "BorderWidth", "2", OptKind::Pixels),
+    opt(
+        "-borderwidth",
+        "borderWidth",
+        "BorderWidth",
+        "2",
+        OptKind::Pixels,
+    ),
     synonym("-bd", "-borderwidth"),
     opt("-cursor", "cursor", "Cursor", "", OptKind::Cursor),
     opt("-font", "font", "Font", "fixed", OptKind::Font),
-    opt("-foreground", "foreground", "Foreground", "black", OptKind::Color),
+    opt(
+        "-foreground",
+        "foreground",
+        "Foreground",
+        "black",
+        OptKind::Color,
+    ),
     synonym("-fg", "-foreground"),
-    opt("-geometry", "geometry", "Geometry", "15x10", OptKind::Geometry),
+    opt(
+        "-geometry",
+        "geometry",
+        "Geometry",
+        "15x10",
+        OptKind::Geometry,
+    ),
     opt("-relief", "relief", "Relief", "flat", OptKind::Relief),
-    opt("-scroll", "scrollCommand", "ScrollCommand", "", OptKind::Str),
+    opt(
+        "-scroll",
+        "scrollCommand",
+        "ScrollCommand",
+        "",
+        OptKind::Str,
+    ),
     synonym("-scrollcommand", "-scroll"),
-    opt("-selectbackground", "selectBackground", "Foreground", "lightsteelblue", OptKind::Color),
+    opt(
+        "-selectbackground",
+        "selectBackground",
+        "Foreground",
+        "lightsteelblue",
+        OptKind::Color,
+    ),
 ];
 
 /// The listbox widget state.
@@ -67,7 +103,9 @@ pub fn register(app: &TkApp) {
 impl Listbox {
     /// Number of fully visible lines.
     fn visible_lines(&self, app: &TkApp, path: &str) -> usize {
-        let Some(rec) = app.window(path) else { return 1 };
+        let Some(rec) = app.window(path) else {
+            return 1;
+        };
         let Ok((_, m)) = app.cache().font(app.conn(), &self.config.get("-font")) else {
             return 1;
         };
@@ -202,7 +240,9 @@ impl WidgetOps for Listbox {
         let sub = argv
             .get(1)
             .ok_or_else(|| {
-                Exception::error(format!("wrong # args: should be \"{path} option ?arg ...?\""))
+                Exception::error(format!(
+                    "wrong # args: should be \"{path} option ?arg ...?\""
+                ))
             })?
             .as_str();
         match sub {
@@ -261,13 +301,9 @@ impl WidgetOps for Listbox {
                     )));
                 }
                 let i = self.index(&argv[2])?;
-                self.items
-                    .borrow()
-                    .get(i)
-                    .cloned()
-                    .ok_or_else(|| {
-                        Exception::error(format!("listbox index \"{}\" out of range", argv[2]))
-                    })
+                self.items.borrow().get(i).cloned().ok_or_else(|| {
+                    Exception::error(format!("listbox index \"{}\" out of range", argv[2]))
+                })
             }
             "size" => Ok(self.items.borrow().len().to_string()),
             "curselection" => {
@@ -291,9 +327,10 @@ impl WidgetOps for Listbox {
                         Ok(String::new())
                     }
                     Some("to") => {
-                        let i = self.index(argv.get(3).ok_or_else(|| {
-                            Exception::error("wrong # args: select to index")
-                        })?)?;
+                        let i = self
+                            .index(argv.get(3).ok_or_else(|| {
+                                Exception::error("wrong # args: select to index")
+                            })?)?;
                         let anchor = self.sel_anchor.get().unwrap_or(i);
                         self.select_range(app, path, anchor, i);
                         Ok(String::new())
@@ -367,9 +404,7 @@ impl WidgetOps for Listbox {
                 self.sel_anchor.set(Some(i));
                 self.select_range(app, path, i, i);
             }
-            Event::MotionNotify { state, y, .. }
-                if state & xsim::event::state::BUTTON1 != 0 =>
-            {
+            Event::MotionNotify { state, y, .. } if state & xsim::event::state::BUTTON1 != 0 => {
                 let i = self.nearest(app, path, *y);
                 let anchor = self.sel_anchor.get().unwrap_or(i);
                 self.select_range(app, path, anchor, i);
@@ -445,13 +480,7 @@ impl WidgetOps for Listbox {
                     );
                 }
             }
-            conn.draw_string(
-                rec.xid,
-                text_gc,
-                x0,
-                y0 + m.ascent as i32,
-                &items[idx],
-            );
+            conn.draw_string(rec.xid, text_gc, x0, y0 + m.ascent as i32, &items[idx]);
         }
     }
 }

@@ -17,24 +17,72 @@ use crate::draw::{draw_3d_rect, Relief};
 use crate::widget::{bad_subcommand, create_widget, handle_configure, WidgetOps};
 
 static MENU_SPECS: &[OptSpec] = &[
-    opt("-activebackground", "activeBackground", "Foreground", "lightsteelblue", OptKind::Color),
-    opt("-background", "background", "Background", "gray", OptKind::Color),
+    opt(
+        "-activebackground",
+        "activeBackground",
+        "Foreground",
+        "lightsteelblue",
+        OptKind::Color,
+    ),
+    opt(
+        "-background",
+        "background",
+        "Background",
+        "gray",
+        OptKind::Color,
+    ),
     synonym("-bg", "-background"),
-    opt("-borderwidth", "borderWidth", "BorderWidth", "2", OptKind::Pixels),
+    opt(
+        "-borderwidth",
+        "borderWidth",
+        "BorderWidth",
+        "2",
+        OptKind::Pixels,
+    ),
     synonym("-bd", "-borderwidth"),
     opt("-font", "font", "Font", "fixed", OptKind::Font),
-    opt("-foreground", "foreground", "Foreground", "black", OptKind::Color),
+    opt(
+        "-foreground",
+        "foreground",
+        "Foreground",
+        "black",
+        OptKind::Color,
+    ),
     synonym("-fg", "-foreground"),
 ];
 
 static MENUBUTTON_SPECS: &[OptSpec] = &[
-    opt("-activebackground", "activeBackground", "Foreground", "white", OptKind::Color),
-    opt("-background", "background", "Background", "gray", OptKind::Color),
+    opt(
+        "-activebackground",
+        "activeBackground",
+        "Foreground",
+        "white",
+        OptKind::Color,
+    ),
+    opt(
+        "-background",
+        "background",
+        "Background",
+        "gray",
+        OptKind::Color,
+    ),
     synonym("-bg", "-background"),
-    opt("-borderwidth", "borderWidth", "BorderWidth", "2", OptKind::Pixels),
+    opt(
+        "-borderwidth",
+        "borderWidth",
+        "BorderWidth",
+        "2",
+        OptKind::Pixels,
+    ),
     synonym("-bd", "-borderwidth"),
     opt("-font", "font", "Font", "fixed", OptKind::Font),
-    opt("-foreground", "foreground", "Foreground", "black", OptKind::Color),
+    opt(
+        "-foreground",
+        "foreground",
+        "Foreground",
+        "black",
+        OptKind::Color,
+    ),
     synonym("-fg", "-foreground"),
     opt("-menu", "menu", "Menu", "", OptKind::Str),
     opt("-padx", "padX", "Pad", "3", OptKind::Pixels),
@@ -208,7 +256,9 @@ impl WidgetOps for Menu {
         let sub = argv
             .get(1)
             .ok_or_else(|| {
-                Exception::error(format!("wrong # args: should be \"{path} option ?arg ...?\""))
+                Exception::error(format!(
+                    "wrong # args: should be \"{path} option ?arg ...?\""
+                ))
             })?
             .as_str();
         match sub {
@@ -236,7 +286,7 @@ impl WidgetOps for Menu {
                     value: String::new(),
                 };
                 let opts = &argv[3..];
-                if opts.len() % 2 != 0 {
+                if !opts.len().is_multiple_of(2) {
                     return Err(Exception::error("missing value for menu entry option"));
                 }
                 for pair in opts.chunks(2) {
@@ -278,8 +328,12 @@ impl WidgetOps for Menu {
                         "wrong # args: should be \"{path} post x y\""
                     )));
                 }
-                let x: i32 = argv[2].parse().map_err(|_| Exception::error("expected integer"))?;
-                let y: i32 = argv[3].parse().map_err(|_| Exception::error("expected integer"))?;
+                let x: i32 = argv[2]
+                    .parse()
+                    .map_err(|_| Exception::error("expected integer"))?;
+                let y: i32 = argv[3]
+                    .parse()
+                    .map_err(|_| Exception::error("expected integer"))?;
                 let rec = app.require_window(path)?;
                 // The menu's X window is a child of the root, so post
                 // coordinates are used directly.
@@ -320,9 +374,10 @@ impl WidgetOps for Menu {
             }
             "entrylabel" => {
                 // Introspection helper: the label of an entry.
-                let i = self.entry_index(argv.get(2).ok_or_else(|| {
-                    Exception::error("wrong # args: entrylabel index")
-                })?)?;
+                let i = self.entry_index(
+                    argv.get(2)
+                        .ok_or_else(|| Exception::error("wrong # args: entrylabel index"))?,
+                )?;
                 Ok(self
                     .entries
                     .borrow()
@@ -369,10 +424,7 @@ impl WidgetOps for Menu {
                     let _ = app.eval(&format!("{path} unpost"));
                     if let Err(e) = self.invoke_entry(app, i) {
                         if e.code == tcl::Code::Error {
-                            app.eval_background(&format!(
-                                "error {}",
-                                tcl::format_list(&[e.msg])
-                            ));
+                            app.eval_background(&format!("error {}", tcl::format_list(&[e.msg])));
                         }
                     }
                 }
@@ -456,7 +508,11 @@ impl WidgetOps for Menu {
                                 .get_var_at(0, &e.variable, None)
                                 .unwrap_or_default();
                             !v.is_empty()
-                                && v == if e.value.is_empty() { e.label.clone() } else { e.value.clone() }
+                                && v == if e.value.is_empty() {
+                                    e.label.clone()
+                                } else {
+                                    e.value.clone()
+                                }
                         }
                         _ => false,
                     };
@@ -492,7 +548,9 @@ impl WidgetOps for Menubutton {
         let sub = argv
             .get(1)
             .ok_or_else(|| {
-                Exception::error(format!("wrong # args: should be \"{path} option ?arg ...?\""))
+                Exception::error(format!(
+                    "wrong # args: should be \"{path} option ?arg ...?\""
+                ))
             })?
             .as_str();
         match sub {
@@ -635,7 +693,8 @@ mod tests {
         let env = TkEnv::new();
         let app = env.app("t");
         app.eval("menu .m").unwrap();
-        app.eval(".m add checkbutton -label Bold -variable bold").unwrap();
+        app.eval(".m add checkbutton -label Bold -variable bold")
+            .unwrap();
         app.eval(".m add radiobutton -label Red -variable color -value red")
             .unwrap();
         app.eval(".m invoke 0").unwrap();
@@ -683,10 +742,8 @@ mod tests {
         let m = app.window(".mb.m").unwrap();
         assert!(m.mapped.get(), "menu should be posted");
         // Release over the first entry invokes it.
-        env.display().move_pointer(
-            mb.x.get() + 10,
-            mb.y.get() + mb.height.get() as i32 + 8,
-        );
+        env.display()
+            .move_pointer(mb.x.get() + 10, mb.y.get() + mb.height.get() as i32 + 8);
         env.display().press_button(1);
         env.display().release_button(1);
         env.dispatch_all();

@@ -12,12 +12,30 @@ use crate::widget::{bad_subcommand, create_widget, handle_configure, WidgetOps};
 
 static SPECS: &[OptSpec] = &[
     opt("-aspect", "aspect", "Aspect", "150", OptKind::Int),
-    opt("-background", "background", "Background", "gray", OptKind::Color),
+    opt(
+        "-background",
+        "background",
+        "Background",
+        "gray",
+        OptKind::Color,
+    ),
     synonym("-bg", "-background"),
-    opt("-borderwidth", "borderWidth", "BorderWidth", "0", OptKind::Pixels),
+    opt(
+        "-borderwidth",
+        "borderWidth",
+        "BorderWidth",
+        "0",
+        OptKind::Pixels,
+    ),
     synonym("-bd", "-borderwidth"),
     opt("-font", "font", "Font", "fixed", OptKind::Font),
-    opt("-foreground", "foreground", "Foreground", "black", OptKind::Color),
+    opt(
+        "-foreground",
+        "foreground",
+        "Foreground",
+        "black",
+        OptKind::Color,
+    ),
     synonym("-fg", "-foreground"),
     opt("-justify", "justify", "Justify", "left", OptKind::Str),
     opt("-padx", "padX", "Pad", "2", OptKind::Pixels),

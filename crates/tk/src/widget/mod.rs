@@ -65,11 +65,7 @@ pub fn register_all(app: &TkApp) {
 /// Shared creation path: makes the window, attaches the widget, resolves
 /// options (command line > option database > defaults), and registers the
 /// widget command. Returns the path name, Tk's creation result.
-pub fn create_widget(
-    app: &TkApp,
-    argv: &[String],
-    widget: Rc<dyn WidgetOps>,
-) -> TclResult {
+pub fn create_widget(app: &TkApp, argv: &[String], widget: Rc<dyn WidgetOps>) -> TclResult {
     if argv.len() < 2 {
         return Err(Exception::error(format!(
             "wrong # args: should be \"{} pathName ?options?\"",

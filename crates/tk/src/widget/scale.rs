@@ -13,21 +13,51 @@ use crate::draw::{draw_3d_rect, Relief};
 use crate::widget::{bad_subcommand, create_widget, handle_configure, WidgetOps};
 
 static SPECS: &[OptSpec] = &[
-    opt("-background", "background", "Background", "gray", OptKind::Color),
+    opt(
+        "-background",
+        "background",
+        "Background",
+        "gray",
+        OptKind::Color,
+    ),
     synonym("-bg", "-background"),
-    opt("-borderwidth", "borderWidth", "BorderWidth", "2", OptKind::Pixels),
+    opt(
+        "-borderwidth",
+        "borderWidth",
+        "BorderWidth",
+        "2",
+        OptKind::Pixels,
+    ),
     synonym("-bd", "-borderwidth"),
     opt("-command", "command", "Command", "", OptKind::Str),
     opt("-cursor", "cursor", "Cursor", "", OptKind::Cursor),
     opt("-font", "font", "Font", "fixed", OptKind::Font),
-    opt("-foreground", "foreground", "Foreground", "black", OptKind::Color),
+    opt(
+        "-foreground",
+        "foreground",
+        "Foreground",
+        "black",
+        OptKind::Color,
+    ),
     synonym("-fg", "-foreground"),
     opt("-from", "from", "From", "0", OptKind::Int),
     opt("-label", "label", "Label", "", OptKind::Str),
     opt("-length", "length", "Length", "100", OptKind::Pixels),
     opt("-orient", "orient", "Orient", "horizontal", OptKind::Orient),
-    opt("-showvalue", "showValue", "ShowValue", "1", OptKind::Boolean),
-    opt("-sliderlength", "sliderLength", "SliderLength", "20", OptKind::Pixels),
+    opt(
+        "-showvalue",
+        "showValue",
+        "ShowValue",
+        "1",
+        OptKind::Boolean,
+    ),
+    opt(
+        "-sliderlength",
+        "sliderLength",
+        "SliderLength",
+        "20",
+        OptKind::Pixels,
+    ),
     opt("-to", "to", "To", "100", OptKind::Int),
     opt("-width", "width", "Width", "15", OptKind::Pixels),
 ];
@@ -78,7 +108,9 @@ impl Scale {
 
     /// Maps a pixel position along the long axis to a value.
     fn value_at(&self, app: &TkApp, path: &str, p: i64) -> i64 {
-        let Some(rec) = app.window(path) else { return 0 };
+        let Some(rec) = app.window(path) else {
+            return 0;
+        };
         let (from, to) = self.bounds();
         let sl = self.config.get_pixels("-sliderlength").max(4);
         let len = if self.horizontal() {
@@ -108,7 +140,9 @@ impl WidgetOps for Scale {
         let sub = argv
             .get(1)
             .ok_or_else(|| {
-                Exception::error(format!("wrong # args: should be \"{path} option ?arg ...?\""))
+                Exception::error(format!(
+                    "wrong # args: should be \"{path} option ?arg ...?\""
+                ))
             })?
             .as_str();
         match sub {
@@ -119,10 +153,9 @@ impl WidgetOps for Scale {
                         "wrong # args: should be \"{path} set value\""
                     )));
                 }
-                let v: i64 = argv[2]
-                    .trim()
-                    .parse()
-                    .map_err(|_| Exception::error(format!("expected integer but got \"{}\"", argv[2])))?;
+                let v: i64 = argv[2].trim().parse().map_err(|_| {
+                    Exception::error(format!("expected integer but got \"{}\"", argv[2]))
+                })?;
                 self.set_value(app, path, v);
                 Ok(String::new())
             }
@@ -161,7 +194,9 @@ impl WidgetOps for Scale {
     fn event(&self, app: &TkApp, path: &str, ev: &Event) {
         match ev {
             Event::Expose { count: 0, .. } => app.schedule_redraw(path),
-            Event::ButtonPress { button: 1, x, y, .. } => {
+            Event::ButtonPress {
+                button: 1, x, y, ..
+            } => {
                 self.dragging.set(true);
                 let p = if self.horizontal() { *x } else { *y } as i64;
                 let v = self.value_at(app, path, p);
@@ -234,10 +269,18 @@ impl WidgetOps for Scale {
         // Trough + slider.
         let trough_h = (h as i32 - top - 2).max(4) as u32;
         draw_3d_rect(
-            conn, cache, rec.xid, border,
-            0, top, w, trough_h, 1, Relief::Sunken,
+            conn,
+            cache,
+            rec.xid,
+            border,
+            0,
+            top,
+            w,
+            trough_h,
+            1,
+            Relief::Sunken,
         );
-        let sl = self.config.get_pixels("-sliderlength").max(4) as i64;
+        let sl = self.config.get_pixels("-sliderlength").max(4);
         let (from, to) = self.bounds();
         let frac = if to != from {
             (self.value.get() - from) as f64 / (to - from) as f64
@@ -248,15 +291,31 @@ impl WidgetOps for Scale {
             let track = (w as i64 - sl).max(1);
             let sx = (track as f64 * frac) as i32;
             draw_3d_rect(
-                conn, cache, rec.xid, border,
-                sx, top + 1, sl as u32, trough_h - 2, 2, Relief::Raised,
+                conn,
+                cache,
+                rec.xid,
+                border,
+                sx,
+                top + 1,
+                sl as u32,
+                trough_h - 2,
+                2,
+                Relief::Raised,
             );
         } else {
             let track = (h as i64 - sl).max(1);
             let sy = (track as f64 * frac) as i32;
             draw_3d_rect(
-                conn, cache, rec.xid, border,
-                1, sy, w - 2, sl as u32, 2, Relief::Raised,
+                conn,
+                cache,
+                rec.xid,
+                border,
+                1,
+                sy,
+                w - 2,
+                sl as u32,
+                2,
+                Relief::Raised,
             );
         }
     }
@@ -313,7 +372,8 @@ mod tests {
         let env = TkEnv::new();
         let app = env.app("t");
         app.eval("set count 0").unwrap();
-        app.eval("proc note {v} {global count; incr count}").unwrap();
+        app.eval("proc note {v} {global count; incr count}")
+            .unwrap();
         app.eval("scale .s -command note").unwrap();
         app.eval(".s set 5; .s set 5; .s set 5").unwrap();
         assert_eq!(app.eval("set count").unwrap(), "1");

@@ -19,13 +19,31 @@ use crate::draw::{draw_3d_rect, Relief};
 use crate::widget::{bad_subcommand, create_widget, handle_configure, WidgetOps};
 
 static SPECS: &[OptSpec] = &[
-    opt("-background", "background", "Background", "gray", OptKind::Color),
+    opt(
+        "-background",
+        "background",
+        "Background",
+        "gray",
+        OptKind::Color,
+    ),
     synonym("-bg", "-background"),
-    opt("-borderwidth", "borderWidth", "BorderWidth", "2", OptKind::Pixels),
+    opt(
+        "-borderwidth",
+        "borderWidth",
+        "BorderWidth",
+        "2",
+        OptKind::Pixels,
+    ),
     synonym("-bd", "-borderwidth"),
     opt("-command", "command", "Command", "", OptKind::Str),
     opt("-cursor", "cursor", "Cursor", "", OptKind::Cursor),
-    opt("-foreground", "foreground", "Foreground", "black", OptKind::Color),
+    opt(
+        "-foreground",
+        "foreground",
+        "Foreground",
+        "black",
+        OptKind::Color,
+    ),
     synonym("-fg", "-foreground"),
     opt("-orient", "orient", "Orient", "vertical", OptKind::Orient),
     opt("-relief", "relief", "Relief", "sunken", OptKind::Relief),
@@ -70,7 +88,9 @@ impl Scrollbar {
 
     /// Arrow-box length (same as the bar thickness, like Tk).
     fn arrow_len(&self, app: &TkApp, path: &str) -> i64 {
-        let Some(rec) = app.window(path) else { return 15 };
+        let Some(rec) = app.window(path) else {
+            return 15;
+        };
         if self.vertical() {
             rec.width.get() as i64
         } else {
@@ -80,7 +100,9 @@ impl Scrollbar {
 
     /// Length of the bar along its long axis.
     fn length(&self, app: &TkApp, path: &str) -> i64 {
-        let Some(rec) = app.window(path) else { return 1 };
+        let Some(rec) = app.window(path) else {
+            return 1;
+        };
         if self.vertical() {
             rec.height.get() as i64
         } else {
@@ -152,7 +174,9 @@ impl WidgetOps for Scrollbar {
         let sub = argv
             .get(1)
             .ok_or_else(|| {
-                Exception::error(format!("wrong # args: should be \"{path} option ?arg ...?\""))
+                Exception::error(format!(
+                    "wrong # args: should be \"{path} option ?arg ...?\""
+                ))
             })?
             .as_str();
         match sub {
@@ -164,9 +188,8 @@ impl WidgetOps for Scrollbar {
                 }
                 let nums: Result<Vec<i64>, _> =
                     argv[2..6].iter().map(|s| s.trim().parse::<i64>()).collect();
-                let nums = nums.map_err(|_| {
-                    Exception::error("expected integer in scrollbar set")
-                })?;
+                let nums =
+                    nums.map_err(|_| Exception::error("expected integer in scrollbar set"))?;
                 self.view.set(View {
                     total: nums[0],
                     window: nums[1],
@@ -203,7 +226,9 @@ impl WidgetOps for Scrollbar {
     fn event(&self, app: &TkApp, path: &str, ev: &Event) {
         match ev {
             Event::Expose { count: 0, .. } => app.schedule_redraw(path),
-            Event::ButtonPress { button: 1, x, y, .. } => {
+            Event::ButtonPress {
+                button: 1, x, y, ..
+            } => {
                 let p = if self.vertical() { *y } else { *x } as i64;
                 self.hit(app, path, p, false);
             }
@@ -247,31 +272,89 @@ impl WidgetOps for Scrollbar {
         let arrow = self.arrow_len(app, path) as i32;
         // Arrow boxes (drawn as bevelled squares with a line glyph).
         if self.vertical() {
-            draw_3d_rect(conn, cache, rec.xid, border, 0, 0, w, arrow as u32, 1, Relief::Raised);
             draw_3d_rect(
-                conn, cache, rec.xid, border,
-                0, h as i32 - arrow, w, arrow as u32, 1, Relief::Raised,
+                conn,
+                cache,
+                rec.xid,
+                border,
+                0,
+                0,
+                w,
+                arrow as u32,
+                1,
+                Relief::Raised,
+            );
+            draw_3d_rect(
+                conn,
+                cache,
+                rec.xid,
+                border,
+                0,
+                h as i32 - arrow,
+                w,
+                arrow as u32,
+                1,
+                Relief::Raised,
             );
             conn.draw_line(rec.xid, fg_gc, w as i32 / 2, 3, w as i32 / 2, arrow - 3);
             conn.draw_line(
-                rec.xid, fg_gc,
-                w as i32 / 2, h as i32 - arrow + 3, w as i32 / 2, h as i32 - 3,
+                rec.xid,
+                fg_gc,
+                w as i32 / 2,
+                h as i32 - arrow + 3,
+                w as i32 / 2,
+                h as i32 - 3,
             );
             let (s0, s1) = self.slider_span(app, path);
             draw_3d_rect(
-                conn, cache, rec.xid, border,
-                1, s0 as i32, w - 2, (s1 - s0).max(1) as u32, 2, Relief::Raised,
+                conn,
+                cache,
+                rec.xid,
+                border,
+                1,
+                s0 as i32,
+                w - 2,
+                (s1 - s0).max(1) as u32,
+                2,
+                Relief::Raised,
             );
         } else {
-            draw_3d_rect(conn, cache, rec.xid, border, 0, 0, arrow as u32, h, 1, Relief::Raised);
             draw_3d_rect(
-                conn, cache, rec.xid, border,
-                w as i32 - arrow, 0, arrow as u32, h, 1, Relief::Raised,
+                conn,
+                cache,
+                rec.xid,
+                border,
+                0,
+                0,
+                arrow as u32,
+                h,
+                1,
+                Relief::Raised,
+            );
+            draw_3d_rect(
+                conn,
+                cache,
+                rec.xid,
+                border,
+                w as i32 - arrow,
+                0,
+                arrow as u32,
+                h,
+                1,
+                Relief::Raised,
             );
             let (s0, s1) = self.slider_span(app, path);
             draw_3d_rect(
-                conn, cache, rec.xid, border,
-                s0 as i32, 1, (s1 - s0).max(1) as u32, h - 2, 2, Relief::Raised,
+                conn,
+                cache,
+                rec.xid,
+                border,
+                s0 as i32,
+                1,
+                (s1 - s0).max(1) as u32,
+                h - 2,
+                2,
+                Relief::Raised,
             );
         }
     }
@@ -297,7 +380,8 @@ mod tests {
         // '.list view 40'".
         let env = TkEnv::new();
         let app = env.app("t");
-        app.eval("scrollbar .scroll -command \".list view\"").unwrap();
+        app.eval("scrollbar .scroll -command \".list view\"")
+            .unwrap();
         app.eval("listbox .list -scroll \".scroll set\" -geometry 20x5")
             .unwrap();
         app.eval("pack append . .scroll {right filly} .list {left expand fill}")
@@ -341,8 +425,7 @@ mod tests {
         app.update();
         app.eval(".s set 10 5 0 4").unwrap();
         let rec = app.window(".s").unwrap();
-        env.display()
-            .move_pointer(rec.x.get() + 5, rec.y.get() + 3);
+        env.display().move_pointer(rec.x.get() + 5, rec.y.get() + 3);
         env.display().click(1);
         env.dispatch_all();
         assert_eq!(app.eval("set got").unwrap(), "0");
@@ -356,7 +439,8 @@ mod tests {
         let app = env.app("t");
         app.eval("listbox .l1 -geometry 10x3").unwrap();
         app.eval("listbox .l2 -geometry 10x3").unwrap();
-        app.eval("proc both {i} {.l1 view $i; .l2 view $i}").unwrap();
+        app.eval("proc both {i} {.l1 view $i; .l2 view $i}")
+            .unwrap();
         app.eval("scrollbar .s -command both").unwrap();
         app.eval("pack append . .l1 {top} .l2 {top} .s {right filly}")
             .unwrap();

@@ -10,9 +10,12 @@
 //! * `pointer x y`, `click ?button?`, `type string`, `key name` — input;
 //! * `mainloop` — process events until every window is destroyed.
 //!
-//! Usage: `wish [-f script] [-name appname] [command...]`
+//! Usage: `wish [-f script] [-name appname] [--stats] [command...]`
+//!
+//! With `--stats`, wish prints the full observability dump
+//! (`obs dump -format json`) to standard error at exit.
 
-use std::io::{BufRead, Write};
+use std::io::{BufRead, IsTerminal, Write};
 
 use tk::TkEnv;
 
@@ -20,6 +23,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut script_file: Option<String> = None;
     let mut name = "wish".to_string();
+    let mut stats = false;
     let mut script_args: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -34,8 +38,11 @@ fn main() {
                     name = n.clone();
                 }
             }
+            "--stats" | "-stats" => {
+                stats = true;
+            }
             "-h" | "--help" => {
-                println!("usage: wish [-f script] [-name appname] [arg ...]");
+                println!("usage: wish [-f script] [-name appname] [--stats] [arg ...]");
                 return;
             }
             other => {
@@ -75,13 +82,16 @@ fn main() {
             Err(e) => {
                 if let Some(status) = app.interp().exit_requested() {
                     app.update();
+                    print_stats(stats, &app);
                     std::process::exit(status);
                 }
                 eprintln!("wish: {}", e.error_info());
+                print_stats(stats, &app);
                 std::process::exit(1);
             }
         }
         app.update();
+        print_stats(stats, &app);
         std::process::exit(app.interp().exit_requested().unwrap_or(0));
     }
 
@@ -121,10 +131,24 @@ fn main() {
         }
         print_prompt(&buffer);
     }
+    print_stats(stats, &app);
     std::process::exit(app.interp().exit_requested().unwrap_or(0));
 }
 
+/// `--stats`: the exit-time observability dump, on standard error so it
+/// never mixes with script output.
+fn print_stats(enabled: bool, app: &tk::TkApp) {
+    if enabled {
+        eprintln!("{}", tk::obs_cmd::dump_json(app));
+    }
+}
+
 fn print_prompt(buffer: &str) {
+    // Piped input (e.g. `echo '...' | wish`) gets no prompts, so script
+    // output stays machine-readable.
+    if !std::io::stdin().is_terminal() {
+        return;
+    }
     let prompt = if buffer.is_empty() { "% " } else { "> " };
     print!("{prompt}");
     let _ = std::io::stdout().flush();
@@ -150,8 +174,8 @@ fn command_complete(script: &str) -> bool {
 /// Simulation-specific commands that stand in for the physical user.
 fn install_shell_commands(env: &TkEnv, app: &tk::TkApp) {
     let e = env.clone();
-    app.interp().register("screendump", move |_i, argv| {
-        match argv.get(1) {
+    app.interp()
+        .register("screendump", move |_i, argv| match argv.get(1) {
             Some(path) if path.ends_with(".ppm") => {
                 let shot = e.display().screenshot();
                 std::fs::write(path, shot.to_ppm())
@@ -164,15 +188,18 @@ fn install_shell_commands(env: &TkEnv, app: &tk::TkApp) {
                 Ok(String::new())
             }
             None => Ok(e.display().ascii_dump()),
-        }
-    });
+        });
     let e = env.clone();
     app.interp().register("pointer", move |_i, argv| {
         if argv.len() != 3 {
             return Err(tcl::wrong_args("pointer x y"));
         }
-        let x: i32 = argv[1].parse().map_err(|_| tcl::Exception::error("expected integer"))?;
-        let y: i32 = argv[2].parse().map_err(|_| tcl::Exception::error("expected integer"))?;
+        let x: i32 = argv[1]
+            .parse()
+            .map_err(|_| tcl::Exception::error("expected integer"))?;
+        let y: i32 = argv[2]
+            .parse()
+            .map_err(|_| tcl::Exception::error("expected integer"))?;
         e.display().move_pointer(x, y);
         e.dispatch_all();
         Ok(String::new())

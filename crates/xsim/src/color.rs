@@ -278,7 +278,10 @@ impl Colormap {
 
     /// Reference count of a pixel (for tests and cache ablation).
     pub fn refcount(&self, pixel: Pixel) -> u32 {
-        self.cells.get(pixel.0 as usize).map(|(_, c)| *c).unwrap_or(0)
+        self.cells
+            .get(pixel.0 as usize)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
     }
 }
 
@@ -290,7 +293,10 @@ mod tests {
     fn lookup_named_colors() {
         assert_eq!(lookup_color("red"), Some(Rgb::new(255, 0, 0)));
         assert_eq!(lookup_color("MediumSeaGreen"), Some(Rgb::new(60, 179, 113)));
-        assert_eq!(lookup_color("medium sea green"), Some(Rgb::new(60, 179, 113)));
+        assert_eq!(
+            lookup_color("medium sea green"),
+            Some(Rgb::new(60, 179, 113))
+        );
         assert_eq!(lookup_color("PalePink1"), Some(Rgb::new(255, 224, 229)));
         assert_eq!(lookup_color("NoSuchColor"), None);
     }

@@ -14,7 +14,8 @@ use crate::color::Rgb;
 use crate::event::{Event, Keysym};
 use crate::font::FontMetrics;
 use crate::gc::GcValues;
-use crate::ids::{ClientId, CursorId, FontId, GcId, Pixel, WindowId};
+use crate::ids::{ClientId, CursorId, FontId, GcId, Pixel, WindowId, Xid};
+use crate::obs::{ClientObs, RequestKind, TraceEntry};
 use crate::render::Surface;
 use crate::server::{ClientStats, Server};
 
@@ -136,34 +137,111 @@ impl Connection {
         self.server.borrow().stats(self.client)
     }
 
-    fn one_way<R>(&self, f: impl FnOnce(&mut Server) -> R) -> R {
+    /// Runs `f` over this client's structured observability state.
+    pub fn with_obs<R>(&self, f: impl FnOnce(&ClientObs) -> R) -> Option<R> {
+        self.server.borrow().client_obs(self.client).map(f)
+    }
+
+    /// Per-request-kind counts, non-zero kinds only.
+    pub fn obs_kind_counts(&self) -> Vec<(&'static str, u64)> {
+        self.with_obs(|o| o.kind_counts()).unwrap_or_default()
+    }
+
+    /// Snapshot of the all-requests latency histogram.
+    pub fn obs_request_histogram(&self) -> rtk_obs::Histogram {
+        self.with_obs(|o| o.request_ns.clone()).unwrap_or_default()
+    }
+
+    /// Snapshot of the round-trip latency histogram.
+    pub fn obs_round_trip_histogram(&self) -> rtk_obs::Histogram {
+        self.with_obs(|o| o.round_trip_ns.clone())
+            .unwrap_or_default()
+    }
+
+    /// The most recent `n` trace entries (oldest first).
+    pub fn obs_trace(&self, n: usize) -> Vec<TraceEntry> {
+        self.with_obs(|o| o.trace.last_n(n).into_iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Enables or disables protocol tracing for this client. The trace
+    /// ring stays allocated either way; disabled tracing skips the push.
+    pub fn obs_set_trace(&self, on: bool) {
         let mut s = self.server.borrow_mut();
-        s.note_request(self.client, false);
+        if let Some(o) = s.client_obs_mut(self.client) {
+            o.trace_enabled = on;
+        }
+    }
+
+    /// Is protocol tracing enabled for this client?
+    pub fn obs_trace_enabled(&self) -> bool {
+        self.with_obs(|o| o.trace_enabled).unwrap_or(false)
+    }
+
+    /// Resets this client's counters, histograms, and trace (but not the
+    /// trace-enabled flag), along with its `ClientStats` view.
+    pub fn reset_obs(&self) {
+        self.server.borrow_mut().reset_client_stats(self.client);
+    }
+
+    /// JSON object describing this client's protocol observability state.
+    pub fn obs_json(&self) -> String {
+        self.with_obs(|o| o.to_json())
+            .unwrap_or_else(|| "{}".into())
+    }
+
+    /// Runs one protocol request: counts it, times it, and records the
+    /// structured observability entry. The request latency includes the
+    /// synthetic round-trip cost (charged inside `note_request`), while
+    /// `work_time` only accumulates the server's own execution time.
+    fn request<R>(
+        &self,
+        kind: RequestKind,
+        window: WindowId,
+        round_trip: bool,
+        f: impl FnOnce(&mut Server) -> R,
+    ) -> R {
+        let mut s = self.server.borrow_mut();
         let start = std::time::Instant::now();
+        s.note_request(self.client, round_trip);
+        let work_start = std::time::Instant::now();
         let r = f(&mut s);
-        s.work_time += start.elapsed();
+        let end = std::time::Instant::now();
+        s.work_time += end - work_start;
+        s.record_request(self.client, kind, round_trip, window, end - start);
         r
     }
 
-    fn round_trip<R>(&self, f: impl FnOnce(&mut Server) -> R) -> R {
-        let mut s = self.server.borrow_mut();
-        s.note_request(self.client, true);
-        let start = std::time::Instant::now();
-        let r = f(&mut s);
-        s.work_time += start.elapsed();
-        r
+    fn one_way<R>(
+        &self,
+        kind: RequestKind,
+        window: WindowId,
+        f: impl FnOnce(&mut Server) -> R,
+    ) -> R {
+        self.request(kind, window, false, f)
+    }
+
+    fn round_trip<R>(
+        &self,
+        kind: RequestKind,
+        window: WindowId,
+        f: impl FnOnce(&mut Server) -> R,
+    ) -> R {
+        self.request(kind, window, true, f)
     }
 
     // --- atoms ---
 
     /// Interns an atom (round trip).
     pub fn intern_atom(&self, name: &str) -> Atom {
-        self.round_trip(|s| s.atoms.intern(name))
+        self.round_trip(RequestKind::InternAtom, Xid::NONE, |s| s.atoms.intern(name))
     }
 
     /// Gets an atom's name (round trip).
     pub fn atom_name(&self, atom: Atom) -> Option<String> {
-        self.round_trip(|s| s.atoms.name(atom).map(str::to_string))
+        self.round_trip(RequestKind::GetAtomName, Xid::NONE, |s| {
+            s.atoms.name(atom).map(str::to_string)
+        })
     }
 
     // --- windows ---
@@ -178,22 +256,24 @@ impl Connection {
         height: u32,
         border_width: u32,
     ) -> Option<WindowId> {
-        self.one_way(|s| s.create_window(self.client, parent, x, y, width, height, border_width))
+        self.one_way(RequestKind::CreateWindow, parent, |s| {
+            s.create_window(self.client, parent, x, y, width, height, border_width)
+        })
     }
 
     /// Destroys a window and its descendants.
     pub fn destroy_window(&self, id: WindowId) {
-        self.one_way(|s| s.destroy_window(id));
+        self.one_way(RequestKind::DestroyWindow, id, |s| s.destroy_window(id));
     }
 
     /// Maps a window.
     pub fn map_window(&self, id: WindowId) {
-        self.one_way(|s| s.map_window(id));
+        self.one_way(RequestKind::MapWindow, id, |s| s.map_window(id));
     }
 
     /// Unmaps a window.
     pub fn unmap_window(&self, id: WindowId) {
-        self.one_way(|s| s.unmap_window(id));
+        self.one_way(RequestKind::UnmapWindow, id, |s| s.unmap_window(id));
     }
 
     /// Moves/resizes a window.
@@ -206,126 +286,158 @@ impl Connection {
         height: Option<u32>,
         border_width: Option<u32>,
     ) {
-        self.one_way(|s| s.configure_window(id, x, y, width, height, border_width));
+        self.one_way(RequestKind::ConfigureWindow, id, |s| {
+            s.configure_window(id, x, y, width, height, border_width)
+        });
     }
 
     /// Raises a window above its siblings.
     pub fn raise_window(&self, id: WindowId) {
-        self.one_way(|s| s.raise_window(id));
+        self.one_way(RequestKind::RaiseWindow, id, |s| s.raise_window(id));
     }
 
     /// Reparents a window to a new parent at the given position.
     pub fn reparent_window(&self, id: WindowId, new_parent: WindowId, x: i32, y: i32) {
-        self.one_way(|s| s.reparent_window(id, new_parent, x, y));
+        self.one_way(RequestKind::ReparentWindow, id, |s| {
+            s.reparent_window(id, new_parent, x, y)
+        });
     }
 
     /// Selects the events this client wants from a window.
     pub fn select_input(&self, id: WindowId, event_mask: u32) {
-        self.one_way(|s| s.select_input(self.client, id, event_mask));
+        self.one_way(RequestKind::SelectInput, id, |s| {
+            s.select_input(self.client, id, event_mask)
+        });
     }
 
     /// Sets the window background pixel.
     pub fn set_window_background(&self, id: WindowId, pixel: Pixel) {
-        self.one_way(|s| s.set_window_background(id, pixel));
+        self.one_way(RequestKind::ChangeWindowAttributes, id, |s| {
+            s.set_window_background(id, pixel)
+        });
     }
 
     /// Sets the window border pixel.
     pub fn set_window_border(&self, id: WindowId, pixel: Pixel) {
-        self.one_way(|s| s.set_window_border(id, pixel));
+        self.one_way(RequestKind::ChangeWindowAttributes, id, |s| {
+            s.set_window_border(id, pixel)
+        });
     }
 
     /// Marks a window override-redirect (popup menus).
     pub fn set_override_redirect(&self, id: WindowId, on: bool) {
-        self.one_way(|s| s.set_override_redirect(id, on));
+        self.one_way(RequestKind::ChangeWindowAttributes, id, |s| {
+            s.set_override_redirect(id, on)
+        });
     }
 
     /// Attaches a cursor to a window.
     pub fn define_cursor(&self, id: WindowId, cursor: CursorId) {
-        self.one_way(|s| s.define_cursor(id, cursor));
+        self.one_way(RequestKind::ChangeWindowAttributes, id, |s| {
+            s.define_cursor(id, cursor)
+        });
     }
 
     /// Queries parent and children (round trip).
     pub fn query_tree(&self, id: WindowId) -> Option<(WindowId, Vec<WindowId>)> {
-        self.round_trip(|s| s.query_tree(id))
+        self.round_trip(RequestKind::QueryTree, id, |s| s.query_tree(id))
     }
 
     /// Queries geometry (round trip).
     pub fn get_geometry(&self, id: WindowId) -> Option<(i32, i32, u32, u32, u32)> {
-        self.round_trip(|s| s.get_geometry(id))
+        self.round_trip(RequestKind::GetGeometry, id, |s| s.get_geometry(id))
     }
 
     /// Is the window viewable? (round trip)
     pub fn is_viewable(&self, id: WindowId) -> bool {
-        self.round_trip(|s| s.is_viewable(id))
+        self.round_trip(RequestKind::GetWindowAttributes, id, |s| s.is_viewable(id))
     }
 
     // --- properties ---
 
     /// Sets a property.
     pub fn change_property(&self, id: WindowId, atom: Atom, value: &str) {
-        self.one_way(|s| s.change_property(id, atom, value.to_string()));
+        self.one_way(RequestKind::ChangeProperty, id, |s| {
+            s.change_property(id, atom, value.to_string())
+        });
     }
 
     /// Reads a property (round trip).
     pub fn get_property(&self, id: WindowId, atom: Atom) -> Option<String> {
-        self.round_trip(|s| s.get_property(id, atom))
+        self.round_trip(RequestKind::GetProperty, id, |s| s.get_property(id, atom))
     }
 
     /// Deletes a property.
     pub fn delete_property(&self, id: WindowId, atom: Atom) {
-        self.one_way(|s| s.delete_property(id, atom));
+        self.one_way(RequestKind::DeleteProperty, id, |s| {
+            s.delete_property(id, atom)
+        });
     }
 
     // --- colors, fonts, cursors, GCs ---
 
     /// Allocates a named color (round trip), returning pixel and RGB.
     pub fn alloc_named_color(&self, name: &str) -> Option<(Pixel, Rgb)> {
-        self.round_trip(|s| s.alloc_named_color(name))
+        self.round_trip(RequestKind::AllocColor, Xid::NONE, |s| {
+            s.alloc_named_color(name)
+        })
     }
 
     /// Allocates an RGB color (round trip).
     pub fn alloc_color(&self, rgb: Rgb) -> Pixel {
-        self.round_trip(|s| s.colormap.alloc(rgb))
+        self.round_trip(RequestKind::AllocColor, Xid::NONE, |s| {
+            s.colormap.alloc(rgb)
+        })
     }
 
     /// Frees one reference to a pixel.
     pub fn free_color(&self, pixel: Pixel) {
-        self.one_way(|s| s.colormap.free(pixel));
+        self.one_way(RequestKind::FreeColor, Xid::NONE, |s| {
+            s.colormap.free(pixel)
+        });
     }
 
     /// Looks up the RGB stored in a pixel (round trip).
     pub fn query_color(&self, pixel: Pixel) -> Rgb {
-        self.round_trip(|s| s.colormap.rgb(pixel))
+        self.round_trip(RequestKind::QueryColor, Xid::NONE, |s| {
+            s.colormap.rgb(pixel)
+        })
     }
 
     /// Opens a font (round trip).
     pub fn open_font(&self, name: &str) -> Option<FontId> {
-        self.round_trip(|s| s.open_font(name))
+        self.round_trip(RequestKind::OpenFont, Xid::NONE, |s| s.open_font(name))
     }
 
     /// Queries font metrics (round trip).
     pub fn font_metrics(&self, font: FontId) -> Option<FontMetrics> {
-        self.round_trip(|s| s.fonts.metrics(font))
+        self.round_trip(RequestKind::QueryFont, Xid::NONE, |s| s.fonts.metrics(font))
     }
 
     /// Creates a cursor from the cursor font (round trip).
     pub fn create_cursor(&self, name: &str) -> Option<CursorId> {
-        self.round_trip(|s| s.cursors.create(name))
+        self.round_trip(RequestKind::CreateCursor, Xid::NONE, |s| {
+            s.cursors.create(name)
+        })
     }
 
     /// Uploads a bitmap to the server.
     pub fn create_bitmap(&self, bitmap: crate::bitmap::Bitmap) -> crate::bitmap::BitmapId {
-        self.one_way(|s| s.bitmaps.create(bitmap))
+        self.one_way(RequestKind::CreateBitmap, Xid::NONE, |s| {
+            s.bitmaps.create(bitmap)
+        })
     }
 
     /// Frees a bitmap.
     pub fn free_bitmap(&self, id: crate::bitmap::BitmapId) {
-        self.one_way(|s| s.bitmaps.free(id));
+        self.one_way(RequestKind::FreeBitmap, Xid::NONE, |s| s.bitmaps.free(id));
     }
 
     /// Dimensions of an uploaded bitmap (round trip).
     pub fn bitmap_size(&self, id: crate::bitmap::BitmapId) -> Option<(u32, u32)> {
-        self.round_trip(|s| s.bitmaps.get(id).map(|b| (b.width, b.height)))
+        self.round_trip(RequestKind::QueryBitmap, Xid::NONE, |s| {
+            s.bitmaps.get(id).map(|b| (b.width, b.height))
+        })
     }
 
     /// Draws a bitmap's set bits in the GC foreground at `(x, y)`.
@@ -337,63 +449,77 @@ impl Connection {
         y: i32,
         bitmap: crate::bitmap::BitmapId,
     ) {
-        self.one_way(|s| s.copy_bitmap(id, gc, x, y, bitmap));
+        self.one_way(RequestKind::CopyBitmap, id, |s| {
+            s.copy_bitmap(id, gc, x, y, bitmap)
+        });
     }
 
     /// Creates a GC.
     pub fn create_gc(&self, values: GcValues) -> GcId {
-        self.one_way(|s| s.gcs.create(values))
+        self.one_way(RequestKind::CreateGc, Xid::NONE, |s| s.gcs.create(values))
     }
 
     /// Changes a GC.
     pub fn change_gc(&self, gc: GcId, values: GcValues) {
-        self.one_way(|s| {
+        self.one_way(RequestKind::ChangeGc, Xid::NONE, |s| {
             s.gcs.change(gc, values);
         });
     }
 
     /// Frees a GC.
     pub fn free_gc(&self, gc: GcId) {
-        self.one_way(|s| s.gcs.free(gc));
+        self.one_way(RequestKind::FreeGc, Xid::NONE, |s| s.gcs.free(gc));
     }
 
     // --- drawing ---
 
     /// Fills a rectangle in window coordinates.
     pub fn fill_rectangle(&self, id: WindowId, gc: GcId, x: i32, y: i32, w: u32, h: u32) {
-        self.one_way(|s| s.fill_rectangle(id, gc, x, y, w, h));
+        self.one_way(RequestKind::FillRectangle, id, |s| {
+            s.fill_rectangle(id, gc, x, y, w, h)
+        });
     }
 
     /// Draws a rectangle outline.
     pub fn draw_rectangle(&self, id: WindowId, gc: GcId, x: i32, y: i32, w: u32, h: u32) {
-        self.one_way(|s| s.draw_rectangle(id, gc, x, y, w, h));
+        self.one_way(RequestKind::DrawRectangle, id, |s| {
+            s.draw_rectangle(id, gc, x, y, w, h)
+        });
     }
 
     /// Draws a line.
     pub fn draw_line(&self, id: WindowId, gc: GcId, x0: i32, y0: i32, x1: i32, y1: i32) {
-        self.one_way(|s| s.draw_line(id, gc, x0, y0, x1, y1));
+        self.one_way(RequestKind::DrawLine, id, |s| {
+            s.draw_line(id, gc, x0, y0, x1, y1)
+        });
     }
 
     /// Draws a string, baseline at `(x, y)`.
     pub fn draw_string(&self, id: WindowId, gc: GcId, x: i32, y: i32, text: &str) {
-        self.one_way(|s| s.draw_string(id, gc, x, y, text));
+        self.one_way(RequestKind::DrawString, id, |s| {
+            s.draw_string(id, gc, x, y, text)
+        });
     }
 
     /// Clears an area to the window background (0 size = whole window).
     pub fn clear_area(&self, id: WindowId, x: i32, y: i32, w: u32, h: u32) {
-        self.one_way(|s| s.clear_area(id, x, y, w, h));
+        self.one_way(RequestKind::ClearArea, id, |s| s.clear_area(id, x, y, w, h));
     }
 
     // --- selections ---
 
     /// Claims selection ownership.
     pub fn set_selection_owner(&self, selection: Atom, owner: WindowId) {
-        self.one_way(|s| s.set_selection_owner(self.client, selection, owner));
+        self.one_way(RequestKind::SetSelectionOwner, owner, |s| {
+            s.set_selection_owner(self.client, selection, owner)
+        });
     }
 
     /// Queries the selection owner (round trip).
     pub fn get_selection_owner(&self, selection: Atom) -> WindowId {
-        self.round_trip(|s| s.get_selection_owner(selection))
+        self.round_trip(RequestKind::GetSelectionOwner, Xid::NONE, |s| {
+            s.get_selection_owner(selection)
+        })
     }
 
     /// Requests conversion of a selection into a property on `requestor`.
@@ -404,7 +530,9 @@ impl Connection {
         target: Atom,
         property: Atom,
     ) {
-        self.one_way(|s| s.convert_selection(requestor, selection, target, property));
+        self.one_way(RequestKind::ConvertSelection, requestor, |s| {
+            s.convert_selection(requestor, selection, target, property)
+        });
     }
 
     /// Replies to a SelectionRequest after storing the converted value.
@@ -415,19 +543,23 @@ impl Connection {
         target: Atom,
         property: Atom,
     ) {
-        self.one_way(|s| s.send_selection_notify(requestor, selection, target, property));
+        self.one_way(RequestKind::SendEvent, requestor, |s| {
+            s.send_selection_notify(requestor, selection, target, property)
+        });
     }
 
     // --- focus ---
 
     /// Assigns the input focus.
     pub fn set_input_focus(&self, id: WindowId) {
-        self.one_way(|s| s.set_input_focus(id));
+        self.one_way(RequestKind::SetInputFocus, id, |s| s.set_input_focus(id));
     }
 
     /// Queries the input focus (round trip).
     pub fn get_input_focus(&self) -> WindowId {
-        self.round_trip(|s| s.get_input_focus())
+        self.round_trip(RequestKind::GetInputFocus, Xid::NONE, |s| {
+            s.get_input_focus()
+        })
     }
 
     // --- events ---
@@ -495,8 +627,12 @@ mod tests {
         d.move_pointer(50, 50);
         d.click(1);
         let events: Vec<Event> = std::iter::from_fn(|| c.poll_event()).collect();
-        assert!(events.iter().any(|e| matches!(e, Event::ButtonPress { .. })));
-        assert!(events.iter().any(|e| matches!(e, Event::ButtonRelease { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::ButtonPress { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::ButtonRelease { .. })));
     }
 
     #[test]
@@ -508,5 +644,83 @@ mod tests {
         let (p2, _) = c2.alloc_named_color("mediumseagreen").unwrap();
         assert_eq!(p1, p2);
         assert_eq!(rgb, Rgb::new(60, 179, 113));
+    }
+
+    #[test]
+    fn obs_counts_agree_with_client_stats() {
+        let d = Display::new();
+        let c = d.connect();
+        let w = c.create_window(c.root(), 0, 0, 50, 50, 1).unwrap();
+        c.map_window(w);
+        c.get_geometry(w);
+        c.intern_atom("WM_NAME");
+
+        let stats = c.stats();
+        let kinds = c.obs_kind_counts();
+        let total: u64 = kinds.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, stats.requests);
+        assert_eq!(c.obs_request_histogram().count(), stats.requests);
+        assert_eq!(c.obs_round_trip_histogram().count(), stats.round_trips);
+        assert!(kinds.contains(&("CreateWindow", 1)), "{kinds:?}");
+        assert!(kinds.contains(&("MapWindow", 1)), "{kinds:?}");
+    }
+
+    #[test]
+    fn trace_is_off_by_default_and_bounded() {
+        let d = Display::new();
+        let c = d.connect();
+        let w = c.create_window(c.root(), 0, 0, 50, 50, 1).unwrap();
+        c.map_window(w);
+        assert!(!c.obs_trace_enabled());
+        assert!(c.obs_trace(10).is_empty());
+
+        c.obs_set_trace(true);
+        c.get_geometry(w);
+        c.unmap_window(w);
+        let trace = c.obs_trace(10);
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].kind, crate::obs::RequestKind::GetGeometry);
+        assert!(trace[0].round_trip);
+        assert_eq!(trace[0].window, w);
+        assert_eq!(trace[1].kind, crate::obs::RequestKind::UnmapWindow);
+        assert!(trace[0].seq < trace[1].seq);
+    }
+
+    #[test]
+    fn reset_obs_clears_everything_but_keeps_trace_flag() {
+        let d = Display::new();
+        let c = d.connect();
+        c.obs_set_trace(true);
+        let w = c.create_window(c.root(), 0, 0, 50, 50, 1).unwrap();
+        c.get_geometry(w);
+        assert!(c.stats().requests > 0);
+        assert!(!c.obs_trace(10).is_empty());
+
+        c.reset_obs();
+        let stats = c.stats();
+        assert_eq!(stats.requests, 0);
+        assert_eq!(stats.round_trips, 0);
+        assert!(c.obs_kind_counts().is_empty());
+        assert!(c.obs_request_histogram().is_empty());
+        assert!(c.obs_round_trip_histogram().is_empty());
+        assert!(c.obs_trace(10).is_empty());
+        assert!(c.obs_trace_enabled(), "trace flag must survive reset");
+
+        // And the counters start again from zero, deterministically.
+        c.map_window(w);
+        assert_eq!(c.stats().requests, 1);
+        assert_eq!(c.obs_kind_counts(), vec![("MapWindow", 1)]);
+    }
+
+    #[test]
+    fn server_reset_stats_covers_obs_state() {
+        let d = Display::new();
+        let c = d.connect();
+        let w = c.create_window(c.root(), 0, 0, 50, 50, 1).unwrap();
+        c.get_geometry(w);
+        d.with_server(|s| s.reset_stats());
+        assert_eq!(c.stats().requests, 0);
+        assert!(c.obs_kind_counts().is_empty());
+        assert!(c.obs_request_histogram().is_empty());
     }
 }

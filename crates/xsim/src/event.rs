@@ -76,8 +76,18 @@ impl Keysym {
     pub fn from_char(c: char) -> Keysym {
         let name = match c {
             ' ' => "space".to_string(),
-            '\n' | '\r' => return Keysym { name: "Return".into(), ch: Some('\r') },
-            '\t' => return Keysym { name: "Tab".into(), ch: Some('\t') },
+            '\n' | '\r' => {
+                return Keysym {
+                    name: "Return".into(),
+                    ch: Some('\r'),
+                }
+            }
+            '\t' => {
+                return Keysym {
+                    name: "Tab".into(),
+                    ch: Some('\t'),
+                }
+            }
             '.' => "period".to_string(),
             ',' => "comma".to_string(),
             ';' => "semicolon".to_string(),

@@ -83,8 +83,10 @@ mod tests {
         let mut t = GcTable::default();
         let gc = t.create(GcValues::default());
         assert_eq!(t.get(gc).unwrap().line_width, 0);
-        let mut v = GcValues::default();
-        v.line_width = 2;
+        let v = GcValues {
+            line_width: 2,
+            ..Default::default()
+        };
         assert!(t.change(gc, v));
         assert_eq!(t.get(gc).unwrap().line_width, 2);
         t.free(gc);

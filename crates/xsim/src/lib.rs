@@ -40,6 +40,7 @@ pub mod event;
 pub mod font;
 pub mod gc;
 pub mod ids;
+pub mod obs;
 pub mod render;
 pub mod server;
 pub mod window;
@@ -52,5 +53,6 @@ pub use event::{Event, Keysym};
 pub use font::FontMetrics;
 pub use gc::GcValues;
 pub use ids::{ClientId, CursorId, FontId, GcId, Pixel, WindowId, Xid};
+pub use obs::{ClientObs, RequestKind, TraceEntry};
 pub use render::Surface;
 pub use server::{ClientStats, Server, SCREEN_HEIGHT, SCREEN_WIDTH};

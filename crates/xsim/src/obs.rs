@@ -1,0 +1,389 @@
+//! Per-connection protocol observability (the `rtk-obs` layer of xsim).
+//!
+//! [`ClientStats`](crate::server::ClientStats) keeps the three coarse
+//! totals the seed exposed; this module extends per-connection accounting
+//! into a structured view: a counter per [`RequestKind`], latency
+//! histograms for all requests and for round trips specifically, and a
+//! bounded protocol trace (off by default) whose entries record sequence
+//! number, request kind, one-way/round-trip, target window, and duration.
+//!
+//! Everything is always-on-cheap: counters are array bumps, histograms
+//! are one bucket increment, and the trace costs nothing until enabled.
+
+use rtk_obs::{Histogram, Ring};
+
+use crate::ids::WindowId;
+
+/// Every protocol request the simulated server understands, mirroring the
+/// [`Connection`](crate::connection::Connection) calling surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum RequestKind {
+    InternAtom,
+    GetAtomName,
+    CreateWindow,
+    DestroyWindow,
+    MapWindow,
+    UnmapWindow,
+    ConfigureWindow,
+    RaiseWindow,
+    ReparentWindow,
+    SelectInput,
+    ChangeWindowAttributes,
+    QueryTree,
+    GetGeometry,
+    GetWindowAttributes,
+    ChangeProperty,
+    GetProperty,
+    DeleteProperty,
+    AllocColor,
+    FreeColor,
+    QueryColor,
+    OpenFont,
+    QueryFont,
+    CreateCursor,
+    CreateBitmap,
+    FreeBitmap,
+    QueryBitmap,
+    CopyBitmap,
+    CreateGc,
+    ChangeGc,
+    FreeGc,
+    FillRectangle,
+    DrawRectangle,
+    DrawLine,
+    DrawString,
+    ClearArea,
+    SetSelectionOwner,
+    GetSelectionOwner,
+    ConvertSelection,
+    SendEvent,
+    SetInputFocus,
+    GetInputFocus,
+}
+
+impl RequestKind {
+    /// Number of request kinds (array sizing).
+    pub const COUNT: usize = 41;
+
+    /// All kinds, in declaration order.
+    pub const ALL: [RequestKind; RequestKind::COUNT] = [
+        RequestKind::InternAtom,
+        RequestKind::GetAtomName,
+        RequestKind::CreateWindow,
+        RequestKind::DestroyWindow,
+        RequestKind::MapWindow,
+        RequestKind::UnmapWindow,
+        RequestKind::ConfigureWindow,
+        RequestKind::RaiseWindow,
+        RequestKind::ReparentWindow,
+        RequestKind::SelectInput,
+        RequestKind::ChangeWindowAttributes,
+        RequestKind::QueryTree,
+        RequestKind::GetGeometry,
+        RequestKind::GetWindowAttributes,
+        RequestKind::ChangeProperty,
+        RequestKind::GetProperty,
+        RequestKind::DeleteProperty,
+        RequestKind::AllocColor,
+        RequestKind::FreeColor,
+        RequestKind::QueryColor,
+        RequestKind::OpenFont,
+        RequestKind::QueryFont,
+        RequestKind::CreateCursor,
+        RequestKind::CreateBitmap,
+        RequestKind::FreeBitmap,
+        RequestKind::QueryBitmap,
+        RequestKind::CopyBitmap,
+        RequestKind::CreateGc,
+        RequestKind::ChangeGc,
+        RequestKind::FreeGc,
+        RequestKind::FillRectangle,
+        RequestKind::DrawRectangle,
+        RequestKind::DrawLine,
+        RequestKind::DrawString,
+        RequestKind::ClearArea,
+        RequestKind::SetSelectionOwner,
+        RequestKind::GetSelectionOwner,
+        RequestKind::ConvertSelection,
+        RequestKind::SendEvent,
+        RequestKind::SetInputFocus,
+        RequestKind::GetInputFocus,
+    ];
+
+    /// The protocol name, used in `obs counters` and JSON dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestKind::InternAtom => "InternAtom",
+            RequestKind::GetAtomName => "GetAtomName",
+            RequestKind::CreateWindow => "CreateWindow",
+            RequestKind::DestroyWindow => "DestroyWindow",
+            RequestKind::MapWindow => "MapWindow",
+            RequestKind::UnmapWindow => "UnmapWindow",
+            RequestKind::ConfigureWindow => "ConfigureWindow",
+            RequestKind::RaiseWindow => "RaiseWindow",
+            RequestKind::ReparentWindow => "ReparentWindow",
+            RequestKind::SelectInput => "SelectInput",
+            RequestKind::ChangeWindowAttributes => "ChangeWindowAttributes",
+            RequestKind::QueryTree => "QueryTree",
+            RequestKind::GetGeometry => "GetGeometry",
+            RequestKind::GetWindowAttributes => "GetWindowAttributes",
+            RequestKind::ChangeProperty => "ChangeProperty",
+            RequestKind::GetProperty => "GetProperty",
+            RequestKind::DeleteProperty => "DeleteProperty",
+            RequestKind::AllocColor => "AllocColor",
+            RequestKind::FreeColor => "FreeColor",
+            RequestKind::QueryColor => "QueryColor",
+            RequestKind::OpenFont => "OpenFont",
+            RequestKind::QueryFont => "QueryFont",
+            RequestKind::CreateCursor => "CreateCursor",
+            RequestKind::CreateBitmap => "CreateBitmap",
+            RequestKind::FreeBitmap => "FreeBitmap",
+            RequestKind::QueryBitmap => "QueryBitmap",
+            RequestKind::CopyBitmap => "CopyBitmap",
+            RequestKind::CreateGc => "CreateGc",
+            RequestKind::ChangeGc => "ChangeGc",
+            RequestKind::FreeGc => "FreeGc",
+            RequestKind::FillRectangle => "FillRectangle",
+            RequestKind::DrawRectangle => "DrawRectangle",
+            RequestKind::DrawLine => "DrawLine",
+            RequestKind::DrawString => "DrawString",
+            RequestKind::ClearArea => "ClearArea",
+            RequestKind::SetSelectionOwner => "SetSelectionOwner",
+            RequestKind::GetSelectionOwner => "GetSelectionOwner",
+            RequestKind::ConvertSelection => "ConvertSelection",
+            RequestKind::SendEvent => "SendEvent",
+            RequestKind::SetInputFocus => "SetInputFocus",
+            RequestKind::GetInputFocus => "GetInputFocus",
+        }
+    }
+}
+
+/// One entry in the protocol trace ring.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceEntry {
+    /// Server sequence number (the server clock tick of the request).
+    pub seq: u64,
+    /// What kind of request this was.
+    pub kind: RequestKind,
+    /// Did the request require a reply (a full round trip)?
+    pub round_trip: bool,
+    /// The window the request targeted (`Xid::NONE` for windowless ones).
+    pub window: WindowId,
+    /// Wall time the request spent in the server, including the synthetic
+    /// round-trip cost when configured.
+    pub duration_ns: u64,
+}
+
+/// Default trace ring capacity (entries).
+pub const TRACE_CAPACITY: usize = 1024;
+
+/// Structured observability state for one client connection.
+#[derive(Debug, Clone)]
+pub struct ClientObs {
+    /// Requests issued, by kind.
+    pub kind_counts: [u64; RequestKind::COUNT],
+    /// Latency of every request.
+    pub request_ns: Histogram,
+    /// Latency of round-trip requests only (the paper's expensive class).
+    pub round_trip_ns: Histogram,
+    /// Bounded protocol trace, recorded only while `trace_enabled`.
+    pub trace: Ring<TraceEntry>,
+    /// Is the trace ring recording?
+    pub trace_enabled: bool,
+}
+
+impl Default for ClientObs {
+    fn default() -> Self {
+        ClientObs {
+            kind_counts: [0; RequestKind::COUNT],
+            request_ns: Histogram::new(),
+            round_trip_ns: Histogram::new(),
+            trace: Ring::new(TRACE_CAPACITY),
+            trace_enabled: false,
+        }
+    }
+}
+
+impl ClientObs {
+    /// Records one completed request.
+    pub fn record(
+        &mut self,
+        seq: u64,
+        kind: RequestKind,
+        round_trip: bool,
+        window: WindowId,
+        duration: std::time::Duration,
+    ) {
+        let ns = duration.as_nanos().min(u64::MAX as u128) as u64;
+        self.kind_counts[kind as usize] += 1;
+        self.request_ns.record(ns);
+        if round_trip {
+            self.round_trip_ns.record(ns);
+        }
+        if self.trace_enabled {
+            self.trace.push(TraceEntry {
+                seq,
+                kind,
+                round_trip,
+                window,
+                duration_ns: ns,
+            });
+        }
+    }
+
+    /// Kinds with a non-zero count, as `(name, count)` pairs.
+    pub fn kind_counts(&self) -> Vec<(&'static str, u64)> {
+        RequestKind::ALL
+            .iter()
+            .filter(|k| self.kind_counts[**k as usize] > 0)
+            .map(|k| (k.name(), self.kind_counts[*k as usize]))
+            .collect()
+    }
+
+    /// Total requests recorded (sum over kinds).
+    pub fn total_requests(&self) -> u64 {
+        self.kind_counts.iter().sum()
+    }
+
+    /// Clears counters, histograms, and the trace; keeps the trace toggle.
+    pub fn reset(&mut self) {
+        let enabled = self.trace_enabled;
+        *self = ClientObs::default();
+        self.trace_enabled = enabled;
+    }
+
+    /// JSON object with the per-kind counters, both histograms, and the
+    /// current trace contents.
+    pub fn to_json(&self) -> String {
+        let mut by_kind = rtk_obs::json::Object::new();
+        for (name, count) in self.kind_counts() {
+            by_kind.field_u64(name, count);
+        }
+        let mut trace = rtk_obs::json::Array::new();
+        for e in self.trace.iter() {
+            let mut o = rtk_obs::json::Object::new();
+            o.field_u64("seq", e.seq);
+            o.field_str("kind", e.kind.name());
+            o.field_bool("round_trip", e.round_trip);
+            o.field_u64("window", e.window.0 as u64);
+            o.field_u64("duration_ns", e.duration_ns);
+            trace.push_raw(&o.build());
+        }
+        let mut o = rtk_obs::json::Object::new();
+        o.field_raw("by_kind", &by_kind.build());
+        o.field_raw("request_ns", &self.request_ns.to_json());
+        o.field_raw("round_trip_ns", &self.round_trip_ns.to_json());
+        o.field_bool("trace_enabled", self.trace_enabled);
+        o.field_u64(
+            "trace_dropped",
+            self.trace.total_pushed() - self.trace.len() as u64,
+        );
+        o.field_raw("trace", &trace.build());
+        o.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Xid;
+    use std::time::Duration;
+
+    #[test]
+    fn all_list_matches_count_and_indices() {
+        assert_eq!(RequestKind::ALL.len(), RequestKind::COUNT);
+        for (i, k) in RequestKind::ALL.iter().enumerate() {
+            assert_eq!(*k as usize, i, "{} out of order", k.name());
+        }
+    }
+
+    #[test]
+    fn record_counts_by_kind_and_latency_class() {
+        let mut o = ClientObs::default();
+        o.record(
+            1,
+            RequestKind::CreateWindow,
+            false,
+            Xid(5),
+            Duration::from_micros(2),
+        );
+        o.record(
+            2,
+            RequestKind::GetGeometry,
+            true,
+            Xid(5),
+            Duration::from_micros(9),
+        );
+        assert_eq!(o.total_requests(), 2);
+        assert_eq!(
+            o.kind_counts(),
+            vec![("CreateWindow", 1), ("GetGeometry", 1)]
+        );
+        assert_eq!(o.request_ns.count(), 2);
+        assert_eq!(o.round_trip_ns.count(), 1);
+        // Trace off by default: nothing recorded.
+        assert!(o.trace.is_empty());
+    }
+
+    #[test]
+    fn trace_records_only_when_enabled() {
+        let mut o = ClientObs {
+            trace_enabled: true,
+            ..Default::default()
+        };
+        o.record(
+            7,
+            RequestKind::MapWindow,
+            false,
+            Xid(3),
+            Duration::from_nanos(100),
+        );
+        assert_eq!(o.trace.len(), 1);
+        let e = o.trace.iter().next().unwrap();
+        assert_eq!(e.seq, 7);
+        assert_eq!(e.kind, RequestKind::MapWindow);
+        assert_eq!(e.window, Xid(3));
+        assert!(!e.round_trip);
+    }
+
+    #[test]
+    fn reset_clears_but_keeps_trace_toggle() {
+        let mut o = ClientObs {
+            trace_enabled: true,
+            ..Default::default()
+        };
+        o.record(
+            1,
+            RequestKind::DrawLine,
+            false,
+            Xid::NONE,
+            Duration::from_nanos(5),
+        );
+        o.reset();
+        assert_eq!(o.total_requests(), 0);
+        assert!(o.request_ns.is_empty());
+        assert!(o.trace.is_empty());
+        assert!(o.trace_enabled, "toggle survives reset");
+    }
+
+    #[test]
+    fn json_is_valid_and_contains_kinds() {
+        let mut o = ClientObs {
+            trace_enabled: true,
+            ..Default::default()
+        };
+        o.record(
+            1,
+            RequestKind::InternAtom,
+            true,
+            Xid::NONE,
+            Duration::from_micros(1),
+        );
+        let j = o.to_json();
+        assert!(rtk_obs::json::is_valid(&j), "{j}");
+        assert!(j.contains("\"InternAtom\":1"), "{j}");
+        assert!(j.contains("\"round_trip_ns\""), "{j}");
+        assert!(j.contains("\"trace\":[{"), "{j}");
+    }
+}

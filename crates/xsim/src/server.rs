@@ -17,6 +17,7 @@ use crate::event::{mask, state, Event, Keysym};
 use crate::font::{FontMetrics, FontTable};
 use crate::gc::{GcTable, GcValues};
 use crate::ids::{ClientId, CursorId, FontId, GcId, IdAllocator, Pixel, WindowId, Xid};
+use crate::obs::{ClientObs, RequestKind};
 use crate::render::Surface;
 use crate::window::{Window, WindowTree};
 
@@ -35,6 +36,7 @@ pub struct ClientStats {
 struct ClientState {
     queue: VecDeque<Event>,
     stats: ClientStats,
+    obs: ClientObs,
 }
 
 /// The selection table entry: who owns a selection.
@@ -158,13 +160,55 @@ impl Server {
             .unwrap_or_default()
     }
 
-    /// Resets statistics for all clients (benchmark warm-up boundary).
+    /// Resets statistics for all clients (benchmark warm-up boundary):
+    /// the coarse [`ClientStats`], the per-kind counters, the latency
+    /// histograms, and the protocol trace (the trace on/off toggle is
+    /// preserved), plus the server-wide work counters.
     pub fn reset_stats(&mut self) {
         for c in self.clients.values_mut() {
             c.stats = ClientStats::default();
+            c.obs.reset();
         }
         self.draw_requests = 0;
         self.work_time = std::time::Duration::ZERO;
+    }
+
+    /// Resets statistics and observability state for one client only
+    /// (the Tcl-level `obs reset`), plus the server-wide work counters.
+    pub fn reset_client_stats(&mut self, client: ClientId) {
+        if let Some(c) = self.clients.get_mut(&client) {
+            c.stats = ClientStats::default();
+            c.obs.reset();
+        }
+        self.draw_requests = 0;
+        self.work_time = std::time::Duration::ZERO;
+    }
+
+    /// Structured observability state for one client.
+    pub fn client_obs(&self, client: ClientId) -> Option<&ClientObs> {
+        self.clients.get(&client).map(|c| &c.obs)
+    }
+
+    /// Mutable observability state for one client (trace toggling).
+    pub fn client_obs_mut(&mut self, client: ClientId) -> Option<&mut ClientObs> {
+        self.clients.get_mut(&client).map(|c| &mut c.obs)
+    }
+
+    /// Records the structured trace/histogram entry for a completed
+    /// request; called by [`crate::connection::Connection`] with the
+    /// measured duration after the request body ran.
+    pub(crate) fn record_request(
+        &mut self,
+        client: ClientId,
+        kind: RequestKind,
+        round_trip: bool,
+        window: WindowId,
+        duration: std::time::Duration,
+    ) {
+        let seq = self.time;
+        if let Some(c) = self.clients.get_mut(&client) {
+            c.obs.record(seq, kind, round_trip, window, duration);
+        }
     }
 
     pub(crate) fn note_request(&mut self, client: ClientId, round_trip: bool) {
@@ -268,12 +312,16 @@ impl Server {
 
     /// Number of queued events for a client.
     pub fn pending(&self, client: ClientId) -> usize {
-        self.clients.get(&client).map(|c| c.queue.len()).unwrap_or(0)
+        self.clients
+            .get(&client)
+            .map(|c| c.queue.len())
+            .unwrap_or(0)
     }
 
     // ----- window requests ------------------------------------------------------
 
     /// Creates a window. The window starts unmapped.
+    #[allow(clippy::too_many_arguments)]
     pub fn create_window(
         &mut self,
         client: ClientId,
@@ -683,7 +731,8 @@ impl Server {
         self.draw_requests += 1;
         let (color, values) = self.gc_color(gc);
         if let Some(win) = self.tree.get_mut(id) {
-            win.surface.draw_rect(x, y, w, h, values.line_width.max(1), color);
+            win.surface
+                .draw_rect(x, y, w, h, values.line_width.max(1), color);
         }
     }
 
@@ -701,14 +750,11 @@ impl Server {
     pub fn draw_string(&mut self, id: WindowId, gc: GcId, x: i32, y: i32, text: &str) {
         self.draw_requests += 1;
         let (color, values) = self.gc_color(gc);
-        let metrics = self
-            .fonts
-            .metrics(values.font)
-            .unwrap_or(FontMetrics {
-                char_width: 6,
-                ascent: 10,
-                descent: 3,
-            });
+        let metrics = self.fonts.metrics(values.font).unwrap_or(FontMetrics {
+            char_width: 6,
+            ascent: 10,
+            descent: 3,
+        });
         if let Some(win) = self.tree.get_mut(id) {
             win.surface.draw_text(x, y, text, metrics, color);
         }
@@ -981,9 +1027,10 @@ impl Server {
             any_max_col = any_max_col.max(c1);
             any_min_row = any_min_row.min(r0);
             any_max_row = any_max_row.max(r1);
-            for c in c0..=c1 {
-                grid[r0][c] = '-';
-                grid[r1][c] = '-';
+            for r in [r0, r1] {
+                for cell in grid[r][c0..=c1].iter_mut() {
+                    *cell = '-';
+                }
             }
             for row in grid.iter_mut().take(r1 + 1).skip(r0) {
                 row[c0] = '|';
@@ -1003,8 +1050,8 @@ impl Server {
                 let tc = ((ax + tx) / CELL_W) as usize;
                 // Clamp the text row into the box interior so that short
                 // widgets (a one-line button) still show their label.
-                let tr = (((ay + ty) / CELL_H) as usize)
-                    .clamp(r0 + 1, r1.saturating_sub(1).max(r0 + 1));
+                let tr =
+                    (((ay + ty) / CELL_H) as usize).clamp(r0 + 1, r1.saturating_sub(1).max(r0 + 1));
                 if tr >= rows || tr >= r1 {
                     continue;
                 }
@@ -1119,7 +1166,12 @@ mod tests {
         let events: Vec<Event> = std::iter::from_fn(|| s.poll_event(c)).collect();
         assert!(events.iter().any(|e| matches!(
             e,
-            Event::ConfigureNotify { x: 5, width: 80, height: 60, .. }
+            Event::ConfigureNotify {
+                x: 5,
+                width: 80,
+                height: 60,
+                ..
+            }
         )));
         assert!(events.iter().any(|e| matches!(e, Event::Expose { .. })));
         assert_eq!(s.get_geometry(w).unwrap(), (5, 0, 80, 60, 0));
@@ -1284,9 +1336,15 @@ mod tests {
         s.set_input_focus(a);
         s.set_input_focus(b);
         let events: Vec<Event> = std::iter::from_fn(|| s.poll_event(c)).collect();
-        assert!(events.iter().any(|e| matches!(e, Event::FocusIn { window } if *window == a)));
-        assert!(events.iter().any(|e| matches!(e, Event::FocusOut { window } if *window == a)));
-        assert!(events.iter().any(|e| matches!(e, Event::FocusIn { window } if *window == b)));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::FocusIn { window } if *window == a)));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::FocusOut { window } if *window == a)));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::FocusIn { window } if *window == b)));
     }
 
     #[test]
@@ -1340,7 +1398,7 @@ mod tests {
         let root = s.root();
         let a = s.create_window(c, root, 0, 0, 50, 50, 0).unwrap();
         let w = s.create_window(c, a, 5, 5, 10, 10, 0).unwrap();
-        s.reparent_window(w, root, 200, 100, );
+        s.reparent_window(w, root, 200, 100);
         let (parent, _) = s.query_tree(w).unwrap();
         assert_eq!(parent, root);
         assert_eq!(s.get_geometry(w).unwrap(), (200, 100, 10, 10, 0));

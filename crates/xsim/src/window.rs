@@ -52,6 +52,7 @@ pub struct Window {
 
 impl Window {
     /// Creates a window record with defaults matching `CreateWindow`.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         id: WindowId,
         parent: WindowId,

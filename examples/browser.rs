@@ -68,7 +68,14 @@ fn main() {
     let dir = std::env::temp_dir().join("rtk_browser_example");
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(dir.join("projects")).expect("create example dir");
-    for f in ["Makefile", "browse", "main.c", "main.h", "notes.txt", "paper.ms"] {
+    for f in [
+        "Makefile",
+        "browse",
+        "main.c",
+        "main.h",
+        "notes.txt",
+        "paper.ms",
+    ] {
         std::fs::write(dir.join(f), "contents\n").expect("create example file");
     }
 
@@ -95,7 +102,10 @@ fn main() {
     app.eval(BROWSE_SCRIPT).expect("Figure 9 script runs");
     app.update();
 
-    println!("The browser is showing {} entries:", app.eval(".list size").unwrap());
+    println!(
+        "The browser is showing {} entries:",
+        app.eval(".list size").unwrap()
+    );
 
     // The user clicks on "main.c" (item 2), then presses space to browse
     // it, exactly as Figure 9's bindings prescribe.
@@ -108,10 +118,7 @@ fn main() {
     );
     env.display().click(1);
     env.dispatch_all();
-    println!(
-        "Selected item(s): {}",
-        app.eval("selection get").unwrap()
-    );
+    println!("Selected item(s): {}", app.eval("selection get").unwrap());
     env.display().press_key("space");
     env.dispatch_all();
 

@@ -97,7 +97,7 @@ fn main() {
         "after editing Q2: {}",
         chart.eval("lindex [.caption configure -text] 4").unwrap()
     );
-    assert_eq!(chart.eval(".plot bbox bar").unwrap().is_empty(), false);
+    assert!(!chart.eval(".plot bbox bar").unwrap().is_empty());
 
     let ppm = env.display().screenshot().to_ppm();
     let out = std::env::temp_dir().join("rtk_chart.ppm");

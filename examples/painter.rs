@@ -27,8 +27,12 @@ fn main() {
         if argv.len() != 3 {
             return Err(tcl::wrong_args("dot x y"));
         }
-        let x: i32 = argv[1].parse().map_err(|_| tcl::Exception::error("bad x"))?;
-        let y: i32 = argv[2].parse().map_err(|_| tcl::Exception::error("bad y"))?;
+        let x: i32 = argv[1]
+            .parse()
+            .map_err(|_| tcl::Exception::error("bad x"))?;
+        let y: i32 = argv[2]
+            .parse()
+            .map_err(|_| tcl::Exception::error("bad y"))?;
         let rec = app.require_window(".c")?;
         let black = app.cache().color(app.conn(), "black")?;
         let gc = app.cache().gc(
@@ -41,7 +45,9 @@ fn main() {
         app.conn().fill_rectangle(rec.xid, gc, x - 2, y - 2, 4, 4);
         Ok(String::new())
     });
-    canvas.eval("set dots 0; proc count-dot {} {global dots; incr dots}").unwrap();
+    canvas
+        .eval("set dots 0; proc count-dot {} {global dots; incr dots}")
+        .unwrap();
 
     // The painter application: its window mirrors the canvas size; every
     // B1 drag forwards the stroke.

@@ -122,5 +122,8 @@ fn main() {
         .expect("editor querying debugger");
     println!("editor asked debugger for pc*100: {from_editor}");
 
-    println!("\nBoth applications, one display:\n{}", env.display().ascii_dump());
+    println!(
+        "\nBoth applications, one display:\n{}",
+        env.display().ascii_dump()
+    );
 }

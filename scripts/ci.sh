@@ -1,0 +1,26 @@
+#!/bin/sh
+# Offline CI: format check, lints, release build, and the full test
+# suite. Everything here works without network access — the heavy
+# crates.io-dependent benches/property tests live in the
+# workspace-excluded crates/heavy and are not part of this gate.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy -D warnings"
+    cargo clippy --workspace --all-targets --offline -- -D warnings
+else
+    echo "==> clippy not installed; skipping lints"
+fi
+
+echo "==> cargo build --release"
+cargo build --release --workspace --offline
+
+echo "==> cargo test -q"
+cargo test -q --workspace --offline
+
+echo "==> ci OK"

@@ -59,7 +59,8 @@ fn binding_errors_report_and_do_not_stop_dispatch() {
 fn after_script_errors_are_background_errors() {
     let env = TkEnv::new();
     let app = env.app("t");
-    app.eval("proc tkerror {m} {global caught; set caught $m}").unwrap();
+    app.eval("proc tkerror {m} {global caught; set caught $m}")
+        .unwrap();
     app.eval("after 10 {error timer-bang}").unwrap();
     app.eval("after 10 {set survived 1}").unwrap();
     env.advance(20);
@@ -89,7 +90,8 @@ fn recursive_widget_destruction_from_callback() {
     let env = TkEnv::new();
     let app = env.app("t");
     app.eval("frame .f; pack append . .f {top}").unwrap();
-    app.eval("button .f.b -text boom -command {destroy .f}").unwrap();
+    app.eval("button .f.b -text boom -command {destroy .f}")
+        .unwrap();
     app.eval("pack append .f .f.b {top}").unwrap();
     app.update();
     let rec = app.window(".f.b").unwrap();
@@ -112,7 +114,8 @@ fn infinite_idle_rescheduling_is_bounded() {
     let env = TkEnv::new();
     let app = env.app("t");
     app.eval("set n 0").unwrap();
-    app.eval("proc again {} {global n; incr n; after idle again}").unwrap();
+    app.eval("proc again {} {global n; incr n; after idle again}")
+        .unwrap();
     app.eval("after idle again").unwrap();
     app.update(); // must terminate
     let n: i64 = app.eval("set n").unwrap().parse().unwrap();
@@ -140,7 +143,8 @@ fn canvas_with_unknown_color_skips_item_not_crashes() {
         .unwrap();
     // Item creation doesn't validate the color (it may be configured
     // later); redraw must simply skip unpaintable items.
-    app.eval(".c create rectangle 1 1 20 20 -fill NotAColor").unwrap();
+    app.eval(".c create rectangle 1 1 20 20 -fill NotAColor")
+        .unwrap();
     app.update(); // no panic
     app.eval(".c itemconfigure all -fill red").unwrap();
     app.update();
@@ -163,22 +167,19 @@ fn deeply_nested_widget_tree_works() {
     let app = env.app("t");
     let mut path = String::new();
     for i in 0..12 {
-        let parent = if path.is_empty() { ".".to_string() } else { path.clone() };
-        path = format!("{}{}f{i}", if path.is_empty() { "." } else { "" }, {
-            if path.is_empty() {
-                String::new()
-            } else {
-                format!("{path}.")
-            }
-        });
-        // Rebuild path cleanly.
+        let parent = if path.is_empty() {
+            ".".to_string()
+        } else {
+            path.clone()
+        };
         path = if parent == "." {
             format!(".f{i}")
         } else {
             format!("{parent}.f{i}")
         };
         app.eval(&format!("frame {path} -geometry 20x20")).unwrap();
-        app.eval(&format!("pack append {parent} {path} {{top}}")).unwrap();
+        app.eval(&format!("pack append {parent} {path} {{top}}"))
+            .unwrap();
     }
     app.update();
     assert_eq!(app.eval(&format!("winfo class {path}")).unwrap(), "Frame");

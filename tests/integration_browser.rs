@@ -93,10 +93,9 @@ fn setup(tag: &str) -> Browser {
 /// Clicks on the listbox line holding item `index`.
 fn click_item(b: &Browser, index: i32) {
     let list = b.app.window(".list").unwrap();
-    b.env.display().move_pointer(
-        list.x.get() + 20,
-        list.y.get() + 4 + index * 13 + 6,
-    );
+    b.env
+        .display()
+        .move_pointer(list.x.get() + 20, list.y.get() + 4 + index * 13 + 6);
     b.env.display().click(1);
     b.env.dispatch_all();
 }
@@ -194,7 +193,8 @@ fn scrollbar_scrolls_long_listing() {
     let launched = Rc::new(RefCell::new(Vec::new()));
     let mut listing: Vec<String> = (0..40).map(|i| format!("file{i:02}.txt")).collect();
     listing.sort();
-    app.interp().set_executor(Rc::new(FakeExec { listing, launched }));
+    app.interp()
+        .set_executor(Rc::new(FakeExec { listing, launched }));
     let dirs = dir.display().to_string();
     app.interp()
         .set_var_at(0, "argv", None, &tcl::format_list(&[dirs]))

@@ -14,12 +14,17 @@ fn enter_leave_through_nested_frames() {
     // packer's geometry propagation always sizes the master to fit, as in
     // 1991 Tk, so an explicit -geometry would be overridden here).
     app.eval("frame .outer.inner -geometry 50x50").unwrap();
-    app.eval("pack append .outer .outer.inner {top padx 75 pady 75}").unwrap();
+    app.eval("pack append .outer .outer.inner {top padx 75 pady 75}")
+        .unwrap();
     app.update();
-    app.eval("bind .outer <Enter> {lappend log outer-in}").unwrap();
-    app.eval("bind .outer <Leave> {lappend log outer-out}").unwrap();
-    app.eval("bind .outer.inner <Enter> {lappend log inner-in}").unwrap();
-    app.eval("bind .outer.inner <Leave> {lappend log inner-out}").unwrap();
+    app.eval("bind .outer <Enter> {lappend log outer-in}")
+        .unwrap();
+    app.eval("bind .outer <Leave> {lappend log outer-out}")
+        .unwrap();
+    app.eval("bind .outer.inner <Enter> {lappend log inner-in}")
+        .unwrap();
+    app.eval("bind .outer.inner <Leave> {lappend log inner-out}")
+        .unwrap();
     let outer = app.window(".outer").unwrap();
     assert_eq!(outer.width.get(), 200, "padding sizes the master");
     let d = env.display();
@@ -42,10 +47,12 @@ fn enter_leave_through_nested_frames() {
 fn triple_click_binding() {
     let env = TkEnv::new();
     let app = env.app("t");
-    app.eval("frame .f -geometry 80x80; pack append . .f {top}").unwrap();
+    app.eval("frame .f -geometry 80x80; pack append . .f {top}")
+        .unwrap();
     app.eval("set singles 0; set triples 0").unwrap();
     app.eval("bind .f <Button-1> {incr singles}").unwrap();
-    app.eval("bind .f <Triple-Button-1> {incr triples}").unwrap();
+    app.eval("bind .f <Triple-Button-1> {incr triples}")
+        .unwrap();
     app.update();
     env.display().move_pointer(40, 40);
     for _ in 0..3 {
@@ -81,7 +88,8 @@ fn raise_causes_expose_redraw() {
 fn key_events_follow_focus_not_pointer() {
     let env = TkEnv::new();
     let app = env.app("t");
-    app.eval("frame .a -geometry 50x50; frame .b -geometry 50x50").unwrap();
+    app.eval("frame .a -geometry 50x50; frame .b -geometry 50x50")
+        .unwrap();
     app.eval("pack append . .a {top} .b {top}").unwrap();
     app.eval("set hits {}").unwrap();
     app.eval("bind .a x {lappend hits a}").unwrap();
@@ -109,18 +117,18 @@ fn button_events_belong_to_the_window_they_occur_in() {
     let app = env.app("t");
     app.eval("frame .f; pack append . .f {top}").unwrap();
     app.eval("label .f.l -text target").unwrap();
-    app.eval("pack append .f .f.l {top padx 30 pady 30}").unwrap();
+    app.eval("pack append .f .f.l {top padx 30 pady 30}")
+        .unwrap();
     app.eval("set frame-clicks 0; set label-clicks 0").unwrap();
     app.eval("bind .f <Button-1> {incr frame-clicks}").unwrap();
-    app.eval("bind .f.l <Button-1> {incr label-clicks}").unwrap();
+    app.eval("bind .f.l <Button-1> {incr label-clicks}")
+        .unwrap();
     app.update();
     let f = app.window(".f").unwrap();
     let l = app.window(".f.l").unwrap();
     // Click inside the label: only the label binding fires.
-    env.display().move_pointer(
-        f.x.get() + l.x.get() + 5,
-        f.y.get() + l.y.get() + 5,
-    );
+    env.display()
+        .move_pointer(f.x.get() + l.x.get() + 5, f.y.get() + l.y.get() + 5);
     env.display().click(1);
     env.dispatch_all();
     assert_eq!(app.eval("set label-clicks").unwrap(), "1");
@@ -136,7 +144,8 @@ fn button_events_belong_to_the_window_they_occur_in() {
 fn configure_binding_reports_new_size() {
     let env = TkEnv::new();
     let app = env.app("t");
-    app.eval("frame .f -geometry 50x50; pack append . .f {top expand fill}").unwrap();
+    app.eval("frame .f -geometry 50x50; pack append . .f {top expand fill}")
+        .unwrap();
     app.update();
     app.eval("bind .f <Configure> {set size %wx%h}").unwrap();
     app.eval("wm geometry . 300x220").unwrap();

@@ -1,0 +1,120 @@
+//! End-to-end tests of the observability core: the `obs` command surface
+//! must agree with the protocol-level accounting, and `obs reset` must
+//! make workloads exactly reproducible.
+
+use tk::TkEnv;
+
+/// Parses a flat Tcl name/value list (`obs counters` output) into pairs.
+fn parse_counters(list: &str) -> Vec<(String, u64)> {
+    let words: Vec<String> = tcl::parse_list(list).expect("valid list");
+    words
+        .chunks(2)
+        .map(|c| (c[0].clone(), c[1].parse().expect("numeric counter")))
+        .collect()
+}
+
+fn counter(pairs: &[(String, u64)], name: &str) -> u64 {
+    pairs
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| *v)
+        .unwrap_or(0)
+}
+
+fn fifty_buttons(app: &tk::TkApp) {
+    for i in 0..50 {
+        app.eval(&format!("button .b{i} -text \"Button {i}\""))
+            .unwrap();
+        app.eval(&format!("pack append . .b{i} {{top fillx}}"))
+            .unwrap();
+    }
+    app.update();
+    for i in 0..50 {
+        app.eval(&format!("destroy .b{i}")).unwrap();
+    }
+    app.update();
+}
+
+#[test]
+fn obs_counters_agree_with_connection_stats() {
+    let env = TkEnv::new();
+    let app = env.app("fifty");
+    fifty_buttons(&app);
+
+    let stats = app.conn().stats();
+    let pairs = parse_counters(&app.eval("obs counters").unwrap());
+    assert_eq!(counter(&pairs, "protocol.requests"), stats.requests);
+    assert_eq!(counter(&pairs, "protocol.round_trips"), stats.round_trips);
+
+    // The per-kind breakdown sums to the total request count.
+    let by_kind: u64 = pairs
+        .iter()
+        .filter(|(n, _)| n.starts_with("req."))
+        .map(|(_, v)| v)
+        .sum();
+    assert_eq!(by_kind, stats.requests);
+
+    // 50 buttons existed: at least 50 CreateWindow requests and some
+    // cache activity.
+    assert!(counter(&pairs, "req.CreateWindow") >= 50);
+    assert!(counter(&pairs, "cache.color.misses") > 0);
+    assert!(counter(&pairs, "idle.relayouts") > 0);
+}
+
+#[test]
+fn reset_makes_workload_counts_reproducible() {
+    let env = TkEnv::new();
+    let app = env.app("fifty");
+    // Warm every cache so both measured runs hit the same cache state.
+    fifty_buttons(&app);
+
+    app.eval("obs reset").unwrap();
+    fifty_buttons(&app);
+    let first = parse_counters(&app.eval("obs counters").unwrap());
+
+    app.eval("obs reset").unwrap();
+    fifty_buttons(&app);
+    let second = parse_counters(&app.eval("obs counters").unwrap());
+
+    // Counters must reproduce exactly; histograms carry wall-clock noise
+    // so they are excluded from `obs counters` by design.
+    assert_eq!(first, second);
+    assert!(counter(&first, "protocol.requests") > 0);
+}
+
+#[test]
+fn dump_json_is_valid_and_complete() {
+    let env = TkEnv::new();
+    let app = env.app("fifty");
+    fifty_buttons(&app);
+    let j = app.eval("obs dump -format json").unwrap();
+    assert!(rtk_obs::json::is_valid(&j), "{j}");
+    for key in [
+        "\"app\"",
+        "\"protocol\"",
+        "\"by_kind\"",
+        "\"round_trip_ns\"",
+        "\"cache\"",
+        "\"hits\"",
+        "\"misses\"",
+        "\"toolkit\"",
+        "\"counters\"",
+        "\"histograms\"",
+    ] {
+        assert!(j.contains(key), "dump missing {key}: {j}");
+    }
+}
+
+#[test]
+fn trace_captures_the_workload_when_enabled() {
+    let env = TkEnv::new();
+    let app = env.app("t");
+    app.eval("obs trace on").unwrap();
+    app.eval("frame .f; frame .g").unwrap();
+    let trace = app.eval("obs trace 100").unwrap();
+    let create_lines = trace.lines().filter(|l| l.contains("CreateWindow")).count();
+    assert_eq!(create_lines, 2, "{trace}");
+    // The dump reflects the enabled trace.
+    let j = app.eval("obs dump -format json").unwrap();
+    assert!(j.contains("\"trace_enabled\":true"), "{j}");
+}

@@ -12,7 +12,9 @@ fn debugger_editor_cooperate() {
     editor
         .eval("listbox .src -geometry 20x8; pack append . .src {top}")
         .unwrap();
-    editor.eval("foreach l {l0 l1 l2 l3 l4} {.src insert end $l}").unwrap();
+    editor
+        .eval("foreach l {l0 l1 l2 l3 l4} {.src insert end $l}")
+        .unwrap();
     editor
         .eval("proc highlight {n} {.src select clear; .src select from $n; return done}")
         .unwrap();
@@ -22,10 +24,7 @@ fn debugger_editor_cooperate() {
     assert_eq!(editor.eval(".src curselection").unwrap(), "3");
     // The editor asks the debugger for a variable's value.
     debugger.eval("set counter 42").unwrap();
-    assert_eq!(
-        editor.eval("send debugger {set counter}").unwrap(),
-        "42"
-    );
+    assert_eq!(editor.eval("send debugger {set counter}").unwrap(), "42");
 }
 
 #[test]
@@ -36,7 +35,9 @@ fn spreadsheet_cells_with_embedded_commands() {
     // independent database package."
     let env = TkEnv::new();
     let database = env.app("database");
-    database.eval("set prices(widget) 19; set prices(gadget) 7").unwrap();
+    database
+        .eval("set prices(widget) 19; set prices(gadget) 7")
+        .unwrap();
     let sheet = env.app("spreadsheet");
     sheet
         .eval(
@@ -83,8 +84,7 @@ fn hypertext_links_open_views() {
     .unwrap();
     app.update();
     let doc = app.window(".doc").unwrap();
-    env.display()
-        .move_pointer(doc.x.get() + 5, doc.y.get() + 5);
+    env.display().move_pointer(doc.x.get() + 5, doc.y.get() + 5);
     env.display().click(1);
     env.dispatch_all();
     app.update();
@@ -184,10 +184,6 @@ fn painting_pipeline_forwards_many_events() {
     }
     d.release_button(1);
     env.dispatch_all();
-    let n: usize = canvas
-        .eval("llength $strokes")
-        .unwrap()
-        .parse()
-        .unwrap();
+    let n: usize = canvas.eval("llength $strokes").unwrap().parse().unwrap();
     assert_eq!(n, 20, "every motion event must arrive at the canvas");
 }

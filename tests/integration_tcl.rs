@@ -70,10 +70,7 @@ fn iterative_sort_program() {
         }",
     )
     .unwrap();
-    assert_eq!(
-        i.eval("bubble {5 3 9 1 7 2}").unwrap(),
-        "1 2 3 5 7 9"
-    );
+    assert_eq!(i.eval("bubble {5 3 9 1 7 2}").unwrap(), "1 2 3 5 7 9");
 }
 
 #[test]

@@ -14,8 +14,10 @@ fn app() -> (TkEnv, tk::TkApp) {
 fn listbox_and_scrollbar_compose_through_tcl() {
     // The Section 4 composition example in full, driven both ways.
     let (env, app) = app();
-    app.eval("scrollbar .scroll -command \".list view\"").unwrap();
-    app.eval("listbox .list -scroll \".scroll set\" -geometry 12x4").unwrap();
+    app.eval("scrollbar .scroll -command \".list view\"")
+        .unwrap();
+    app.eval("listbox .list -scroll \".scroll set\" -geometry 12x4")
+        .unwrap();
     app.eval("pack append . .scroll {right filly} .list {left expand fill}")
         .unwrap();
     for i in 0..30 {
@@ -44,7 +46,8 @@ fn listbox_and_scrollbar_compose_through_tcl() {
 fn option_database_styles_new_widgets() {
     let (_env, app) = app();
     app.eval("option add *Button.background red").unwrap();
-    app.eval("option add *Button.activeBackground yellow").unwrap();
+    app.eval("option add *Button.activeBackground yellow")
+        .unwrap();
     app.eval("option add *myspecial.background blue").unwrap();
     app.eval("button .b1 -text one").unwrap();
     app.eval("button .myspecial -text two").unwrap();
@@ -114,8 +117,10 @@ fn dialog_box_from_pure_tcl() {
 #[test]
 fn checkbuttons_and_radiobuttons_render_state() {
     let (env, app) = app();
-    app.eval("checkbutton .c -text Bold -variable bold").unwrap();
-    app.eval("radiobutton .r -text Red -variable color -value red").unwrap();
+    app.eval("checkbutton .c -text Bold -variable bold")
+        .unwrap();
+    app.eval("radiobutton .r -text Red -variable color -value red")
+        .unwrap();
     app.eval("pack append . .c {top} .r {top}").unwrap();
     app.update();
     app.eval(".c select; .r select").unwrap();
@@ -161,8 +166,10 @@ fn button_press_renders_sunken_then_invokes() {
 fn scale_reports_through_command() {
     let (env, app) = app();
     app.eval("set seen {}").unwrap();
-    app.eval("proc watch {v} {global seen; lappend seen $v}").unwrap();
-    app.eval("scale .s -from 0 -to 10 -length 110 -command watch").unwrap();
+    app.eval("proc watch {v} {global seen; lappend seen $v}")
+        .unwrap();
+    app.eval("scale .s -from 0 -to 10 -length 110 -command watch")
+        .unwrap();
     app.eval("pack append . .s {top}").unwrap();
     app.update();
     let rec = app.window(".s").unwrap();
@@ -173,7 +180,8 @@ fn scale_reports_through_command() {
         .move_pointer(rec.x.get() + rec.width.get() as i32 / 2, y);
     env.display().press_button(1);
     env.dispatch_all();
-    env.display().move_pointer(rec.x.get() + rec.width.get() as i32 - 12, y);
+    env.display()
+        .move_pointer(rec.x.get() + rec.width.get() as i32 - 12, y);
     env.dispatch_all();
     env.display().release_button(1);
     env.dispatch_all();
@@ -184,7 +192,10 @@ fn scale_reports_through_command() {
         .collect();
     assert!(values.len() >= 2, "drag produced {seen}");
     assert!(values.last().unwrap() > values.first().unwrap());
-    assert_eq!(app.eval(".s get").unwrap(), values.last().unwrap().to_string());
+    assert_eq!(
+        app.eval(".s get").unwrap(),
+        values.last().unwrap().to_string()
+    );
 }
 
 #[test]
@@ -192,9 +203,11 @@ fn menus_post_and_invoke_via_keyboardless_mouse() {
     let (env, app) = app();
     app.eval("menubutton .mb -text File -menu .mb.m").unwrap();
     app.eval("menu .mb.m").unwrap();
-    app.eval(".mb.m add command -label New -command {set did new}").unwrap();
+    app.eval(".mb.m add command -label New -command {set did new}")
+        .unwrap();
     app.eval(".mb.m add separator").unwrap();
-    app.eval(".mb.m add command -label Quit -command {set did quit}").unwrap();
+    app.eval(".mb.m add command -label Quit -command {set did quit}")
+        .unwrap();
     app.eval("pack append . .mb {top frame nw}").unwrap();
     app.update();
     let mb = app.window(".mb").unwrap();
@@ -266,13 +279,18 @@ fn labels_follow_anchor_option() {
 fn entry_reports_view_to_horizontal_scrollbar() {
     let (_env, app) = app();
     app.eval("entry .e -width 8 -scroll {.sb set}").unwrap();
-    app.eval("scrollbar .sb -orient horizontal -command {.e view}").unwrap();
-    app.eval("pack append . .e {top fillx} .sb {top fillx}").unwrap();
+    app.eval("scrollbar .sb -orient horizontal -command {.e view}")
+        .unwrap();
+    app.eval("pack append . .e {top fillx} .sb {top fillx}")
+        .unwrap();
     app.update();
     app.eval(".e insert 0 abcdefghijklmnopqrstuvwxyz").unwrap();
     app.update();
     let state = app.eval(".sb get").unwrap();
-    let parts: Vec<i64> = state.split_whitespace().map(|p| p.parse().unwrap()).collect();
+    let parts: Vec<i64> = state
+        .split_whitespace()
+        .map(|p| p.parse().unwrap())
+        .collect();
     assert_eq!(parts[0], 26, "{state}");
     assert!(parts[1] >= 8, "{state}");
     // Scrolling the entry updates the scrollbar's first unit.
@@ -304,7 +322,8 @@ fn option_readfile_loads_xdefaults() {
 fn horizontal_scrollbar_arrows_work() {
     let (env, app) = app();
     app.eval("proc view {i} {global got; set got $i}").unwrap();
-    app.eval("scrollbar .sb -orient horizontal -command view").unwrap();
+    app.eval("scrollbar .sb -orient horizontal -command view")
+        .unwrap();
     app.eval("pack append . .sb {top fillx}").unwrap();
     app.update();
     app.eval(".sb set 20 5 10 14").unwrap();

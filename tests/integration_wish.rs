@@ -16,10 +16,7 @@ fn wish_path() -> std::path::PathBuf {
 }
 
 fn run_script(script: &str, args: &[&str]) -> (String, i32) {
-    let dir = std::env::temp_dir().join(format!(
-        "rtk_wish_test_{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("rtk_wish_test_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let file = dir.join(format!("script_{:p}.tcl", script.as_ptr()));
     std::fs::write(&file, script).unwrap();

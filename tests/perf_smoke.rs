@@ -47,7 +47,8 @@ fn fifty_buttons_stay_fast() {
     let app = env.app("buttons");
     let start = Instant::now();
     for i in 0..50 {
-        app.eval(&format!("button .b{i} -text b{i} -command {{}}")).unwrap();
+        app.eval(&format!("button .b{i} -text b{i} -command {{}}"))
+            .unwrap();
         app.eval(&format!("pack append . .b{i} {{top}}")).unwrap();
     }
     app.update();
@@ -64,12 +65,73 @@ fn fifty_buttons_stay_fast() {
 }
 
 #[test]
+fn observability_overhead_is_small() {
+    // The observability core must be always-on-cheap: with the trace ring
+    // disabled (the default), the per-request recording work attributable
+    // to the 50-button workload must stay well under 10% of the
+    // workload's own time. Measured directly: time the workload, count
+    // its requests, then time that many record operations in isolation.
+    let env = TkEnv::new();
+    let app = env.app("buttons");
+    let workload = |app: &tk::TkApp| {
+        for i in 0..50 {
+            app.eval(&format!("button .b{i} -text b{i} -command {{}}"))
+                .unwrap();
+            app.eval(&format!("pack append . .b{i} {{top}}")).unwrap();
+        }
+        app.update();
+        for i in 0..50 {
+            app.eval(&format!("destroy .b{i}")).unwrap();
+        }
+        app.update();
+    };
+    assert!(!app.conn().obs_trace_enabled(), "trace must default to off");
+    workload(&app); // warm caches
+
+    // Median of several runs to shrug off scheduler noise.
+    let mut times: Vec<std::time::Duration> = (0..5)
+        .map(|_| {
+            app.conn().reset_obs();
+            let start = Instant::now();
+            workload(&app);
+            start.elapsed()
+        })
+        .collect();
+    times.sort();
+    let workload_time = times[times.len() / 2];
+    let requests = app.conn().stats().requests;
+    assert!(requests > 1000, "workload should be protocol-heavy");
+
+    // The per-request instrumentation: one kind-counter bump, one or two
+    // histogram records, one disabled-trace check.
+    let mut obs = xsim::ClientObs::default();
+    let d = std::time::Duration::from_nanos(700);
+    let start = Instant::now();
+    for i in 0..requests {
+        obs.record(
+            i,
+            xsim::RequestKind::CreateWindow,
+            i % 4 == 0,
+            xsim::Xid(1),
+            d,
+        );
+    }
+    let record_time = start.elapsed();
+    assert!(
+        record_time * 10 < workload_time,
+        "recording {requests} requests took {record_time:?}, more than 10% \
+         of the {workload_time:?} workload"
+    );
+}
+
+#[test]
 fn event_dispatch_throughput() {
     // The §7 painting scenario needs motion events to clear the queue at
     // interactive rates.
     let env = TkEnv::new();
     let app = env.app("t");
-    app.eval("frame .c -geometry 300x300; pack append . .c {top}").unwrap();
+    app.eval("frame .c -geometry 300x300; pack append . .c {top}")
+        .unwrap();
     app.eval("set n 0; bind .c <Motion> {incr n}").unwrap();
     app.update();
     let start = Instant::now();
