@@ -5,11 +5,154 @@
 //!
 //! Run with: `cargo run -p tk-bench --release --bin bench -- [output.json]`
 //! (the output path defaults to `BENCH_obs.json` in the current directory).
+//!
+//! Two extra modes back the CI request-budget gate. The protocol workloads
+//! are fully deterministic (single-threaded, no timing-dependent requests),
+//! so CI pins their *exact* request/round-trip/flush counts:
+//!
+//! * `bench -- --write-budgets [BUDGETS.json]` runs the workloads and
+//!   records their protocol counters;
+//! * `bench -- --check-budgets [BUDGETS.json]` re-runs them (twice, to
+//!   prove determinism) and fails if any counter drifted from the
+//!   checked-in file. An intentional protocol change regenerates the file
+//!   with `--write-budgets` and commits the diff.
 
 use std::time::Instant;
 
 use rtk_obs::{json, Histogram};
 use tk_bench::{create_display_delete_buttons, env_with_apps, fmt_time};
+use xsim::ClientStats;
+
+/// The counters pinned per workload, in file order.
+fn budget_fields(stats: &ClientStats) -> [(&'static str, u64); 6] {
+    [
+        ("requests", stats.requests),
+        ("round_trips", stats.round_trips),
+        ("flushes", stats.flushes),
+        ("batched_requests", stats.batched_requests),
+        ("max_batch", stats.max_batch),
+        ("max_pending_replies", stats.max_pending_replies),
+    ]
+}
+
+/// Runs the deterministic protocol workloads (no synthetic round-trip
+/// cost, reduced iteration counts — the counters scale linearly, so fewer
+/// iterations pin the same behavior) and returns each one's client stats.
+fn budget_workloads() -> Vec<(&'static str, u64, ClientStats)> {
+    let mut out = Vec::new();
+
+    let (_env, apps) = env_with_apps(&["alpha", "beta"]);
+    let sender = &apps[0];
+    sender.eval("send beta {}").unwrap(); // warm the handshake atoms
+    sender.conn().reset_obs();
+    let send_iters = 200;
+    for _ in 0..send_iters {
+        sender.eval("send beta {}").unwrap();
+    }
+    out.push(("send_empty", send_iters, sender.conn().stats()));
+
+    let (_env50, apps50) = env_with_apps(&["buttons"]);
+    let app = &apps50[0];
+    create_display_delete_buttons(app, 50); // warm caches
+    app.eval("obs reset").unwrap();
+    let button_iters = 5;
+    for _ in 0..button_iters {
+        create_display_delete_buttons(app, 50);
+    }
+    out.push(("buttons_50", button_iters, app.conn().stats()));
+
+    out
+}
+
+fn budgets_to_json(runs: &[(&'static str, u64, ClientStats)]) -> String {
+    let mut workloads = json::Object::new();
+    for (name, iters, stats) in runs {
+        let mut w = json::Object::new();
+        w.field_u64("iters", *iters);
+        for (field, value) in budget_fields(stats) {
+            w.field_u64(field, value);
+        }
+        workloads.field_raw(name, &w.build());
+    }
+    let mut root = json::Object::new();
+    root.field_str(
+        "comment",
+        "Exact protocol budgets for the deterministic workloads; \
+         regenerate with `cargo run -p tk-bench --bin bench -- --write-budgets` \
+         after an intentional protocol change.",
+    );
+    root.field_raw("workloads", &workloads.build());
+    root.build()
+}
+
+/// Runs the budget workloads twice; aborts if the two runs disagree
+/// (the budgets are only enforceable because the counts are exact).
+fn measured_budgets() -> Vec<(&'static str, u64, ClientStats)> {
+    let first = budget_workloads();
+    let second = budget_workloads();
+    for ((name, _, a), (_, _, b)) in first.iter().zip(&second) {
+        assert_eq!(
+            a, b,
+            "workload {name} is not deterministic: two identical runs \
+             produced different protocol counters"
+        );
+    }
+    first
+}
+
+fn write_budgets(path: &str) {
+    let text = budgets_to_json(&measured_budgets());
+    std::fs::write(path, format!("{text}\n")).expect("write budgets file");
+    println!("wrote {path}");
+}
+
+fn check_budgets(path: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {path}: {e} (run --write-budgets first)"));
+    let expected = json::parse(&text).unwrap_or_else(|e| panic!("{path}: invalid JSON: {e}"));
+    let expected = expected
+        .get("workloads")
+        .unwrap_or_else(|| panic!("{path}: missing \"workloads\""));
+
+    let mut failures = Vec::new();
+    for (name, iters, stats) in measured_budgets() {
+        let Some(budget) = expected.get(name) else {
+            failures.push(format!("workload {name}: missing from {path}"));
+            continue;
+        };
+        let want_iters = budget.get("iters").and_then(|v| v.as_u64());
+        if want_iters != Some(iters) {
+            failures.push(format!(
+                "workload {name}: iters changed ({want_iters:?} in file, {iters} measured) \
+                 — regenerate the budgets"
+            ));
+            continue;
+        }
+        for (field, got) in budget_fields(&stats) {
+            match budget.get(field).and_then(|v| v.as_u64()) {
+                Some(want) if want == got => {}
+                Some(want) => failures.push(format!(
+                    "workload {name}: {field} = {got}, budget says {want}"
+                )),
+                None => failures.push(format!("workload {name}: budget lacks field {field}")),
+            }
+        }
+        println!("budget ok: {name} ({iters} iters)");
+    }
+
+    if !failures.is_empty() {
+        eprintln!("request budgets FAILED:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        eprintln!(
+            "if the protocol change is intentional, regenerate with \
+             `cargo run -p tk-bench --bin bench -- --write-budgets` and commit BUDGETS.json"
+        );
+        std::process::exit(1);
+    }
+    println!("request budgets OK ({path})");
+}
 
 /// Times `iters` runs of `f`, recording each run into a histogram.
 fn measure(iters: u64, mut f: impl FnMut()) -> Histogram {
@@ -34,8 +177,21 @@ fn workload_json(name: &str, iters: u64, h: &Histogram, extra: Option<(&str, Str
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--write-budgets") => {
+            write_budgets(args.get(1).map_or("BUDGETS.json", String::as_str));
+            return;
+        }
+        Some("--check-budgets") => {
+            check_budgets(args.get(1).map_or("BUDGETS.json", String::as_str));
+            return;
+        }
+        _ => {}
+    }
+    let out_path = args
+        .first()
+        .cloned()
         .unwrap_or_else(|| "BENCH_obs.json".to_string());
 
     // Row 1: simple Tcl command (no X traffic at all).
@@ -86,11 +242,54 @@ fn main() {
     let buttons_dump = tk::obs_cmd::dump_json(app);
     let stats = app.conn().stats();
     println!(
-        "buttons_50:  p50 {} ({} requests, {} round trips per iteration)",
+        "buttons_50:  p50 {} ({} requests, {} round trips, {} flushes per iteration)",
         fmt_time(h_buttons.quantile(0.5) as f64 * 1e-9),
         stats.requests / button_iters,
-        stats.round_trips / button_iters
+        stats.round_trips / button_iters,
+        stats.flushes / button_iters
     );
+
+    // The same workload with the output buffer disabled: every request
+    // becomes its own client→server transition, the transport the toolkit
+    // had before batching. The ratio of "server trips" (flushes + round
+    // trips — each is one blocking transition) is the headline batching
+    // win.
+    let (env_nb, apps_nb) = env_with_apps(&["buttons"]);
+    env_nb
+        .display()
+        .with_server(|s| s.set_round_trip_cost(rt_cost));
+    let app_nb = &apps_nb[0];
+    app_nb.conn().set_batching(false);
+    create_display_delete_buttons(app_nb, 50); // warm caches
+    app_nb.eval("obs reset").unwrap();
+    let h_unbatched = measure(button_iters, || {
+        create_display_delete_buttons(app_nb, 50);
+    });
+    let stats_nb = app_nb.conn().stats();
+    let trips = stats.flushes + stats.round_trips;
+    let trips_nb = stats_nb.flushes + stats_nb.round_trips;
+    println!(
+        "buttons_50 unbatched: p50 {} ({} server trips/iter vs {} batched, {:.1}x)",
+        fmt_time(h_unbatched.quantile(0.5) as f64 * 1e-9),
+        trips_nb / button_iters,
+        trips / button_iters,
+        trips_nb as f64 / trips.max(1) as f64
+    );
+
+    let mut comparison = json::Object::new();
+    for (key, s, h) in [
+        ("batched", &stats, &h_buttons),
+        ("unbatched", &stats_nb, &h_unbatched),
+    ] {
+        let mut side = json::Object::new();
+        side.field_u64("requests", s.requests);
+        side.field_u64("round_trips", s.round_trips);
+        side.field_u64("flushes", s.flushes);
+        side.field_u64("server_trips", s.flushes + s.round_trips);
+        side.field_u64("max_batch", s.max_batch);
+        side.field_u64("p50_ns", h.quantile(0.5));
+        comparison.field_raw(key, &side.build());
+    }
 
     let mut workloads = json::Array::new();
     workloads.push_raw(&workload_json("set_a_1", set_iters, &h_set, None));
@@ -105,6 +304,12 @@ fn main() {
         button_iters,
         &h_buttons,
         Some(("obs", buttons_dump)),
+    ));
+    workloads.push_raw(&workload_json(
+        "buttons_50_unbatched",
+        button_iters,
+        &h_unbatched,
+        Some(("batching_comparison", comparison.build())),
     ));
 
     let mut root = json::Object::new();

@@ -207,7 +207,7 @@ fn cmd_case(interp: &Interp, argv: &[String]) -> TclResult {
     if rest.len() == 1 {
         rest = crate::list::parse_list(&rest[0])?;
     }
-    if !rest.len().is_multiple_of(2) {
+    if rest.len() % 2 != 0 {
         return Err(Exception::error("extra case pattern with no body"));
     }
     let mut default_body: Option<&String> = None;
@@ -259,7 +259,7 @@ fn cmd_switch(interp: &Interp, argv: &[String]) -> TclResult {
     if pairs.len() == 1 {
         pairs = crate::list::parse_list(&pairs[0])?;
     }
-    if pairs.is_empty() || !pairs.len().is_multiple_of(2) {
+    if pairs.is_empty() || pairs.len() % 2 != 0 {
         return Err(Exception::error("extra switch pattern with no body"));
     }
     let mut matched = false;

@@ -303,7 +303,7 @@ pub fn format_cmd(spec: &str, args: &[String]) -> TclResult {
             let pad = width - body.chars().count();
             if left {
                 out.push_str(&body);
-                out.extend(std::iter::repeat_n(' ', pad));
+                out.extend(std::iter::repeat(' ').take(pad));
             } else if zero && !matches!(conv, 's' | 'c') {
                 // Zero padding goes after any sign.
                 let (sign, digits) = match body.strip_prefix('-') {
@@ -311,10 +311,10 @@ pub fn format_cmd(spec: &str, args: &[String]) -> TclResult {
                     None => ("", body.as_str()),
                 };
                 out.push_str(sign);
-                out.extend(std::iter::repeat_n('0', pad));
+                out.extend(std::iter::repeat('0').take(pad));
                 out.push_str(digits);
             } else {
-                out.extend(std::iter::repeat_n(' ', pad));
+                out.extend(std::iter::repeat(' ').take(pad));
                 out.push_str(&body);
             }
         } else {

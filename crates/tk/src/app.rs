@@ -667,6 +667,9 @@ impl TkApp {
                 break;
             }
         }
+        // Flush before going back to blocking/idle: any one-way requests
+        // the idle handlers queued must reach the display now.
+        self.conn().flush();
         span.finish();
     }
 

@@ -247,10 +247,15 @@ impl ResourceCache {
             g: scale(rgb.g, 6, 10),
             b: scale(rgb.b, 6, 10),
         };
+        // Pipeline the two shade allocations: they travel to the server in
+        // the same flush as the (possible) background-color miss, so the
+        // whole border costs one blocking wait instead of three.
+        let light_cookie = conn.send_alloc_color(light);
+        let dark_cookie = conn.send_alloc_color(dark);
         let border = Border {
             bg: self.color(conn, bg_name)?,
-            light: conn.alloc_color(light),
-            dark: conn.alloc_color(dark),
+            light: conn.wait(light_cookie),
+            dark: conn.wait(dark_cookie),
         };
         if self.enabled.get() {
             self.borders.borrow_mut().insert(key, border);

@@ -203,7 +203,7 @@ impl ConfigStore {
 
     /// Applies `-option value` pairs (widget creation and `configure`).
     pub fn set_args(&self, app: &TkApp, args: &[String]) -> Result<(), Exception> {
-        if !args.len().is_multiple_of(2) {
+        if args.len() % 2 != 0 {
             return Err(Exception::error(format!(
                 "value for \"{}\" missing",
                 args.last().map(String::as_str).unwrap_or("")

@@ -104,6 +104,14 @@ fn counters_list(app: &TkApp) -> String {
     items.push(stats.round_trips.to_string());
     items.push("protocol.events".into());
     items.push(stats.events.to_string());
+    items.push("protocol.flushes".into());
+    items.push(stats.flushes.to_string());
+    items.push("protocol.batched_requests".into());
+    items.push(stats.batched_requests.to_string());
+    items.push("protocol.max_batch".into());
+    items.push(stats.max_batch.to_string());
+    items.push("protocol.max_pending_replies".into());
+    items.push(stats.max_pending_replies.to_string());
     for (kind, n) in app.conn().obs_kind_counts() {
         items.push(format!("req.{kind}"));
         items.push(n.to_string());
@@ -172,8 +180,8 @@ fn snapshot(app: &TkApp) -> String {
     let mut out = String::new();
     let stats = app.conn().stats();
     out.push_str(&format!(
-        "protocol: {} requests, {} round trips, {} events\n",
-        stats.requests, stats.round_trips, stats.events
+        "protocol: {} requests, {} round trips, {} events, {} flushes (max batch {})\n",
+        stats.requests, stats.round_trips, stats.events, stats.flushes, stats.max_batch
     ));
     for (kind, n) in app.conn().obs_kind_counts() {
         out.push_str(&format!("  {kind}: {n}\n"));
@@ -224,6 +232,10 @@ pub fn dump_json(app: &TkApp) -> String {
     protocol.field_u64("requests", stats.requests);
     protocol.field_u64("round_trips", stats.round_trips);
     protocol.field_u64("events", stats.events);
+    protocol.field_u64("flushes", stats.flushes);
+    protocol.field_u64("batched_requests", stats.batched_requests);
+    protocol.field_u64("max_batch", stats.max_batch);
+    protocol.field_u64("max_pending_replies", stats.max_pending_replies);
     protocol.field_raw("detail", &app.conn().obs_json());
 
     let (considered, matched) = app.inner.bindings.borrow().match_stats();
@@ -252,6 +264,8 @@ mod tests {
         app.update();
         let out = app.eval("obs counters").unwrap();
         assert!(out.contains("protocol.requests"), "{out}");
+        assert!(out.contains("protocol.flushes"), "{out}");
+        assert!(out.contains("protocol.batched_requests"), "{out}");
         assert!(out.contains("req.CreateWindow"), "{out}");
         assert!(out.contains("cache.color.misses"), "{out}");
     }
@@ -293,6 +307,9 @@ mod tests {
         let j = app.eval("obs dump -format json").unwrap();
         assert!(rtk_obs::json::is_valid(&j), "{j}");
         assert!(j.contains("\"by_kind\""), "{j}");
+        assert!(j.contains("\"by_kind_round_trip\""), "{j}");
+        assert!(j.contains("\"flushes\""), "{j}");
+        assert!(j.contains("\"max_batch\""), "{j}");
         assert!(j.contains("\"cache\""), "{j}");
         assert!(j.contains("\"round_trip_ns\""), "{j}");
         let err = app.eval("obs dump -format xml").unwrap_err();

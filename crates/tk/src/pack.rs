@@ -388,7 +388,7 @@ fn cmd_pack(app: &TkApp, _interp: &tcl::Interp, argv: &[String]) -> TclResult {
             let master = &argv[2];
             app.require_window(master)?;
             let rest = &argv[3..];
-            if rest.is_empty() || !rest.len().is_multiple_of(2) {
+            if rest.is_empty() || rest.len() % 2 != 0 {
                 return Err(wrong_args(
                     "pack append master window options ?window options ...?",
                 ));
@@ -415,7 +415,7 @@ fn cmd_pack(app: &TkApp, _interp: &tcl::Interp, argv: &[String]) -> TclResult {
                 .master_of(sibling)
                 .ok_or_else(|| Exception::error(format!("window \"{sibling}\" isn't packed")))?;
             let rest = &argv[3..];
-            if rest.is_empty() || !rest.len().is_multiple_of(2) {
+            if rest.is_empty() || rest.len() % 2 != 0 {
                 return Err(wrong_args(
                     "pack before|after sibling window options ?window options ...?",
                 ));

@@ -16,7 +16,7 @@
 use std::collections::HashMap;
 
 use tcl::{wrong_args, Code, Exception, TclResult};
-use xsim::{Event, WindowId, Xid};
+use xsim::{Atom, Event, WindowId, Xid};
 
 use crate::app::TkApp;
 
@@ -26,6 +26,24 @@ pub struct SendState {
     next_serial: u64,
     /// Results by serial, filled in by `TkSendResult` property traffic.
     results: HashMap<u64, (i64, String)>,
+    /// Interned handshake atoms, warmed in one pipelined batch at
+    /// `announce` time so the send path never re-interns per call.
+    atoms: HashMap<String, Atom>,
+}
+
+/// Looks up a handshake atom in the per-app cache, interning (one round
+/// trip, first use only) on a miss.
+fn cached_atom(app: &TkApp, name: &str) -> Atom {
+    if let Some(a) = app.inner.send.borrow().atoms.get(name) {
+        return *a;
+    }
+    let a = app.conn().intern_atom(name);
+    app.inner
+        .send
+        .borrow_mut()
+        .atoms
+        .insert(name.to_string(), a);
+    a
 }
 
 /// Registers the `send` command and `winfo interps` support bits.
@@ -37,7 +55,20 @@ pub fn register(app: &TkApp) {
 /// name if necessary (returns the final name).
 pub fn announce(app: &TkApp) -> String {
     let conn = app.conn();
-    let registry = conn.intern_atom("InterpRegistry");
+    // Warm the handshake atom cache in one pipelined batch: all three
+    // interns travel to the server in a single flush.
+    let reg_cookie = conn.send_intern_atom("InterpRegistry");
+    let cmd_cookie = conn.send_intern_atom("TkSendCommand");
+    let res_cookie = conn.send_intern_atom("TkSendResult");
+    let registry = conn.wait(reg_cookie);
+    {
+        let mut st = app.inner.send.borrow_mut();
+        st.atoms.insert("InterpRegistry".into(), registry);
+        st.atoms
+            .insert("TkSendCommand".into(), conn.wait(cmd_cookie));
+        st.atoms
+            .insert("TkSendResult".into(), conn.wait(res_cookie));
+    }
     let root = conn.root();
     let existing = conn.get_property(root, registry).unwrap_or_default();
     let mut entries = parse_registry(&existing);
@@ -57,7 +88,7 @@ pub fn announce(app: &TkApp) -> String {
 /// Removes an application from the registry (on destroy).
 pub fn withdraw(app: &TkApp) {
     let conn = app.conn();
-    let registry = conn.intern_atom("InterpRegistry");
+    let registry = cached_atom(app, "InterpRegistry");
     let root = conn.root();
     let existing = conn.get_property(root, registry).unwrap_or_default();
     let name = app.name();
@@ -71,7 +102,7 @@ pub fn withdraw(app: &TkApp) {
 /// Names of all registered applications (`winfo interps`).
 pub fn interps(app: &TkApp) -> Vec<String> {
     let conn = app.conn();
-    let registry = conn.intern_atom("InterpRegistry");
+    let registry = cached_atom(app, "InterpRegistry");
     let existing = conn.get_property(conn.root(), registry).unwrap_or_default();
     parse_registry(&existing)
         .into_iter()
@@ -119,7 +150,7 @@ fn cmd_send(app: &TkApp, _interp: &tcl::Interp, argv: &[String]) -> TclResult {
         return app.interp().eval(&script);
     }
     let conn = app.conn();
-    let registry = conn.intern_atom("InterpRegistry");
+    let registry = cached_atom(app, "InterpRegistry");
     let existing = conn.get_property(conn.root(), registry).unwrap_or_default();
     let target_comm = parse_registry(&existing)
         .into_iter()
@@ -171,7 +202,7 @@ fn cmd_send(app: &TkApp, _interp: &tcl::Interp, argv: &[String]) -> TclResult {
 /// owner drains them).
 fn append_to_property(app: &TkApp, window: WindowId, atom_name: &str, line: &str) {
     let conn = app.conn();
-    let atom = conn.intern_atom(atom_name);
+    let atom = cached_atom(app, atom_name);
     let mut value = conn.get_property(window, atom).unwrap_or_default();
     if !value.is_empty() {
         value.push('\n');
@@ -190,11 +221,19 @@ pub fn handle_comm_event(app: &TkApp, ev: &Event) {
     else {
         return;
     };
+    // Compare against the cached handshake atoms instead of asking the
+    // server for the atom's name (a round trip per PropertyNotify).
+    let cmd_atom = cached_atom(app, "TkSendCommand");
+    let res_atom = cached_atom(app, "TkSendResult");
     let conn = app.conn();
-    let Some(name) = conn.atom_name(*atom) else {
+    let name = if *atom == cmd_atom {
+        "TkSendCommand"
+    } else if *atom == res_atom {
+        "TkSendResult"
+    } else {
         return;
     };
-    match name.as_str() {
+    match name {
         "TkSendCommand" => {
             let Some(value) = conn.get_property(app.inner.comm, *atom) else {
                 return;

@@ -136,7 +136,7 @@ fn parse_item_opts(args: &[String]) -> Result<ItemOpts, Exception> {
         text: None,
         filled: None,
     };
-    if !args.len().is_multiple_of(2) {
+    if args.len() % 2 != 0 {
         return Err(Exception::error(format!(
             "value for \"{}\" missing",
             args.last().map(String::as_str).unwrap_or("")

@@ -286,7 +286,7 @@ impl WidgetOps for Menu {
                     value: String::new(),
                 };
                 let opts = &argv[3..];
-                if !opts.len().is_multiple_of(2) {
+                if opts.len() % 2 != 0 {
                     return Err(Exception::error("missing value for menu entry option"));
                 }
                 for pair in opts.chunks(2) {

@@ -146,6 +146,17 @@ impl BitmapTable {
         id
     }
 
+    /// Hands out an id for a CreateBitmap still sitting in an output
+    /// buffer (client-side XID allocation).
+    pub fn reserve(&mut self) -> BitmapId {
+        self.ids.alloc()
+    }
+
+    /// Stores a bitmap under a pre-reserved id (the buffered-transport path).
+    pub fn create_with_id(&mut self, id: BitmapId, bitmap: Bitmap) {
+        self.bitmaps.insert(id, bitmap);
+    }
+
     /// Looks a bitmap up.
     pub fn get(&self, id: BitmapId) -> Option<&Bitmap> {
         self.bitmaps.get(&id)

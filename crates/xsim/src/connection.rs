@@ -1,12 +1,21 @@
 //! Client-side handles: [`Display`] (the shared server) and [`Connection`]
 //! (one client's protocol endpoint).
 //!
-//! A `Connection` mirrors Xlib's calling surface. Methods that return data
-//! from the server are counted as *round trips*; fire-and-forget requests
-//! are one-way. The counts power the Table II client/server split and the
-//! Section 3.3 cache-ablation experiment.
+//! A `Connection` mirrors Xlib's calling surface, including its buffered
+//! transport: one-way requests are queued in a per-client output buffer
+//! and only reach the server at a *flush point* — an explicit [`flush`],
+//! the buffer filling, a synchronous reply-bearing request, or blocking
+//! for events. Reply-bearing requests can also be *pipelined*: the
+//! `send_*` methods queue the request and return a sequence-numbered
+//! [`Cookie`] that is redeemed later with [`wait`], so several replies
+//! travel back in one blocking wait. The counters power the Table II
+//! client/server split and the Section 3.3 cache-ablation experiment.
+//!
+//! [`flush`]: Connection::flush
+//! [`wait`]: Connection::wait
 
 use std::cell::RefCell;
+use std::marker::PhantomData;
 use std::rc::Rc;
 
 use crate::atom::Atom;
@@ -17,12 +26,15 @@ use crate::gc::GcValues;
 use crate::ids::{ClientId, CursorId, FontId, GcId, Pixel, WindowId, Xid};
 use crate::obs::{ClientObs, RequestKind, TraceEntry};
 use crate::render::Surface;
-use crate::server::{ClientStats, Server};
+use crate::server::{ClientStats, QueuedRequest, ReplyValue, Server};
 
 /// A simulated display: the shared server plus a factory for connections.
 ///
 /// Cloning a `Display` yields another handle to the same server, the way
-/// several processes share one physical display.
+/// several processes share one physical display. Every accessor that
+/// observes server state (screenshots, direct server access, input
+/// synthesis) first flushes all clients' output buffers, so the "user"
+/// always sees the effect of every request already issued.
 #[derive(Clone)]
 pub struct Display {
     server: Rc<RefCell<Server>>,
@@ -52,48 +64,63 @@ impl Display {
     }
 
     /// Runs `f` with direct access to the server (test assertions,
-    /// compositing, statistics).
+    /// compositing, statistics). Pending output buffers are flushed first.
     pub fn with_server<R>(&self, f: impl FnOnce(&mut Server) -> R) -> R {
-        f(&mut self.server.borrow_mut())
+        let mut s = self.server.borrow_mut();
+        s.flush_all();
+        f(&mut s)
     }
 
-    /// Composites the current screen contents.
+    /// Composites the current screen contents (after flushing).
     pub fn screenshot(&self) -> Surface {
-        self.server.borrow().compose_screen()
+        let mut s = self.server.borrow_mut();
+        s.flush_all();
+        s.compose_screen()
     }
 
     /// ASCII rendering of the screen (Figure 10-style dumps).
     pub fn ascii_dump(&self) -> String {
-        self.server.borrow().ascii_dump()
+        let mut s = self.server.borrow_mut();
+        s.flush_all();
+        s.ascii_dump()
     }
 
     // --- input synthesis (the "user") ---
 
     /// Moves the pointer, generating crossing/motion events.
     pub fn move_pointer(&self, x: i32, y: i32) {
-        self.server.borrow_mut().warp_pointer(x, y);
+        let mut s = self.server.borrow_mut();
+        s.flush_all();
+        s.warp_pointer(x, y);
     }
 
     /// Presses then releases a mouse button at the current position.
     pub fn click(&self, button: u8) {
         let mut s = self.server.borrow_mut();
+        s.flush_all();
         s.press_button(button);
         s.release_button(button);
     }
 
     /// Presses a mouse button (no release).
     pub fn press_button(&self, button: u8) {
-        self.server.borrow_mut().press_button(button);
+        let mut s = self.server.borrow_mut();
+        s.flush_all();
+        s.press_button(button);
     }
 
     /// Releases a mouse button.
     pub fn release_button(&self, button: u8) {
-        self.server.borrow_mut().release_button(button);
+        let mut s = self.server.borrow_mut();
+        s.flush_all();
+        s.release_button(button);
     }
 
     /// Types a single character key.
     pub fn type_char(&self, c: char) {
-        self.server.borrow_mut().press_key(Keysym::from_char(c));
+        let mut s = self.server.borrow_mut();
+        s.flush_all();
+        s.press_key(Keysym::from_char(c));
     }
 
     /// Types a whole string.
@@ -105,12 +132,95 @@ impl Display {
 
     /// Presses a named key (`"Escape"`, `"Return"`, ...).
     pub fn press_key(&self, name: &str) {
-        self.server.borrow_mut().press_key(Keysym::named(name));
+        let mut s = self.server.borrow_mut();
+        s.flush_all();
+        s.press_key(Keysym::named(name));
     }
 
     /// Sets the modifier state for subsequent input (see [`crate::event::state`]).
     pub fn set_modifiers(&self, modifiers: u32) {
         self.server.borrow_mut().set_modifiers(modifiers);
+    }
+}
+
+/// A handle to a pipelined reply-bearing request: proof that the request
+/// was queued, carrying the sequence number its reply is filed under.
+/// Redeem it with [`Connection::wait`]; redeeming blocks (flushes) only if
+/// the reply has not already traveled back with an earlier flush.
+#[derive(Debug, Clone, Copy)]
+#[must_use = "a cookie must be redeemed with Connection::wait"]
+pub struct Cookie<T> {
+    seq: u64,
+    _reply: PhantomData<fn() -> T>,
+}
+
+impl<T> Cookie<T> {
+    fn new(seq: u64) -> Cookie<T> {
+        Cookie {
+            seq,
+            _reply: PhantomData,
+        }
+    }
+
+    /// The request's sequence number (replies arrive in this order).
+    pub fn sequence(&self) -> u64 {
+        self.seq
+    }
+}
+
+/// Conversion from the wire-level reply payload to the typed result a
+/// cookie promises. Implemented for exactly the types the `send_*`
+/// methods return cookies for.
+pub trait FromReply: Sized {
+    #[doc(hidden)]
+    fn from_reply(v: ReplyValue) -> Option<Self>;
+}
+
+impl FromReply for Atom {
+    fn from_reply(v: ReplyValue) -> Option<Self> {
+        match v {
+            ReplyValue::Atom(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+impl FromReply for Pixel {
+    fn from_reply(v: ReplyValue) -> Option<Self> {
+        match v {
+            ReplyValue::Pixel(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+impl FromReply for Option<(Pixel, Rgb)> {
+    fn from_reply(v: ReplyValue) -> Option<Self> {
+        match v {
+            ReplyValue::NamedColor(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+impl FromReply for Option<String> {
+    fn from_reply(v: ReplyValue) -> Option<Self> {
+        match v {
+            ReplyValue::Property(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+/// A window's geometry reply: `(x, y, width, height, border_width)`.
+pub type Geometry = (i32, i32, u32, u32, u32);
+
+impl FromReply for Option<Geometry> {
+    fn from_reply(v: ReplyValue) -> Option<Self> {
+        match v {
+            ReplyValue::Geometry(g) => Some(g),
+            _ => None,
+        }
     }
 }
 
@@ -132,7 +242,8 @@ impl Connection {
         self.server.borrow().root()
     }
 
-    /// Protocol statistics for this client.
+    /// Protocol statistics for this client. Counters bump at request
+    /// *issue* time, so they are current even with requests still queued.
     pub fn stats(&self) -> ClientStats {
         self.server.borrow().stats(self.client)
     }
@@ -145,6 +256,12 @@ impl Connection {
     /// Per-request-kind counts, non-zero kinds only.
     pub fn obs_kind_counts(&self) -> Vec<(&'static str, u64)> {
         self.with_obs(|o| o.kind_counts()).unwrap_or_default()
+    }
+
+    /// Per-request-kind round-trip counts, non-zero kinds only.
+    pub fn obs_kind_round_trip_counts(&self) -> Vec<(&'static str, u64)> {
+        self.with_obs(|o| o.kind_round_trip_counts())
+            .unwrap_or_default()
     }
 
     /// Snapshot of the all-requests latency histogram.
@@ -179,7 +296,8 @@ impl Connection {
     }
 
     /// Resets this client's counters, histograms, and trace (but not the
-    /// trace-enabled flag), along with its `ClientStats` view.
+    /// trace-enabled flag), along with its `ClientStats` view. The output
+    /// buffer is flushed first so the reset is an exact epoch boundary.
     pub fn reset_obs(&self) {
         self.server.borrow_mut().reset_client_stats(self.client);
     }
@@ -190,44 +308,84 @@ impl Connection {
             .unwrap_or_else(|| "{}".into())
     }
 
-    /// Runs one protocol request: counts it, times it, and records the
-    /// structured observability entry. The request latency includes the
-    /// synthetic round-trip cost (charged inside `note_request`), while
-    /// `work_time` only accumulates the server's own execution time.
-    fn request<R>(
-        &self,
-        kind: RequestKind,
-        window: WindowId,
-        round_trip: bool,
-        f: impl FnOnce(&mut Server) -> R,
-    ) -> R {
+    // --- the buffered transport ---
+
+    /// Flushes this connection's output buffer (Xlib's `XFlush`).
+    pub fn flush(&self) {
+        self.server.borrow_mut().flush_client(self.client);
+    }
+
+    /// Is output buffering enabled on the shared display?
+    pub fn batching(&self) -> bool {
+        self.server.borrow().batching()
+    }
+
+    /// Turns output buffering on or off for the whole display (the
+    /// `RTK_NO_BATCH` env var sets the initial state). Turning it off
+    /// flushes pending buffers and reproduces the synchronous transport.
+    pub fn set_batching(&self, on: bool) {
+        self.server.borrow_mut().set_batching(on);
+    }
+
+    /// Queues a one-way request in the output buffer, accounting for it
+    /// at issue time.
+    fn one_way(&self, kind: RequestKind, window: WindowId, q: QueuedRequest) {
         let mut s = self.server.borrow_mut();
-        let start = std::time::Instant::now();
-        s.note_request(self.client, round_trip);
-        let work_start = std::time::Instant::now();
-        let r = f(&mut s);
-        let end = std::time::Instant::now();
-        s.work_time += end - work_start;
-        s.record_request(self.client, kind, round_trip, window, end - start);
-        r
+        let seq = s.next_seq(self.client);
+        s.enqueue_request(self.client, kind, false, window, seq, Some(q));
     }
 
-    fn one_way<R>(
+    /// Queues a pipelined reply-bearing request; the returned sequence
+    /// number is the cookie's claim ticket.
+    fn pipelined(
         &self,
         kind: RequestKind,
         window: WindowId,
-        f: impl FnOnce(&mut Server) -> R,
-    ) -> R {
-        self.request(kind, window, false, f)
+        make: impl FnOnce(u64) -> QueuedRequest,
+    ) -> u64 {
+        let mut s = self.server.borrow_mut();
+        let seq = s.next_seq(self.client);
+        let q = make(seq);
+        s.enqueue_request(self.client, kind, true, window, seq, Some(q));
+        seq
     }
 
+    /// Runs a synchronous reply-bearing request: flushes every output
+    /// buffer (a blocked client has, by definition, already written out
+    /// its queue — and in this single-threaded simulation so has everyone
+    /// else), then executes and records the request. The request latency
+    /// includes the synthetic round-trip cost; `work_time` only
+    /// accumulates the server's own execution time.
     fn round_trip<R>(
         &self,
         kind: RequestKind,
         window: WindowId,
         f: impl FnOnce(&mut Server) -> R,
     ) -> R {
-        self.request(kind, window, true, f)
+        let mut s = self.server.borrow_mut();
+        s.flush_all();
+        let start = std::time::Instant::now();
+        let seq = s.next_seq(self.client);
+        s.note_request(self.client, true);
+        let work_start = std::time::Instant::now();
+        let r = f(&mut s);
+        let end = std::time::Instant::now();
+        s.work_time += end - work_start;
+        s.record_request(self.client, seq, kind, true, window, end - start);
+        r
+    }
+
+    /// Redeems a cookie: blocks (flushes) if the reply has not already
+    /// been executed, then returns the typed result.
+    pub fn wait<T: FromReply>(&self, cookie: Cookie<T>) -> T {
+        let mut s = self.server.borrow_mut();
+        if !s.has_reply(self.client, cookie.seq) {
+            s.flush_all();
+        }
+        let v = s
+            .take_reply(self.client, cookie.seq)
+            .expect("no reply filed for cookie (double wait?)");
+        T::from_reply(v).expect("reply payload does not match cookie type")
     }
 
     // --- atoms ---
@@ -235,6 +393,16 @@ impl Connection {
     /// Interns an atom (round trip).
     pub fn intern_atom(&self, name: &str) -> Atom {
         self.round_trip(RequestKind::InternAtom, Xid::NONE, |s| s.atoms.intern(name))
+    }
+
+    /// Interns an atom without blocking (pipelined).
+    pub fn send_intern_atom(&self, name: &str) -> Cookie<Atom> {
+        Cookie::new(self.pipelined(RequestKind::InternAtom, Xid::NONE, |seq| {
+            QueuedRequest::InternAtom {
+                seq,
+                name: name.to_string(),
+            }
+        }))
     }
 
     /// Gets an atom's name (round trip).
@@ -246,7 +414,8 @@ impl Connection {
 
     // --- windows ---
 
-    /// Creates an (unmapped) window.
+    /// Creates an (unmapped) window. The id is allocated client-side and
+    /// returned immediately; the CreateWindow itself is buffered.
     pub fn create_window(
         &self,
         parent: WindowId,
@@ -256,24 +425,62 @@ impl Connection {
         height: u32,
         border_width: u32,
     ) -> Option<WindowId> {
-        self.one_way(RequestKind::CreateWindow, parent, |s| {
-            s.create_window(self.client, parent, x, y, width, height, border_width)
-        })
+        let mut s = self.server.borrow_mut();
+        let seq = s.next_seq(self.client);
+        if !s.window_exists_or_pending(parent) {
+            // Still counted (the server would answer with an error); no
+            // id is handed out and nothing is queued.
+            s.enqueue_request(
+                self.client,
+                RequestKind::CreateWindow,
+                false,
+                parent,
+                seq,
+                None,
+            );
+            return None;
+        }
+        let id = s.reserve_window_id();
+        s.enqueue_request(
+            self.client,
+            RequestKind::CreateWindow,
+            false,
+            parent,
+            seq,
+            Some(QueuedRequest::CreateWindow {
+                id,
+                parent,
+                x,
+                y,
+                width,
+                height,
+                border_width,
+            }),
+        );
+        Some(id)
     }
 
     /// Destroys a window and its descendants.
     pub fn destroy_window(&self, id: WindowId) {
-        self.one_way(RequestKind::DestroyWindow, id, |s| s.destroy_window(id));
+        self.one_way(
+            RequestKind::DestroyWindow,
+            id,
+            QueuedRequest::DestroyWindow { id },
+        );
     }
 
     /// Maps a window.
     pub fn map_window(&self, id: WindowId) {
-        self.one_way(RequestKind::MapWindow, id, |s| s.map_window(id));
+        self.one_way(RequestKind::MapWindow, id, QueuedRequest::MapWindow { id });
     }
 
     /// Unmaps a window.
     pub fn unmap_window(&self, id: WindowId) {
-        self.one_way(RequestKind::UnmapWindow, id, |s| s.unmap_window(id));
+        self.one_way(
+            RequestKind::UnmapWindow,
+            id,
+            QueuedRequest::UnmapWindow { id },
+        );
     }
 
     /// Moves/resizes a window.
@@ -286,56 +493,86 @@ impl Connection {
         height: Option<u32>,
         border_width: Option<u32>,
     ) {
-        self.one_way(RequestKind::ConfigureWindow, id, |s| {
-            s.configure_window(id, x, y, width, height, border_width)
-        });
+        self.one_way(
+            RequestKind::ConfigureWindow,
+            id,
+            QueuedRequest::ConfigureWindow {
+                id,
+                x,
+                y,
+                width,
+                height,
+                border_width,
+            },
+        );
     }
 
     /// Raises a window above its siblings.
     pub fn raise_window(&self, id: WindowId) {
-        self.one_way(RequestKind::RaiseWindow, id, |s| s.raise_window(id));
+        self.one_way(
+            RequestKind::RaiseWindow,
+            id,
+            QueuedRequest::RaiseWindow { id },
+        );
     }
 
     /// Reparents a window to a new parent at the given position.
     pub fn reparent_window(&self, id: WindowId, new_parent: WindowId, x: i32, y: i32) {
-        self.one_way(RequestKind::ReparentWindow, id, |s| {
-            s.reparent_window(id, new_parent, x, y)
-        });
+        self.one_way(
+            RequestKind::ReparentWindow,
+            id,
+            QueuedRequest::ReparentWindow {
+                id,
+                new_parent,
+                x,
+                y,
+            },
+        );
     }
 
     /// Selects the events this client wants from a window.
     pub fn select_input(&self, id: WindowId, event_mask: u32) {
-        self.one_way(RequestKind::SelectInput, id, |s| {
-            s.select_input(self.client, id, event_mask)
-        });
+        self.one_way(
+            RequestKind::SelectInput,
+            id,
+            QueuedRequest::SelectInput { id, event_mask },
+        );
     }
 
     /// Sets the window background pixel.
     pub fn set_window_background(&self, id: WindowId, pixel: Pixel) {
-        self.one_way(RequestKind::ChangeWindowAttributes, id, |s| {
-            s.set_window_background(id, pixel)
-        });
+        self.one_way(
+            RequestKind::ChangeWindowAttributes,
+            id,
+            QueuedRequest::SetWindowBackground { id, pixel },
+        );
     }
 
     /// Sets the window border pixel.
     pub fn set_window_border(&self, id: WindowId, pixel: Pixel) {
-        self.one_way(RequestKind::ChangeWindowAttributes, id, |s| {
-            s.set_window_border(id, pixel)
-        });
+        self.one_way(
+            RequestKind::ChangeWindowAttributes,
+            id,
+            QueuedRequest::SetWindowBorder { id, pixel },
+        );
     }
 
     /// Marks a window override-redirect (popup menus).
     pub fn set_override_redirect(&self, id: WindowId, on: bool) {
-        self.one_way(RequestKind::ChangeWindowAttributes, id, |s| {
-            s.set_override_redirect(id, on)
-        });
+        self.one_way(
+            RequestKind::ChangeWindowAttributes,
+            id,
+            QueuedRequest::SetOverrideRedirect { id, on },
+        );
     }
 
     /// Attaches a cursor to a window.
     pub fn define_cursor(&self, id: WindowId, cursor: CursorId) {
-        self.one_way(RequestKind::ChangeWindowAttributes, id, |s| {
-            s.define_cursor(id, cursor)
-        });
+        self.one_way(
+            RequestKind::ChangeWindowAttributes,
+            id,
+            QueuedRequest::DefineCursor { id, cursor },
+        );
     }
 
     /// Queries parent and children (round trip).
@@ -344,8 +581,15 @@ impl Connection {
     }
 
     /// Queries geometry (round trip).
-    pub fn get_geometry(&self, id: WindowId) -> Option<(i32, i32, u32, u32, u32)> {
+    pub fn get_geometry(&self, id: WindowId) -> Option<Geometry> {
         self.round_trip(RequestKind::GetGeometry, id, |s| s.get_geometry(id))
+    }
+
+    /// Queries geometry without blocking (pipelined).
+    pub fn send_get_geometry(&self, id: WindowId) -> Cookie<Option<Geometry>> {
+        Cookie::new(self.pipelined(RequestKind::GetGeometry, id, |seq| {
+            QueuedRequest::GetGeometry { seq, id }
+        }))
     }
 
     /// Is the window viewable? (round trip)
@@ -357,9 +601,15 @@ impl Connection {
 
     /// Sets a property.
     pub fn change_property(&self, id: WindowId, atom: Atom, value: &str) {
-        self.one_way(RequestKind::ChangeProperty, id, |s| {
-            s.change_property(id, atom, value.to_string())
-        });
+        self.one_way(
+            RequestKind::ChangeProperty,
+            id,
+            QueuedRequest::ChangeProperty {
+                id,
+                atom,
+                value: value.to_string(),
+            },
+        );
     }
 
     /// Reads a property (round trip).
@@ -367,11 +617,20 @@ impl Connection {
         self.round_trip(RequestKind::GetProperty, id, |s| s.get_property(id, atom))
     }
 
+    /// Reads a property without blocking (pipelined).
+    pub fn send_get_property(&self, id: WindowId, atom: Atom) -> Cookie<Option<String>> {
+        Cookie::new(self.pipelined(RequestKind::GetProperty, id, |seq| {
+            QueuedRequest::GetProperty { seq, id, atom }
+        }))
+    }
+
     /// Deletes a property.
     pub fn delete_property(&self, id: WindowId, atom: Atom) {
-        self.one_way(RequestKind::DeleteProperty, id, |s| {
-            s.delete_property(id, atom)
-        });
+        self.one_way(
+            RequestKind::DeleteProperty,
+            id,
+            QueuedRequest::DeleteProperty { id, atom },
+        );
     }
 
     // --- colors, fonts, cursors, GCs ---
@@ -383,6 +642,16 @@ impl Connection {
         })
     }
 
+    /// Allocates a named color without blocking (pipelined).
+    pub fn send_alloc_named_color(&self, name: &str) -> Cookie<Option<(Pixel, Rgb)>> {
+        Cookie::new(self.pipelined(RequestKind::AllocColor, Xid::NONE, |seq| {
+            QueuedRequest::AllocNamedColor {
+                seq,
+                name: name.to_string(),
+            }
+        }))
+    }
+
     /// Allocates an RGB color (round trip).
     pub fn alloc_color(&self, rgb: Rgb) -> Pixel {
         self.round_trip(RequestKind::AllocColor, Xid::NONE, |s| {
@@ -390,11 +659,20 @@ impl Connection {
         })
     }
 
+    /// Allocates an RGB color without blocking (pipelined).
+    pub fn send_alloc_color(&self, rgb: Rgb) -> Cookie<Pixel> {
+        Cookie::new(self.pipelined(RequestKind::AllocColor, Xid::NONE, |seq| {
+            QueuedRequest::AllocColor { seq, rgb }
+        }))
+    }
+
     /// Frees one reference to a pixel.
     pub fn free_color(&self, pixel: Pixel) {
-        self.one_way(RequestKind::FreeColor, Xid::NONE, |s| {
-            s.colormap.free(pixel)
-        });
+        self.one_way(
+            RequestKind::FreeColor,
+            Xid::NONE,
+            QueuedRequest::FreeColor { pixel },
+        );
     }
 
     /// Looks up the RGB stored in a pixel (round trip).
@@ -421,16 +699,30 @@ impl Connection {
         })
     }
 
-    /// Uploads a bitmap to the server.
+    /// Uploads a bitmap to the server. The id is allocated client-side;
+    /// the upload itself is buffered.
     pub fn create_bitmap(&self, bitmap: crate::bitmap::Bitmap) -> crate::bitmap::BitmapId {
-        self.one_way(RequestKind::CreateBitmap, Xid::NONE, |s| {
-            s.bitmaps.create(bitmap)
-        })
+        let mut s = self.server.borrow_mut();
+        let seq = s.next_seq(self.client);
+        let id = s.bitmaps.reserve();
+        s.enqueue_request(
+            self.client,
+            RequestKind::CreateBitmap,
+            false,
+            Xid::NONE,
+            seq,
+            Some(QueuedRequest::CreateBitmap { id, bitmap }),
+        );
+        id
     }
 
     /// Frees a bitmap.
     pub fn free_bitmap(&self, id: crate::bitmap::BitmapId) {
-        self.one_way(RequestKind::FreeBitmap, Xid::NONE, |s| s.bitmaps.free(id));
+        self.one_way(
+            RequestKind::FreeBitmap,
+            Xid::NONE,
+            QueuedRequest::FreeBitmap { id },
+        );
     }
 
     /// Dimensions of an uploaded bitmap (round trip).
@@ -449,70 +741,119 @@ impl Connection {
         y: i32,
         bitmap: crate::bitmap::BitmapId,
     ) {
-        self.one_way(RequestKind::CopyBitmap, id, |s| {
-            s.copy_bitmap(id, gc, x, y, bitmap)
-        });
+        self.one_way(
+            RequestKind::CopyBitmap,
+            id,
+            QueuedRequest::CopyBitmap {
+                id,
+                gc,
+                x,
+                y,
+                bitmap,
+            },
+        );
     }
 
-    /// Creates a GC.
+    /// Creates a GC. The id is allocated client-side; the CreateGc itself
+    /// is buffered.
     pub fn create_gc(&self, values: GcValues) -> GcId {
-        self.one_way(RequestKind::CreateGc, Xid::NONE, |s| s.gcs.create(values))
+        let mut s = self.server.borrow_mut();
+        let seq = s.next_seq(self.client);
+        let id = s.gcs.reserve();
+        s.enqueue_request(
+            self.client,
+            RequestKind::CreateGc,
+            false,
+            Xid::NONE,
+            seq,
+            Some(QueuedRequest::CreateGc { id, values }),
+        );
+        id
     }
 
     /// Changes a GC.
     pub fn change_gc(&self, gc: GcId, values: GcValues) {
-        self.one_way(RequestKind::ChangeGc, Xid::NONE, |s| {
-            s.gcs.change(gc, values);
-        });
+        self.one_way(
+            RequestKind::ChangeGc,
+            Xid::NONE,
+            QueuedRequest::ChangeGc { gc, values },
+        );
     }
 
     /// Frees a GC.
     pub fn free_gc(&self, gc: GcId) {
-        self.one_way(RequestKind::FreeGc, Xid::NONE, |s| s.gcs.free(gc));
+        self.one_way(RequestKind::FreeGc, Xid::NONE, QueuedRequest::FreeGc { gc });
     }
 
     // --- drawing ---
 
     /// Fills a rectangle in window coordinates.
     pub fn fill_rectangle(&self, id: WindowId, gc: GcId, x: i32, y: i32, w: u32, h: u32) {
-        self.one_way(RequestKind::FillRectangle, id, |s| {
-            s.fill_rectangle(id, gc, x, y, w, h)
-        });
+        self.one_way(
+            RequestKind::FillRectangle,
+            id,
+            QueuedRequest::FillRectangle { id, gc, x, y, w, h },
+        );
     }
 
     /// Draws a rectangle outline.
     pub fn draw_rectangle(&self, id: WindowId, gc: GcId, x: i32, y: i32, w: u32, h: u32) {
-        self.one_way(RequestKind::DrawRectangle, id, |s| {
-            s.draw_rectangle(id, gc, x, y, w, h)
-        });
+        self.one_way(
+            RequestKind::DrawRectangle,
+            id,
+            QueuedRequest::DrawRectangle { id, gc, x, y, w, h },
+        );
     }
 
     /// Draws a line.
     pub fn draw_line(&self, id: WindowId, gc: GcId, x0: i32, y0: i32, x1: i32, y1: i32) {
-        self.one_way(RequestKind::DrawLine, id, |s| {
-            s.draw_line(id, gc, x0, y0, x1, y1)
-        });
+        self.one_way(
+            RequestKind::DrawLine,
+            id,
+            QueuedRequest::DrawLine {
+                id,
+                gc,
+                x0,
+                y0,
+                x1,
+                y1,
+            },
+        );
     }
 
     /// Draws a string, baseline at `(x, y)`.
     pub fn draw_string(&self, id: WindowId, gc: GcId, x: i32, y: i32, text: &str) {
-        self.one_way(RequestKind::DrawString, id, |s| {
-            s.draw_string(id, gc, x, y, text)
-        });
+        self.one_way(
+            RequestKind::DrawString,
+            id,
+            QueuedRequest::DrawString {
+                id,
+                gc,
+                x,
+                y,
+                text: text.to_string(),
+            },
+        );
     }
 
     /// Clears an area to the window background (0 size = whole window).
     pub fn clear_area(&self, id: WindowId, x: i32, y: i32, w: u32, h: u32) {
-        self.one_way(RequestKind::ClearArea, id, |s| s.clear_area(id, x, y, w, h));
+        self.one_way(
+            RequestKind::ClearArea,
+            id,
+            QueuedRequest::ClearArea { id, x, y, w, h },
+        );
     }
 
     // --- selections ---
 
     /// Claims selection ownership.
     pub fn set_selection_owner(&self, selection: Atom, owner: WindowId) {
-        self.one_way(RequestKind::SetSelectionOwner, owner, |s| {
-            s.set_selection_owner(self.client, selection, owner)
-        });
+        self.one_way(
+            RequestKind::SetSelectionOwner,
+            owner,
+            QueuedRequest::SetSelectionOwner { selection, owner },
+        );
     }
 
     /// Queries the selection owner (round trip).
@@ -530,9 +871,16 @@ impl Connection {
         target: Atom,
         property: Atom,
     ) {
-        self.one_way(RequestKind::ConvertSelection, requestor, |s| {
-            s.convert_selection(requestor, selection, target, property)
-        });
+        self.one_way(
+            RequestKind::ConvertSelection,
+            requestor,
+            QueuedRequest::ConvertSelection {
+                requestor,
+                selection,
+                target,
+                property,
+            },
+        );
     }
 
     /// Replies to a SelectionRequest after storing the converted value.
@@ -543,16 +891,27 @@ impl Connection {
         target: Atom,
         property: Atom,
     ) {
-        self.one_way(RequestKind::SendEvent, requestor, |s| {
-            s.send_selection_notify(requestor, selection, target, property)
-        });
+        self.one_way(
+            RequestKind::SendEvent,
+            requestor,
+            QueuedRequest::SendSelectionNotify {
+                requestor,
+                selection,
+                target,
+                property,
+            },
+        );
     }
 
     // --- focus ---
 
     /// Assigns the input focus.
     pub fn set_input_focus(&self, id: WindowId) {
-        self.one_way(RequestKind::SetInputFocus, id, |s| s.set_input_focus(id));
+        self.one_way(
+            RequestKind::SetInputFocus,
+            id,
+            QueuedRequest::SetInputFocus { id },
+        );
     }
 
     /// Queries the input focus (round trip).
@@ -564,14 +923,20 @@ impl Connection {
 
     // --- events ---
 
-    /// Takes the next queued event, if any.
+    /// Takes the next queued event, if any. Like `XPending`/`XNextEvent`,
+    /// checking for events is a flush point: all output buffers are
+    /// written out before looking at the queue.
     pub fn poll_event(&self) -> Option<Event> {
-        self.server.borrow_mut().poll_event(self.client)
+        let mut s = self.server.borrow_mut();
+        s.flush_all();
+        s.poll_event(self.client)
     }
 
-    /// Number of queued events.
+    /// Number of queued events (flushes first, like `XPending`).
     pub fn pending(&self) -> usize {
-        self.server.borrow().pending(self.client)
+        let mut s = self.server.borrow_mut();
+        s.flush_all();
+        s.pending(self.client)
     }
 }
 
@@ -579,6 +944,7 @@ impl Connection {
 mod tests {
     use super::*;
     use crate::event::mask;
+    use crate::server::OUT_BUF_CAPACITY;
 
     #[test]
     fn connection_counts_round_trips() {
@@ -591,6 +957,95 @@ mod tests {
         let st = c.stats();
         assert_eq!(st.requests, 4);
         assert_eq!(st.round_trips, 2);
+    }
+
+    #[test]
+    fn one_ways_batch_until_a_flush_point() {
+        let d = Display::new();
+        let c = d.connect();
+        let w = c.create_window(c.root(), 0, 0, 10, 10, 0).unwrap();
+        c.map_window(w);
+        // Nothing has reached the server yet: the window id is reserved
+        // client-side but the CreateWindow is still in the buffer.
+        assert!(d.server.borrow().get_geometry(w).is_none());
+        c.flush();
+        assert_eq!(d.server.borrow().get_geometry(w), Some((0, 0, 10, 10, 0)));
+        let st = c.stats();
+        assert_eq!(st.requests, 2);
+        assert_eq!(st.batched_requests, 2);
+        assert_eq!(st.flushes, 1);
+        assert_eq!(st.max_batch, 2);
+    }
+
+    #[test]
+    fn buffer_full_forces_a_flush() {
+        let d = Display::new();
+        let c = d.connect();
+        let w = c.create_window(c.root(), 0, 0, 10, 10, 0).unwrap();
+        c.flush();
+        for _ in 0..OUT_BUF_CAPACITY {
+            c.clear_area(w, 0, 0, 1, 1);
+        }
+        let st = c.stats();
+        assert_eq!(st.flushes, 2, "capacity flush after the explicit one");
+        assert_eq!(st.max_batch, OUT_BUF_CAPACITY as u64);
+    }
+
+    #[test]
+    fn replies_arrive_in_sequence_order_without_reordering_one_ways() {
+        let d = Display::new();
+        let c = d.connect();
+        let w = c.create_window(c.root(), 0, 0, 10, 10, 0).unwrap();
+        let a = c.intern_atom("A");
+        // Interleave one-way writes with pipelined reads. Each read's
+        // reply must observe exactly the writes queued before it — if a
+        // one-way were reordered past a later reply-bearing request, the
+        // earlier read would see the later value.
+        c.change_property(w, a, "first");
+        let p1 = c.send_get_property(w, a);
+        c.change_property(w, a, "second");
+        let p2 = c.send_get_property(w, a);
+        c.change_property(w, a, "third");
+        let g = c.send_get_geometry(w);
+        assert!(p1.sequence() < p2.sequence());
+        assert!(p2.sequence() < g.sequence());
+        assert_eq!(c.wait(p1), Some("first".to_string()));
+        assert_eq!(c.wait(p2), Some("second".to_string()));
+        assert_eq!(c.wait(g), Some((0, 0, 10, 10, 0)));
+        // And the final state is the last write.
+        assert_eq!(c.get_property(w, a), Some("third".to_string()));
+        let st = c.stats();
+        assert!(st.max_pending_replies >= 3, "{st:?}");
+    }
+
+    #[test]
+    fn cookies_can_be_redeemed_out_of_order() {
+        let d = Display::new();
+        let c = d.connect();
+        let a1 = c.send_intern_atom("ONE");
+        let a2 = c.send_intern_atom("TWO");
+        let two = c.wait(a2);
+        let one = c.wait(a1);
+        assert_ne!(one, two);
+        // One blocking flush carried both replies.
+        assert_eq!(c.stats().flushes, 1);
+        assert_eq!(c.stats().round_trips, 2);
+    }
+
+    #[test]
+    fn disabling_batching_restores_the_synchronous_transport() {
+        let d = Display::new();
+        let c = d.connect();
+        c.set_batching(false);
+        let w = c.create_window(c.root(), 0, 0, 10, 10, 0).unwrap();
+        c.map_window(w);
+        // Executed immediately: no flush needed to observe the window.
+        assert!(d.server.borrow().get_geometry(w).is_some());
+        let st = c.stats();
+        assert_eq!(st.requests, 2);
+        assert_eq!(st.flushes, 2, "every request is its own flush");
+        assert_eq!(st.batched_requests, 0);
+        assert_eq!(st.max_batch, 1);
     }
 
     #[test]
@@ -659,6 +1114,8 @@ mod tests {
         let kinds = c.obs_kind_counts();
         let total: u64 = kinds.iter().map(|(_, n)| n).sum();
         assert_eq!(total, stats.requests);
+        let rt_total: u64 = c.obs_kind_round_trip_counts().iter().map(|(_, n)| n).sum();
+        assert_eq!(rt_total, stats.round_trips);
         assert_eq!(c.obs_request_histogram().count(), stats.requests);
         assert_eq!(c.obs_round_trip_histogram().count(), stats.round_trips);
         assert!(kinds.contains(&("CreateWindow", 1)), "{kinds:?}");
@@ -698,8 +1155,7 @@ mod tests {
 
         c.reset_obs();
         let stats = c.stats();
-        assert_eq!(stats.requests, 0);
-        assert_eq!(stats.round_trips, 0);
+        assert_eq!(stats, ClientStats::default(), "all counters zeroed");
         assert!(c.obs_kind_counts().is_empty());
         assert!(c.obs_request_histogram().is_empty());
         assert!(c.obs_round_trip_histogram().is_empty());
@@ -713,6 +1169,19 @@ mod tests {
     }
 
     #[test]
+    fn reset_obs_flushes_so_epochs_are_exact() {
+        let d = Display::new();
+        let c = d.connect();
+        let w = c.create_window(c.root(), 0, 0, 50, 50, 1).unwrap();
+        // Buffer still holds the CreateWindow; reset must flush it so the
+        // new epoch starts with an empty buffer and zeroed counters.
+        c.reset_obs();
+        assert_eq!(c.stats(), ClientStats::default());
+        // The window exists (the buffered create was executed, not lost).
+        assert!(d.server.borrow().get_geometry(w).is_some());
+    }
+
+    #[test]
     fn server_reset_stats_covers_obs_state() {
         let d = Display::new();
         let c = d.connect();
@@ -720,6 +1189,7 @@ mod tests {
         c.get_geometry(w);
         d.with_server(|s| s.reset_stats());
         assert_eq!(c.stats().requests, 0);
+        assert_eq!(c.stats().flushes, 0);
         assert!(c.obs_kind_counts().is_empty());
         assert!(c.obs_request_histogram().is_empty());
     }

@@ -47,6 +47,17 @@ impl GcTable {
         id
     }
 
+    /// Hands out an id for a CreateGc still sitting in an output buffer
+    /// (client-side XID allocation).
+    pub fn reserve(&mut self) -> GcId {
+        self.ids.alloc()
+    }
+
+    /// Creates a GC under a pre-reserved id (the buffered-transport path).
+    pub fn create_with_id(&mut self, id: GcId, values: GcValues) {
+        self.gcs.insert(id, values);
+    }
+
     /// Updates an existing GC; returns false if the id is stale.
     pub fn change(&mut self, id: GcId, values: GcValues) -> bool {
         match self.gcs.get_mut(&id) {

@@ -48,11 +48,11 @@ pub mod window;
 pub use atom::Atom;
 pub use bitmap::{Bitmap, BitmapId};
 pub use color::{lookup_color, Rgb};
-pub use connection::{Connection, Display};
+pub use connection::{Connection, Cookie, Display, FromReply, Geometry};
 pub use event::{Event, Keysym};
 pub use font::FontMetrics;
 pub use gc::GcValues;
 pub use ids::{ClientId, CursorId, FontId, GcId, Pixel, WindowId, Xid};
 pub use obs::{ClientObs, RequestKind, TraceEntry};
 pub use render::Surface;
-pub use server::{ClientStats, Server, SCREEN_HEIGHT, SCREEN_WIDTH};
+pub use server::{ClientStats, Server, OUT_BUF_CAPACITY, SCREEN_HEIGHT, SCREEN_WIDTH};

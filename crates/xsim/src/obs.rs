@@ -183,6 +183,9 @@ pub const TRACE_CAPACITY: usize = 1024;
 pub struct ClientObs {
     /// Requests issued, by kind.
     pub kind_counts: [u64; RequestKind::COUNT],
+    /// Round-trip (reply-bearing) requests issued, by kind; subtracting
+    /// from `kind_counts` gives the one-way count per kind.
+    pub kind_round_trips: [u64; RequestKind::COUNT],
     /// Latency of every request.
     pub request_ns: Histogram,
     /// Latency of round-trip requests only (the paper's expensive class).
@@ -197,6 +200,7 @@ impl Default for ClientObs {
     fn default() -> Self {
         ClientObs {
             kind_counts: [0; RequestKind::COUNT],
+            kind_round_trips: [0; RequestKind::COUNT],
             request_ns: Histogram::new(),
             round_trip_ns: Histogram::new(),
             trace: Ring::new(TRACE_CAPACITY),
@@ -219,6 +223,7 @@ impl ClientObs {
         self.kind_counts[kind as usize] += 1;
         self.request_ns.record(ns);
         if round_trip {
+            self.kind_round_trips[kind as usize] += 1;
             self.round_trip_ns.record(ns);
         }
         if self.trace_enabled {
@@ -241,6 +246,15 @@ impl ClientObs {
             .collect()
     }
 
+    /// Round-trip kinds with a non-zero count, as `(name, count)` pairs.
+    pub fn kind_round_trip_counts(&self) -> Vec<(&'static str, u64)> {
+        RequestKind::ALL
+            .iter()
+            .filter(|k| self.kind_round_trips[**k as usize] > 0)
+            .map(|k| (k.name(), self.kind_round_trips[*k as usize]))
+            .collect()
+    }
+
     /// Total requests recorded (sum over kinds).
     pub fn total_requests(&self) -> u64 {
         self.kind_counts.iter().sum()
@@ -260,6 +274,10 @@ impl ClientObs {
         for (name, count) in self.kind_counts() {
             by_kind.field_u64(name, count);
         }
+        let mut by_kind_rt = rtk_obs::json::Object::new();
+        for (name, count) in self.kind_round_trip_counts() {
+            by_kind_rt.field_u64(name, count);
+        }
         let mut trace = rtk_obs::json::Array::new();
         for e in self.trace.iter() {
             let mut o = rtk_obs::json::Object::new();
@@ -272,6 +290,7 @@ impl ClientObs {
         }
         let mut o = rtk_obs::json::Object::new();
         o.field_raw("by_kind", &by_kind.build());
+        o.field_raw("by_kind_round_trip", &by_kind_rt.build());
         o.field_raw("request_ns", &self.request_ns.to_json());
         o.field_raw("round_trip_ns", &self.round_trip_ns.to_json());
         o.field_bool("trace_enabled", self.trace_enabled);
@@ -320,6 +339,7 @@ mod tests {
             o.kind_counts(),
             vec![("CreateWindow", 1), ("GetGeometry", 1)]
         );
+        assert_eq!(o.kind_round_trip_counts(), vec![("GetGeometry", 1)]);
         assert_eq!(o.request_ns.count(), 2);
         assert_eq!(o.round_trip_ns.count(), 1);
         // Trace off by default: nothing recorded.
@@ -383,6 +403,10 @@ mod tests {
         let j = o.to_json();
         assert!(rtk_obs::json::is_valid(&j), "{j}");
         assert!(j.contains("\"InternAtom\":1"), "{j}");
+        assert!(
+            j.contains("\"by_kind_round_trip\":{\"InternAtom\":1}"),
+            "{j}"
+        );
         assert!(j.contains("\"round_trip_ns\""), "{j}");
         assert!(j.contains("\"trace\":[{"), "{j}");
     }

@@ -8,7 +8,7 @@
 //! client, which is the accounting the paper's Table II and Section 3.3
 //! experiments rely on.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use crate::atom::{Atom, AtomTable};
 use crate::color::{lookup_color, Colormap, Rgb};
@@ -30,6 +30,227 @@ pub struct ClientStats {
     pub round_trips: u64,
     /// Events delivered to this client.
     pub events: u64,
+    /// Non-empty output-buffer flushes: each one is a single client→server
+    /// write carrying every request queued since the previous flush.
+    pub flushes: u64,
+    /// Requests that traveled through the output buffer (0 when batching
+    /// is disabled via `RTK_NO_BATCH` or [`Server::set_batching`]).
+    pub batched_requests: u64,
+    /// Largest number of requests carried by one flush.
+    pub max_batch: u64,
+    /// High-water mark of outstanding pipelined replies (cookies issued
+    /// but not yet redeemed).
+    pub max_pending_replies: u64,
+}
+
+/// Capacity of the per-client output buffer; reaching it forces a flush,
+/// like Xlib's fixed-size request buffer.
+pub const OUT_BUF_CAPACITY: usize = 256;
+
+/// A buffered request, held in the per-client output buffer until a flush
+/// point. Reply-bearing variants carry the sequence number under which
+/// their reply is filed for later collection.
+#[derive(Debug, Clone)]
+#[allow(clippy::enum_variant_names)]
+pub(crate) enum QueuedRequest {
+    CreateWindow {
+        id: WindowId,
+        parent: WindowId,
+        x: i32,
+        y: i32,
+        width: u32,
+        height: u32,
+        border_width: u32,
+    },
+    DestroyWindow {
+        id: WindowId,
+    },
+    MapWindow {
+        id: WindowId,
+    },
+    UnmapWindow {
+        id: WindowId,
+    },
+    ConfigureWindow {
+        id: WindowId,
+        x: Option<i32>,
+        y: Option<i32>,
+        width: Option<u32>,
+        height: Option<u32>,
+        border_width: Option<u32>,
+    },
+    RaiseWindow {
+        id: WindowId,
+    },
+    ReparentWindow {
+        id: WindowId,
+        new_parent: WindowId,
+        x: i32,
+        y: i32,
+    },
+    SelectInput {
+        id: WindowId,
+        event_mask: u32,
+    },
+    SetWindowBackground {
+        id: WindowId,
+        pixel: Pixel,
+    },
+    SetWindowBorder {
+        id: WindowId,
+        pixel: Pixel,
+    },
+    SetOverrideRedirect {
+        id: WindowId,
+        on: bool,
+    },
+    DefineCursor {
+        id: WindowId,
+        cursor: CursorId,
+    },
+    ChangeProperty {
+        id: WindowId,
+        atom: Atom,
+        value: String,
+    },
+    DeleteProperty {
+        id: WindowId,
+        atom: Atom,
+    },
+    FreeColor {
+        pixel: Pixel,
+    },
+    CreateBitmap {
+        id: crate::bitmap::BitmapId,
+        bitmap: crate::bitmap::Bitmap,
+    },
+    FreeBitmap {
+        id: crate::bitmap::BitmapId,
+    },
+    CopyBitmap {
+        id: WindowId,
+        gc: GcId,
+        x: i32,
+        y: i32,
+        bitmap: crate::bitmap::BitmapId,
+    },
+    CreateGc {
+        id: GcId,
+        values: GcValues,
+    },
+    ChangeGc {
+        gc: GcId,
+        values: GcValues,
+    },
+    FreeGc {
+        gc: GcId,
+    },
+    FillRectangle {
+        id: WindowId,
+        gc: GcId,
+        x: i32,
+        y: i32,
+        w: u32,
+        h: u32,
+    },
+    DrawRectangle {
+        id: WindowId,
+        gc: GcId,
+        x: i32,
+        y: i32,
+        w: u32,
+        h: u32,
+    },
+    DrawLine {
+        id: WindowId,
+        gc: GcId,
+        x0: i32,
+        y0: i32,
+        x1: i32,
+        y1: i32,
+    },
+    DrawString {
+        id: WindowId,
+        gc: GcId,
+        x: i32,
+        y: i32,
+        text: String,
+    },
+    ClearArea {
+        id: WindowId,
+        x: i32,
+        y: i32,
+        w: u32,
+        h: u32,
+    },
+    SetSelectionOwner {
+        selection: Atom,
+        owner: WindowId,
+    },
+    ConvertSelection {
+        requestor: WindowId,
+        selection: Atom,
+        target: Atom,
+        property: Atom,
+    },
+    SendSelectionNotify {
+        requestor: WindowId,
+        selection: Atom,
+        target: Atom,
+        property: Atom,
+    },
+    SetInputFocus {
+        id: WindowId,
+    },
+    // Reply-bearing requests that were pipelined instead of executed
+    // synchronously; the reply lands in the per-client reply table.
+    InternAtom {
+        seq: u64,
+        name: String,
+    },
+    AllocColor {
+        seq: u64,
+        rgb: Rgb,
+    },
+    AllocNamedColor {
+        seq: u64,
+        name: String,
+    },
+    GetProperty {
+        seq: u64,
+        id: WindowId,
+        atom: Atom,
+    },
+    GetGeometry {
+        seq: u64,
+        id: WindowId,
+    },
+}
+
+impl QueuedRequest {
+    fn expects_reply(&self) -> bool {
+        matches!(
+            self,
+            QueuedRequest::InternAtom { .. }
+                | QueuedRequest::AllocColor { .. }
+                | QueuedRequest::AllocNamedColor { .. }
+                | QueuedRequest::GetProperty { .. }
+                | QueuedRequest::GetGeometry { .. }
+        )
+    }
+}
+
+/// The payload of a collected pipelined reply. Public only because the
+/// `FromReply` conversion trait needs it in its signature; not part of the
+/// supported API surface.
+#[doc(hidden)]
+#[derive(Debug, Clone)]
+pub enum ReplyValue {
+    Atom(Atom),
+    Pixel(Pixel),
+    NamedColor(Option<(Pixel, Rgb)>),
+    Property(Option<String>),
+    Geometry(Option<(i32, i32, u32, u32, u32)>),
 }
 
 #[derive(Debug, Default)]
@@ -37,6 +258,14 @@ struct ClientState {
     queue: VecDeque<Event>,
     stats: ClientStats,
     obs: ClientObs,
+    /// The Xlib-style output buffer: requests wait here until a flush.
+    out_buf: Vec<QueuedRequest>,
+    /// Executed-but-uncollected pipelined replies, keyed by sequence number.
+    replies: HashMap<u64, ReplyValue>,
+    /// Cookies issued and not yet redeemed (live pipelining depth).
+    pending_replies: u64,
+    /// Per-client request sequence counter (the X sequence number).
+    next_seq: u64,
 }
 
 /// The selection table entry: who owns a selection.
@@ -59,6 +288,11 @@ pub struct Server {
     ids: IdAllocator,
     next_client: u32,
     clients: HashMap<ClientId, ClientState>,
+    /// Window ids handed to clients whose CreateWindow is still buffered.
+    pending_windows: HashSet<WindowId>,
+    /// Output buffering on/off (off = every request flushes immediately,
+    /// reproducing the pre-buffer synchronous transport).
+    batching: bool,
     selections: HashMap<Atom, SelectionOwner>,
     focus: WindowId,
     pointer: (i32, i32),
@@ -115,6 +349,8 @@ impl Server {
             ids,
             next_client: 0,
             clients: HashMap::new(),
+            pending_windows: HashSet::new(),
+            batching: std::env::var("RTK_NO_BATCH").map_or(true, |v| v.is_empty() || v == "0"),
             selections: HashMap::new(),
             focus: Xid::NONE,
             pointer: (0, 0),
@@ -161,10 +397,13 @@ impl Server {
     }
 
     /// Resets statistics for all clients (benchmark warm-up boundary):
-    /// the coarse [`ClientStats`], the per-kind counters, the latency
+    /// the coarse [`ClientStats`] — including the flush/batch counters and
+    /// the pending-reply gauge — the per-kind counters, the latency
     /// histograms, and the protocol trace (the trace on/off toggle is
-    /// preserved), plus the server-wide work counters.
+    /// preserved), plus the server-wide work counters. Output buffers are
+    /// flushed first so the epoch boundary is exact.
     pub fn reset_stats(&mut self) {
+        self.flush_all();
         for c in self.clients.values_mut() {
             c.stats = ClientStats::default();
             c.obs.reset();
@@ -175,13 +414,279 @@ impl Server {
 
     /// Resets statistics and observability state for one client only
     /// (the Tcl-level `obs reset`), plus the server-wide work counters.
+    /// The client's output buffer is flushed first.
     pub fn reset_client_stats(&mut self, client: ClientId) {
+        self.flush_client(client);
         if let Some(c) = self.clients.get_mut(&client) {
             c.stats = ClientStats::default();
             c.obs.reset();
         }
         self.draw_requests = 0;
         self.work_time = std::time::Duration::ZERO;
+    }
+
+    // ----- output buffering (the Xlib-style transport) --------------------------
+
+    /// Is output buffering enabled?
+    pub fn batching(&self) -> bool {
+        self.batching
+    }
+
+    /// Turns output buffering on or off. Turning it off flushes pending
+    /// buffers and makes every subsequent request its own flush (batch of
+    /// one), which reproduces the old synchronous transport for
+    /// equivalence tests; the `RTK_NO_BATCH` env var sets the initial
+    /// state at server creation.
+    pub fn set_batching(&mut self, on: bool) {
+        if !on {
+            self.flush_all();
+        }
+        self.batching = on;
+    }
+
+    /// Allocates the next request sequence number for a client.
+    pub(crate) fn next_seq(&mut self, client: ClientId) -> u64 {
+        match self.clients.get_mut(&client) {
+            Some(c) => {
+                c.next_seq += 1;
+                c.next_seq
+            }
+            None => 0,
+        }
+    }
+
+    /// Accounts for a request at issue time and places it in the client's
+    /// output buffer (`None` = the request is discarded, e.g. a
+    /// CreateWindow on a dead parent, but still counted). All counters —
+    /// `requests`, per-kind, histograms, trace — bump here, at queue time,
+    /// so statistics never lag behind issued requests.
+    pub(crate) fn enqueue_request(
+        &mut self,
+        client: ClientId,
+        kind: RequestKind,
+        round_trip: bool,
+        window: WindowId,
+        seq: u64,
+        q: Option<QueuedRequest>,
+    ) {
+        let start = std::time::Instant::now();
+        let batching = self.batching;
+        let mut flush_now = !batching;
+        if let Some(c) = self.clients.get_mut(&client) {
+            c.stats.requests += 1;
+            if batching {
+                c.stats.batched_requests += 1;
+            }
+            if round_trip {
+                c.stats.round_trips += 1;
+                c.pending_replies += 1;
+                c.stats.max_pending_replies = c.stats.max_pending_replies.max(c.pending_replies);
+            }
+            if let Some(q) = q {
+                c.out_buf.push(q);
+                if c.out_buf.len() >= OUT_BUF_CAPACITY {
+                    flush_now = true;
+                }
+            }
+            c.obs.record(seq, kind, round_trip, window, start.elapsed());
+        }
+        if flush_now {
+            self.flush_client(client);
+        }
+    }
+
+    /// Flushes one client's output buffer: executes every queued request
+    /// in issue order. A single synthetic round-trip cost is charged if
+    /// the batch carried any reply-bearing request (the pipelined replies
+    /// all travel back in one blocking wait).
+    pub fn flush_client(&mut self, client: ClientId) {
+        let buf = match self.clients.get_mut(&client) {
+            Some(c) if !c.out_buf.is_empty() => std::mem::take(&mut c.out_buf),
+            _ => return,
+        };
+        let n = buf.len() as u64;
+        let mut any_reply = false;
+        let work_start = std::time::Instant::now();
+        for q in buf {
+            self.time += 1;
+            any_reply |= q.expects_reply();
+            self.apply_queued(client, q);
+        }
+        self.work_time += work_start.elapsed();
+        if any_reply {
+            self.charge_round_trip_cost();
+        }
+        if let Some(c) = self.clients.get_mut(&client) {
+            c.stats.flushes += 1;
+            c.stats.max_batch = c.stats.max_batch.max(n);
+        }
+    }
+
+    /// Flushes every client's output buffer in client-id order (the order
+    /// is fixed so request interleaving — and therefore every counter —
+    /// is deterministic run to run).
+    pub fn flush_all(&mut self) {
+        let mut ids: Vec<ClientId> = self.clients.keys().copied().collect();
+        ids.sort();
+        for id in ids {
+            self.flush_client(id);
+        }
+    }
+
+    /// Executes one buffered request. Reply-bearing variants file their
+    /// result in the client's reply table under their sequence number.
+    fn apply_queued(&mut self, client: ClientId, q: QueuedRequest) {
+        match q {
+            QueuedRequest::CreateWindow {
+                id,
+                parent,
+                x,
+                y,
+                width,
+                height,
+                border_width,
+            } => {
+                self.pending_windows.remove(&id);
+                self.create_window_with_id(client, id, parent, x, y, width, height, border_width);
+            }
+            QueuedRequest::DestroyWindow { id } => self.destroy_window(id),
+            QueuedRequest::MapWindow { id } => self.map_window(id),
+            QueuedRequest::UnmapWindow { id } => self.unmap_window(id),
+            QueuedRequest::ConfigureWindow {
+                id,
+                x,
+                y,
+                width,
+                height,
+                border_width,
+            } => self.configure_window(id, x, y, width, height, border_width),
+            QueuedRequest::RaiseWindow { id } => self.raise_window(id),
+            QueuedRequest::ReparentWindow {
+                id,
+                new_parent,
+                x,
+                y,
+            } => self.reparent_window(id, new_parent, x, y),
+            QueuedRequest::SelectInput { id, event_mask } => {
+                self.select_input(client, id, event_mask)
+            }
+            QueuedRequest::SetWindowBackground { id, pixel } => {
+                self.set_window_background(id, pixel)
+            }
+            QueuedRequest::SetWindowBorder { id, pixel } => self.set_window_border(id, pixel),
+            QueuedRequest::SetOverrideRedirect { id, on } => self.set_override_redirect(id, on),
+            QueuedRequest::DefineCursor { id, cursor } => self.define_cursor(id, cursor),
+            QueuedRequest::ChangeProperty { id, atom, value } => {
+                self.change_property(id, atom, value)
+            }
+            QueuedRequest::DeleteProperty { id, atom } => self.delete_property(id, atom),
+            QueuedRequest::FreeColor { pixel } => self.colormap.free(pixel),
+            QueuedRequest::CreateBitmap { id, bitmap } => self.bitmaps.create_with_id(id, bitmap),
+            QueuedRequest::FreeBitmap { id } => self.bitmaps.free(id),
+            QueuedRequest::CopyBitmap {
+                id,
+                gc,
+                x,
+                y,
+                bitmap,
+            } => self.copy_bitmap(id, gc, x, y, bitmap),
+            QueuedRequest::CreateGc { id, values } => self.gcs.create_with_id(id, values),
+            QueuedRequest::ChangeGc { gc, values } => {
+                self.gcs.change(gc, values);
+            }
+            QueuedRequest::FreeGc { gc } => self.gcs.free(gc),
+            QueuedRequest::FillRectangle { id, gc, x, y, w, h } => {
+                self.fill_rectangle(id, gc, x, y, w, h)
+            }
+            QueuedRequest::DrawRectangle { id, gc, x, y, w, h } => {
+                self.draw_rectangle(id, gc, x, y, w, h)
+            }
+            QueuedRequest::DrawLine {
+                id,
+                gc,
+                x0,
+                y0,
+                x1,
+                y1,
+            } => self.draw_line(id, gc, x0, y0, x1, y1),
+            QueuedRequest::DrawString { id, gc, x, y, text } => {
+                self.draw_string(id, gc, x, y, &text)
+            }
+            QueuedRequest::ClearArea { id, x, y, w, h } => self.clear_area(id, x, y, w, h),
+            QueuedRequest::SetSelectionOwner { selection, owner } => {
+                self.set_selection_owner(client, selection, owner)
+            }
+            QueuedRequest::ConvertSelection {
+                requestor,
+                selection,
+                target,
+                property,
+            } => self.convert_selection(requestor, selection, target, property),
+            QueuedRequest::SendSelectionNotify {
+                requestor,
+                selection,
+                target,
+                property,
+            } => self.send_selection_notify(requestor, selection, target, property),
+            QueuedRequest::SetInputFocus { id } => self.set_input_focus(id),
+            QueuedRequest::InternAtom { seq, name } => {
+                let v = ReplyValue::Atom(self.atoms.intern(&name));
+                self.store_reply(client, seq, v);
+            }
+            QueuedRequest::AllocColor { seq, rgb } => {
+                let v = ReplyValue::Pixel(self.colormap.alloc(rgb));
+                self.store_reply(client, seq, v);
+            }
+            QueuedRequest::AllocNamedColor { seq, name } => {
+                let v = ReplyValue::NamedColor(self.alloc_named_color(&name));
+                self.store_reply(client, seq, v);
+            }
+            QueuedRequest::GetProperty { seq, id, atom } => {
+                let v = ReplyValue::Property(self.get_property(id, atom));
+                self.store_reply(client, seq, v);
+            }
+            QueuedRequest::GetGeometry { seq, id } => {
+                let v = ReplyValue::Geometry(self.get_geometry(id));
+                self.store_reply(client, seq, v);
+            }
+        }
+    }
+
+    fn store_reply(&mut self, client: ClientId, seq: u64, v: ReplyValue) {
+        if let Some(c) = self.clients.get_mut(&client) {
+            c.replies.insert(seq, v);
+        }
+    }
+
+    /// Has the reply for `seq` been executed and filed?
+    pub(crate) fn has_reply(&self, client: ClientId, seq: u64) -> bool {
+        self.clients
+            .get(&client)
+            .is_some_and(|c| c.replies.contains_key(&seq))
+    }
+
+    /// Removes and returns the reply filed under `seq`.
+    pub(crate) fn take_reply(&mut self, client: ClientId, seq: u64) -> Option<ReplyValue> {
+        let c = self.clients.get_mut(&client)?;
+        let v = c.replies.remove(&seq);
+        if v.is_some() {
+            c.pending_replies = c.pending_replies.saturating_sub(1);
+        }
+        v
+    }
+
+    /// Does this window id name a live window or one whose CreateWindow
+    /// is still sitting in an output buffer?
+    pub(crate) fn window_exists_or_pending(&self, id: WindowId) -> bool {
+        self.tree.get(id).is_some() || self.pending_windows.contains(&id)
+    }
+
+    /// Hands out a window id ahead of the buffered CreateWindow that will
+    /// use it (client-side XID allocation, as in real X).
+    pub(crate) fn reserve_window_id(&mut self) -> WindowId {
+        let id = self.ids.alloc();
+        self.pending_windows.insert(id);
+        id
     }
 
     /// Structured observability state for one client.
@@ -200,26 +705,34 @@ impl Server {
     pub(crate) fn record_request(
         &mut self,
         client: ClientId,
+        seq: u64,
         kind: RequestKind,
         round_trip: bool,
         window: WindowId,
         duration: std::time::Duration,
     ) {
-        let seq = self.time;
         if let Some(c) = self.clients.get_mut(&client) {
             c.obs.record(seq, kind, round_trip, window, duration);
         }
     }
 
+    /// Busy-waits the synthetic IPC latency of one blocking round trip
+    /// (busy, not sleeping: the simulated cost must not depend on the
+    /// scheduler's sleep granularity).
+    fn charge_round_trip_cost(&self) {
+        if self.round_trip_cost.is_zero() {
+            return;
+        }
+        let start = std::time::Instant::now();
+        while start.elapsed() < self.round_trip_cost {
+            std::hint::spin_loop();
+        }
+    }
+
     pub(crate) fn note_request(&mut self, client: ClientId, round_trip: bool) {
         self.time += 1;
-        if round_trip && !self.round_trip_cost.is_zero() {
-            // Busy-wait: simulated IPC latency must not depend on the
-            // scheduler's sleep granularity.
-            let start = std::time::Instant::now();
-            while start.elapsed() < self.round_trip_cost {
-                std::hint::spin_loop();
-            }
+        if round_trip {
+            self.charge_round_trip_cost();
         }
         if let Some(c) = self.clients.get_mut(&client) {
             c.stats.requests += 1;
@@ -334,11 +847,33 @@ impl Server {
     ) -> Option<WindowId> {
         self.tree.get(parent)?;
         let id = self.ids.alloc();
+        self.create_window_with_id(client, id, parent, x, y, width, height, border_width);
+        Some(id)
+    }
+
+    /// Creates a window under a pre-reserved id (the buffered-transport
+    /// path: the client already holds `id`). Dropped silently if the
+    /// parent vanished before the buffer flushed, matching the X error
+    /// semantics for a stale parent.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn create_window_with_id(
+        &mut self,
+        client: ClientId,
+        id: WindowId,
+        parent: WindowId,
+        x: i32,
+        y: i32,
+        width: u32,
+        height: u32,
+        border_width: u32,
+    ) {
+        if self.tree.get(parent).is_none() {
+            return;
+        }
         let mut w = Window::new(id, parent, client, x, y, width, height, border_width);
         let bg = self.colormap.rgb(w.background);
         w.surface.clear(bg);
         self.tree.insert(w);
-        Some(id)
     }
 
     /// Destroys a window and its subtree, generating DestroyNotify.

@@ -1,8 +1,10 @@
 #!/bin/sh
-# Offline CI: format check, lints, release build, and the full test
-# suite. Everything here works without network access — the heavy
-# crates.io-dependent benches/property tests live in the
-# workspace-excluded crates/heavy and are not part of this gate.
+# Offline CI: format check, lints, release build, the full test suite,
+# and the deterministic request-budget gate. Everything here works
+# without network access — the heavy crates.io-dependent benches and
+# property tests live in the workspace-excluded crates/heavy and run in
+# their own scheduled job. `--locked` keeps every invocation on the
+# committed Cargo.lock.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -12,15 +14,18 @@ cargo fmt --all --check
 
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy -D warnings"
-    cargo clippy --workspace --all-targets --offline -- -D warnings
+    cargo clippy --workspace --all-targets --offline --locked -- -D warnings
 else
     echo "==> clippy not installed; skipping lints"
 fi
 
 echo "==> cargo build --release"
-cargo build --release --workspace --offline
+cargo build --release --workspace --offline --locked
 
 echo "==> cargo test -q"
-cargo test -q --workspace --offline
+cargo test -q --workspace --offline --locked
+
+echo "==> bench --check-budgets"
+cargo run -p tk-bench --release --offline --locked --bin bench -- --check-budgets
 
 echo "==> ci OK"

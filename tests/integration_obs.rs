@@ -45,6 +45,23 @@ fn obs_counters_agree_with_connection_stats() {
     let pairs = parse_counters(&app.eval("obs counters").unwrap());
     assert_eq!(counter(&pairs, "protocol.requests"), stats.requests);
     assert_eq!(counter(&pairs, "protocol.round_trips"), stats.round_trips);
+    assert_eq!(counter(&pairs, "protocol.flushes"), stats.flushes);
+    assert_eq!(
+        counter(&pairs, "protocol.batched_requests"),
+        stats.batched_requests
+    );
+    assert_eq!(counter(&pairs, "protocol.max_batch"), stats.max_batch);
+
+    // Batching really happened: far fewer flushes than requests, and the
+    // batch high-water mark covers more than one request.
+    assert!(stats.flushes > 0, "workload never flushed");
+    assert!(
+        stats.flushes * 10 < stats.requests,
+        "batching ineffective: {} flushes for {} requests",
+        stats.flushes,
+        stats.requests
+    );
+    assert!(stats.max_batch > 1, "no request ever shared a flush");
 
     // The per-kind breakdown sums to the total request count.
     let by_kind: u64 = pairs
@@ -77,9 +94,36 @@ fn reset_makes_workload_counts_reproducible() {
     let second = parse_counters(&app.eval("obs counters").unwrap());
 
     // Counters must reproduce exactly; histograms carry wall-clock noise
-    // so they are excluded from `obs counters` by design.
+    // so they are excluded from `obs counters` by design. This includes
+    // the flush/batch counters: `obs reset` flushes the output buffer
+    // first, so each epoch starts from an empty buffer and batch
+    // boundaries land in the same places.
     assert_eq!(first, second);
     assert!(counter(&first, "protocol.requests") > 0);
+    assert!(counter(&first, "protocol.flushes") > 0);
+}
+
+#[test]
+fn reset_zeroes_flush_and_batch_counters() {
+    let env = TkEnv::new();
+    let app = env.app("fifty");
+    fifty_buttons(&app);
+    let pairs = parse_counters(&app.eval("obs counters").unwrap());
+    assert!(counter(&pairs, "protocol.flushes") > 0);
+    assert!(counter(&pairs, "protocol.batched_requests") > 0);
+
+    app.eval("obs reset").unwrap();
+    let pairs = parse_counters(&app.eval("obs counters").unwrap());
+    for name in [
+        "protocol.requests",
+        "protocol.round_trips",
+        "protocol.flushes",
+        "protocol.batched_requests",
+        "protocol.max_batch",
+        "protocol.max_pending_replies",
+    ] {
+        assert_eq!(counter(&pairs, name), 0, "{name} survived reset");
+    }
 }
 
 #[test]
