@@ -1,0 +1,222 @@
+//! Seeded chaos-fuzz driver for the whole Tcl/Tk surface.
+//!
+//! Usage:
+//!   chaos --seeds N [--base-seed S]     run N fresh (script, fault) pairs
+//!   chaos --replay SCRIPT FAULT         replay one pair and shrink on failure
+//!   chaos --corpus FILE [--seeds N]     run checked-in pairs first, then N fresh
+//!
+//! A corpus file holds one `script_seed fault_seed` pair per line
+//! (`#` comments allowed). Exit status is non-zero iff any case panics;
+//! the failing pair, its fault plan, and a greedily shrunk reproducer are
+//! printed so the pair can be checked in as a regression test.
+
+use std::process::ExitCode;
+
+use tk_bench::chaos::{
+    generate_ops, generate_plan, run_case, run_ops, shrink, with_quiet_panics, RunStats, SCRIPT_OPS,
+};
+use xsim::fault::FAULT_KIND_NAMES;
+
+struct Totals {
+    cases: u64,
+    tcl_errors: u64,
+    faults_injected: u64,
+    fault_counts: [u64; FAULT_KIND_NAMES.len()],
+}
+
+impl Totals {
+    fn new() -> Totals {
+        Totals {
+            cases: 0,
+            tcl_errors: 0,
+            faults_injected: 0,
+            fault_counts: [0; FAULT_KIND_NAMES.len()],
+        }
+    }
+
+    fn absorb(&mut self, stats: &RunStats) {
+        self.cases += 1;
+        self.tcl_errors += stats.tcl_errors;
+        self.faults_injected += stats.faults_injected;
+        for (slot, n) in self.fault_counts.iter_mut().zip(stats.fault_counts) {
+            *slot += n;
+        }
+    }
+
+    fn print(&self) {
+        println!(
+            "{} cases, {} tcl errors, {} faults injected",
+            self.cases, self.tcl_errors, self.faults_injected
+        );
+        for (name, n) in FAULT_KIND_NAMES.iter().zip(self.fault_counts) {
+            if n > 0 {
+                println!("  {name}: {n}");
+            }
+        }
+    }
+}
+
+/// Runs one pair; on failure prints the reproducer and returns false.
+fn run_one(script_seed: u64, fault_seed: u64, totals: &mut Totals) -> bool {
+    match run_case(script_seed, fault_seed) {
+        Ok(stats) => {
+            totals.absorb(&stats);
+            true
+        }
+        Err(failure) => {
+            println!("FAIL: script_seed={script_seed} fault_seed={fault_seed}");
+            println!("  {failure}");
+            println!("  plan:");
+            for line in failure.plan.lines() {
+                println!("    {line}");
+            }
+            println!("  shrinking...");
+            let ops = generate_ops(script_seed, SCRIPT_OPS);
+            let plan = generate_plan(fault_seed);
+            let (min_ops, min_plan) = shrink(&ops, &plan);
+            println!(
+                "  minimal reproducer: {} ops, {} fault specs",
+                min_ops.len(),
+                min_plan.specs().len()
+            );
+            for op in &min_ops {
+                println!("    {op}");
+            }
+            for line in min_plan.describe().lines() {
+                println!("    {line}");
+            }
+            // Confirm the shrunk case still fails (a flaky shrink would
+            // mean nondeterminism, which is itself a bug worth flagging).
+            if run_ops(&min_ops, &min_plan).is_ok() {
+                println!("  WARNING: shrunk reproducer no longer fails (nondeterminism?)");
+            }
+            println!("  replay with: chaos --replay {script_seed} {fault_seed}");
+            false
+        }
+    }
+}
+
+fn parse_corpus(path: &str) -> Result<Vec<(u64, u64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut pairs = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (Some(a), Some(b), None) = (it.next(), it.next(), it.next()) else {
+            return Err(format!(
+                "{path}:{}: expected `script_seed fault_seed`",
+                lineno + 1
+            ));
+        };
+        let a = a
+            .parse()
+            .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        let b = b
+            .parse()
+            .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        pairs.push((a, b));
+    }
+    Ok(pairs)
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: chaos [--seeds N] [--base-seed S] [--corpus FILE] [--replay SCRIPT FAULT]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seeds: u64 = 0;
+    let mut base_seed: u64 = 1;
+    let mut corpus: Option<String> = None;
+    let mut replay: Option<(u64, u64)> = None;
+    fn num(it: &mut std::slice::Iter<'_, String>, name: &str) -> Option<u64> {
+        let v = it.next().and_then(|v| v.parse().ok());
+        if v.is_none() {
+            eprintln!("chaos: {name} needs a numeric argument");
+        }
+        v
+    }
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seeds" => match num(&mut it, "--seeds") {
+                Some(n) => seeds = n,
+                None => return usage(),
+            },
+            "--base-seed" => match num(&mut it, "--base-seed") {
+                Some(n) => base_seed = n,
+                None => return usage(),
+            },
+            "--replay" => {
+                let (Some(s), Some(f)) = (num(&mut it, "--replay"), num(&mut it, "--replay"))
+                else {
+                    return usage();
+                };
+                replay = Some((s, f));
+            }
+            "--corpus" => match it.next() {
+                Some(p) => corpus = Some(p.clone()),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    if replay.is_none() && corpus.is_none() && seeds == 0 {
+        return usage();
+    }
+
+    with_quiet_panics(|| {
+        let mut totals = Totals::new();
+        let mut failed = false;
+
+        if let Some((s, f)) = replay {
+            let ok = run_one(s, f, &mut totals);
+            if ok {
+                println!("replay script_seed={s} fault_seed={f}: no panic");
+                totals.print();
+            }
+            return if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
+        }
+
+        if let Some(path) = corpus {
+            let pairs = match parse_corpus(&path) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("chaos: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            println!("corpus: {} pairs from {path}", pairs.len());
+            for (s, f) in pairs {
+                failed |= !run_one(s, f, &mut totals);
+            }
+        }
+
+        if seeds > 0 {
+            println!("fresh: {seeds} pairs from base seed {base_seed}");
+            for i in 0..seeds {
+                // Decorrelate the two streams: the fault seed is a mixed
+                // function of the script seed so adjacent cases share
+                // neither scripts nor plans.
+                let script_seed = base_seed.wrapping_add(i);
+                let fault_seed = script_seed.wrapping_mul(0x9e3779b97f4a7c15).rotate_left(17);
+                failed |= !run_one(script_seed, fault_seed, &mut totals);
+            }
+        }
+
+        totals.print();
+        if failed {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    })
+}

@@ -1,0 +1,333 @@
+//! The seeded chaos-fuzz harness.
+//!
+//! A chaos case is a pair of seeds: `script_seed` generates a random but
+//! deterministic sequence of Tcl/Tk operations across two applications
+//! (widget creation and destruction, configuration, packing, bindings
+//! plus synthetic input, selection traffic, `send` between the apps,
+//! timer advancement), and `fault_seed` generates an [`xsim::FaultPlan`]
+//! injected into the shared display. Running a case must never panic:
+//! faults surface as Tcl errors, `tkerror` reports, or clean application
+//! teardown. Any failing pair replays deterministically, and [`shrink`]
+//! reduces both the operation list and the fault plan to a minimal
+//! reproducer.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use tk::{TkApp, TkEnv};
+use xsim::fault::FAULT_KIND_COUNT;
+use xsim::{FaultPlan, XorShift};
+
+/// Number of fault specs a generated plan carries.
+pub const PLAN_FAULTS: usize = 8;
+/// Request/event horizon for generated plans. Covers the two-app setup
+/// (which consumes the first ~50 sequence numbers per client) plus the
+/// scripted operations; specs that land inside the setup window simply
+/// never fire, which keeps plan generation independent of setup size.
+pub const PLAN_HORIZON: u64 = 400;
+/// Operations per generated script.
+pub const SCRIPT_OPS: usize = 60;
+
+/// One operation of a chaos script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Evaluate a Tcl script in app 0 or 1 (errors are expected and counted).
+    Tcl(usize, String),
+    /// Move the pointer and click button 1.
+    Click(i32, i32),
+    /// Type a character at the focus window.
+    Key(char),
+    /// Advance virtual time by `ms` (fires timers).
+    Advance(u64),
+}
+
+impl std::fmt::Display for Op {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Op::Tcl(app, s) => write!(f, "app{app}: {s}"),
+            Op::Click(x, y) => write!(f, "click {x},{y}"),
+            Op::Key(c) => write!(f, "key {c:?}"),
+            Op::Advance(ms) => write!(f, "advance {ms}ms"),
+        }
+    }
+}
+
+/// Generates the deterministic operation list for a script seed.
+pub fn generate_ops(seed: u64, n: usize) -> Vec<Op> {
+    let mut rng = XorShift::new(seed);
+    let mut ops = Vec::with_capacity(n + 2);
+    // Both apps get a selection handler proc up front so `selection`
+    // operations have something to talk to.
+    for app in 0..2 {
+        ops.push(Op::Tcl(
+            app,
+            "proc give {offset max} {return chaos-value}".into(),
+        ));
+    }
+    for _ in 0..n {
+        let app = rng.below(2) as usize;
+        let other = 1 - app;
+        let w = rng.below(6); // widget name pool .w0 .. .w5
+        let op = match rng.below(100) {
+            0..=17 => {
+                let kind = ["button", "message", "frame", "entry"][rng.below(4) as usize];
+                Op::Tcl(app, format!("{kind} .w{w} -borderwidth {}", rng.below(4)))
+            }
+            18..=27 => Op::Tcl(app, format!("pack append . .w{w} {{top fillx}}")),
+            28..=37 => Op::Tcl(app, format!(".w{w} configure -text t{}", rng.below(100))),
+            38..=45 => Op::Tcl(app, format!("destroy .w{w}")),
+            46..=53 => Op::Tcl(app, format!("bind .w{w} <ButtonPress-1> {{set hit{w} 1}}")),
+            54..=61 => Op::Click(rng.range(1, 200) as i32, rng.range(1, 200) as i32),
+            62..=65 => Op::Key((b'a' + rng.below(26) as u8) as char),
+            66..=71 => Op::Advance(rng.range(1, 150)),
+            72..=77 => match rng.below(3) {
+                0 => Op::Tcl(app, format!("selection handle .w{w} give")),
+                1 => Op::Tcl(app, format!("selection own .w{w}")),
+                _ => Op::Tcl(app, "selection get".into()),
+            },
+            78..=87 => Op::Tcl(
+                app,
+                format!("send chaos{other} {{set remote {}}}", rng.below(100)),
+            ),
+            88..=91 => Op::Tcl(app, format!("after {} {{set fired 1}}", rng.range(1, 100))),
+            92..=94 => Op::Tcl(app, "update".into()),
+            95..=96 => Op::Tcl(app, format!("wm title . t{}", rng.below(100))),
+            97..=98 => Op::Tcl(app, format!("focus .w{w}")),
+            _ => Op::Tcl(app, "winfo children .".into()),
+        };
+        ops.push(op);
+    }
+    ops
+}
+
+/// Generates the deterministic fault plan for a fault seed. Two clients,
+/// [`PLAN_FAULTS`] specs, [`PLAN_HORIZON`] horizon.
+pub fn generate_plan(seed: u64) -> FaultPlan {
+    FaultPlan::from_seed(seed, PLAN_FAULTS, 2, PLAN_HORIZON)
+}
+
+/// What a successful run reports.
+#[derive(Debug, Default, Clone)]
+pub struct RunStats {
+    /// Operations applied.
+    pub ops: usize,
+    /// Tcl-level errors observed (expected under faults).
+    pub tcl_errors: u64,
+    /// Faults injected, summed over both connections.
+    pub faults_injected: u64,
+    /// Per-kind fault splits, summed over both connections, indexed like
+    /// `xsim::fault::FAULT_KIND_NAMES`.
+    pub fault_counts: [u64; FAULT_KIND_COUNT],
+}
+
+/// A panic caught while running a case.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Index of the operation that panicked (`None`: setup or teardown).
+    pub op_index: Option<usize>,
+    /// The panic payload, if it was a string.
+    pub message: String,
+    /// The server's fault report at the time of the panic (best effort —
+    /// the environment died with the panic, so this is the plan as
+    /// configured).
+    pub plan: String,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.op_index {
+            Some(i) => write!(f, "panic at op {}: {}", i, self.message),
+            None => write!(f, "panic outside ops: {}", self.message),
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `f` with the default panic hook silenced (the chaos loop catches
+/// panics; spraying backtraces over the progress output helps nobody).
+/// The previous hook is restored afterwards.
+pub fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let r = f();
+    std::panic::set_hook(prev);
+    r
+}
+
+fn apply(env: &TkEnv, apps: &[TkApp; 2], op: &Op, stats: &mut RunStats) {
+    match op {
+        Op::Tcl(i, s) => {
+            if apps[*i].eval(s).is_err() {
+                stats.tcl_errors += 1;
+            }
+        }
+        Op::Click(x, y) => {
+            env.display().move_pointer(*x, *y);
+            env.display().click(1);
+            env.dispatch_all();
+        }
+        Op::Key(c) => {
+            env.display().type_char(*c);
+            env.dispatch_all();
+        }
+        Op::Advance(ms) => env.advance(*ms),
+    }
+}
+
+/// Runs an explicit operation list against an explicit fault plan (the
+/// shrinker's entry point). Returns the run's stats, or the caught panic.
+pub fn run_ops(ops: &[Op], plan: &FaultPlan) -> Result<RunStats, Failure> {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let env = TkEnv::new();
+        let apps = [env.app("chaos0"), env.app("chaos1")];
+        env.dispatch_all();
+        env.display()
+            .with_server(|s| s.install_fault_plan(plan.clone()));
+        let mut stats = RunStats::default();
+        for (i, op) in ops.iter().enumerate() {
+            let r = catch_unwind(AssertUnwindSafe(|| apply(&env, &apps, op, &mut stats)));
+            if let Err(payload) = r {
+                return Err(Failure {
+                    op_index: Some(i),
+                    message: panic_message(payload),
+                    plan: plan.describe(),
+                });
+            }
+            stats.ops = i + 1;
+        }
+        env.dispatch_all();
+        for app in &apps {
+            if let Some((injected, counts)) =
+                app.conn().with_obs(|o| (o.faults_injected, o.fault_counts))
+            {
+                stats.faults_injected += injected;
+                for (slot, n) in stats.fault_counts.iter_mut().zip(counts) {
+                    *slot += n;
+                }
+            }
+        }
+        Ok(stats)
+    }));
+    match result {
+        Ok(r) => r,
+        Err(payload) => Err(Failure {
+            op_index: None,
+            message: panic_message(payload),
+            plan: plan.describe(),
+        }),
+    }
+}
+
+/// Runs one seed pair end to end.
+pub fn run_case(script_seed: u64, fault_seed: u64) -> Result<RunStats, Failure> {
+    let ops = generate_ops(script_seed, SCRIPT_OPS);
+    let plan = generate_plan(fault_seed);
+    run_ops(&ops, &plan)
+}
+
+/// Greedily shrinks a failing `(ops, plan)` to a minimal still-failing
+/// reproducer: first delta-debugs the operation list (chunks halving down
+/// to single ops), then drops fault specs one at a time. Deterministic,
+/// so the same failing seed pair always shrinks to the same reproducer.
+pub fn shrink(ops: &[Op], plan: &FaultPlan) -> (Vec<Op>, FaultPlan) {
+    shrink_with(ops, plan, |ops, plan| run_ops(ops, plan).is_err())
+}
+
+/// [`shrink`] with an explicit failure predicate (separated for testing:
+/// a synthetic predicate exercises the minimization logic without needing
+/// a genuinely panicking toolkit).
+pub fn shrink_with(
+    ops: &[Op],
+    plan: &FaultPlan,
+    fails: impl Fn(&[Op], &FaultPlan) -> bool,
+) -> (Vec<Op>, FaultPlan) {
+    let mut ops = ops.to_vec();
+    let mut chunk = (ops.len() / 2).max(1);
+    loop {
+        let mut shrunk = false;
+        let mut start = 0;
+        while start < ops.len() {
+            let end = (start + chunk).min(ops.len());
+            let mut candidate = ops.clone();
+            candidate.drain(start..end);
+            if fails(&candidate, plan) {
+                ops = candidate;
+                shrunk = true;
+                // Re-test the same start: the next chunk slid into place.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 && !shrunk {
+            break;
+        }
+        if !shrunk {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+    // Now minimize the plan against the minimized ops.
+    let mut specs = plan.specs().to_vec();
+    let mut i = 0;
+    while i < specs.len() {
+        let mut candidate = specs.clone();
+        candidate.remove(i);
+        if fails(&ops, &FaultPlan::new(candidate.clone())) {
+            specs = candidate;
+        } else {
+            i += 1;
+        }
+    }
+    (ops, FaultPlan::new(specs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_generation_is_deterministic() {
+        assert_eq!(generate_ops(7, 40), generate_ops(7, 40));
+        assert_ne!(generate_ops(7, 40), generate_ops(8, 40));
+    }
+
+    #[test]
+    fn clean_case_runs_without_faults() {
+        let stats = run_case(1, 0).expect("no panic");
+        assert!(stats.ops > 0);
+    }
+
+    #[test]
+    fn faulted_cases_do_not_panic() {
+        for seed in 1..=5 {
+            let r = run_case(seed, seed.wrapping_mul(0x9e37));
+            assert!(r.is_ok(), "seed {seed}: {}", r.unwrap_err());
+        }
+    }
+
+    #[test]
+    fn shrink_minimizes_ops_and_plan_against_a_synthetic_failure() {
+        let marker = Op::Tcl(0, "__chaos_marker__".into());
+        let mut ops = generate_ops(3, 20);
+        ops.insert(11, marker.clone());
+        let plan = generate_plan(9);
+        assert!(plan.specs().len() > 1);
+        // "Fails" whenever the marker op is present; the plan is
+        // irrelevant to the failure, so every spec should be dropped.
+        let (min_ops, min_plan) = shrink_with(&ops, &plan, |ops, _| ops.contains(&marker));
+        assert_eq!(min_ops, vec![marker]);
+        assert!(min_plan.specs().is_empty());
+    }
+
+    #[test]
+    fn plan_generation_is_deterministic() {
+        assert_eq!(generate_plan(42).describe(), generate_plan(42).describe());
+    }
+}

@@ -13,40 +13,12 @@ pub fn env_with_apps(names: &[&str]) -> (TkEnv, Vec<TkApp>) {
     (env, apps)
 }
 
-/// A tiny deterministic xorshift64* PRNG, so workload generation needs no
-/// external crate and produces the same sequences on every run.
-pub struct XorShift {
-    state: u64,
-}
+/// The deterministic xorshift64* PRNG now lives in `xsim::rng` (fault
+/// plans are generated from the same stream); re-exported here so the
+/// benches and the chaos harness share one implementation.
+pub use xsim::XorShift;
 
-impl XorShift {
-    /// Seeds the generator (a zero seed is nudged to a fixed constant).
-    pub fn new(seed: u64) -> XorShift {
-        XorShift {
-            state: if seed == 0 { 0x9e3779b97f4a7c15 } else { seed },
-        }
-    }
-
-    /// The next raw 64-bit value.
-    pub fn next_u64(&mut self) -> u64 {
-        let mut x = self.state;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.state = x;
-        x.wrapping_mul(0x2545f4914f6cdd1d)
-    }
-
-    /// A value uniform in `[0, bound)`; `bound` must be nonzero.
-    pub fn below(&mut self, bound: u64) -> u64 {
-        self.next_u64() % bound
-    }
-
-    /// A value uniform in `[lo, hi)`; `lo < hi` required.
-    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
-        lo + self.below(hi - lo)
-    }
-}
+pub mod chaos;
 
 /// The Table II row 3 workload: create `n` buttons, pack and display them,
 /// then delete them all. Returns nothing; timing is the caller's job.

@@ -351,7 +351,7 @@ impl TkApp {
         let xid = self
             .conn()
             .create_window(parent_rec.xid, 0, 0, width, height, border_width)
-            .ok_or_else(|| Exception::error("parent window is gone"))?;
+            .map_err(crate::cache::xerr)?;
         self.select_standard_input(xid);
         let rec = Rc::new(TkWindow::new(path, class, xid));
         rec.width.set(width.max(1));
@@ -641,7 +641,11 @@ impl TkApp {
 
     /// Processes every queued X event (and polls file handlers, which are
     /// part of the Section 3.2 dispatcher). Returns true if any work ran.
+    /// Noticing a dead connection tears the application down cleanly.
     pub fn process_pending(&self) -> bool {
+        if !self.conn().alive() {
+            return self.connection_died();
+        }
         let mut any = false;
         while let Some(ev) = self.conn().poll_event() {
             any = true;
@@ -651,6 +655,24 @@ impl TkApp {
             any = true;
         }
         any
+    }
+
+    /// Clean teardown after the X connection died (a real Tk would call
+    /// `exit`): deregister from the `send` registry, destroy the window
+    /// tree records, and mark the application destroyed. Returns true the
+    /// first time (work was done), false on later calls.
+    fn connection_died(&self) -> bool {
+        if self.inner.destroyed.get() {
+            return false;
+        }
+        self.inner.obs.incr("connection.dead");
+        crate::send::withdraw_post_mortem(self);
+        // The server already reclaimed the X windows at close-down; this
+        // clears the Tk-side records (widget commands, bindings, pack
+        // slots) and sets the destroyed flag.
+        let _ = self.destroy_window(".");
+        self.inner.destroyed.set(true);
+        true
     }
 
     /// Processes events and idle tasks until both are drained (`update`).
@@ -979,5 +1001,77 @@ mod file_handler_tests {
         std::fs::write(&path, "third!").unwrap();
         app.update();
         assert_eq!(app.eval("set fires").unwrap(), "2", "handler removed");
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+
+    #[test]
+    fn connection_death_tears_the_application_down() {
+        let env = TkEnv::new();
+        let a = env.app("doomed");
+        let b = env.app("survivor");
+        a.eval("button .b -text hi").unwrap();
+        a.update();
+        assert!(env.application_names().contains(&"doomed".to_string()));
+        let seq = a.conn().sequence();
+        env.display().with_server(|s| {
+            s.install_fault_plan(
+                xsim::FaultPlan::default().kill_at(a.conn().client_id().0, seq + 1),
+            )
+        });
+        // The kill fires at flush time, so the command itself may complete
+        // (the death is asynchronous, as with a real X socket).
+        let _ = a.eval("frame .f");
+        env.dispatch_all();
+        assert!(a.destroyed(), "app must notice its dead connection");
+        // The registry no longer lists the dead app; the survivor still works.
+        let names = crate::send::interps(&b);
+        assert!(!names.contains(&"doomed".to_string()), "{names:?}");
+        assert!(names.contains(&"survivor".to_string()), "{names:?}");
+        b.eval("button .b -text fine").unwrap();
+        b.update();
+        // Further scripting in the dead app fails cleanly, never panics.
+        assert!(a.eval("frame .g").is_err());
+    }
+
+    #[test]
+    fn protocol_error_in_command_becomes_tcl_error() {
+        let env = TkEnv::new();
+        let app = env.app("t");
+        let seq = app.conn().sequence();
+        env.display().with_server(|s| {
+            s.install_fault_plan(xsim::FaultPlan::default().error_at(
+                0,
+                seq + 1,
+                xsim::XErrorCode::BadWindow,
+            ))
+        });
+        let err = app.eval("focus").unwrap_err();
+        assert!(err.msg.contains("X protocol error"), "{}", err.msg);
+        assert!(err.msg.contains("BadWindow"), "{}", err.msg);
+        // The app survives and keeps working.
+        app.eval("focus").unwrap();
+    }
+
+    #[test]
+    fn background_protocol_error_routes_to_tkerror() {
+        let env = TkEnv::new();
+        let app = env.app("t");
+        app.eval("proc tkerror {msg} {global caught; set caught $msg}")
+            .unwrap();
+        let seq = app.conn().sequence();
+        env.display().with_server(|s| {
+            s.install_fault_plan(xsim::FaultPlan::default().error_at(
+                0,
+                seq + 1,
+                xsim::XErrorCode::BadAtom,
+            ))
+        });
+        app.eval_background("focus");
+        let caught = app.eval("set caught").unwrap();
+        assert!(caught.contains("X protocol error"), "{caught}");
     }
 }

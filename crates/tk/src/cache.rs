@@ -14,7 +14,23 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 
 use tcl::Exception;
-use xsim::{Connection, CursorId, FontId, FontMetrics, GcId, GcValues, Pixel};
+use xsim::{Connection, CursorId, FontId, FontMetrics, GcId, GcValues, Pixel, XError};
+
+/// Converts a protocol error into a Tcl exception so it reaches scripts
+/// (and ultimately `tkerror`) instead of panicking the process.
+pub fn xerr(e: XError) -> Exception {
+    Exception::error(format!("X protocol error: {e}"))
+}
+
+/// Runs a connection operation, retrying it exactly once when the server
+/// answers with a transient allocation error (`BadValue`/`BadAlloc`).
+/// Callers invalidate any stale cache entry before retrying.
+fn retry_once<T>(mut f: impl FnMut() -> Result<T, XError>) -> Result<T, XError> {
+    match f() {
+        Err(e) if e.retryable() => f(),
+        r => r,
+    }
+}
 
 /// A three-shade border derived from a background color, used for the 3-D
 /// reliefs of Motif-like widgets.
@@ -155,9 +171,12 @@ impl ResourceCache {
             }
         }
         self.class("color").miss();
-        let (pixel, _) = conn
-            .alloc_named_color(name)
-            .ok_or_else(|| Exception::error(format!("unknown color name \"{name}\"")))?;
+        let (pixel, _) = retry_once(|| {
+            self.colors.borrow_mut().remove(&key);
+            conn.alloc_named_color(name)
+        })
+        .map_err(xerr)?
+        .ok_or_else(|| Exception::error(format!("unknown color name \"{name}\"")))?;
         if self.enabled.get() {
             self.colors.borrow_mut().insert(key, pixel);
             self.color_names
@@ -183,11 +202,14 @@ impl ResourceCache {
             }
         }
         self.class("font").miss();
-        let id = conn
-            .open_font(name)
-            .ok_or_else(|| Exception::error(format!("font \"{name}\" doesn't exist")))?;
-        let metrics = conn
-            .font_metrics(id)
+        let id = retry_once(|| {
+            self.fonts.borrow_mut().remove(name);
+            conn.open_font(name)
+        })
+        .map_err(xerr)?
+        .ok_or_else(|| Exception::error(format!("font \"{name}\" doesn't exist")))?;
+        let metrics = retry_once(|| conn.font_metrics(id))
+            .map_err(xerr)?
             .ok_or_else(|| Exception::error(format!("font \"{name}\" doesn't exist")))?;
         if self.enabled.get() {
             self.fonts
@@ -215,9 +237,12 @@ impl ResourceCache {
             }
         }
         self.class("cursor").miss();
-        let id = conn
-            .create_cursor(name)
-            .ok_or_else(|| Exception::error(format!("bad cursor spec \"{name}\"")))?;
+        let id = retry_once(|| {
+            self.cursors.borrow_mut().remove(name);
+            conn.create_cursor(name)
+        })
+        .map_err(xerr)?
+        .ok_or_else(|| Exception::error(format!("bad cursor spec \"{name}\"")))?;
         if self.enabled.get() {
             self.cursors.borrow_mut().insert(name.to_string(), id);
         }
@@ -252,10 +277,17 @@ impl ResourceCache {
         // whole border costs one blocking wait instead of three.
         let light_cookie = conn.send_alloc_color(light);
         let dark_cookie = conn.send_alloc_color(dark);
+        // A retryable error on a pipelined shade falls back to one fresh
+        // synchronous allocation; the border cache entry for this key has
+        // not been written yet, so nothing stale survives.
+        let redeem = |cookie, rgb| match conn.wait(cookie) {
+            Err(e) if e.retryable() => conn.alloc_color(rgb),
+            r => r,
+        };
         let border = Border {
             bg: self.color(conn, bg_name)?,
-            light: conn.wait(light_cookie),
-            dark: conn.wait(dark_cookie),
+            light: redeem(light_cookie, light).map_err(xerr)?,
+            dark: redeem(dark_cookie, dark).map_err(xerr)?,
         };
         if self.enabled.get() {
             self.borders.borrow_mut().insert(key, border);
@@ -422,6 +454,63 @@ mod tests {
         assert_ne!(b.light, b.dark);
         let b2 = cache.border(&conn, "gray").unwrap();
         assert_eq!(b, b2);
+    }
+
+    #[test]
+    fn retryable_error_is_retried_once_and_succeeds() {
+        let d = Display::new();
+        let conn = d.connect();
+        let cache = ResourceCache::new();
+        let seq = conn.sequence();
+        d.with_server(|s| {
+            s.install_fault_plan(xsim::FaultPlan::default().error_at(
+                0,
+                seq + 1,
+                xsim::XErrorCode::BadAlloc,
+            ))
+        });
+        let p = cache.color(&conn, "red").unwrap();
+        assert_eq!(cache.color(&conn, "red").unwrap(), p, "entry was cached");
+        assert_eq!(conn.with_obs(|o| o.faults_injected).unwrap(), 1);
+    }
+
+    #[test]
+    fn non_retryable_error_propagates_as_exception() {
+        let d = Display::new();
+        let conn = d.connect();
+        let cache = ResourceCache::new();
+        let seq = conn.sequence();
+        d.with_server(|s| {
+            s.install_fault_plan(xsim::FaultPlan::default().error_at(
+                0,
+                seq + 1,
+                xsim::XErrorCode::BadAtom,
+            ))
+        });
+        let e = cache.color(&conn, "red").unwrap_err();
+        assert!(e.msg.contains("X protocol error"), "{}", e.msg);
+        assert!(e.msg.contains("BadAtom"), "{}", e.msg);
+        // Nothing stale was cached; the next lookup succeeds.
+        cache.color(&conn, "red").unwrap();
+    }
+
+    #[test]
+    fn border_shade_survives_a_retryable_fault() {
+        let d = Display::new();
+        let conn = d.connect();
+        let cache = ResourceCache::new();
+        let seq = conn.sequence();
+        // Fault the first pipelined shade allocation; the border code
+        // falls back to a synchronous retry.
+        d.with_server(|s| {
+            s.install_fault_plan(xsim::FaultPlan::default().error_at(
+                0,
+                seq + 1,
+                xsim::XErrorCode::BadAlloc,
+            ))
+        });
+        let b = cache.border(&conn, "gray").unwrap();
+        assert_ne!(b.light, b.dark);
     }
 
     #[test]

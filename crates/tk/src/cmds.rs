@@ -168,7 +168,7 @@ fn cmd_winfo(app: &TkApp, _interp: &tcl::Interp, argv: &[String]) -> TclResult {
 fn cmd_focus(app: &TkApp, _interp: &tcl::Interp, argv: &[String]) -> TclResult {
     match argv.len() {
         1 => {
-            let xid = app.conn().get_input_focus();
+            let xid = app.conn().get_input_focus().map_err(crate::cache::xerr)?;
             Ok(app.path_of(xid).unwrap_or_default())
         }
         2 => {
@@ -313,12 +313,22 @@ fn cmd_wm(app: &TkApp, _interp: &tcl::Interp, argv: &[String]) -> TclResult {
     match argv[1].as_str() {
         "title" => {
             if let Some(title) = argv.get(3) {
-                let atom = app.conn().intern_atom("WM_NAME");
+                let atom = app
+                    .conn()
+                    .intern_atom("WM_NAME")
+                    .map_err(crate::cache::xerr)?;
                 app.conn().change_property(rec.xid, atom, title);
                 Ok(String::new())
             } else {
-                let atom = app.conn().intern_atom("WM_NAME");
-                Ok(app.conn().get_property(rec.xid, atom).unwrap_or_default())
+                let atom = app
+                    .conn()
+                    .intern_atom("WM_NAME")
+                    .map_err(crate::cache::xerr)?;
+                Ok(app
+                    .conn()
+                    .get_property(rec.xid, atom)
+                    .map_err(crate::cache::xerr)?
+                    .unwrap_or_default())
             }
         }
         "geometry" => {

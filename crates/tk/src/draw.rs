@@ -267,8 +267,8 @@ mod tests {
         conn.map_window(w);
         let border = cache.border(&conn, "gray").unwrap();
         draw_3d_rect(&conn, &cache, w, border, 0, 0, 20, 20, 2, Relief::Raised);
-        let light = conn.query_color(border.light);
-        let dark = conn.query_color(border.dark);
+        let light = conn.query_color(border.light).unwrap();
+        let dark = conn.query_color(border.dark).unwrap();
         d.with_server(|s| {
             let surf = s.window_surface(w).unwrap();
             assert_eq!(surf.pixel(0, 0), light);

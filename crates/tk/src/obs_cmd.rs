@@ -116,6 +116,17 @@ fn counters_list(app: &TkApp) -> String {
         items.push(format!("req.{kind}"));
         items.push(n.to_string());
     }
+    let faults = app
+        .conn()
+        .with_obs(|o| (o.faults_injected, o.fault_kind_counts()));
+    if let Some((total, by_kind)) = faults {
+        items.push("protocol.faults_injected".into());
+        items.push(total.to_string());
+        for (kind, n) in by_kind {
+            items.push(format!("fault.{kind}"));
+            items.push(n.to_string());
+        }
+    }
     for (class, hits, misses) in app.cache().stats() {
         items.push(format!("cache.{class}.hits"));
         items.push(hits.to_string());
@@ -152,14 +163,15 @@ fn histogram_names(app: &TkApp) -> Vec<String> {
 }
 
 /// The last `n` protocol trace entries, one per line:
-/// `seq kind one-way|round-trip window duration_ns`.
+/// `seq kind one-way|round-trip window duration_ns ?fault=<kind>?`.
 fn trace_lines(app: &TkApp, n: usize) -> String {
     app.conn()
         .obs_trace(n)
         .iter()
         .map(|e| {
+            let fault = e.fault.map(|f| format!(" fault={f}")).unwrap_or_default();
             format!(
-                "{} {} {} 0x{:x} {}",
+                "{} {} {} 0x{:x} {}{}",
                 e.seq,
                 e.kind.name(),
                 if e.round_trip {
@@ -168,7 +180,8 @@ fn trace_lines(app: &TkApp, n: usize) -> String {
                     "one-way"
                 },
                 e.window.0,
-                e.duration_ns
+                e.duration_ns,
+                fault
             )
         })
         .collect::<Vec<_>>()
@@ -194,6 +207,17 @@ fn snapshot(app: &TkApp) -> String {
     for (class, hits, misses) in app.cache().stats() {
         if hits + misses > 0 {
             out.push_str(&format!("  {class}: {hits} hits, {misses} misses\n"));
+        }
+    }
+    if let Some((total, by_kind)) = app
+        .conn()
+        .with_obs(|o| (o.faults_injected, o.fault_kind_counts()))
+    {
+        if total > 0 {
+            out.push_str(&format!("faults: {total} injected\n"));
+            for (kind, n) in by_kind {
+                out.push_str(&format!("  {kind}: {n}\n"));
+            }
         }
     }
     let (considered, matched) = app.inner.bindings.borrow().match_stats();
@@ -236,6 +260,10 @@ pub fn dump_json(app: &TkApp) -> String {
     protocol.field_u64("batched_requests", stats.batched_requests);
     protocol.field_u64("max_batch", stats.max_batch);
     protocol.field_u64("max_pending_replies", stats.max_pending_replies);
+    protocol.field_u64(
+        "faults_injected",
+        app.conn().with_obs(|o| o.faults_injected).unwrap_or(0),
+    );
     protocol.field_raw("detail", &app.conn().obs_json());
 
     let (considered, matched) = app.inner.bindings.borrow().match_stats();
@@ -340,5 +368,52 @@ mod tests {
         let out = app.eval("obs snapshot").unwrap();
         assert!(out.contains("protocol:"), "{out}");
         assert!(out.contains("trace: off"), "{out}");
+    }
+
+    #[test]
+    fn injected_faults_show_in_counters_trace_and_dump() {
+        let env = TkEnv::new();
+        let app = env.app("t");
+        app.eval("obs trace on").unwrap();
+        let seq = app.conn().sequence();
+        env.display().with_server(|s| {
+            s.install_fault_plan(xsim::FaultPlan::default().error_at(
+                0,
+                seq + 1,
+                xsim::XErrorCode::BadAtom,
+            ))
+        });
+        let err = app.eval("wm title . hello").unwrap_err();
+        assert!(err.msg.contains("X protocol error"), "{}", err.msg);
+        let out = app.eval("obs counters").unwrap();
+        assert!(out.contains("protocol.faults_injected 1"), "{out}");
+        assert!(out.contains("fault.error.BadAtom 1"), "{out}");
+        let trace = app.eval("obs trace").unwrap();
+        assert!(trace.contains("fault=error.BadAtom"), "{trace}");
+        let snap = app.eval("obs snapshot").unwrap();
+        assert!(snap.contains("faults: 1 injected"), "{snap}");
+        let j = app.eval("obs dump -format json").unwrap();
+        assert!(rtk_obs::json::is_valid(&j), "{j}");
+        assert!(j.contains("\"faults_injected\":1"), "{j}");
+        assert!(j.contains("\"by_fault\""), "{j}");
+    }
+
+    #[test]
+    fn obs_reset_clears_fault_counters() {
+        let env = TkEnv::new();
+        let app = env.app("t");
+        let seq = app.conn().sequence();
+        env.display().with_server(|s| {
+            s.install_fault_plan(xsim::FaultPlan::default().error_at(
+                0,
+                seq + 1,
+                xsim::XErrorCode::BadValue,
+            ))
+        });
+        app.eval("wm title . hello").unwrap_err();
+        app.eval("obs reset").unwrap();
+        let out = app.eval("obs counters").unwrap();
+        assert!(out.contains("protocol.faults_injected 0"), "{out}");
+        assert!(!out.contains("fault.error.BadValue"), "{out}");
     }
 }

@@ -14,6 +14,7 @@ use tcl::{wrong_args, Exception, TclResult};
 use xsim::Event;
 
 use crate::app::TkApp;
+use crate::cache::xerr;
 
 /// A widget-provided (Rust-level) selection handler.
 pub struct NativeHandler {
@@ -81,7 +82,7 @@ fn cmd_selection(app: &TkApp, _interp: &tcl::Interp, argv: &[String]) -> TclResu
             Ok(String::new())
         }
         "clear" => {
-            let primary = app.conn().intern_atom("PRIMARY");
+            let primary = app.conn().intern_atom("PRIMARY").map_err(xerr)?;
             app.conn().set_selection_owner(primary, xsim::Xid::NONE);
             app.inner.selection.borrow_mut().owner = None;
             Ok(String::new())
@@ -96,7 +97,11 @@ fn cmd_selection(app: &TkApp, _interp: &tcl::Interp, argv: &[String]) -> TclResu
 /// widget-level handler. Widgets call this when the user selects in them.
 pub fn claim(app: &TkApp, path: &str, native: Option<NativeHandler>) {
     let Some(rec) = app.window(path) else { return };
-    let primary = app.conn().intern_atom("PRIMARY");
+    // Claiming is best-effort: on a protocol error the previous owner
+    // simply keeps the server-side selection.
+    let Ok(primary) = app.conn().intern_atom("PRIMARY") else {
+        return;
+    };
     app.conn().set_selection_owner(primary, rec.xid);
     let mut st = app.inner.selection.borrow_mut();
     st.owner = Some(path.to_string());
@@ -109,9 +114,9 @@ pub fn claim(app: &TkApp, path: &str, native: Option<NativeHandler>) {
 /// until the owner (possibly another application) answers.
 pub fn retrieve(app: &TkApp) -> TclResult {
     let conn = app.conn();
-    let primary = conn.intern_atom("PRIMARY");
-    let string = conn.intern_atom("STRING");
-    let prop = conn.intern_atom("TK_SELECTION");
+    let primary = conn.intern_atom("PRIMARY").map_err(xerr)?;
+    let string = conn.intern_atom("STRING").map_err(xerr)?;
+    let prop = conn.intern_atom("TK_SELECTION").map_err(xerr)?;
     app.inner.selection.borrow_mut().pending = None;
     conn.convert_selection(app.inner.comm, primary, string, prop);
     // Pump all applications until the notify lands; each round makes
@@ -195,7 +200,7 @@ pub fn handle_event(app: &TkApp, ev: &Event) {
             let mut result: Result<String, String> =
                 Err("PRIMARY selection doesn't exist or form \"STRING\" not defined".into());
             if !matches!(*property, xsim::Atom::NONE) {
-                if let Some(v) = app.conn().get_property(app.inner.comm, *property) {
+                if let Ok(Some(v)) = app.conn().get_property(app.inner.comm, *property) {
                     app.conn().delete_property(app.inner.comm, *property);
                     result = Ok(v);
                 }

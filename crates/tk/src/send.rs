@@ -19,6 +19,7 @@ use tcl::{wrong_args, Code, Exception, TclResult};
 use xsim::{Atom, Event, WindowId, Xid};
 
 use crate::app::TkApp;
+use crate::cache::xerr;
 
 /// Per-application send state.
 #[derive(Default)]
@@ -32,18 +33,19 @@ pub struct SendState {
 }
 
 /// Looks up a handshake atom in the per-app cache, interning (one round
-/// trip, first use only) on a miss.
-fn cached_atom(app: &TkApp, name: &str) -> Atom {
+/// trip, first use only) on a miss. A protocol error on the intern (fault
+/// injection, dead connection) surfaces as a Tcl exception.
+fn cached_atom(app: &TkApp, name: &str) -> Result<Atom, Exception> {
     if let Some(a) = app.inner.send.borrow().atoms.get(name) {
-        return *a;
+        return Ok(*a);
     }
-    let a = app.conn().intern_atom(name);
+    let a = app.conn().intern_atom(name).map_err(xerr)?;
     app.inner
         .send
         .borrow_mut()
         .atoms
         .insert(name.to_string(), a);
-    a
+    Ok(a)
 }
 
 /// Registers the `send` command and `winfo interps` support bits.
@@ -55,24 +57,34 @@ pub fn register(app: &TkApp) {
 /// name if necessary (returns the final name).
 pub fn announce(app: &TkApp) -> String {
     let conn = app.conn();
+    let base = app.name();
     // Warm the handshake atom cache in one pipelined batch: all three
-    // interns travel to the server in a single flush.
+    // interns travel to the server in a single flush. If the handshake
+    // fails (fault injection, dead connection) the application keeps its
+    // base name and stays unregistered — it still works standalone.
     let reg_cookie = conn.send_intern_atom("InterpRegistry");
     let cmd_cookie = conn.send_intern_atom("TkSendCommand");
     let res_cookie = conn.send_intern_atom("TkSendResult");
-    let registry = conn.wait(reg_cookie);
+    let (Ok(registry), Ok(cmd), Ok(res)) = (
+        conn.wait(reg_cookie),
+        conn.wait(cmd_cookie),
+        conn.wait(res_cookie),
+    ) else {
+        return base;
+    };
     {
         let mut st = app.inner.send.borrow_mut();
         st.atoms.insert("InterpRegistry".into(), registry);
-        st.atoms
-            .insert("TkSendCommand".into(), conn.wait(cmd_cookie));
-        st.atoms
-            .insert("TkSendResult".into(), conn.wait(res_cookie));
+        st.atoms.insert("TkSendCommand".into(), cmd);
+        st.atoms.insert("TkSendResult".into(), res);
     }
     let root = conn.root();
-    let existing = conn.get_property(root, registry).unwrap_or_default();
+    let existing = conn
+        .get_property(root, registry)
+        .ok()
+        .flatten()
+        .unwrap_or_default();
     let mut entries = parse_registry(&existing);
-    let base = app.name();
     let mut name = base.clone();
     let mut n = 1;
     while entries.iter().any(|(e, _)| *e == name) {
@@ -88,9 +100,14 @@ pub fn announce(app: &TkApp) -> String {
 /// Removes an application from the registry (on destroy).
 pub fn withdraw(app: &TkApp) {
     let conn = app.conn();
-    let registry = cached_atom(app, "InterpRegistry");
+    let Ok(registry) = cached_atom(app, "InterpRegistry") else {
+        return;
+    };
     let root = conn.root();
-    let existing = conn.get_property(root, registry).unwrap_or_default();
+    let Ok(existing) = conn.get_property(root, registry) else {
+        return;
+    };
+    let existing = existing.unwrap_or_default();
     let name = app.name();
     let entries: Vec<(String, WindowId)> = parse_registry(&existing)
         .into_iter()
@@ -99,11 +116,35 @@ pub fn withdraw(app: &TkApp) {
     conn.change_property(root, registry, &format_registry(&entries));
 }
 
+/// Removes an application from the registry after its connection died.
+/// The protocol path is gone, so this edits the registry property directly
+/// on the server — the same scrubbing a real Tk performs when it notices a
+/// stale entry whose comm window no longer exists.
+pub fn withdraw_post_mortem(app: &TkApp) {
+    let name = app.name();
+    app.env().display().with_server(|s| {
+        let registry = s.intern_atom_direct("InterpRegistry");
+        let root = s.root();
+        let existing = s.get_property(root, registry).unwrap_or_default();
+        let entries: Vec<(String, WindowId)> = parse_registry(&existing)
+            .into_iter()
+            .filter(|(e, _)| *e != name)
+            .collect();
+        s.change_property(root, registry, format_registry(&entries));
+    });
+}
+
 /// Names of all registered applications (`winfo interps`).
 pub fn interps(app: &TkApp) -> Vec<String> {
     let conn = app.conn();
-    let registry = cached_atom(app, "InterpRegistry");
-    let existing = conn.get_property(conn.root(), registry).unwrap_or_default();
+    let Ok(registry) = cached_atom(app, "InterpRegistry") else {
+        return Vec::new();
+    };
+    let existing = conn
+        .get_property(conn.root(), registry)
+        .ok()
+        .flatten()
+        .unwrap_or_default();
     parse_registry(&existing)
         .into_iter()
         .map(|(n, _)| n)
@@ -150,8 +191,11 @@ fn cmd_send(app: &TkApp, _interp: &tcl::Interp, argv: &[String]) -> TclResult {
         return app.interp().eval(&script);
     }
     let conn = app.conn();
-    let registry = cached_atom(app, "InterpRegistry");
-    let existing = conn.get_property(conn.root(), registry).unwrap_or_default();
+    let registry = cached_atom(app, "InterpRegistry")?;
+    let existing = conn
+        .get_property(conn.root(), registry)
+        .map_err(xerr)?
+        .unwrap_or_default();
     let target_comm = parse_registry(&existing)
         .into_iter()
         .find(|(n, _)| n == target_name)
@@ -167,7 +211,7 @@ fn cmd_send(app: &TkApp, _interp: &tcl::Interp, argv: &[String]) -> TclResult {
         st.next_serial
     };
     let request = tcl::format_list(&[serial.to_string(), app.inner.comm.0.to_string(), script]);
-    append_to_property(app, target_comm, "TkSendCommand", &request);
+    append_to_property(app, target_comm, "TkSendCommand", &request)?;
 
     // Wait for the reply, processing everyone's events (the paper: the
     // sender waits for the result to come back).
@@ -200,15 +244,24 @@ fn cmd_send(app: &TkApp, _interp: &tcl::Interp, argv: &[String]) -> TclResult {
 
 /// Appends one line to a property (requests/results queue there until the
 /// owner drains them).
-fn append_to_property(app: &TkApp, window: WindowId, atom_name: &str, line: &str) {
+fn append_to_property(
+    app: &TkApp,
+    window: WindowId,
+    atom_name: &str,
+    line: &str,
+) -> Result<(), Exception> {
     let conn = app.conn();
-    let atom = cached_atom(app, atom_name);
-    let mut value = conn.get_property(window, atom).unwrap_or_default();
+    let atom = cached_atom(app, atom_name)?;
+    let mut value = conn
+        .get_property(window, atom)
+        .map_err(xerr)?
+        .unwrap_or_default();
     if !value.is_empty() {
         value.push('\n');
     }
     value.push_str(line);
     conn.change_property(window, atom, &value);
+    Ok(())
 }
 
 /// Handles property traffic on this application's comm window.
@@ -223,8 +276,12 @@ pub fn handle_comm_event(app: &TkApp, ev: &Event) {
     };
     // Compare against the cached handshake atoms instead of asking the
     // server for the atom's name (a round trip per PropertyNotify).
-    let cmd_atom = cached_atom(app, "TkSendCommand");
-    let res_atom = cached_atom(app, "TkSendResult");
+    let (Ok(cmd_atom), Ok(res_atom)) = (
+        cached_atom(app, "TkSendCommand"),
+        cached_atom(app, "TkSendResult"),
+    ) else {
+        return;
+    };
     let conn = app.conn();
     let name = if *atom == cmd_atom {
         "TkSendCommand"
@@ -235,7 +292,7 @@ pub fn handle_comm_event(app: &TkApp, ev: &Event) {
     };
     match name {
         "TkSendCommand" => {
-            let Some(value) = conn.get_property(app.inner.comm, *atom) else {
+            let Ok(Some(value)) = conn.get_property(app.inner.comm, *atom) else {
                 return;
             };
             conn.delete_property(app.inner.comm, *atom);
@@ -257,11 +314,13 @@ pub fn handle_comm_event(app: &TkApp, ev: &Event) {
                     Err(e) => (1, e.msg),
                 };
                 let reply = tcl::format_list(&[serial.clone(), code.to_string(), result]);
-                append_to_property(app, Xid(sender), "TkSendResult", &reply);
+                // Best effort: if the reply cannot be delivered (sender's
+                // window gone, connection faulted) the sender times out.
+                let _ = append_to_property(app, Xid(sender), "TkSendResult", &reply);
             }
         }
         "TkSendResult" => {
-            let Some(value) = conn.get_property(app.inner.comm, *atom) else {
+            let Ok(Some(value)) = conn.get_property(app.inner.comm, *atom) else {
                 return;
             };
             conn.delete_property(app.inner.comm, *atom);

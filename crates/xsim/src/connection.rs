@@ -21,6 +21,7 @@ use std::rc::Rc;
 use crate::atom::Atom;
 use crate::color::Rgb;
 use crate::event::{Event, Keysym};
+use crate::fault::{FaultAction, XError, XErrorCode};
 use crate::font::FontMetrics;
 use crate::gc::GcValues;
 use crate::ids::{ClientId, CursorId, FontId, GcId, Pixel, WindowId, Xid};
@@ -327,16 +328,35 @@ impl Connection {
         self.server.borrow_mut().set_batching(on);
     }
 
+    /// The last request sequence number this connection was assigned
+    /// (0 before the first request) — the anchor for fault schedules that
+    /// target "the next request".
+    pub fn sequence(&self) -> u64 {
+        self.server.borrow().current_seq(self.client)
+    }
+
+    /// Is this connection still alive? (An injected kill marks it dead;
+    /// after that, one-way requests are silently discarded — the write
+    /// side of a broken socket — and reply-bearing requests return
+    /// [`XError`] with `ConnectionDead`.)
+    pub fn alive(&self) -> bool {
+        self.server.borrow().is_alive(self.client)
+    }
+
     /// Queues a one-way request in the output buffer, accounting for it
-    /// at issue time.
+    /// at issue time. On a dead connection the request is discarded.
     fn one_way(&self, kind: RequestKind, window: WindowId, q: QueuedRequest) {
         let mut s = self.server.borrow_mut();
+        if !s.is_alive(self.client) {
+            return;
+        }
         let seq = s.next_seq(self.client);
         s.enqueue_request(self.client, kind, false, window, seq, Some(q));
     }
 
     /// Queues a pipelined reply-bearing request; the returned sequence
-    /// number is the cookie's claim ticket.
+    /// number is the cookie's claim ticket. On a dead connection nothing
+    /// is queued and redeeming the cookie reports the death.
     fn pipelined(
         &self,
         kind: RequestKind,
@@ -345,8 +365,10 @@ impl Connection {
     ) -> u64 {
         let mut s = self.server.borrow_mut();
         let seq = s.next_seq(self.client);
-        let q = make(seq);
-        s.enqueue_request(self.client, kind, true, window, seq, Some(q));
+        if s.is_alive(self.client) {
+            let q = make(seq);
+            s.enqueue_request(self.client, kind, true, window, seq, Some(q));
+        }
         seq
     }
 
@@ -361,37 +383,63 @@ impl Connection {
         kind: RequestKind,
         window: WindowId,
         f: impl FnOnce(&mut Server) -> R,
-    ) -> R {
+    ) -> Result<R, XError> {
         let mut s = self.server.borrow_mut();
         s.flush_all();
+        // The flush may have executed an injected kill for this client.
+        if !s.is_alive(self.client) {
+            return Err(XError::dead(0));
+        }
         let start = std::time::Instant::now();
         let seq = s.next_seq(self.client);
         s.note_request(self.client, true);
+        if let Some(action) = s.fault_for_round_trip(self.client, seq) {
+            // The request went out and an error (or the connection's
+            // death) came back: it costs the round trip either way.
+            s.record_fault(self.client, seq, action, Some(kind), window);
+            s.record_request(self.client, seq, kind, true, window, start.elapsed());
+            return match action {
+                FaultAction::KillConnection => {
+                    s.kill_client(self.client);
+                    Err(XError::dead(seq))
+                }
+                FaultAction::Error(code) => Err(XError {
+                    code,
+                    seq,
+                    kind: Some(kind),
+                }),
+                _ => unreachable!("fault_for_round_trip filters to error/kill"),
+            };
+        }
         let work_start = std::time::Instant::now();
         let r = f(&mut s);
         let end = std::time::Instant::now();
         s.work_time += end - work_start;
         s.record_request(self.client, seq, kind, true, window, end - start);
-        r
+        Ok(r)
     }
 
     /// Redeems a cookie: blocks (flushes) if the reply has not already
-    /// been executed, then returns the typed result.
-    pub fn wait<T: FromReply>(&self, cookie: Cookie<T>) -> T {
+    /// been executed, then returns the typed result. An injected error on
+    /// the pipelined request — or the connection dying before the reply
+    /// traveled back — surfaces here, where Xlib would deliver it.
+    pub fn wait<T: FromReply>(&self, cookie: Cookie<T>) -> Result<T, XError> {
         let mut s = self.server.borrow_mut();
         if !s.has_reply(self.client, cookie.seq) {
             s.flush_all();
         }
-        let v = s
-            .take_reply(self.client, cookie.seq)
-            .expect("no reply filed for cookie (double wait?)");
-        T::from_reply(v).expect("reply payload does not match cookie type")
+        match s.take_reply(self.client, cookie.seq) {
+            Some(ReplyValue::Error(e)) => Err(e),
+            Some(v) => Ok(T::from_reply(v).expect("reply payload does not match cookie type")),
+            None if !s.is_alive(self.client) => Err(XError::dead(cookie.seq)),
+            None => panic!("no reply filed for cookie (double wait?)"),
+        }
     }
 
     // --- atoms ---
 
     /// Interns an atom (round trip).
-    pub fn intern_atom(&self, name: &str) -> Atom {
+    pub fn intern_atom(&self, name: &str) -> Result<Atom, XError> {
         self.round_trip(RequestKind::InternAtom, Xid::NONE, |s| s.atoms.intern(name))
     }
 
@@ -406,7 +454,7 @@ impl Connection {
     }
 
     /// Gets an atom's name (round trip).
-    pub fn atom_name(&self, atom: Atom) -> Option<String> {
+    pub fn atom_name(&self, atom: Atom) -> Result<Option<String>, XError> {
         self.round_trip(RequestKind::GetAtomName, Xid::NONE, |s| {
             s.atoms.name(atom).map(str::to_string)
         })
@@ -415,7 +463,9 @@ impl Connection {
     // --- windows ---
 
     /// Creates an (unmapped) window. The id is allocated client-side and
-    /// returned immediately; the CreateWindow itself is buffered.
+    /// returned immediately; the CreateWindow itself is buffered. A stale
+    /// parent is the `BadWindow` the real server would answer with; a
+    /// dead connection reports `ConnectionDead`.
     pub fn create_window(
         &self,
         parent: WindowId,
@@ -424,8 +474,11 @@ impl Connection {
         width: u32,
         height: u32,
         border_width: u32,
-    ) -> Option<WindowId> {
+    ) -> Result<WindowId, XError> {
         let mut s = self.server.borrow_mut();
+        if !s.is_alive(self.client) {
+            return Err(XError::dead(0));
+        }
         let seq = s.next_seq(self.client);
         if !s.window_exists_or_pending(parent) {
             // Still counted (the server would answer with an error); no
@@ -438,7 +491,11 @@ impl Connection {
                 seq,
                 None,
             );
-            return None;
+            return Err(XError {
+                code: XErrorCode::BadWindow,
+                seq,
+                kind: Some(RequestKind::CreateWindow),
+            });
         }
         let id = s.reserve_window_id();
         s.enqueue_request(
@@ -457,7 +514,7 @@ impl Connection {
                 border_width,
             }),
         );
-        Some(id)
+        Ok(id)
     }
 
     /// Destroys a window and its descendants.
@@ -576,12 +633,12 @@ impl Connection {
     }
 
     /// Queries parent and children (round trip).
-    pub fn query_tree(&self, id: WindowId) -> Option<(WindowId, Vec<WindowId>)> {
+    pub fn query_tree(&self, id: WindowId) -> Result<Option<(WindowId, Vec<WindowId>)>, XError> {
         self.round_trip(RequestKind::QueryTree, id, |s| s.query_tree(id))
     }
 
     /// Queries geometry (round trip).
-    pub fn get_geometry(&self, id: WindowId) -> Option<Geometry> {
+    pub fn get_geometry(&self, id: WindowId) -> Result<Option<Geometry>, XError> {
         self.round_trip(RequestKind::GetGeometry, id, |s| s.get_geometry(id))
     }
 
@@ -593,7 +650,7 @@ impl Connection {
     }
 
     /// Is the window viewable? (round trip)
-    pub fn is_viewable(&self, id: WindowId) -> bool {
+    pub fn is_viewable(&self, id: WindowId) -> Result<bool, XError> {
         self.round_trip(RequestKind::GetWindowAttributes, id, |s| s.is_viewable(id))
     }
 
@@ -613,7 +670,7 @@ impl Connection {
     }
 
     /// Reads a property (round trip).
-    pub fn get_property(&self, id: WindowId, atom: Atom) -> Option<String> {
+    pub fn get_property(&self, id: WindowId, atom: Atom) -> Result<Option<String>, XError> {
         self.round_trip(RequestKind::GetProperty, id, |s| s.get_property(id, atom))
     }
 
@@ -636,7 +693,7 @@ impl Connection {
     // --- colors, fonts, cursors, GCs ---
 
     /// Allocates a named color (round trip), returning pixel and RGB.
-    pub fn alloc_named_color(&self, name: &str) -> Option<(Pixel, Rgb)> {
+    pub fn alloc_named_color(&self, name: &str) -> Result<Option<(Pixel, Rgb)>, XError> {
         self.round_trip(RequestKind::AllocColor, Xid::NONE, |s| {
             s.alloc_named_color(name)
         })
@@ -653,7 +710,7 @@ impl Connection {
     }
 
     /// Allocates an RGB color (round trip).
-    pub fn alloc_color(&self, rgb: Rgb) -> Pixel {
+    pub fn alloc_color(&self, rgb: Rgb) -> Result<Pixel, XError> {
         self.round_trip(RequestKind::AllocColor, Xid::NONE, |s| {
             s.colormap.alloc(rgb)
         })
@@ -676,24 +733,24 @@ impl Connection {
     }
 
     /// Looks up the RGB stored in a pixel (round trip).
-    pub fn query_color(&self, pixel: Pixel) -> Rgb {
+    pub fn query_color(&self, pixel: Pixel) -> Result<Rgb, XError> {
         self.round_trip(RequestKind::QueryColor, Xid::NONE, |s| {
             s.colormap.rgb(pixel)
         })
     }
 
     /// Opens a font (round trip).
-    pub fn open_font(&self, name: &str) -> Option<FontId> {
+    pub fn open_font(&self, name: &str) -> Result<Option<FontId>, XError> {
         self.round_trip(RequestKind::OpenFont, Xid::NONE, |s| s.open_font(name))
     }
 
     /// Queries font metrics (round trip).
-    pub fn font_metrics(&self, font: FontId) -> Option<FontMetrics> {
+    pub fn font_metrics(&self, font: FontId) -> Result<Option<FontMetrics>, XError> {
         self.round_trip(RequestKind::QueryFont, Xid::NONE, |s| s.fonts.metrics(font))
     }
 
     /// Creates a cursor from the cursor font (round trip).
-    pub fn create_cursor(&self, name: &str) -> Option<CursorId> {
+    pub fn create_cursor(&self, name: &str) -> Result<Option<CursorId>, XError> {
         self.round_trip(RequestKind::CreateCursor, Xid::NONE, |s| {
             s.cursors.create(name)
         })
@@ -703,8 +760,11 @@ impl Connection {
     /// the upload itself is buffered.
     pub fn create_bitmap(&self, bitmap: crate::bitmap::Bitmap) -> crate::bitmap::BitmapId {
         let mut s = self.server.borrow_mut();
-        let seq = s.next_seq(self.client);
         let id = s.bitmaps.reserve();
+        if !s.is_alive(self.client) {
+            return id;
+        }
+        let seq = s.next_seq(self.client);
         s.enqueue_request(
             self.client,
             RequestKind::CreateBitmap,
@@ -726,7 +786,7 @@ impl Connection {
     }
 
     /// Dimensions of an uploaded bitmap (round trip).
-    pub fn bitmap_size(&self, id: crate::bitmap::BitmapId) -> Option<(u32, u32)> {
+    pub fn bitmap_size(&self, id: crate::bitmap::BitmapId) -> Result<Option<(u32, u32)>, XError> {
         self.round_trip(RequestKind::QueryBitmap, Xid::NONE, |s| {
             s.bitmaps.get(id).map(|b| (b.width, b.height))
         })
@@ -758,8 +818,11 @@ impl Connection {
     /// is buffered.
     pub fn create_gc(&self, values: GcValues) -> GcId {
         let mut s = self.server.borrow_mut();
-        let seq = s.next_seq(self.client);
         let id = s.gcs.reserve();
+        if !s.is_alive(self.client) {
+            return id;
+        }
+        let seq = s.next_seq(self.client);
         s.enqueue_request(
             self.client,
             RequestKind::CreateGc,
@@ -857,7 +920,7 @@ impl Connection {
     }
 
     /// Queries the selection owner (round trip).
-    pub fn get_selection_owner(&self, selection: Atom) -> WindowId {
+    pub fn get_selection_owner(&self, selection: Atom) -> Result<WindowId, XError> {
         self.round_trip(RequestKind::GetSelectionOwner, Xid::NONE, |s| {
             s.get_selection_owner(selection)
         })
@@ -915,7 +978,7 @@ impl Connection {
     }
 
     /// Queries the input focus (round trip).
-    pub fn get_input_focus(&self) -> WindowId {
+    pub fn get_input_focus(&self) -> Result<WindowId, XError> {
         self.round_trip(RequestKind::GetInputFocus, Xid::NONE, |s| {
             s.get_input_focus()
         })
@@ -996,7 +1059,7 @@ mod tests {
         let d = Display::new();
         let c = d.connect();
         let w = c.create_window(c.root(), 0, 0, 10, 10, 0).unwrap();
-        let a = c.intern_atom("A");
+        let a = c.intern_atom("A").unwrap();
         // Interleave one-way writes with pipelined reads. Each read's
         // reply must observe exactly the writes queued before it — if a
         // one-way were reordered past a later reply-bearing request, the
@@ -1009,11 +1072,11 @@ mod tests {
         let g = c.send_get_geometry(w);
         assert!(p1.sequence() < p2.sequence());
         assert!(p2.sequence() < g.sequence());
-        assert_eq!(c.wait(p1), Some("first".to_string()));
-        assert_eq!(c.wait(p2), Some("second".to_string()));
-        assert_eq!(c.wait(g), Some((0, 0, 10, 10, 0)));
+        assert_eq!(c.wait(p1).unwrap(), Some("first".to_string()));
+        assert_eq!(c.wait(p2).unwrap(), Some("second".to_string()));
+        assert_eq!(c.wait(g).unwrap(), Some((0, 0, 10, 10, 0)));
         // And the final state is the last write.
-        assert_eq!(c.get_property(w, a), Some("third".to_string()));
+        assert_eq!(c.get_property(w, a).unwrap(), Some("third".to_string()));
         let st = c.stats();
         assert!(st.max_pending_replies >= 3, "{st:?}");
     }
@@ -1024,8 +1087,8 @@ mod tests {
         let c = d.connect();
         let a1 = c.send_intern_atom("ONE");
         let a2 = c.send_intern_atom("TWO");
-        let two = c.wait(a2);
-        let one = c.wait(a1);
+        let two = c.wait(a2).unwrap();
+        let one = c.wait(a1).unwrap();
         assert_ne!(one, two);
         // One blocking flush carried both replies.
         assert_eq!(c.stats().flushes, 1);
@@ -1055,9 +1118,12 @@ mod tests {
         let c2 = d.connect();
         assert_ne!(c1.client_id(), c2.client_id());
         assert_eq!(c1.root(), c2.root());
-        let atom = c1.intern_atom("SHARED");
+        let atom = c1.intern_atom("SHARED").unwrap();
         c1.change_property(c1.root(), atom, "from c1");
-        assert_eq!(c2.get_property(c2.root(), atom), Some("from c1".into()));
+        assert_eq!(
+            c2.get_property(c2.root(), atom).unwrap(),
+            Some("from c1".into())
+        );
     }
 
     #[test]
@@ -1095,8 +1161,8 @@ mod tests {
         let d = Display::new();
         let c1 = d.connect();
         let c2 = d.connect();
-        let (p1, rgb) = c1.alloc_named_color("MediumSeaGreen").unwrap();
-        let (p2, _) = c2.alloc_named_color("mediumseagreen").unwrap();
+        let (p1, rgb) = c1.alloc_named_color("MediumSeaGreen").unwrap().unwrap();
+        let (p2, _) = c2.alloc_named_color("mediumseagreen").unwrap().unwrap();
         assert_eq!(p1, p2);
         assert_eq!(rgb, Rgb::new(60, 179, 113));
     }
@@ -1107,8 +1173,8 @@ mod tests {
         let c = d.connect();
         let w = c.create_window(c.root(), 0, 0, 50, 50, 1).unwrap();
         c.map_window(w);
-        c.get_geometry(w);
-        c.intern_atom("WM_NAME");
+        c.get_geometry(w).unwrap();
+        c.intern_atom("WM_NAME").unwrap();
 
         let stats = c.stats();
         let kinds = c.obs_kind_counts();
@@ -1132,7 +1198,7 @@ mod tests {
         assert!(c.obs_trace(10).is_empty());
 
         c.obs_set_trace(true);
-        c.get_geometry(w);
+        c.get_geometry(w).unwrap();
         c.unmap_window(w);
         let trace = c.obs_trace(10);
         assert_eq!(trace.len(), 2);
@@ -1149,7 +1215,7 @@ mod tests {
         let c = d.connect();
         c.obs_set_trace(true);
         let w = c.create_window(c.root(), 0, 0, 50, 50, 1).unwrap();
-        c.get_geometry(w);
+        c.get_geometry(w).unwrap();
         assert!(c.stats().requests > 0);
         assert!(!c.obs_trace(10).is_empty());
 
@@ -1186,11 +1252,221 @@ mod tests {
         let d = Display::new();
         let c = d.connect();
         let w = c.create_window(c.root(), 0, 0, 50, 50, 1).unwrap();
-        c.get_geometry(w);
+        c.get_geometry(w).unwrap();
         d.with_server(|s| s.reset_stats());
         assert_eq!(c.stats().requests, 0);
         assert_eq!(c.stats().flushes, 0);
         assert!(c.obs_kind_counts().is_empty());
         assert!(c.obs_request_histogram().is_empty());
+    }
+
+    // --- fault injection ---
+
+    use crate::fault::{FaultPlan, XErrorCode};
+
+    #[test]
+    fn error_fault_on_round_trip_surfaces_as_err() {
+        let d = Display::new();
+        let c = d.connect();
+        d.with_server(|s| {
+            s.install_fault_plan(FaultPlan::default().error_at(0, 1, XErrorCode::BadAtom))
+        });
+        let err = c.intern_atom("WM_NAME").unwrap_err();
+        assert_eq!(err.code, XErrorCode::BadAtom);
+        assert_eq!(err.seq, 1);
+        assert_eq!(err.kind, Some(RequestKind::InternAtom));
+        // The connection is intact; a retry (next seq, no matching spec)
+        // succeeds, and the fault is visible in the counters.
+        c.intern_atom("WM_NAME").unwrap();
+        let faults = c.with_obs(|o| o.fault_kind_counts()).unwrap();
+        assert_eq!(faults, vec![("error.BadAtom", 1)]);
+    }
+
+    #[test]
+    fn error_fault_on_pipelined_request_arrives_at_wait() {
+        let d = Display::new();
+        let c = d.connect();
+        let w = c.create_window(c.root(), 0, 0, 10, 10, 0).unwrap(); // seq 1
+        d.with_server(|s| {
+            s.install_fault_plan(FaultPlan::default().error_at(0, 2, XErrorCode::BadWindow))
+        });
+        let cookie = c.send_get_geometry(w); // seq 2, faulted at flush
+        let ok = c.send_get_geometry(w); // seq 3, unharmed
+        let err = c.wait(cookie).unwrap_err();
+        assert_eq!(err.code, XErrorCode::BadWindow);
+        assert_eq!(err.seq, 2);
+        assert_eq!(c.wait(ok).unwrap(), Some((0, 0, 10, 10, 0)));
+    }
+
+    #[test]
+    fn drop_fault_suppresses_a_one_way_request() {
+        let d = Display::new();
+        let c = d.connect();
+        let w = c.create_window(c.root(), 0, 0, 10, 10, 0).unwrap(); // seq 1
+        d.with_server(|s| s.install_fault_plan(FaultPlan::default().drop_at(0, 2)));
+        c.map_window(w); // seq 2, dropped at flush
+        c.flush();
+        assert!(
+            !d.with_server(|s| s.is_viewable(w)),
+            "dropped MapWindow must not execute"
+        );
+        let faults = c.with_obs(|o| o.fault_kind_counts()).unwrap();
+        assert_eq!(faults, vec![("drop", 1)]);
+    }
+
+    #[test]
+    fn duplicate_fault_applies_a_one_way_twice() {
+        let d = Display::new();
+        let c = d.connect();
+        let w = c.create_window(c.root(), 0, 0, 10, 10, 0).unwrap(); // seq 1
+        let a = c.intern_atom("P").unwrap(); // seq 2
+        d.with_server(|s| s.install_fault_plan(FaultPlan::default().duplicate_at(0, 3)));
+        c.change_property(w, a, "twice"); // seq 3, applied twice (idempotent)
+        c.flush();
+        assert_eq!(c.get_property(w, a).unwrap(), Some("twice".to_string()));
+        let faults = c.with_obs(|o| o.fault_kind_counts()).unwrap();
+        assert_eq!(faults, vec![("duplicate", 1)]);
+    }
+
+    #[test]
+    fn delayed_event_is_never_lost() {
+        let d = Display::new();
+        let c = d.connect();
+        let w = c.create_window(c.root(), 0, 0, 10, 10, 0).unwrap();
+        c.select_input(w, mask::STRUCTURE_NOTIFY);
+        c.flush();
+        d.with_server(|s| s.install_fault_plan(FaultPlan::default().delay_at(0, 1, 3)));
+        c.map_window(w); // MapNotify is event index 1: delayed
+        let events: Vec<Event> = std::iter::from_fn(|| c.poll_event()).collect();
+        assert!(
+            events.iter().any(|e| matches!(e, Event::MapNotify { .. })),
+            "a blocking poll releases delayed events: {events:?}"
+        );
+        let faults = c.with_obs(|o| o.fault_kind_counts()).unwrap();
+        assert_eq!(faults, vec![("delay", 1)]);
+    }
+
+    #[test]
+    fn delayed_event_released_by_later_same_window_event() {
+        let d = Display::new();
+        let c = d.connect();
+        let w = c.create_window(c.root(), 0, 0, 10, 10, 0).unwrap();
+        c.select_input(w, mask::STRUCTURE_NOTIFY);
+        c.flush();
+        // Hold the MapNotify far beyond the horizon; the UnmapNotify on the
+        // same window must still flush it out first (ICCCM ordering).
+        d.with_server(|s| s.install_fault_plan(FaultPlan::default().delay_at(0, 1, 1000)));
+        c.map_window(w);
+        c.unmap_window(w);
+        let events: Vec<Event> = std::iter::from_fn(|| c.poll_event()).collect();
+        let map_pos = events
+            .iter()
+            .position(|e| matches!(e, Event::MapNotify { .. }));
+        let unmap_pos = events
+            .iter()
+            .position(|e| matches!(e, Event::UnmapNotify { .. }));
+        assert!(map_pos.is_some() && unmap_pos.is_some(), "{events:?}");
+        assert!(
+            map_pos < unmap_pos,
+            "same-window ordering must hold: {events:?}"
+        );
+    }
+
+    #[test]
+    fn reorder_fault_swaps_events_on_different_windows_only() {
+        let d = Display::new();
+        let c = d.connect();
+        let w1 = c.create_window(c.root(), 0, 0, 10, 10, 0).unwrap();
+        let w2 = c.create_window(c.root(), 20, 0, 10, 10, 0).unwrap();
+        c.select_input(w1, mask::STRUCTURE_NOTIFY);
+        c.select_input(w2, mask::STRUCTURE_NOTIFY);
+        c.flush();
+        d.with_server(|s| s.install_fault_plan(FaultPlan::default().reorder_at(0, 2)));
+        c.map_window(w1); // event 1
+        c.map_window(w2); // event 2: swapped in front of event 1
+        let events: Vec<Event> = std::iter::from_fn(|| c.poll_event()).collect();
+        let windows: Vec<WindowId> = events.iter().map(Event::window).collect();
+        assert_eq!(windows, vec![w2, w1], "{events:?}");
+        let faults = c.with_obs(|o| o.fault_kind_counts()).unwrap();
+        assert_eq!(faults, vec![("reorder", 1)]);
+    }
+
+    #[test]
+    fn kill_fault_tears_down_the_connection_mid_flush() {
+        let d = Display::new();
+        let c = d.connect();
+        let w = c.create_window(c.root(), 0, 0, 10, 10, 0).unwrap(); // seq 1
+        c.flush();
+        d.with_server(|s| s.install_fault_plan(FaultPlan::default().kill_at(0, 2)));
+        c.map_window(w); // seq 2: the kill
+        c.clear_area(w, 0, 0, 1, 1); // seq 3: discarded with the batch
+        let err = c.get_geometry(w).unwrap_err();
+        assert_eq!(err.code, XErrorCode::ConnectionDead);
+        assert!(!c.alive());
+        // The server reclaimed the client's windows.
+        assert!(d.with_server(|s| s.get_geometry(w).is_none()));
+        // Post-mortem observability survives the kill.
+        let faults = c.with_obs(|o| o.fault_kind_counts()).unwrap();
+        assert_eq!(faults, vec![("kill", 1)]);
+        // Later traffic is silently discarded / fails fast.
+        c.map_window(w);
+        assert!(c.create_window(c.root(), 0, 0, 5, 5, 0).is_err());
+        assert!(c.intern_atom("X").is_err());
+        assert!(c.poll_event().is_none());
+    }
+
+    #[test]
+    fn dead_connection_fails_pending_cookies() {
+        let d = Display::new();
+        let c = d.connect();
+        let w = c.create_window(c.root(), 0, 0, 10, 10, 0).unwrap(); // seq 1
+        c.flush();
+        d.with_server(|s| s.install_fault_plan(FaultPlan::default().kill_at(0, 2)));
+        let cookie = c.send_get_geometry(w); // seq 2: killed before reply
+        let err = c.wait(cookie).unwrap_err();
+        assert_eq!(err.code, XErrorCode::ConnectionDead);
+    }
+
+    #[test]
+    fn reset_stats_clears_fault_counters_and_fired_log() {
+        let d = Display::new();
+        let c = d.connect();
+        d.with_server(|s| {
+            s.install_fault_plan(FaultPlan::default().error_at(0, 1, XErrorCode::BadValue))
+        });
+        c.intern_atom("A").unwrap_err();
+        assert_eq!(c.with_obs(|o| o.faults_injected).unwrap(), 1);
+        assert_eq!(
+            d.with_server(|s| s.fault_plan().map_or(0, |p| p.fired_log().len())),
+            1
+        );
+        d.with_server(|s| s.reset_stats());
+        assert_eq!(c.with_obs(|o| o.faults_injected).unwrap(), 0);
+        assert_eq!(
+            d.with_server(|s| s.fault_plan().map_or(0, |p| p.fired_log().len())),
+            0,
+            "fired log starts a new epoch"
+        );
+        // The consumed-spec markers survive: a spec fires at most once ever.
+        assert!(d.with_server(|s| s.fault_report().contains("[fired]")));
+    }
+
+    #[test]
+    fn fault_keying_is_identical_batched_and_unbatched() {
+        // The same plan must hit the same request in both transports,
+        // because faults key on the per-client sequence number assigned at
+        // issue time, not on flush boundaries.
+        let run = |batching: bool| {
+            let d = Display::new();
+            let c = d.connect();
+            c.set_batching(batching);
+            d.with_server(|s| s.install_fault_plan(FaultPlan::default().drop_at(0, 2)));
+            let w = c.create_window(c.root(), 0, 0, 10, 10, 0).unwrap(); // seq 1
+            c.map_window(w); // seq 2: dropped
+            c.flush();
+            d.with_server(|s| s.is_viewable(w))
+        };
+        assert_eq!(run(true), run(false));
+        assert!(!run(true));
     }
 }

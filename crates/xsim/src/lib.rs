@@ -37,11 +37,13 @@ pub mod color;
 pub mod connection;
 pub mod cursor;
 pub mod event;
+pub mod fault;
 pub mod font;
 pub mod gc;
 pub mod ids;
 pub mod obs;
 pub mod render;
+pub mod rng;
 pub mod server;
 pub mod window;
 
@@ -50,9 +52,11 @@ pub use bitmap::{Bitmap, BitmapId};
 pub use color::{lookup_color, Rgb};
 pub use connection::{Connection, Cookie, Display, FromReply, Geometry};
 pub use event::{Event, Keysym};
+pub use fault::{FaultAction, FaultPlan, FaultSpec, FiredFault, XError, XErrorCode};
 pub use font::FontMetrics;
 pub use gc::GcValues;
 pub use ids::{ClientId, CursorId, FontId, GcId, Pixel, WindowId, Xid};
 pub use obs::{ClientObs, RequestKind, TraceEntry};
 pub use render::Surface;
+pub use rng::XorShift;
 pub use server::{ClientStats, Server, OUT_BUF_CAPACITY, SCREEN_HEIGHT, SCREEN_WIDTH};

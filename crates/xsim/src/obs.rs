@@ -173,6 +173,9 @@ pub struct TraceEntry {
     /// Wall time the request spent in the server, including the synthetic
     /// round-trip cost when configured.
     pub duration_ns: u64,
+    /// When a fault fired on this request, its counter name
+    /// (`"error.BadWindow"`, `"drop"`, ...); `None` for normal requests.
+    pub fault: Option<&'static str>,
 }
 
 /// Default trace ring capacity (entries).
@@ -194,6 +197,11 @@ pub struct ClientObs {
     pub trace: Ring<TraceEntry>,
     /// Is the trace ring recording?
     pub trace_enabled: bool,
+    /// Total injected faults observed by this client.
+    pub faults_injected: u64,
+    /// Injected faults split by kind (see
+    /// [`crate::fault::FAULT_KIND_NAMES`]).
+    pub fault_counts: [u64; crate::fault::FAULT_KIND_COUNT],
 }
 
 impl Default for ClientObs {
@@ -205,6 +213,8 @@ impl Default for ClientObs {
             round_trip_ns: Histogram::new(),
             trace: Ring::new(TRACE_CAPACITY),
             trace_enabled: false,
+            faults_injected: 0,
+            fault_counts: [0; crate::fault::FAULT_KIND_COUNT],
         }
     }
 }
@@ -233,8 +243,45 @@ impl ClientObs {
                 round_trip,
                 window,
                 duration_ns: ns,
+                fault: None,
             });
         }
+    }
+
+    /// Records one injected fault: bumps the total and per-kind counters
+    /// and, when tracing, pushes a marked trace entry so a dumped trace
+    /// shows exactly where the schedule fired. `kind` is the faulted
+    /// request's kind when known (event faults have none and reuse
+    /// `SendEvent` as the delivery-path marker).
+    pub fn record_fault(
+        &mut self,
+        seq: u64,
+        action: crate::fault::FaultAction,
+        kind: Option<RequestKind>,
+        window: WindowId,
+    ) {
+        self.faults_injected += 1;
+        self.fault_counts[action.kind_index()] += 1;
+        if self.trace_enabled {
+            self.trace.push(TraceEntry {
+                seq,
+                kind: kind.unwrap_or(RequestKind::SendEvent),
+                round_trip: false,
+                window,
+                duration_ns: 0,
+                fault: Some(action.kind_name()),
+            });
+        }
+    }
+
+    /// Fault kinds with a non-zero count, as `(name, count)` pairs.
+    pub fn fault_kind_counts(&self) -> Vec<(&'static str, u64)> {
+        crate::fault::FAULT_KIND_NAMES
+            .iter()
+            .zip(self.fault_counts.iter())
+            .filter(|(_, n)| **n > 0)
+            .map(|(name, n)| (*name, *n))
+            .collect()
     }
 
     /// Kinds with a non-zero count, as `(name, count)` pairs.
@@ -278,6 +325,10 @@ impl ClientObs {
         for (name, count) in self.kind_round_trip_counts() {
             by_kind_rt.field_u64(name, count);
         }
+        let mut by_fault = rtk_obs::json::Object::new();
+        for (name, count) in self.fault_kind_counts() {
+            by_fault.field_u64(name, count);
+        }
         let mut trace = rtk_obs::json::Array::new();
         for e in self.trace.iter() {
             let mut o = rtk_obs::json::Object::new();
@@ -286,11 +337,16 @@ impl ClientObs {
             o.field_bool("round_trip", e.round_trip);
             o.field_u64("window", e.window.0 as u64);
             o.field_u64("duration_ns", e.duration_ns);
+            if let Some(fault) = e.fault {
+                o.field_str("fault", fault);
+            }
             trace.push_raw(&o.build());
         }
         let mut o = rtk_obs::json::Object::new();
         o.field_raw("by_kind", &by_kind.build());
         o.field_raw("by_kind_round_trip", &by_kind_rt.build());
+        o.field_u64("faults_injected", self.faults_injected);
+        o.field_raw("by_fault", &by_fault.build());
         o.field_raw("request_ns", &self.request_ns.to_json());
         o.field_raw("round_trip_ns", &self.round_trip_ns.to_json());
         o.field_bool("trace_enabled", self.trace_enabled);
@@ -380,11 +436,47 @@ mod tests {
             Xid::NONE,
             Duration::from_nanos(5),
         );
+        o.record_fault(
+            2,
+            crate::fault::FaultAction::DropRequest,
+            Some(RequestKind::ClearArea),
+            Xid::NONE,
+        );
+        assert_eq!(o.faults_injected, 1);
         o.reset();
         assert_eq!(o.total_requests(), 0);
         assert!(o.request_ns.is_empty());
         assert!(o.trace.is_empty());
+        assert_eq!(o.faults_injected, 0, "fault counters reset too");
+        assert!(o.fault_kind_counts().is_empty());
         assert!(o.trace_enabled, "toggle survives reset");
+    }
+
+    #[test]
+    fn record_fault_counts_splits_and_traces() {
+        let mut o = ClientObs {
+            trace_enabled: true,
+            ..Default::default()
+        };
+        let kill = crate::fault::FaultAction::KillConnection;
+        o.record_fault(9, kill, Some(RequestKind::MapWindow), Xid(4));
+        o.record_fault(11, crate::fault::FaultAction::ReorderEvent, None, Xid(4));
+        assert_eq!(o.faults_injected, 2);
+        assert_eq!(
+            o.fault_kind_counts(),
+            vec![("reorder", 1), ("kill", 1)],
+            "per-kind split"
+        );
+        let entries: Vec<_> = o.trace.iter().collect();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].fault, Some("kill"));
+        assert_eq!(entries[0].kind, RequestKind::MapWindow);
+        assert_eq!(entries[1].fault, Some("reorder"));
+        let j = o.to_json();
+        assert!(rtk_obs::json::is_valid(&j), "{j}");
+        assert!(j.contains("\"faults_injected\":2"), "{j}");
+        assert!(j.contains("\"by_fault\":{\"reorder\":1,\"kill\":1}"), "{j}");
+        assert!(j.contains("\"fault\":\"kill\""), "{j}");
     }
 
     #[test]

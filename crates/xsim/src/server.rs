@@ -14,6 +14,7 @@ use crate::atom::{Atom, AtomTable};
 use crate::color::{lookup_color, Colormap, Rgb};
 use crate::cursor::CursorTable;
 use crate::event::{mask, state, Event, Keysym};
+use crate::fault::{FaultAction, FaultPlan, XError};
 use crate::font::{FontMetrics, FontTable};
 use crate::gc::{GcTable, GcValues};
 use crate::ids::{ClientId, CursorId, FontId, GcId, IdAllocator, Pixel, WindowId, Xid};
@@ -238,6 +239,49 @@ impl QueuedRequest {
                 | QueuedRequest::GetGeometry { .. }
         )
     }
+
+    /// The [`RequestKind`] this buffered request was issued as (used to
+    /// label injected faults in the trace ring and in error values).
+    fn kind(&self) -> RequestKind {
+        match self {
+            QueuedRequest::CreateWindow { .. } => RequestKind::CreateWindow,
+            QueuedRequest::DestroyWindow { .. } => RequestKind::DestroyWindow,
+            QueuedRequest::MapWindow { .. } => RequestKind::MapWindow,
+            QueuedRequest::UnmapWindow { .. } => RequestKind::UnmapWindow,
+            QueuedRequest::ConfigureWindow { .. } => RequestKind::ConfigureWindow,
+            QueuedRequest::RaiseWindow { .. } => RequestKind::RaiseWindow,
+            QueuedRequest::ReparentWindow { .. } => RequestKind::ReparentWindow,
+            QueuedRequest::SelectInput { .. } => RequestKind::SelectInput,
+            QueuedRequest::SetWindowBackground { .. }
+            | QueuedRequest::SetWindowBorder { .. }
+            | QueuedRequest::SetOverrideRedirect { .. }
+            | QueuedRequest::DefineCursor { .. } => RequestKind::ChangeWindowAttributes,
+            QueuedRequest::ChangeProperty { .. } => RequestKind::ChangeProperty,
+            QueuedRequest::DeleteProperty { .. } => RequestKind::DeleteProperty,
+            QueuedRequest::FreeColor { .. } => RequestKind::FreeColor,
+            QueuedRequest::CreateBitmap { .. } => RequestKind::CreateBitmap,
+            QueuedRequest::FreeBitmap { .. } => RequestKind::FreeBitmap,
+            QueuedRequest::CopyBitmap { .. } => RequestKind::CopyBitmap,
+            QueuedRequest::CreateGc { .. } => RequestKind::CreateGc,
+            QueuedRequest::ChangeGc { .. } => RequestKind::ChangeGc,
+            QueuedRequest::FreeGc { .. } => RequestKind::FreeGc,
+            QueuedRequest::FillRectangle { .. } => RequestKind::FillRectangle,
+            QueuedRequest::DrawRectangle { .. } => RequestKind::DrawRectangle,
+            QueuedRequest::DrawLine { .. } => RequestKind::DrawLine,
+            QueuedRequest::DrawString { .. } => RequestKind::DrawString,
+            QueuedRequest::ClearArea { .. } => RequestKind::ClearArea,
+            QueuedRequest::SetSelectionOwner { .. } => RequestKind::SetSelectionOwner,
+            QueuedRequest::ConvertSelection { .. } => RequestKind::ConvertSelection,
+            QueuedRequest::SendSelectionNotify { .. } => RequestKind::SendEvent,
+            QueuedRequest::SetInputFocus { .. } => RequestKind::SetInputFocus,
+            QueuedRequest::InternAtom { .. } => RequestKind::InternAtom,
+            QueuedRequest::AllocColor { .. } | QueuedRequest::AllocNamedColor { .. } => {
+                RequestKind::AllocColor
+            }
+            QueuedRequest::GetProperty { .. } => RequestKind::GetProperty,
+            QueuedRequest::GetGeometry { .. } => RequestKind::GetGeometry,
+        }
+    }
 }
 
 /// The payload of a collected pipelined reply. Public only because the
@@ -251,6 +295,8 @@ pub enum ReplyValue {
     NamedColor(Option<(Pixel, Rgb)>),
     Property(Option<String>),
     Geometry(Option<(i32, i32, u32, u32, u32)>),
+    /// An injected X error traveled back instead of a reply.
+    Error(XError),
 }
 
 #[derive(Debug, Default)]
@@ -258,14 +304,22 @@ struct ClientState {
     queue: VecDeque<Event>,
     stats: ClientStats,
     obs: ClientObs,
-    /// The Xlib-style output buffer: requests wait here until a flush.
-    out_buf: Vec<QueuedRequest>,
+    /// The Xlib-style output buffer: requests wait here until a flush,
+    /// tagged with the sequence number assigned at issue time (the key
+    /// the fault plan matches on).
+    out_buf: Vec<(u64, QueuedRequest)>,
     /// Executed-but-uncollected pipelined replies, keyed by sequence number.
     replies: HashMap<u64, ReplyValue>,
     /// Cookies issued and not yet redeemed (live pipelining depth).
     pending_replies: u64,
     /// Per-client request sequence counter (the X sequence number).
     next_seq: u64,
+    /// Per-client event enqueue counter (the fault plan's event key).
+    next_event: u64,
+    /// Events held back by an injected delay: `(release_index, event)`.
+    delayed: Vec<(u64, Event)>,
+    /// Did an injected kill close this connection?
+    dead: bool,
 }
 
 /// The selection table entry: who owns a selection.
@@ -308,6 +362,8 @@ pub struct Server {
     /// Synthetic latency charged per round trip, simulating the IPC cost a
     /// real X connection pays (zero by default; benchmarks opt in).
     round_trip_cost: std::time::Duration,
+    /// The installed deterministic fault schedule, if any.
+    fault_plan: Option<FaultPlan>,
 }
 
 /// Screen dimensions of the simulated display.
@@ -361,6 +417,121 @@ impl Server {
             draw_requests: 0,
             work_time: std::time::Duration::ZERO,
             round_trip_cost: std::time::Duration::ZERO,
+            fault_plan: None,
+        }
+    }
+
+    // ----- fault injection ------------------------------------------------------
+
+    /// Installs a deterministic fault schedule; replaces any previous one.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// Removes the installed fault plan, returning it (with its log).
+    pub fn clear_fault_plan(&mut self) -> Option<FaultPlan> {
+        self.fault_plan.take()
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Printable description of the installed plan and what has fired —
+    /// what a failing chaos run dumps next to its seeds.
+    pub fn fault_report(&self) -> String {
+        match &self.fault_plan {
+            Some(p) => p.describe(),
+            None => "no fault plan installed\n".to_string(),
+        }
+    }
+
+    /// Is this client's connection still alive?
+    pub fn is_alive(&self, client: ClientId) -> bool {
+        self.clients.get(&client).is_some_and(|c| !c.dead)
+    }
+
+    /// The last request sequence number assigned to `client` (0 if none).
+    /// Fault plans key on sequence numbers; this is the anchor for
+    /// "fault the next request" schedules.
+    pub fn current_seq(&self, client: ClientId) -> u64 {
+        self.clients.get(&client).map_or(0, |c| c.next_seq)
+    }
+
+    /// Direct (non-protocol) atom intern for embedders doing post-mortem
+    /// maintenance — e.g. scrubbing a dead application's registry entry.
+    /// No client is involved and nothing is counted.
+    pub fn intern_atom_direct(&mut self, name: &str) -> Atom {
+        self.atoms.intern(name)
+    }
+
+    /// Kills a client connection: discards its buffers and queues, then
+    /// performs X close-down (DestroyAll): every window the client
+    /// created is destroyed (with DestroyNotify to the survivors) and its
+    /// selections are released. Statistics survive so a post-mortem can
+    /// still read the counters.
+    pub fn kill_client(&mut self, client: ClientId) {
+        let Some(c) = self.clients.get_mut(&client) else {
+            return;
+        };
+        if c.dead {
+            return;
+        }
+        c.dead = true;
+        c.out_buf.clear();
+        c.queue.clear();
+        c.delayed.clear();
+        c.replies.clear();
+        c.pending_replies = 0;
+        let owned: Vec<WindowId> = self
+            .tree
+            .iter()
+            .filter(|w| w.owner == client && w.id != self.tree.root())
+            .map(|w| w.id)
+            .collect();
+        for w in owned {
+            self.destroy_window(w);
+        }
+        self.selections.retain(|_, o| o.client != client);
+    }
+
+    /// Matches (and fires) a request-indexed fault for a buffered request.
+    /// Drop/duplicate only apply to one-way requests: dropping a
+    /// reply-bearing request would leave its cookie unredeemable, which no
+    /// lossy-transport model allows (X guarantees a reply or an error).
+    fn fault_for_queued(&mut self, client: ClientId, seq: u64, reply: bool) -> Option<FaultAction> {
+        let plan = self.fault_plan.as_mut()?;
+        plan.fire(client, seq, |a| match a {
+            FaultAction::Error(_) | FaultAction::KillConnection => true,
+            FaultAction::DropRequest | FaultAction::DuplicateRequest => !reply,
+            FaultAction::DelayEvent(_) | FaultAction::ReorderEvent => false,
+        })
+    }
+
+    /// Matches (and fires) a fault for a synchronous round-trip request.
+    pub(crate) fn fault_for_round_trip(
+        &mut self,
+        client: ClientId,
+        seq: u64,
+    ) -> Option<FaultAction> {
+        let plan = self.fault_plan.as_mut()?;
+        plan.fire(client, seq, |a| {
+            matches!(a, FaultAction::Error(_) | FaultAction::KillConnection)
+        })
+    }
+
+    /// Books an injected fault into the client's obs counters/trace.
+    pub(crate) fn record_fault(
+        &mut self,
+        client: ClientId,
+        at: u64,
+        action: FaultAction,
+        kind: Option<RequestKind>,
+        window: WindowId,
+    ) {
+        if let Some(c) = self.clients.get_mut(&client) {
+            c.obs.record_fault(at, action, kind, window);
         }
     }
 
@@ -408,6 +579,9 @@ impl Server {
             c.stats = ClientStats::default();
             c.obs.reset();
         }
+        if let Some(p) = self.fault_plan.as_mut() {
+            p.clear_log();
+        }
         self.draw_requests = 0;
         self.work_time = std::time::Duration::ZERO;
     }
@@ -420,6 +594,9 @@ impl Server {
         if let Some(c) = self.clients.get_mut(&client) {
             c.stats = ClientStats::default();
             c.obs.reset();
+        }
+        if let Some(p) = self.fault_plan.as_mut() {
+            p.clear_log_for(client.0);
         }
         self.draw_requests = 0;
         self.work_time = std::time::Duration::ZERO;
@@ -483,7 +660,7 @@ impl Server {
                 c.stats.max_pending_replies = c.stats.max_pending_replies.max(c.pending_replies);
             }
             if let Some(q) = q {
-                c.out_buf.push(q);
+                c.out_buf.push((seq, q));
                 if c.out_buf.len() >= OUT_BUF_CAPACITY {
                     flush_now = true;
                 }
@@ -506,11 +683,71 @@ impl Server {
         };
         let n = buf.len() as u64;
         let mut any_reply = false;
+        let mut killed = false;
         let work_start = std::time::Instant::now();
-        for q in buf {
+        for (seq, q) in buf {
             self.time += 1;
-            any_reply |= q.expects_reply();
-            self.apply_queued(client, q);
+            match self.fault_for_queued(client, seq, q.expects_reply()) {
+                Some(FaultAction::KillConnection) => {
+                    // The connection dies mid-flush: this request and the
+                    // rest of the batch never reach the server.
+                    self.record_fault(
+                        client,
+                        seq,
+                        FaultAction::KillConnection,
+                        Some(q.kind()),
+                        Xid::NONE,
+                    );
+                    killed = true;
+                    break;
+                }
+                Some(FaultAction::Error(code)) => {
+                    // The request fails instead of executing. A pipelined
+                    // reply-bearing request carries the error back under
+                    // its cookie; a one-way fails asynchronously (the
+                    // default Xlib handler would print it and carry on).
+                    self.record_fault(
+                        client,
+                        seq,
+                        FaultAction::Error(code),
+                        Some(q.kind()),
+                        Xid::NONE,
+                    );
+                    if q.expects_reply() {
+                        any_reply = true;
+                        let err = XError {
+                            code,
+                            seq,
+                            kind: Some(q.kind()),
+                        };
+                        self.store_reply(client, seq, ReplyValue::Error(err));
+                    }
+                }
+                Some(FaultAction::DropRequest) => {
+                    self.record_fault(
+                        client,
+                        seq,
+                        FaultAction::DropRequest,
+                        Some(q.kind()),
+                        Xid::NONE,
+                    );
+                }
+                Some(FaultAction::DuplicateRequest) => {
+                    self.record_fault(
+                        client,
+                        seq,
+                        FaultAction::DuplicateRequest,
+                        Some(q.kind()),
+                        Xid::NONE,
+                    );
+                    self.apply_queued(client, q.clone());
+                    self.apply_queued(client, q);
+                }
+                _ => {
+                    any_reply |= q.expects_reply();
+                    self.apply_queued(client, q);
+                }
+            }
         }
         self.work_time += work_start.elapsed();
         if any_reply {
@@ -519,6 +756,9 @@ impl Server {
         if let Some(c) = self.clients.get_mut(&client) {
             c.stats.flushes += 1;
             c.stats.max_batch = c.stats.max_batch.max(n);
+        }
+        if killed {
+            self.kill_client(client);
         }
     }
 
@@ -745,10 +985,72 @@ impl Server {
     // ----- event delivery -----------------------------------------------------
 
     fn enqueue(&mut self, client: ClientId, event: Event) {
-        if let Some(c) = self.clients.get_mut(&client) {
-            c.stats.events += 1;
-            c.queue.push_back(event);
+        let idx = match self.clients.get_mut(&client) {
+            Some(c) if !c.dead => {
+                c.next_event += 1;
+                c.next_event
+            }
+            _ => return, // a dead connection receives nothing
+        };
+        // ICCCM guard: before this event can be queued, any held event due
+        // by now — or targeting the same window — must go first, so
+        // per-window order is never violated by an injected delay.
+        self.release_delayed(client, Some(event.window()), idx);
+        let action = self
+            .fault_plan
+            .as_mut()
+            .and_then(|p| p.fire(client, idx, |a| !a.is_request_fault()));
+        if let Some(a) = action {
+            self.record_fault(client, idx, a, None, event.window());
         }
+        let Some(c) = self.clients.get_mut(&client) else {
+            return;
+        };
+        c.stats.events += 1;
+        match action {
+            Some(FaultAction::DelayEvent(hold)) => {
+                c.delayed.push((idx + u64::from(hold.max(1)), event));
+            }
+            Some(FaultAction::ReorderEvent) => {
+                // Swap with the previously queued event, but only when the
+                // two target different windows (per-window order holds).
+                let swap = c
+                    .queue
+                    .back()
+                    .is_some_and(|prev| prev.window() != event.window());
+                if swap {
+                    let prev = c.queue.pop_back().unwrap();
+                    c.queue.push_back(event);
+                    c.queue.push_back(prev);
+                } else {
+                    c.queue.push_back(event);
+                }
+            }
+            _ => c.queue.push_back(event),
+        }
+    }
+
+    /// Moves held-back events into the delivery queue: everything whose
+    /// release index has passed, everything targeting `window` (the
+    /// same-window ordering guard), or — when `window` is `None` — every
+    /// held event (a blocking poll: nothing is ever lost to a delay).
+    fn release_delayed(&mut self, client: ClientId, window: Option<WindowId>, now: u64) {
+        let Some(c) = self.clients.get_mut(&client) else {
+            return;
+        };
+        if c.delayed.is_empty() {
+            return;
+        }
+        let mut kept = Vec::with_capacity(c.delayed.len());
+        for (release_at, ev) in c.delayed.drain(..) {
+            let due = release_at <= now || window.map_or(true, |w| ev.window() == w);
+            if due {
+                c.queue.push_back(ev);
+            } else {
+                kept.push((release_at, ev));
+            }
+        }
+        c.delayed = kept;
     }
 
     /// Delivers `event` to every client that selected its mask bit on the
@@ -818,16 +1120,20 @@ impl Server {
         None
     }
 
-    /// Next queued event for a client.
+    /// Next queued event for a client. A blocking poll is a release
+    /// point for delayed events: the simulated network may hold an event
+    /// back, but never loses it.
     pub fn poll_event(&mut self, client: ClientId) -> Option<Event> {
+        self.release_delayed(client, None, u64::MAX);
         self.clients.get_mut(&client)?.queue.pop_front()
     }
 
-    /// Number of queued events for a client.
+    /// Number of queued events for a client (held-back delayed events
+    /// count: they are guaranteed to arrive by the next poll).
     pub fn pending(&self, client: ClientId) -> usize {
         self.clients
             .get(&client)
-            .map(|c| c.queue.len())
+            .map(|c| c.queue.len() + c.delayed.len())
             .unwrap_or(0)
     }
 

@@ -28,4 +28,11 @@ cargo test -q --workspace --offline --locked
 echo "==> bench --check-budgets"
 cargo run -p tk-bench --release --offline --locked --bin bench -- --check-budgets
 
+# Bounded chaos gate: replay the checked-in fault corpus, then a fixed
+# batch of fresh seed pairs. Any panic fails CI and prints the
+# (script_seed, fault_seed) pair plus a shrunk reproducer to check in.
+echo "==> chaos gate (corpus + 200 fresh seeds)"
+cargo run -p tk-bench --release --offline --locked --bin chaos -- \
+    --corpus tests/chaos_corpus.txt --seeds 200
+
 echo "==> ci OK"

@@ -80,6 +80,90 @@ fn batching_does_not_change_the_framebuffer() {
     assert_same_pixels(&batched_screen, &unbatched_screen);
 }
 
+/// The fault-tolerant twin of [`run_workload`]: same UI, same pokes, but
+/// every eval is allowed to fail (fault plans make errors and even
+/// connection death legitimate outcomes). Returns the final framebuffer
+/// and how many faults the plan actually injected.
+fn run_workload_with_plan(batching: bool, plan: &xsim::FaultPlan) -> (Surface, u64) {
+    let env = TkEnv::new();
+    let app = env.app("equiv");
+    app.conn().set_batching(batching);
+    app.conn().reset_obs();
+    env.display()
+        .with_server(|s| s.install_fault_plan(plan.clone()));
+
+    for script in [
+        "button .go -text Go -command {set pressed 1}",
+        "label .msg -text {hello, world}",
+        "frame .box -geometry 60x24 -borderwidth 2",
+        "pack append . .go {top fillx} .msg {top} .box {bottom}",
+    ] {
+        let _ = app.eval(script);
+    }
+    app.update();
+
+    if let Some(rec) = app.window(".go") {
+        env.display().move_pointer(rec.x.get() + 3, rec.y.get() + 3);
+        env.display().click(1);
+        app.update();
+    }
+    let _ = app.eval(".msg configure -text {after the click}");
+    let _ = app.eval(".go configure -text Done");
+    app.update();
+
+    let faults = app
+        .conn()
+        .with_obs(|o| o.faults_injected)
+        .unwrap_or_else(|| {
+            // The plan killed the connection; read the post-mortem counter
+            // straight from the server.
+            env.display()
+                .with_server(|s| s.fault_plan().map_or(0, |p| p.fired_log().len() as u64))
+        });
+    (env.display().screenshot(), faults)
+}
+
+/// Fault seeds of the checked-in chaos corpus (second column of
+/// tests/chaos_corpus.txt).
+fn corpus_fault_seeds() -> Vec<u64> {
+    include_str!("chaos_corpus.txt")
+        .lines()
+        .filter_map(|line| {
+            let line = line.split('#').next().unwrap_or("").trim();
+            let mut it = line.split_whitespace();
+            let _script = it.next()?;
+            it.next()?.parse().ok()
+        })
+        .collect()
+}
+
+/// Faults key on request sequence numbers, which batching does not
+/// change — so even under an active fault plan, the batched and
+/// unbatched transports must inject the *same* faults and render the
+/// *same* pixels. Runs every plan in the checked-in chaos corpus.
+#[test]
+fn fault_plans_hit_batched_and_unbatched_runs_identically() {
+    let seeds = corpus_fault_seeds();
+    assert!(!seeds.is_empty(), "corpus file is empty");
+    let mut total_faults = 0;
+    for seed in seeds {
+        let plan = tk_bench::chaos::generate_plan(seed);
+        let (batched, batched_faults) = run_workload_with_plan(true, &plan);
+        let (unbatched, unbatched_faults) = run_workload_with_plan(false, &plan);
+        assert_eq!(
+            batched_faults,
+            unbatched_faults,
+            "fault seed {seed}: different faults fired under batching\n{}",
+            plan.describe()
+        );
+        assert_same_pixels(&batched, &unbatched);
+        total_faults += batched_faults;
+    }
+    // The corpus is only a meaningful equivalence check if some of its
+    // plans actually fire against this workload.
+    assert!(total_faults > 0, "no corpus plan fired a single fault");
+}
+
 #[test]
 fn ascii_dump_is_also_identical() {
     // The ASCII dump covers text placement, which the pixel diff only

@@ -1,0 +1,135 @@
+//! Property tests for the Tcl list/quote machinery, driven by the
+//! in-repo deterministic PRNG (`xsim::XorShift` — no external proptest
+//! dependency, and every failure reprints its seed for replay).
+//!
+//! The laws under test are the ones Tcl scripts lean on constantly:
+//! `format_list`/`parse_list` must round-trip arbitrary element strings
+//! (quoting), parsing is a normalizing projection (parse∘format∘parse =
+//! parse∘format), and the interpreter-level `list`/`lindex`/`llength`/
+//! `join`/`split` commands agree with the library functions.
+
+use tcl::{format_list, parse_list, Interp};
+use xsim::XorShift;
+
+const CASES: usize = 300;
+
+/// Characters weighted toward the ones that make Tcl quoting hard.
+fn gen_element(rng: &mut XorShift) -> String {
+    let len = rng.below(8) as usize;
+    let mut s = String::new();
+    for _ in 0..len {
+        let c = match rng.below(18) {
+            0 => '{',
+            1 => '}',
+            2 => '"',
+            3 => '\\',
+            4 => ' ',
+            5 => '\t',
+            6 => '\n',
+            7 => '$',
+            8 => '[',
+            9 => ']',
+            10 => ';',
+            11 => '#',
+            _ => (b'a' + rng.below(26) as u8) as char,
+        };
+        s.push(c);
+    }
+    s
+}
+
+fn gen_elements(rng: &mut XorShift) -> Vec<String> {
+    let n = rng.below(6) as usize;
+    (0..n).map(|_| gen_element(rng)).collect()
+}
+
+#[test]
+fn format_then_parse_round_trips_arbitrary_elements() {
+    let mut rng = XorShift::new(0xfeed);
+    for case in 0..CASES {
+        let elems = gen_elements(&mut rng);
+        let formatted = format_list(&elems);
+        let parsed = parse_list(&formatted).unwrap_or_else(|e| {
+            panic!("case {case}: format_list produced unparseable {formatted:?}: {e:?}")
+        });
+        assert_eq!(
+            parsed, elems,
+            "case {case}: round trip changed the elements (formatted: {formatted:?})"
+        );
+    }
+}
+
+#[test]
+fn parsing_is_a_normalizing_projection() {
+    // For any string that parses at all, format(parse(s)) parses back to
+    // the same elements — formatting never loses what parsing found.
+    let mut rng = XorShift::new(0xbeef);
+    let mut parseable = 0;
+    for _ in 0..CASES {
+        let raw = gen_element(&mut rng);
+        let Ok(once) = parse_list(&raw) else { continue };
+        parseable += 1;
+        let normalized = format_list(&once);
+        let twice = parse_list(&normalized).expect("normalized form must parse");
+        assert_eq!(twice, once, "normalization changed elements for {raw:?}");
+    }
+    // The generator must not be so hostile that the property is vacuous.
+    assert!(parseable > CASES / 4, "only {parseable} inputs parsed");
+}
+
+#[test]
+fn interpreter_list_commands_agree_with_the_library() {
+    let interp = Interp::new();
+    let mut rng = XorShift::new(0xcafe);
+    for case in 0..CASES {
+        let elems = gen_elements(&mut rng);
+        // `list` applied to the elements (passed through set, so the
+        // interpreter never substitutes their contents) equals
+        // format_list.
+        let mut script = String::from("list");
+        for (i, e) in elems.iter().enumerate() {
+            let _ = interp.set_var(&format!("e{i}"), None, e);
+            script.push_str(&format!(" ${{e{i}}}"));
+        }
+        let listed = interp.eval(&script).expect("list cannot fail");
+        assert_eq!(listed, format_list(&elems), "case {case}");
+
+        let _ = interp.set_var("l", None, &listed);
+        let llength = interp.eval("llength $l").expect("llength");
+        assert_eq!(llength, elems.len().to_string(), "case {case}");
+        for (i, e) in elems.iter().enumerate() {
+            let nth = interp.eval(&format!("lindex $l {i}")).expect("lindex");
+            assert_eq!(&nth, e, "case {case}: lindex {i} of {listed:?}");
+        }
+    }
+}
+
+#[test]
+fn split_inverts_join_for_separator_free_elements() {
+    let interp = Interp::new();
+    let mut rng = XorShift::new(0xd00d);
+    for case in 0..CASES {
+        // Elements free of the separator and of quoting specials: join
+        // flattens to plain text, so this is the exact precondition under
+        // which split can invert it.
+        let n = rng.range(1, 5) as usize;
+        let elems: Vec<String> = (0..n)
+            .map(|_| {
+                let len = rng.range(1, 6) as usize;
+                (0..len)
+                    .map(|_| (b'a' + rng.below(26) as u8) as char)
+                    .collect()
+            })
+            .collect();
+        let _ = interp.set_var("l", None, &format_list(&elems));
+        let joined = interp.eval("join $l ,").expect("join");
+        assert_eq!(joined, elems.join(","), "case {case}");
+        let _ = interp.set_var("j", None, &joined);
+        let split = interp.eval("split $j ,").expect("split");
+        assert_eq!(
+            parse_list(&split).expect("split output is a list"),
+            elems,
+            "case {case}: split did not invert join"
+        );
+    }
+}
