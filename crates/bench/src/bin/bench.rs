@@ -20,11 +20,15 @@
 use std::time::Instant;
 
 use rtk_obs::{json, Histogram};
-use tk_bench::{create_display_delete_buttons, env_with_apps, fmt_time};
+use tk::TkApp;
+use tk_bench::{
+    blink_button, create_display_delete_buttons, env_with_apps, fmt_time, scroll_listbox,
+    setup_blink, setup_entry, setup_listbox, type_into_entry,
+};
 use xsim::ClientStats;
 
 /// The counters pinned per workload, in file order.
-fn budget_fields(stats: &ClientStats) -> [(&'static str, u64); 6] {
+fn budget_fields(stats: &ClientStats) -> [(&'static str, u64); 7] {
     [
         ("requests", stats.requests),
         ("round_trips", stats.round_trips),
@@ -32,6 +36,26 @@ fn budget_fields(stats: &ClientStats) -> [(&'static str, u64); 6] {
         ("batched_requests", stats.batched_requests),
         ("max_batch", stats.max_batch),
         ("max_pending_replies", stats.max_pending_replies),
+        ("pixels_drawn", stats.pixels_drawn),
+    ]
+}
+
+/// An incremental-redraw workload: name, setup, and one deterministic run.
+type IncrWorkload = (&'static str, fn(&TkApp), fn(&TkApp));
+
+/// The incremental-redraw workloads, budgeted in both damage modes (the
+/// `_full` twin disables damage).
+fn incremental_workloads() -> [IncrWorkload; 3] {
+    [
+        ("type_entry", setup_entry as fn(&TkApp), |app: &TkApp| {
+            type_into_entry(app, 30)
+        }),
+        ("scroll_listbox", setup_listbox, |app: &TkApp| {
+            scroll_listbox(app, 20)
+        }),
+        ("blink_button", setup_blink, |app: &TkApp| {
+            blink_button(app, 15)
+        }),
     ]
 }
 
@@ -61,7 +85,49 @@ fn budget_workloads() -> Vec<(&'static str, u64, ClientStats)> {
     }
     out.push(("buttons_50", button_iters, app.conn().stats()));
 
+    // The incremental workloads in both damage modes. Pinning
+    // pixels_drawn for each pair makes the >= 10x repaint win a budget,
+    // not just a bench headline.
+    for (name, setup, run) in incremental_workloads() {
+        let full_name: &'static str = match name {
+            "type_entry" => "type_entry_full",
+            "scroll_listbox" => "scroll_listbox_full",
+            _ => "blink_button_full",
+        };
+        for (damage, label) in [(true, name), (false, full_name)] {
+            let (_env, apps) = env_with_apps(&["incr"]);
+            let app = &apps[0];
+            app.set_damage(damage);
+            setup(app);
+            run(app); // warm caches
+            app.eval("obs reset").unwrap();
+            run(app);
+            out.push((label, 1, app.conn().stats()));
+        }
+    }
+
     out
+}
+
+/// Asserts the damage engine's headline win on the measured counters:
+/// each incremental workload rasterizes at least 10x fewer pixels than
+/// its full-redraw twin.
+fn check_damage_ratios(runs: &[(&'static str, u64, ClientStats)]) {
+    for base in ["type_entry", "scroll_listbox", "blink_button"] {
+        let pixels = |n: &str| {
+            runs.iter()
+                .find(|(name, ..)| *name == n)
+                .map(|(_, _, s)| s.pixels_drawn)
+                .unwrap_or_else(|| panic!("missing workload {n}"))
+        };
+        let damage = pixels(base);
+        let full = pixels(&format!("{base}_full"));
+        assert!(
+            full >= 10 * damage.max(1),
+            "workload {base}: damage-mode repaints must rasterize >= 10x fewer \
+             pixels than full redraws (damage {damage}, full {full})"
+        );
+    }
 }
 
 fn budgets_to_json(runs: &[(&'static str, u64, ClientStats)]) -> String {
@@ -97,6 +163,7 @@ fn measured_budgets() -> Vec<(&'static str, u64, ClientStats)> {
              produced different protocol counters"
         );
     }
+    check_damage_ratios(&first);
     first
 }
 
@@ -291,6 +358,42 @@ fn main() {
         comparison.field_raw(key, &side.build());
     }
 
+    // The incremental-redraw workloads, each timed in both damage modes;
+    // the pixels_drawn ratio is the damage engine's headline number.
+    let mut incremental = json::Array::new();
+    for (name, setup, run) in incremental_workloads() {
+        let mut o = json::Object::new();
+        o.field_str("name", name);
+        let mut ratio = (0u64, 0u64);
+        for (damage, key) in [(true, "damage"), (false, "full")] {
+            let (_env, apps) = env_with_apps(&["incr"]);
+            let app = &apps[0];
+            app.set_damage(damage);
+            setup(app);
+            run(app); // warm caches
+            app.eval("obs reset").unwrap();
+            let h = measure(10, || run(app));
+            let s = app.conn().stats();
+            let mut side = json::Object::new();
+            side.field_u64("pixels_drawn", s.pixels_drawn);
+            side.field_u64("requests", s.requests);
+            side.field_u64("p50_ns", h.quantile(0.5));
+            o.field_raw(key, &side.build());
+            if damage {
+                ratio.0 = s.pixels_drawn;
+            } else {
+                ratio.1 = s.pixels_drawn;
+            }
+        }
+        println!(
+            "{name}: {} pixels damage-narrowed vs {} full ({:.1}x fewer)",
+            ratio.0,
+            ratio.1,
+            ratio.1 as f64 / ratio.0.max(1) as f64
+        );
+        incremental.push_raw(&o.build());
+    }
+
     let mut workloads = json::Array::new();
     workloads.push_raw(&workload_json("set_a_1", set_iters, &h_set, None));
     workloads.push_raw(&workload_json(
@@ -317,6 +420,7 @@ fn main() {
     root.field_str("regenerate", "cargo run -p tk-bench --release --bin bench");
     root.field_u64("round_trip_cost_us", rt_cost.as_micros() as u64);
     root.field_raw("workloads", &workloads.build());
+    root.field_raw("incremental_redraw", &incremental.build());
     let text = root.build();
     assert!(json::is_valid(&text), "bench produced invalid JSON");
 

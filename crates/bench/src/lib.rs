@@ -36,6 +36,75 @@ pub fn create_display_delete_buttons(app: &TkApp, n: usize) {
     app.update();
 }
 
+/// Builds the packed entry `.bench_e` the [`type_into_entry`] workload
+/// types into.
+pub fn setup_entry(app: &TkApp) {
+    app.eval("entry .bench_e -width 40").expect("create entry");
+    app.eval("pack append . .bench_e {top}")
+        .expect("pack entry");
+    app.update();
+}
+
+/// Incremental workload: type `n` characters one keystroke at a time
+/// (each repaint touches ~2 character cells under damage), then clear.
+pub fn type_into_entry(app: &TkApp, n: usize) {
+    for i in 0..n {
+        let ch = (b'a' + (i % 26) as u8) as char;
+        app.eval(&format!(".bench_e insert end {ch}"))
+            .expect("type char");
+        app.update();
+    }
+    app.eval(".bench_e delete 0 end").expect("clear entry");
+    app.update();
+}
+
+/// Builds the packed 100-item listbox `.bench_l` for [`scroll_listbox`].
+pub fn setup_listbox(app: &TkApp) {
+    app.eval("listbox .bench_l -geometry 20x20")
+        .expect("create listbox");
+    app.eval("pack append . .bench_l {top}")
+        .expect("pack listbox");
+    for i in 0..100 {
+        app.eval(&format!(".bench_l insert end {{item number {i}}}"))
+            .expect("fill listbox");
+    }
+    app.update();
+}
+
+/// Incremental workload: scroll down one line at a time (a CopyArea blit
+/// plus a one-line repaint under damage), then back up the same way.
+pub fn scroll_listbox(app: &TkApp, n: usize) {
+    for i in 1..=n {
+        app.eval(&format!(".bench_l view {i}")).expect("scroll");
+        app.update();
+    }
+    for i in (0..n).rev() {
+        app.eval(&format!(".bench_l view {i}"))
+            .expect("scroll back");
+        app.update();
+    }
+}
+
+/// Builds the packed checkbutton `.bench_b` for [`blink_button`].
+pub fn setup_blink(app: &TkApp) {
+    app.eval("checkbutton .bench_b -text {Blink me} -variable bench_blink")
+        .expect("create checkbutton");
+    app.eval("pack append . .bench_b {top}")
+        .expect("pack checkbutton");
+    app.update();
+}
+
+/// Incremental workload: toggle the check variable `n` times (each
+/// repaint touches only the indicator box under damage).
+pub fn blink_button(app: &TkApp, n: usize) {
+    for _ in 0..n {
+        app.eval("set bench_blink 1").expect("blink on");
+        app.update();
+        app.eval("set bench_blink 0").expect("blink off");
+        app.update();
+    }
+}
+
 /// Times `f` over `iters` runs and returns mean seconds per run.
 pub fn time_per_iter(iters: u64, mut f: impl FnMut()) -> f64 {
     let start = Instant::now();

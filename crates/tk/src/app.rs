@@ -17,7 +17,7 @@ use std::rc::{Rc, Weak};
 
 use tcl::{Exception, Interp, TclResult};
 use xsim::event::mask;
-use xsim::{Connection, Display, Event, WindowId};
+use xsim::{Connection, DamageList, Display, Event, Rect, WindowId};
 
 use crate::bind::{percent_substitute, BindingTable, EventInfo};
 use crate::cache::ResourceCache;
@@ -54,6 +54,14 @@ pub(crate) enum IdleTask {
     Redraw(String),
     /// Recompute a geometry master's layout.
     Relayout(String),
+}
+
+/// Pending damage for one scheduled widget redraw.
+pub(crate) enum Damage {
+    /// Repaint the whole widget (the pre-damage behavior).
+    Full,
+    /// Repaint only these widget-relative rects.
+    Rects(DamageList),
 }
 
 /// The environment: one display shared by any number of Tk applications.
@@ -180,6 +188,12 @@ pub struct AppInner {
     next_timer: Cell<u64>,
     file_handlers: RefCell<Vec<FileHandler>>,
     idle: RefCell<Vec<IdleTask>>,
+    /// Pending damage for scheduled redraws, by widget path.
+    damage: RefCell<HashMap<String, Damage>>,
+    /// Damage-narrowed redraw on/off. Off = every redraw repaints the
+    /// whole widget, the pre-damage behavior; `RTK_NO_DAMAGE=1` sets the
+    /// initial state (equivalence tests flip it programmatically).
+    damage_enabled: Cell<bool>,
     /// The invisible communication window used by `send`.
     pub(crate) comm: WindowId,
     destroyed: Cell<bool>,
@@ -221,6 +235,10 @@ impl TkApp {
             next_timer: Cell::new(0),
             file_handlers: RefCell::new(Vec::new()),
             idle: RefCell::new(Vec::new()),
+            damage: RefCell::new(HashMap::new()),
+            damage_enabled: Cell::new(
+                std::env::var("RTK_NO_DAMAGE").map_or(true, |v| v.is_empty() || v == "0"),
+            ),
             comm,
             destroyed: Cell::new(false),
         });
@@ -399,6 +417,7 @@ impl TkApp {
                 xids.push(w.xid);
             }
             self.inner.windows.borrow_mut().remove(p);
+            self.inner.damage.borrow_mut().remove(p);
         }
         // Destroy every X window explicitly: reparented windows (menus)
         // are not X descendants of the subtree root; re-destroying an
@@ -486,8 +505,78 @@ impl TkApp {
             .push(IdleTask::Script(script.to_string()));
     }
 
-    /// Schedules a widget redraw (deduplicated).
+    /// Schedules a full-widget redraw (deduplicated). Full damage
+    /// swallows any rect damage already pending for the path.
     pub fn schedule_redraw(&self, path: &str) {
+        self.inner
+            .damage
+            .borrow_mut()
+            .insert(path.to_string(), Damage::Full);
+        self.push_redraw_task(path);
+    }
+
+    /// Schedules a widget redraw narrowed to `rect` (widget-relative
+    /// coordinates). The rect coalesces into damage already pending for
+    /// the path; pending full damage stays full. With damage disabled
+    /// this degenerates to [`TkApp::schedule_redraw`].
+    pub fn schedule_redraw_damage(&self, path: &str, rect: Rect) {
+        if !self.damage_enabled() {
+            return self.schedule_redraw(path);
+        }
+        {
+            let mut damage = self.inner.damage.borrow_mut();
+            match damage.get_mut(path) {
+                Some(Damage::Full) => {}
+                Some(Damage::Rects(list)) => {
+                    list.add(rect);
+                }
+                None => {
+                    let mut list = DamageList::new();
+                    list.add(rect);
+                    damage.insert(path.to_string(), Damage::Rects(list));
+                }
+            }
+        }
+        self.push_redraw_task(path);
+    }
+
+    /// Records an Expose event's area as pending damage and schedules the
+    /// widget's redraw. Widgets call this from their Expose arms; the
+    /// rects of a multi-rect Expose batch (`count` > 0) coalesce into the
+    /// one scheduled redraw.
+    pub fn expose_damage(&self, path: &str, ev: &Event) {
+        if let Event::Expose {
+            x,
+            y,
+            width,
+            height,
+            ..
+        } = ev
+        {
+            self.schedule_redraw_damage(path, Rect::new(*x, *y, *width, *height));
+        }
+    }
+
+    /// Is damage-narrowed redrawing enabled?
+    pub fn damage_enabled(&self) -> bool {
+        self.inner.damage_enabled.get()
+    }
+
+    /// Turns damage-narrowed redrawing on or off (equivalence tests run
+    /// the same script in both modes and compare framebuffers).
+    pub fn set_damage(&self, on: bool) {
+        self.inner.damage_enabled.set(on);
+    }
+
+    /// Is a repaint already pending for `path`? Every schedule path
+    /// inserts into the damage map regardless of mode, so this predicate
+    /// is mode-independent — widgets use it to decide whether a scroll
+    /// blit is safe (blitting would shift not-yet-repainted damage).
+    pub fn has_pending_damage(&self, path: &str) -> bool {
+        self.inner.damage.borrow().contains_key(path)
+    }
+
+    fn push_redraw_task(&self, path: &str) {
         let mut idle = self.inner.idle.borrow_mut();
         if !idle
             .iter()
@@ -620,11 +709,25 @@ impl TkApp {
                     }
                     IdleTask::Redraw(path) => {
                         self.inner.obs.incr("idle.redraws");
+                        let damage = self.inner.damage.borrow_mut().remove(&path);
                         if let Some(rec) = self.window(&path) {
                             let widget = rec.widget.borrow().clone();
                             if let Some(w) = widget {
+                                // Both modes send the same request stream
+                                // (SetClip, the widget's draws, ClearClip) so
+                                // seq-keyed fault plans hit the same requests;
+                                // only the clip payload differs. An empty rect
+                                // list means unclipped — the full redraw.
+                                let rects = match damage {
+                                    Some(Damage::Rects(mut list)) if self.damage_enabled() => {
+                                        list.take()
+                                    }
+                                    _ => Vec::new(),
+                                };
                                 let span = self.inner.obs.span("redraw_ns");
+                                self.conn().set_clip(rec.xid, rects);
                                 w.redraw(self, &path);
+                                self.conn().clear_clip(rec.xid);
                                 span.finish();
                             }
                         }

@@ -9,7 +9,7 @@ use std::cell::Cell;
 use std::rc::Rc;
 
 use tcl::{Exception, TclResult};
-use xsim::{Event, GcValues};
+use xsim::{Event, GcValues, Rect};
 
 use crate::app::TkApp;
 use crate::config::{opt, synonym, ConfigStore, OptKind, OptSpec};
@@ -188,13 +188,55 @@ impl ButtonWidget {
             }
             _ => {}
         }
-        app.schedule_redraw(path);
+        self.schedule_redraw_indicator(app, path);
         let command = self.config.get("-command");
         if command.is_empty() {
             Ok(String::new())
         } else {
             app.interp().eval(&command)
         }
+    }
+
+    /// Schedules a redraw narrowed to the bevel ring: a press or release
+    /// only changes the relief, whose pixels all live in the border.
+    fn schedule_redraw_border(&self, app: &TkApp, path: &str) {
+        let Some(rec) = app.window(path) else {
+            return app.schedule_redraw(path);
+        };
+        let (w, h) = (rec.width.get(), rec.height.get());
+        let bw = self.config.get_pixels("-borderwidth").max(0) as u32;
+        if bw == 0 || 2 * bw >= w || 2 * bw >= h {
+            return app.schedule_redraw(path);
+        }
+        // Four disjoint edge strips (disjoint so the corner overlap does
+        // not coalesce into the whole window's bounding box).
+        app.schedule_redraw_damage(path, Rect::new(0, 0, w, bw));
+        app.schedule_redraw_damage(path, Rect::new(0, (h - bw) as i32, w, bw));
+        app.schedule_redraw_damage(path, Rect::new(0, bw as i32, bw, h - 2 * bw));
+        app.schedule_redraw_damage(path, Rect::new((w - bw) as i32, bw as i32, bw, h - 2 * bw));
+    }
+
+    /// Schedules a redraw narrowed to the selection indicator: a
+    /// `-variable` change only repaints the check box or radio diamond.
+    fn schedule_redraw_indicator(&self, app: &TkApp, path: &str) {
+        let Some(rec) = app.window(path) else {
+            return app.schedule_redraw(path);
+        };
+        let Ok((_, metrics)) = app.cache().font(app.conn(), &self.config.get("-font")) else {
+            return app.schedule_redraw(path);
+        };
+        let lh = metrics.line_height() as i64;
+        if self.indicator_space(lh) == 0 {
+            return app.schedule_redraw(path);
+        }
+        let bw = self.config.get_pixels("-borderwidth").max(0);
+        let size = (lh - 2).max(4);
+        let ix = bw + 3;
+        let iy = ((rec.height.get() as i64 - size) / 2).max(0);
+        app.schedule_redraw_damage(
+            path,
+            Rect::new(ix as i32, iy as i32, size as u32, size as u32),
+        );
     }
 
     /// Computes and requests the widget's preferred size ("a button widget
@@ -303,7 +345,7 @@ impl WidgetOps for ButtonWidget {
                     };
                     app.interp().set_var_at(0, &var, None, &v)?;
                 }
-                app.schedule_redraw(path);
+                self.schedule_redraw_indicator(app, path);
                 Ok(String::new())
             }
             (ButtonKind::CheckButton, "deselect") => {
@@ -311,7 +353,7 @@ impl WidgetOps for ButtonWidget {
                 if !var.is_empty() {
                     app.interp().set_var_at(0, &var, None, "0")?;
                 }
-                app.schedule_redraw(path);
+                self.schedule_redraw_indicator(app, path);
                 Ok(String::new())
             }
             (ButtonKind::CheckButton, "toggle") => {
@@ -321,7 +363,7 @@ impl WidgetOps for ButtonWidget {
                     let next = if cur == "1" { "0" } else { "1" };
                     app.interp().set_var_at(0, &var, None, next)?;
                 }
-                app.schedule_redraw(path);
+                self.schedule_redraw_indicator(app, path);
                 Ok(String::new())
             }
             (_, other) => Err(bad_subcommand(
@@ -367,8 +409,12 @@ impl WidgetOps for ButtonWidget {
                         tcl::TraceAction::Native(Rc::new(move |_i, _n1, _n2, _op| {
                             if let Some(inner) = weak.upgrade() {
                                 let app = crate::app::TkApp { inner };
-                                if app.window(&path_owned).is_some() {
-                                    app.schedule_redraw(&path_owned);
+                                if let Some(rec) = app.window(&path_owned) {
+                                    let widget = rec.widget.borrow().clone();
+                                    match widget {
+                                        Some(w) => w.variable_changed(&app, &path_owned),
+                                        None => app.schedule_redraw(&path_owned),
+                                    }
                                 }
                             }
                         })),
@@ -387,16 +433,21 @@ impl WidgetOps for ButtonWidget {
         }
     }
 
+    fn variable_changed(&self, app: &TkApp, path: &str) {
+        self.schedule_redraw_indicator(app, path);
+    }
+
     fn event(&self, app: &TkApp, path: &str, ev: &Event) {
         if self.kind == ButtonKind::Label {
-            if matches!(ev, Event::Expose { count: 0, .. }) {
-                app.schedule_redraw(path);
+            if matches!(ev, Event::Expose { .. }) {
+                app.expose_damage(path, ev);
             }
             return;
         }
         match ev {
-            Event::Expose { count: 0, .. } => app.schedule_redraw(path),
+            Event::Expose { .. } => app.expose_damage(path, ev),
             Event::EnterNotify { .. } => {
+                // The active colors repaint everything.
                 self.active.set(true);
                 app.schedule_redraw(path);
             }
@@ -407,10 +458,10 @@ impl WidgetOps for ButtonWidget {
             }
             Event::ButtonPress { button: 1, .. } => {
                 self.pressed.set(true);
-                app.schedule_redraw(path);
+                self.schedule_redraw_border(app, path);
             }
             Event::ButtonRelease { button: 1, .. } if self.pressed.replace(false) => {
-                app.schedule_redraw(path);
+                self.schedule_redraw_border(app, path);
                 // The release completes the click: run the action.
                 let widget_path = path.to_string();
                 let this = app.clone();

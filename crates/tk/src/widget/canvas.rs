@@ -11,7 +11,7 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use tcl::{Exception, TclResult};
-use xsim::{Event, GcValues};
+use xsim::{Event, GcValues, Rect};
 
 use crate::app::TkApp;
 use crate::config::{opt, synonym, ConfigStore, OptKind, OptSpec};
@@ -259,8 +259,46 @@ impl Canvas {
             font: opts.font.unwrap_or_else(|| "fixed".to_string()),
             tag: opts.tag.unwrap_or_default(),
         });
-        app.schedule_redraw(path);
+        let rect = {
+            let items = self.items.borrow();
+            self.item_rect(app, items.last().unwrap())
+        };
+        app.schedule_redraw_damage(path, rect);
         Ok(id.to_string())
+    }
+
+    /// The screen rect an item can touch: its bbox padded for line
+    /// width and outline overshoot, or the glyph extent for text (whose
+    /// bbox is just the anchor point).
+    fn item_rect(&self, app: &TkApp, item: &Item) -> Rect {
+        if let Shape::Text { x, y, text } = &item.shape {
+            if let Ok((_, m)) = app.cache().font(app.conn(), &item.font) {
+                let w = text.chars().count() as u32 * m.char_width;
+                return Rect::new(*x - 1, *y - m.ascent as i32 - 1, w + 2, m.line_height() + 2);
+            }
+        }
+        let (x1, y1, x2, y2) = Canvas::bbox_of(&item.shape);
+        let pad = match &item.shape {
+            Shape::Line { width, .. } => *width as i32 + 1,
+            _ => 2,
+        };
+        Rect::new(
+            x1 - pad,
+            y1 - pad,
+            (x2 - x1 + 2 * pad) as u32,
+            (y2 - y1 + 2 * pad) as u32,
+        )
+    }
+
+    /// Schedules a repaint covering `rects`; an empty set still schedules
+    /// (a degenerate rect) so both damage modes redraw in lockstep.
+    fn damage_rects(&self, app: &TkApp, path: &str, rects: Vec<Rect>) {
+        if rects.is_empty() {
+            return app.schedule_redraw_damage(path, Rect::new(0, 0, 1, 1));
+        }
+        for r in rects {
+            app.schedule_redraw_damage(path, r);
+        }
     }
 
     fn bbox_of(shape: &Shape) -> (i32, i32, i32, i32) {
@@ -330,12 +368,19 @@ impl WidgetOps for Canvas {
             "delete" => {
                 let spec = argv.get(2).map(String::as_str).unwrap_or("all");
                 let doomed = self.matching(spec);
+                let rects = {
+                    let items = self.items.borrow();
+                    doomed
+                        .iter()
+                        .map(|&i| self.item_rect(app, &items[i]))
+                        .collect()
+                };
                 let mut items = self.items.borrow_mut();
                 for &i in doomed.iter().rev() {
                     items.remove(i);
                 }
                 drop(items);
-                app.schedule_redraw(path);
+                self.damage_rects(app, path, rects);
                 Ok(String::new())
             }
             "move" => {
@@ -347,12 +392,25 @@ impl WidgetOps for Canvas {
                 let dx: i32 = argv[3].parse().map_err(|_| Exception::error("bad dx"))?;
                 let dy: i32 = argv[4].parse().map_err(|_| Exception::error("bad dy"))?;
                 let which = self.matching(&argv[2]);
-                let mut items = self.items.borrow_mut();
-                for &i in &which {
-                    Canvas::move_shape(&mut items[i].shape, dx, dy);
+                // Damage both where each item was and where it lands.
+                let mut rects: Vec<Rect> = {
+                    let items = self.items.borrow();
+                    which
+                        .iter()
+                        .map(|&i| self.item_rect(app, &items[i]))
+                        .collect()
+                };
+                {
+                    let mut items = self.items.borrow_mut();
+                    for &i in &which {
+                        Canvas::move_shape(&mut items[i].shape, dx, dy);
+                    }
                 }
-                drop(items);
-                app.schedule_redraw(path);
+                {
+                    let items = self.items.borrow();
+                    rects.extend(which.iter().map(|&i| self.item_rect(app, &items[i])));
+                }
+                self.damage_rects(app, path, rects);
                 Ok(String::new())
             }
             "coords" => {
@@ -393,22 +451,35 @@ impl WidgetOps for Canvas {
                 }
                 let opts = parse_item_opts(&argv[3..])?;
                 let which = self.matching(&argv[2]);
-                let mut items = self.items.borrow_mut();
-                for &i in &which {
-                    if let Some(c) = &opts.color {
-                        items[i].color = c.clone();
-                    }
-                    if let Some(f) = &opts.font {
-                        items[i].font = f.clone();
-                    }
-                    if let Some(t) = &opts.text {
-                        if let Shape::Text { text, .. } = &mut items[i].shape {
-                            *text = t.clone();
+                // Old and new extents both repaint (text may shrink).
+                let mut rects: Vec<Rect> = {
+                    let items = self.items.borrow();
+                    which
+                        .iter()
+                        .map(|&i| self.item_rect(app, &items[i]))
+                        .collect()
+                };
+                {
+                    let mut items = self.items.borrow_mut();
+                    for &i in &which {
+                        if let Some(c) = &opts.color {
+                            items[i].color = c.clone();
+                        }
+                        if let Some(f) = &opts.font {
+                            items[i].font = f.clone();
+                        }
+                        if let Some(t) = &opts.text {
+                            if let Shape::Text { text, .. } = &mut items[i].shape {
+                                *text = t.clone();
+                            }
                         }
                     }
                 }
-                drop(items);
-                app.schedule_redraw(path);
+                {
+                    let items = self.items.borrow();
+                    rects.extend(which.iter().map(|&i| self.item_rect(app, &items[i])));
+                }
+                self.damage_rects(app, path, rects);
                 Ok(String::new())
             }
             "items" => {
@@ -440,8 +511,8 @@ impl WidgetOps for Canvas {
     }
 
     fn event(&self, app: &TkApp, path: &str, ev: &Event) {
-        if matches!(ev, Event::Expose { count: 0, .. }) {
-            app.schedule_redraw(path);
+        if matches!(ev, Event::Expose { .. }) {
+            app.expose_damage(path, ev);
         }
     }
 

@@ -11,7 +11,7 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use tcl::{Exception, TclResult};
-use xsim::{Event, GcValues};
+use xsim::{Event, GcValues, Rect};
 
 use crate::app::TkApp;
 use crate::config::{opt, synonym, ConfigStore, OptKind, OptSpec};
@@ -130,18 +130,26 @@ impl Entry {
 
     fn insert_text(&self, app: &TkApp, path: &str, at: usize, what: &str) {
         let b = self.byte_of(at);
+        let added = what.chars().count();
         self.text.borrow_mut().insert_str(b, what);
         if self.icursor.get() >= at {
-            self.icursor.set(self.icursor.get() + what.chars().count());
+            self.icursor.set(self.icursor.get() + added);
         }
         self.sync_variable(app);
         self.notify_scroll(app, path);
-        app.schedule_redraw(path);
+        if at + added == self.char_len() {
+            // Appended at the end: no glyphs shift, so only the new
+            // cells and the cursor bar change (typing stays ~2 cells).
+            self.damage_char_range(app, path, at, self.char_len() + 1);
+        } else {
+            self.damage_tail(app, path, at);
+        }
     }
 
     fn delete_range(&self, app: &TkApp, path: &str, first: usize, last: usize) {
         let (b0, b1) = (self.byte_of(first), self.byte_of(last));
         if b0 < b1 {
+            let deleted_tail = last >= self.char_len();
             self.text.borrow_mut().drain(b0..b1);
             let cur = self.icursor.get();
             if cur > first {
@@ -150,8 +158,74 @@ impl Entry {
             }
             self.sync_variable(app);
             self.notify_scroll(app, path);
-            app.schedule_redraw(path);
+            if deleted_tail {
+                // Erased the tail: only the removed cells (and the bars
+                // that sat on them) need clearing.
+                self.damage_char_range(app, path, first, last + 1);
+            } else {
+                self.damage_tail(app, path, first);
+            }
         }
+    }
+
+    /// Layout numbers damage rects need: `(x0, char_width, width, height)`.
+    /// `None` before the window or font exists.
+    fn text_geometry(&self, app: &TkApp, path: &str) -> Option<(i32, u32, u32, u32)> {
+        let rec = app.window(path)?;
+        let (_, m) = app
+            .cache()
+            .font(app.conn(), &self.config.get("-font"))
+            .ok()?;
+        let bw = self.config.get_pixels("-borderwidth").max(0) as i32;
+        Some((bw + 2, m.char_width, rec.width.get(), rec.height.get()))
+    }
+
+    /// Damages from character `from` (absolute index) to the right edge:
+    /// the minimal region an edit at `from` can change, since glyphs to
+    /// its left keep their positions. Edits left of the view force a full
+    /// repaint.
+    fn damage_tail(&self, app: &TkApp, path: &str, from: usize) {
+        let Some((x0, cw, w, h)) = self.text_geometry(app, path) else {
+            return app.schedule_redraw(path);
+        };
+        let view = self.view.get();
+        if from < view {
+            return app.schedule_redraw(path);
+        }
+        let dx = x0 + ((from - view) as i32) * cw as i32;
+        let dw = (w as i32 - dx).max(1) as u32;
+        app.schedule_redraw_damage(path, Rect::new(dx, 0, dw, h));
+    }
+
+    /// Damages the character cells `[from, to)` (absolute indices),
+    /// clamped to the view; a cell also covers the cursor bar drawn on
+    /// its left edge, and the extra pixel covers a bar sitting on `to`.
+    fn damage_char_range(&self, app: &TkApp, path: &str, from: usize, to: usize) {
+        let Some((x0, cw, _, h)) = self.text_geometry(app, path) else {
+            return app.schedule_redraw(path);
+        };
+        let view = self.view.get();
+        let from = from.max(view);
+        let to = to.max(from + 1);
+        let dx = x0 + ((from - view) as i32) * cw as i32;
+        let dw = (to - from) as u32 * cw + 1;
+        app.schedule_redraw_damage(path, Rect::new(dx, 0, dw, h));
+    }
+
+    /// Damages the union of the old and new selection ranges.
+    fn damage_selection_change(
+        &self,
+        app: &TkApp,
+        path: &str,
+        old: Option<(usize, usize)>,
+        new: Option<(usize, usize)>,
+    ) {
+        let spans: Vec<(usize, usize)> = old.into_iter().chain(new).collect();
+        let Some(lo) = spans.iter().map(|s| s.0).min() else {
+            return app.schedule_redraw(path);
+        };
+        let hi = spans.iter().map(|s| s.1).max().unwrap();
+        self.damage_char_range(app, path, lo, hi + 1);
     }
 
     /// Mirrors the text into `-textvariable`, if configured.
@@ -290,8 +364,10 @@ impl WidgetOps for Entry {
                         "wrong # args: should be \"{path} icursor index\""
                     )));
                 }
+                let old = self.icursor.get();
                 self.icursor.set(self.index(&argv[2])?);
-                app.schedule_redraw(path);
+                let new = self.icursor.get();
+                self.damage_char_range(app, path, old.min(new), old.max(new) + 1);
                 Ok(String::new())
             }
             "index" => {
@@ -321,9 +397,10 @@ impl WidgetOps for Entry {
                         let i = self.index(argv.get(3).ok_or_else(|| {
                             Exception::error("wrong # args: select from index")
                         })?)?;
+                        let old = self.selection.get();
                         self.selection.set(Some((i, i)));
                         self.claim_selection(app, path);
-                        app.schedule_redraw(path);
+                        self.damage_selection_change(app, path, old, Some((i, i)));
                         Ok(String::new())
                     }
                     Some("to") => {
@@ -331,15 +408,18 @@ impl WidgetOps for Entry {
                             .index(argv.get(3).ok_or_else(|| {
                                 Exception::error("wrong # args: select to index")
                             })?)?;
-                        let anchor = self.selection.get().map(|(a, _)| a).unwrap_or(i);
-                        self.selection.set(Some((anchor.min(i), anchor.max(i))));
+                        let old = self.selection.get();
+                        let anchor = old.map(|(a, _)| a).unwrap_or(i);
+                        let new = (anchor.min(i), anchor.max(i));
+                        self.selection.set(Some(new));
                         self.claim_selection(app, path);
-                        app.schedule_redraw(path);
+                        self.damage_selection_change(app, path, old, Some(new));
                         Ok(String::new())
                     }
                     Some("clear") => {
+                        let old = self.selection.get();
                         self.selection.set(None);
-                        app.schedule_redraw(path);
+                        self.damage_selection_change(app, path, old, None);
                         Ok(String::new())
                     }
                     _ => Err(Exception::error(
@@ -451,9 +531,10 @@ impl WidgetOps for Entry {
 
     fn event(&self, app: &TkApp, path: &str, ev: &Event) {
         match ev {
-            Event::Expose { count: 0, .. } => app.schedule_redraw(path),
+            Event::Expose { .. } => app.expose_damage(path, ev),
             Event::ButtonPress { button: 1, x, .. } => {
                 // Click positions the insertion cursor and takes the focus.
+                let old = self.icursor.get();
                 if let Ok((_, m)) = app.cache().font(app.conn(), &self.config.get("-font")) {
                     let bw = self.config.get_pixels("-borderwidth").max(0);
                     let char_i = ((*x as i64 - bw - 2).max(0) / m.char_width as i64) as usize
@@ -463,7 +544,8 @@ impl WidgetOps for Entry {
                 if let Some(rec) = app.window(path) {
                     app.conn().set_input_focus(rec.xid);
                 }
-                app.schedule_redraw(path);
+                let new = self.icursor.get();
+                self.damage_char_range(app, path, old.min(new), old.max(new) + 1);
             }
             Event::KeyPress { keysym, state, .. } => match keysym.name.as_str() {
                 "BackSpace" | "Delete" => {

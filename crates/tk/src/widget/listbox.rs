@@ -11,7 +11,7 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use tcl::{Exception, TclResult};
-use xsim::{Event, GcValues};
+use xsim::{Event, GcValues, Rect};
 
 use crate::app::TkApp;
 use crate::config::{opt, synonym, ConfigStore, OptKind, OptSpec};
@@ -144,9 +144,101 @@ impl Listbox {
         let total = self.items.borrow().len();
         let window = self.visible_lines(app, path);
         let max_top = total.saturating_sub(window);
+        let old_top = self.top.get();
         self.top.set(index.min(max_top));
-        app.schedule_redraw(path);
+        self.scroll_blit(app, path, old_top, self.top.get());
         self.notify_scroll(app, path);
+    }
+
+    /// Content-area geometry: `(y0, line_height, visible_lines)`. `None`
+    /// before the window or font exists.
+    fn content_geometry(&self, app: &TkApp, path: &str) -> Option<(i32, u32, usize)> {
+        app.window(path)?;
+        let (_, m) = app
+            .cache()
+            .font(app.conn(), &self.config.get("-font"))
+            .ok()?;
+        let bw = self.config.get_pixels("-borderwidth").max(0) as i32;
+        Some((bw + 1, m.line_height(), self.visible_lines(app, path)))
+    }
+
+    /// Scrolls the already-drawn lines with a CopyArea and damages only
+    /// the newly exposed band. The blit is issued in both damage modes so
+    /// the request stream stays identical; only the repaint clip differs.
+    /// Rows are copied at full window width — the vertical border strips
+    /// are uniform over the copied span, so blitting them is the identity.
+    fn scroll_blit(&self, app: &TkApp, path: &str, old_top: usize, new_top: usize) {
+        let Some((y, lh, lines)) = self.content_geometry(app, path) else {
+            return app.schedule_redraw(path);
+        };
+        let Some(rec) = app.window(path) else {
+            return app.schedule_redraw(path);
+        };
+        let d = new_top as i64 - old_top as i64;
+        // A blit would shift pending damage out from under its repaint,
+        // so scrolls arriving on a dirty window repaint in full.
+        if d == 0 || d.unsigned_abs() as usize >= lines || app.has_pending_damage(path) {
+            return app.schedule_redraw(path);
+        }
+        let w = rec.width.get();
+        let keep = (lines - d.unsigned_abs() as usize) as u32 * lh;
+        let band = d.unsigned_abs() as u32 * lh;
+        if d > 0 {
+            app.conn()
+                .copy_area(rec.xid, 0, y + band as i32, w, keep, 0, y);
+            app.schedule_redraw_damage(path, Rect::new(0, y + keep as i32, w, band));
+        } else {
+            app.conn()
+                .copy_area(rec.xid, 0, y, w, keep, 0, y + band as i32);
+            app.schedule_redraw_damage(path, Rect::new(0, y, w, band));
+        }
+    }
+
+    /// Damages from the line showing item `from` down to the bottom of
+    /// the content area: inserts and deletes shift everything below the
+    /// edit point, but never the lines above it.
+    fn damage_items_from(&self, app: &TkApp, path: &str, from: usize) {
+        let Some((y, lh, lines)) = self.content_geometry(app, path) else {
+            return app.schedule_redraw(path);
+        };
+        let Some(rec) = app.window(path) else {
+            return app.schedule_redraw(path);
+        };
+        let top = self.top.get();
+        if from < top {
+            return app.schedule_redraw(path);
+        }
+        let line = from - top;
+        if line >= lines {
+            // Entirely below the view: nothing visible moves, but both
+            // modes must still schedule the same repaint.
+            return app.schedule_redraw_damage(path, Rect::new(0, 0, 1, 1));
+        }
+        let dy = y + line as i32 * lh as i32;
+        let band = (lines - line) as u32 * lh;
+        app.schedule_redraw_damage(path, Rect::new(0, dy, rec.width.get(), band));
+    }
+
+    /// Damages the lines showing items `[first, last]`, clamped to the
+    /// view (selection changes touch only the affected lines).
+    fn damage_item_lines(&self, app: &TkApp, path: &str, first: usize, last: usize) {
+        let Some((y, lh, lines)) = self.content_geometry(app, path) else {
+            return app.schedule_redraw(path);
+        };
+        let Some(rec) = app.window(path) else {
+            return app.schedule_redraw(path);
+        };
+        let top = self.top.get();
+        let lo = first.max(top) - top;
+        let hi_excl = (last + 1).min(top + lines).saturating_sub(top);
+        if lo >= hi_excl {
+            return app.schedule_redraw_damage(path, Rect::new(0, 0, 1, 1));
+        }
+        let dy = y + lo as i32 * lh as i32;
+        app.schedule_redraw_damage(
+            path,
+            Rect::new(0, dy, rec.width.get(), (hi_excl - lo) as u32 * lh),
+        );
     }
 
     /// The item index at pixel `y`, clamped to real items.
@@ -168,6 +260,7 @@ impl Listbox {
         } else {
             (last, first)
         };
+        let old = self.selection.get();
         self.selection.set(Some((first, last)));
         let path_owned = path.to_string();
         let path_for_lost = path.to_string();
@@ -220,7 +313,11 @@ impl Listbox {
                 }),
             }),
         );
-        app.schedule_redraw(path);
+        let (lo, hi) = match old {
+            Some((a, b)) => (a.min(first), b.max(last)),
+            None => (first, last),
+        };
+        self.damage_item_lines(app, path, lo, hi);
     }
 }
 
@@ -263,7 +360,7 @@ impl WidgetOps for Listbox {
                         items.insert(at + n, e.clone());
                     }
                 }
-                app.schedule_redraw(path);
+                self.damage_items_from(app, path, at);
                 self.notify_scroll(app, path);
                 Ok(String::new())
             }
@@ -289,8 +386,14 @@ impl WidgetOps for Listbox {
                         items.drain(first..=last);
                     }
                 }
+                let old_sel = self.selection.get();
                 self.selection.set(None);
-                app.schedule_redraw(path);
+                // Clearing the selection also dirties its old lines.
+                let from = match old_sel {
+                    Some((a, _)) => first.min(a),
+                    None => first,
+                };
+                self.damage_items_from(app, path, from);
                 self.notify_scroll(app, path);
                 Ok(String::new())
             }
@@ -336,8 +439,12 @@ impl WidgetOps for Listbox {
                         Ok(String::new())
                     }
                     Some("clear") => {
+                        let old = self.selection.get();
                         self.selection.set(None);
-                        app.schedule_redraw(path);
+                        match old {
+                            Some((a, b)) => self.damage_item_lines(app, path, a, b),
+                            None => app.schedule_redraw(path),
+                        }
                         Ok(String::new())
                     }
                     _ => Err(Exception::error(
@@ -394,7 +501,7 @@ impl WidgetOps for Listbox {
 
     fn event(&self, app: &TkApp, path: &str, ev: &Event) {
         match ev {
-            Event::Expose { count: 0, .. } => app.schedule_redraw(path),
+            Event::Expose { .. } => app.expose_damage(path, ev),
             Event::ConfigureNotify { .. } => {
                 // A resize changes how many lines fit: tell the scrollbar.
                 self.notify_scroll(app, path);

@@ -411,7 +411,7 @@ impl WidgetOps for Menu {
 
     fn event(&self, app: &TkApp, path: &str, ev: &Event) {
         match ev {
-            Event::Expose { count: 0, .. } => app.schedule_redraw(path),
+            Event::Expose { .. } => app.expose_damage(path, ev),
             Event::MotionNotify { y, .. } => {
                 let hit = self.entry_at(app, *y);
                 if hit != self.active.get() {
@@ -584,7 +584,7 @@ impl WidgetOps for Menubutton {
 
     fn event(&self, app: &TkApp, path: &str, ev: &Event) {
         match ev {
-            Event::Expose { count: 0, .. } => app.schedule_redraw(path),
+            Event::Expose { .. } => app.expose_damage(path, ev),
             Event::ButtonPress { button: 1, .. } => {
                 let _ = self.post(app, path);
             }

@@ -153,8 +153,8 @@ impl WidgetOps for Message {
     }
 
     fn event(&self, app: &TkApp, path: &str, ev: &Event) {
-        if matches!(ev, Event::Expose { count: 0, .. }) {
-            app.schedule_redraw(path);
+        if matches!(ev, Event::Expose { .. }) {
+            app.expose_damage(path, ev);
         }
     }
 

@@ -42,6 +42,13 @@ pub trait WidgetOps {
     /// Built-in event handler (the C-level handlers of real Tk).
     fn event(&self, _app: &TkApp, _path: &str, _ev: &Event) {}
 
+    /// A watched `-variable` changed: schedule whatever repaint the
+    /// widget needs. The default repaints everything; widgets with a
+    /// small state indicator narrow the damage.
+    fn variable_changed(&self, app: &TkApp, path: &str) {
+        app.schedule_redraw(path);
+    }
+
     /// Repaints the widget.
     fn redraw(&self, _app: &TkApp, _path: &str) {}
 

@@ -193,7 +193,7 @@ impl WidgetOps for Scale {
 
     fn event(&self, app: &TkApp, path: &str, ev: &Event) {
         match ev {
-            Event::Expose { count: 0, .. } => app.schedule_redraw(path),
+            Event::Expose { .. } => app.expose_damage(path, ev),
             Event::ButtonPress {
                 button: 1, x, y, ..
             } => {

@@ -11,7 +11,7 @@ use std::cell::Cell;
 use std::rc::Rc;
 
 use tcl::{Exception, TclResult};
-use xsim::{Event, GcValues};
+use xsim::{Event, GcValues, Rect};
 
 use crate::app::TkApp;
 use crate::config::{opt, synonym, ConfigStore, OptKind, OptSpec};
@@ -123,6 +123,27 @@ impl Scrollbar {
         (a, b.max(a + 4))
     }
 
+    /// Damages the trough between the two arrow boxes — the only region
+    /// a `set` can change, since the arrows and outer border are static.
+    /// Full window width/thickness so the border columns repaint too
+    /// (the slider overdraws part of the sunken border).
+    fn damage_trough(&self, app: &TkApp, path: &str) {
+        let Some(rec) = app.window(path) else {
+            return app.schedule_redraw(path);
+        };
+        let arrow = self.arrow_len(app, path);
+        let trough = self.length(app, path) - 2 * arrow;
+        if trough <= 0 {
+            return app.schedule_redraw(path);
+        }
+        let r = if self.vertical() {
+            Rect::new(0, arrow as i32, rec.width.get(), trough as u32)
+        } else {
+            Rect::new(arrow as i32, 0, trough as u32, rec.height.get())
+        };
+        app.schedule_redraw_damage(path, r);
+    }
+
     /// Evaluates `-command unit`.
     fn scroll_to(&self, app: &TkApp, unit: i64) {
         let cmd = self.config.get("-command");
@@ -196,7 +217,7 @@ impl WidgetOps for Scrollbar {
                     first: nums[2],
                     last: nums[3],
                 });
-                app.schedule_redraw(path);
+                self.damage_trough(app, path);
                 Ok(String::new())
             }
             "get" => {
@@ -225,7 +246,7 @@ impl WidgetOps for Scrollbar {
 
     fn event(&self, app: &TkApp, path: &str, ev: &Event) {
         match ev {
-            Event::Expose { count: 0, .. } => app.schedule_redraw(path),
+            Event::Expose { .. } => app.expose_damage(path, ev),
             Event::ButtonPress {
                 button: 1, x, y, ..
             } => {

@@ -908,6 +908,52 @@ impl Connection {
         );
     }
 
+    /// Installs a clip-rectangle list on a window: subsequent drawing
+    /// rasterizes only inside the union of the rects. An empty list means
+    /// unclipped (X's "no clip mask"), so redraw code can send the same
+    /// request stream whether or not it has damage to narrow to.
+    pub fn set_clip(&self, id: WindowId, rects: Vec<crate::damage::Rect>) {
+        self.one_way(
+            RequestKind::SetClip,
+            id,
+            QueuedRequest::SetClip { id, rects },
+        );
+    }
+
+    /// Removes the clip installed by [`Connection::set_clip`].
+    pub fn clear_clip(&self, id: WindowId) {
+        self.one_way(RequestKind::ClearClip, id, QueuedRequest::ClearClip { id });
+    }
+
+    /// Copies a region within one window (XCopyArea, same drawable as
+    /// source and destination) — the scroll blit. Moved pixels are not
+    /// re-rasterized and do not count toward `pixels_drawn`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn copy_area(
+        &self,
+        id: WindowId,
+        src_x: i32,
+        src_y: i32,
+        w: u32,
+        h: u32,
+        dst_x: i32,
+        dst_y: i32,
+    ) {
+        self.one_way(
+            RequestKind::CopyArea,
+            id,
+            QueuedRequest::CopyArea {
+                id,
+                src_x,
+                src_y,
+                w,
+                h,
+                dst_x,
+                dst_y,
+            },
+        );
+    }
+
     // --- selections ---
 
     /// Claims selection ownership.
@@ -1020,6 +1066,30 @@ mod tests {
         let st = c.stats();
         assert_eq!(st.requests, 4);
         assert_eq!(st.round_trips, 2);
+    }
+
+    #[test]
+    fn clip_narrows_rasterization_and_pixel_accounting() {
+        let d = Display::new();
+        let c = d.connect();
+        let w = c.create_window(c.root(), 0, 0, 40, 40, 0).unwrap();
+        c.map_window(w);
+        let gc = c.create_gc(GcValues::default());
+        c.fill_rectangle(w, gc, 0, 0, 40, 40);
+        c.flush();
+        let full = c.stats().pixels_drawn;
+        assert_eq!(full, 1600);
+        // The same fill under a clip rasterizes (and counts) only the
+        // clipped area.
+        c.set_clip(w, vec![crate::damage::Rect::new(0, 0, 10, 10)]);
+        c.fill_rectangle(w, gc, 0, 0, 40, 40);
+        c.clear_clip(w);
+        c.flush();
+        assert_eq!(c.stats().pixels_drawn, full + 100);
+        // A blit moves pixels without rasterizing: counts nothing.
+        c.copy_area(w, 0, 0, 20, 20, 20, 20);
+        c.flush();
+        assert_eq!(c.stats().pixels_drawn, full + 100);
     }
 
     #[test]

@@ -1,0 +1,312 @@
+//! Damage regions: dirty-rectangle lists with coalescing.
+//!
+//! A [`DamageList`] accumulates the rectangles of a window that need
+//! repainting. Rectangles contained in an already-recorded rect are
+//! dropped, overlapping rects are merged into their bounding box (with
+//! cascading re-merge, so the list is always pairwise disjoint), and a
+//! list that grows past [`DamageList::MAX_RECTS`] collapses into a single
+//! bounding box. The same type backs the server's Expose coalescing and
+//! the toolkit's pending-redraw damage (see docs/RENDERING.md).
+
+/// An axis-aligned rectangle: position plus size, in pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rect {
+    /// Left edge.
+    pub x: i32,
+    /// Top edge.
+    pub y: i32,
+    /// Width in pixels.
+    pub w: u32,
+    /// Height in pixels.
+    pub h: u32,
+}
+
+impl Rect {
+    /// Creates a rectangle.
+    pub fn new(x: i32, y: i32, w: u32, h: u32) -> Rect {
+        Rect { x, y, w, h }
+    }
+
+    /// Is the rectangle zero-area?
+    pub fn is_empty(&self) -> bool {
+        self.w == 0 || self.h == 0
+    }
+
+    /// Exclusive right edge.
+    pub fn right(&self) -> i32 {
+        self.x + self.w as i32
+    }
+
+    /// Exclusive bottom edge.
+    pub fn bottom(&self) -> i32 {
+        self.y + self.h as i32
+    }
+
+    /// Area in pixels.
+    pub fn area(&self) -> u64 {
+        self.w as u64 * self.h as u64
+    }
+
+    /// Does `self` fully contain `other`?
+    pub fn contains(&self, other: &Rect) -> bool {
+        !other.is_empty()
+            && self.x <= other.x
+            && self.y <= other.y
+            && self.right() >= other.right()
+            && self.bottom() >= other.bottom()
+    }
+
+    /// Do the rectangles share at least one pixel?
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.x < other.right()
+            && other.x < self.right()
+            && self.y < other.bottom()
+            && other.y < self.bottom()
+    }
+
+    /// The intersection, or `None` if the rectangles are disjoint.
+    pub fn intersect(&self, other: &Rect) -> Option<Rect> {
+        let x0 = self.x.max(other.x);
+        let y0 = self.y.max(other.y);
+        let x1 = self.right().min(other.right());
+        let y1 = self.bottom().min(other.bottom());
+        if x0 < x1 && y0 < y1 {
+            Some(Rect::new(x0, y0, (x1 - x0) as u32, (y1 - y0) as u32))
+        } else {
+            None
+        }
+    }
+
+    /// The bounding box of both rectangles.
+    pub fn union(&self, other: &Rect) -> Rect {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        let x0 = self.x.min(other.x);
+        let y0 = self.y.min(other.y);
+        let x1 = self.right().max(other.right());
+        let y1 = self.bottom().max(other.bottom());
+        Rect::new(x0, y0, (x1 - x0) as u32, (y1 - y0) as u32)
+    }
+
+    /// Expands the rectangle by `pad` pixels on every side (clamping the
+    /// origin at the requested amount even when it goes negative).
+    pub fn expand(&self, pad: i32) -> Rect {
+        let w = (self.w as i64 + 2 * pad as i64).max(0) as u32;
+        let h = (self.h as i64 + 2 * pad as i64).max(0) as u32;
+        Rect::new(self.x - pad, self.y - pad, w, h)
+    }
+
+    /// Does the rectangle cover the whole `width` x `height` area?
+    pub fn covers(&self, width: u32, height: u32) -> bool {
+        self.contains(&Rect::new(0, 0, width, height))
+    }
+}
+
+/// A coalescing list of damage rectangles. Invariant: the stored rects
+/// are pairwise disjoint (overlap triggers a bounding-box merge), so a
+/// rasterizer clipping to the list never writes — or counts — a pixel
+/// twice.
+#[derive(Debug, Clone, Default)]
+pub struct DamageList {
+    rects: Vec<Rect>,
+}
+
+impl DamageList {
+    /// Lists longer than this collapse into one bounding box.
+    pub const MAX_RECTS: usize = 8;
+
+    /// Creates an empty list.
+    pub fn new() -> DamageList {
+        DamageList::default()
+    }
+
+    /// No damage recorded?
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// Number of rects currently held.
+    pub fn len(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// The recorded rects (pairwise disjoint).
+    pub fn rects(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    /// Adds a rect, coalescing. Returns the number of coalescing steps
+    /// performed (contained-drop, overlap-merge, or overflow-collapse —
+    /// each counts one), which feeds the `expose_coalesced` counter.
+    pub fn add(&mut self, rect: Rect) -> u64 {
+        if rect.is_empty() {
+            return 0;
+        }
+        let mut coalesced = 0;
+        // Contained in an existing rect: nothing new to record.
+        if self.rects.iter().any(|r| r.contains(&rect)) {
+            return 1;
+        }
+        // Merge with every overlapping rect, cascading: the merged
+        // bounding box may overlap rects that the original did not.
+        let mut merged = rect;
+        loop {
+            let mut grew = false;
+            self.rects.retain(|r| {
+                if merged.overlaps(r) || merged.contains(r) {
+                    merged = merged.union(r);
+                    coalesced += 1;
+                    grew = true;
+                    false
+                } else {
+                    true
+                }
+            });
+            if !grew {
+                break;
+            }
+        }
+        self.rects.push(merged);
+        if self.rects.len() > Self::MAX_RECTS {
+            let all = self
+                .rects
+                .drain(..)
+                .reduce(|a, b| a.union(&b))
+                .expect("list was non-empty");
+            self.rects.push(all);
+            coalesced += 1;
+        }
+        coalesced
+    }
+
+    /// Takes the recorded rects, leaving the list empty.
+    pub fn take(&mut self) -> Vec<Rect> {
+        std::mem::take(&mut self.rects)
+    }
+
+    /// Drops all recorded damage.
+    pub fn clear(&mut self) {
+        self.rects.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_geometry() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(5, 5, 10, 10);
+        assert!(a.overlaps(&b));
+        assert_eq!(a.intersect(&b), Some(Rect::new(5, 5, 5, 5)));
+        assert_eq!(a.union(&b), Rect::new(0, 0, 15, 15));
+        assert!(a.contains(&Rect::new(2, 2, 3, 3)));
+        assert!(!a.contains(&b));
+        // Touching edges share no pixel.
+        assert!(!a.overlaps(&Rect::new(10, 0, 5, 5)));
+        assert_eq!(a.intersect(&Rect::new(10, 0, 5, 5)), None);
+    }
+
+    #[test]
+    fn empty_rects_are_inert() {
+        let e = Rect::new(3, 3, 0, 5);
+        let a = Rect::new(0, 0, 10, 10);
+        assert!(e.is_empty());
+        assert!(!a.overlaps(&e));
+        assert!(!a.contains(&e));
+        assert_eq!(a.union(&e), a);
+        let mut l = DamageList::new();
+        assert_eq!(l.add(e), 0);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn expand_and_covers() {
+        let r = Rect::new(5, 5, 10, 10);
+        assert_eq!(r.expand(2), Rect::new(3, 3, 14, 14));
+        assert!(Rect::new(0, 0, 20, 20).covers(20, 20));
+        assert!(Rect::new(-1, -1, 30, 30).covers(20, 20));
+        assert!(!Rect::new(0, 0, 19, 20).covers(20, 20));
+    }
+
+    #[test]
+    fn disjoint_rects_accumulate() {
+        let mut l = DamageList::new();
+        assert_eq!(l.add(Rect::new(0, 0, 5, 5)), 0);
+        assert_eq!(l.add(Rect::new(20, 20, 5, 5)), 0);
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn contained_rect_is_dropped() {
+        let mut l = DamageList::new();
+        l.add(Rect::new(0, 0, 20, 20));
+        assert_eq!(l.add(Rect::new(5, 5, 3, 3)), 1);
+        assert_eq!(l.rects(), &[Rect::new(0, 0, 20, 20)]);
+    }
+
+    #[test]
+    fn overlapping_rects_merge_into_bounding_box() {
+        let mut l = DamageList::new();
+        l.add(Rect::new(0, 0, 10, 10));
+        assert_eq!(l.add(Rect::new(5, 5, 10, 10)), 1);
+        assert_eq!(l.rects(), &[Rect::new(0, 0, 15, 15)]);
+    }
+
+    #[test]
+    fn merge_cascades_until_disjoint() {
+        let mut l = DamageList::new();
+        l.add(Rect::new(0, 0, 4, 4));
+        l.add(Rect::new(10, 0, 4, 4));
+        // Bridges both: one rect remains.
+        assert!(l.add(Rect::new(2, 0, 10, 4)) >= 2);
+        assert_eq!(l.rects(), &[Rect::new(0, 0, 14, 4)]);
+    }
+
+    #[test]
+    fn overflow_collapses_to_bounding_box() {
+        let mut l = DamageList::new();
+        for i in 0..=DamageList::MAX_RECTS as i32 {
+            l.add(Rect::new(i * 10, 0, 5, 5));
+        }
+        assert_eq!(l.len(), 1);
+        let r = l.rects()[0];
+        assert_eq!(r.x, 0);
+        assert_eq!(r.right(), DamageList::MAX_RECTS as i32 * 10 + 5);
+    }
+
+    #[test]
+    fn list_invariant_pairwise_disjoint() {
+        let mut l = DamageList::new();
+        let mut rng = crate::rng::XorShift::new(99);
+        for _ in 0..200 {
+            l.add(Rect::new(
+                rng.below(60) as i32,
+                rng.below(60) as i32,
+                rng.range(1, 20) as u32,
+                rng.range(1, 20) as u32,
+            ));
+            for (i, a) in l.rects().iter().enumerate() {
+                for b in &l.rects()[i + 1..] {
+                    assert!(!a.overlaps(b), "{a:?} overlaps {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn take_empties_the_list() {
+        let mut l = DamageList::new();
+        l.add(Rect::new(0, 0, 5, 5));
+        let rects = l.take();
+        assert_eq!(rects.len(), 1);
+        assert!(l.is_empty());
+    }
+}

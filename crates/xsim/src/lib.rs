@@ -36,6 +36,7 @@ pub mod bitmap;
 pub mod color;
 pub mod connection;
 pub mod cursor;
+pub mod damage;
 pub mod event;
 pub mod fault;
 pub mod font;
@@ -51,6 +52,7 @@ pub use atom::Atom;
 pub use bitmap::{Bitmap, BitmapId};
 pub use color::{lookup_color, Rgb};
 pub use connection::{Connection, Cookie, Display, FromReply, Geometry};
+pub use damage::{DamageList, Rect};
 pub use event::{Event, Keysym};
 pub use fault::{FaultAction, FaultPlan, FaultSpec, FiredFault, XError, XErrorCode};
 pub use font::FontMetrics;

@@ -60,11 +60,14 @@ pub enum RequestKind {
     SendEvent,
     SetInputFocus,
     GetInputFocus,
+    SetClip,
+    ClearClip,
+    CopyArea,
 }
 
 impl RequestKind {
     /// Number of request kinds (array sizing).
-    pub const COUNT: usize = 41;
+    pub const COUNT: usize = 44;
 
     /// All kinds, in declaration order.
     pub const ALL: [RequestKind; RequestKind::COUNT] = [
@@ -109,6 +112,9 @@ impl RequestKind {
         RequestKind::SendEvent,
         RequestKind::SetInputFocus,
         RequestKind::GetInputFocus,
+        RequestKind::SetClip,
+        RequestKind::ClearClip,
+        RequestKind::CopyArea,
     ];
 
     /// The protocol name, used in `obs counters` and JSON dumps.
@@ -155,6 +161,9 @@ impl RequestKind {
             RequestKind::SendEvent => "SendEvent",
             RequestKind::SetInputFocus => "SetInputFocus",
             RequestKind::GetInputFocus => "GetInputFocus",
+            RequestKind::SetClip => "SetClip",
+            RequestKind::ClearClip => "ClearClip",
+            RequestKind::CopyArea => "CopyArea",
         }
     }
 }
@@ -202,6 +211,15 @@ pub struct ClientObs {
     /// Injected faults split by kind (see
     /// [`crate::fault::FAULT_KIND_NAMES`]).
     pub fault_counts: [u64; crate::fault::FAULT_KIND_COUNT],
+    /// Pixels actually rasterized by this client's drawing requests
+    /// (post-clip: pixels outside a window's clip region cost — and
+    /// count — nothing).
+    pub pixels_drawn: u64,
+    /// Damage rectangles recorded against windows this client owns.
+    pub damage_rects: u64,
+    /// Damage-coalescing steps (contained-drop / overlap-merge /
+    /// overflow-collapse) on windows this client owns.
+    pub expose_coalesced: u64,
 }
 
 impl Default for ClientObs {
@@ -215,6 +233,9 @@ impl Default for ClientObs {
             trace_enabled: false,
             faults_injected: 0,
             fault_counts: [0; crate::fault::FAULT_KIND_COUNT],
+            pixels_drawn: 0,
+            damage_rects: 0,
+            expose_coalesced: 0,
         }
     }
 }
@@ -347,6 +368,9 @@ impl ClientObs {
         o.field_raw("by_kind_round_trip", &by_kind_rt.build());
         o.field_u64("faults_injected", self.faults_injected);
         o.field_raw("by_fault", &by_fault.build());
+        o.field_u64("pixels_drawn", self.pixels_drawn);
+        o.field_u64("damage_rects", self.damage_rects);
+        o.field_u64("expose_coalesced", self.expose_coalesced);
         o.field_raw("request_ns", &self.request_ns.to_json());
         o.field_raw("round_trip_ns", &self.round_trip_ns.to_json());
         o.field_bool("trace_enabled", self.trace_enabled);

@@ -6,14 +6,29 @@
 //! (the reproduction of the paper's Figure 10).
 
 use crate::color::Rgb;
+use crate::damage::Rect;
 use crate::font::{glyph, FontMetrics};
 
 /// A rectangular pixel buffer, `0x00RRGGBB` per pixel.
+///
+/// A surface may carry a *clip region* (a disjoint rect list, normally a
+/// window's pending damage): rasterizing primitives write — and count —
+/// only pixels inside the clip, so drawing outside it costs nothing.
+/// Compositing ([`blit`]) and scrolling ([`copy_within`]) ignore the
+/// clip; they move pixels rather than rasterize them.
+///
+/// [`blit`]: Surface::blit
+/// [`copy_within`]: Surface::copy_within
 #[derive(Debug, Clone)]
 pub struct Surface {
     width: u32,
     height: u32,
     pixels: Vec<u32>,
+    /// Pairwise-disjoint clip rects; `None` = unclipped.
+    clip: Option<Vec<Rect>>,
+    /// Pixels written by rasterizing primitives since the last
+    /// [`Surface::take_pixels_drawn`].
+    pixels_drawn: u64,
     /// Text drawn since the last clear, for legible ASCII dumps:
     /// `(x, baseline_y, text)`.
     pub texts: Vec<(i32, i32, String)>,
@@ -26,8 +41,32 @@ impl Surface {
             width,
             height,
             pixels: vec![fill.packed(); (width * height) as usize],
+            clip: None,
+            pixels_drawn: 0,
             texts: Vec::new(),
         }
+    }
+
+    /// Installs a clip region. The rects should be pairwise disjoint
+    /// (coalesce through a [`crate::damage::DamageList`] first); an empty
+    /// list means *unclipped*, mirroring X11's "no clip mask".
+    pub fn set_clip(&mut self, rects: Vec<Rect>) {
+        self.clip = if rects.is_empty() { None } else { Some(rects) };
+    }
+
+    /// Removes the clip region.
+    pub fn clear_clip(&mut self) {
+        self.clip = None;
+    }
+
+    /// The current clip region, if any.
+    pub fn clip(&self) -> Option<&[Rect]> {
+        self.clip.as_deref()
+    }
+
+    /// Takes and resets the rasterized-pixel counter.
+    pub fn take_pixels_drawn(&mut self) -> u64 {
+        std::mem::take(&mut self.pixels_drawn)
     }
 
     /// Surface width in pixels.
@@ -40,6 +79,13 @@ impl Surface {
         self.height
     }
 
+    /// The whole framebuffer as packed `0xRRGGBB` words, row-major.
+    /// Equivalence suites hash and diff entire frames; going through
+    /// [`Surface::pixel`] per pixel is far too slow for that.
+    pub fn raw_pixels(&self) -> &[u32] {
+        &self.pixels
+    }
+
     /// Reads one pixel (black if out of bounds).
     pub fn pixel(&self, x: i32, y: i32) -> Rgb {
         if x < 0 || y < 0 || x as u32 >= self.width || y as u32 >= self.height {
@@ -48,16 +94,29 @@ impl Surface {
         Rgb::from_packed(self.pixels[(y as u32 * self.width + x as u32) as usize])
     }
 
-    /// Writes one pixel, clipping silently.
+    /// Writes one pixel, clipping silently (surface bounds and the clip
+    /// region both apply).
     pub fn put_pixel(&mut self, x: i32, y: i32, color: Rgb) {
         if x < 0 || y < 0 || x as u32 >= self.width || y as u32 >= self.height {
             return;
         }
+        if let Some(clip) = &self.clip {
+            if !clip
+                .iter()
+                .any(|r| x >= r.x && x < r.right() && y >= r.y && y < r.bottom())
+            {
+                return;
+            }
+        }
         self.pixels[(y as u32 * self.width + x as u32) as usize] = color.packed();
+        self.pixels_drawn += 1;
     }
 
-    /// Fills a rectangle, clipping to the surface. A fill that covers the
-    /// whole surface also forgets recorded text (it repainted everything).
+    /// Fills a rectangle, clipping to the surface and the clip region. A
+    /// fill whose *requested* rect covers the whole surface also forgets
+    /// recorded text (the client repainted everything — with a clip
+    /// installed only part of it rasterizes, but the re-drawn text
+    /// records arrive either way, so the list stays consistent).
     pub fn fill_rect(&mut self, x: i32, y: i32, w: u32, h: u32, color: Rgb) {
         if x <= 0
             && y <= 0
@@ -70,16 +129,41 @@ impl Surface {
         let y0 = y.max(0);
         let x1 = (x + w as i32).min(self.width as i32);
         let y1 = (y + h as i32).min(self.height as i32);
-        let packed = color.packed();
-        for yy in y0..y1 {
-            let row = yy as u32 * self.width;
-            for xx in x0..x1 {
-                self.pixels[(row + xx as u32) as usize] = packed;
+        if x0 >= x1 || y0 >= y1 {
+            return;
+        }
+        let bounded = Rect::new(x0, y0, (x1 - x0) as u32, (y1 - y0) as u32);
+        match self.clip.take() {
+            None => self.fill_span(&bounded, color),
+            Some(clip) => {
+                // The clip rects are disjoint, so each pixel is written
+                // (and counted) at most once.
+                for r in &clip {
+                    if let Some(part) = bounded.intersect(r) {
+                        self.fill_span(&part, color);
+                    }
+                }
+                self.clip = Some(clip);
             }
         }
     }
 
-    /// Fills the whole surface and forgets recorded text.
+    /// Fills an in-bounds rect unconditionally, counting its pixels.
+    fn fill_span(&mut self, r: &Rect, color: Rgb) {
+        let packed = color.packed();
+        for yy in r.y..r.bottom() {
+            let row = yy as u32 * self.width;
+            for xx in r.x..r.right() {
+                self.pixels[(row + xx as u32) as usize] = packed;
+            }
+        }
+        self.pixels_drawn += r.area();
+    }
+
+    /// Fills the whole surface and forgets recorded text. This is
+    /// initialization, not drawing: it ignores the clip region and does
+    /// not count toward `pixels_drawn` (clients clear through
+    /// `ClearArea`, which rasterizes via [`Surface::fill_rect`]).
     pub fn clear(&mut self, color: Rgb) {
         let packed = color.packed();
         self.pixels.fill(packed);
@@ -167,12 +251,46 @@ impl Surface {
         }
     }
 
+    /// Copies a rectangle of this surface onto itself (X11's `CopyArea`
+    /// within one drawable — the scrolling primitive). Overlap-safe; out
+    /// of bounds source or destination pixels are skipped. Moving pixels
+    /// is not rasterization: the clip region and `pixels_drawn` are
+    /// untouched.
+    pub fn copy_within(&mut self, src_x: i32, src_y: i32, w: u32, h: u32, dst_x: i32, dst_y: i32) {
+        if w == 0 || h == 0 || (src_x == dst_x && src_y == dst_y) {
+            return;
+        }
+        let mut saved = vec![None; (w * h) as usize];
+        for sy in 0..h as i32 {
+            for sx in 0..w as i32 {
+                let (x, y) = (src_x + sx, src_y + sy);
+                if x >= 0 && y >= 0 && (x as u32) < self.width && (y as u32) < self.height {
+                    saved[(sy as u32 * w + sx as u32) as usize] =
+                        Some(self.pixels[(y as u32 * self.width + x as u32) as usize]);
+                }
+            }
+        }
+        for sy in 0..h as i32 {
+            for sx in 0..w as i32 {
+                let Some(p) = saved[(sy as u32 * w + sx as u32) as usize] else {
+                    continue;
+                };
+                let (x, y) = (dst_x + sx, dst_y + sy);
+                if x >= 0 && y >= 0 && (x as u32) < self.width && (y as u32) < self.height {
+                    self.pixels[(y as u32 * self.width + x as u32) as usize] = p;
+                }
+            }
+        }
+    }
+
     /// Resizes the surface, preserving the overlapping region and filling
-    /// new area with `fill`.
+    /// new area with `fill`. The clip region is dropped; the pixel
+    /// counter carries over.
     pub fn resize(&mut self, width: u32, height: u32, fill: Rgb) {
         let mut next = Surface::new(width, height, fill);
         next.blit(self, 0, 0);
         next.texts = std::mem::take(&mut self.texts);
+        next.pixels_drawn = self.pixels_drawn;
         *self = next;
     }
 
@@ -260,5 +378,78 @@ mod tests {
         let ppm = s.to_ppm();
         assert!(ppm.starts_with(b"P6\n2 3\n255\n"));
         assert_eq!(ppm.len(), 11 + 2 * 3 * 3);
+    }
+
+    #[test]
+    fn fill_counts_pixels_drawn() {
+        let mut s = Surface::new(10, 10, WHITE);
+        s.fill_rect(0, 0, 4, 4, RED);
+        assert_eq!(s.take_pixels_drawn(), 16);
+        // Surface clipping bounds the count too.
+        s.fill_rect(-5, -5, 8, 8, RED);
+        assert_eq!(s.take_pixels_drawn(), 9);
+        assert_eq!(s.take_pixels_drawn(), 0, "take resets");
+    }
+
+    #[test]
+    fn clip_limits_writes_and_counts() {
+        let mut s = Surface::new(20, 20, WHITE);
+        s.set_clip(vec![Rect::new(0, 0, 5, 5), Rect::new(10, 10, 5, 5)]);
+        s.fill_rect(0, 0, 20, 20, RED);
+        assert_eq!(s.take_pixels_drawn(), 50);
+        assert_eq!(s.count_pixels(RED), 50);
+        assert_eq!(s.pixel(2, 2), RED);
+        assert_eq!(s.pixel(7, 7), WHITE, "outside the clip is untouched");
+        assert_eq!(s.pixel(12, 12), RED);
+        // put_pixel honors the clip as well (lines, glyphs).
+        s.put_pixel(7, 7, RED);
+        assert_eq!(s.pixel(7, 7), WHITE);
+        assert_eq!(s.take_pixels_drawn(), 0);
+        s.clear_clip();
+        s.put_pixel(7, 7, RED);
+        assert_eq!(s.pixel(7, 7), RED);
+        assert_eq!(s.take_pixels_drawn(), 1);
+    }
+
+    #[test]
+    fn empty_clip_list_means_unclipped() {
+        let mut s = Surface::new(10, 10, WHITE);
+        s.set_clip(Vec::new());
+        assert!(s.clip().is_none());
+        s.fill_rect(0, 0, 10, 10, RED);
+        assert_eq!(s.count_pixels(RED), 100);
+    }
+
+    #[test]
+    fn full_requested_fill_clears_texts_even_clipped() {
+        let m = FontMetrics {
+            char_width: 6,
+            ascent: 10,
+            descent: 3,
+        };
+        let mut s = Surface::new(30, 20, WHITE);
+        s.draw_text(2, 12, "Hi", m, RED);
+        assert_eq!(s.texts.len(), 1);
+        s.set_clip(vec![Rect::new(0, 0, 3, 3)]);
+        s.fill_rect(0, 0, 30, 20, WHITE);
+        assert!(s.texts.is_empty(), "requested-full fill forgets text");
+        s.draw_text(2, 12, "Hi", m, RED);
+        assert_eq!(s.texts.len(), 1, "re-drawn text records under clip");
+    }
+
+    #[test]
+    fn copy_within_scrolls_and_counts_nothing() {
+        let mut s = Surface::new(4, 6, WHITE);
+        s.fill_rect(0, 0, 4, 2, RED);
+        s.take_pixels_drawn();
+        // Scroll the top band down two rows (overlapping copy).
+        s.copy_within(0, 0, 4, 4, 0, 2);
+        assert_eq!(s.pixel(0, 2), RED);
+        assert_eq!(s.pixel(3, 3), RED);
+        assert_eq!(s.pixel(0, 0), RED, "source rows left in place");
+        assert_eq!(s.take_pixels_drawn(), 0, "a blit is not rasterization");
+        // Out-of-bounds parts are skipped, not wrapped.
+        s.copy_within(0, 0, 4, 6, 2, -1);
+        assert_eq!(s.pixel(2, 0), RED);
     }
 }

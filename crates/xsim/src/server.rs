@@ -13,6 +13,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use crate::atom::{Atom, AtomTable};
 use crate::color::{lookup_color, Colormap, Rgb};
 use crate::cursor::CursorTable;
+use crate::damage::Rect;
 use crate::event::{mask, state, Event, Keysym};
 use crate::fault::{FaultAction, FaultPlan, XError};
 use crate::font::{FontMetrics, FontTable};
@@ -42,6 +43,10 @@ pub struct ClientStats {
     /// High-water mark of outstanding pipelined replies (cookies issued
     /// but not yet redeemed).
     pub max_pending_replies: u64,
+    /// Pixels actually rasterized on behalf of this client's drawing
+    /// requests, after clip rectangles are applied. Blits (CopyArea)
+    /// move pixels without rasterizing and do not count.
+    pub pixels_drawn: u64,
 }
 
 /// Capacity of the per-client output buffer; reaching it forces a flush,
@@ -184,6 +189,22 @@ pub(crate) enum QueuedRequest {
         w: u32,
         h: u32,
     },
+    SetClip {
+        id: WindowId,
+        rects: Vec<Rect>,
+    },
+    ClearClip {
+        id: WindowId,
+    },
+    CopyArea {
+        id: WindowId,
+        src_x: i32,
+        src_y: i32,
+        w: u32,
+        h: u32,
+        dst_x: i32,
+        dst_y: i32,
+    },
     SetSelectionOwner {
         selection: Atom,
         owner: WindowId,
@@ -270,6 +291,9 @@ impl QueuedRequest {
             QueuedRequest::DrawLine { .. } => RequestKind::DrawLine,
             QueuedRequest::DrawString { .. } => RequestKind::DrawString,
             QueuedRequest::ClearArea { .. } => RequestKind::ClearArea,
+            QueuedRequest::SetClip { .. } => RequestKind::SetClip,
+            QueuedRequest::ClearClip { .. } => RequestKind::ClearClip,
+            QueuedRequest::CopyArea { .. } => RequestKind::CopyArea,
             QueuedRequest::SetSelectionOwner { .. } => RequestKind::SetSelectionOwner,
             QueuedRequest::ConvertSelection { .. } => RequestKind::ConvertSelection,
             QueuedRequest::SendSelectionNotify { .. } => RequestKind::SendEvent,
@@ -829,17 +853,22 @@ impl Server {
                 x,
                 y,
                 bitmap,
-            } => self.copy_bitmap(id, gc, x, y, bitmap),
+            } => {
+                self.copy_bitmap(id, gc, x, y, bitmap);
+                self.drain_pixels(client, id);
+            }
             QueuedRequest::CreateGc { id, values } => self.gcs.create_with_id(id, values),
             QueuedRequest::ChangeGc { gc, values } => {
                 self.gcs.change(gc, values);
             }
             QueuedRequest::FreeGc { gc } => self.gcs.free(gc),
             QueuedRequest::FillRectangle { id, gc, x, y, w, h } => {
-                self.fill_rectangle(id, gc, x, y, w, h)
+                self.fill_rectangle(id, gc, x, y, w, h);
+                self.drain_pixels(client, id);
             }
             QueuedRequest::DrawRectangle { id, gc, x, y, w, h } => {
-                self.draw_rectangle(id, gc, x, y, w, h)
+                self.draw_rectangle(id, gc, x, y, w, h);
+                self.drain_pixels(client, id);
             }
             QueuedRequest::DrawLine {
                 id,
@@ -848,11 +877,29 @@ impl Server {
                 y0,
                 x1,
                 y1,
-            } => self.draw_line(id, gc, x0, y0, x1, y1),
-            QueuedRequest::DrawString { id, gc, x, y, text } => {
-                self.draw_string(id, gc, x, y, &text)
+            } => {
+                self.draw_line(id, gc, x0, y0, x1, y1);
+                self.drain_pixels(client, id);
             }
-            QueuedRequest::ClearArea { id, x, y, w, h } => self.clear_area(id, x, y, w, h),
+            QueuedRequest::DrawString { id, gc, x, y, text } => {
+                self.draw_string(id, gc, x, y, &text);
+                self.drain_pixels(client, id);
+            }
+            QueuedRequest::ClearArea { id, x, y, w, h } => {
+                self.clear_area(id, x, y, w, h);
+                self.drain_pixels(client, id);
+            }
+            QueuedRequest::SetClip { id, rects } => self.set_clip(id, rects),
+            QueuedRequest::ClearClip { id } => self.clear_clip(id),
+            QueuedRequest::CopyArea {
+                id,
+                src_x,
+                src_y,
+                w,
+                h,
+                dst_x,
+                dst_y,
+            } => self.copy_area(id, src_x, src_y, w, h, dst_x, dst_y),
             QueuedRequest::SetSelectionOwner { selection, owner } => {
                 self.set_selection_owner(client, selection, owner)
             }
@@ -889,6 +936,23 @@ impl Server {
                 let v = ReplyValue::Geometry(self.get_geometry(id));
                 self.store_reply(client, seq, v);
             }
+        }
+    }
+
+    /// Drains the post-clip rasterized-pixel count accumulated on a
+    /// window's surface and attributes it to the client whose drawing
+    /// request just executed.
+    fn drain_pixels(&mut self, client: ClientId, id: WindowId) {
+        let drawn = match self.tree.get_mut(id) {
+            Some(w) => w.surface.take_pixels_drawn(),
+            None => return,
+        };
+        if drawn == 0 {
+            return;
+        }
+        if let Some(c) = self.clients.get_mut(&client) {
+            c.stats.pixels_drawn += drawn;
+            c.obs.pixels_drawn += drawn;
         }
     }
 
@@ -1237,7 +1301,11 @@ impl Server {
         self.refresh_pointer_window();
     }
 
-    /// Generates Expose for `id` and all its viewable descendants.
+    /// Generates Expose for `id` and all its viewable descendants. The
+    /// whole area of each window is damaged (any finer pending damage
+    /// coalesces away into it) and flushed as a count-sequenced Expose
+    /// batch — with no prior damage this degenerates to one full-area
+    /// Expose with `count == 0`, the classic map/resize behavior.
     fn expose_subtree(&mut self, id: WindowId) {
         let mut stack = vec![id];
         while let Some(w) = stack.pop() {
@@ -1248,15 +1316,56 @@ impl Server {
                 let win = self.tree.get(w).unwrap();
                 (win.width, win.height, win.children.clone())
             };
-            self.deliver(Event::Expose {
-                window: w,
-                x: 0,
-                y: 0,
-                width,
-                height,
-                count: 0,
-            });
+            self.damage_window(w, Rect::new(0, 0, width, height));
+            self.flush_damage(w);
             stack.extend(children);
+        }
+    }
+
+    /// Records damage on a window: the rect is clamped to the window's
+    /// interior and coalesced into its pending-damage list. The damage
+    /// is not delivered until [`Server::flush_damage`]. Counted on the
+    /// owner's observability state.
+    pub fn damage_window(&mut self, id: WindowId, rect: Rect) {
+        let Some(w) = self.tree.get_mut(id) else {
+            return;
+        };
+        let bounds = Rect::new(0, 0, w.width, w.height);
+        let Some(clamped) = rect.intersect(&bounds) else {
+            return;
+        };
+        let coalesced = w.damage.add(clamped);
+        let owner = w.owner;
+        if let Some(c) = self.clients.get_mut(&owner) {
+            c.obs.damage_rects += 1;
+            c.obs.expose_coalesced += coalesced;
+        }
+    }
+
+    /// Delivers a viewable window's pending damage as a sequence of
+    /// Expose events with X11 `count` semantics: each event's `count`
+    /// is the number of Expose events still to come for the window in
+    /// this batch (N−1, N−2, …, 0). A window with no pending damage —
+    /// or one that is not viewable — delivers nothing; damage on an
+    /// unviewable window stays pending until it next becomes viewable.
+    pub fn flush_damage(&mut self, id: WindowId) {
+        if !self.tree.viewable(id) {
+            return;
+        }
+        let Some(w) = self.tree.get_mut(id) else {
+            return;
+        };
+        let rects = w.damage.take();
+        let n = rects.len();
+        for (i, r) in rects.into_iter().enumerate() {
+            self.deliver(Event::Expose {
+                window: id,
+                x: r.x,
+                y: r.y,
+                width: r.w,
+                height: r.h,
+                count: (n - 1 - i) as u32,
+            });
         }
     }
 
@@ -1627,23 +1736,57 @@ impl Server {
         }
     }
 
-    /// Clears an area to the window background (whole window when w/h are 0).
+    /// Clears an area to the window background (whole window when w/h are
+    /// 0). Goes through `fill_rect` so an installed clip applies and the
+    /// rasterized pixels count; a full-window request still clears the
+    /// recorded text overlay even when the clip narrows the raster.
     pub fn clear_area(&mut self, id: WindowId, x: i32, y: i32, w: u32, h: u32) {
         self.draw_requests += 1;
         let Some(win) = self.tree.get(id) else {
             return;
         };
         let bg = self.colormap.rgb(win.background);
-        let full = (x, y) == (0, 0) && (w == 0 || w >= win.width) && (h == 0 || h >= win.height);
         let (w, h) = (
             if w == 0 { win.width } else { w },
             if h == 0 { win.height } else { h },
         );
         let win = self.tree.get_mut(id).unwrap();
-        if full {
-            win.surface.clear(bg);
-        } else {
-            win.surface.fill_rect(x, y, w, h, bg);
+        win.surface.fill_rect(x, y, w, h, bg);
+    }
+
+    /// Installs a clip-rectangle list on a window's surface: subsequent
+    /// drawing rasterizes (and counts) only inside the union of the
+    /// rects. An empty list means unclipped — X's "no clip mask".
+    pub fn set_clip(&mut self, id: WindowId, rects: Vec<Rect>) {
+        if let Some(w) = self.tree.get_mut(id) {
+            w.surface.set_clip(rects);
+        }
+    }
+
+    /// Removes the clip from a window's surface.
+    pub fn clear_clip(&mut self, id: WindowId) {
+        if let Some(w) = self.tree.get_mut(id) {
+            w.surface.clear_clip();
+        }
+    }
+
+    /// Copies a region within one window (XCopyArea with the same
+    /// drawable as source and destination). Moved pixels are not
+    /// re-rasterized, so nothing counts toward `pixels_drawn`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn copy_area(
+        &mut self,
+        id: WindowId,
+        src_x: i32,
+        src_y: i32,
+        w: u32,
+        h: u32,
+        dst_x: i32,
+        dst_y: i32,
+    ) {
+        self.draw_requests += 1;
+        if let Some(win) = self.tree.get_mut(id) {
+            win.surface.copy_within(src_x, src_y, w, h, dst_x, dst_y);
         }
     }
 
@@ -2299,6 +2442,81 @@ mod tests {
         assert_eq!(s.compose_screen().pixel(5, 5), Rgb::new(255, 0, 0));
         s.unmap_window(w);
         assert_eq!(s.compose_screen().pixel(5, 5), Rgb::new(255, 255, 255));
+    }
+
+    fn exposes(events: &[Event]) -> Vec<(i32, i32, u32, u32, u32)> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Expose {
+                    x,
+                    y,
+                    width,
+                    height,
+                    count,
+                    ..
+                } => Some((*x, *y, *width, *height, *count)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn expose_count_sequences_damage_rects() {
+        let (mut s, c) = setup();
+        let root = s.root();
+        let w = s.create_window(c, root, 0, 0, 100, 100, 0).unwrap();
+        s.select_input(c, w, mask::EXPOSURE);
+        s.map_window(w);
+        // Map with no prior damage: one full-area Expose, count 0 — the
+        // shape every count == 0 waiter in the toolkit relies on.
+        let events: Vec<Event> = std::iter::from_fn(|| s.poll_event(c)).collect();
+        assert_eq!(exposes(&events), vec![(0, 0, 100, 100, 0)]);
+
+        // Two disjoint damage rects flush as a batch whose counts step
+        // down to 0 (X11 Expose sequencing).
+        s.damage_window(w, Rect::new(5, 5, 10, 10));
+        s.damage_window(w, Rect::new(40, 40, 10, 10));
+        s.flush_damage(w);
+        let events: Vec<Event> = std::iter::from_fn(|| s.poll_event(c)).collect();
+        let batch = exposes(&events);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0].4, 1);
+        assert_eq!(batch[1].4, 0);
+    }
+
+    #[test]
+    fn map_coalesces_pending_damage_into_full_expose() {
+        let (mut s, c) = setup();
+        let root = s.root();
+        let w = s.create_window(c, root, 0, 0, 80, 60, 0).unwrap();
+        s.select_input(c, w, mask::EXPOSURE);
+        // Damage before the window is viewable stays pending...
+        s.damage_window(w, Rect::new(3, 3, 5, 5));
+        s.flush_damage(w); // not viewable: delivers nothing
+        assert_eq!(s.pending(c), 0);
+        // ...and mapping swallows it into the full-area Expose.
+        s.map_window(w);
+        let events: Vec<Event> = std::iter::from_fn(|| s.poll_event(c)).collect();
+        assert_eq!(exposes(&events), vec![(0, 0, 80, 60, 0)]);
+    }
+
+    #[test]
+    fn damage_clamps_to_window_and_counts_on_owner() {
+        let (mut s, c) = setup();
+        let root = s.root();
+        let w = s.create_window(c, root, 0, 0, 50, 50, 0).unwrap();
+        s.select_input(c, w, mask::EXPOSURE);
+        s.map_window(w);
+        while s.poll_event(c).is_some() {}
+        // Out-of-bounds damage is dropped; straddling damage is clamped.
+        s.damage_window(w, Rect::new(100, 100, 10, 10));
+        s.damage_window(w, Rect::new(40, 40, 20, 20));
+        s.flush_damage(w);
+        let events: Vec<Event> = std::iter::from_fn(|| s.poll_event(c)).collect();
+        assert_eq!(exposes(&events), vec![(40, 40, 10, 10, 0)]);
+        let obs = s.client_obs(c).unwrap();
+        assert!(obs.damage_rects >= 1);
     }
 
     #[test]

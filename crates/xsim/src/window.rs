@@ -8,6 +8,7 @@
 use std::collections::HashMap;
 
 use crate::atom::Atom;
+use crate::damage::DamageList;
 use crate::ids::{ClientId, CursorId, Pixel, WindowId, Xid};
 use crate::render::Surface;
 
@@ -46,6 +47,8 @@ pub struct Window {
     pub properties: HashMap<Atom, String>,
     /// Backing pixels.
     pub surface: Surface,
+    /// Pending damage: areas awaiting Expose delivery, coalesced.
+    pub damage: DamageList,
     /// The client that created the window.
     pub owner: ClientId,
 }
@@ -84,6 +87,7 @@ impl Window {
                 height.max(1),
                 crate::color::Rgb::new(255, 255, 255),
             ),
+            damage: DamageList::new(),
             owner,
         }
     }

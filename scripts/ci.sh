@@ -25,6 +25,12 @@ cargo build --release --workspace --offline --locked
 echo "==> cargo test -q"
 cargo test -q --workspace --offline --locked
 
+# The golden-frame suite must be deterministic run to run, not just
+# within a process: render twice, in two separate invocations.
+echo "==> golden frames (twice, for determinism)"
+cargo test -q --offline --locked --test golden_frames
+cargo test -q --offline --locked --test golden_frames
+
 echo "==> bench --check-budgets"
 cargo run -p tk-bench --release --offline --locked --bin bench -- --check-budgets
 

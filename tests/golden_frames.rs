@@ -1,0 +1,398 @@
+//! Golden-frame regression suite: every widget class renders into the
+//! simulated framebuffer, and the result is diffed against a checked-in
+//! golden image in `tests/golden/`. A golden file stores the frame as
+//! run-length-encoded rows (`N@RRGGBB`, with a `K*` prefix collapsing K
+//! identical rows) plus an FNV hash of the raw framebuffer.
+//!
+//! To bless a new rendering after an intentional change:
+//!
+//! ```text
+//! RTK_BLESS=1 cargo test --test golden_frames
+//! ```
+//!
+//! Every case renders its interface twice in fresh environments and
+//! requires the two frames to match bit for bit before the golden is
+//! consulted — a flaky renderer fails here, not in review.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use tk::{TkApp, TkEnv};
+use xsim::Surface;
+
+/// One golden case: a name (also the file stem) and the script that
+/// builds the interface.
+struct Case {
+    name: &'static str,
+    scripts: &'static [&'static str],
+}
+
+/// Every widget class the toolkit registers, plus a packed composite
+/// and a relief/anchor matrix.
+const CASES: &[Case] = &[
+    Case {
+        name: "label",
+        scripts: &["label .l -text {Golden label}", "pack append . .l {top}"],
+    },
+    Case {
+        name: "button",
+        scripts: &[
+            "button .b -text {Press me} -command {}",
+            "pack append . .b {top}",
+        ],
+    },
+    Case {
+        name: "checkbutton",
+        scripts: &[
+            "checkbutton .c -text {Option on} -variable v",
+            "pack append . .c {top}",
+            "set v 1",
+        ],
+    },
+    Case {
+        name: "radiobutton",
+        scripts: &[
+            "radiobutton .r1 -text Tea -variable drink -value tea",
+            "radiobutton .r2 -text Coffee -variable drink -value coffee",
+            "pack append . .r1 {top} .r2 {top}",
+            "set drink coffee",
+        ],
+    },
+    Case {
+        name: "entry",
+        scripts: &[
+            "entry .e -width 16",
+            "pack append . .e {top}",
+            ".e insert 0 {golden text}",
+            ".e select from 2",
+            ".e select to 7",
+            ".e icursor 7",
+        ],
+    },
+    Case {
+        name: "listbox",
+        scripts: &[
+            "listbox .l -geometry 12x5",
+            "pack append . .l {top}",
+            ".l insert end alpha beta gamma delta epsilon zeta eta",
+            ".l view 1",
+            ".l select from 2",
+            ".l select to 3",
+        ],
+    },
+    Case {
+        name: "scrollbar",
+        scripts: &[
+            "scrollbar .v",
+            "scrollbar .h -orient horizontal",
+            "pack append . .v {right filly} .h {bottom fillx}",
+            ".v set 100 10 20 29",
+            ".h set 50 25 0 24",
+        ],
+    },
+    Case {
+        name: "scale",
+        scripts: &[
+            "scale .k -from 0 -to 100 -length 120 -label Volume",
+            "pack append . .k {top}",
+            ".k set 40",
+        ],
+    },
+    Case {
+        name: "canvas",
+        scripts: &[
+            "canvas .v -geometry 120x80",
+            "pack append . .v {top}",
+            ".v create rectangle 10 10 50 40 -fill red",
+            ".v create oval 60 15 110 55 -fill blue",
+            ".v create line 5 70 115 60 -width 2",
+            ".v create text 20 65 -text golden",
+        ],
+    },
+    Case {
+        name: "message",
+        scripts: &[
+            "message .m -text {A message widget wraps its text onto multiple lines}",
+            "pack append . .m {top}",
+        ],
+    },
+    Case {
+        name: "frame",
+        scripts: &[
+            "frame .f -geometry 90x40 -borderwidth 4 -relief ridge -background SteelBlue",
+            "pack append . .f {top}",
+        ],
+    },
+    Case {
+        name: "menu",
+        scripts: &[
+            "menubutton .mb -text File -menu .mb.m",
+            "menu .mb.m",
+            ".mb.m add command -label Open -command {}",
+            ".mb.m add command -label Save -command {}",
+            ".mb.m add separator",
+            ".mb.m add checkbutton -label Backup -variable bak",
+            "pack append . .mb {top}",
+            "update",
+            ".mb.m post 40 60",
+        ],
+    },
+    Case {
+        name: "composite",
+        scripts: &[
+            "button .go -text Go -command {}",
+            "label .status -text Ready",
+            "entry .input -width 12",
+            "listbox .files -geometry 10x3",
+            "frame .pad -geometry 20x20 -background gray50",
+            "scrollbar .bar",
+            "pack append . .go {top fillx} .status {top} .input {top} \
+             .bar {right filly} .files {left} .pad {bottom}",
+            ".input insert 0 hello",
+            ".files insert end one two three four",
+        ],
+    },
+    Case {
+        name: "relief_matrix",
+        scripts: &[
+            "label .a -text west -width 14 -anchor w -relief raised -borderwidth 2",
+            "label .b -text center -width 14 -anchor center -relief sunken -borderwidth 2",
+            "label .c -text east -width 14 -anchor e -relief groove -borderwidth 3",
+            "pack append . .a {top} .b {top} .c {top}",
+        ],
+    },
+];
+
+/// Renders a case in a fresh environment and returns the framebuffer.
+fn render(case: &Case) -> Surface {
+    let env = TkEnv::new();
+    let app: TkApp = env.app("golden");
+    for script in case.scripts {
+        if *script == "update" {
+            app.update();
+        } else {
+            app.eval(script)
+                .unwrap_or_else(|e| panic!("case {}: {script}: {e:?}", case.name));
+        }
+    }
+    app.update();
+    env.display().screenshot()
+}
+
+/// FNV-1a over the packed framebuffer words.
+fn hash_surface(s: &Surface) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &p in s.raw_pixels() {
+        h = (h ^ p as u64).wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Encodes one row as `N@RRGGBB` runs.
+fn encode_row(row: &[u32]) -> String {
+    let mut out = String::new();
+    let mut i = 0;
+    while i < row.len() {
+        let p = row[i];
+        let mut n = 1;
+        while i + n < row.len() && row[i + n] == p {
+            n += 1;
+        }
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        let _ = write!(out, "{n}@{p:06X}");
+        i += n;
+    }
+    out
+}
+
+/// Encodes the whole frame: a header, then one line per distinct row
+/// with a `K*` repeat prefix.
+fn encode(s: &Surface) -> String {
+    let w = s.width() as usize;
+    let rows: Vec<String> = s.raw_pixels().chunks(w).map(encode_row).collect();
+    let mut out = format!(
+        "# rtk golden frame; bless with RTK_BLESS=1 cargo test --test golden_frames\n\
+         size {}x{}\nhash {:016x}\n",
+        s.width(),
+        s.height(),
+        hash_surface(s)
+    );
+    let mut i = 0;
+    while i < rows.len() {
+        let mut k = 1;
+        while i + k < rows.len() && rows[i + k] == rows[i] {
+            k += 1;
+        }
+        let _ = writeln!(out, "{k}* {}", rows[i]);
+        i += k;
+    }
+    out
+}
+
+/// Decodes a golden file back to `(width, height, pixels)`.
+fn decode(name: &str, text: &str) -> (u32, u32, Vec<u32>) {
+    let mut width = 0u32;
+    let mut height = 0u32;
+    let mut pixels = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("hash ") {
+            continue;
+        }
+        if let Some(dims) = line.strip_prefix("size ") {
+            let (w, h) = dims.split_once('x').expect("bad size line");
+            width = w.parse().expect("bad width");
+            height = h.parse().expect("bad height");
+            continue;
+        }
+        let (rep, runs) = line.split_once("* ").unwrap_or_else(|| {
+            panic!("golden {name}: malformed line {line:?}");
+        });
+        let rep: usize = rep.parse().expect("bad repeat count");
+        let mut row = Vec::with_capacity(width as usize);
+        for run in runs.split_whitespace() {
+            let (n, hex) = run.split_once('@').expect("bad run");
+            let n: usize = n.parse().expect("bad run length");
+            let p = u32::from_str_radix(hex, 16).expect("bad run color");
+            row.extend(std::iter::repeat(p).take(n));
+        }
+        assert_eq!(
+            row.len(),
+            width as usize,
+            "golden {name}: row length mismatch"
+        );
+        for _ in 0..rep {
+            pixels.extend_from_slice(&row);
+        }
+    }
+    assert_eq!(
+        pixels.len(),
+        (width * height) as usize,
+        "golden {name}: truncated frame"
+    );
+    (width, height, pixels)
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+/// Diffs the rendered frame against the decoded golden, reporting the
+/// first differing pixel with coordinates and both colors.
+fn assert_matches_golden(name: &str, got: &Surface, golden: &(u32, u32, Vec<u32>)) {
+    let (gw, gh, ref gpx) = *golden;
+    assert_eq!(
+        (got.width(), got.height()),
+        (gw, gh),
+        "case {name}: frame size changed"
+    );
+    let raw = got.raw_pixels();
+    if raw == &gpx[..] {
+        return;
+    }
+    let diffs = raw.iter().zip(gpx).filter(|(a, b)| a != b).count();
+    let i = raw.iter().zip(gpx).position(|(a, b)| a != b).unwrap();
+    let (x, y) = (i as u32 % gw, i as u32 / gw);
+    panic!(
+        "case {name}: frame differs from golden at {diffs} pixels.\n\
+         first diff at ({x}, {y}): rendered #{:06X}, golden #{:06X}\n\
+         If the new rendering is intentional, re-bless with:\n\
+         RTK_BLESS=1 cargo test --test golden_frames",
+        raw[i], gpx[i]
+    );
+}
+
+fn run_case(case: &Case) {
+    // Two fresh renders must agree before the golden is even consulted.
+    let first = render(case);
+    let second = render(case);
+    assert_eq!(
+        first.raw_pixels(),
+        second.raw_pixels(),
+        "case {}: rendering is not deterministic",
+        case.name
+    );
+
+    let path = golden_dir().join(format!("{}.golden", case.name));
+    if std::env::var("RTK_BLESS").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        std::fs::write(&path, encode(&first)).expect("write golden");
+        return;
+    }
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "case {}: no golden at {}; generate it with RTK_BLESS=1 cargo test --test golden_frames",
+            case.name,
+            path.display()
+        )
+    });
+    // The stored hash must agree with the stored rows (file integrity),
+    // and the rendered frame must agree with both.
+    let decoded = decode(case.name, &text);
+    let stored_hash = text
+        .lines()
+        .find_map(|l| l.strip_prefix("hash "))
+        .and_then(|h| u64::from_str_radix(h.trim(), 16).ok())
+        .unwrap_or_else(|| panic!("case {}: golden has no hash line", case.name));
+    let mut rehash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &p in &decoded.2 {
+        rehash = (rehash ^ p as u64).wrapping_mul(0x1000_0000_01b3);
+    }
+    assert_eq!(
+        rehash, stored_hash,
+        "case {}: golden file is internally inconsistent (hand-edited?)",
+        case.name
+    );
+    assert_matches_golden(case.name, &first, &decoded);
+}
+
+macro_rules! golden_tests {
+    ($($test:ident => $case:expr;)*) => {
+        $(
+            #[test]
+            fn $test() {
+                run_case(&CASES[$case]);
+            }
+        )*
+    };
+}
+
+golden_tests! {
+    golden_label => 0;
+    golden_button => 1;
+    golden_checkbutton => 2;
+    golden_radiobutton => 3;
+    golden_entry => 4;
+    golden_listbox => 5;
+    golden_scrollbar => 6;
+    golden_scale => 7;
+    golden_canvas => 8;
+    golden_message => 9;
+    golden_frame => 10;
+    golden_menu => 11;
+    golden_composite => 12;
+    golden_relief_matrix => 13;
+}
+
+/// The macro above must cover every case exactly once.
+#[test]
+fn every_case_has_a_test() {
+    assert_eq!(CASES.len(), 14);
+    let mut names: Vec<&str> = CASES.iter().map(|c| c.name).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), CASES.len(), "duplicate case names");
+}
+
+/// The RLE codec must round-trip a frame exactly.
+#[test]
+fn golden_codec_round_trips() {
+    let frame = render(&CASES[12]);
+    let (w, h, px) = decode("round_trip", &encode(&frame));
+    assert_eq!((w, h), (frame.width(), frame.height()));
+    assert_eq!(&px[..], frame.raw_pixels());
+}
