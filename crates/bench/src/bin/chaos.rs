@@ -4,16 +4,25 @@
 //!   chaos --seeds N [--base-seed S]     run N fresh (script, fault) pairs
 //!   chaos --replay SCRIPT FAULT         replay one pair and shrink on failure
 //!   chaos --corpus FILE [--seeds N]     run checked-in pairs first, then N fresh
+//!   chaos --storm ...                   same flags, send-storm mode (3 apps)
 //!
 //! A corpus file holds one `script_seed fault_seed` pair per line
-//! (`#` comments allowed). Exit status is non-zero iff any case panics;
+//! (`#` comments allowed). Exit status is non-zero iff any case fails;
 //! the failing pair, its fault plan, and a greedily shrunk reproducer are
 //! printed so the pair can be checked in as a regression test.
+//!
+//! `--storm` swaps the generic two-app fuzz for the send-storm harness:
+//! three applications exchanging seeded nested/concurrent `send`s under
+//! the same fault plans, checked against the exactly-once-or-clean-error
+//! invariant (a send that "succeeds" must have evaluated exactly once
+//! with the correct result; no send may ever evaluate twice).
 
 use std::process::ExitCode;
 
 use tk_bench::chaos::{
-    generate_ops, generate_plan, run_case, run_ops, shrink, with_quiet_panics, RunStats, SCRIPT_OPS,
+    generate_ops, generate_plan, generate_storm_ops, generate_storm_plan, run_case, run_ops,
+    run_storm_case, run_storm_ops, shrink, shrink_storm, with_quiet_panics, RunStats, SCRIPT_OPS,
+    STORM_APPS, STORM_OPS,
 };
 use xsim::fault::FAULT_KIND_NAMES;
 
@@ -22,6 +31,10 @@ struct Totals {
     tcl_errors: u64,
     faults_injected: u64,
     fault_counts: [u64; FAULT_KIND_NAMES.len()],
+    send_timeouts: u64,
+    send_retries: u64,
+    send_dedup_drops: u64,
+    registry_gc: u64,
 }
 
 impl Totals {
@@ -31,6 +44,10 @@ impl Totals {
             tcl_errors: 0,
             faults_injected: 0,
             fault_counts: [0; FAULT_KIND_NAMES.len()],
+            send_timeouts: 0,
+            send_retries: 0,
+            send_dedup_drops: 0,
+            registry_gc: 0,
         }
     }
 
@@ -41,6 +58,10 @@ impl Totals {
         for (slot, n) in self.fault_counts.iter_mut().zip(stats.fault_counts) {
             *slot += n;
         }
+        self.send_timeouts += stats.send_timeouts;
+        self.send_retries += stats.send_retries;
+        self.send_dedup_drops += stats.send_dedup_drops;
+        self.registry_gc += stats.registry_gc;
     }
 
     fn print(&self) {
@@ -53,12 +74,22 @@ impl Totals {
                 println!("  {name}: {n}");
             }
         }
+        println!(
+            "send rpc: {} timeouts, {} retries, {} dedup drops, {} registry gc",
+            self.send_timeouts, self.send_retries, self.send_dedup_drops, self.registry_gc
+        );
     }
 }
 
-/// Runs one pair; on failure prints the reproducer and returns false.
-fn run_one(script_seed: u64, fault_seed: u64, totals: &mut Totals) -> bool {
-    match run_case(script_seed, fault_seed) {
+/// Runs one pair in the selected mode; on failure prints the reproducer
+/// and returns false.
+fn run_one(script_seed: u64, fault_seed: u64, storm: bool, totals: &mut Totals) -> bool {
+    let result = if storm {
+        run_storm_case(script_seed, fault_seed)
+    } else {
+        run_case(script_seed, fault_seed)
+    };
+    match result {
         Ok(stats) => {
             totals.absorb(&stats);
             true
@@ -71,9 +102,22 @@ fn run_one(script_seed: u64, fault_seed: u64, totals: &mut Totals) -> bool {
                 println!("    {line}");
             }
             println!("  shrinking...");
-            let ops = generate_ops(script_seed, SCRIPT_OPS);
-            let plan = generate_plan(fault_seed);
-            let (min_ops, min_plan) = shrink(&ops, &plan);
+            let (ops, plan) = if storm {
+                (
+                    generate_storm_ops(script_seed, STORM_OPS, STORM_APPS),
+                    generate_storm_plan(fault_seed, STORM_APPS),
+                )
+            } else {
+                (
+                    generate_ops(script_seed, SCRIPT_OPS),
+                    generate_plan(fault_seed),
+                )
+            };
+            let (min_ops, min_plan) = if storm {
+                shrink_storm(&ops, &plan)
+            } else {
+                shrink(&ops, &plan)
+            };
             println!(
                 "  minimal reproducer: {} ops, {} fault specs",
                 min_ops.len(),
@@ -87,10 +131,16 @@ fn run_one(script_seed: u64, fault_seed: u64, totals: &mut Totals) -> bool {
             }
             // Confirm the shrunk case still fails (a flaky shrink would
             // mean nondeterminism, which is itself a bug worth flagging).
-            if run_ops(&min_ops, &min_plan).is_ok() {
+            let still_fails = if storm {
+                run_storm_ops(&min_ops, &min_plan, STORM_APPS).is_err()
+            } else {
+                run_ops(&min_ops, &min_plan).is_err()
+            };
+            if !still_fails {
                 println!("  WARNING: shrunk reproducer no longer fails (nondeterminism?)");
             }
-            println!("  replay with: chaos --replay {script_seed} {fault_seed}");
+            let storm_flag = if storm { "--storm " } else { "" };
+            println!("  replay with: chaos {storm_flag}--replay {script_seed} {fault_seed}");
             false
         }
     }
@@ -123,7 +173,9 @@ fn parse_corpus(path: &str) -> Result<Vec<(u64, u64)>, String> {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: chaos [--seeds N] [--base-seed S] [--corpus FILE] [--replay SCRIPT FAULT]");
+    eprintln!(
+        "usage: chaos [--storm] [--seeds N] [--base-seed S] [--corpus FILE] [--replay SCRIPT FAULT]"
+    );
     ExitCode::from(2)
 }
 
@@ -133,6 +185,7 @@ fn main() -> ExitCode {
     let mut base_seed: u64 = 1;
     let mut corpus: Option<String> = None;
     let mut replay: Option<(u64, u64)> = None;
+    let mut storm = false;
     fn num(it: &mut std::slice::Iter<'_, String>, name: &str) -> Option<u64> {
         let v = it.next().and_then(|v| v.parse().ok());
         if v.is_none() {
@@ -162,6 +215,7 @@ fn main() -> ExitCode {
                 Some(p) => corpus = Some(p.clone()),
                 None => return usage(),
             },
+            "--storm" => storm = true,
             _ => return usage(),
         }
     }
@@ -174,9 +228,9 @@ fn main() -> ExitCode {
         let mut failed = false;
 
         if let Some((s, f)) = replay {
-            let ok = run_one(s, f, &mut totals);
+            let ok = run_one(s, f, storm, &mut totals);
             if ok {
-                println!("replay script_seed={s} fault_seed={f}: no panic");
+                println!("replay script_seed={s} fault_seed={f}: ok");
                 totals.print();
             }
             return if ok {
@@ -196,7 +250,7 @@ fn main() -> ExitCode {
             };
             println!("corpus: {} pairs from {path}", pairs.len());
             for (s, f) in pairs {
-                failed |= !run_one(s, f, &mut totals);
+                failed |= !run_one(s, f, storm, &mut totals);
             }
         }
 
@@ -208,7 +262,7 @@ fn main() -> ExitCode {
                 // neither scripts nor plans.
                 let script_seed = base_seed.wrapping_add(i);
                 let fault_seed = script_seed.wrapping_mul(0x9e3779b97f4a7c15).rotate_left(17);
-                failed |= !run_one(script_seed, fault_seed, &mut totals);
+                failed |= !run_one(script_seed, fault_seed, storm, &mut totals);
             }
         }
 

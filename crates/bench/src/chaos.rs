@@ -117,12 +117,42 @@ pub struct RunStats {
     /// Per-kind fault splits, summed over both connections, indexed like
     /// `xsim::fault::FAULT_KIND_NAMES`.
     pub fault_counts: [u64; FAULT_KIND_COUNT],
+    /// `send` timeouts, summed over all apps (`send_timeouts` counter).
+    pub send_timeouts: u64,
+    /// `send` retries after retryable X errors (`send_retries` counter).
+    pub send_retries: u64,
+    /// Duplicated requests dropped by the receiver dedup window
+    /// (`send_dedup_drops` counter) — each one is a prevented double
+    /// execution.
+    pub send_dedup_drops: u64,
+    /// Stale registry entries pruned (`registry_gc` counter).
+    pub registry_gc: u64,
 }
 
-/// A panic caught while running a case.
+impl RunStats {
+    /// Folds one app's fault-injection and send-RPC observability
+    /// counters into the run totals.
+    fn absorb_app(&mut self, app: &TkApp) {
+        if let Some((injected, counts)) =
+            app.conn().with_obs(|o| (o.faults_injected, o.fault_counts))
+        {
+            self.faults_injected += injected;
+            for (slot, n) in self.fault_counts.iter_mut().zip(counts) {
+                *slot += n;
+            }
+        }
+        self.send_timeouts += app.obs().counter("send_timeouts");
+        self.send_retries += app.obs().counter("send_retries");
+        self.send_dedup_drops += app.obs().counter("send_dedup_drops");
+        self.registry_gc += app.obs().counter("registry_gc");
+    }
+}
+
+/// A panic caught while running a case, or (in storm mode) a violation
+/// of the exactly-once-or-clean-error invariant.
 #[derive(Debug, Clone)]
 pub struct Failure {
-    /// Index of the operation that panicked (`None`: setup or teardown).
+    /// Index of the offending operation (`None`: setup or teardown).
     pub op_index: Option<usize>,
     /// The panic payload, if it was a string.
     pub message: String,
@@ -135,8 +165,8 @@ pub struct Failure {
 impl std::fmt::Display for Failure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self.op_index {
-            Some(i) => write!(f, "panic at op {}: {}", i, self.message),
-            None => write!(f, "panic outside ops: {}", self.message),
+            Some(i) => write!(f, "failure at op {}: {}", i, self.message),
+            None => write!(f, "failure outside ops: {}", self.message),
         }
     }
 }
@@ -162,7 +192,7 @@ pub fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
     r
 }
 
-fn apply(env: &TkEnv, apps: &[TkApp; 2], op: &Op, stats: &mut RunStats) {
+fn apply(env: &TkEnv, apps: &[TkApp], op: &Op, stats: &mut RunStats) {
     match op {
         Op::Tcl(i, s) => {
             if apps[*i].eval(s).is_err() {
@@ -205,14 +235,7 @@ pub fn run_ops(ops: &[Op], plan: &FaultPlan) -> Result<RunStats, Failure> {
         }
         env.dispatch_all();
         for app in &apps {
-            if let Some((injected, counts)) =
-                app.conn().with_obs(|o| (o.faults_injected, o.fault_counts))
-            {
-                stats.faults_injected += injected;
-                for (slot, n) in stats.fault_counts.iter_mut().zip(counts) {
-                    *slot += n;
-                }
-            }
+            stats.absorb_app(app);
         }
         Ok(stats)
     }));
@@ -231,6 +254,237 @@ pub fn run_case(script_seed: u64, fault_seed: u64) -> Result<RunStats, Failure> 
     let ops = generate_ops(script_seed, SCRIPT_OPS);
     let plan = generate_plan(fault_seed);
     run_ops(&ops, &plan)
+}
+
+// ---------------------------------------------------------------------------
+// Send-storm mode: N apps hammering each other with nested/concurrent sends
+// under fault plans. The invariant is stronger than "no panic": every send
+// either returns the correct result exactly once or a clean Tcl error —
+// never a hang, panic, or double execution.
+// ---------------------------------------------------------------------------
+
+/// Applications in a send-storm case (`storm0` .. `storm{N-1}`).
+pub const STORM_APPS: usize = 3;
+/// Operations per generated storm script.
+pub const STORM_OPS: usize = 40;
+/// Request/event horizon for storm fault plans. Larger than the two-app
+/// [`PLAN_HORIZON`]: three apps consume more setup sequence numbers, and
+/// a timed-out send burns a liveness round trip every simulated 25 ms.
+pub const STORM_HORIZON: u64 = 700;
+
+/// One send issued by a storm script, recovered from the op text by
+/// [`storm_sends`]. `target` is the app whose interpreter ultimately
+/// evaluates the `incr` (the innermost hop of a nested send).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StormSend {
+    /// Index into the op list.
+    pub op_index: usize,
+    /// App that issued the send.
+    pub sender: usize,
+    /// App whose interp runs `incr c_{key}`.
+    pub target: usize,
+    /// Unique per-op counter key (`c_{key}`, `ok_{key}`, `r_{key}`).
+    pub key: usize,
+}
+
+/// Generates the deterministic operation list for a storm script seed.
+///
+/// Every send op is self-describing: app `i` evaluates
+/// `set ok_K [catch {send ?-timeout T? stormJ {incr c_K}} r_K]`, so after
+/// the run the invariant checker can read back, per send `K`: whether the
+/// sender saw success (`ok_K` == 0), the result it saw (`r_K`), and how
+/// many times the target actually evaluated the script (`c_K`, unset = 0).
+/// Nested variants route through an intermediate app
+/// (`send stormJ {send stormL {incr c_K}}`) to exercise reentrant
+/// dispatch, including sends that land back on a waiting sender.
+pub fn generate_storm_ops(seed: u64, n: usize, napps: usize) -> Vec<Op> {
+    assert!(napps >= 2, "a storm needs at least two apps");
+    let mut rng = XorShift::new(seed ^ 0x5707_0057);
+    let mut ops = Vec::with_capacity(n);
+    // Mostly short timeouts so lost requests burn little virtual time;
+    // a few defaults keep the 5 s path honest.
+    const TIMEOUTS: [u64; 4] = [150, 300, 600, 1200];
+    for k in 0..n {
+        let app = rng.below(napps as u64) as usize;
+        let op = match rng.below(100) {
+            0..=49 => {
+                // Plain cross-app send.
+                let target = (app + 1 + rng.below(napps as u64 - 1) as usize) % napps;
+                let t = TIMEOUTS[rng.below(4) as usize];
+                Op::Tcl(
+                    app,
+                    format!("set ok_{k} [catch {{send -timeout {t} storm{target} {{if {{[catch {{incr c_{k}}}]}} {{set c_{k} 1}}; set c_{k}}}}} r_{k}]"),
+                )
+            }
+            50..=69 => {
+                // Nested send: app -> mid -> target. `target` may equal
+                // `app`, which sends back into an interpreter that is
+                // itself blocked waiting on the outer reply.
+                let mid = (app + 1 + rng.below(napps as u64 - 1) as usize) % napps;
+                let target = (mid + 1 + rng.below(napps as u64 - 1) as usize) % napps;
+                let t = TIMEOUTS[rng.below(4) as usize];
+                Op::Tcl(
+                    app,
+                    format!(
+                        "set ok_{k} [catch {{send -timeout {t} storm{mid} {{send storm{target} {{if {{[catch {{incr c_{k}}}]}} {{set c_{k} 1}}; set c_{k}}}}}}} r_{k}]"
+                    ),
+                )
+            }
+            70..=77 => {
+                // Default-timeout send (the ~5 s simulated path).
+                let target = (app + 1 + rng.below(napps as u64 - 1) as usize) % napps;
+                Op::Tcl(
+                    app,
+                    format!("set ok_{k} [catch {{send storm{target} {{if {{[catch {{incr c_{k}}}]}} {{set c_{k} 1}}; set c_{k}}}}} r_{k}]"),
+                )
+            }
+            78..=85 => Op::Advance(rng.range(1, 120)),
+            86..=92 => Op::Tcl(app, format!("set local_{k} {}", rng.below(1000))),
+            _ => Op::Tcl(app, "winfo interps".into()),
+        };
+        ops.push(op);
+    }
+    ops
+}
+
+/// Generates the deterministic fault plan for a storm fault seed:
+/// `napps` clients, [`PLAN_FAULTS`] specs, [`STORM_HORIZON`] horizon.
+pub fn generate_storm_plan(seed: u64, napps: usize) -> FaultPlan {
+    FaultPlan::from_seed(seed, PLAN_FAULTS, napps as u32, STORM_HORIZON)
+}
+
+/// Recovers the send manifest from an op list by parsing the fixed op
+/// shape emitted by [`generate_storm_ops`]. Parsing the text (rather than
+/// carrying a side manifest) keeps [`shrink_storm`] trivial: dropping ops
+/// drops their invariant checks with them.
+pub fn storm_sends(ops: &[Op]) -> Vec<StormSend> {
+    let mut sends = Vec::new();
+    for (op_index, op) in ops.iter().enumerate() {
+        let Op::Tcl(sender, script) = op else {
+            continue;
+        };
+        let Some(rest) = script.strip_prefix("set ok_") else {
+            continue;
+        };
+        let Some(key) = rest
+            .split_whitespace()
+            .next()
+            .and_then(|k| k.parse::<usize>().ok())
+        else {
+            continue;
+        };
+        // The innermost hop — the app whose interp runs the `incr` — is
+        // the last `storm<digit>` occurrence in the script.
+        let Some(target) = script
+            .match_indices("storm")
+            .filter_map(|(i, _)| {
+                script[i + 5..]
+                    .chars()
+                    .next()
+                    .and_then(|c| c.to_digit(10))
+                    .map(|d| d as usize)
+            })
+            .last()
+        else {
+            continue;
+        };
+        sends.push(StormSend {
+            op_index,
+            sender: *sender,
+            target,
+            key,
+        });
+    }
+    sends
+}
+
+/// Reads a variable out of an app's interp, `None` if unset or the app's
+/// eval path itself errors.
+fn read_var(app: &TkApp, name: &str) -> Option<String> {
+    app.eval(&format!("set {name}")).ok()
+}
+
+/// Runs an explicit storm op list against an explicit fault plan and
+/// checks the exactly-once-or-clean-error invariant. Returns the caught
+/// panic or invariant violation as a [`Failure`] (`op_index` points at
+/// the offending send op for violations).
+pub fn run_storm_ops(ops: &[Op], plan: &FaultPlan, napps: usize) -> Result<RunStats, Failure> {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let env = TkEnv::new();
+        let apps: Vec<TkApp> = (0..napps).map(|i| env.app(&format!("storm{i}"))).collect();
+        env.dispatch_all();
+        env.display()
+            .with_server(|s| s.install_fault_plan(plan.clone()));
+        let mut stats = RunStats::default();
+        for (i, op) in ops.iter().enumerate() {
+            let r = catch_unwind(AssertUnwindSafe(|| apply(&env, &apps, op, &mut stats)));
+            if let Err(payload) = r {
+                return Err(Failure {
+                    op_index: Some(i),
+                    message: panic_message(payload),
+                    plan: plan.describe(),
+                });
+            }
+            stats.ops = i + 1;
+        }
+        env.dispatch_all();
+        // Invariant sweep: every send evaluated at most once, and a send
+        // that reported success evaluated exactly once with the correct
+        // result. (`ok` == 1 with count 0 is a faulted request; with
+        // count 1 it is a lost *reply* — both are clean-error outcomes.)
+        for send in storm_sends(ops) {
+            let violation = |message: String| Failure {
+                op_index: Some(send.op_index),
+                message,
+                plan: plan.describe(),
+            };
+            let count: u64 = read_var(&apps[send.target], &format!("c_{}", send.key))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0);
+            if count > 1 {
+                return Err(violation(format!(
+                    "double execution: send {} evaluated {} times in storm{}",
+                    send.key, count, send.target
+                )));
+            }
+            if read_var(&apps[send.sender], &format!("ok_{}", send.key)).as_deref() == Some("0") {
+                let r = read_var(&apps[send.sender], &format!("r_{}", send.key));
+                if count != 1 || r.as_deref() != Some("1") {
+                    return Err(violation(format!(
+                        "send {} reported success but count={} result={:?}",
+                        send.key, count, r
+                    )));
+                }
+            }
+        }
+        for app in &apps {
+            stats.absorb_app(app);
+        }
+        Ok(stats)
+    }));
+    match result {
+        Ok(r) => r,
+        Err(payload) => Err(Failure {
+            op_index: None,
+            message: panic_message(payload),
+            plan: plan.describe(),
+        }),
+    }
+}
+
+/// Runs one storm seed pair end to end with [`STORM_APPS`] applications.
+pub fn run_storm_case(script_seed: u64, fault_seed: u64) -> Result<RunStats, Failure> {
+    let ops = generate_storm_ops(script_seed, STORM_OPS, STORM_APPS);
+    let plan = generate_storm_plan(fault_seed, STORM_APPS);
+    run_storm_ops(&ops, &plan, STORM_APPS)
+}
+
+/// [`shrink`] against the storm runner (panics *and* invariant
+/// violations count as failures).
+pub fn shrink_storm(ops: &[Op], plan: &FaultPlan) -> (Vec<Op>, FaultPlan) {
+    shrink_with(ops, plan, |ops, plan| {
+        run_storm_ops(ops, plan, STORM_APPS).is_err()
+    })
 }
 
 /// Greedily shrinks a failing `(ops, plan)` to a minimal still-failing
@@ -329,5 +583,105 @@ mod tests {
     #[test]
     fn plan_generation_is_deterministic() {
         assert_eq!(generate_plan(42).describe(), generate_plan(42).describe());
+    }
+
+    #[test]
+    fn storm_op_generation_is_deterministic_and_multi_app() {
+        let ops = generate_storm_ops(11, STORM_OPS, STORM_APPS);
+        assert_eq!(ops, generate_storm_ops(11, STORM_OPS, STORM_APPS));
+        assert_ne!(ops, generate_storm_ops(12, STORM_OPS, STORM_APPS));
+        let sends = storm_sends(&ops);
+        assert!(!sends.is_empty());
+        assert!(sends
+            .iter()
+            .all(|s| s.sender < STORM_APPS && s.target < STORM_APPS));
+    }
+
+    #[test]
+    fn storm_sends_parses_plain_and_nested_ops() {
+        let ops = vec![
+            Op::Tcl(
+                0,
+                "set ok_3 [catch {send -timeout 150 storm2 {if {[catch {incr c_3}]} {set c_3 1}; set c_3}} r_3]".into(),
+            ),
+            Op::Tcl(
+                1,
+                "set ok_7 [catch {send storm0 {send storm2 {if {[catch {incr c_7}]} {set c_7 1}; set c_7}}} r_7]".into(),
+            ),
+            Op::Advance(5),
+            Op::Tcl(2, "winfo interps".into()),
+        ];
+        assert_eq!(
+            storm_sends(&ops),
+            vec![
+                StormSend {
+                    op_index: 0,
+                    sender: 0,
+                    target: 2,
+                    key: 3
+                },
+                StormSend {
+                    op_index: 1,
+                    sender: 1,
+                    target: 2,
+                    key: 7
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn clean_storm_case_satisfies_the_invariant() {
+        let ops = generate_storm_ops(1, STORM_OPS, STORM_APPS);
+        let stats =
+            run_storm_ops(&ops, &FaultPlan::new(Vec::new()), STORM_APPS).expect("clean storm run");
+        assert!(stats.ops > 0);
+        assert_eq!(stats.faults_injected, 0);
+        assert_eq!(stats.send_timeouts, 0);
+        assert_eq!(stats.send_dedup_drops, 0);
+    }
+
+    #[test]
+    fn faulted_storm_cases_hold_the_invariant() {
+        with_quiet_panics(|| {
+            for seed in 1..=4u64 {
+                let fault_seed = seed.wrapping_mul(0x9e3779b97f4a7c15).rotate_left(17);
+                let r = run_storm_case(seed, fault_seed);
+                assert!(r.is_ok(), "seed {seed}: {}", r.unwrap_err());
+            }
+        });
+    }
+
+    #[test]
+    fn storm_runner_flags_a_double_execution() {
+        // Synthetic violation: the counter is bumped twice behind the
+        // checker's back, so the send op's count lands at 3.
+        let ops = vec![
+            Op::Tcl(1, "set c_0 2".into()),
+            Op::Tcl(
+                0,
+                "set ok_0 [catch {send -timeout 150 storm1 {if {[catch {incr c_0}]} {set c_0 1}; set c_0}} r_0]".into(),
+            ),
+        ];
+        let err = run_storm_ops(&ops, &FaultPlan::new(Vec::new()), STORM_APPS)
+            .expect_err("double execution must be flagged");
+        assert_eq!(err.op_index, Some(1));
+        assert!(err.message.contains("double execution"), "{}", err.message);
+    }
+
+    #[test]
+    fn storm_runner_flags_a_wrong_success_result() {
+        // A send that "succeeded" but whose counter was then unset is a
+        // success-with-wrong-evidence violation.
+        let ops = vec![
+            Op::Tcl(
+                0,
+                "set ok_0 [catch {send -timeout 150 storm1 {if {[catch {incr c_0}]} {set c_0 1}; set c_0}} r_0]".into(),
+            ),
+            Op::Tcl(1, "unset c_0".into()),
+        ];
+        let err = run_storm_ops(&ops, &FaultPlan::new(Vec::new()), STORM_APPS)
+            .expect_err("success without evidence must be flagged");
+        assert!(err.message.contains("reported success"), "{}", err.message);
     }
 }

@@ -426,6 +426,14 @@ impl TkApp {
             self.conn().destroy_window(xid);
         }
         if path == "." {
+            if !self.inner.destroyed.get() {
+                // Deregister from the send registry and take the comm
+                // window down with us: peers' liveness probes (and the
+                // DestroyNotify broadcast) must see this application as
+                // dead, not as a forever-silent send target.
+                crate::send::withdraw(self);
+                self.conn().destroy_window(self.inner.comm);
+            }
             self.inner.destroyed.set(true);
         }
         Ok(())
@@ -843,6 +851,12 @@ impl TkApp {
         if ev.window() == self.inner.comm {
             crate::send::handle_comm_event(self, ev);
             return;
+        }
+        // A DestroyNotify may be for a peer's comm window: fail any
+        // in-flight sends aimed at it fast instead of waiting out the
+        // deadline. (No-op unless the window matches a pending send.)
+        if let Event::DestroyNotify { window } = ev {
+            crate::send::handle_peer_destroyed(self, *window);
         }
         let Some(path) = self.path_of(ev.window()) else {
             return;

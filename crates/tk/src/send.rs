@@ -1,35 +1,89 @@
 //! The `send` command (Section 6).
 //!
-//! `send name command ?arg ...?` evaluates a Tcl command in the named
-//! application and returns its result — a remote procedure call between
-//! applications on the same display. The machinery follows the paper:
+//! `send ?-timeout ms? name command ?arg ...?` evaluates a Tcl command in
+//! the named application and returns its result — a remote procedure call
+//! between applications on the same display. The machinery follows the
+//! paper:
 //!
 //! * every application registers `name → comm-window` in a property named
 //!   `InterpRegistry` on the root window;
-//! * a request is transported by appending to a `TkSendCommand` property
-//!   on the target's comm window (the target hears the `PropertyNotify`);
+//! * a request is transported by appending (server-side `PropModeAppend`,
+//!   so concurrent senders never lose each other's lines) to a
+//!   `TkSendCommand` property on the target's comm window (the target
+//!   hears the `PropertyNotify`);
 //! * the result returns the same way via `TkSendResult` on the sender's
 //!   comm window;
 //! * while waiting, the sender keeps processing events, so nested and
 //!   re-entrant sends work.
+//!
+//! On top of that transport this module layers the RPC hardening:
+//!
+//! * **Deadlines.** The sender waits on the virtual clock, not a spin
+//!   count. A *slow* target keeps the sender pumping events until the
+//!   deadline (default [`DEFAULT_TIMEOUT_MS`], override per call with
+//!   `-timeout ms`); a *dead* target — comm window gone — fails the send
+//!   immediately and prunes the stale registry entry.
+//! * **At-most-once delivery.** Requests carry a per-sender serial; the
+//!   receiver keeps a bounded per-peer window of executed serials and
+//!   drops duplicates (a fault-duplicated `ChangeProperty`, or a retried
+//!   request) without re-evaluating the script.
+//! * **Retry.** Retryable X errors (`BadAlloc`/`BadValue`) on the send
+//!   path's round trips are retried once after a short virtual-time
+//!   backoff.
+//! * **Self-healing registry.** `winfo interps` and the dead-target path
+//!   prune entries whose comm window no longer exists; a `DestroyNotify`
+//!   for a peer's comm window fails that peer's in-flight sends fast.
+//!
+//! Everything is observable through `rtk-obs`: the `send_latency_ms`
+//! histogram and the `send_timeouts` / `send_retries` /
+//! `send_dedup_drops` / `registry_gc` counters.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use tcl::{wrong_args, Code, Exception, TclResult};
-use xsim::{Atom, Event, WindowId, Xid};
+use xsim::{Atom, Event, WindowId, XError, Xid};
 
 use crate::app::TkApp;
 use crate::cache::xerr;
+
+/// Default send deadline, in simulated milliseconds (~5 s, as real Tk's
+/// later `send` used for its own timeout).
+pub const DEFAULT_TIMEOUT_MS: u64 = 5000;
+/// Virtual-time step while waiting quiescent for a slow target.
+const WAIT_TICK_MS: u64 = 25;
+/// Virtual-time backoff before the single retry of a retryable X error.
+const RETRY_BACKOFF_MS: u64 = 10;
+/// Consecutive event-pump rounds allowed before the wait loop forces a
+/// deadline check (guards against a livelocked peer that perpetually
+/// reschedules idle work and never replies).
+const MAX_PUMPS_PER_TICK: u32 = 8;
+/// Executed-serial window kept per peer for duplicate suppression.
+const DEDUP_WINDOW: usize = 128;
+
+/// How a send concluded, filled in from comm-window traffic.
+enum SendOutcome {
+    /// `{serial code result}` came back over `TkSendResult`.
+    Reply(i64, String),
+    /// The target's comm window was destroyed while we waited.
+    TargetDied,
+}
 
 /// Per-application send state.
 #[derive(Default)]
 pub struct SendState {
     next_serial: u64,
-    /// Results by serial, filled in by `TkSendResult` property traffic.
-    results: HashMap<u64, (i64, String)>,
+    /// Outcomes by serial, filled in by `TkSendResult` property traffic
+    /// or by a peer comm window's DestroyNotify.
+    outcomes: HashMap<u64, SendOutcome>,
+    /// In-flight sends: serial → target comm window (so a DestroyNotify
+    /// can fail exactly the sends aimed at the vanished peer).
+    pending: HashMap<u64, WindowId>,
     /// Interned handshake atoms, warmed in one pipelined batch at
     /// `announce` time so the send path never re-interns per call.
     atoms: HashMap<String, Atom>,
+    /// Per-peer (sender comm xid) windows of recently executed serials:
+    /// the receiver side of at-most-once delivery.
+    executed: HashMap<u32, VecDeque<u64>>,
 }
 
 /// Looks up a handshake atom in the per-app cache, interning (one round
@@ -51,6 +105,20 @@ fn cached_atom(app: &TkApp, name: &str) -> Result<Atom, Exception> {
 /// Registers the `send` command and `winfo interps` support bits.
 pub fn register(app: &TkApp) {
     app.register_command("send", cmd_send);
+}
+
+/// Runs a round trip with the send path's retry discipline: a retryable
+/// X error (`BadAlloc`/`BadValue`) gets one retry after a short
+/// virtual-time backoff; everything else surfaces immediately.
+fn retry_once<T>(app: &TkApp, mut f: impl FnMut() -> Result<T, XError>) -> Result<T, XError> {
+    match f() {
+        Err(e) if e.retryable() => {
+            app.inner.obs.incr("send_retries");
+            app.env().advance(RETRY_BACKOFF_MS);
+            f()
+        }
+        r => r,
+    }
 }
 
 /// Adds this application to the root-window registry, uniquifying its
@@ -135,6 +203,12 @@ pub fn withdraw_post_mortem(app: &TkApp) {
 }
 
 /// Names of all registered applications (`winfo interps`).
+///
+/// Self-healing: every entry's comm window is probed (one pipelined batch,
+/// a single flush) and entries whose window no longer exists are pruned
+/// from the registry before the list is returned — a peer that crashed
+/// without withdrawing stops haunting the registry the first time anyone
+/// looks.
 pub fn interps(app: &TkApp) -> Vec<String> {
     let conn = app.conn();
     let Ok(registry) = cached_atom(app, "InterpRegistry") else {
@@ -145,10 +219,26 @@ pub fn interps(app: &TkApp) -> Vec<String> {
         .ok()
         .flatten()
         .unwrap_or_default();
-    parse_registry(&existing)
-        .into_iter()
-        .map(|(n, _)| n)
-        .collect()
+    let entries = parse_registry(&existing);
+    let cookies: Vec<_> = entries
+        .iter()
+        .map(|(_, w)| conn.send_get_geometry(*w))
+        .collect();
+    let mut live: Vec<(String, WindowId)> = Vec::with_capacity(entries.len());
+    let mut pruned = 0u64;
+    for ((name, w), cookie) in entries.into_iter().zip(cookies) {
+        match conn.wait(cookie) {
+            Ok(Some(_)) => live.push((name, w)),
+            Ok(None) => pruned += 1,
+            // Probe faulted: keep the entry — never prune on uncertainty.
+            Err(_) => live.push((name, w)),
+        }
+    }
+    if pruned > 0 {
+        app.inner.obs.add("registry_gc", pruned);
+        conn.change_property(conn.root(), registry, &format_registry(&live));
+    }
+    live.into_iter().map(|(n, _)| n).collect()
 }
 
 fn parse_registry(text: &str) -> Vec<(String, WindowId)> {
@@ -175,25 +265,79 @@ fn format_registry(entries: &[(String, WindowId)]) -> String {
     tcl::format_list(&items)
 }
 
-/// `send name command ?arg ...?`.
-fn cmd_send(app: &TkApp, _interp: &tcl::Interp, argv: &[String]) -> TclResult {
-    if argv.len() < 3 {
-        return Err(wrong_args("send interpName arg ?arg ...?"));
+/// Drops one `(name, comm)` pair from the registry (dead-target GC).
+/// Matching on the pair, not the name alone, means a same-named successor
+/// that re-announced in the meantime is left untouched.
+fn prune_registry_entry(app: &TkApp, name: &str, comm: WindowId) {
+    let conn = app.conn();
+    let Ok(registry) = cached_atom(app, "InterpRegistry") else {
+        return;
+    };
+    let Ok(existing) = conn.get_property(conn.root(), registry) else {
+        return;
+    };
+    let existing = existing.unwrap_or_default();
+    let entries = parse_registry(&existing);
+    let before = entries.len();
+    let kept: Vec<(String, WindowId)> = entries
+        .into_iter()
+        .filter(|(n, w)| !(n == name && *w == comm))
+        .collect();
+    if kept.len() != before {
+        app.inner.obs.incr("registry_gc");
+        conn.change_property(conn.root(), registry, &format_registry(&kept));
     }
-    let target_name = &argv[1];
-    let script = if argv.len() == 3 {
-        argv[2].clone()
+}
+
+/// `send ?-timeout ms? name command ?arg ...?`.
+fn cmd_send(app: &TkApp, _interp: &tcl::Interp, argv: &[String]) -> TclResult {
+    let mut args = &argv[1..];
+    let mut timeout_ms = DEFAULT_TIMEOUT_MS;
+    loop {
+        match args.first().map(String::as_str) {
+            Some("-timeout") => {
+                let Some(v) = args.get(1) else {
+                    return Err(Exception::error("value for \"-timeout\" missing"));
+                };
+                timeout_ms = v.parse().map_err(|_| {
+                    Exception::error(format!("expected non-negative integer but got \"{v}\""))
+                })?;
+                args = &args[2..];
+            }
+            Some("--") => {
+                args = &args[1..];
+                break;
+            }
+            _ => break,
+        }
+    }
+    if args.len() < 2 {
+        return Err(wrong_args("send ?-timeout ms? interpName arg ?arg ...?"));
+    }
+    let target_name = &args[0];
+    let script = if args.len() == 2 {
+        args[1].clone()
     } else {
-        argv[2..].join(" ")
+        args[1..].join(" ")
     };
     // Sending to ourselves is a direct evaluation (as in Tk).
     if *target_name == app.name() {
         return app.interp().eval(&script);
     }
+    let start = app.env().now();
+    let r = send_remote(app, target_name, &script, timeout_ms);
+    app.inner
+        .obs
+        .record_ns("send_latency_ms", app.env().now().saturating_sub(start));
+    r
+}
+
+/// The remote path of `send`: registry lookup, request append, then the
+/// deadline-based wait for the outcome.
+fn send_remote(app: &TkApp, target_name: &str, script: &str, timeout_ms: u64) -> TclResult {
     let conn = app.conn();
     let registry = cached_atom(app, "InterpRegistry")?;
-    let existing = conn
-        .get_property(conn.root(), registry)
+    let existing = retry_once(app, || conn.get_property(conn.root(), registry))
         .map_err(xerr)?
         .unwrap_or_default();
     let target_comm = parse_registry(&existing)
@@ -204,64 +348,147 @@ fn cmd_send(app: &TkApp, _interp: &tcl::Interp, argv: &[String]) -> TclResult {
             Exception::error(format!("no registered interpreter named \"{target_name}\""))
         })?;
 
-    // Compose and append the request to the target's comm property.
+    // Compose the request and append it atomically (PropModeAppend) to
+    // the target's comm property: one one-way request, no read-modify-
+    // write race with concurrent senders.
+    let cmd_atom = cached_atom(app, "TkSendCommand")?;
     let serial = {
         let mut st = app.inner.send.borrow_mut();
         st.next_serial += 1;
-        st.next_serial
+        let serial = st.next_serial;
+        st.pending.insert(serial, target_comm);
+        serial
     };
-    let request = tcl::format_list(&[serial.to_string(), app.inner.comm.0.to_string(), script]);
-    append_to_property(app, target_comm, "TkSendCommand", &request)?;
+    let request = tcl::format_list(&[
+        serial.to_string(),
+        app.inner.comm.0.to_string(),
+        script.to_string(),
+    ]);
+    conn.append_property(target_comm, cmd_atom, &request);
 
-    // Wait for the reply, processing everyone's events (the paper: the
-    // sender waits for the result to come back).
-    for _ in 0..10_000 {
-        if let Some((code, value)) = app.inner.send.borrow_mut().results.remove(&serial) {
-            return if code == 0 {
-                Ok(value)
-            } else {
-                Err(Exception {
-                    code: Code::Error,
-                    msg: value,
-                    trace: vec![format!("invoked from within send to \"{target_name}\"")],
-                })
-            };
-        }
-        if !app.env().dispatch_all() {
-            app.process_pending();
-            if app.inner.send.borrow().results.contains_key(&serial) {
-                continue;
-            }
-            return Err(Exception::error(format!(
-                "target interpreter \"{target_name}\" died or did not respond"
-            )));
-        }
-    }
-    Err(Exception::error(format!(
-        "send to \"{target_name}\" timed out"
-    )))
+    let result = wait_for_outcome(app, target_name, target_comm, serial, timeout_ms);
+    app.inner.send.borrow_mut().pending.remove(&serial);
+    result
 }
 
-/// Appends one line to a property (requests/results queue there until the
-/// owner drains them).
-fn append_to_property(
+/// Waits for a send's outcome with a deadline on the virtual clock,
+/// distinguishing *slow* (keep pumping events, advance simulated time in
+/// small ticks until the deadline) from *dead* (the target's comm window
+/// no longer exists: fail immediately and GC the registry entry).
+fn wait_for_outcome(
     app: &TkApp,
-    window: WindowId,
-    atom_name: &str,
-    line: &str,
-) -> Result<(), Exception> {
-    let conn = app.conn();
-    let atom = cached_atom(app, atom_name)?;
-    let mut value = conn
-        .get_property(window, atom)
-        .map_err(xerr)?
-        .unwrap_or_default();
-    if !value.is_empty() {
-        value.push('\n');
+    target_name: &str,
+    target_comm: WindowId,
+    serial: u64,
+    timeout_ms: u64,
+) -> TclResult {
+    let env = app.env();
+    let deadline = env.now().saturating_add(timeout_ms);
+    let mut pumps = 0u32;
+    loop {
+        // (The outcome is moved out of the borrow before `finish` runs —
+        // `finish` itself needs the send state for registry GC.)
+        let outcome = app.inner.send.borrow_mut().outcomes.remove(&serial);
+        if let Some(outcome) = outcome {
+            return finish(app, target_name, target_comm, outcome);
+        }
+        // Pump everyone's events (the paper: the sender keeps processing
+        // events while it waits, so nested and re-entrant sends work).
+        let progressed = env.dispatch_all();
+        let outcome = app.inner.send.borrow_mut().outcomes.remove(&serial);
+        if let Some(outcome) = outcome {
+            return finish(app, target_name, target_comm, outcome);
+        }
+        if app.destroyed() {
+            // Our own side collapsed (connection death noticed during the
+            // pump) — not the target's fault; say so.
+            return Err(Exception::error(format!(
+                "send to \"{target_name}\" aborted: the sending application has been destroyed"
+            )));
+        }
+        if progressed && pumps < MAX_PUMPS_PER_TICK {
+            pumps += 1;
+            continue;
+        }
+        pumps = 0;
+        // Quiescent without an outcome: is the target slow, or dead?
+        match retry_once(app, || app.conn().get_geometry(target_comm)) {
+            Ok(Some(_)) => {} // alive, just slow — keep waiting
+            Ok(None) => {
+                // Comm window gone: the target died without withdrawing.
+                prune_registry_entry(app, target_name, target_comm);
+                return Err(Exception::error(format!(
+                    "target interpreter \"{target_name}\" died or did not respond"
+                )));
+            }
+            Err(e) => return Err(xerr(e)),
+        }
+        let now = env.now();
+        if now >= deadline {
+            app.inner.obs.incr("send_timeouts");
+            return Err(Exception::error(format!(
+                "send to \"{target_name}\" timed out after {timeout_ms}ms \
+                 (target alive but unresponsive)"
+            )));
+        }
+        env.advance(WAIT_TICK_MS.min(deadline - now));
     }
-    value.push_str(line);
-    conn.change_property(window, atom, &value);
-    Ok(())
+}
+
+/// Converts a concluded send into its Tcl result.
+fn finish(
+    app: &TkApp,
+    target_name: &str,
+    target_comm: WindowId,
+    outcome: SendOutcome,
+) -> TclResult {
+    match outcome {
+        SendOutcome::Reply(0, value) => Ok(value),
+        SendOutcome::Reply(_, msg) => Err(Exception {
+            code: Code::Error,
+            msg,
+            trace: vec![format!("invoked from within send to \"{target_name}\"")],
+        }),
+        SendOutcome::TargetDied => {
+            prune_registry_entry(app, target_name, target_comm);
+            Err(Exception::error(format!(
+                "target interpreter \"{target_name}\" died or did not respond"
+            )))
+        }
+    }
+}
+
+/// Receiver-side at-most-once check: records `serial` in the bounded
+/// per-peer window and reports whether it was already there (a duplicated
+/// or retried request that must not evaluate again).
+fn already_executed(app: &TkApp, sender: u32, serial: u64) -> bool {
+    let mut st = app.inner.send.borrow_mut();
+    let window = st.executed.entry(sender).or_default();
+    if window.contains(&serial) {
+        return true;
+    }
+    window.push_back(serial);
+    if window.len() > DEDUP_WINDOW {
+        window.pop_front();
+    }
+    false
+}
+
+/// Fails in-flight sends aimed at a comm window that just got destroyed
+/// (DestroyNotify broadcast), and drops the dedup history kept for that
+/// peer. Cheap no-op for the DestroyNotify traffic of ordinary windows.
+pub fn handle_peer_destroyed(app: &TkApp, window: WindowId) {
+    let mut st = app.inner.send.borrow_mut();
+    let affected: Vec<u64> = st
+        .pending
+        .iter()
+        .filter(|(_, w)| **w == window)
+        .map(|(s, _)| *s)
+        .collect();
+    for serial in affected {
+        st.outcomes.insert(serial, SendOutcome::TargetDied);
+    }
+    st.executed.remove(&window.0);
 }
 
 /// Handles property traffic on this application's comm window.
@@ -283,71 +510,71 @@ pub fn handle_comm_event(app: &TkApp, ev: &Event) {
         return;
     };
     let conn = app.conn();
-    let name = if *atom == cmd_atom {
-        "TkSendCommand"
+    if *atom == cmd_atom {
+        let Ok(Some(value)) = conn.get_property(app.inner.comm, *atom) else {
+            return;
+        };
+        conn.delete_property(app.inner.comm, *atom);
+        for line in value.lines() {
+            let Ok(fields) = tcl::parse_list(line) else {
+                continue;
+            };
+            if fields.len() != 3 {
+                continue;
+            }
+            let Ok(serial) = fields[0].parse::<u64>() else {
+                continue;
+            };
+            let sender: u32 = fields[1].parse().unwrap_or(0);
+            let script = &fields[2];
+            // At-most-once: a duplicated ChangeProperty (fault injection)
+            // or a retried request is dropped, not re-evaluated. The
+            // serial is recorded *before* the eval so a duplicate arriving
+            // re-entrantly during the eval is suppressed too.
+            if already_executed(app, sender, serial) {
+                app.inner.obs.incr("send_dedup_drops");
+                continue;
+            }
+            // "The Tk of the target application executes the command
+            // and returns the result back to the originating
+            // application."
+            let (code, result) = match app.interp().eval(script) {
+                Ok(v) => (0, v),
+                Err(e) => (1, e.msg),
+            };
+            let reply = tcl::format_list(&[serial.to_string(), code.to_string(), result]);
+            // Best effort: if the sender's window is gone the server
+            // drops the append and the sender's own deadline machinery
+            // reports the failure.
+            conn.append_property(Xid(sender), res_atom, &reply);
+        }
     } else if *atom == res_atom {
-        "TkSendResult"
-    } else {
-        return;
-    };
-    match name {
-        "TkSendCommand" => {
-            let Ok(Some(value)) = conn.get_property(app.inner.comm, *atom) else {
-                return;
+        let Ok(Some(value)) = conn.get_property(app.inner.comm, *atom) else {
+            return;
+        };
+        conn.delete_property(app.inner.comm, *atom);
+        for line in value.lines() {
+            let Ok(fields) = tcl::parse_list(line) else {
+                continue;
             };
-            conn.delete_property(app.inner.comm, *atom);
-            for line in value.lines() {
-                let Ok(fields) = tcl::parse_list(line) else {
-                    continue;
-                };
-                if fields.len() != 3 {
-                    continue;
-                }
-                let serial = &fields[0];
-                let sender: u32 = fields[1].parse().unwrap_or(0);
-                let script = &fields[2];
-                // "The Tk of the target application executes the command
-                // and returns the result back to the originating
-                // application."
-                let (code, result) = match app.interp().eval(script) {
-                    Ok(v) => (0, v),
-                    Err(e) => (1, e.msg),
-                };
-                let reply = tcl::format_list(&[serial.clone(), code.to_string(), result]);
-                // Best effort: if the reply cannot be delivered (sender's
-                // window gone, connection faulted) the sender times out.
-                let _ = append_to_property(app, Xid(sender), "TkSendResult", &reply);
+            if fields.len() != 3 {
+                continue;
+            }
+            if let (Ok(serial), Ok(code)) = (fields[0].parse::<u64>(), fields[1].parse::<i64>()) {
+                app.inner
+                    .send
+                    .borrow_mut()
+                    .outcomes
+                    .insert(serial, SendOutcome::Reply(code, fields[2].clone()));
             }
         }
-        "TkSendResult" => {
-            let Ok(Some(value)) = conn.get_property(app.inner.comm, *atom) else {
-                return;
-            };
-            conn.delete_property(app.inner.comm, *atom);
-            for line in value.lines() {
-                let Ok(fields) = tcl::parse_list(line) else {
-                    continue;
-                };
-                if fields.len() != 3 {
-                    continue;
-                }
-                if let (Ok(serial), Ok(code)) = (fields[0].parse::<u64>(), fields[1].parse::<i64>())
-                {
-                    app.inner
-                        .send
-                        .borrow_mut()
-                        .results
-                        .insert(serial, (code, fields[2].clone()));
-                }
-            }
-        }
-        _ => {}
     }
 }
 
 #[cfg(test)]
 mod tests {
     use crate::app::TkEnv;
+    use xsim::{FaultPlan, XErrorCode};
 
     #[test]
     fn send_evaluates_in_target() {
@@ -428,5 +655,143 @@ mod tests {
             .unwrap();
         let info = editor.eval(".b configure -text").unwrap();
         assert!(info.contains("running"), "{info}");
+    }
+
+    #[test]
+    fn send_timeout_option_is_parsed_and_validated() {
+        let env = TkEnv::new();
+        let a = env.app("alpha");
+        let _b = env.app("beta");
+        // A generous explicit timeout on a healthy target just works.
+        assert_eq!(a.eval("send -timeout 1000 beta {expr 2+2}").unwrap(), "4");
+        assert_eq!(a.eval("send -- beta {expr 2+3}").unwrap(), "5");
+        let e = a.eval("send -timeout").unwrap_err();
+        assert!(
+            e.msg.contains("value for \"-timeout\" missing"),
+            "{}",
+            e.msg
+        );
+        let e = a.eval("send -timeout abc beta {set x}").unwrap_err();
+        assert!(e.msg.contains("expected non-negative integer"), "{}", e.msg);
+    }
+
+    #[test]
+    fn lost_request_times_out_at_the_deadline_when_target_is_alive() {
+        let env = TkEnv::new();
+        let a = env.app("alpha");
+        let _b = env.app("beta");
+        a.eval("send beta {}").unwrap(); // warm the handshake
+        let seq = a.conn().sequence();
+        // The next send issues GetProperty(registry) at seq+1 (round
+        // trip), then the request append at seq+2 — drop exactly that.
+        env.display()
+            .with_server(|s| s.install_fault_plan(FaultPlan::default().drop_at(1, seq + 2)));
+        let t0 = env.now();
+        let e = a.eval("send -timeout 200 beta {set x 1}").unwrap_err();
+        assert!(e.msg.contains("timed out after 200ms"), "{}", e.msg);
+        assert!(
+            env.now() >= t0 + 200,
+            "the deadline runs on the virtual clock ({} -> {})",
+            t0,
+            env.now()
+        );
+        assert_eq!(a.obs().counter("send_timeouts"), 1);
+        // The transport is not poisoned: the next send works.
+        assert_eq!(a.eval("send beta {expr 1+1}").unwrap(), "2");
+    }
+
+    #[test]
+    fn dead_target_fails_fast_and_is_pruned_from_the_registry() {
+        let env = TkEnv::new();
+        let a = env.app("alpha");
+        let b = env.app("beta");
+        a.eval("send beta {}").unwrap();
+        // Kill beta's comm window server-side without any withdraw — the
+        // registry entry goes stale, as after a crash.
+        let beta_comm = b.inner.comm;
+        env.display().with_server(|s| s.destroy_window(beta_comm));
+        let t0 = env.now();
+        let e = a.eval("send beta {set x 1}").unwrap_err();
+        assert!(e.msg.contains("died or did not respond"), "{}", e.msg);
+        // Dead, not slow: no 5-second deadline was consumed.
+        assert!(env.now() - t0 < super::DEFAULT_TIMEOUT_MS / 2);
+        assert!(a.obs().counter("registry_gc") >= 1);
+        // The stale entry is gone; the next send fails the lookup.
+        let e = a.eval("send beta {set x 1}").unwrap_err();
+        assert!(e.msg.contains("no registered interpreter"), "{}", e.msg);
+    }
+
+    #[test]
+    fn winfo_interps_prunes_stale_entries() {
+        let env = TkEnv::new();
+        let a = env.app("alpha");
+        let b = env.app("beta");
+        let _c = env.app("gamma");
+        let beta_comm = b.inner.comm;
+        env.display().with_server(|s| s.destroy_window(beta_comm));
+        let names = crate::send::interps(&a);
+        assert!(names.contains(&"alpha".to_string()));
+        assert!(names.contains(&"gamma".to_string()));
+        assert!(!names.contains(&"beta".to_string()), "{names:?}");
+        assert_eq!(a.obs().counter("registry_gc"), 1);
+        // The prune rewrote the registry: a second listing is clean
+        // without further GC.
+        let names = crate::send::interps(&a);
+        assert!(!names.contains(&"beta".to_string()));
+        assert_eq!(a.obs().counter("registry_gc"), 1);
+    }
+
+    #[test]
+    fn duplicated_request_evaluates_exactly_once() {
+        let env = TkEnv::new();
+        let a = env.app("alpha");
+        let b = env.app("beta");
+        b.eval("set n 0").unwrap();
+        a.eval("send beta {}").unwrap(); // warm the handshake
+        let seq = a.conn().sequence();
+        // Blanket the next few sequence numbers with duplicate faults:
+        // whichever lands on the request append doubles the line
+        // server-side. (Duplicate faults only apply to buffered one-ways,
+        // so specs landing on round trips never fire.)
+        let mut plan = FaultPlan::default();
+        for s in 1..=6 {
+            plan = plan.duplicate_at(1, seq + s);
+        }
+        env.display().with_server(|s| s.install_fault_plan(plan));
+        let r = a.eval("send beta {incr n}").unwrap();
+        assert_eq!(r, "1", "the first evaluation's result comes back");
+        env.dispatch_all();
+        assert_eq!(
+            b.eval("set n").unwrap(),
+            "1",
+            "the duplicated request must not evaluate twice"
+        );
+        assert!(b.obs().counter("send_dedup_drops") >= 1);
+    }
+
+    #[test]
+    fn retryable_error_on_the_lookup_is_retried_once() {
+        let env = TkEnv::new();
+        let a = env.app("alpha");
+        let _b = env.app("beta");
+        a.eval("send beta {}").unwrap();
+        let seq = a.conn().sequence();
+        // BadAlloc on the registry GetProperty round trip (seq+1).
+        env.display().with_server(|s| {
+            s.install_fault_plan(FaultPlan::default().error_at(1, seq + 1, XErrorCode::BadAlloc))
+        });
+        assert_eq!(a.eval("send beta {expr 6*7}").unwrap(), "42");
+        assert_eq!(a.obs().counter("send_retries"), 1);
+    }
+
+    #[test]
+    fn send_latency_histogram_is_recorded() {
+        let env = TkEnv::new();
+        let a = env.app("alpha");
+        let _b = env.app("beta");
+        a.eval("send beta {}").unwrap();
+        a.eval("send beta {}").unwrap();
+        let h = a.obs().histogram("send_latency_ms").expect("histogram");
+        assert_eq!(h.count(), 2);
     }
 }

@@ -669,6 +669,22 @@ impl Connection {
         );
     }
 
+    /// Appends one line to a property atomically (`PropModeAppend`): the
+    /// server does the concatenation, so the append is a single one-way
+    /// request — no read-modify-write round trip, and no lost update when
+    /// several clients append to the same property.
+    pub fn append_property(&self, id: WindowId, atom: Atom, value: &str) {
+        self.one_way(
+            RequestKind::ChangeProperty,
+            id,
+            QueuedRequest::AppendProperty {
+                id,
+                atom,
+                value: value.to_string(),
+            },
+        );
+    }
+
     /// Reads a property (round trip).
     pub fn get_property(&self, id: WindowId, atom: Atom) -> Result<Option<String>, XError> {
         self.round_trip(RequestKind::GetProperty, id, |s| s.get_property(id, atom))
@@ -1394,6 +1410,49 @@ mod tests {
         c.change_property(w, a, "twice"); // seq 3, applied twice (idempotent)
         c.flush();
         assert_eq!(c.get_property(w, a).unwrap(), Some("twice".to_string()));
+        let faults = c.with_obs(|o| o.fault_kind_counts()).unwrap();
+        assert_eq!(faults, vec![("duplicate", 1)]);
+    }
+
+    #[test]
+    fn append_property_is_atomic_across_clients() {
+        // Two clients append to the same property with their one-ways
+        // interleaved in their output buffers; the server-side append
+        // keeps every line (the get+change emulation would lose one).
+        let d = Display::new();
+        let c1 = d.connect();
+        let c2 = d.connect();
+        let a = c1.intern_atom("QUEUE").unwrap();
+        let root = c1.root();
+        c1.append_property(root, a, "from-c1");
+        c2.append_property(root, a, "from-c2");
+        c1.append_property(root, a, "again-c1");
+        c1.flush();
+        c2.flush();
+        let value = c1.get_property(root, a).unwrap().unwrap();
+        let lines: Vec<&str> = value.lines().collect();
+        assert_eq!(lines.len(), 3, "{value:?}");
+        for want in ["from-c1", "from-c2", "again-c1"] {
+            assert!(lines.contains(&want), "{value:?}");
+        }
+    }
+
+    #[test]
+    fn duplicate_fault_doubles_an_appended_line() {
+        // A duplicated AppendProperty is NOT idempotent: the line lands
+        // twice. The tk send layer's serial dedup is what restores
+        // at-most-once semantics on top of this.
+        let d = Display::new();
+        let c = d.connect();
+        let w = c.create_window(c.root(), 0, 0, 10, 10, 0).unwrap(); // seq 1
+        let a = c.intern_atom("P").unwrap(); // seq 2
+        d.with_server(|s| s.install_fault_plan(FaultPlan::default().duplicate_at(0, 3)));
+        c.append_property(w, a, "line"); // seq 3, applied twice
+        c.flush();
+        assert_eq!(
+            c.get_property(w, a).unwrap(),
+            Some("line\nline".to_string())
+        );
         let faults = c.with_obs(|o| o.fault_kind_counts()).unwrap();
         assert_eq!(faults, vec![("duplicate", 1)]);
     }

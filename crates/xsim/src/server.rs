@@ -119,6 +119,11 @@ pub(crate) enum QueuedRequest {
         atom: Atom,
         value: String,
     },
+    AppendProperty {
+        id: WindowId,
+        atom: Atom,
+        value: String,
+    },
     DeleteProperty {
         id: WindowId,
         atom: Atom,
@@ -277,7 +282,9 @@ impl QueuedRequest {
             | QueuedRequest::SetWindowBorder { .. }
             | QueuedRequest::SetOverrideRedirect { .. }
             | QueuedRequest::DefineCursor { .. } => RequestKind::ChangeWindowAttributes,
-            QueuedRequest::ChangeProperty { .. } => RequestKind::ChangeProperty,
+            QueuedRequest::ChangeProperty { .. } | QueuedRequest::AppendProperty { .. } => {
+                RequestKind::ChangeProperty
+            }
             QueuedRequest::DeleteProperty { .. } => RequestKind::DeleteProperty,
             QueuedRequest::FreeColor { .. } => RequestKind::FreeColor,
             QueuedRequest::CreateBitmap { .. } => RequestKind::CreateBitmap,
@@ -842,6 +849,9 @@ impl Server {
             QueuedRequest::DefineCursor { id, cursor } => self.define_cursor(id, cursor),
             QueuedRequest::ChangeProperty { id, atom, value } => {
                 self.change_property(id, atom, value)
+            }
+            QueuedRequest::AppendProperty { id, atom, value } => {
+                self.append_property(id, atom, value)
             }
             QueuedRequest::DeleteProperty { id, atom } => self.delete_property(id, atom),
             QueuedRequest::FreeColor { pixel } => self.colormap.free(pixel),
@@ -1513,6 +1523,28 @@ impl Server {
             return;
         };
         w.properties.insert(atom, value);
+        let time = self.time;
+        self.deliver(Event::PropertyNotify {
+            window: id,
+            atom,
+            deleted: false,
+            time,
+        });
+    }
+
+    /// Appends one line to a property atomically (`PropModeAppend`, ICCCM):
+    /// the concatenation happens server-side, so concurrent appenders can
+    /// never lose each other's data to a get/change race. An existing
+    /// non-empty value gets a `\n` separator first. Generates PropertyNotify.
+    pub fn append_property(&mut self, id: WindowId, atom: Atom, value: String) {
+        let Some(w) = self.tree.get_mut(id) else {
+            return;
+        };
+        let slot = w.properties.entry(atom).or_default();
+        if !slot.is_empty() {
+            slot.push('\n');
+        }
+        slot.push_str(&value);
         let time = self.time;
         self.deliver(Event::PropertyNotify {
             window: id,
@@ -2250,6 +2282,28 @@ mod tests {
         assert_eq!(s.get_property(root, atom), None);
         let ev = s.poll_event(c).unwrap();
         assert!(matches!(ev, Event::PropertyNotify { deleted: true, .. }));
+    }
+
+    #[test]
+    fn append_property_concatenates_with_newline_and_notifies() {
+        let (mut s, c) = setup();
+        let root = s.root();
+        s.select_input(c, root, mask::PROPERTY_CHANGE);
+        let atom = s.atoms.intern("QUEUE");
+        s.append_property(root, atom, "first".into());
+        assert_eq!(s.get_property(root, atom), Some("first".into()));
+        s.append_property(root, atom, "second".into());
+        assert_eq!(s.get_property(root, atom), Some("first\nsecond".into()));
+        let events: Vec<Event> = std::iter::from_fn(|| s.poll_event(c)).collect();
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e, Event::PropertyNotify { deleted: false, .. }))
+                .count(),
+            2
+        );
+        // Appending to a missing window is a no-op, not a crash.
+        s.append_property(Xid(0xdead), atom, "lost".into());
     }
 
     #[test]

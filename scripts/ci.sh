@@ -41,4 +41,11 @@ echo "==> chaos gate (corpus + 200 fresh seeds)"
 cargo run -p tk-bench --release --offline --locked --bin chaos -- \
     --corpus tests/chaos_corpus.txt --seeds 200
 
+# Send-storm gate: three apps exchanging seeded nested/concurrent sends
+# under fault plans, checked against the exactly-once-or-clean-error
+# invariant (docs/SEND.md). Corpus first, then fresh pairs.
+echo "==> send-storm gate (corpus + 120 fresh seeds, 3 apps)"
+cargo run -p tk-bench --release --offline --locked --bin chaos -- \
+    --storm --corpus tests/chaos_storm_corpus.txt --seeds 120
+
 echo "==> ci OK"

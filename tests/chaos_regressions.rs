@@ -9,11 +9,10 @@
 //! expected to surface as Tcl errors, `tkerror` reports, or clean
 //! connection teardown.
 
-use tk_bench::chaos::{generate_ops, generate_plan, run_case, run_ops, SCRIPT_OPS};
-use xsim::fault::FAULT_KIND_COUNT;
+use tk_bench::chaos::{generate_ops, generate_plan, run_case, run_ops, run_storm_case, SCRIPT_OPS};
+use xsim::fault::{FAULT_KIND_COUNT, FAULT_KIND_NAMES};
 
-fn corpus() -> Vec<(u64, u64)> {
-    let text = include_str!("chaos_corpus.txt");
+fn parse_pairs(text: &str) -> Vec<(u64, u64)> {
     text.lines()
         .filter_map(|line| {
             let line = line.split('#').next().unwrap_or("").trim();
@@ -27,6 +26,21 @@ fn corpus() -> Vec<(u64, u64)> {
             ))
         })
         .collect()
+}
+
+fn corpus() -> Vec<(u64, u64)> {
+    parse_pairs(include_str!("chaos_corpus.txt"))
+}
+
+fn storm_corpus() -> Vec<(u64, u64)> {
+    parse_pairs(include_str!("chaos_storm_corpus.txt"))
+}
+
+fn fault_kind_index(name: &str) -> usize {
+    FAULT_KIND_NAMES
+        .iter()
+        .position(|n| *n == name)
+        .expect("known fault kind")
 }
 
 #[test]
@@ -50,12 +64,80 @@ fn the_corpus_exercises_every_fault_kind() {
             *slot += n;
         }
     }
-    for (i, name) in xsim::fault::FAULT_KIND_NAMES.iter().enumerate() {
+    for (i, name) in FAULT_KIND_NAMES.iter().enumerate() {
         assert!(
             totals[i] > 0,
             "corpus no longer exercises fault kind {name}; add a pair that does"
         );
     }
+}
+
+#[test]
+fn every_storm_corpus_pair_holds_the_exactly_once_invariant() {
+    for (script_seed, fault_seed) in storm_corpus() {
+        let r = run_storm_case(script_seed, fault_seed);
+        assert!(
+            r.is_ok(),
+            "storm pair ({script_seed}, {fault_seed}) failed: {}",
+            r.unwrap_err()
+        );
+    }
+}
+
+#[test]
+fn the_storm_corpus_exercises_every_fault_kind() {
+    let mut totals = [0u64; FAULT_KIND_COUNT];
+    for (script_seed, fault_seed) in storm_corpus() {
+        let stats = run_storm_case(script_seed, fault_seed).expect("storm pair must hold");
+        for (slot, n) in totals.iter_mut().zip(stats.fault_counts) {
+            *slot += n;
+        }
+    }
+    for (i, name) in FAULT_KIND_NAMES.iter().enumerate() {
+        assert!(
+            totals[i] > 0,
+            "storm corpus no longer exercises fault kind {name}; add a pair that does"
+        );
+    }
+}
+
+#[test]
+fn storm_replay_is_deterministic() {
+    let (script_seed, fault_seed) = storm_corpus()[0];
+    let a = run_storm_case(script_seed, fault_seed).expect("invariant holds");
+    let b = run_storm_case(script_seed, fault_seed).expect("invariant holds");
+    assert_eq!(a.ops, b.ops);
+    assert_eq!(a.tcl_errors, b.tcl_errors);
+    assert_eq!(a.fault_counts, b.fault_counts);
+    assert_eq!(a.send_timeouts, b.send_timeouts);
+    assert_eq!(a.send_retries, b.send_retries);
+    assert_eq!(a.send_dedup_drops, b.send_dedup_drops);
+}
+
+/// At-most-once delivery under a fault-duplicated request: storm pair
+/// 29's plan fires exactly one fault kind — `duplicate` — on the send
+/// `ChangeProperty`, and the receiver's dedup window must drop the copy
+/// (the storm invariant separately proves the script evaluated once).
+#[test]
+fn a_duplicated_send_request_evaluates_exactly_once() {
+    let stats = run_storm_case(29, 10666449025517213841).expect("invariant holds");
+    assert!(
+        stats.fault_counts[fault_kind_index("duplicate")] >= 1,
+        "plan no longer fires a duplicate fault"
+    );
+    assert!(
+        stats.send_dedup_drops >= 1,
+        "receiver dedup window no longer drops the duplicated request"
+    );
+}
+
+/// The same property holds in the generic two-app fuzz: corpus pair 151
+/// duplicates send traffic and the receiver drops the copy.
+#[test]
+fn two_app_dedup_pair_replays_with_a_drop() {
+    let stats = run_case(151, 11012473023910815089).expect("no panic");
+    assert!(stats.fault_counts[fault_kind_index("duplicate")] >= 1);
+    assert!(stats.send_dedup_drops >= 1);
 }
 
 #[test]

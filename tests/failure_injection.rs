@@ -14,8 +14,10 @@ fn send_to_departed_application_errors_cleanly() {
         b.destroy_window(".").unwrap();
         drop(b);
     }
-    // The registry still names beta, but the application is gone; the
-    // sender must get an error, not hang or crash.
+    // `destroy .` withdraws beta from the registry (and destroys its
+    // comm window), so the sender gets an immediate clean error — either
+    // the post-withdrawal "no registered interpreter" or, if it races
+    // the withdrawal, the dead-comm-window "died" path.
     let e = a.eval("send beta {expr 1+1}").unwrap_err();
     assert!(
         e.msg.contains("died") || e.msg.contains("no registered"),
@@ -23,6 +25,38 @@ fn send_to_departed_application_errors_cleanly() {
         e.msg
     );
     // And the sender still works.
+    assert_eq!(a.eval("expr 2+2").unwrap(), "4");
+}
+
+/// The harder variant: app B does not exit cleanly — its connection is
+/// killed server-side mid-registry, so nothing withdraws its entry. App
+/// A's next send must detect the dead comm window, error cleanly (no
+/// hang, no 10k-spin stall), and prune the stale entry so `winfo
+/// interps` stops advertising the corpse.
+#[test]
+fn send_to_killed_application_errors_cleanly_and_prunes_the_registry() {
+    use xsim::FaultPlan;
+    let env = TkEnv::new();
+    let a = env.app("alpha");
+    let b = env.app("beta");
+    assert_eq!(a.eval("send beta {expr 1+1}").unwrap(), "2");
+    // Kill beta's connection at its next request: `wm title` buffers a
+    // one-way whose flush trips the fault.
+    let seq = b.conn().sequence();
+    env.display()
+        .with_server(|s| s.install_fault_plan(FaultPlan::default().kill_at(2, seq + 1)));
+    let _ = b.eval("wm title . doomed");
+    env.dispatch_all();
+    let e = a.eval("send beta {expr 1+1}").unwrap_err();
+    assert!(
+        e.msg.contains("died") || e.msg.contains("no registered"),
+        "{}",
+        e.msg
+    );
+    // The stale entry is gone: beta is no longer advertised.
+    let interps = a.eval("winfo interps").unwrap();
+    assert!(!interps.contains("beta"), "stale registry entry: {interps}");
+    // And alpha is unharmed.
     assert_eq!(a.eval("expr 2+2").unwrap(), "4");
 }
 
