@@ -16,16 +16,32 @@
 //!   prove determinism) and fails if any counter drifted from the
 //!   checked-in file. An intentional protocol change regenerates the file
 //!   with `--write-budgets` and commits the diff.
+//!
+//! The budgets also pin each deterministic workload's *span-tree shape*
+//! (span counts by kind, parent→child edges, zero orphans) from the causal
+//! tracer, so a pipeline change that re-wires causality fails CI the same
+//! way a protocol change does. Durations stay report-only.
+//!
+//! Three trace-export modes run an instrumented workload suite (a
+//! cross-application send pair with one fault-dropped send, plus the
+//! buttons workload augmented with a bound button and a real click):
+//!
+//! * `bench -- --trace [trace.json]` writes Chrome trace-event JSON
+//!   loadable in Perfetto / `chrome://tracing`;
+//! * `bench -- --trace-folded [trace.folded]` writes folded stacks for
+//!   flamegraph tooling, weighted by wall-clock self time;
+//! * `bench -- --trace-vprofile [trace.vprofile]` writes the deterministic
+//!   virtual-clock profile (same folded format, simulated-ms weights).
 
 use std::time::Instant;
 
-use rtk_obs::{json, Histogram};
+use rtk_obs::{json, Histogram, SpanShape};
 use tk::TkApp;
 use tk_bench::{
     blink_button, create_display_delete_buttons, env_with_apps, fmt_time, scroll_listbox,
     setup_blink, setup_entry, setup_listbox, type_into_entry,
 };
-use xsim::ClientStats;
+use xsim::{ClientStats, FaultPlan, RequestKind};
 
 /// The counters pinned per workload, in file order.
 fn budget_fields(stats: &ClientStats) -> [(&'static str, u64); 7] {
@@ -59,21 +75,37 @@ fn incremental_workloads() -> [IncrWorkload; 3] {
     ]
 }
 
+/// One budget run: workload name, iterations, protocol counters, and (for
+/// the workloads whose causal pipeline CI pins) the span-tree shape.
+type BudgetRun = (&'static str, u64, ClientStats, Option<SpanShape>);
+
+/// Aggregates the span-tree shape across every application in a workload
+/// (a cross-app send involves spans on both sides).
+fn shape_of(apps: &[TkApp]) -> SpanShape {
+    let mut shape = SpanShape::default();
+    for app in apps {
+        shape.collect(&app.tracer().snapshot());
+    }
+    shape
+}
+
 /// Runs the deterministic protocol workloads (no synthetic round-trip
 /// cost, reduced iteration counts — the counters scale linearly, so fewer
 /// iterations pin the same behavior) and returns each one's client stats.
-fn budget_workloads() -> Vec<(&'static str, u64, ClientStats)> {
+fn budget_workloads() -> Vec<BudgetRun> {
     let mut out = Vec::new();
 
     let (_env, apps) = env_with_apps(&["alpha", "beta"]);
     let sender = &apps[0];
     sender.eval("send beta {}").unwrap(); // warm the handshake atoms
     sender.conn().reset_obs();
+    apps[1].conn().reset_obs(); // span epoch boundary on the receiver too
     let send_iters = 200;
     for _ in 0..send_iters {
         sender.eval("send beta {}").unwrap();
     }
-    out.push(("send_empty", send_iters, sender.conn().stats()));
+    let send_stats = sender.conn().stats();
+    out.push(("send_empty", send_iters, send_stats, Some(shape_of(&apps))));
 
     let (_env50, apps50) = env_with_apps(&["buttons"]);
     let app = &apps50[0];
@@ -83,7 +115,13 @@ fn budget_workloads() -> Vec<(&'static str, u64, ClientStats)> {
     for _ in 0..button_iters {
         create_display_delete_buttons(app, 50);
     }
-    out.push(("buttons_50", button_iters, app.conn().stats()));
+    let button_stats = app.conn().stats();
+    out.push((
+        "buttons_50",
+        button_iters,
+        button_stats,
+        Some(shape_of(&apps50)),
+    ));
 
     // The incremental workloads in both damage modes. Pinning
     // pixels_drawn for each pair makes the >= 10x repaint win a budget,
@@ -102,7 +140,7 @@ fn budget_workloads() -> Vec<(&'static str, u64, ClientStats)> {
             run(app); // warm caches
             app.eval("obs reset").unwrap();
             run(app);
-            out.push((label, 1, app.conn().stats()));
+            out.push((label, 1, app.conn().stats(), None));
         }
     }
 
@@ -112,12 +150,12 @@ fn budget_workloads() -> Vec<(&'static str, u64, ClientStats)> {
 /// Asserts the damage engine's headline win on the measured counters:
 /// each incremental workload rasterizes at least 10x fewer pixels than
 /// its full-redraw twin.
-fn check_damage_ratios(runs: &[(&'static str, u64, ClientStats)]) {
+fn check_damage_ratios(runs: &[BudgetRun]) {
     for base in ["type_entry", "scroll_listbox", "blink_button"] {
         let pixels = |n: &str| {
             runs.iter()
                 .find(|(name, ..)| *name == n)
-                .map(|(_, _, s)| s.pixels_drawn)
+                .map(|(_, _, s, _)| s.pixels_drawn)
                 .unwrap_or_else(|| panic!("missing workload {n}"))
         };
         let damage = pixels(base);
@@ -130,13 +168,16 @@ fn check_damage_ratios(runs: &[(&'static str, u64, ClientStats)]) {
     }
 }
 
-fn budgets_to_json(runs: &[(&'static str, u64, ClientStats)]) -> String {
+fn budgets_to_json(runs: &[BudgetRun]) -> String {
     let mut workloads = json::Object::new();
-    for (name, iters, stats) in runs {
+    for (name, iters, stats, shape) in runs {
         let mut w = json::Object::new();
         w.field_u64("iters", *iters);
         for (field, value) in budget_fields(stats) {
             w.field_u64(field, value);
+        }
+        if let Some(shape) = shape {
+            w.field_raw("spans", &shape.to_json());
         }
         workloads.field_raw(name, &w.build());
     }
@@ -153,14 +194,19 @@ fn budgets_to_json(runs: &[(&'static str, u64, ClientStats)]) -> String {
 
 /// Runs the budget workloads twice; aborts if the two runs disagree
 /// (the budgets are only enforceable because the counts are exact).
-fn measured_budgets() -> Vec<(&'static str, u64, ClientStats)> {
+fn measured_budgets() -> Vec<BudgetRun> {
     let first = budget_workloads();
     let second = budget_workloads();
-    for ((name, _, a), (_, _, b)) in first.iter().zip(&second) {
+    for ((name, _, a, sa), (_, _, b, sb)) in first.iter().zip(&second) {
         assert_eq!(
             a, b,
             "workload {name} is not deterministic: two identical runs \
              produced different protocol counters"
+        );
+        assert_eq!(
+            sa, sb,
+            "workload {name} is not deterministic: two identical runs \
+             produced different span-tree shapes"
         );
     }
     check_damage_ratios(&first);
@@ -182,7 +228,7 @@ fn check_budgets(path: &str) {
         .unwrap_or_else(|| panic!("{path}: missing \"workloads\""));
 
     let mut failures = Vec::new();
-    for (name, iters, stats) in measured_budgets() {
+    for (name, iters, stats, shape) in measured_budgets() {
         let Some(budget) = expected.get(name) else {
             failures.push(format!("workload {name}: missing from {path}"));
             continue;
@@ -204,6 +250,28 @@ fn check_budgets(path: &str) {
                 None => failures.push(format!("workload {name}: budget lacks field {field}")),
             }
         }
+        if let Some(got) = shape {
+            if got.orphans != 0 || got.open != 0 {
+                failures.push(format!(
+                    "workload {name}: span tree is not well formed \
+                     ({} orphans, {} still open)",
+                    got.orphans, got.open
+                ));
+            }
+            match budget.get("spans").map(SpanShape::from_value) {
+                Some(Some(want)) if want == got => {}
+                Some(Some(want)) => failures.push(format!(
+                    "workload {name}: span-tree shape drifted from budget\n    \
+                     budget: {}\n    measured: {}",
+                    want.to_json(),
+                    got.to_json()
+                )),
+                Some(None) => failures.push(format!("workload {name}: malformed spans budget")),
+                None => failures.push(format!(
+                    "workload {name}: budget lacks a spans shape — regenerate the budgets"
+                )),
+            }
+        }
         println!("budget ok: {name} ({iters} iters)");
     }
 
@@ -219,6 +287,100 @@ fn check_budgets(path: &str) {
         std::process::exit(1);
     }
     println!("request budgets OK ({path})");
+}
+
+/// Runs the trace-instrumented workloads and returns each application's
+/// span records, named for the exporters (one Chrome `pid` per app).
+fn traced_workloads() -> Vec<(String, Vec<rtk_obs::SpanRecord>)> {
+    let mut out = Vec::new();
+
+    // Cross-application sends: the sender's "send" span and the receiver's
+    // "send.eval" span share the property serial as their correlation key.
+    // The last send has its AppendProperty dropped by a fault plan, so the
+    // trace carries a "fault" instant and the deadline wait gives that
+    // send span a nonzero virtual-clock duration.
+    let (env, apps) = env_with_apps(&["alpha", "beta"]);
+    let sender = &apps[0];
+    sender.eval("send beta {}").unwrap(); // warm the handshake atoms
+    for app in &apps {
+        app.conn().reset_obs();
+    }
+    for _ in 0..3 {
+        sender.eval("send beta {expr 1+1}").unwrap();
+    }
+    // Learn the request offset of a send's AppendProperty from the
+    // protocol trace, then aim a drop fault at the next send's append.
+    sender.eval("obs trace on").unwrap();
+    let s0 = sender.conn().sequence();
+    sender.eval("send beta {expr 1+1}").unwrap();
+    let append_off = sender
+        .conn()
+        .with_obs(|o| {
+            o.trace
+                .iter()
+                .find(|e| e.seq > s0 && e.kind == RequestKind::ChangeProperty)
+                .map(|e| e.seq - s0)
+        })
+        .flatten()
+        .expect("a send must issue a ChangeProperty append");
+    sender.eval("obs trace off").unwrap();
+    let client = sender.conn().client_id().0;
+    let doomed = sender.conn().sequence() + append_off;
+    env.display()
+        .with_server(|s| s.install_fault_plan(FaultPlan::default().drop_at(client, doomed)));
+    let timed_out = sender.eval("send -timeout 200 beta {expr 1+1}").is_err();
+    assert!(timed_out, "the fault-dropped send must time out");
+    env.dispatch_all();
+    for app in &apps {
+        app.tracer()
+            .check_integrity()
+            .expect("send workload span tree");
+        out.push((app.name(), app.tracer().snapshot()));
+    }
+
+    // The buttons workload, augmented with a bound button and a real
+    // pointer click so the full event→dispatch→bind→eval→damage→relayout→
+    // redraw chain shows up alongside the flush/rasterize batches.
+    let (envb, appsb) = env_with_apps(&["buttons"]);
+    let app = &appsb[0];
+    app.eval("button .target -text Go").unwrap();
+    app.eval("pack append . .target {top}").unwrap();
+    app.eval("bind .target <ButtonPress-1> {set hits 1}")
+        .unwrap();
+    app.update();
+    app.conn().reset_obs();
+    create_display_delete_buttons(app, 5);
+    let rec = app.window(".target").unwrap();
+    envb.display()
+        .move_pointer(rec.x.get() + 5, rec.y.get() + 5);
+    envb.display().click(1);
+    envb.dispatch_all();
+    app.tracer()
+        .check_integrity()
+        .expect("buttons workload span tree");
+    out.push((app.name(), app.tracer().snapshot()));
+
+    out
+}
+
+/// Runs the traced suite and writes one of the three export formats.
+fn write_trace(path: &str, format: &str) {
+    let traces = traced_workloads();
+    let total: usize = traces.iter().map(|(_, s)| s.len()).sum();
+    let text = match format {
+        "chrome" => {
+            let t = rtk_obs::span::chrome_trace(&traces);
+            assert!(json::is_valid(&t), "chrome trace must be valid JSON");
+            t
+        }
+        "folded" => rtk_obs::span::folded_stacks(&traces),
+        _ => rtk_obs::span::virtual_profile(&traces),
+    };
+    std::fs::write(path, text).expect("write trace file");
+    println!(
+        "wrote {path} ({total} spans from {} applications, {format} format)",
+        traces.len()
+    );
 }
 
 /// Times `iters` runs of `f`, recording each run into a histogram.
@@ -254,6 +416,21 @@ fn main() {
             check_budgets(args.get(1).map_or("BUDGETS.json", String::as_str));
             return;
         }
+        Some("--trace") => {
+            write_trace(args.get(1).map_or("trace.json", String::as_str), "chrome");
+            return;
+        }
+        Some("--trace-folded") => {
+            write_trace(args.get(1).map_or("trace.folded", String::as_str), "folded");
+            return;
+        }
+        Some("--trace-vprofile") => {
+            write_trace(
+                args.get(1).map_or("trace.vprofile", String::as_str),
+                "vprofile",
+            );
+            return;
+        }
         _ => {}
     }
     let out_path = args
@@ -287,6 +464,10 @@ fn main() {
     let h_send = measure(send_iters, || {
         sender.eval("send beta {}").unwrap();
     });
+    // One extra iteration with the protocol trace ring recording, so the
+    // dump carries real trace samples (the timed loop stays untraced).
+    sender.eval("obs trace on").unwrap();
+    sender.eval("send beta {}").unwrap();
     let send_protocol = sender.conn().obs_json();
     println!(
         "send_empty:  p50 {}",
@@ -306,8 +487,12 @@ fn main() {
     let h_buttons = measure(button_iters, || {
         create_display_delete_buttons(app, 50);
     });
-    let buttons_dump = tk::obs_cmd::dump_json(app);
+    // Snapshot the counters before the traced extra iteration so the
+    // per-iteration arithmetic below stays exact.
     let stats = app.conn().stats();
+    app.eval("obs trace on").unwrap();
+    create_display_delete_buttons(app, 50);
+    let buttons_dump = tk::obs_cmd::dump_json(app);
     println!(
         "buttons_50:  p50 {} ({} requests, {} round trips, {} flushes per iteration)",
         fmt_time(h_buttons.quantile(0.5) as f64 * 1e-9),

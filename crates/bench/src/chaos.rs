@@ -127,6 +127,11 @@ pub struct RunStats {
     pub send_dedup_drops: u64,
     /// Stale registry entries pruned (`registry_gc` counter).
     pub registry_gc: u64,
+    /// Causal spans recorded across all apps (the tracer is always on).
+    pub spans_recorded: u64,
+    /// Aggregated span-tree shape across all apps, for well-formedness
+    /// assertions (zero orphans, zero dangling-open spans at quiescence).
+    pub span_shape: rtk_obs::SpanShape,
 }
 
 impl RunStats {
@@ -145,6 +150,9 @@ impl RunStats {
         self.send_retries += app.obs().counter("send_retries");
         self.send_dedup_drops += app.obs().counter("send_dedup_drops");
         self.registry_gc += app.obs().counter("registry_gc");
+        let spans = app.tracer().snapshot();
+        self.spans_recorded += spans.len() as u64;
+        self.span_shape.collect(&spans);
     }
 }
 
@@ -234,6 +242,7 @@ pub fn run_ops(ops: &[Op], plan: &FaultPlan) -> Result<RunStats, Failure> {
             stats.ops = i + 1;
         }
         env.dispatch_all();
+        check_span_integrity(&apps, plan)?;
         for app in &apps {
             stats.absorb_app(app);
         }
@@ -247,6 +256,23 @@ pub fn run_ops(ops: &[Op], plan: &FaultPlan) -> Result<RunStats, Failure> {
             plan: plan.describe(),
         }),
     }
+}
+
+/// Asserts that every app's causal span tree stayed well formed (no
+/// orphaned parents, no dangling open spans at quiescence) — faults may
+/// drop requests and kill connections, but they must never corrupt the
+/// trace. A violation is a [`Failure`] like any other invariant break.
+fn check_span_integrity(apps: &[TkApp], plan: &FaultPlan) -> Result<(), Failure> {
+    for app in apps {
+        if let Err(msg) = app.tracer().check_integrity() {
+            return Err(Failure {
+                op_index: None,
+                message: format!("span integrity in {}: {msg}", app.name()),
+                plan: plan.describe(),
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Runs one seed pair end to end.
@@ -457,6 +483,7 @@ pub fn run_storm_ops(ops: &[Op], plan: &FaultPlan, napps: usize) -> Result<RunSt
                 }
             }
         }
+        check_span_integrity(&apps, plan)?;
         for app in &apps {
             stats.absorb_app(app);
         }

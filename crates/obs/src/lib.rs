@@ -12,6 +12,8 @@
 //!   dependencies, constant memory, O(1) record);
 //! * [`Span`] — a drop guard that times a scope into a histogram;
 //! * [`Ring`] — a bounded ring buffer for trace entries;
+//! * [`span`] — rtk-trace: causal span records across the pipeline, with
+//!   Chrome trace-event, folded-stack, and virtual-clock-profile exports;
 //! * [`json`] — a tiny hand-rolled JSON emitter used by `obs dump`.
 //!
 //! Everything here is single-threaded (`Cell`/`RefCell`), matching the
@@ -22,7 +24,9 @@ mod hist;
 pub mod json;
 mod registry;
 mod ring;
+pub mod span;
 
 pub use hist::Histogram;
 pub use registry::{Registry, Span};
 pub use ring::Ring;
+pub use span::{SpanGuard, SpanId, SpanRecord, SpanShape, Tracer};

@@ -46,14 +46,22 @@ struct FileHandler {
     last: Option<(u64, std::time::SystemTime)>,
 }
 
-/// A when-idle task.
+/// A when-idle task. Deferred work remembers the span that scheduled it
+/// (`cause`), so the redraw/relayout span executed much later is still a
+/// child of the event that made the window dirty.
 pub(crate) enum IdleTask {
     /// Run a Tcl script.
     Script(String),
     /// Redraw the widget on this path.
-    Redraw(String),
+    Redraw {
+        path: String,
+        cause: rtk_obs::SpanId,
+    },
     /// Recompute a geometry master's layout.
-    Relayout(String),
+    Relayout {
+        master: String,
+        cause: rtk_obs::SpanId,
+    },
 }
 
 /// Pending damage for one scheduled widget redraw.
@@ -70,6 +78,10 @@ pub struct TkEnv {
     display: Display,
     apps: Rc<RefCell<Vec<Weak<AppInner>>>>,
     clock: Rc<Cell<u64>>,
+    /// Shared wall-clock origin for span tracing: every application's
+    /// tracer measures from here, so multi-app traces align on one
+    /// timeline in the Chrome trace export.
+    origin: std::time::Instant,
 }
 
 impl Default for TkEnv {
@@ -85,6 +97,7 @@ impl TkEnv {
             display: Display::new(),
             apps: Rc::new(RefCell::new(Vec::new())),
             clock: Rc::new(Cell::new(0)),
+            origin: std::time::Instant::now(),
         }
     }
 
@@ -184,6 +197,10 @@ pub struct AppInner {
     /// Toolkit-level observability: counters and latency histograms for
     /// event dispatch, bindings, redraw, relayout, timers, and idle work.
     pub(crate) obs: rtk_obs::Registry,
+    /// Causal span tracing (rtk-trace): one store per application, shared
+    /// with the X connection so client- and server-side records form one
+    /// tree.
+    pub(crate) tracer: rtk_obs::Tracer,
     timers: RefCell<Vec<Timer>>,
     next_timer: Cell<u64>,
     file_handlers: RefCell<Vec<FileHandler>>,
@@ -217,6 +234,9 @@ impl TkApp {
             .create_window(conn.root(), 0, 0, 1, 1, 0)
             .expect("root window exists");
         conn.select_input(comm, mask::PROPERTY_CHANGE);
+        let tracer = rtk_obs::Tracer::new(env.origin);
+        tracer.set_virtual_clock(env.clock.clone());
+        conn.set_tracer(tracer.clone());
         let inner = Rc::new(AppInner {
             name: RefCell::new(name.to_string()),
             env: env.clone(),
@@ -231,6 +251,7 @@ impl TkApp {
             selection: RefCell::new(SelectionState::default()),
             send: RefCell::new(SendState::default()),
             obs: rtk_obs::Registry::new(),
+            tracer,
             timers: RefCell::new(Vec::new()),
             next_timer: Cell::new(0),
             file_handlers: RefCell::new(Vec::new()),
@@ -314,6 +335,11 @@ impl TkApp {
     /// Toolkit-level observability metrics for this application.
     pub fn obs(&self) -> &rtk_obs::Registry {
         &self.inner.obs
+    }
+
+    /// The causal span tracer (rtk-trace) for this application.
+    pub fn tracer(&self) -> &rtk_obs::Tracer {
+        &self.inner.tracer
     }
 
     /// Evaluates a Tcl script in this application.
@@ -516,6 +542,7 @@ impl TkApp {
     /// Schedules a full-widget redraw (deduplicated). Full damage
     /// swallows any rect damage already pending for the path.
     pub fn schedule_redraw(&self, path: &str) {
+        self.inner.tracer.instant("damage", path, 0);
         self.inner
             .damage
             .borrow_mut()
@@ -531,6 +558,7 @@ impl TkApp {
         if !self.damage_enabled() {
             return self.schedule_redraw(path);
         }
+        self.inner.tracer.instant("damage", path, 0);
         {
             let mut damage = self.inner.damage.borrow_mut();
             match damage.get_mut(path) {
@@ -585,23 +613,33 @@ impl TkApp {
     }
 
     fn push_redraw_task(&self, path: &str) {
+        // The first scheduler's span is the redraw's cause; coalesced
+        // re-schedules keep it (the span that first dirtied the window).
+        let cause = self.inner.tracer.current();
         let mut idle = self.inner.idle.borrow_mut();
         if !idle
             .iter()
-            .any(|t| matches!(t, IdleTask::Redraw(p) if p == path))
+            .any(|t| matches!(t, IdleTask::Redraw { path: p, .. } if p == path))
         {
-            idle.push(IdleTask::Redraw(path.to_string()));
+            idle.push(IdleTask::Redraw {
+                path: path.to_string(),
+                cause,
+            });
         }
     }
 
     /// Schedules a packer relayout of `master` (deduplicated).
     pub fn schedule_relayout(&self, master: &str) {
+        let cause = self.inner.tracer.current();
         let mut idle = self.inner.idle.borrow_mut();
         if !idle
             .iter()
-            .any(|t| matches!(t, IdleTask::Relayout(p) if p == master))
+            .any(|t| matches!(t, IdleTask::Relayout { master: p, .. } if p == master))
         {
-            idle.push(IdleTask::Relayout(master.to_string()));
+            idle.push(IdleTask::Relayout {
+                master: master.to_string(),
+                cause,
+            });
         }
     }
 
@@ -715,7 +753,7 @@ impl TkApp {
                         self.inner.obs.incr("idle.scripts");
                         self.eval_background(&s);
                     }
-                    IdleTask::Redraw(path) => {
+                    IdleTask::Redraw { path, cause } => {
                         self.inner.obs.incr("idle.redraws");
                         let damage = self.inner.damage.borrow_mut().remove(&path);
                         if let Some(rec) = self.window(&path) {
@@ -733,6 +771,8 @@ impl TkApp {
                                     _ => Vec::new(),
                                 };
                                 let span = self.inner.obs.span("redraw_ns");
+                                let _scope = self.inner.tracer.scope(cause);
+                                let _tspan = self.inner.tracer.begin("redraw", &*path, 0);
                                 self.conn().set_clip(rec.xid, rects);
                                 w.redraw(self, &path);
                                 self.conn().clear_clip(rec.xid);
@@ -740,8 +780,9 @@ impl TkApp {
                             }
                         }
                     }
-                    IdleTask::Relayout(master) => {
+                    IdleTask::Relayout { master, cause } => {
                         self.inner.obs.incr("idle.relayouts");
+                        let _scope = self.inner.tracer.scope(cause);
                         crate::pack::relayout(self, &master);
                     }
                 }
@@ -793,6 +834,7 @@ impl TkApp {
     /// instead of hanging the application.
     pub fn update(&self) {
         let span = self.inner.obs.span("update_ns");
+        let _tspan = self.inner.tracer.begin("update", "", 0);
         for _ in 0..100 {
             let events = self.process_pending();
             let idle = self.run_idle_tasks();
@@ -809,6 +851,10 @@ impl TkApp {
     /// Evaluates a script whose errors are reported through `tkerror`
     /// rather than propagated (bindings, timers, idle scripts).
     pub fn eval_background(&self, script: &str) {
+        // The span detail is a short, deterministic script prefix (ASCII
+        // only, so truncation never splits a code point).
+        let prefix: String = script.chars().take(32).collect();
+        let _tspan = self.inner.tracer.begin("eval", prefix, 0);
         if let Err(e) = self.inner.interp.eval(script) {
             if e.code != tcl::Code::Error {
                 return; // break/continue/return at background level: ignore
@@ -831,6 +877,7 @@ impl TkApp {
     pub fn dispatch_event(&self, ev: &Event) {
         self.inner.obs.incr("events.dispatched");
         let dispatch_span = self.inner.obs.span("dispatch_ns");
+        let _tspan = self.inner.tracer.begin("dispatch", ev.name(), 0);
         self.dispatch_event_inner(ev);
         dispatch_span.finish();
     }
@@ -917,6 +964,10 @@ impl TkApp {
                 self.inner.obs.incr("bind.matches");
                 let script = percent_substitute(&script, &info, &path);
                 let span = self.inner.obs.span("bind.script_ns");
+                let _tspan =
+                    self.inner
+                        .tracer
+                        .begin("bind", format!("{path} {}", info.descriptor()), 0);
                 self.eval_background(&script);
                 span.finish();
             } else {

@@ -259,6 +259,18 @@ impl EventInfo {
             _ => return None,
         })
     }
+
+    /// A deterministic `<Kind-detail>` descriptor for this event — the
+    /// label the span tracer records on `dispatch`/`bind` spans (never
+    /// includes coordinates or timestamps, so span details are stable
+    /// run to run).
+    pub fn descriptor(&self) -> String {
+        if self.detail.is_empty() {
+            format!("<{}>", self.kind.name())
+        } else {
+            format!("<{}-{}>", self.kind.name(), self.detail)
+        }
+    }
 }
 
 /// One pattern within a binding sequence.

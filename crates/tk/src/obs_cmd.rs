@@ -9,6 +9,9 @@
 //! obs histogram redraw_ns   ;# one-line latency summary
 //! obs trace on              ;# start recording the protocol trace
 //! obs trace 10              ;# the last 10 protocol requests
+//! obs spans                 ;# causal span tree (rtk-trace)
+//! obs spans flat            ;# one span per line
+//! obs spans json            ;# span records as JSON
 //! obs snapshot              ;# human-readable overview
 //! obs reset                 ;# zero every counter, histogram, and trace
 //! obs dump -format json     ;# machine-readable dump of everything
@@ -58,8 +61,22 @@ fn cmd_obs(app: &TkApp, _interp: &tcl::Interp, argv: &[String]) -> TclResult {
             }
             None => Ok(trace_lines(app, usize::MAX)),
         },
+        "spans" => {
+            let spans = app.tracer().snapshot();
+            match argv.get(2).map(String::as_str) {
+                None | Some("tree") => Ok(rtk_obs::span::spans_to_tree(&spans)),
+                Some("flat") => Ok(rtk_obs::span::spans_to_flat(&spans)),
+                Some("json") => Ok(rtk_obs::span::spans_to_json(&spans)),
+                Some(other) => Err(Exception::error(format!(
+                    "bad format \"{other}\": must be tree, flat, or json"
+                ))),
+            }
+        }
         "snapshot" => Ok(snapshot(app)),
         "reset" => {
+            // `reset_obs` starts a new tracer epoch server-side (the span
+            // store clears and in-flight spans re-parent to the new root),
+            // so spans stay scoped to the same epoch as every counter.
             app.conn().reset_obs();
             app.obs().reset();
             app.cache().reset_stats();
@@ -86,7 +103,8 @@ fn cmd_obs(app: &TkApp, _interp: &tcl::Interp, argv: &[String]) -> TclResult {
             Ok(dump_json(app))
         }
         other => Err(Exception::error(format!(
-            "bad option \"{other}\": must be counters, histogram, trace, snapshot, reset, or dump"
+            "bad option \"{other}\": must be counters, histogram, trace, spans, snapshot, \
+             reset, or dump"
         ))),
     }
 }
@@ -241,6 +259,14 @@ fn snapshot(app: &TkApp) -> String {
             "off"
         }
     ));
+    let t = app.tracer();
+    out.push_str(&format!(
+        "spans: {} recorded (epoch {}, {} open, {} dropped)\n",
+        t.len(),
+        t.epoch(),
+        t.open_count(),
+        t.dropped()
+    ));
     out.pop();
     out
 }
@@ -271,12 +297,35 @@ pub fn dump_json(app: &TkApp) -> String {
     bind.field_u64("considered", considered);
     bind.field_u64("matched", matched);
 
+    let t = app.tracer();
+    let span_records = t.snapshot();
+    let mut shape = rtk_obs::SpanShape::default();
+    shape.collect(&span_records);
+    let mut stages = rtk_obs::json::Array::new();
+    for (kind, count, ns, vms) in rtk_obs::span::stage_totals(&span_records) {
+        let mut st = rtk_obs::json::Object::new();
+        st.field_str("kind", &kind)
+            .field_u64("count", count)
+            .field_u64("total_ns", ns)
+            .field_u64("total_vms", vms);
+        stages.push_raw(&st.build());
+    }
+    let mut spans = rtk_obs::json::Object::new();
+    spans
+        .field_u64("count", span_records.len() as u64)
+        .field_u64("epoch", t.epoch())
+        .field_u64("open", t.open_count() as u64)
+        .field_u64("dropped", t.dropped())
+        .field_raw("stages", &stages.build())
+        .field_raw("shape", &shape.to_json());
+
     let mut o = rtk_obs::json::Object::new();
     o.field_str("app", &app.name());
     o.field_raw("protocol", &protocol.build());
     o.field_raw("cache", &app.cache().stats_json());
     o.field_raw("bind", &bind.build());
     o.field_raw("toolkit", &app.obs().to_json());
+    o.field_raw("spans", &spans.build());
     o.build()
 }
 
@@ -327,6 +376,30 @@ mod tests {
     }
 
     #[test]
+    fn spans_subcommand_renders_tree_flat_and_json() {
+        let env = TkEnv::new();
+        let app = env.app("t");
+        app.eval("button .b -text hi; pack append . .b {top}")
+            .unwrap();
+        app.update();
+        let tree = app.eval("obs spans").unwrap();
+        assert!(tree.contains("update"), "{tree}");
+        assert!(tree.contains("redraw"), "{tree}");
+        assert!(tree.contains("relayout"), "{tree}");
+        let flat = app.eval("obs spans flat").unwrap();
+        assert!(flat.lines().count() >= tree.lines().count(), "{flat}");
+        let json = app.eval("obs spans json").unwrap();
+        assert!(rtk_obs::json::is_valid(&json), "{json}");
+        assert!(json.contains("\"kind\":\"flush\""), "{json}");
+        let err = app.eval("obs spans csv").unwrap_err();
+        assert!(
+            err.msg.contains("must be tree, flat, or json"),
+            "{}",
+            err.msg
+        );
+    }
+
+    #[test]
     fn dump_is_valid_json() {
         let env = TkEnv::new();
         let app = env.app("t");
@@ -340,6 +413,8 @@ mod tests {
         assert!(j.contains("\"max_batch\""), "{j}");
         assert!(j.contains("\"cache\""), "{j}");
         assert!(j.contains("\"round_trip_ns\""), "{j}");
+        assert!(j.contains("\"spans\""), "{j}");
+        assert!(j.contains("\"stages\""), "{j}");
         let err = app.eval("obs dump -format xml").unwrap_err();
         assert!(err.msg.contains("must be json"), "{}", err.msg);
     }

@@ -364,6 +364,10 @@ fn send_remote(app: &TkApp, target_name: &str, script: &str, timeout_ms: u64) ->
         app.inner.comm.0.to_string(),
         script.to_string(),
     ]);
+    // The client-side send span is keyed on the serial — the receiver's
+    // "send.eval" span carries the same serial, which is how the two
+    // halves of the RPC correlate across application traces.
+    let _tspan = app.inner.tracer.begin("send", target_name, serial);
     conn.append_property(target_comm, cmd_atom, &request);
 
     let result = wait_for_outcome(app, target_name, target_comm, serial, timeout_ms);
@@ -537,10 +541,17 @@ pub fn handle_comm_event(app: &TkApp, ev: &Event) {
             }
             // "The Tk of the target application executes the command
             // and returns the result back to the originating
-            // application."
-            let (code, result) = match app.interp().eval(script) {
-                Ok(v) => (0, v),
-                Err(e) => (1, e.msg),
+            // application." The receiver-side span shares the sender's
+            // serial, linking both halves of the RPC across traces.
+            let (code, result) = {
+                let _tspan =
+                    app.inner
+                        .tracer
+                        .begin("send.eval", format!("from client {sender}"), serial);
+                match app.interp().eval(script) {
+                    Ok(v) => (0, v),
+                    Err(e) => (1, e.msg),
+                }
             };
             let reply = tcl::format_list(&[serial.to_string(), code.to_string(), result]);
             // Best effort: if the sender's window is gone the server

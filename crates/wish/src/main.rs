@@ -13,7 +13,9 @@
 //! Usage: `wish [-f script] [-name appname] [--stats] [command...]`
 //!
 //! With `--stats`, wish prints the full observability dump
-//! (`obs dump -format json`) to standard error at exit.
+//! (`obs dump -format json`) to standard error at exit, followed by a
+//! human-readable per-stage breakdown of the causal span tracer (span
+//! count, wall time, and virtual time per pipeline stage).
 
 use std::io::{BufRead, IsTerminal, Write};
 
@@ -136,10 +138,26 @@ fn main() {
 }
 
 /// `--stats`: the exit-time observability dump, on standard error so it
-/// never mixes with script output.
+/// never mixes with script output. The JSON dump is followed by the
+/// per-stage span breakdown — where the run's wall and virtual time went,
+/// stage by pipeline stage.
 fn print_stats(enabled: bool, app: &tk::TkApp) {
-    if enabled {
-        eprintln!("{}", tk::obs_cmd::dump_json(app));
+    if !enabled {
+        return;
+    }
+    eprintln!("{}", tk::obs_cmd::dump_json(app));
+    let spans = app.tracer().snapshot();
+    let totals = rtk_obs::span::stage_totals(&spans);
+    if totals.is_empty() {
+        return;
+    }
+    eprintln!("per-stage span breakdown ({} spans):", spans.len());
+    eprintln!(
+        "  {:<12} {:>8} {:>12} {:>10}",
+        "stage", "count", "wall_us", "virtual_ms"
+    );
+    for (kind, count, ns, vms) in totals {
+        eprintln!("  {kind:<12} {count:>8} {:>12} {vms:>10}", ns / 1_000);
     }
 }
 

@@ -299,8 +299,19 @@ impl Connection {
     /// Resets this client's counters, histograms, and trace (but not the
     /// trace-enabled flag), along with its `ClientStats` view. The output
     /// buffer is flushed first so the reset is an exact epoch boundary.
+    /// An attached span tracer starts a new epoch at the same boundary.
     pub fn reset_obs(&self) {
         self.server.borrow_mut().reset_client_stats(self.client);
+    }
+
+    /// Attaches a span tracer to this connection: flush batches, event
+    /// enqueues, and injected faults record into it, stamped with this
+    /// client's id. The toolkit shares the same tracer for its own spans,
+    /// so client- and server-side records form one tree.
+    pub fn set_tracer(&self, tracer: rtk_obs::Tracer) {
+        self.server
+            .borrow_mut()
+            .set_client_tracer(self.client, tracer);
     }
 
     /// JSON object describing this client's protocol observability state.

@@ -293,6 +293,31 @@ impl Event {
         }
     }
 
+    /// The X protocol name of this event type (the string Tk bindings
+    /// use, and the detail the span tracer records on event instants).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::Expose { .. } => "Expose",
+            Event::ConfigureNotify { .. } => "ConfigureNotify",
+            Event::MapNotify { .. } => "MapNotify",
+            Event::UnmapNotify { .. } => "UnmapNotify",
+            Event::DestroyNotify { .. } => "DestroyNotify",
+            Event::EnterNotify { .. } => "EnterNotify",
+            Event::LeaveNotify { .. } => "LeaveNotify",
+            Event::MotionNotify { .. } => "MotionNotify",
+            Event::ButtonPress { .. } => "ButtonPress",
+            Event::ButtonRelease { .. } => "ButtonRelease",
+            Event::KeyPress { .. } => "KeyPress",
+            Event::KeyRelease { .. } => "KeyRelease",
+            Event::PropertyNotify { .. } => "PropertyNotify",
+            Event::SelectionClear { .. } => "SelectionClear",
+            Event::SelectionRequest { .. } => "SelectionRequest",
+            Event::SelectionNotify { .. } => "SelectionNotify",
+            Event::FocusIn { .. } => "FocusIn",
+            Event::FocusOut { .. } => "FocusOut",
+        }
+    }
+
     /// The mask bit that must be selected for this event to be delivered,
     /// or `None` for events that are always delivered (selection traffic).
     pub fn mask_bit(&self) -> Option<u32> {

@@ -166,6 +166,20 @@ impl RequestKind {
             RequestKind::CopyArea => "CopyArea",
         }
     }
+
+    /// Does this request rasterize pixels? Used by the tracer to decide
+    /// whether a flushed batch gets a `rasterize` child span.
+    pub fn is_drawing(self) -> bool {
+        matches!(
+            self,
+            RequestKind::FillRectangle
+                | RequestKind::DrawRectangle
+                | RequestKind::DrawLine
+                | RequestKind::DrawString
+                | RequestKind::ClearArea
+                | RequestKind::CopyArea
+        )
+    }
 }
 
 /// One entry in the protocol trace ring.
@@ -335,8 +349,11 @@ impl ClientObs {
         self.trace_enabled = enabled;
     }
 
-    /// JSON object with the per-kind counters, both histograms, and the
-    /// current trace contents.
+    /// JSON object with the per-kind counters, both histograms, and —
+    /// only while the trace ring is recording — the trace contents. An
+    /// idle ring used to emit dead `"trace_enabled":false,"trace":[]`
+    /// fields into every dump; now the trace block appears exactly when
+    /// there is (or could be) something in it.
     pub fn to_json(&self) -> String {
         let mut by_kind = rtk_obs::json::Object::new();
         for (name, count) in self.kind_counts() {
@@ -350,19 +367,6 @@ impl ClientObs {
         for (name, count) in self.fault_kind_counts() {
             by_fault.field_u64(name, count);
         }
-        let mut trace = rtk_obs::json::Array::new();
-        for e in self.trace.iter() {
-            let mut o = rtk_obs::json::Object::new();
-            o.field_u64("seq", e.seq);
-            o.field_str("kind", e.kind.name());
-            o.field_bool("round_trip", e.round_trip);
-            o.field_u64("window", e.window.0 as u64);
-            o.field_u64("duration_ns", e.duration_ns);
-            if let Some(fault) = e.fault {
-                o.field_str("fault", fault);
-            }
-            trace.push_raw(&o.build());
-        }
         let mut o = rtk_obs::json::Object::new();
         o.field_raw("by_kind", &by_kind.build());
         o.field_raw("by_kind_round_trip", &by_kind_rt.build());
@@ -373,12 +377,27 @@ impl ClientObs {
         o.field_u64("expose_coalesced", self.expose_coalesced);
         o.field_raw("request_ns", &self.request_ns.to_json());
         o.field_raw("round_trip_ns", &self.round_trip_ns.to_json());
-        o.field_bool("trace_enabled", self.trace_enabled);
-        o.field_u64(
-            "trace_dropped",
-            self.trace.total_pushed() - self.trace.len() as u64,
-        );
-        o.field_raw("trace", &trace.build());
+        if self.trace_enabled {
+            let mut trace = rtk_obs::json::Array::new();
+            for e in self.trace.iter() {
+                let mut t = rtk_obs::json::Object::new();
+                t.field_u64("seq", e.seq);
+                t.field_str("kind", e.kind.name());
+                t.field_bool("round_trip", e.round_trip);
+                t.field_u64("window", e.window.0 as u64);
+                t.field_u64("duration_ns", e.duration_ns);
+                if let Some(fault) = e.fault {
+                    t.field_str("fault", fault);
+                }
+                trace.push_raw(&t.build());
+            }
+            o.field_bool("trace_enabled", true);
+            o.field_u64(
+                "trace_dropped",
+                self.trace.total_pushed() - self.trace.len() as u64,
+            );
+            o.field_raw("trace", &trace.build());
+        }
         o.build()
     }
 }

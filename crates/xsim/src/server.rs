@@ -351,6 +351,10 @@ struct ClientState {
     delayed: Vec<(u64, Event)>,
     /// Did an injected kill close this connection?
     dead: bool,
+    /// The application's causal span tracer, when one is attached: flush
+    /// batches, event enqueues, and injected faults record into it so the
+    /// server side of the pipeline shares the client's span tree.
+    tracer: Option<rtk_obs::Tracer>,
 }
 
 /// The selection table entry: who owns a selection.
@@ -563,6 +567,19 @@ impl Server {
     ) {
         if let Some(c) = self.clients.get_mut(&client) {
             c.obs.record_fault(at, action, kind, window);
+            if let Some(t) = &c.tracer {
+                t.instant("fault", action.kind_name(), at);
+            }
+        }
+    }
+
+    /// Attaches a span tracer to one client; subsequent flush batches,
+    /// event enqueues, and injected faults on that connection record
+    /// spans/instants into it.
+    pub fn set_client_tracer(&mut self, client: ClientId, tracer: rtk_obs::Tracer) {
+        if let Some(c) = self.clients.get_mut(&client) {
+            tracer.set_client(client.0);
+            c.tracer = Some(tracer);
         }
     }
 
@@ -609,6 +626,9 @@ impl Server {
         for c in self.clients.values_mut() {
             c.stats = ClientStats::default();
             c.obs.reset();
+            if let Some(t) = &c.tracer {
+                t.reset_epoch();
+            }
         }
         if let Some(p) = self.fault_plan.as_mut() {
             p.clear_log();
@@ -625,6 +645,9 @@ impl Server {
         if let Some(c) = self.clients.get_mut(&client) {
             c.stats = ClientStats::default();
             c.obs.reset();
+            if let Some(t) = &c.tracer {
+                t.reset_epoch();
+            }
         }
         if let Some(p) = self.fault_plan.as_mut() {
             p.clear_log_for(client.0);
@@ -708,11 +731,30 @@ impl Server {
     /// the batch carried any reply-bearing request (the pipelined replies
     /// all travel back in one blocking wait).
     pub fn flush_client(&mut self, client: ClientId) {
-        let buf = match self.clients.get_mut(&client) {
-            Some(c) if !c.out_buf.is_empty() => std::mem::take(&mut c.out_buf),
+        let (buf, tracer) = match self.clients.get_mut(&client) {
+            Some(c) if !c.out_buf.is_empty() => (std::mem::take(&mut c.out_buf), c.tracer.clone()),
             _ => return,
         };
         let n = buf.len() as u64;
+        // The whole batch becomes one "flush" span keyed on its first
+        // sequence number; a batch carrying drawing requests gets one
+        // "rasterize" child covering the server-side pixel work. The
+        // guards hold an `Rc` clone of the tracer, so span bookkeeping
+        // never borrows `self` during the apply loop below — fault
+        // instants recorded mid-loop parent on these spans naturally.
+        let first_seq = buf.first().map_or(0, |(s, _)| *s);
+        let last_seq = buf.last().map_or(0, |(s, _)| *s);
+        let draws = buf.iter().filter(|(_, q)| q.kind().is_drawing()).count();
+        let _flush_span = tracer
+            .as_ref()
+            .map(|t| t.begin("flush", format!("seq {first_seq}..{last_seq}"), first_seq));
+        let _raster_span = if draws > 0 {
+            tracer
+                .as_ref()
+                .map(|t| t.begin("rasterize", format!("{draws} drawing requests"), first_seq))
+        } else {
+            None
+        };
         let mut any_reply = false;
         let mut killed = false;
         let work_start = std::time::Instant::now();
@@ -1059,13 +1101,19 @@ impl Server {
     // ----- event delivery -----------------------------------------------------
 
     fn enqueue(&mut self, client: ClientId, event: Event) {
-        let idx = match self.clients.get_mut(&client) {
+        let (idx, tracer) = match self.clients.get_mut(&client) {
             Some(c) if !c.dead => {
                 c.next_event += 1;
-                c.next_event
+                (c.next_event, c.tracer.clone())
             }
             _ => return, // a dead connection receives nothing
         };
+        // The enqueue is an instant keyed on the event index (the same
+        // key the fault plan fires on); it parents on whatever span is
+        // open — e.g. the flush that generated an Expose.
+        if let Some(t) = &tracer {
+            t.instant("event", event.name(), idx);
+        }
         // ICCCM guard: before this event can be queued, any held event due
         // by now — or targeting the same window — must go first, so
         // per-window order is never violated by an injected delay.

@@ -34,6 +34,20 @@ cargo test -q --offline --locked --test golden_frames
 echo "==> bench --check-budgets"
 cargo run -p tk-bench --release --offline --locked --bin bench -- --check-budgets
 
+# Trace-integrity gate: replay both chaos corpora with the causal span
+# tracer recording, asserting every run's span tree stays well formed
+# (no orphaned parents, nothing left open at quiescence) even while
+# faults drop, duplicate, reorder, and kill traffic. See
+# docs/OBSERVABILITY.md.
+echo "==> trace-integrity replay (both chaos corpora)"
+cargo test -q --offline --locked --test trace_integrity
+
+# Span export smoke: the traced workload suite must produce a valid
+# Chrome trace-event file (the same invocation CI uploads as an
+# artifact for Perfetto).
+echo "==> bench --trace"
+cargo run -p tk-bench --release --offline --locked --bin bench -- --trace target/trace.json
+
 # Bounded chaos gate: replay the checked-in fault corpus, then a fixed
 # batch of fresh seed pairs. Any panic fails CI and prints the
 # (script_seed, fault_seed) pair plus a shrunk reproducer to check in.

@@ -162,3 +162,36 @@ fn trace_captures_the_workload_when_enabled() {
     let j = app.eval("obs dump -format json").unwrap();
     assert!(j.contains("\"trace_enabled\":true"), "{j}");
 }
+
+/// `obs reset` is a span-epoch boundary: the recorded spans are cleared,
+/// the epoch advances, and spans begun after the reset land in the new
+/// epoch with no dangling references to the cleared ones.
+#[test]
+fn obs_reset_epoch_scopes_the_span_store() {
+    let env = TkEnv::new();
+    let app = env.app("spans");
+    fifty_buttons(&app);
+    assert!(!app.tracer().is_empty(), "workload recorded no spans");
+    let epoch_before = app.tracer().epoch();
+
+    app.eval("obs reset").unwrap();
+    assert!(
+        app.tracer().is_empty(),
+        "obs reset left spans from the previous epoch"
+    );
+    assert_eq!(app.tracer().epoch(), epoch_before + 1);
+    assert_eq!(app.tracer().open_count(), 0);
+
+    // Work after the reset records into the new epoch, well formed.
+    fifty_buttons(&app);
+    let spans = app.tracer().snapshot();
+    assert!(!spans.is_empty());
+    assert!(spans.iter().all(|s| s.epoch == epoch_before + 1));
+    app.tracer()
+        .check_integrity()
+        .expect("post-reset span tree");
+
+    // The textual surface agrees: `obs spans` renders the new epoch only.
+    let tree = app.eval("obs spans tree").unwrap();
+    assert!(tree.contains("update"), "{tree}");
+}
