@@ -22,6 +22,12 @@
 //! tracer, so a pipeline change that re-wires causality fails CI the same
 //! way a protocol change does. Durations stay report-only.
 //!
+//! The interpreter workloads (`eval_hot`, `bind_dispatch`) run in both
+//! compile modes and pin the Tcl compile/cache counters the same way: the
+//! warm program cache must parse >= 10x fewer commands than its
+//! `RTK_NO_COMPILE` twin, and any drift in compiles, hits, or evictions
+//! fails the budget check.
+//!
 //! Three trace-export modes run an instrumented workload suite (a
 //! cross-application send pair with one fault-dropped send, plus the
 //! buttons workload augmented with a bound button and a real click):
@@ -38,8 +44,9 @@ use std::time::Instant;
 use rtk_obs::{json, Histogram, SpanShape};
 use tk::TkApp;
 use tk_bench::{
-    blink_button, create_display_delete_buttons, env_with_apps, fmt_time, scroll_listbox,
-    setup_blink, setup_entry, setup_listbox, type_into_entry,
+    bind_dispatch, blink_button, create_display_delete_buttons, env_with_apps, eval_hot, fmt_time,
+    scroll_listbox, setup_bind_dispatch, setup_blink, setup_entry, setup_eval_hot, setup_listbox,
+    type_into_entry,
 };
 use xsim::{ClientStats, FaultPlan, RequestKind};
 
@@ -75,9 +82,16 @@ fn incremental_workloads() -> [IncrWorkload; 3] {
     ]
 }
 
-/// One budget run: workload name, iterations, protocol counters, and (for
-/// the workloads whose causal pipeline CI pins) the span-tree shape.
-type BudgetRun = (&'static str, u64, ClientStats, Option<SpanShape>);
+/// One budget run: workload name, iterations, protocol counters, (for the
+/// workloads whose causal pipeline CI pins) the span-tree shape, and (for
+/// the interpreter workloads) the Tcl compile/cache counters.
+type BudgetRun = (
+    &'static str,
+    u64,
+    ClientStats,
+    Option<SpanShape>,
+    Vec<(&'static str, u64)>,
+);
 
 /// Aggregates the span-tree shape across every application in a workload
 /// (a cross-app send involves spans on both sides).
@@ -105,7 +119,13 @@ fn budget_workloads() -> Vec<BudgetRun> {
         sender.eval("send beta {}").unwrap();
     }
     let send_stats = sender.conn().stats();
-    out.push(("send_empty", send_iters, send_stats, Some(shape_of(&apps))));
+    out.push((
+        "send_empty",
+        send_iters,
+        send_stats,
+        Some(shape_of(&apps)),
+        Vec::new(),
+    ));
 
     let (_env50, apps50) = env_with_apps(&["buttons"]);
     let app = &apps50[0];
@@ -121,6 +141,7 @@ fn budget_workloads() -> Vec<BudgetRun> {
         button_iters,
         button_stats,
         Some(shape_of(&apps50)),
+        Vec::new(),
     ));
 
     // The incremental workloads in both damage modes. Pinning
@@ -140,8 +161,37 @@ fn budget_workloads() -> Vec<BudgetRun> {
             run(app); // warm caches
             app.eval("obs reset").unwrap();
             run(app);
-            out.push((label, 1, app.conn().stats(), None));
+            out.push((label, 1, app.conn().stats(), None, Vec::new()));
         }
+    }
+
+    // The interpreter workloads in both compile modes. Pinning tcl.parses
+    // for each pair makes the >= 10x parse win a budget, not just a bench
+    // headline; the compile/hit/eviction counters catch cache regressions.
+    let eval_iters = 25;
+    for (enabled, label) in [(true, "eval_hot"), (false, "eval_hot_nocompile")] {
+        let (_env, apps) = env_with_apps(&["evalhot"]);
+        let app = &apps[0];
+        app.interp().set_compile(enabled);
+        setup_eval_hot(app);
+        eval_hot(app, eval_iters as usize); // warm caches
+        app.eval("obs reset").unwrap();
+        eval_hot(app, eval_iters as usize);
+        let tcl = app.interp().compile_counters();
+        out.push((label, eval_iters, app.conn().stats(), None, tcl));
+    }
+
+    let click_iters = 20;
+    for (enabled, label) in [(true, "bind_dispatch"), (false, "bind_dispatch_nocompile")] {
+        let (env, apps) = env_with_apps(&["binddisp"]);
+        let app = &apps[0];
+        app.interp().set_compile(enabled);
+        setup_bind_dispatch(app);
+        bind_dispatch(&env, app, click_iters as usize); // warm caches
+        app.eval("obs reset").unwrap();
+        bind_dispatch(&env, app, click_iters as usize);
+        let tcl = app.interp().compile_counters();
+        out.push((label, click_iters, app.conn().stats(), None, tcl));
     }
 
     out
@@ -155,7 +205,7 @@ fn check_damage_ratios(runs: &[BudgetRun]) {
         let pixels = |n: &str| {
             runs.iter()
                 .find(|(name, ..)| *name == n)
-                .map(|(_, _, s, _)| s.pixels_drawn)
+                .map(|(_, _, s, ..)| s.pixels_drawn)
                 .unwrap_or_else(|| panic!("missing workload {n}"))
         };
         let damage = pixels(base);
@@ -168,9 +218,34 @@ fn check_damage_ratios(runs: &[BudgetRun]) {
     }
 }
 
+/// Asserts the compile cache's headline win on the measured counters:
+/// each interpreter workload, once warm, parses at least 10x fewer
+/// commands than its `RTK_NO_COMPILE`-equivalent twin.
+fn check_compile_ratios(runs: &[BudgetRun]) {
+    for base in ["eval_hot", "bind_dispatch"] {
+        let parses = |n: &str| {
+            let (.., tcl) = runs
+                .iter()
+                .find(|(name, ..)| *name == n)
+                .unwrap_or_else(|| panic!("missing workload {n}"));
+            tcl.iter()
+                .find(|(f, _)| *f == "tcl.parses")
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("workload {n} lacks a tcl.parses counter"))
+        };
+        let compiled = parses(base);
+        let direct = parses(&format!("{base}_nocompile"));
+        assert!(
+            direct >= 10 * compiled.max(1),
+            "workload {base}: the warm program cache must parse >= 10x fewer \
+             commands than direct evaluation (compiled {compiled}, direct {direct})"
+        );
+    }
+}
+
 fn budgets_to_json(runs: &[BudgetRun]) -> String {
     let mut workloads = json::Object::new();
-    for (name, iters, stats, shape) in runs {
+    for (name, iters, stats, shape, tcl) in runs {
         let mut w = json::Object::new();
         w.field_u64("iters", *iters);
         for (field, value) in budget_fields(stats) {
@@ -178,6 +253,13 @@ fn budgets_to_json(runs: &[BudgetRun]) -> String {
         }
         if let Some(shape) = shape {
             w.field_raw("spans", &shape.to_json());
+        }
+        if !tcl.is_empty() {
+            let mut t = json::Object::new();
+            for (field, value) in tcl {
+                t.field_u64(field, *value);
+            }
+            w.field_raw("tcl", &t.build());
         }
         workloads.field_raw(name, &w.build());
     }
@@ -197,7 +279,7 @@ fn budgets_to_json(runs: &[BudgetRun]) -> String {
 fn measured_budgets() -> Vec<BudgetRun> {
     let first = budget_workloads();
     let second = budget_workloads();
-    for ((name, _, a, sa), (_, _, b, sb)) in first.iter().zip(&second) {
+    for ((name, _, a, sa, ta), (_, _, b, sb, tb)) in first.iter().zip(&second) {
         assert_eq!(
             a, b,
             "workload {name} is not deterministic: two identical runs \
@@ -208,8 +290,14 @@ fn measured_budgets() -> Vec<BudgetRun> {
             "workload {name} is not deterministic: two identical runs \
              produced different span-tree shapes"
         );
+        assert_eq!(
+            ta, tb,
+            "workload {name} is not deterministic: two identical runs \
+             produced different Tcl compile counters"
+        );
     }
     check_damage_ratios(&first);
+    check_compile_ratios(&first);
     first
 }
 
@@ -228,7 +316,7 @@ fn check_budgets(path: &str) {
         .unwrap_or_else(|| panic!("{path}: missing \"workloads\""));
 
     let mut failures = Vec::new();
-    for (name, iters, stats, shape) in measured_budgets() {
+    for (name, iters, stats, shape, tcl) in measured_budgets() {
         let Some(budget) = expected.get(name) else {
             failures.push(format!("workload {name}: missing from {path}"));
             continue;
@@ -248,6 +336,21 @@ fn check_budgets(path: &str) {
                     "workload {name}: {field} = {got}, budget says {want}"
                 )),
                 None => failures.push(format!("workload {name}: budget lacks field {field}")),
+            }
+        }
+        for (field, got) in &tcl {
+            match budget
+                .get("tcl")
+                .and_then(|t| t.get(field))
+                .and_then(|v| v.as_u64())
+            {
+                Some(want) if want == *got => {}
+                Some(want) => failures.push(format!(
+                    "workload {name}: {field} = {got}, budget says {want}"
+                )),
+                None => failures.push(format!(
+                    "workload {name}: budget lacks Tcl counter {field} — regenerate the budgets"
+                )),
             }
         }
         if let Some(got) = shape {
@@ -579,6 +682,37 @@ fn main() {
         incremental.push_raw(&o.build());
     }
 
+    // The hot-eval workload in both compile modes: the program cache's
+    // headline wall-clock win, alongside the exact parse/hit counters.
+    let mut evalhot = json::Object::new();
+    let mut eval_p50 = (0u64, 0u64);
+    for (enabled, key) in [(true, "compiled"), (false, "direct")] {
+        let (_env, apps) = env_with_apps(&["evalhot"]);
+        let app = &apps[0];
+        app.interp().set_compile(enabled);
+        setup_eval_hot(app);
+        eval_hot(app, 50); // warm caches
+        app.eval("obs reset").unwrap();
+        let h = measure(200, || eval_hot(app, 10));
+        let mut side = json::Object::new();
+        for (name, v) in app.interp().compile_counters() {
+            side.field_u64(name.trim_start_matches("tcl."), v);
+        }
+        side.field_u64("p50_ns", h.quantile(0.5));
+        evalhot.field_raw(key, &side.build());
+        if enabled {
+            eval_p50.0 = h.quantile(0.5);
+        } else {
+            eval_p50.1 = h.quantile(0.5);
+        }
+    }
+    println!(
+        "eval_hot: p50 {} compiled vs {} direct ({:.1}x faster)",
+        fmt_time(eval_p50.0 as f64 * 1e-9),
+        fmt_time(eval_p50.1 as f64 * 1e-9),
+        eval_p50.1 as f64 / eval_p50.0.max(1) as f64
+    );
+
     let mut workloads = json::Array::new();
     workloads.push_raw(&workload_json("set_a_1", set_iters, &h_set, None));
     workloads.push_raw(&workload_json(
@@ -606,6 +740,7 @@ fn main() {
     root.field_u64("round_trip_cost_us", rt_cost.as_micros() as u64);
     root.field_raw("workloads", &workloads.build());
     root.field_raw("incremental_redraw", &incremental.build());
+    root.field_raw("eval_hot", &evalhot.build());
     let text = root.build();
     assert!(json::is_valid(&text), "bench produced invalid JSON");
 

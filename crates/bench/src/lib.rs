@@ -105,6 +105,62 @@ pub fn blink_button(app: &TkApp, n: usize) {
     }
 }
 
+/// Builds the proc and accumulator variable the [`eval_hot`] workload
+/// exercises.
+pub fn setup_eval_hot(app: &TkApp) {
+    app.eval(
+        "proc bench_step {x} {\n\
+         \tset y 0\n\
+         \tfor {set i 0} {$i < 10} {set i [expr {$i + 1}]} {\n\
+         \t\tset y [expr {$y + $x + $i}]\n\
+         \t}\n\
+         \treturn $y\n\
+         }",
+    )
+    .expect("define bench_step");
+    app.eval("set bench_total 0").expect("seed bench_total");
+}
+
+/// Hot-eval workload: the same handful of script strings evaluated over
+/// and over — the shape of a Tk callback firing repeatedly. Every
+/// iteration re-evals identical sources, so with the program cache on all
+/// the parsing collapses into cache hits; with `RTK_NO_COMPILE=1` every
+/// iteration re-parses from scratch.
+pub fn eval_hot(app: &TkApp, iters: usize) {
+    for _ in 0..iters {
+        app.eval("set bench_total [expr {$bench_total + [bench_step 3]}]")
+            .expect("eval_hot step");
+        app.eval("if {$bench_total > 1000000} {set bench_total 0}")
+            .expect("eval_hot wrap");
+    }
+}
+
+/// Builds the bound button `.bench_t` the [`bind_dispatch`] workload
+/// clicks on.
+pub fn setup_bind_dispatch(app: &TkApp) {
+    app.eval("button .bench_t -text Target")
+        .expect("create target");
+    app.eval("pack append . .bench_t {top}")
+        .expect("pack target");
+    app.eval("bind .bench_t <ButtonPress-1> {set bench_hits [expr {$bench_hits + 1}]}")
+        .expect("bind target");
+    app.eval("set bench_hits 0").expect("seed bench_hits");
+    app.update();
+}
+
+/// Bind-dispatch workload: synthesize `n` pointer clicks on the bound
+/// button. Each press routes through event dispatch into the interpreter,
+/// so the binding script's parse cost shows up once per click unless the
+/// program cache absorbs it.
+pub fn bind_dispatch(env: &TkEnv, app: &TkApp, n: usize) {
+    let rec = app.window(".bench_t").expect("bind_dispatch target");
+    env.display().move_pointer(rec.x.get() + 5, rec.y.get() + 5);
+    for _ in 0..n {
+        env.display().click(1);
+        env.dispatch_all();
+    }
+}
+
 /// Times `f` over `iters` runs and returns mean seconds per run.
 pub fn time_per_iter(iters: u64, mut f: impl FnMut()) -> f64 {
     let start = Instant::now();
@@ -186,6 +242,36 @@ mod tests {
         }
         // Different seeds diverge.
         assert_ne!(XorShift::new(1).next_u64(), XorShift::new(2).next_u64());
+    }
+
+    #[test]
+    fn eval_hot_memoizes_number_parsing() {
+        let (_env, apps) = env_with_apps(&["evalhot"]);
+        let app = &apps[0];
+        app.interp().set_compile(true);
+        setup_eval_hot(app);
+
+        // Cold pass: every literal in the workload parses once, plus each
+        // fresh accumulator value as it appears.
+        tcl::reset_parse_number_calls();
+        eval_hot(app, 5);
+        let cold = tcl::parse_number_calls();
+
+        // Warm pass: the literals are memoized in the value table, so only
+        // the never-seen-before accumulator values still parse.
+        tcl::reset_parse_number_calls();
+        eval_hot(app, 5);
+        let warm = tcl::parse_number_calls();
+
+        assert!(
+            warm < cold,
+            "number memoization had no effect (cold {cold}, warm {warm})"
+        );
+        // The counts are exact and deterministic; a drift here means the
+        // literal memo table stopped (or started) covering something.
+        // 26 cold = the workload's literals plus five fresh totals; 5 warm
+        // = one never-seen accumulator value per iteration, nothing else.
+        assert_eq!((cold, warm), (26, 5), "parse_number call counts drifted");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! parser.
 
 use crate::error::{wrong_args, Code, Exception, TclResult};
-use crate::expr::expr_bool;
+use crate::expr::expr_bool_cached as expr_bool;
 use crate::interp::{Interp, ProcDef};
 
 pub fn register(interp: &Interp) {

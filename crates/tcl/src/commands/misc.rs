@@ -4,7 +4,7 @@
 use std::path::Path;
 
 use crate::error::{wrong_args, Exception, TclResult};
-use crate::expr::expr_string;
+use crate::expr::expr_string_cached as expr_string;
 use crate::interp::Interp;
 use crate::list::format_list;
 

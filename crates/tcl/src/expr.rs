@@ -38,7 +38,7 @@ impl Value {
         match self {
             Value::Int(i) => Ok(*i != 0),
             Value::Double(d) => Ok(*d != 0.0),
-            Value::Str(s) => match parse_number(s) {
+            Value::Str(s) => match crate::value::memo_number(s) {
                 Some(Value::Int(i)) => Ok(i != 0),
                 Some(Value::Double(d)) => Ok(d != 0.0),
                 _ => match s.to_ascii_lowercase().as_str() {
@@ -70,9 +70,27 @@ pub fn double_to_string(d: f64) -> String {
     }
 }
 
+thread_local! {
+    static PARSE_NUMBER_CALLS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// How many times [`parse_number`] has run on this thread. Memoization
+/// through the literal table ([`crate::value::memo_number`]) is visible as
+/// this counter rising slower than the number of numeric coercions — the
+/// `eval_hot` budget pins it.
+pub fn parse_number_calls() -> u64 {
+    PARSE_NUMBER_CALLS.with(|c| c.get())
+}
+
+/// Resets the per-thread [`parse_number_calls`] counter.
+pub fn reset_parse_number_calls() {
+    PARSE_NUMBER_CALLS.with(|c| c.set(0));
+}
+
 /// Attempts to interpret a string as a number: decimal/hex/octal integer or
 /// a float. Returns `None` for anything else.
 pub fn parse_number(s: &str) -> Option<Value> {
+    PARSE_NUMBER_CALLS.with(|c| c.set(c.get() + 1));
     let t = s.trim();
     if t.is_empty() {
         return None;
@@ -503,22 +521,69 @@ fn binop(tok: &str) -> Option<(Op, u8)> {
     })
 }
 
-/// Evaluates `src` as a Tcl expression, returning the value.
-pub fn eval_expr(interp: &Interp, src: &str) -> Result<Value, Exception> {
+/// Parses a full expression, rejecting trailing junk.
+fn parse_full(src: &str) -> Result<Ast, Exception> {
     let mut parser = Parser {
         lexer: Lexer::new(src),
         ahead: None,
     };
     let ast = parser.parse_expr()?;
     match parser.next()? {
-        Token::End => {}
-        t => {
-            return Err(Exception::error(format!(
-                "syntax error in expression \"{src}\": unexpected trailing {t:?}"
-            )))
+        Token::End => Ok(ast),
+        t => Err(Exception::error(format!(
+            "syntax error in expression \"{src}\": unexpected trailing {t:?}"
+        ))),
+    }
+}
+
+/// Evaluates `src` as a Tcl expression, returning the value.
+pub fn eval_expr(interp: &Interp, src: &str) -> Result<Value, Exception> {
+    let ast = parse_full(src)?;
+    eval_ast(interp, &ast)
+}
+
+/// A compiled (parsed and constant-folded) expression. The AST stores
+/// `$var` and `[cmd]` operands as source strings resolved at evaluation
+/// time, so a compiled expression never goes stale: only the fold of
+/// static subtrees is baked in.
+pub struct ExprProgram {
+    ast: Ast,
+}
+
+/// Compiles an expression: one parse plus constant folding of static
+/// all-numeric subtrees. Fold errors (overflowing shifts, division by
+/// zero) leave the subtree unfolded so the error still surfaces at
+/// evaluation time with the direct evaluator's message.
+pub fn compile_expr(src: &str) -> Result<ExprProgram, Exception> {
+    Ok(ExprProgram {
+        ast: fold(parse_full(src)?),
+    })
+}
+
+/// Evaluates `src` through the interpreter's compiled-expression cache.
+/// With compilation disabled this is exactly [`eval_expr`]; with it
+/// enabled, the parse happens once per distinct source string.
+pub fn eval_expr_cached(interp: &Interp, src: &str) -> Result<Value, Exception> {
+    if !interp.compile_enabled() {
+        return eval_expr(interp, src);
+    }
+    if let Some(hit) = interp.expr_cache_get(src) {
+        return match hit {
+            Some(p) => eval_ast(interp, &p.ast),
+            None => eval_expr(interp, src),
+        };
+    }
+    match compile_expr(src) {
+        Ok(p) => {
+            let p = Rc::new(p);
+            interp.expr_cache_put(src, Some(p.clone()));
+            eval_ast(interp, &p.ast)
+        }
+        Err(_) => {
+            interp.expr_cache_put(src, None);
+            eval_expr(interp, src)
         }
     }
-    eval_ast(interp, &ast)
 }
 
 /// Evaluates `src` and renders the result as a string (the `expr` command).
@@ -531,10 +596,83 @@ pub fn expr_bool(interp: &Interp, src: &str) -> Result<bool, Exception> {
     eval_expr(interp, src)?.truthy()
 }
 
+/// [`expr_string`] through the compiled-expression cache.
+pub fn expr_string_cached(interp: &Interp, src: &str) -> TclResult {
+    Ok(eval_expr_cached(interp, src)?.to_result())
+}
+
+/// [`expr_bool`] through the compiled-expression cache.
+pub fn expr_bool_cached(interp: &Interp, src: &str) -> Result<bool, Exception> {
+    eval_expr_cached(interp, src)?.truthy()
+}
+
+/// Folds static all-numeric subtrees to their values. Only pure shapes
+/// fold: short-circuit operators, ternaries, and anything touching a
+/// variable, command, or string stays lazy.
+fn fold(ast: Ast) -> Ast {
+    match ast {
+        Ast::Unary(op, a) => {
+            let a = fold(*a);
+            if let Ast::Num(v) = &a {
+                if let Ok(folded) = const_unary(op, v) {
+                    return Ast::Num(folded);
+                }
+            }
+            Ast::Unary(op, Box::new(a))
+        }
+        Ast::Binary(op, l, r) => {
+            let l = fold(*l);
+            let r = fold(*r);
+            if !matches!(op, Op::And | Op::Or) {
+                if let (Ast::Num(a), Ast::Num(b)) = (&l, &r) {
+                    if let Ok(v) = eval_binary(op, a, b) {
+                        return Ast::Num(v);
+                    }
+                }
+            }
+            Ast::Binary(op, Box::new(l), Box::new(r))
+        }
+        Ast::Ternary(c, t, e) => {
+            Ast::Ternary(Box::new(fold(*c)), Box::new(fold(*t)), Box::new(fold(*e)))
+        }
+        Ast::Func(name, args) => {
+            let args: Vec<Ast> = args.into_iter().map(fold).collect();
+            if args.iter().all(|a| matches!(a, Ast::Num(_))) {
+                let vals: Vec<Value> = args
+                    .iter()
+                    .map(|a| match a {
+                        Ast::Num(v) => v.clone(),
+                        _ => unreachable!("filtered above"),
+                    })
+                    .collect();
+                if let Ok(v) = eval_func(&name, &vals) {
+                    return Ast::Num(v);
+                }
+            }
+            Ast::Func(name, args)
+        }
+        other => other,
+    }
+}
+
+/// The pure unary operations, mirroring `eval_ast`'s Unary arm on
+/// numeric operands.
+fn const_unary(op: Op, v: &Value) -> Result<Value, Exception> {
+    match (op, v) {
+        (Op::Neg, Value::Int(i)) => Ok(Value::Int(i.wrapping_neg())),
+        (Op::Neg, Value::Double(d)) => Ok(Value::Double(-d)),
+        (Op::Pos, Value::Int(_) | Value::Double(_)) => Ok(v.clone()),
+        (Op::Not, _) => Ok(Value::Int(if v.truthy()? { 0 } else { 1 })),
+        (Op::BitNot, Value::Int(i)) => Ok(Value::Int(!i)),
+        _ => Err(Exception::error("not constant-foldable")),
+    }
+}
+
 /// Coerces an operand value: strings that look numeric become numbers.
+/// Goes through the literal table so the same text is parsed at most once.
 fn numeric(v: &Value) -> Value {
     match v {
-        Value::Str(s) => parse_number(s).unwrap_or_else(|| v.clone()),
+        Value::Str(s) => crate::value::memo_number(s).unwrap_or_else(|| v.clone()),
         other => other.clone(),
     }
 }
@@ -832,10 +970,6 @@ fn eval_func(name: &str, args: &[Value]) -> Result<Value, Exception> {
         ))),
     }
 }
-
-// Re-export Rc to keep the public signature of helpers private-friendly.
-#[allow(unused)]
-type _Unused = Rc<()>;
 
 #[cfg(test)]
 mod tests {

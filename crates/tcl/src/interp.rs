@@ -7,10 +7,11 @@
 //! everywhere: `if` evaluating its body, widgets evaluating their `-command`
 //! scripts, `send` evaluating scripts that arrive from other applications.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use crate::compile::{CompiledCmd, CompiledWord, OpKind, Program, SPECIALIZED};
 use crate::error::{Code, Exception, TclResult};
 use crate::parser::{parse_command, Part, Word};
 
@@ -197,6 +198,97 @@ impl Executor for SystemExecutor {
     }
 }
 
+/// Deterministic counters for the compile pipeline. All are monotonic
+/// between resets and carry no wall-clock noise, so CI budgets can pin
+/// their exact values.
+#[derive(Default)]
+pub struct CompileStats {
+    /// Scripts lowered to programs.
+    pub compiles: Cell<u64>,
+    /// Program-cache lookups that found a current entry.
+    pub cache_hits: Cell<u64>,
+    /// Program-cache lookups that had to (re)compile.
+    pub cache_misses: Cell<u64>,
+    /// Entries dropped because the cache hit capacity.
+    pub evictions: Cell<u64>,
+    /// Entries dropped because the command epoch moved under them.
+    pub invalidations: Cell<u64>,
+    /// Commands parsed (`parse_command` yields), in either eval mode.
+    pub parses: Cell<u64>,
+    /// Commands executed from a cached program past its first run — each
+    /// one is a parse the direct interpreter would have repeated.
+    pub parses_avoided: Cell<u64>,
+    /// Expressions lowered to cached programs.
+    pub expr_compiles: Cell<u64>,
+    /// Expression-cache lookups that found an entry.
+    pub expr_cache_hits: Cell<u64>,
+}
+
+fn bump(c: &Cell<u64>) {
+    c.set(c.get() + 1);
+}
+
+/// One program-cache entry. `epoch` records the command epoch the program
+/// was compiled under; a bumped epoch makes the entry stale. `gen` is a
+/// recency stamp for eviction. `prog` is `None` for scripts that failed to
+/// parse — a negative marker so repeated evaluations of a broken script
+/// don't re-attempt compilation.
+struct CacheEntry {
+    prog: Option<Rc<Program>>,
+    epoch: u64,
+    gen: u64,
+}
+
+/// Capacity of the program cache; above it the least recently used half
+/// is evicted in one sweep.
+const PROGRAM_CACHE_CAP: usize = 512;
+/// Capacity of the compiled-expression cache; cleared wholesale when full.
+const EXPR_CACHE_CAP: usize = 512;
+
+/// The compile pipeline's shared state.
+struct CompileState {
+    /// Script string → compiled program.
+    programs: RefCell<HashMap<String, CacheEntry>>,
+    /// Recency stamp source for eviction ordering.
+    gen: Cell<u64>,
+    /// Bumped whenever a registry change could invalidate specialized
+    /// lowerings (`proc` definitions, `rename`/deletion of specialized
+    /// builtins, trace installation).
+    cmd_epoch: Cell<u64>,
+    /// The `RTK_NO_COMPILE` escape hatch, also settable programmatically.
+    enabled: Cell<bool>,
+    stats: CompileStats,
+    /// Command-name atom table: name → index into `atom_cmds`.
+    atom_ids: RefCell<HashMap<String, u32>>,
+    /// Live command bindings per atom, kept in sync by the registry so
+    /// dispatch through an atom honors later registrations.
+    atom_cmds: RefCell<Vec<Option<Command>>>,
+    /// The builtin command procedures captured at construction; a
+    /// specialized lowering is only valid while the registered command is
+    /// still pointer-identical to its baseline.
+    baseline: RefCell<HashMap<String, CmdFn>>,
+    /// Expression source → compiled expression (`None`: parse failed).
+    exprs: RefCell<HashMap<String, Option<Rc<crate::expr::ExprProgram>>>>,
+}
+
+impl CompileState {
+    fn new() -> CompileState {
+        // Mirrors the RTK_NO_DAMAGE convention: set and non-zero disables.
+        let enabled = std::env::var("RTK_NO_COMPILE").map_or(true, |v| v.is_empty() || v == "0");
+        CompileState {
+            programs: RefCell::new(HashMap::new()),
+            gen: Cell::new(0),
+            cmd_epoch: Cell::new(0),
+            enabled: Cell::new(enabled),
+            stats: CompileStats::default(),
+            atom_ids: RefCell::new(HashMap::new()),
+            atom_cmds: RefCell::new(Vec::new()),
+            baseline: RefCell::new(HashMap::new()),
+            exprs: RefCell::new(HashMap::new()),
+        }
+    }
+}
+
 struct InterpInner {
     commands: RefCell<HashMap<String, Command>>,
     frames: RefCell<Vec<Frame>>,
@@ -206,6 +298,7 @@ struct InterpInner {
     next_trace_id: std::cell::Cell<u64>,
     /// Set by the `exit` command so embedding shells can terminate cleanly.
     exit_requested: RefCell<Option<i32>>,
+    compile: CompileState,
 }
 
 /// A Tcl interpreter. Clones share the same state.
@@ -227,18 +320,20 @@ impl Default for Interp {
 impl Interp {
     /// Creates an interpreter with all built-in commands registered.
     pub fn new() -> Interp {
-        let interp = Interp {
-            inner: Rc::new(InterpInner {
-                commands: RefCell::new(HashMap::new()),
-                frames: RefCell::new(vec![Frame::default()]),
-                output: RefCell::new(Output::Stdout),
-                executor: RefCell::new(Rc::new(SystemExecutor)),
-                nesting: RefCell::new(0),
-                next_trace_id: std::cell::Cell::new(0),
-                exit_requested: RefCell::new(None),
-            }),
-        };
+        let interp = Interp::bare();
         crate::commands::register_all(&interp);
+        // Snapshot the specialized builtins: compile-time specialization
+        // is only valid while the registered command is still this exact
+        // procedure (a `proc set ...` redefinition must win).
+        {
+            let commands = interp.inner.commands.borrow();
+            let mut baseline = interp.inner.compile.baseline.borrow_mut();
+            for name in SPECIALIZED {
+                if let Some(Command::Native(f)) = commands.get(*name) {
+                    baseline.insert(name.to_string(), f.clone());
+                }
+            }
+        }
         interp
     }
 
@@ -254,6 +349,7 @@ impl Interp {
                 nesting: RefCell::new(0),
                 next_trace_id: std::cell::Cell::new(0),
                 exit_requested: RefCell::new(None),
+                compile: CompileState::new(),
             }),
         }
     }
@@ -266,35 +362,59 @@ impl Interp {
     where
         F: Fn(&Interp, &[String]) -> TclResult + 'static,
     {
+        if SPECIALIZED.contains(&name) {
+            self.bump_compile_epoch();
+        }
+        let cmd = Command::Native(Rc::new(f));
+        self.sync_atom(name, Some(cmd.clone()));
         self.inner
             .commands
             .borrow_mut()
-            .insert(name.to_string(), Command::Native(Rc::new(f)));
+            .insert(name.to_string(), cmd);
     }
 
-    /// Registers a Tcl procedure.
+    /// Registers a Tcl procedure. Always bumps the compile epoch: a proc
+    /// (re)definition may shadow a specialized builtin, and cached
+    /// programs compiled against the old registry must not survive it.
     pub fn register_proc(&self, name: &str, def: ProcDef) {
+        self.bump_compile_epoch();
+        let cmd = Command::Proc(Rc::new(def));
+        self.sync_atom(name, Some(cmd.clone()));
         self.inner
             .commands
             .borrow_mut()
-            .insert(name.to_string(), Command::Proc(Rc::new(def)));
+            .insert(name.to_string(), cmd);
     }
 
     /// Removes a command. Returns true if it existed.
     pub fn unregister(&self, name: &str) -> bool {
+        if SPECIALIZED.contains(&name) {
+            self.bump_compile_epoch();
+        }
+        self.sync_atom(name, None);
         self.inner.commands.borrow_mut().remove(name).is_some()
     }
 
     /// Renames a command; an empty new name deletes it.
     pub fn rename(&self, from: &str, to: &str) -> Result<(), Exception> {
-        let mut cmds = self.inner.commands.borrow_mut();
-        let Some(cmd) = cmds.remove(from) else {
-            return Err(Exception::error(format!(
-                "can't rename \"{from}\": command doesn't exist"
-            )));
+        if SPECIALIZED.contains(&from) || SPECIALIZED.contains(&to) {
+            self.bump_compile_epoch();
+        }
+        let cmd = {
+            let mut cmds = self.inner.commands.borrow_mut();
+            let Some(cmd) = cmds.remove(from) else {
+                return Err(Exception::error(format!(
+                    "can't rename \"{from}\": command doesn't exist"
+                )));
+            };
+            if !to.is_empty() {
+                cmds.insert(to.to_string(), cmd.clone());
+            }
+            cmd
         };
+        self.sync_atom(from, None);
         if !to.is_empty() {
-            cmds.insert(to.to_string(), cmd);
+            self.sync_atom(to, Some(cmd));
         }
         Ok(())
     }
@@ -412,7 +532,10 @@ impl Interp {
     // ----- variable traces ------------------------------------------------
 
     /// Attaches a trace to a variable in the current frame; returns its id.
+    /// Trace installation bumps the compile epoch: cached programs were
+    /// compiled against a trace-free view of the variable.
     pub fn trace_variable(&self, name: &str, ops: TraceOps, action: TraceAction) -> u64 {
+        self.bump_compile_epoch();
         let (base, _) = split_var_name(name);
         let (level, base) = self.resolve(self.level(), base);
         let id = self.inner.next_trace_id.get() + 1;
@@ -741,6 +864,11 @@ impl Interp {
 
     /// Evaluates a script: parses commands one at a time, substitutes their
     /// words, and invokes them. Returns the result of the last command.
+    ///
+    /// With compilation enabled (the default), the script is lowered once
+    /// to a cached [`Program`] and replayed from the cache on subsequent
+    /// evaluations; `RTK_NO_COMPILE=1` (or [`Interp::set_compile`]) keeps
+    /// every evaluation on the direct parse-and-substitute path.
     pub fn eval(&self, script: &str) -> TclResult {
         {
             let mut n = self.inner.nesting.borrow_mut();
@@ -751,7 +879,14 @@ impl Interp {
             }
             *n += 1;
         }
-        let result = self.eval_inner(script);
+        let result = if self.inner.compile.enabled.get() {
+            match self.lookup_or_compile(script) {
+                Some(prog) => self.run_program(&prog),
+                None => self.eval_inner(script),
+            }
+        } else {
+            self.eval_inner(script)
+        };
         *self.inner.nesting.borrow_mut() -= 1;
         result
     }
@@ -766,6 +901,7 @@ impl Interp {
                 Ok(None) => return Ok(result),
                 Err(e) => return Err(e),
             };
+            self.note_parse();
             let source = script[start..pos].trim();
             let mut argv = Vec::with_capacity(words.len());
             let mut subst_err = None;
@@ -797,6 +933,323 @@ impl Interp {
                 Err(e) => return Err(e),
             }
         }
+    }
+
+    // ----- the compile pipeline ---------------------------------------------
+
+    /// Is the compile-once/execute-many pipeline active?
+    pub fn compile_enabled(&self) -> bool {
+        self.inner.compile.enabled.get()
+    }
+
+    /// Enables or disables compilation programmatically (the in-process
+    /// equivalent of `RTK_NO_COMPILE=1`). Disabling also drops the caches
+    /// so a later re-enable starts cold and deterministic.
+    pub fn set_compile(&self, enabled: bool) {
+        self.inner.compile.enabled.set(enabled);
+        if !enabled {
+            self.inner.compile.programs.borrow_mut().clear();
+            self.inner.compile.exprs.borrow_mut().clear();
+        }
+    }
+
+    /// The compile pipeline's deterministic counters, in `obs` naming.
+    pub fn compile_counters(&self) -> Vec<(&'static str, u64)> {
+        let s = &self.inner.compile.stats;
+        vec![
+            ("tcl.compiles", s.compiles.get()),
+            ("tcl.compile_cache_hits", s.cache_hits.get()),
+            ("tcl.compile_cache_misses", s.cache_misses.get()),
+            ("tcl.compile_evictions", s.evictions.get()),
+            ("tcl.compile_invalidations", s.invalidations.get()),
+            ("tcl.parses", s.parses.get()),
+            ("tcl.parses_avoided", s.parses_avoided.get()),
+            ("tcl.expr_compiles", s.expr_compiles.get()),
+            ("tcl.expr_cache_hits", s.expr_cache_hits.get()),
+        ]
+    }
+
+    /// Zeroes the compile counters without touching the caches: `obs
+    /// reset` starts a fresh measurement epoch against warm caches.
+    pub fn reset_compile_stats(&self) {
+        let s = &self.inner.compile.stats;
+        for c in [
+            &s.compiles,
+            &s.cache_hits,
+            &s.cache_misses,
+            &s.evictions,
+            &s.invalidations,
+            &s.parses,
+            &s.parses_avoided,
+            &s.expr_compiles,
+            &s.expr_cache_hits,
+        ] {
+            c.set(0);
+        }
+    }
+
+    /// Number of cached programs (for capacity/invalidation tests).
+    pub fn program_cache_len(&self) -> usize {
+        self.inner.compile.programs.borrow().len()
+    }
+
+    /// Counts one `parse_command` yield (called from both eval modes and
+    /// from the compiler, so `tcl.parses` measures total parse work).
+    pub(crate) fn note_parse(&self) {
+        bump(&self.inner.compile.stats.parses);
+    }
+
+    /// Invalidates every cached program by advancing the command epoch.
+    fn bump_compile_epoch(&self) {
+        let e = &self.inner.compile.cmd_epoch;
+        e.set(e.get() + 1);
+    }
+
+    /// Is `name` still bound to the builtin captured at construction?
+    pub(crate) fn is_baseline_command(&self, name: &str) -> bool {
+        let baseline = self.inner.compile.baseline.borrow();
+        let Some(base) = baseline.get(name) else {
+            return false;
+        };
+        match self.inner.commands.borrow().get(name) {
+            Some(Command::Native(f)) => Rc::ptr_eq(base, f),
+            _ => false,
+        }
+    }
+
+    /// Interns a command name, returning its atom. The atom's command slot
+    /// tracks the live registry, so dispatch through an atom is an index
+    /// lookup that still honors later (re)registrations.
+    pub(crate) fn intern_atom(&self, name: &str) -> u32 {
+        let mut ids = self.inner.compile.atom_ids.borrow_mut();
+        if let Some(&id) = ids.get(name) {
+            return id;
+        }
+        let mut cmds = self.inner.compile.atom_cmds.borrow_mut();
+        let id = cmds.len() as u32;
+        cmds.push(self.inner.commands.borrow().get(name).cloned());
+        ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// Keeps an interned atom's command slot in sync with the registry.
+    fn sync_atom(&self, name: &str, cmd: Option<Command>) {
+        if let Some(&id) = self.inner.compile.atom_ids.borrow().get(name) {
+            self.inner.compile.atom_cmds.borrow_mut()[id as usize] = cmd;
+        }
+    }
+
+    /// Dispatches a substituted command line through an interned atom.
+    /// Behaviorally identical to [`Interp::invoke`] — an unbound atom
+    /// falls back to the full path so the `unknown` hook still fires.
+    fn invoke_atom(&self, atom: u32, argv: &[String]) -> TclResult {
+        let cmd = self
+            .inner
+            .compile
+            .atom_cmds
+            .borrow()
+            .get(atom as usize)
+            .and_then(|c| c.clone());
+        match cmd {
+            Some(Command::Native(f)) => f(self, argv),
+            Some(Command::Proc(def)) => self.invoke_proc(&argv[0], &def, argv),
+            None => self.invoke(argv),
+        }
+    }
+
+    /// Looks up (or compiles and caches) the program for a script.
+    /// `None` means the script does not compile — the caller falls back to
+    /// direct evaluation, which reproduces the parse error in place after
+    /// executing any leading commands.
+    fn lookup_or_compile(&self, script: &str) -> Option<Rc<Program>> {
+        let st = &self.inner.compile;
+        let epoch = st.cmd_epoch.get();
+        {
+            let mut cache = st.programs.borrow_mut();
+            if let Some(entry) = cache.get_mut(script) {
+                if entry.epoch == epoch {
+                    bump(&st.stats.cache_hits);
+                    st.gen.set(st.gen.get() + 1);
+                    entry.gen = st.gen.get();
+                    return entry.prog.clone();
+                }
+                bump(&st.stats.invalidations);
+                cache.remove(script);
+            }
+        }
+        bump(&st.stats.cache_misses);
+        let prog = match crate::compile::compile(self, script) {
+            Ok(p) => {
+                bump(&st.stats.compiles);
+                Some(Rc::new(p))
+            }
+            Err(_) => None,
+        };
+        let mut cache = st.programs.borrow_mut();
+        if cache.len() >= PROGRAM_CACHE_CAP {
+            let mut gens: Vec<u64> = cache.values().map(|e| e.gen).collect();
+            gens.sort_unstable();
+            let cutoff = gens[gens.len() / 2];
+            let before = cache.len();
+            cache.retain(|_, e| e.gen > cutoff);
+            st.stats
+                .evictions
+                .set(st.stats.evictions.get() + (before - cache.len()) as u64);
+        }
+        st.gen.set(st.gen.get() + 1);
+        cache.insert(
+            script.to_string(),
+            CacheEntry {
+                prog: prog.clone(),
+                epoch,
+                gen: st.gen.get(),
+            },
+        );
+        prog
+    }
+
+    /// Executes a compiled program with the exact result/traceback
+    /// semantics of [`Interp::eval_inner`].
+    fn run_program(&self, prog: &Program) -> TclResult {
+        prog.runs.set(prog.runs.get() + 1);
+        let rerun = prog.runs.get() > 1;
+        let stats = &self.inner.compile.stats;
+        let mut result = String::new();
+        for cmd in &prog.cmds {
+            if rerun {
+                bump(&stats.parses_avoided);
+            }
+            match self.run_cmd(cmd) {
+                Ok(r) => result = r,
+                Err(e) if e.code == Code::Error => {
+                    let line = if e.trace.is_empty() {
+                        format!("while executing\n\"{}\"", truncate(&cmd.source, 150))
+                    } else {
+                        format!("invoked from within\n\"{}\"", truncate(&cmd.source, 150))
+                    };
+                    let e = e.add_trace(line);
+                    self.record_error_info(&e);
+                    return Err(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(result)
+    }
+
+    /// Substitutes one compiled word.
+    fn word_text(&self, word: &CompiledWord) -> Result<String, Exception> {
+        match word {
+            CompiledWord::Lit(v) => Ok(v.text().to_string()),
+            CompiledWord::Dyn(w) => self.subst_word(w),
+        }
+    }
+
+    /// Executes one compiled command. Specialized ops reuse the same
+    /// variable/eval/expr entry points as the builtin command procedures,
+    /// so results, traces, and error messages match the direct path byte
+    /// for byte.
+    fn run_cmd(&self, cmd: &CompiledCmd) -> TclResult {
+        use crate::expr::{expr_bool_cached, expr_string_cached};
+        match &cmd.op {
+            OpKind::Generic { words, head_atom } => {
+                let mut argv = Vec::with_capacity(words.len());
+                for w in words {
+                    argv.push(self.word_text(w)?);
+                }
+                match head_atom {
+                    Some(a) => self.invoke_atom(*a, &argv),
+                    None => self.invoke(&argv),
+                }
+            }
+            OpKind::Set { name, index, value } => match value {
+                None => self.get_var(name, index.as_deref()),
+                Some(w) => {
+                    let v = self.word_text(w)?;
+                    self.set_var(name, index.as_deref(), &v)
+                }
+            },
+            OpKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                if expr_bool_cached(self, cond)? {
+                    self.eval(then_body)
+                } else if let Some(e) = else_body {
+                    self.eval(e)
+                } else {
+                    Ok(String::new())
+                }
+            }
+            OpKind::While { cond, body } => {
+                while expr_bool_cached(self, cond)? {
+                    match self.eval(body) {
+                        Ok(_) => {}
+                        Err(e) if e.code == Code::Break => break,
+                        Err(e) if e.code == Code::Continue => continue,
+                        Err(e) => return Err(e),
+                    }
+                }
+                Ok(String::new())
+            }
+            OpKind::For {
+                init,
+                cond,
+                next,
+                body,
+            } => {
+                self.eval(init)?;
+                while expr_bool_cached(self, cond)? {
+                    match self.eval(body) {
+                        Ok(_) => {}
+                        Err(e) if e.code == Code::Break => break,
+                        Err(e) if e.code == Code::Continue => {}
+                        Err(e) => return Err(e),
+                    }
+                    self.eval(next)?;
+                }
+                Ok(String::new())
+            }
+            OpKind::Foreach { var, items, body } => {
+                for item in items {
+                    self.set_var(var, None, item)?;
+                    match self.eval(body) {
+                        Ok(_) => {}
+                        Err(e) if e.code == Code::Break => break,
+                        Err(e) if e.code == Code::Continue => continue,
+                        Err(e) => return Err(e),
+                    }
+                }
+                Ok(String::new())
+            }
+            OpKind::Expr { src } => expr_string_cached(self, src),
+        }
+    }
+
+    /// Looks up a compiled expression: `Some(hit)` on a cache entry
+    /// (where an inner `None` marks a known-unparseable source), `None`
+    /// on a miss.
+    pub(crate) fn expr_cache_get(&self, src: &str) -> Option<Option<Rc<crate::expr::ExprProgram>>> {
+        let st = &self.inner.compile;
+        let hit = st.exprs.borrow().get(src).cloned();
+        if hit.is_some() {
+            bump(&st.stats.expr_cache_hits);
+        }
+        hit
+    }
+
+    /// Stores a compiled expression (or an unparseable marker).
+    pub(crate) fn expr_cache_put(&self, src: &str, prog: Option<Rc<crate::expr::ExprProgram>>) {
+        let st = &self.inner.compile;
+        if prog.is_some() {
+            bump(&st.stats.expr_compiles);
+        }
+        let mut cache = st.exprs.borrow_mut();
+        if cache.len() >= EXPR_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(src.to_string(), prog);
     }
 
     /// Stores `errorInfo` in the global frame when an error unwinds.
@@ -1142,6 +1595,153 @@ mod tests {
         assert_eq!(
             i.subst_string("hello $x [set x] \\n").unwrap(),
             "hello world world \n"
+        );
+    }
+
+    fn counter(i: &Interp, name: &str) -> u64 {
+        i.compile_counters()
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v)
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn repeated_eval_hits_the_program_cache() {
+        let i = Interp::new();
+        i.set_compile(true);
+        i.eval("set a 1").unwrap();
+        let compiles = counter(&i, "tcl.compiles");
+        let hits = counter(&i, "tcl.compile_cache_hits");
+        i.eval("set a 1").unwrap();
+        i.eval("set a 1").unwrap();
+        assert_eq!(
+            counter(&i, "tcl.compiles"),
+            compiles,
+            "recompiled a cached script"
+        );
+        assert_eq!(counter(&i, "tcl.compile_cache_hits"), hits + 2);
+    }
+
+    #[test]
+    fn proc_redefinition_invalidates_the_cache() {
+        let i = Interp::new();
+        i.set_compile(true);
+        assert_eq!(i.eval("set a 7").unwrap(), "7");
+        assert_eq!(i.eval("set a 7").unwrap(), "7");
+        // Shadow the builtin: the cached specialized program must not be
+        // consulted again.
+        i.eval("proc set {args} {return shadowed}").unwrap();
+        assert_eq!(i.eval("set a 7").unwrap(), "shadowed");
+        assert!(counter(&i, "tcl.compile_invalidations") > 0);
+        // Un-shadow via rename-to-delete: still no stale program.
+        i.eval("rename set {}").unwrap();
+        assert!(i.eval("set a 7").is_err(), "builtin really gone");
+    }
+
+    #[test]
+    fn rename_of_a_specialized_builtin_invalidates() {
+        let i = Interp::new();
+        i.set_compile(true);
+        i.eval("set a 1").unwrap();
+        i.rename("set", "set_orig").unwrap();
+        let e = i.eval("set a 1").unwrap_err();
+        assert!(e.msg.contains("invalid command name"), "{}", e.msg);
+        i.rename("set_orig", "set").unwrap();
+        assert_eq!(i.eval("set a 1").unwrap(), "1");
+    }
+
+    #[test]
+    fn cache_capacity_eviction_is_bounded_and_counted() {
+        let i = Interp::new();
+        i.set_compile(true);
+        for n in 0..(super::PROGRAM_CACHE_CAP + 40) {
+            i.eval(&format!("set v{n} {n}")).unwrap();
+        }
+        assert!(i.program_cache_len() <= super::PROGRAM_CACHE_CAP);
+        assert!(counter(&i, "tcl.compile_evictions") > 0);
+        // Evicted scripts still evaluate correctly (recompile on demand).
+        assert_eq!(i.eval("set v0 0").unwrap(), "0");
+    }
+
+    #[test]
+    fn trace_installation_invalidates_the_cache() {
+        let i = Interp::new();
+        i.set_compile(true);
+        i.eval("proc noop {args} {}").unwrap();
+        i.eval("set watched 1").unwrap();
+        let before = counter(&i, "tcl.compile_invalidations");
+        i.eval("trace variable watched w noop").unwrap();
+        i.eval("set watched 1").unwrap();
+        assert!(counter(&i, "tcl.compile_invalidations") > before);
+    }
+
+    #[test]
+    fn reset_compile_stats_keeps_the_cache_warm() {
+        let i = Interp::new();
+        i.set_compile(true);
+        i.eval("set a 1").unwrap();
+        let cached = i.program_cache_len();
+        i.reset_compile_stats();
+        assert_eq!(counter(&i, "tcl.compiles"), 0);
+        assert_eq!(counter(&i, "tcl.compile_cache_hits"), 0);
+        assert_eq!(i.program_cache_len(), cached, "reset wiped the cache");
+        // The next evaluation is a pure cache hit: counters restart from
+        // zero but no recompile happens.
+        i.eval("set a 1").unwrap();
+        assert_eq!(counter(&i, "tcl.compiles"), 0);
+        assert_eq!(counter(&i, "tcl.compile_cache_hits"), 1);
+    }
+
+    #[test]
+    fn compiled_and_direct_agree_on_error_traces() {
+        let scripts = [
+            "set",
+            "set a $nosuch",
+            "if {1} {set x $missing}",
+            "while {$i < [broken} {set i 0}",
+            "foreach x {a b c} {error boom}",
+            "set a 1; nosuchcmd; set b 2",
+            "expr {1/0}",
+            "for {set i 0} {$i < 3} {incr i} {if {$i == 1} {error mid}}",
+        ];
+        for script in scripts {
+            let direct = Interp::new();
+            direct.set_compile(false);
+            let compiled = Interp::new();
+            compiled.set_compile(true);
+            // Run twice so the compiled side exercises the cache-hit path.
+            for _ in 0..2 {
+                let d = direct.eval(script);
+                let c = compiled.eval(script);
+                match (&d, &c) {
+                    (Ok(a), Ok(b)) => assert_eq!(a, b, "{script}"),
+                    (Err(a), Err(b)) => {
+                        assert_eq!(a.msg, b.msg, "{script}");
+                        assert_eq!(a.code, b.code, "{script}");
+                        assert_eq!(a.error_info(), b.error_info(), "{script}");
+                    }
+                    _ => panic!("{script}: direct={d:?} compiled={c:?}"),
+                }
+            }
+            let di = direct.get_var_at(0, "errorInfo", None).ok();
+            let ci = compiled.get_var_at(0, "errorInfo", None).ok();
+            assert_eq!(di, ci, "{script}");
+        }
+    }
+
+    #[test]
+    fn parses_avoided_accrues_on_loop_bodies() {
+        let i = Interp::new();
+        i.set_compile(true);
+        i.eval("set hot 0; for {set n 0} {$n < 50} {incr n} {set hot [expr {$hot + $n}]}")
+            .unwrap();
+        assert_eq!(i.eval("set hot").unwrap(), "1225");
+        let parses = counter(&i, "tcl.parses");
+        let avoided = counter(&i, "tcl.parses_avoided");
+        assert!(
+            avoided > parses * 10,
+            "loop body should replay from cache: parses={parses} avoided={avoided}"
         );
     }
 }

@@ -1,0 +1,98 @@
+//! A compact dual-port value: the string every Tcl value *is*, plus a
+//! lazily parsed numeric interpretation cached alongside it.
+//!
+//! Tcl 6.x semantics are "everything is a string", so the interpreter can
+//! never store a value as *only* a number — but nothing stops it from
+//! remembering what the string parsed to. `TclValue` is that memo: the
+//! text is authoritative, and the first caller who needs the numeric view
+//! pays for one `parse_number`; every later caller reads the cached
+//! result. The compile module interns literals as `Rc<TclValue>` so a
+//! literal that appears in a loop body is parsed at most once per process,
+//! not once per iteration.
+
+use std::cell::{OnceCell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::expr::{parse_number, Value};
+
+/// A string value with a memoized numeric interpretation.
+pub struct TclValue {
+    text: String,
+    num: OnceCell<Option<Value>>,
+}
+
+impl TclValue {
+    /// Wraps a string.
+    pub fn new(text: String) -> TclValue {
+        TclValue {
+            text,
+            num: OnceCell::new(),
+        }
+    }
+
+    /// The authoritative string form.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The numeric interpretation, parsed on first use and cached.
+    pub fn number(&self) -> Option<Value> {
+        self.num.get_or_init(|| parse_number(&self.text)).clone()
+    }
+}
+
+/// Upper bound on the interned-literal table; when full it is cleared
+/// rather than evicted piecemeal (the hot literals repopulate immediately).
+const LITERAL_TABLE_CAP: usize = 512;
+
+thread_local! {
+    static LITERALS: RefCell<HashMap<String, Rc<TclValue>>> =
+        RefCell::new(HashMap::new());
+}
+
+/// Interns a string in the thread's literal table, sharing the memoized
+/// numeric parse between every user of the same text.
+pub fn intern(text: &str) -> Rc<TclValue> {
+    LITERALS.with(|t| {
+        let mut t = t.borrow_mut();
+        if let Some(v) = t.get(text) {
+            return v.clone();
+        }
+        if t.len() >= LITERAL_TABLE_CAP {
+            t.clear();
+        }
+        let v = Rc::new(TclValue::new(text.to_string()));
+        t.insert(text.to_string(), v.clone());
+        v
+    })
+}
+
+/// `parse_number` through the literal table: repeated queries for the same
+/// text hit the memo instead of re-parsing.
+pub fn memo_number(text: &str) -> Option<Value> {
+    intern(text).number()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn number_is_memoized() {
+        let v = TclValue::new("42".into());
+        let before = crate::expr::parse_number_calls();
+        assert_eq!(v.number(), Some(Value::Int(42)));
+        assert_eq!(v.number(), Some(Value::Int(42)));
+        assert_eq!(crate::expr::parse_number_calls() - before, 1);
+    }
+
+    #[test]
+    fn intern_shares_the_memo() {
+        let a = intern("3.5");
+        let b = intern("3.5");
+        assert!(Rc::ptr_eq(&a, &b));
+        assert_eq!(memo_number("3.5"), Some(Value::Double(3.5)));
+        assert_eq!(memo_number("not a number"), None);
+    }
+}

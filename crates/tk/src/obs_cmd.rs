@@ -81,6 +81,9 @@ fn cmd_obs(app: &TkApp, _interp: &tcl::Interp, argv: &[String]) -> TclResult {
             app.obs().reset();
             app.cache().reset_stats();
             app.inner.bindings.borrow_mut().reset_stats();
+            // Compile counters reset; the program cache itself stays warm
+            // so post-reset measurement epochs replay cached programs.
+            app.interp().reset_compile_stats();
             Ok(String::new())
         }
         "dump" => {
@@ -156,6 +159,10 @@ fn counters_list(app: &TkApp) -> String {
     items.push(considered.to_string());
     items.push("bind.matched".into());
     items.push(matched.to_string());
+    for (name, v) in app.interp().compile_counters() {
+        items.push(name.into());
+        items.push(v.to_string());
+    }
     for (name, v) in app.obs().counters() {
         items.push(name);
         items.push(v.to_string());
@@ -242,6 +249,17 @@ fn snapshot(app: &TkApp) -> String {
     out.push_str(&format!(
         "bind: {considered} considered, {matched} matched\n"
     ));
+    out.push_str(&format!(
+        "tcl: compile {}\n",
+        if app.interp().compile_enabled() {
+            "on"
+        } else {
+            "off"
+        }
+    ));
+    for (name, v) in app.interp().compile_counters() {
+        out.push_str(&format!("  {name}: {v}\n"));
+    }
     out.push_str("toolkit:\n");
     for (name, v) in app.obs().counters() {
         out.push_str(&format!("  {name}: {v}\n"));
@@ -297,6 +315,12 @@ pub fn dump_json(app: &TkApp) -> String {
     bind.field_u64("considered", considered);
     bind.field_u64("matched", matched);
 
+    let mut tcl_obj = rtk_obs::json::Object::new();
+    tcl_obj.field_bool("compile_enabled", app.interp().compile_enabled());
+    for (name, v) in app.interp().compile_counters() {
+        tcl_obj.field_u64(name.trim_start_matches("tcl."), v);
+    }
+
     let t = app.tracer();
     let span_records = t.snapshot();
     let mut shape = rtk_obs::SpanShape::default();
@@ -324,6 +348,7 @@ pub fn dump_json(app: &TkApp) -> String {
     o.field_raw("protocol", &protocol.build());
     o.field_raw("cache", &app.cache().stats_json());
     o.field_raw("bind", &bind.build());
+    o.field_raw("tcl", &tcl_obj.build());
     o.field_raw("toolkit", &app.obs().to_json());
     o.field_raw("spans", &spans.build());
     o.build()

@@ -34,6 +34,16 @@ cargo test -q --offline --locked --test golden_frames
 echo "==> bench --check-budgets"
 cargo run -p tk-bench --release --offline --locked --bin bench -- --check-budgets
 
+# Compile-equivalence gate: the Tcl program cache must be invisible.
+# Replay both chaos corpora and a seeded random-script sweep with the
+# compiler on vs off (what RTK_NO_COMPILE=1 selects), asserting
+# byte-identical results, error messages, and request streams; then run
+# the interpreter's own suite with the compiler disabled outright, so
+# the direct-eval oracle path stays green too. See docs/TCL.md.
+echo "==> compile-equivalence gate (both modes, both corpora)"
+cargo test -q --offline --locked --test compile_equivalence
+RTK_NO_COMPILE=1 cargo test -q -p tcl --offline --locked
+
 # Trace-integrity gate: replay both chaos corpora with the causal span
 # tracer recording, asserting every run's span tree stays well formed
 # (no orphaned parents, nothing left open at quiescence) even while

@@ -1,0 +1,244 @@
+//! The program cache must be invisible: with the compiler on (the
+//! default) and off (`RTK_NO_COMPILE=1`), every script must produce
+//! byte-identical results, error messages, error traces, and X request
+//! streams. These tests replay the checked-in chaos corpora and a
+//! seeded random script generator in both modes and diff everything the
+//! interpreter can observably produce.
+//!
+//! `TkApp::interp().set_compile(false)` selects at runtime exactly what
+//! `RTK_NO_COMPILE=1` selects at startup, so the sweep covers the env
+//! var's code path without the env-mutation races of `set_var`.
+
+use tcl::Interp;
+use tk::{TkApp, TkEnv};
+use tk_bench::chaos::{
+    generate_ops, generate_plan, generate_storm_ops, generate_storm_plan, Op, SCRIPT_OPS,
+    STORM_APPS, STORM_OPS,
+};
+use xsim::XorShift;
+
+fn parse_pairs(text: &str) -> Vec<(u64, u64)> {
+    text.lines()
+        .filter_map(|line| {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                return None;
+            }
+            let mut it = line.split_whitespace();
+            Some((
+                it.next().unwrap().parse().expect("script seed"),
+                it.next().unwrap().parse().expect("fault seed"),
+            ))
+        })
+        .collect()
+}
+
+/// Everything one replay produces that the other mode must reproduce
+/// byte for byte.
+#[derive(Debug, PartialEq)]
+struct Replay {
+    /// Per-Tcl-op outcome: the result string, or the full exception
+    /// (code, message, trace).
+    tcl: Vec<Result<String, tcl::Exception>>,
+    /// Per-app protocol stream: (requests, flushes, round_trips).
+    protocol: Vec<(u64, u64, u64)>,
+    /// Faults fired on each connection (the streams staying aligned is
+    /// what keeps sequence-keyed faults hitting the same requests).
+    faults: Vec<u64>,
+    /// Final screen contents.
+    dump: String,
+}
+
+/// Replays an op list against apps `names`, all in one compile mode,
+/// under an optional fault plan.
+fn replay(ops: &[Op], names: &[&str], compiled: bool, plan: Option<&xsim::FaultPlan>) -> Replay {
+    let env = TkEnv::new();
+    let apps: Vec<TkApp> = names.iter().map(|n| env.app(n)).collect();
+    for app in &apps {
+        app.interp().set_compile(compiled);
+    }
+    env.dispatch_all();
+    if let Some(plan) = plan {
+        env.display()
+            .with_server(|s| s.install_fault_plan(plan.clone()));
+    }
+    let mut tcl = Vec::new();
+    for op in ops {
+        match op {
+            Op::Tcl(i, s) => tcl.push(apps[*i].eval(s)),
+            Op::Click(x, y) => {
+                env.display().move_pointer(*x, *y);
+                env.display().click(1);
+                env.dispatch_all();
+            }
+            Op::Key(c) => {
+                env.display().type_char(*c);
+                env.dispatch_all();
+            }
+            Op::Advance(ms) => env.advance(*ms),
+        }
+    }
+    env.dispatch_all();
+    Replay {
+        tcl,
+        protocol: apps
+            .iter()
+            .map(|a| {
+                let s = a.conn().stats();
+                (s.requests, s.flushes, s.round_trips)
+            })
+            .collect(),
+        faults: apps
+            .iter()
+            .map(|a| a.conn().with_obs(|o| o.faults_injected).unwrap_or(0))
+            .collect(),
+        dump: env.display().ascii_dump(),
+    }
+}
+
+fn assert_equivalent(label: &str, compiled: &Replay, direct: &Replay, ops: &[Op]) {
+    for (i, (c, d)) in compiled.tcl.iter().zip(&direct.tcl).enumerate() {
+        assert_eq!(
+            c,
+            d,
+            "{label}: compiled and direct modes disagree on Tcl op {i} \
+             ({:?})",
+            ops.iter()
+                .filter(|op| matches!(op, Op::Tcl(..)))
+                .nth(i)
+                .map(|op| op.to_string())
+        );
+    }
+    assert_eq!(
+        compiled.protocol, direct.protocol,
+        "{label}: request streams diverged between compile modes"
+    );
+    assert_eq!(
+        compiled.faults, direct.faults,
+        "{label}: different faults fired between compile modes"
+    );
+    assert_eq!(compiled.dump, direct.dump, "{label}: screens diverged");
+}
+
+/// Every chaos-corpus pair — random Tcl/Tk scripts across two apps under
+/// the corpus fault plans — must replay identically in both modes: same
+/// results, same error strings, same request streams, same faults, same
+/// final screen.
+#[test]
+fn chaos_corpus_is_identical_across_compile_modes() {
+    let pairs = parse_pairs(include_str!("chaos_corpus.txt"));
+    assert!(!pairs.is_empty(), "corpus file is empty");
+    for (script_seed, fault_seed) in pairs {
+        let ops = generate_ops(script_seed, SCRIPT_OPS);
+        let plan = generate_plan(fault_seed);
+        let names = ["chaos0", "chaos1"];
+        let compiled = replay(&ops, &names, true, Some(&plan));
+        let direct = replay(&ops, &names, false, Some(&plan));
+        assert_equivalent(
+            &format!("chaos pair ({script_seed}, {fault_seed})"),
+            &compiled,
+            &direct,
+            &ops,
+        );
+    }
+}
+
+/// The storm corpus — three apps exchanging nested/concurrent sends
+/// under faults — must also be mode-blind. `send` evaluates scripts in a
+/// *remote* interpreter, so this covers the cross-interp eval path.
+#[test]
+fn storm_corpus_is_identical_across_compile_modes() {
+    let pairs = parse_pairs(include_str!("chaos_storm_corpus.txt"));
+    assert!(!pairs.is_empty(), "storm corpus file is empty");
+    let names = ["storm0", "storm1", "storm2"];
+    for (script_seed, fault_seed) in pairs {
+        let ops = generate_storm_ops(script_seed, STORM_OPS, STORM_APPS);
+        let plan = generate_storm_plan(fault_seed, STORM_APPS);
+        let compiled = replay(&ops, &names, true, Some(&plan));
+        let direct = replay(&ops, &names, false, Some(&plan));
+        assert_equivalent(
+            &format!("storm pair ({script_seed}, {fault_seed})"),
+            &compiled,
+            &direct,
+            &ops,
+        );
+    }
+}
+
+/// Generates one random interpreter-level script: specialized forms
+/// (`set`/`if`/`while`/`for`/`foreach`/`expr`), proc definition and
+/// redefinition, deliberate runtime errors, unparseable tails, and
+/// nested substitution — the full surface the compiler lowers.
+fn gen_script(rng: &mut XorShift) -> String {
+    let v = rng.below(5);
+    match rng.below(16) {
+        0 => format!("set v{v} {}", rng.below(1000)),
+        1 => format!("set v{}", rng.below(8)), // may error: unset variable
+        2 => format!("expr {{$v{v} + {}}}", rng.below(50)),
+        3 => format!(
+            "expr {{{} * {} - {}}}",
+            rng.below(9),
+            rng.below(9),
+            rng.below(9)
+        ),
+        4 => format!("expr {{$v{v} > {} ? \"big\" : \"small\"}}", rng.below(500)),
+        5 => format!("if {{$v{v} % 2 == 0}} {{set even yes}} else {{set even no}}"),
+        6 => format!(
+            "set i 0\nwhile {{$i < {}}} {{set i [expr {{$i + 1}}]}}\nset i",
+            rng.below(6) + 1
+        ),
+        7 => format!(
+            "for {{set j 0}} {{$j < {}}} {{set j [expr {{$j + 1}}]}} {{set acc{v} $j}}",
+            rng.below(5) + 1
+        ),
+        8 => format!(
+            "foreach x {{a b {} c}} {{set last $x}}\nset last",
+            rng.below(10)
+        ),
+        9 => format!(
+            "proc p{} {{a}} {{return [expr {{$a * {}}}]}}",
+            rng.below(3),
+            rng.below(7) + 1
+        ),
+        10 => format!("p{} {}", rng.below(3), rng.below(20)), // may error: undefined proc
+        11 => format!("string length [set v{v} {}]", rng.below(100)),
+        12 => "expr {1 +}".into(), // expr parse error, both modes
+        13 => "while {$nope} {break}".into(), // runtime error in the condition
+        14 => format!("catch {{expr {{100 / ($v{v} % 3)}}}} caught"),
+        _ => format!(
+            "set s [list a {} b]\nforeach e $s {{append out{v} $e}}",
+            rng.below(5)
+        ),
+    }
+}
+
+/// A seeded random sweep over two bare interpreters, one per mode. Each
+/// generated script is evaluated twice in both interps — the second
+/// round replays from the program cache — and every result, exception,
+/// and `errorInfo` must match byte for byte.
+#[test]
+fn random_scripts_agree_across_compile_modes() {
+    const CASES: usize = 400;
+    let compiled = Interp::new();
+    compiled.set_compile(true);
+    let direct = Interp::new();
+    direct.set_compile(false);
+    let mut rng = XorShift::new(0xc0de);
+    for case in 0..CASES {
+        let script = gen_script(&mut rng);
+        for round in 0..2 {
+            let c = compiled.eval(&script);
+            let d = direct.eval(&script);
+            assert_eq!(
+                c, d,
+                "case {case} round {round}: modes disagree on {script:?}"
+            );
+            let ci = compiled.get_var_at(0, "errorInfo", None).ok();
+            let di = direct.get_var_at(0, "errorInfo", None).ok();
+            assert_eq!(
+                ci, di,
+                "case {case} round {round}: errorInfo diverged after {script:?}"
+            );
+        }
+    }
+}

@@ -83,7 +83,11 @@ fn reset_makes_workload_counts_reproducible() {
     let env = TkEnv::new();
     let app = env.app("fifty");
     // Warm every cache so both measured runs hit the same cache state.
+    // That includes the Tcl program cache, and the measurement scripts
+    // themselves: reading the counters evals "obs counters", which would
+    // otherwise show up as a compile in the first epoch only.
     fifty_buttons(&app);
+    app.eval("obs counters").unwrap();
 
     app.eval("obs reset").unwrap();
     fifty_buttons(&app);
@@ -127,6 +131,34 @@ fn reset_zeroes_flush_and_batch_counters() {
 }
 
 #[test]
+fn obs_reset_zeroes_tcl_counters_but_keeps_the_program_cache_warm() {
+    let env = TkEnv::new();
+    let app = env.app("fifty");
+    app.interp().set_compile(true);
+    for _ in 0..3 {
+        app.eval("set warmth 1").unwrap();
+    }
+    // Warm the measurement script too, so reading the counters below is a
+    // cache hit rather than a compile.
+    app.eval("obs counters").unwrap();
+    let pairs = parse_counters(&app.eval("obs counters").unwrap());
+    assert!(counter(&pairs, "tcl.compiles") > 0);
+    assert!(counter(&pairs, "tcl.compile_cache_hits") > 0);
+
+    app.eval("obs reset").unwrap();
+    // The counters restart from zero...
+    let pairs = parse_counters(&app.eval("obs counters").unwrap());
+    assert_eq!(counter(&pairs, "tcl.compiles"), 0);
+    assert_eq!(counter(&pairs, "tcl.compile_cache_misses"), 0);
+    // ...but the program cache survives the reset: replaying the warmed
+    // script is a cache hit, not a fresh compile.
+    app.eval("set warmth 1").unwrap();
+    let pairs = parse_counters(&app.eval("obs counters").unwrap());
+    assert_eq!(counter(&pairs, "tcl.compiles"), 0);
+    assert!(counter(&pairs, "tcl.compile_cache_hits") >= 2);
+}
+
+#[test]
 fn dump_json_is_valid_and_complete() {
     let env = TkEnv::new();
     let app = env.app("fifty");
@@ -144,6 +176,8 @@ fn dump_json_is_valid_and_complete() {
         "\"toolkit\"",
         "\"counters\"",
         "\"histograms\"",
+        "\"tcl\"",
+        "\"compile_enabled\"",
     ] {
         assert!(j.contains(key), "dump missing {key}: {j}");
     }
