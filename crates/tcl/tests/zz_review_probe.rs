@@ -1,0 +1,13 @@
+use tcl::interp::Interp;
+
+#[test]
+fn intra_script_redefinition() {
+    let mut results = Vec::new();
+    for mode in [false, true] {
+        let i = Interp::new();
+        i.set_compile(mode);
+        let r = i.eval("proc set {args} {return shadowed}\nset a 1");
+        results.push(format!("compile={mode}: {r:?}"));
+    }
+    panic!("{}", results.join(" | "));
+}
