@@ -44,9 +44,9 @@ use std::time::Instant;
 use rtk_obs::{json, Histogram, SpanShape};
 use tk::TkApp;
 use tk_bench::{
-    bind_dispatch, blink_button, create_display_delete_buttons, env_with_apps, eval_hot, fmt_time,
-    scroll_listbox, setup_bind_dispatch, setup_blink, setup_entry, setup_eval_hot, setup_listbox,
-    type_into_entry,
+    bind_dispatch, blink_button, create_display_delete_buttons, env_with_apps, env_with_apps_wire,
+    eval_hot, fmt_time, scroll_listbox, setup_bind_dispatch, setup_blink, setup_entry,
+    setup_eval_hot, setup_listbox, type_into_entry,
 };
 use xsim::{ClientStats, FaultPlan, RequestKind};
 
@@ -83,13 +83,15 @@ fn incremental_workloads() -> [IncrWorkload; 3] {
 }
 
 /// One budget run: workload name, iterations, protocol counters, (for the
-/// workloads whose causal pipeline CI pins) the span-tree shape, and (for
-/// the interpreter workloads) the Tcl compile/cache counters.
+/// workloads whose causal pipeline CI pins) the span-tree shape, (for the
+/// interpreter workloads) the Tcl compile/cache counters, and (for the
+/// wire workload) the framed-transport frame/byte counters.
 type BudgetRun = (
     &'static str,
     u64,
     ClientStats,
     Option<SpanShape>,
+    Vec<(&'static str, u64)>,
     Vec<(&'static str, u64)>,
 );
 
@@ -125,6 +127,44 @@ fn budget_workloads() -> Vec<BudgetRun> {
         send_stats,
         Some(shape_of(&apps)),
         Vec::new(),
+        Vec::new(),
+    ));
+
+    // The wire workload: the same cross-application send traffic, but on
+    // a display forced onto the framed byte transport (independent of
+    // `RTK_NO_WIRE`, so this budget holds in both CI transport runs).
+    // Every frame the sender encodes, decodes, or ships is pinned — a
+    // change to the frame layout, the batching boundaries, or the
+    // request stream shows up as an exact counter diff here.
+    let (_wenv, wapps) = env_with_apps_wire(&["wa", "wb"]);
+    let wsender = &wapps[0];
+    wsender.eval("send wb {}").unwrap(); // warm the handshake atoms
+    wsender.conn().reset_obs();
+    wapps[1].conn().reset_obs();
+    let wire_iters = 100;
+    for _ in 0..wire_iters {
+        wsender.eval("send wb {}").unwrap();
+    }
+    let w = wsender.conn().wire_stats();
+    assert!(
+        w.active(),
+        "the wire workload must actually cross the framed transport"
+    );
+    let wire_counters = vec![
+        ("frames_encoded", w.frames_encoded),
+        ("bytes_encoded", w.bytes_encoded),
+        ("frames_decoded", w.frames_decoded),
+        ("bytes_decoded", w.bytes_decoded),
+        ("flushes", w.flushes),
+        ("frame_bytes_max", w.frame_bytes.max()),
+    ];
+    out.push((
+        "wire_send",
+        wire_iters,
+        wsender.conn().stats(),
+        None,
+        Vec::new(),
+        wire_counters,
     ));
 
     let (_env50, apps50) = env_with_apps(&["buttons"]);
@@ -141,6 +181,7 @@ fn budget_workloads() -> Vec<BudgetRun> {
         button_iters,
         button_stats,
         Some(shape_of(&apps50)),
+        Vec::new(),
         Vec::new(),
     ));
 
@@ -161,7 +202,7 @@ fn budget_workloads() -> Vec<BudgetRun> {
             run(app); // warm caches
             app.eval("obs reset").unwrap();
             run(app);
-            out.push((label, 1, app.conn().stats(), None, Vec::new()));
+            out.push((label, 1, app.conn().stats(), None, Vec::new(), Vec::new()));
         }
     }
 
@@ -178,7 +219,7 @@ fn budget_workloads() -> Vec<BudgetRun> {
         app.eval("obs reset").unwrap();
         eval_hot(app, eval_iters as usize);
         let tcl = app.interp().compile_counters();
-        out.push((label, eval_iters, app.conn().stats(), None, tcl));
+        out.push((label, eval_iters, app.conn().stats(), None, tcl, Vec::new()));
     }
 
     let click_iters = 20;
@@ -191,7 +232,14 @@ fn budget_workloads() -> Vec<BudgetRun> {
         app.eval("obs reset").unwrap();
         bind_dispatch(&env, app, click_iters as usize);
         let tcl = app.interp().compile_counters();
-        out.push((label, click_iters, app.conn().stats(), None, tcl));
+        out.push((
+            label,
+            click_iters,
+            app.conn().stats(),
+            None,
+            tcl,
+            Vec::new(),
+        ));
     }
 
     out
@@ -224,7 +272,7 @@ fn check_damage_ratios(runs: &[BudgetRun]) {
 fn check_compile_ratios(runs: &[BudgetRun]) {
     for base in ["eval_hot", "bind_dispatch"] {
         let parses = |n: &str| {
-            let (.., tcl) = runs
+            let (_, _, _, _, tcl, _) = runs
                 .iter()
                 .find(|(name, ..)| *name == n)
                 .unwrap_or_else(|| panic!("missing workload {n}"));
@@ -245,7 +293,7 @@ fn check_compile_ratios(runs: &[BudgetRun]) {
 
 fn budgets_to_json(runs: &[BudgetRun]) -> String {
     let mut workloads = json::Object::new();
-    for (name, iters, stats, shape, tcl) in runs {
+    for (name, iters, stats, shape, tcl, wire) in runs {
         let mut w = json::Object::new();
         w.field_u64("iters", *iters);
         for (field, value) in budget_fields(stats) {
@@ -260,6 +308,13 @@ fn budgets_to_json(runs: &[BudgetRun]) -> String {
                 t.field_u64(field, *value);
             }
             w.field_raw("tcl", &t.build());
+        }
+        if !wire.is_empty() {
+            let mut t = json::Object::new();
+            for (field, value) in wire {
+                t.field_u64(field, *value);
+            }
+            w.field_raw("wire", &t.build());
         }
         workloads.field_raw(name, &w.build());
     }
@@ -279,7 +334,7 @@ fn budgets_to_json(runs: &[BudgetRun]) -> String {
 fn measured_budgets() -> Vec<BudgetRun> {
     let first = budget_workloads();
     let second = budget_workloads();
-    for ((name, _, a, sa, ta), (_, _, b, sb, tb)) in first.iter().zip(&second) {
+    for ((name, _, a, sa, ta, wa), (_, _, b, sb, tb, wb)) in first.iter().zip(&second) {
         assert_eq!(
             a, b,
             "workload {name} is not deterministic: two identical runs \
@@ -294,6 +349,11 @@ fn measured_budgets() -> Vec<BudgetRun> {
             ta, tb,
             "workload {name} is not deterministic: two identical runs \
              produced different Tcl compile counters"
+        );
+        assert_eq!(
+            wa, wb,
+            "workload {name} is not deterministic: two identical runs \
+             produced different wire frame/byte counters"
         );
     }
     check_damage_ratios(&first);
@@ -316,7 +376,7 @@ fn check_budgets(path: &str) {
         .unwrap_or_else(|| panic!("{path}: missing \"workloads\""));
 
     let mut failures = Vec::new();
-    for (name, iters, stats, shape, tcl) in measured_budgets() {
+    for (name, iters, stats, shape, tcl, wire) in measured_budgets() {
         let Some(budget) = expected.get(name) else {
             failures.push(format!("workload {name}: missing from {path}"));
             continue;
@@ -350,6 +410,21 @@ fn check_budgets(path: &str) {
                 )),
                 None => failures.push(format!(
                     "workload {name}: budget lacks Tcl counter {field} — regenerate the budgets"
+                )),
+            }
+        }
+        for (field, got) in &wire {
+            match budget
+                .get("wire")
+                .and_then(|t| t.get(field))
+                .and_then(|v| v.as_u64())
+            {
+                Some(want) if want == *got => {}
+                Some(want) => failures.push(format!(
+                    "workload {name}: wire.{field} = {got}, budget says {want}"
+                )),
+                None => failures.push(format!(
+                    "workload {name}: budget lacks wire counter {field} — regenerate the budgets"
                 )),
             }
         }
@@ -576,6 +651,19 @@ fn main() {
         "send_empty:  p50 {}",
         fmt_time(h_send.quantile(0.5) as f64 * 1e-9)
     );
+    let send_wire = sender.conn().wire_stats();
+    if send_wire.active() {
+        println!(
+            "send_empty wire: {} frames / {} bytes encoded, {} frames / {} bytes decoded, \
+             {} flushes, largest frame {} bytes",
+            send_wire.frames_encoded,
+            send_wire.bytes_encoded,
+            send_wire.frames_decoded,
+            send_wire.bytes_decoded,
+            send_wire.flushes,
+            send_wire.frame_bytes.max()
+        );
+    }
 
     // Row 3: create, display, delete 50 buttons, with the full
     // observability stack collecting underneath.

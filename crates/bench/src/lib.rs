@@ -13,6 +13,17 @@ pub fn env_with_apps(names: &[&str]) -> (TkEnv, Vec<TkApp>) {
     (env, apps)
 }
 
+/// Like [`env_with_apps`], but forces the framed wire transport
+/// regardless of `RTK_NO_WIRE`, so wire-counter budgets hold in both CI
+/// transport runs (the default wire run and the oracle run).
+pub fn env_with_apps_wire(names: &[&str]) -> (TkEnv, Vec<TkApp>) {
+    let display = xsim::Display::new();
+    display.set_wire(true);
+    let env = TkEnv::with_display(display);
+    let apps = names.iter().map(|n| env.app(n)).collect();
+    (env, apps)
+}
+
 /// The deterministic xorshift64* PRNG now lives in `xsim::rng` (fault
 /// plans are generated from the same stream); re-exported here so the
 /// benches and the chaos harness share one implementation.

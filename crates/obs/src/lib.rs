@@ -16,9 +16,13 @@
 //!   Chrome trace-event, folded-stack, and virtual-clock-profile exports;
 //! * [`json`] — a tiny hand-rolled JSON emitter used by `obs dump`.
 //!
-//! Everything here is single-threaded (`Cell`/`RefCell`), matching the
-//! toolkit's one-process simulation design; counters are plain integer
-//! bumps and histogram records are one array increment.
+//! The counter/histogram [`Registry`] stays single-threaded
+//! (`Cell`/`RefCell`) because each Tk application owns its registry on
+//! its own thread; the [`Tracer`] and [`VirtualClock`] are `Send + Sync`
+//! (`Mutex`/atomics) because the wire transport's server thread records
+//! flush and fault spans into the same per-application span tree.
+//! Counters are plain integer bumps and histogram records are one array
+//! increment either way.
 
 mod hist;
 pub mod json;
@@ -29,4 +33,4 @@ pub mod span;
 pub use hist::Histogram;
 pub use registry::{Registry, Span};
 pub use ring::Ring;
-pub use span::{SpanGuard, SpanId, SpanRecord, SpanShape, Tracer};
+pub use span::{SpanGuard, SpanId, SpanRecord, SpanShape, Tracer, VirtualClock};

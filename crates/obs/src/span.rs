@@ -25,15 +25,44 @@
 //! for deterministic workloads, which is what lets CI pin span-tree
 //! shapes in `BUDGETS.json`; durations are report-only.
 
-use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crate::json;
 
 /// A span identifier. `0` is reserved for "no span" / the epoch root.
 pub type SpanId = u64;
+
+/// A shared virtual clock in simulated milliseconds. Clones share the
+/// same underlying counter; it is `Send + Sync` so the same clock can be
+/// read from the server's dispatch thread while the owning application
+/// advances it.
+#[derive(Clone, Debug, Default)]
+pub struct VirtualClock(Arc<AtomicU64>);
+
+impl VirtualClock {
+    /// A clock starting at 0 virtual milliseconds.
+    pub fn new() -> VirtualClock {
+        VirtualClock::default()
+    }
+
+    /// The current virtual time in milliseconds.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Sets the virtual time.
+    pub fn set(&self, vms: u64) {
+        self.0.store(vms, Ordering::Relaxed);
+    }
+
+    /// Advances the virtual time by `ms` and returns the new value.
+    pub fn advance(&self, ms: u64) -> u64 {
+        self.0.fetch_add(ms, Ordering::Relaxed) + ms
+    }
+}
 
 /// Default bound on spans recorded per epoch.
 pub const DEFAULT_SPAN_CAP: usize = 1 << 17;
@@ -97,7 +126,7 @@ struct TracerInner {
     dropped: u64,
     cap: usize,
     origin: Instant,
-    vclock: Option<Rc<Cell<u64>>>,
+    vclock: Option<VirtualClock>,
     client: u32,
 }
 
@@ -124,15 +153,17 @@ impl TracerInner {
 
 /// A shared handle to a per-application span store. Cloning is cheap and
 /// all clones see the same store (the xsim connection and the toolkit
-/// layers share one tracer per application).
+/// layers share one tracer per application). The store is behind a
+/// `Mutex` so the wire transport's server thread can record flush and
+/// fault spans into the same tree the client thread builds.
 #[derive(Clone)]
 pub struct Tracer {
-    inner: Rc<RefCell<TracerInner>>,
+    inner: Arc<Mutex<TracerInner>>,
 }
 
 impl std::fmt::Debug for Tracer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let t = self.inner.borrow();
+        let t = self.inner.lock().unwrap();
         f.debug_struct("Tracer")
             .field("spans", &t.spans.len())
             .field("epoch", &t.epoch)
@@ -146,7 +177,7 @@ impl Tracer {
     /// across applications so their traces align on a common timeline).
     pub fn new(origin: Instant) -> Tracer {
         Tracer {
-            inner: Rc::new(RefCell::new(TracerInner {
+            inner: Arc::new(Mutex::new(TracerInner {
                 spans: Vec::new(),
                 index: BTreeMap::new(),
                 stack: Vec::new(),
@@ -163,30 +194,30 @@ impl Tracer {
 
     /// Attaches the simulated clock; spans started afterwards carry
     /// virtual start/end times.
-    pub fn set_virtual_clock(&self, clock: Rc<Cell<u64>>) {
-        self.inner.borrow_mut().vclock = Some(clock);
+    pub fn set_virtual_clock(&self, clock: VirtualClock) {
+        self.inner.lock().unwrap().vclock = Some(clock);
     }
 
     /// Stamps subsequent spans with the owning X client id.
     pub fn set_client(&self, client: u32) {
-        self.inner.borrow_mut().client = client;
+        self.inner.lock().unwrap().client = client;
     }
 
     /// Overrides the per-epoch span bound (clamped to at least 16).
     pub fn set_cap(&self, cap: usize) {
-        self.inner.borrow_mut().cap = cap.max(16);
+        self.inner.lock().unwrap().cap = cap.max(16);
     }
 
     /// The innermost open span, `0` if none — the "cause" a scheduler
     /// captures for work it defers.
     pub fn current(&self) -> SpanId {
-        self.inner.borrow().resolve_parent()
+        self.inner.lock().unwrap().resolve_parent()
     }
 
     /// Opens a span parented on the innermost open span. The returned
     /// guard closes it on drop.
     pub fn begin(&self, kind: &'static str, detail: impl Into<String>, seq: u64) -> SpanGuard {
-        let parent = self.inner.borrow().resolve_parent();
+        let parent = self.inner.lock().unwrap().resolve_parent();
         self.begin_at(kind, detail, seq, parent)
     }
 
@@ -199,7 +230,7 @@ impl Tracer {
         seq: u64,
         parent: SpanId,
     ) -> SpanGuard {
-        let mut t = self.inner.borrow_mut();
+        let mut t = self.inner.lock().unwrap();
         if t.spans.len() >= t.cap {
             t.dropped += 1;
             return SpanGuard {
@@ -242,7 +273,7 @@ impl Tracer {
     /// Records a zero-width marker (damage event, fault injection, event
     /// enqueue) attached to the innermost open span.
     pub fn instant(&self, kind: &'static str, detail: impl Into<String>, seq: u64) {
-        let mut t = self.inner.borrow_mut();
+        let mut t = self.inner.lock().unwrap();
         if t.spans.len() >= t.cap {
             t.dropped += 1;
             return;
@@ -275,7 +306,7 @@ impl Tracer {
     /// guard lives parent on it. Pushing `0` is allowed and pins children
     /// to the epoch root.
     pub fn scope(&self, parent: SpanId) -> ScopeGuard {
-        self.inner.borrow_mut().stack.push(parent);
+        self.inner.lock().unwrap().stack.push(parent);
         ScopeGuard {
             tracer: self.clone(),
             id: parent,
@@ -286,7 +317,7 @@ impl Tracer {
         if id == 0 {
             return;
         }
-        let mut t = self.inner.borrow_mut();
+        let mut t = self.inner.lock().unwrap();
         // Normally `id` is the innermost entry; tolerate interleaved
         // drops by removing the matching entry wherever it sits.
         if let Some(pos) = t.stack.iter().rposition(|&s| s == id) {
@@ -304,7 +335,7 @@ impl Tracer {
     }
 
     fn end_scope(&self, id: SpanId) {
-        let mut t = self.inner.borrow_mut();
+        let mut t = self.inner.lock().unwrap();
         if let Some(pos) = t.stack.iter().rposition(|&s| s == id) {
             t.stack.remove(pos);
         }
@@ -315,7 +346,7 @@ impl Tracer {
     /// an open span whose parent was closed (and therefore cleared)
     /// re-parents to the new epoch root instead of dangling.
     pub fn reset_epoch(&self) {
-        let mut t = self.inner.borrow_mut();
+        let mut t = self.inner.lock().unwrap();
         t.epoch += 1;
         let epoch = t.epoch;
         let survivors: Vec<SpanRecord> = t.spans.iter().filter(|s| s.open).cloned().collect();
@@ -337,12 +368,12 @@ impl Tracer {
 
     /// The current epoch number.
     pub fn epoch(&self) -> u64 {
-        self.inner.borrow().epoch
+        self.inner.lock().unwrap().epoch
     }
 
     /// Spans recorded in the current epoch.
     pub fn len(&self) -> usize {
-        self.inner.borrow().spans.len()
+        self.inner.lock().unwrap().spans.len()
     }
 
     /// True when no spans have been recorded this epoch.
@@ -352,17 +383,18 @@ impl Tracer {
 
     /// Spans dropped this epoch because the store was full.
     pub fn dropped(&self) -> u64 {
-        self.inner.borrow().dropped
+        self.inner.lock().unwrap().dropped
     }
 
     /// Spans still in flight.
     pub fn open_count(&self) -> usize {
-        self.inner.borrow().spans.iter().filter(|s| s.open).count()
+        let t = self.inner.lock().unwrap();
+        t.spans.iter().filter(|s| s.open).count()
     }
 
     /// A copy of the current epoch's spans, in id order.
     pub fn snapshot(&self) -> Vec<SpanRecord> {
-        let t = self.inner.borrow();
+        let t = self.inner.lock().unwrap();
         let mut spans = t.spans.clone();
         spans.sort_by_key(|s| s.id);
         spans
@@ -372,7 +404,7 @@ impl Tracer {
     /// exists, no span is still open (call at quiescence), and every
     /// closed interval is ordered. Returns the first violation.
     pub fn check_integrity(&self) -> Result<(), String> {
-        let t = self.inner.borrow();
+        let t = self.inner.lock().unwrap();
         for s in &t.spans {
             if s.parent != 0 && !t.index.contains_key(&s.parent) {
                 return Err(format!(
@@ -862,7 +894,8 @@ mod tests {
     #[test]
     fn virtual_clock_is_recorded() {
         let t = tracer();
-        let clock = Rc::new(Cell::new(100u64));
+        let clock = VirtualClock::new();
+        clock.set(100);
         t.set_virtual_clock(clock.clone());
         let g = t.begin("send", "", 7);
         clock.set(250);
@@ -918,7 +951,7 @@ mod tests {
     fn virtual_profile_is_deterministic() {
         let make = || {
             let t = tracer();
-            let clock = Rc::new(Cell::new(0u64));
+            let clock = VirtualClock::new();
             t.set_virtual_clock(clock.clone());
             let g = t.begin("send", "", 1);
             clock.set(200);

@@ -77,7 +77,7 @@ pub(crate) enum Damage {
 pub struct TkEnv {
     display: Display,
     apps: Rc<RefCell<Vec<Weak<AppInner>>>>,
-    clock: Rc<Cell<u64>>,
+    clock: rtk_obs::VirtualClock,
     /// Shared wall-clock origin for span tracing: every application's
     /// tracer measures from here, so multi-app traces align on one
     /// timeline in the Chrome trace export.
@@ -93,10 +93,17 @@ impl Default for TkEnv {
 impl TkEnv {
     /// Creates a fresh display with no applications.
     pub fn new() -> TkEnv {
+        TkEnv::with_display(Display::new())
+    }
+
+    /// Wraps an existing display (e.g. one built from a shared
+    /// [`xsim::WireHandle`], so several environments on their own threads
+    /// talk to one threaded wire server).
+    pub fn with_display(display: Display) -> TkEnv {
         TkEnv {
-            display: Display::new(),
+            display,
             apps: Rc::new(RefCell::new(Vec::new())),
-            clock: Rc::new(Cell::new(0)),
+            clock: rtk_obs::VirtualClock::new(),
             origin: std::time::Instant::now(),
         }
     }

@@ -515,10 +515,12 @@ pub fn handle_comm_event(app: &TkApp, ev: &Event) {
     };
     let conn = app.conn();
     if *atom == cmd_atom {
-        let Ok(Some(value)) = conn.get_property(app.inner.comm, *atom) else {
+        // Atomic read-and-delete: with senders on other threads, a
+        // separate get + delete would destroy any append that lands in
+        // between; `take_property` closes that window at the server.
+        let Ok(Some(value)) = conn.take_property(app.inner.comm, *atom) else {
             return;
         };
-        conn.delete_property(app.inner.comm, *atom);
         for line in value.lines() {
             let Ok(fields) = tcl::parse_list(line) else {
                 continue;
@@ -560,10 +562,9 @@ pub fn handle_comm_event(app: &TkApp, ev: &Event) {
             conn.append_property(Xid(sender), res_atom, &reply);
         }
     } else if *atom == res_atom {
-        let Ok(Some(value)) = conn.get_property(app.inner.comm, *atom) else {
+        let Ok(Some(value)) = conn.take_property(app.inner.comm, *atom) else {
             return;
         };
-        conn.delete_property(app.inner.comm, *atom);
         for line in value.lines() {
             let Ok(fields) = tcl::parse_list(line) else {
                 continue;

@@ -10,12 +10,21 @@
 //! * `pointer x y`, `click ?button?`, `type string`, `key name` — input;
 //! * `mainloop` — process events until every window is destroyed.
 //!
-//! Usage: `wish [-f script] [-name appname] [--stats] [command...]`
+//! Usage: `wish [-f script] [-name appname] [--stats] [--wire|--no-wire]
+//! [command...]`
 //!
 //! With `--stats`, wish prints the full observability dump
 //! (`obs dump -format json`) to standard error at exit, followed by a
 //! human-readable per-stage breakdown of the causal span tracer (span
 //! count, wall time, and virtual time per pipeline stage).
+//!
+//! The display speaks the framed wire transport by default (a server
+//! thread owns the semantics; see docs/PROTOCOL.md). `--no-wire` — or
+//! the `RTK_NO_WIRE=1` environment variable — selects the in-process
+//! oracle transport instead; `--wire` forces the framed transport even
+//! when the environment says otherwise. With `--stats`, the dump's
+//! `wire` block reports the frames, bytes, and flushes that actually
+//! crossed the transport (absent on the oracle path).
 
 use std::io::{BufRead, IsTerminal, Write};
 
@@ -26,6 +35,7 @@ fn main() {
     let mut script_file: Option<String> = None;
     let mut name = "wish".to_string();
     let mut stats = false;
+    let mut wire: Option<bool> = None;
     let mut script_args: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -43,8 +53,17 @@ fn main() {
             "--stats" | "-stats" => {
                 stats = true;
             }
+            "--wire" | "-wire" => {
+                wire = Some(true);
+            }
+            "--no-wire" | "-no-wire" => {
+                wire = Some(false);
+            }
             "-h" | "--help" => {
-                println!("usage: wish [-f script] [-name appname] [--stats] [arg ...]");
+                println!(
+                    "usage: wish [-f script] [-name appname] [--stats] \
+                     [--wire|--no-wire] [arg ...]"
+                );
                 return;
             }
             other => {
@@ -58,7 +77,17 @@ fn main() {
         i += 1;
     }
 
-    let env = TkEnv::new();
+    // The flags beat the environment: `--wire` forces the framed
+    // transport under RTK_NO_WIRE=1, `--no-wire` forces the in-process
+    // oracle. With neither, Display::new() reads RTK_NO_WIRE itself.
+    let env = match wire {
+        None => TkEnv::new(),
+        Some(on) => {
+            let display = xsim::Display::new();
+            display.set_wire(on);
+            TkEnv::with_display(display)
+        }
+    };
     let app = env.app(&name);
     install_shell_commands(&env, &app);
 

@@ -11,23 +11,279 @@
 //! travel back in one blocking wait. The counters power the Table II
 //! client/server split and the Section 3.3 cache-ablation experiment.
 //!
+//! Everything below the calling surface goes through a [`Transport`]:
+//! either the in-process path (the server behind a `RefCell`, kept as
+//! the semantics oracle under `RTK_NO_WIRE=1`) or the framed wire path
+//! (`crate::wire`), which encodes every request into length-prefixed
+//! byte frames and runs the server on its own thread. Both transports
+//! share the server's issue-time accounting, so counters, fault keying,
+//! and replies are byte-identical across them — see docs/PROTOCOL.md.
+//!
 //! [`flush`]: Connection::flush
 //! [`wait`]: Connection::wait
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::marker::PhantomData;
 use std::rc::Rc;
 
 use crate::atom::Atom;
 use crate::color::Rgb;
 use crate::event::{Event, Keysym};
-use crate::fault::{FaultAction, XError, XErrorCode};
+use crate::fault::{XError, XErrorCode};
 use crate::font::FontMetrics;
 use crate::gc::GcValues;
 use crate::ids::{ClientId, CursorId, FontId, GcId, Pixel, WindowId, Xid};
-use crate::obs::{ClientObs, RequestKind, TraceEntry};
+use crate::obs::{ClientObs, RequestKind, TraceEntry, WireStats};
 use crate::render::Surface;
-use crate::server::{ClientStats, QueuedRequest, ReplyValue, Server};
+use crate::server::{ClientStats, QueuedRequest, ReplyValue, Server, SyncReply, SyncRequest};
+use crate::wire::{WireHandle, WireTransport};
+
+/// What redeeming a cookie produced at the transport level.
+pub(crate) enum WaitReply {
+    /// A reply (or stored error) was filed under the sequence number.
+    Reply(ReplyValue),
+    /// No reply exists; `alive` distinguishes a dead connection from a
+    /// double redeem.
+    NoReply { alive: bool },
+}
+
+/// The transport boundary between the Xlib-shaped calling surface and
+/// the server. Object-safe on purpose: a [`Display`] holds a
+/// `Rc<dyn Transport>` and swaps implementations with
+/// [`Display::set_wire`]. Closure-taking methods use `&mut dyn FnMut`
+/// so both the `RefCell` path and the mutex-guarded wire path can run
+/// them against `&mut Server`.
+pub(crate) trait Transport {
+    fn connect(&self) -> ClientId;
+    fn is_wire(&self) -> bool;
+    fn wire_handle(&self) -> Option<WireHandle> {
+        None
+    }
+    /// Runs `f` against the server WITHOUT flushing (internal state
+    /// inspection that must not disturb the buffered transport).
+    fn peek(&self, f: &mut dyn FnMut(&mut Server));
+    /// Flushes every client's output buffer, then runs `f` — the "user
+    /// observes the display" path.
+    fn sync(&self, f: &mut dyn FnMut(&mut Server));
+    fn flush_client(&self, client: ClientId);
+    fn set_batching(&self, on: bool);
+    fn reset_obs(&self, client: ClientId);
+    fn one_way(&self, client: ClientId, kind: RequestKind, window: WindowId, q: QueuedRequest);
+    fn pipelined(
+        &self,
+        client: ClientId,
+        kind: RequestKind,
+        window: WindowId,
+        make: &mut dyn FnMut(u64) -> QueuedRequest,
+    ) -> u64;
+    fn round_trip(&self, client: ClientId, req: SyncRequest) -> Result<SyncReply, XError>;
+    #[allow(clippy::too_many_arguments)]
+    fn create_window(
+        &self,
+        client: ClientId,
+        parent: WindowId,
+        x: i32,
+        y: i32,
+        width: u32,
+        height: u32,
+        border_width: u32,
+    ) -> Result<WindowId, XError>;
+    fn create_gc(&self, client: ClientId, values: GcValues) -> GcId;
+    fn create_bitmap(
+        &self,
+        client: ClientId,
+        bitmap: crate::bitmap::Bitmap,
+    ) -> crate::bitmap::BitmapId;
+    fn wait_reply(&self, client: ClientId, seq: u64) -> WaitReply;
+    fn poll_event(&self, client: ClientId) -> Option<Event>;
+    fn pending(&self, client: ClientId) -> usize;
+}
+
+/// The in-process transport: the server lives behind a `RefCell` on this
+/// thread and every call is a direct function call. This is the
+/// semantics oracle the wire transport is differentially tested against.
+pub(crate) struct LocalTransport {
+    server: Rc<RefCell<Server>>,
+}
+
+impl LocalTransport {
+    fn new() -> LocalTransport {
+        LocalTransport {
+            server: Rc::new(RefCell::new(Server::new())),
+        }
+    }
+}
+
+impl Transport for LocalTransport {
+    fn connect(&self) -> ClientId {
+        self.server.borrow_mut().connect()
+    }
+
+    fn is_wire(&self) -> bool {
+        false
+    }
+
+    fn peek(&self, f: &mut dyn FnMut(&mut Server)) {
+        f(&mut self.server.borrow_mut());
+    }
+
+    fn sync(&self, f: &mut dyn FnMut(&mut Server)) {
+        let mut s = self.server.borrow_mut();
+        s.flush_all();
+        f(&mut s);
+    }
+
+    fn flush_client(&self, client: ClientId) {
+        self.server.borrow_mut().flush_client(client);
+    }
+
+    fn set_batching(&self, on: bool) {
+        self.server.borrow_mut().set_batching(on);
+    }
+
+    fn reset_obs(&self, client: ClientId) {
+        self.server.borrow_mut().reset_client_stats(client);
+    }
+
+    fn one_way(&self, client: ClientId, kind: RequestKind, window: WindowId, q: QueuedRequest) {
+        let mut s = self.server.borrow_mut();
+        if !s.is_alive(client) {
+            return;
+        }
+        let seq = s.next_seq(client);
+        s.enqueue_request(client, kind, false, window, seq, Some(q));
+    }
+
+    fn pipelined(
+        &self,
+        client: ClientId,
+        kind: RequestKind,
+        window: WindowId,
+        make: &mut dyn FnMut(u64) -> QueuedRequest,
+    ) -> u64 {
+        let mut s = self.server.borrow_mut();
+        let seq = s.next_seq(client);
+        if s.is_alive(client) {
+            let q = make(seq);
+            s.enqueue_request(client, kind, true, window, seq, Some(q));
+        }
+        seq
+    }
+
+    fn round_trip(&self, client: ClientId, req: SyncRequest) -> Result<SyncReply, XError> {
+        self.server.borrow_mut().execute_round_trip(client, &req)
+    }
+
+    fn create_window(
+        &self,
+        client: ClientId,
+        parent: WindowId,
+        x: i32,
+        y: i32,
+        width: u32,
+        height: u32,
+        border_width: u32,
+    ) -> Result<WindowId, XError> {
+        let mut s = self.server.borrow_mut();
+        if !s.is_alive(client) {
+            return Err(XError::dead(0));
+        }
+        let seq = s.next_seq(client);
+        if !s.window_exists_or_pending(parent) {
+            // Still counted (the server would answer with an error); no
+            // id is handed out and nothing is queued.
+            s.enqueue_request(client, RequestKind::CreateWindow, false, parent, seq, None);
+            return Err(XError {
+                code: XErrorCode::BadWindow,
+                seq,
+                kind: Some(RequestKind::CreateWindow),
+            });
+        }
+        let id = s.reserve_window_id();
+        s.enqueue_request(
+            client,
+            RequestKind::CreateWindow,
+            false,
+            parent,
+            seq,
+            Some(QueuedRequest::CreateWindow {
+                id,
+                parent,
+                x,
+                y,
+                width,
+                height,
+                border_width,
+            }),
+        );
+        Ok(id)
+    }
+
+    fn create_gc(&self, client: ClientId, values: GcValues) -> GcId {
+        let mut s = self.server.borrow_mut();
+        let id = s.gcs.reserve();
+        if !s.is_alive(client) {
+            return id;
+        }
+        let seq = s.next_seq(client);
+        s.enqueue_request(
+            client,
+            RequestKind::CreateGc,
+            false,
+            Xid::NONE,
+            seq,
+            Some(QueuedRequest::CreateGc { id, values }),
+        );
+        id
+    }
+
+    fn create_bitmap(
+        &self,
+        client: ClientId,
+        bitmap: crate::bitmap::Bitmap,
+    ) -> crate::bitmap::BitmapId {
+        let mut s = self.server.borrow_mut();
+        let id = s.bitmaps.reserve();
+        if !s.is_alive(client) {
+            return id;
+        }
+        let seq = s.next_seq(client);
+        s.enqueue_request(
+            client,
+            RequestKind::CreateBitmap,
+            false,
+            Xid::NONE,
+            seq,
+            Some(QueuedRequest::CreateBitmap { id, bitmap }),
+        );
+        id
+    }
+
+    fn wait_reply(&self, client: ClientId, seq: u64) -> WaitReply {
+        let mut s = self.server.borrow_mut();
+        if !s.has_reply(client, seq) {
+            s.flush_all();
+        }
+        match s.take_reply(client, seq) {
+            Some(v) => WaitReply::Reply(v),
+            None => WaitReply::NoReply {
+                alive: s.is_alive(client),
+            },
+        }
+    }
+
+    fn poll_event(&self, client: ClientId) -> Option<Event> {
+        let mut s = self.server.borrow_mut();
+        s.flush_all();
+        s.poll_event(client)
+    }
+
+    fn pending(&self, client: ClientId) -> usize {
+        let mut s = self.server.borrow_mut();
+        s.flush_all();
+        s.pending(client)
+    }
+}
 
 /// A simulated display: the shared server plus a factory for connections.
 ///
@@ -36,9 +292,14 @@ use crate::server::{ClientStats, QueuedRequest, ReplyValue, Server};
 /// observes server state (screenshots, direct server access, input
 /// synthesis) first flushes all clients' output buffers, so the "user"
 /// always sees the effect of every request already issued.
+///
+/// The display speaks the framed wire protocol by default (the server on
+/// its own thread); set `RTK_NO_WIRE=1` or call [`Display::set_wire`]
+/// before the first connection to use the in-process oracle instead.
 #[derive(Clone)]
 pub struct Display {
-    server: Rc<RefCell<Server>>,
+    transport: Rc<RefCell<Rc<dyn Transport>>>,
+    connected: Rc<Cell<bool>>,
 }
 
 impl Default for Display {
@@ -47,81 +308,135 @@ impl Default for Display {
     }
 }
 
+fn wire_default() -> bool {
+    std::env::var("RTK_NO_WIRE").map_or(true, |v| v.is_empty() || v == "0")
+}
+
+fn make_transport(wire: bool) -> Rc<dyn Transport> {
+    if wire {
+        Rc::new(WireTransport::new())
+    } else {
+        Rc::new(LocalTransport::new())
+    }
+}
+
 impl Display {
     /// Opens a fresh simulated display.
     pub fn new() -> Display {
         Display {
-            server: Rc::new(RefCell::new(Server::new())),
+            transport: Rc::new(RefCell::new(make_transport(wire_default()))),
+            connected: Rc::new(Cell::new(false)),
         }
+    }
+
+    /// Builds a display handle attached to an already-running wire
+    /// server (from [`Display::wire_handle`] on another thread). Each
+    /// thread builds its own `Display` this way; the server and all
+    /// protocol state are shared.
+    pub fn from_wire(handle: &WireHandle) -> Display {
+        let t: Rc<dyn Transport> = Rc::new(WireTransport::from_handle(handle));
+        Display {
+            transport: Rc::new(RefCell::new(t)),
+            connected: Rc::new(Cell::new(false)),
+        }
+    }
+
+    /// Is this display using the framed wire transport?
+    pub fn wire(&self) -> bool {
+        self.transport.borrow().is_wire()
+    }
+
+    /// Selects the transport: `true` for the framed wire path, `false`
+    /// for the in-process oracle. Must be called before the first
+    /// connection (the existing server is discarded).
+    pub fn set_wire(&self, wire: bool) {
+        if wire == self.wire() {
+            return;
+        }
+        assert!(
+            !self.connected.get(),
+            "Display::set_wire must be called before the first connection"
+        );
+        *self.transport.borrow_mut() = make_transport(wire);
+    }
+
+    /// A `Send + Sync` handle to the wire server, for sharing one
+    /// display across threads. `None` on the in-process transport.
+    pub fn wire_handle(&self) -> Option<WireHandle> {
+        self.transport.borrow().wire_handle()
+    }
+
+    fn transport(&self) -> Rc<dyn Transport> {
+        self.transport.borrow().clone()
     }
 
     /// Connects a new client.
     pub fn connect(&self) -> Connection {
-        let client = self.server.borrow_mut().connect();
-        Connection {
-            server: self.server.clone(),
-            client,
-        }
+        self.connected.set(true);
+        let transport = self.transport();
+        let client = transport.connect();
+        Connection { transport, client }
     }
 
     /// Runs `f` with direct access to the server (test assertions,
     /// compositing, statistics). Pending output buffers are flushed first.
     pub fn with_server<R>(&self, f: impl FnOnce(&mut Server) -> R) -> R {
-        let mut s = self.server.borrow_mut();
-        s.flush_all();
-        f(&mut s)
+        let mut f = Some(f);
+        let mut out = None;
+        self.transport()
+            .sync(&mut |s| out = Some(f.take().expect("sync closure runs once")(s)));
+        out.expect("transport sync must run the closure")
+    }
+
+    /// Runs `f` with direct access to the server WITHOUT flushing —
+    /// for tests that assert on what has (not) reached the server yet.
+    #[doc(hidden)]
+    pub fn peek_server<R>(&self, f: impl FnOnce(&mut Server) -> R) -> R {
+        let mut f = Some(f);
+        let mut out = None;
+        self.transport()
+            .peek(&mut |s| out = Some(f.take().expect("peek closure runs once")(s)));
+        out.expect("transport peek must run the closure")
     }
 
     /// Composites the current screen contents (after flushing).
     pub fn screenshot(&self) -> Surface {
-        let mut s = self.server.borrow_mut();
-        s.flush_all();
-        s.compose_screen()
+        self.with_server(|s| s.compose_screen())
     }
 
     /// ASCII rendering of the screen (Figure 10-style dumps).
     pub fn ascii_dump(&self) -> String {
-        let mut s = self.server.borrow_mut();
-        s.flush_all();
-        s.ascii_dump()
+        self.with_server(|s| s.ascii_dump())
     }
 
     // --- input synthesis (the "user") ---
 
     /// Moves the pointer, generating crossing/motion events.
     pub fn move_pointer(&self, x: i32, y: i32) {
-        let mut s = self.server.borrow_mut();
-        s.flush_all();
-        s.warp_pointer(x, y);
+        self.with_server(|s| s.warp_pointer(x, y));
     }
 
     /// Presses then releases a mouse button at the current position.
     pub fn click(&self, button: u8) {
-        let mut s = self.server.borrow_mut();
-        s.flush_all();
-        s.press_button(button);
-        s.release_button(button);
+        self.with_server(|s| {
+            s.press_button(button);
+            s.release_button(button);
+        });
     }
 
     /// Presses a mouse button (no release).
     pub fn press_button(&self, button: u8) {
-        let mut s = self.server.borrow_mut();
-        s.flush_all();
-        s.press_button(button);
+        self.with_server(|s| s.press_button(button));
     }
 
     /// Releases a mouse button.
     pub fn release_button(&self, button: u8) {
-        let mut s = self.server.borrow_mut();
-        s.flush_all();
-        s.release_button(button);
+        self.with_server(|s| s.release_button(button));
     }
 
     /// Types a single character key.
     pub fn type_char(&self, c: char) {
-        let mut s = self.server.borrow_mut();
-        s.flush_all();
-        s.press_key(Keysym::from_char(c));
+        self.with_server(|s| s.press_key(Keysym::from_char(c)));
     }
 
     /// Types a whole string.
@@ -133,14 +448,12 @@ impl Display {
 
     /// Presses a named key (`"Escape"`, `"Return"`, ...).
     pub fn press_key(&self, name: &str) {
-        let mut s = self.server.borrow_mut();
-        s.flush_all();
-        s.press_key(Keysym::named(name));
+        self.with_server(|s| s.press_key(Keysym::named(name)));
     }
 
     /// Sets the modifier state for subsequent input (see [`crate::event::state`]).
     pub fn set_modifiers(&self, modifiers: u32) {
-        self.server.borrow_mut().set_modifiers(modifiers);
+        self.peek_server(|s| s.set_modifiers(modifiers));
     }
 }
 
@@ -228,7 +541,7 @@ impl FromReply for Option<Geometry> {
 /// One client's connection to the display.
 #[derive(Clone)]
 pub struct Connection {
-    server: Rc<RefCell<Server>>,
+    transport: Rc<dyn Transport>,
     client: ClientId,
 }
 
@@ -238,20 +551,41 @@ impl Connection {
         self.client
     }
 
+    /// Runs `f` against the server without flushing.
+    fn peek<R>(&self, f: impl FnOnce(&mut Server) -> R) -> R {
+        let mut f = Some(f);
+        let mut out = None;
+        self.transport
+            .peek(&mut |s| out = Some(f.take().expect("peek closure runs once")(s)));
+        out.expect("transport peek must run the closure")
+    }
+
     /// The root window.
     pub fn root(&self) -> WindowId {
-        self.server.borrow().root()
+        self.peek(|s| s.root())
     }
 
     /// Protocol statistics for this client. Counters bump at request
     /// *issue* time, so they are current even with requests still queued.
     pub fn stats(&self) -> ClientStats {
-        self.server.borrow().stats(self.client)
+        self.peek(|s| s.stats(self.client))
     }
 
     /// Runs `f` over this client's structured observability state.
     pub fn with_obs<R>(&self, f: impl FnOnce(&ClientObs) -> R) -> Option<R> {
-        self.server.borrow().client_obs(self.client).map(f)
+        let mut f = Some(f);
+        self.peek(|s| {
+            s.client_obs(self.client)
+                .map(|o| f.take().expect("obs closure runs once")(o))
+        })
+    }
+
+    /// Snapshot of this client's wire-transport frame/byte counters.
+    /// All zero under the in-process oracle transport (`RTK_NO_WIRE=1`),
+    /// so callers can tell from the counters alone whether any traffic
+    /// actually crossed the framed byte transport.
+    pub fn wire_stats(&self) -> WireStats {
+        self.with_obs(|o| o.wire.clone()).unwrap_or_default()
     }
 
     /// Per-request-kind counts, non-zero kinds only.
@@ -285,10 +619,11 @@ impl Connection {
     /// Enables or disables protocol tracing for this client. The trace
     /// ring stays allocated either way; disabled tracing skips the push.
     pub fn obs_set_trace(&self, on: bool) {
-        let mut s = self.server.borrow_mut();
-        if let Some(o) = s.client_obs_mut(self.client) {
-            o.trace_enabled = on;
-        }
+        self.peek(|s| {
+            if let Some(o) = s.client_obs_mut(self.client) {
+                o.trace_enabled = on;
+            }
+        });
     }
 
     /// Is protocol tracing enabled for this client?
@@ -301,7 +636,7 @@ impl Connection {
     /// buffer is flushed first so the reset is an exact epoch boundary.
     /// An attached span tracer starts a new epoch at the same boundary.
     pub fn reset_obs(&self) {
-        self.server.borrow_mut().reset_client_stats(self.client);
+        self.transport.reset_obs(self.client);
     }
 
     /// Attaches a span tracer to this connection: flush batches, event
@@ -309,9 +644,8 @@ impl Connection {
     /// client's id. The toolkit shares the same tracer for its own spans,
     /// so client- and server-side records form one tree.
     pub fn set_tracer(&self, tracer: rtk_obs::Tracer) {
-        self.server
-            .borrow_mut()
-            .set_client_tracer(self.client, tracer);
+        let mut tracer = Some(tracer);
+        self.peek(|s| s.set_client_tracer(self.client, tracer.take().expect("tracer set once")));
     }
 
     /// JSON object describing this client's protocol observability state.
@@ -324,26 +658,26 @@ impl Connection {
 
     /// Flushes this connection's output buffer (Xlib's `XFlush`).
     pub fn flush(&self) {
-        self.server.borrow_mut().flush_client(self.client);
+        self.transport.flush_client(self.client);
     }
 
     /// Is output buffering enabled on the shared display?
     pub fn batching(&self) -> bool {
-        self.server.borrow().batching()
+        self.peek(|s| s.batching())
     }
 
     /// Turns output buffering on or off for the whole display (the
     /// `RTK_NO_BATCH` env var sets the initial state). Turning it off
     /// flushes pending buffers and reproduces the synchronous transport.
     pub fn set_batching(&self, on: bool) {
-        self.server.borrow_mut().set_batching(on);
+        self.transport.set_batching(on);
     }
 
     /// The last request sequence number this connection was assigned
     /// (0 before the first request) — the anchor for fault schedules that
     /// target "the next request".
     pub fn sequence(&self) -> u64 {
-        self.server.borrow().current_seq(self.client)
+        self.peek(|s| s.current_seq(self.client))
     }
 
     /// Is this connection still alive? (An injected kill marks it dead;
@@ -351,18 +685,13 @@ impl Connection {
     /// side of a broken socket — and reply-bearing requests return
     /// [`XError`] with `ConnectionDead`.)
     pub fn alive(&self) -> bool {
-        self.server.borrow().is_alive(self.client)
+        self.peek(|s| s.is_alive(self.client))
     }
 
     /// Queues a one-way request in the output buffer, accounting for it
     /// at issue time. On a dead connection the request is discarded.
     fn one_way(&self, kind: RequestKind, window: WindowId, q: QueuedRequest) {
-        let mut s = self.server.borrow_mut();
-        if !s.is_alive(self.client) {
-            return;
-        }
-        let seq = s.next_seq(self.client);
-        s.enqueue_request(self.client, kind, false, window, seq, Some(q));
+        self.transport.one_way(self.client, kind, window, q);
     }
 
     /// Queues a pipelined reply-bearing request; the returned sequence
@@ -374,60 +703,19 @@ impl Connection {
         window: WindowId,
         make: impl FnOnce(u64) -> QueuedRequest,
     ) -> u64 {
-        let mut s = self.server.borrow_mut();
-        let seq = s.next_seq(self.client);
-        if s.is_alive(self.client) {
-            let q = make(seq);
-            s.enqueue_request(self.client, kind, true, window, seq, Some(q));
-        }
-        seq
+        let mut make = Some(make);
+        self.transport
+            .pipelined(self.client, kind, window, &mut |seq| {
+                make.take().expect("pipelined make runs once")(seq)
+            })
     }
 
-    /// Runs a synchronous reply-bearing request: flushes every output
-    /// buffer (a blocked client has, by definition, already written out
-    /// its queue — and in this single-threaded simulation so has everyone
-    /// else), then executes and records the request. The request latency
-    /// includes the synthetic round-trip cost; `work_time` only
-    /// accumulates the server's own execution time.
-    fn round_trip<R>(
-        &self,
-        kind: RequestKind,
-        window: WindowId,
-        f: impl FnOnce(&mut Server) -> R,
-    ) -> Result<R, XError> {
-        let mut s = self.server.borrow_mut();
-        s.flush_all();
-        // The flush may have executed an injected kill for this client.
-        if !s.is_alive(self.client) {
-            return Err(XError::dead(0));
-        }
-        let start = std::time::Instant::now();
-        let seq = s.next_seq(self.client);
-        s.note_request(self.client, true);
-        if let Some(action) = s.fault_for_round_trip(self.client, seq) {
-            // The request went out and an error (or the connection's
-            // death) came back: it costs the round trip either way.
-            s.record_fault(self.client, seq, action, Some(kind), window);
-            s.record_request(self.client, seq, kind, true, window, start.elapsed());
-            return match action {
-                FaultAction::KillConnection => {
-                    s.kill_client(self.client);
-                    Err(XError::dead(seq))
-                }
-                FaultAction::Error(code) => Err(XError {
-                    code,
-                    seq,
-                    kind: Some(kind),
-                }),
-                _ => unreachable!("fault_for_round_trip filters to error/kill"),
-            };
-        }
-        let work_start = std::time::Instant::now();
-        let r = f(&mut s);
-        let end = std::time::Instant::now();
-        s.work_time += end - work_start;
-        s.record_request(self.client, seq, kind, true, window, end - start);
-        Ok(r)
+    /// Runs a synchronous reply-bearing request through the transport:
+    /// every output buffer is flushed (a blocked client has, by
+    /// definition, already written out its queue), then the server
+    /// executes and records the request.
+    fn round_trip(&self, req: SyncRequest) -> Result<SyncReply, XError> {
+        self.transport.round_trip(self.client, req)
     }
 
     /// Redeems a cookie: blocks (flushes) if the reply has not already
@@ -435,15 +723,15 @@ impl Connection {
     /// the pipelined request — or the connection dying before the reply
     /// traveled back — surfaces here, where Xlib would deliver it.
     pub fn wait<T: FromReply>(&self, cookie: Cookie<T>) -> Result<T, XError> {
-        let mut s = self.server.borrow_mut();
-        if !s.has_reply(self.client, cookie.seq) {
-            s.flush_all();
-        }
-        match s.take_reply(self.client, cookie.seq) {
-            Some(ReplyValue::Error(e)) => Err(e),
-            Some(v) => Ok(T::from_reply(v).expect("reply payload does not match cookie type")),
-            None if !s.is_alive(self.client) => Err(XError::dead(cookie.seq)),
-            None => panic!("no reply filed for cookie (double wait?)"),
+        match self.transport.wait_reply(self.client, cookie.seq) {
+            WaitReply::Reply(ReplyValue::Error(e)) => Err(e),
+            WaitReply::Reply(v) => {
+                Ok(T::from_reply(v).expect("reply payload does not match cookie type"))
+            }
+            WaitReply::NoReply { alive: false } => Err(XError::dead(cookie.seq)),
+            WaitReply::NoReply { alive: true } => {
+                panic!("no reply filed for cookie (double wait?)")
+            }
         }
     }
 
@@ -451,7 +739,12 @@ impl Connection {
 
     /// Interns an atom (round trip).
     pub fn intern_atom(&self, name: &str) -> Result<Atom, XError> {
-        self.round_trip(RequestKind::InternAtom, Xid::NONE, |s| s.atoms.intern(name))
+        match self.round_trip(SyncRequest::InternAtom {
+            name: name.to_string(),
+        })? {
+            SyncReply::Atom(a) => Ok(a),
+            _ => unreachable!("InternAtom answers with an atom"),
+        }
     }
 
     /// Interns an atom without blocking (pipelined).
@@ -466,9 +759,10 @@ impl Connection {
 
     /// Gets an atom's name (round trip).
     pub fn atom_name(&self, atom: Atom) -> Result<Option<String>, XError> {
-        self.round_trip(RequestKind::GetAtomName, Xid::NONE, |s| {
-            s.atoms.name(atom).map(str::to_string)
-        })
+        match self.round_trip(SyncRequest::GetAtomName { atom })? {
+            SyncReply::OptString(s) => Ok(s),
+            _ => unreachable!("GetAtomName answers with an optional string"),
+        }
     }
 
     // --- windows ---
@@ -486,46 +780,8 @@ impl Connection {
         height: u32,
         border_width: u32,
     ) -> Result<WindowId, XError> {
-        let mut s = self.server.borrow_mut();
-        if !s.is_alive(self.client) {
-            return Err(XError::dead(0));
-        }
-        let seq = s.next_seq(self.client);
-        if !s.window_exists_or_pending(parent) {
-            // Still counted (the server would answer with an error); no
-            // id is handed out and nothing is queued.
-            s.enqueue_request(
-                self.client,
-                RequestKind::CreateWindow,
-                false,
-                parent,
-                seq,
-                None,
-            );
-            return Err(XError {
-                code: XErrorCode::BadWindow,
-                seq,
-                kind: Some(RequestKind::CreateWindow),
-            });
-        }
-        let id = s.reserve_window_id();
-        s.enqueue_request(
-            self.client,
-            RequestKind::CreateWindow,
-            false,
-            parent,
-            seq,
-            Some(QueuedRequest::CreateWindow {
-                id,
-                parent,
-                x,
-                y,
-                width,
-                height,
-                border_width,
-            }),
-        );
-        Ok(id)
+        self.transport
+            .create_window(self.client, parent, x, y, width, height, border_width)
     }
 
     /// Destroys a window and its descendants.
@@ -645,12 +901,18 @@ impl Connection {
 
     /// Queries parent and children (round trip).
     pub fn query_tree(&self, id: WindowId) -> Result<Option<(WindowId, Vec<WindowId>)>, XError> {
-        self.round_trip(RequestKind::QueryTree, id, |s| s.query_tree(id))
+        match self.round_trip(SyncRequest::QueryTree { id })? {
+            SyncReply::Tree(t) => Ok(t),
+            _ => unreachable!("QueryTree answers with a tree"),
+        }
     }
 
     /// Queries geometry (round trip).
     pub fn get_geometry(&self, id: WindowId) -> Result<Option<Geometry>, XError> {
-        self.round_trip(RequestKind::GetGeometry, id, |s| s.get_geometry(id))
+        match self.round_trip(SyncRequest::GetGeometry { id })? {
+            SyncReply::Geometry(g) => Ok(g),
+            _ => unreachable!("GetGeometry answers with a geometry"),
+        }
     }
 
     /// Queries geometry without blocking (pipelined).
@@ -662,7 +924,10 @@ impl Connection {
 
     /// Is the window viewable? (round trip)
     pub fn is_viewable(&self, id: WindowId) -> Result<bool, XError> {
-        self.round_trip(RequestKind::GetWindowAttributes, id, |s| s.is_viewable(id))
+        match self.round_trip(SyncRequest::IsViewable { id })? {
+            SyncReply::Bool(v) => Ok(v),
+            _ => unreachable!("IsViewable answers with a bool"),
+        }
     }
 
     // --- properties ---
@@ -698,7 +963,21 @@ impl Connection {
 
     /// Reads a property (round trip).
     pub fn get_property(&self, id: WindowId, atom: Atom) -> Result<Option<String>, XError> {
-        self.round_trip(RequestKind::GetProperty, id, |s| s.get_property(id, atom))
+        match self.round_trip(SyncRequest::GetProperty { id, atom })? {
+            SyncReply::OptString(s) => Ok(s),
+            _ => unreachable!("GetProperty answers with an optional string"),
+        }
+    }
+
+    /// Reads AND deletes a property in one round trip — X's
+    /// `XGetWindowProperty` with `delete=True`. Atomic at the server, so
+    /// a concurrent append from another client can never land between
+    /// the read and the delete and be destroyed unread.
+    pub fn take_property(&self, id: WindowId, atom: Atom) -> Result<Option<String>, XError> {
+        match self.round_trip(SyncRequest::TakeProperty { id, atom })? {
+            SyncReply::OptString(s) => Ok(s),
+            _ => unreachable!("TakeProperty answers with an optional string"),
+        }
     }
 
     /// Reads a property without blocking (pipelined).
@@ -721,9 +1000,12 @@ impl Connection {
 
     /// Allocates a named color (round trip), returning pixel and RGB.
     pub fn alloc_named_color(&self, name: &str) -> Result<Option<(Pixel, Rgb)>, XError> {
-        self.round_trip(RequestKind::AllocColor, Xid::NONE, |s| {
-            s.alloc_named_color(name)
-        })
+        match self.round_trip(SyncRequest::AllocNamedColor {
+            name: name.to_string(),
+        })? {
+            SyncReply::NamedColor(c) => Ok(c),
+            _ => unreachable!("AllocNamedColor answers with a named color"),
+        }
     }
 
     /// Allocates a named color without blocking (pipelined).
@@ -738,9 +1020,10 @@ impl Connection {
 
     /// Allocates an RGB color (round trip).
     pub fn alloc_color(&self, rgb: Rgb) -> Result<Pixel, XError> {
-        self.round_trip(RequestKind::AllocColor, Xid::NONE, |s| {
-            s.colormap.alloc(rgb)
-        })
+        match self.round_trip(SyncRequest::AllocColor { rgb })? {
+            SyncReply::Pixel(p) => Ok(p),
+            _ => unreachable!("AllocColor answers with a pixel"),
+        }
     }
 
     /// Allocates an RGB color without blocking (pipelined).
@@ -761,46 +1044,44 @@ impl Connection {
 
     /// Looks up the RGB stored in a pixel (round trip).
     pub fn query_color(&self, pixel: Pixel) -> Result<Rgb, XError> {
-        self.round_trip(RequestKind::QueryColor, Xid::NONE, |s| {
-            s.colormap.rgb(pixel)
-        })
+        match self.round_trip(SyncRequest::QueryColor { pixel })? {
+            SyncReply::Rgb(rgb) => Ok(rgb),
+            _ => unreachable!("QueryColor answers with an rgb"),
+        }
     }
 
     /// Opens a font (round trip).
     pub fn open_font(&self, name: &str) -> Result<Option<FontId>, XError> {
-        self.round_trip(RequestKind::OpenFont, Xid::NONE, |s| s.open_font(name))
+        match self.round_trip(SyncRequest::OpenFont {
+            name: name.to_string(),
+        })? {
+            SyncReply::OptXid(x) => Ok(x),
+            _ => unreachable!("OpenFont answers with an optional id"),
+        }
     }
 
     /// Queries font metrics (round trip).
     pub fn font_metrics(&self, font: FontId) -> Result<Option<FontMetrics>, XError> {
-        self.round_trip(RequestKind::QueryFont, Xid::NONE, |s| s.fonts.metrics(font))
+        match self.round_trip(SyncRequest::QueryFont { font })? {
+            SyncReply::Metrics(m) => Ok(m),
+            _ => unreachable!("QueryFont answers with metrics"),
+        }
     }
 
     /// Creates a cursor from the cursor font (round trip).
     pub fn create_cursor(&self, name: &str) -> Result<Option<CursorId>, XError> {
-        self.round_trip(RequestKind::CreateCursor, Xid::NONE, |s| {
-            s.cursors.create(name)
-        })
+        match self.round_trip(SyncRequest::CreateCursor {
+            name: name.to_string(),
+        })? {
+            SyncReply::OptXid(x) => Ok(x),
+            _ => unreachable!("CreateCursor answers with an optional id"),
+        }
     }
 
     /// Uploads a bitmap to the server. The id is allocated client-side;
     /// the upload itself is buffered.
     pub fn create_bitmap(&self, bitmap: crate::bitmap::Bitmap) -> crate::bitmap::BitmapId {
-        let mut s = self.server.borrow_mut();
-        let id = s.bitmaps.reserve();
-        if !s.is_alive(self.client) {
-            return id;
-        }
-        let seq = s.next_seq(self.client);
-        s.enqueue_request(
-            self.client,
-            RequestKind::CreateBitmap,
-            false,
-            Xid::NONE,
-            seq,
-            Some(QueuedRequest::CreateBitmap { id, bitmap }),
-        );
-        id
+        self.transport.create_bitmap(self.client, bitmap)
     }
 
     /// Frees a bitmap.
@@ -814,9 +1095,10 @@ impl Connection {
 
     /// Dimensions of an uploaded bitmap (round trip).
     pub fn bitmap_size(&self, id: crate::bitmap::BitmapId) -> Result<Option<(u32, u32)>, XError> {
-        self.round_trip(RequestKind::QueryBitmap, Xid::NONE, |s| {
-            s.bitmaps.get(id).map(|b| (b.width, b.height))
-        })
+        match self.round_trip(SyncRequest::QueryBitmap { id })? {
+            SyncReply::Size(s) => Ok(s),
+            _ => unreachable!("QueryBitmap answers with a size"),
+        }
     }
 
     /// Draws a bitmap's set bits in the GC foreground at `(x, y)`.
@@ -844,21 +1126,7 @@ impl Connection {
     /// Creates a GC. The id is allocated client-side; the CreateGc itself
     /// is buffered.
     pub fn create_gc(&self, values: GcValues) -> GcId {
-        let mut s = self.server.borrow_mut();
-        let id = s.gcs.reserve();
-        if !s.is_alive(self.client) {
-            return id;
-        }
-        let seq = s.next_seq(self.client);
-        s.enqueue_request(
-            self.client,
-            RequestKind::CreateGc,
-            false,
-            Xid::NONE,
-            seq,
-            Some(QueuedRequest::CreateGc { id, values }),
-        );
-        id
+        self.transport.create_gc(self.client, values)
     }
 
     /// Changes a GC.
@@ -994,9 +1262,10 @@ impl Connection {
 
     /// Queries the selection owner (round trip).
     pub fn get_selection_owner(&self, selection: Atom) -> Result<WindowId, XError> {
-        self.round_trip(RequestKind::GetSelectionOwner, Xid::NONE, |s| {
-            s.get_selection_owner(selection)
-        })
+        match self.round_trip(SyncRequest::GetSelectionOwner { selection })? {
+            SyncReply::Window(w) => Ok(w),
+            _ => unreachable!("GetSelectionOwner answers with a window"),
+        }
     }
 
     /// Requests conversion of a selection into a property on `requestor`.
@@ -1052,9 +1321,10 @@ impl Connection {
 
     /// Queries the input focus (round trip).
     pub fn get_input_focus(&self) -> Result<WindowId, XError> {
-        self.round_trip(RequestKind::GetInputFocus, Xid::NONE, |s| {
-            s.get_input_focus()
-        })
+        match self.round_trip(SyncRequest::GetInputFocus)? {
+            SyncReply::Window(w) => Ok(w),
+            _ => unreachable!("GetInputFocus answers with a window"),
+        }
     }
 
     // --- events ---
@@ -1063,16 +1333,12 @@ impl Connection {
     /// checking for events is a flush point: all output buffers are
     /// written out before looking at the queue.
     pub fn poll_event(&self) -> Option<Event> {
-        let mut s = self.server.borrow_mut();
-        s.flush_all();
-        s.poll_event(self.client)
+        self.transport.poll_event(self.client)
     }
 
     /// Number of queued events (flushes first, like `XPending`).
     pub fn pending(&self) -> usize {
-        let mut s = self.server.borrow_mut();
-        s.flush_all();
-        s.pending(self.client)
+        self.transport.pending(self.client)
     }
 }
 
@@ -1127,9 +1393,12 @@ mod tests {
         c.map_window(w);
         // Nothing has reached the server yet: the window id is reserved
         // client-side but the CreateWindow is still in the buffer.
-        assert!(d.server.borrow().get_geometry(w).is_none());
+        assert!(d.peek_server(|s| s.get_geometry(w).is_none()));
         c.flush();
-        assert_eq!(d.server.borrow().get_geometry(w), Some((0, 0, 10, 10, 0)));
+        assert_eq!(
+            d.peek_server(|s| s.get_geometry(w)),
+            Some((0, 0, 10, 10, 0))
+        );
         let st = c.stats();
         assert_eq!(st.requests, 2);
         assert_eq!(st.batched_requests, 2);
@@ -1200,7 +1469,7 @@ mod tests {
         let w = c.create_window(c.root(), 0, 0, 10, 10, 0).unwrap();
         c.map_window(w);
         // Executed immediately: no flush needed to observe the window.
-        assert!(d.server.borrow().get_geometry(w).is_some());
+        assert!(d.peek_server(|s| s.get_geometry(w).is_some()));
         let st = c.stats();
         assert_eq!(st.requests, 2);
         assert_eq!(st.flushes, 2, "every request is its own flush");
@@ -1341,7 +1610,7 @@ mod tests {
         c.reset_obs();
         assert_eq!(c.stats(), ClientStats::default());
         // The window exists (the buffered create was executed, not lost).
-        assert!(d.server.borrow().get_geometry(w).is_some());
+        assert!(d.peek_server(|s| s.get_geometry(w).is_some()));
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod render;
 pub mod rng;
 pub mod server;
 pub mod window;
+pub mod wire;
 
 pub use atom::Atom;
 pub use bitmap::{Bitmap, BitmapId};
@@ -58,7 +59,8 @@ pub use fault::{FaultAction, FaultPlan, FaultSpec, FiredFault, XError, XErrorCod
 pub use font::FontMetrics;
 pub use gc::GcValues;
 pub use ids::{ClientId, CursorId, FontId, GcId, Pixel, WindowId, Xid};
-pub use obs::{ClientObs, RequestKind, TraceEntry};
+pub use obs::{ClientObs, RequestKind, TraceEntry, WireStats};
 pub use render::Surface;
 pub use rng::XorShift;
 pub use server::{ClientStats, Server, OUT_BUF_CAPACITY, SCREEN_HEIGHT, SCREEN_WIDTH};
+pub use wire::WireHandle;

@@ -204,6 +204,36 @@ pub struct TraceEntry {
 /// Default trace ring capacity (entries).
 pub const TRACE_CAPACITY: usize = 1024;
 
+/// Per-client wire-transport counters. All zero when the in-process
+/// oracle transport is active (`RTK_NO_WIRE=1`): every field counts
+/// actual framed bytes crossing the byte transport, so "did anything go
+/// over the wire" is observable from the counters alone.
+#[derive(Debug, Clone, Default)]
+pub struct WireStats {
+    /// Frames encoded on behalf of this client (requests, control
+    /// frames, and the server's response frames).
+    pub frames_encoded: u64,
+    /// Total encoded bytes, including each frame's length prefix.
+    pub bytes_encoded: u64,
+    /// Frames decoded (client-side responses and server-side dispatch).
+    pub frames_decoded: u64,
+    /// Total decoded bytes, including each frame's length prefix.
+    pub bytes_decoded: u64,
+    /// Buffered-frame batches shipped to the server thread (the wire
+    /// analogue of `ClientStats::flushes`).
+    pub flushes: u64,
+    /// Size distribution of encoded frames, in bytes.
+    pub frame_bytes: Histogram,
+}
+
+impl WireStats {
+    /// Did any traffic cross the wire? (False under the in-process
+    /// oracle transport.)
+    pub fn active(&self) -> bool {
+        self.frames_encoded + self.frames_decoded > 0
+    }
+}
+
 /// Structured observability state for one client connection.
 #[derive(Debug, Clone)]
 pub struct ClientObs {
@@ -234,6 +264,9 @@ pub struct ClientObs {
     /// Damage-coalescing steps (contained-drop / overlap-merge /
     /// overflow-collapse) on windows this client owns.
     pub expose_coalesced: u64,
+    /// Wire-transport frame/byte counters (all zero under the
+    /// in-process oracle transport).
+    pub wire: WireStats,
 }
 
 impl Default for ClientObs {
@@ -250,6 +283,7 @@ impl Default for ClientObs {
             pixels_drawn: 0,
             damage_rects: 0,
             expose_coalesced: 0,
+            wire: WireStats::default(),
         }
     }
 }
@@ -377,6 +411,16 @@ impl ClientObs {
         o.field_u64("expose_coalesced", self.expose_coalesced);
         o.field_raw("request_ns", &self.request_ns.to_json());
         o.field_raw("round_trip_ns", &self.round_trip_ns.to_json());
+        if self.wire.active() {
+            let mut w = rtk_obs::json::Object::new();
+            w.field_u64("frames_encoded", self.wire.frames_encoded);
+            w.field_u64("bytes_encoded", self.wire.bytes_encoded);
+            w.field_u64("frames_decoded", self.wire.frames_decoded);
+            w.field_u64("bytes_decoded", self.wire.bytes_decoded);
+            w.field_u64("flushes", self.wire.flushes);
+            w.field_raw("frame_bytes", &self.wire.frame_bytes.to_json());
+            o.field_raw("wire", &w.build());
+        }
         if self.trace_enabled {
             let mut trace = rtk_obs::json::Array::new();
             for e in self.trace.iter() {

@@ -330,6 +330,90 @@ pub enum ReplyValue {
     Error(XError),
 }
 
+/// A synchronous reply-bearing request, as data. The closure-based
+/// round-trip methods on [`crate::connection::Connection`] lower to one
+/// of these so the request can cross a byte transport; the in-process
+/// oracle executes the same value directly. One variant per synchronous
+/// protocol operation.
+#[doc(hidden)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum SyncRequest {
+    InternAtom { name: String },
+    GetAtomName { atom: Atom },
+    QueryTree { id: WindowId },
+    GetGeometry { id: WindowId },
+    IsViewable { id: WindowId },
+    GetProperty { id: WindowId, atom: Atom },
+    TakeProperty { id: WindowId, atom: Atom },
+    AllocNamedColor { name: String },
+    AllocColor { rgb: Rgb },
+    QueryColor { pixel: Pixel },
+    OpenFont { name: String },
+    QueryFont { font: FontId },
+    CreateCursor { name: String },
+    QueryBitmap { id: crate::bitmap::BitmapId },
+    GetSelectionOwner { selection: Atom },
+    GetInputFocus,
+}
+
+impl SyncRequest {
+    /// The [`RequestKind`] this request is counted and traced as
+    /// (identical to what the closure-based methods used to pass).
+    pub(crate) fn kind(&self) -> RequestKind {
+        match self {
+            SyncRequest::InternAtom { .. } => RequestKind::InternAtom,
+            SyncRequest::GetAtomName { .. } => RequestKind::GetAtomName,
+            SyncRequest::QueryTree { .. } => RequestKind::QueryTree,
+            SyncRequest::GetGeometry { .. } => RequestKind::GetGeometry,
+            SyncRequest::IsViewable { .. } => RequestKind::GetWindowAttributes,
+            SyncRequest::GetProperty { .. } | SyncRequest::TakeProperty { .. } => {
+                RequestKind::GetProperty
+            }
+            SyncRequest::AllocNamedColor { .. } | SyncRequest::AllocColor { .. } => {
+                RequestKind::AllocColor
+            }
+            SyncRequest::QueryColor { .. } => RequestKind::QueryColor,
+            SyncRequest::OpenFont { .. } => RequestKind::OpenFont,
+            SyncRequest::QueryFont { .. } => RequestKind::QueryFont,
+            SyncRequest::CreateCursor { .. } => RequestKind::CreateCursor,
+            SyncRequest::QueryBitmap { .. } => RequestKind::QueryBitmap,
+            SyncRequest::GetSelectionOwner { .. } => RequestKind::GetSelectionOwner,
+            SyncRequest::GetInputFocus => RequestKind::GetInputFocus,
+        }
+    }
+
+    /// The window the request targets (`Xid::NONE` for windowless ones).
+    pub(crate) fn window(&self) -> WindowId {
+        match self {
+            SyncRequest::QueryTree { id }
+            | SyncRequest::GetGeometry { id }
+            | SyncRequest::IsViewable { id }
+            | SyncRequest::GetProperty { id, .. }
+            | SyncRequest::TakeProperty { id, .. } => *id,
+            _ => Xid::NONE,
+        }
+    }
+}
+
+/// The typed result of a [`SyncRequest`], mirroring what the old
+/// closure-based round trips returned.
+#[doc(hidden)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum SyncReply {
+    Atom(Atom),
+    OptString(Option<String>),
+    Tree(Option<(WindowId, Vec<WindowId>)>),
+    Geometry(Option<(i32, i32, u32, u32, u32)>),
+    Bool(bool),
+    NamedColor(Option<(Pixel, Rgb)>),
+    Pixel(Pixel),
+    Rgb(Rgb),
+    OptXid(Option<Xid>),
+    Metrics(Option<FontMetrics>),
+    Size(Option<(u32, u32)>),
+    Window(WindowId),
+}
+
 #[derive(Debug, Default)]
 struct ClientState {
     queue: VecDeque<Event>,
@@ -701,8 +785,37 @@ impl Server {
         q: Option<QueuedRequest>,
     ) {
         let start = std::time::Instant::now();
+        let mut flush_now = !self.batching;
+        if let Some(q) = q {
+            if let Some(c) = self.clients.get_mut(&client) {
+                c.out_buf.push((seq, q));
+                if c.out_buf.len() >= OUT_BUF_CAPACITY {
+                    flush_now = true;
+                }
+            }
+        }
+        self.note_issue(client, kind, round_trip, window, seq, start);
+        if flush_now {
+            self.flush_client(client);
+        }
+    }
+
+    /// The issue-time accounting half of [`Server::enqueue_request`]:
+    /// bumps `requests`/`batched_requests`/round-trip gauges and records
+    /// the obs entry, without touching any output buffer. The wire
+    /// transport calls this directly — its requests are buffered as
+    /// encoded frames outside the server — so both transports bump
+    /// exactly the same counters at exactly the same point.
+    pub(crate) fn note_issue(
+        &mut self,
+        client: ClientId,
+        kind: RequestKind,
+        round_trip: bool,
+        window: WindowId,
+        seq: u64,
+        start: std::time::Instant,
+    ) {
         let batching = self.batching;
-        let mut flush_now = !batching;
         if let Some(c) = self.clients.get_mut(&client) {
             c.stats.requests += 1;
             if batching {
@@ -713,16 +826,7 @@ impl Server {
                 c.pending_replies += 1;
                 c.stats.max_pending_replies = c.stats.max_pending_replies.max(c.pending_replies);
             }
-            if let Some(q) = q {
-                c.out_buf.push((seq, q));
-                if c.out_buf.len() >= OUT_BUF_CAPACITY {
-                    flush_now = true;
-                }
-            }
             c.obs.record(seq, kind, round_trip, window, start.elapsed());
-        }
-        if flush_now {
-            self.flush_client(client);
         }
     }
 
@@ -731,15 +835,29 @@ impl Server {
     /// the batch carried any reply-bearing request (the pipelined replies
     /// all travel back in one blocking wait).
     pub fn flush_client(&mut self, client: ClientId) {
-        let (buf, tracer) = match self.clients.get_mut(&client) {
-            Some(c) if !c.out_buf.is_empty() => (std::mem::take(&mut c.out_buf), c.tracer.clone()),
+        let buf = match self.clients.get_mut(&client) {
+            Some(c) if !c.out_buf.is_empty() => std::mem::take(&mut c.out_buf),
             _ => return,
         };
+        self.apply_batch(client, buf);
+    }
+
+    /// Executes one flushed batch of requests in issue order: the shared
+    /// core of [`Server::flush_client`] (in-process transport) and the
+    /// wire dispatcher (which decodes a shipped frame buffer into the
+    /// same `(seq, request)` list). Fault dispatch, the flush/rasterize
+    /// spans, and every counter live here, so both transports apply
+    /// batches with byte-identical semantics.
+    pub(crate) fn apply_batch(&mut self, client: ClientId, buf: Vec<(u64, QueuedRequest)>) {
+        if buf.is_empty() {
+            return;
+        }
+        let tracer = self.clients.get(&client).and_then(|c| c.tracer.clone());
         let n = buf.len() as u64;
         // The whole batch becomes one "flush" span keyed on its first
         // sequence number; a batch carrying drawing requests gets one
         // "rasterize" child covering the server-side pixel work. The
-        // guards hold an `Rc` clone of the tracer, so span bookkeeping
+        // guards hold a clone of the tracer handle, so span bookkeeping
         // never borrows `self` during the apply loop below — fault
         // instants recorded mid-loop parent on these spans naturally.
         let first_seq = buf.first().map_or(0, |(s, _)| *s);
@@ -1095,6 +1213,124 @@ impl Server {
             if round_trip {
                 c.stats.round_trips += 1;
             }
+        }
+    }
+
+    /// Executes one synchronous reply-bearing request end to end: flush
+    /// every output buffer (a blocked client has, by definition, already
+    /// written out its queue), allocate the sequence number, dispatch any
+    /// injected error/kill fault, and run the request body. Both
+    /// transports call this — the in-process oracle directly, the wire
+    /// dispatcher after decoding a Sync frame (having flushed the wire
+    /// buffers first, so the internal `flush_all` sees empty queues) —
+    /// which is what keeps sequence numbers, fault firings, and counters
+    /// byte-identical across transports.
+    pub(crate) fn execute_round_trip(
+        &mut self,
+        client: ClientId,
+        req: &SyncRequest,
+    ) -> Result<SyncReply, XError> {
+        self.flush_all();
+        // The flush may have executed an injected kill for this client.
+        if !self.is_alive(client) {
+            return Err(XError::dead(0));
+        }
+        let start = std::time::Instant::now();
+        let kind = req.kind();
+        let window = req.window();
+        let seq = self.next_seq(client);
+        self.note_request(client, true);
+        if let Some(action) = self.fault_for_round_trip(client, seq) {
+            // The request went out and an error (or the connection's
+            // death) came back: it costs the round trip either way.
+            self.record_fault(client, seq, action, Some(kind), window);
+            self.record_request(client, seq, kind, true, window, start.elapsed());
+            return match action {
+                FaultAction::KillConnection => {
+                    self.kill_client(client);
+                    Err(XError::dead(seq))
+                }
+                FaultAction::Error(code) => Err(XError {
+                    code,
+                    seq,
+                    kind: Some(kind),
+                }),
+                _ => unreachable!("fault_for_round_trip filters to error/kill"),
+            };
+        }
+        let work_start = std::time::Instant::now();
+        let r = self.apply_sync(req);
+        let end = std::time::Instant::now();
+        self.work_time += end - work_start;
+        self.record_request(client, seq, kind, true, window, end - start);
+        Ok(r)
+    }
+
+    /// The request body of each [`SyncRequest`] (the code the old
+    /// closure-based round trips inlined at their call sites).
+    fn apply_sync(&mut self, req: &SyncRequest) -> SyncReply {
+        match req {
+            SyncRequest::InternAtom { name } => SyncReply::Atom(self.atoms.intern(name)),
+            SyncRequest::GetAtomName { atom } => {
+                SyncReply::OptString(self.atoms.name(*atom).map(str::to_string))
+            }
+            SyncRequest::QueryTree { id } => SyncReply::Tree(self.query_tree(*id)),
+            SyncRequest::GetGeometry { id } => SyncReply::Geometry(self.get_geometry(*id)),
+            SyncRequest::IsViewable { id } => SyncReply::Bool(self.is_viewable(*id)),
+            SyncRequest::GetProperty { id, atom } => {
+                SyncReply::OptString(self.get_property(*id, *atom))
+            }
+            SyncRequest::TakeProperty { id, atom } => {
+                // X's GetProperty with delete=True: the read and the
+                // delete are one request, so a concurrent append can
+                // never land between them and be destroyed unread.
+                let value = self.get_property(*id, *atom);
+                self.delete_property(*id, *atom);
+                SyncReply::OptString(value)
+            }
+            SyncRequest::AllocNamedColor { name } => {
+                SyncReply::NamedColor(self.alloc_named_color(name))
+            }
+            SyncRequest::AllocColor { rgb } => SyncReply::Pixel(self.colormap.alloc(*rgb)),
+            SyncRequest::QueryColor { pixel } => SyncReply::Rgb(self.colormap.rgb(*pixel)),
+            SyncRequest::OpenFont { name } => SyncReply::OptXid(self.open_font(name)),
+            SyncRequest::QueryFont { font } => SyncReply::Metrics(self.fonts.metrics(*font)),
+            SyncRequest::CreateCursor { name } => SyncReply::OptXid(self.cursors.create(name)),
+            SyncRequest::QueryBitmap { id } => {
+                SyncReply::Size(self.bitmaps.get(*id).map(|b| (b.width, b.height)))
+            }
+            SyncRequest::GetSelectionOwner { selection } => {
+                SyncReply::Window(self.get_selection_owner(*selection))
+            }
+            SyncRequest::GetInputFocus => SyncReply::Window(self.get_input_focus()),
+        }
+    }
+
+    // ----- wire-transport counters ----------------------------------------------
+
+    /// Counts one frame encoded on behalf of `client` (`bytes` includes
+    /// the length prefix).
+    pub(crate) fn note_wire_encode(&mut self, client: ClientId, bytes: usize) {
+        if let Some(c) = self.clients.get_mut(&client) {
+            c.obs.wire.frames_encoded += 1;
+            c.obs.wire.bytes_encoded += bytes as u64;
+            c.obs.wire.frame_bytes.record(bytes as u64);
+        }
+    }
+
+    /// Counts one frame decoded on behalf of `client`.
+    pub(crate) fn note_wire_decode(&mut self, client: ClientId, bytes: usize) {
+        if let Some(c) = self.clients.get_mut(&client) {
+            c.obs.wire.frames_decoded += 1;
+            c.obs.wire.bytes_decoded += bytes as u64;
+        }
+    }
+
+    /// Counts one shipped wire batch (the wire analogue of a non-empty
+    /// buffer flush).
+    pub(crate) fn note_wire_flush(&mut self, client: ClientId) {
+        if let Some(c) = self.clients.get_mut(&client) {
+            c.obs.wire.flushes += 1;
         }
     }
 

@@ -1,0 +1,2883 @@
+//! The framed wire protocol and the threaded wire transport.
+//!
+//! Every request, reply, event, and error has a defined byte encoding so
+//! the protocol can cross a real transport boundary instead of a Rust
+//! function call. A frame is
+//!
+//! ```text
+//! [u32 len LE][u8 version][u8 frame_type][u16 opcode LE][u64 seq LE][payload]
+//! ```
+//!
+//! where `len` counts everything after itself (header + payload). The
+//! header is versioned ([`WIRE_VERSION`]) so a peer speaking a different
+//! revision is rejected with [`WireError::BadVersion`] instead of
+//! misparsing. [`FrameReader`] reassembles frames from arbitrary read
+//! chunks, so the decoder never assumes a write boundary survived the
+//! transport.
+//!
+//! The transport half runs the [`Server`] on its own dispatcher thread:
+//! clients encode request frames into per-client byte buffers and ship
+//! small control frames (flush, sync, reply take, event poll) through a
+//! FIFO inbox, blocking on a condvar until the dispatcher acknowledges
+//! the ticket. Acks are synchronous, which is what keeps counters, fault
+//! firings, and span shapes byte-identical to the in-process transport:
+//! both transports bump the same issue-time accounting under the same
+//! lock, and a flush applies the same decoded batch through
+//! [`Server::apply_batch`]. See docs/PROTOCOL.md.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::atom::Atom;
+use crate::bitmap::{Bitmap, BitmapId};
+use crate::color::Rgb;
+use crate::connection::{Transport, WaitReply};
+use crate::damage::Rect;
+use crate::event::{Event, Keysym};
+use crate::fault::{XError, XErrorCode};
+use crate::font::FontMetrics;
+use crate::gc::GcValues;
+use crate::ids::{ClientId, Pixel, WindowId, Xid};
+use crate::obs::RequestKind;
+use crate::server::{QueuedRequest, ReplyValue, Server, SyncReply, SyncRequest, OUT_BUF_CAPACITY};
+
+/// Protocol revision carried in every frame header.
+pub const WIRE_VERSION: u8 = 1;
+/// Bytes between the length prefix and the payload.
+pub const HEADER_LEN: usize = 12;
+/// Upper bound on `len`; anything larger is rejected before allocation.
+pub const MAX_FRAME_LEN: u32 = 1 << 20;
+
+// Frame types. Requests flow client -> server; replies, events, and
+// errors flow back; FLUSH/SYNC/TAKE/POLL/PENDING are transport control.
+pub const FT_REQUEST: u8 = 1;
+pub const FT_SYNC: u8 = 2;
+pub const FT_SYNC_REPLY: u8 = 3;
+pub const FT_COOKIE_REPLY: u8 = 4;
+pub const FT_NO_REPLY: u8 = 5;
+pub const FT_EVENT: u8 = 6;
+pub const FT_NO_EVENT: u8 = 7;
+pub const FT_ERROR: u8 = 8;
+pub const FT_TAKE_REPLY: u8 = 9;
+pub const FT_POLL_EVENT: u8 = 10;
+pub const FT_PENDING: u8 = 11;
+pub const FT_PENDING_COUNT: u8 = 12;
+pub const FT_FLUSH_CLIENT: u8 = 13;
+pub const FT_FLUSH_ALL: u8 = 14;
+
+/// A decode failure. Every malformed input maps to a structured error —
+/// the decoder never panics and never reads out of bounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The stream ended inside a frame (only surfaced by explicit EOF
+    /// checks; [`FrameReader::next_frame`] returns `Ok(None)` and waits).
+    Truncated,
+    /// The frame header carries an unknown protocol version.
+    BadVersion(u8),
+    /// The frame type byte is outside the defined range.
+    BadFrameType(u8),
+    /// The opcode is not defined for this frame type.
+    BadOpcode(u16),
+    /// The length prefix exceeds [`MAX_FRAME_LEN`].
+    Oversized(u32),
+    /// The payload does not parse as the opcode's layout.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::BadFrameType(t) => write!(f, "unknown frame type {t}"),
+            WireError::BadOpcode(o) => write!(f, "unknown opcode {o}"),
+            WireError::Oversized(n) => write!(f, "frame length {n} exceeds limit"),
+            WireError::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ----- primitive writers (little-endian throughout) -----
+
+fn put_u16(b: &mut Vec<u8>, v: u16) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u32(b: &mut Vec<u8>, v: u32) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(b: &mut Vec<u8>, v: u64) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+fn put_i32(b: &mut Vec<u8>, v: i32) {
+    put_u32(b, v as u32);
+}
+fn put_bool(b: &mut Vec<u8>, v: bool) {
+    b.push(v as u8);
+}
+fn put_str(b: &mut Vec<u8>, s: &str) {
+    put_u32(b, s.len() as u32);
+    b.extend_from_slice(s.as_bytes());
+}
+fn put_opt_i32(b: &mut Vec<u8>, v: Option<i32>) {
+    match v {
+        None => b.push(0),
+        Some(x) => {
+            b.push(1);
+            put_i32(b, x);
+        }
+    }
+}
+fn put_opt_u32(b: &mut Vec<u8>, v: Option<u32>) {
+    match v {
+        None => b.push(0),
+        Some(x) => {
+            b.push(1);
+            put_u32(b, x);
+        }
+    }
+}
+fn put_gc(b: &mut Vec<u8>, g: &GcValues) {
+    put_u32(b, g.foreground.0);
+    put_u32(b, g.background.0);
+    put_u32(b, g.line_width);
+    put_u32(b, g.font.0);
+}
+fn put_rect(b: &mut Vec<u8>, r: &Rect) {
+    put_i32(b, r.x);
+    put_i32(b, r.y);
+    put_u32(b, r.w);
+    put_u32(b, r.h);
+}
+fn put_rects(b: &mut Vec<u8>, rects: &[Rect]) {
+    put_u32(b, rects.len() as u32);
+    for r in rects {
+        put_rect(b, r);
+    }
+}
+fn put_bitmap(b: &mut Vec<u8>, bm: &Bitmap) {
+    put_u32(b, bm.width);
+    put_u32(b, bm.height);
+    for y in 0..bm.height {
+        for x in 0..bm.width {
+            b.push(bm.get(x, y) as u8);
+        }
+    }
+}
+fn put_keysym(b: &mut Vec<u8>, k: &Keysym) {
+    put_str(b, &k.name);
+    match k.ch {
+        None => b.push(0),
+        Some(c) => {
+            b.push(1);
+            put_u32(b, c as u32);
+        }
+    }
+}
+fn put_error(b: &mut Vec<u8>, e: &XError) {
+    let code = match e.code {
+        XErrorCode::BadWindow => 1u8,
+        XErrorCode::BadAtom => 2,
+        XErrorCode::BadValue => 3,
+        XErrorCode::BadAlloc => 4,
+        XErrorCode::ConnectionDead => 5,
+    };
+    b.push(code);
+    put_u64(b, e.seq);
+    match e.kind {
+        None => b.push(0),
+        Some(k) => {
+            b.push(1);
+            put_u16(b, k as u16);
+        }
+    }
+}
+
+// ----- bounds-checked payload reader -----
+
+struct Rd<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Rd<'a> {
+    fn new(b: &'a [u8]) -> Rd<'a> {
+        Rd { b, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.b.len() - self.pos < n {
+            return Err(WireError::Malformed("short payload"));
+        }
+        let s = &self.b[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn i32(&mut self) -> Result<i32, WireError> {
+        Ok(self.u32()? as i32)
+    }
+    fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Malformed("bad bool")),
+        }
+    }
+    fn string(&mut self) -> Result<String, WireError> {
+        let n = self.u32()? as usize;
+        let s = self.take(n)?;
+        String::from_utf8(s.to_vec()).map_err(|_| WireError::Malformed("invalid utf-8"))
+    }
+    fn ch(&mut self) -> Result<char, WireError> {
+        char::from_u32(self.u32()?).ok_or(WireError::Malformed("bad char"))
+    }
+    fn opt_i32(&mut self) -> Result<Option<i32>, WireError> {
+        match self.bool()? {
+            false => Ok(None),
+            true => Ok(Some(self.i32()?)),
+        }
+    }
+    fn opt_u32(&mut self) -> Result<Option<u32>, WireError> {
+        match self.bool()? {
+            false => Ok(None),
+            true => Ok(Some(self.u32()?)),
+        }
+    }
+    fn xid(&mut self) -> Result<Xid, WireError> {
+        Ok(Xid(self.u32()?))
+    }
+    fn atom(&mut self) -> Result<Atom, WireError> {
+        Ok(Atom(self.u32()?))
+    }
+    fn pixel(&mut self) -> Result<Pixel, WireError> {
+        Ok(Pixel(self.u32()?))
+    }
+    fn rgb(&mut self) -> Result<Rgb, WireError> {
+        let s = self.take(3)?;
+        Ok(Rgb::new(s[0], s[1], s[2]))
+    }
+    fn gc(&mut self) -> Result<GcValues, WireError> {
+        Ok(GcValues {
+            foreground: self.pixel()?,
+            background: self.pixel()?,
+            line_width: self.u32()?,
+            font: self.xid()?,
+        })
+    }
+    fn rect(&mut self) -> Result<Rect, WireError> {
+        Ok(Rect::new(
+            self.i32()?,
+            self.i32()?,
+            self.u32()?,
+            self.u32()?,
+        ))
+    }
+    fn rects(&mut self) -> Result<Vec<Rect>, WireError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(16) > self.b.len() - self.pos {
+            return Err(WireError::Malformed("rect count exceeds payload"));
+        }
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.rect()?);
+        }
+        Ok(v)
+    }
+    fn bitmap(&mut self) -> Result<Bitmap, WireError> {
+        let w = self.u32()?;
+        let h = self.u32()?;
+        let n = (w as u64).saturating_mul(h as u64);
+        if n > MAX_FRAME_LEN as u64 {
+            return Err(WireError::Malformed("bitmap too large"));
+        }
+        let raw = self.take(n as usize)?;
+        let mut bits = Vec::with_capacity(n as usize);
+        for &byte in raw {
+            match byte {
+                0 => bits.push(false),
+                1 => bits.push(true),
+                _ => return Err(WireError::Malformed("bad bitmap bit")),
+            }
+        }
+        Bitmap::new(w, h, bits).ok_or(WireError::Malformed("bitmap size mismatch"))
+    }
+    fn keysym(&mut self) -> Result<Keysym, WireError> {
+        let name = self.string()?;
+        let ch = match self.bool()? {
+            false => None,
+            true => Some(self.ch()?),
+        };
+        Ok(Keysym { name, ch })
+    }
+    fn error(&mut self) -> Result<XError, WireError> {
+        let code = match self.u8()? {
+            1 => XErrorCode::BadWindow,
+            2 => XErrorCode::BadAtom,
+            3 => XErrorCode::BadValue,
+            4 => XErrorCode::BadAlloc,
+            5 => XErrorCode::ConnectionDead,
+            _ => return Err(WireError::Malformed("bad error code")),
+        };
+        let seq = self.u64()?;
+        let kind = match self.bool()? {
+            false => None,
+            true => {
+                let i = self.u16()? as usize;
+                Some(
+                    *RequestKind::ALL
+                        .get(i)
+                        .ok_or(WireError::Malformed("bad request kind"))?,
+                )
+            }
+        };
+        Ok(XError { code, seq, kind })
+    }
+
+    /// Asserts the payload was consumed exactly.
+    fn done(self) -> Result<(), WireError> {
+        if self.pos == self.b.len() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed("trailing bytes"))
+        }
+    }
+}
+
+// ----- frames -----
+
+/// One decoded frame: header fields plus the raw payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawFrame {
+    pub frame_type: u8,
+    pub opcode: u16,
+    pub seq: u64,
+    pub payload: Vec<u8>,
+}
+
+impl RawFrame {
+    /// Total encoded size including the length prefix.
+    pub fn wire_len(&self) -> usize {
+        4 + HEADER_LEN + self.payload.len()
+    }
+}
+
+/// Encodes one frame: length prefix, versioned header, payload.
+pub fn frame(frame_type: u8, opcode: u16, seq: u64, payload: &[u8]) -> Vec<u8> {
+    let len = (HEADER_LEN + payload.len()) as u32;
+    debug_assert!(len <= MAX_FRAME_LEN, "frame exceeds MAX_FRAME_LEN");
+    let mut b = Vec::with_capacity(4 + len as usize);
+    put_u32(&mut b, len);
+    b.push(WIRE_VERSION);
+    b.push(frame_type);
+    put_u16(&mut b, opcode);
+    put_u64(&mut b, seq);
+    b.extend_from_slice(payload);
+    b
+}
+
+/// Incremental frame reassembly over arbitrary read chunks. Feed bytes
+/// with [`push`](FrameReader::push); [`next_frame`](FrameReader::next_frame)
+/// yields a frame once one is complete, `Ok(None)` while data is partial,
+/// and a [`WireError`] for malformed input.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameReader {
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    pub fn push(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    pub fn next_frame(&mut self) -> Result<Option<RawFrame>, WireError> {
+        let avail = self.buf.len() - self.pos;
+        if avail < 4 {
+            self.compact();
+            return Ok(None);
+        }
+        let at = self.pos;
+        let len = u32::from_le_bytes(self.buf[at..at + 4].try_into().unwrap());
+        if (len as usize) < HEADER_LEN {
+            return Err(WireError::Malformed("frame length shorter than header"));
+        }
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::Oversized(len));
+        }
+        if avail < 4 + len as usize {
+            self.compact();
+            return Ok(None);
+        }
+        let start = at + 4;
+        let version = self.buf[start];
+        if version != WIRE_VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let frame_type = self.buf[start + 1];
+        if !(FT_REQUEST..=FT_FLUSH_ALL).contains(&frame_type) {
+            return Err(WireError::BadFrameType(frame_type));
+        }
+        let opcode = u16::from_le_bytes(self.buf[start + 2..start + 4].try_into().unwrap());
+        let seq = u64::from_le_bytes(self.buf[start + 4..start + 12].try_into().unwrap());
+        let payload = self.buf[start + HEADER_LEN..start + len as usize].to_vec();
+        self.pos = start + len as usize;
+        Ok(Some(RawFrame {
+            frame_type,
+            opcode,
+            seq,
+            payload,
+        }))
+    }
+
+    fn compact(&mut self) {
+        if self.pos > 4096 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+}
+
+// ----- request codec -----
+//
+// Opcodes follow `QueuedRequest` declaration order, 1-based. The
+// reply-bearing variants (35..=39) do not serialize their embedded
+// sequence number; it is reconstructed from the frame header.
+
+/// Encodes a buffered request into `(opcode, payload)`.
+pub(crate) fn encode_request(q: &QueuedRequest) -> (u16, Vec<u8>) {
+    use QueuedRequest as Q;
+    let mut b = Vec::new();
+    let op = match q {
+        Q::CreateWindow {
+            id,
+            parent,
+            x,
+            y,
+            width,
+            height,
+            border_width,
+        } => {
+            put_u32(&mut b, id.0);
+            put_u32(&mut b, parent.0);
+            put_i32(&mut b, *x);
+            put_i32(&mut b, *y);
+            put_u32(&mut b, *width);
+            put_u32(&mut b, *height);
+            put_u32(&mut b, *border_width);
+            1
+        }
+        Q::DestroyWindow { id } => {
+            put_u32(&mut b, id.0);
+            2
+        }
+        Q::MapWindow { id } => {
+            put_u32(&mut b, id.0);
+            3
+        }
+        Q::UnmapWindow { id } => {
+            put_u32(&mut b, id.0);
+            4
+        }
+        Q::ConfigureWindow {
+            id,
+            x,
+            y,
+            width,
+            height,
+            border_width,
+        } => {
+            put_u32(&mut b, id.0);
+            put_opt_i32(&mut b, *x);
+            put_opt_i32(&mut b, *y);
+            put_opt_u32(&mut b, *width);
+            put_opt_u32(&mut b, *height);
+            put_opt_u32(&mut b, *border_width);
+            5
+        }
+        Q::RaiseWindow { id } => {
+            put_u32(&mut b, id.0);
+            6
+        }
+        Q::ReparentWindow {
+            id,
+            new_parent,
+            x,
+            y,
+        } => {
+            put_u32(&mut b, id.0);
+            put_u32(&mut b, new_parent.0);
+            put_i32(&mut b, *x);
+            put_i32(&mut b, *y);
+            7
+        }
+        Q::SelectInput { id, event_mask } => {
+            put_u32(&mut b, id.0);
+            put_u32(&mut b, *event_mask);
+            8
+        }
+        Q::SetWindowBackground { id, pixel } => {
+            put_u32(&mut b, id.0);
+            put_u32(&mut b, pixel.0);
+            9
+        }
+        Q::SetWindowBorder { id, pixel } => {
+            put_u32(&mut b, id.0);
+            put_u32(&mut b, pixel.0);
+            10
+        }
+        Q::SetOverrideRedirect { id, on } => {
+            put_u32(&mut b, id.0);
+            put_bool(&mut b, *on);
+            11
+        }
+        Q::DefineCursor { id, cursor } => {
+            put_u32(&mut b, id.0);
+            put_u32(&mut b, cursor.0);
+            12
+        }
+        Q::ChangeProperty { id, atom, value } => {
+            put_u32(&mut b, id.0);
+            put_u32(&mut b, atom.0);
+            put_str(&mut b, value);
+            13
+        }
+        Q::AppendProperty { id, atom, value } => {
+            put_u32(&mut b, id.0);
+            put_u32(&mut b, atom.0);
+            put_str(&mut b, value);
+            14
+        }
+        Q::DeleteProperty { id, atom } => {
+            put_u32(&mut b, id.0);
+            put_u32(&mut b, atom.0);
+            15
+        }
+        Q::FreeColor { pixel } => {
+            put_u32(&mut b, pixel.0);
+            16
+        }
+        Q::CreateBitmap { id, bitmap } => {
+            put_u32(&mut b, id.0);
+            put_bitmap(&mut b, bitmap);
+            17
+        }
+        Q::FreeBitmap { id } => {
+            put_u32(&mut b, id.0);
+            18
+        }
+        Q::CopyBitmap {
+            id,
+            gc,
+            x,
+            y,
+            bitmap,
+        } => {
+            put_u32(&mut b, id.0);
+            put_u32(&mut b, gc.0);
+            put_i32(&mut b, *x);
+            put_i32(&mut b, *y);
+            put_u32(&mut b, bitmap.0);
+            19
+        }
+        Q::CreateGc { id, values } => {
+            put_u32(&mut b, id.0);
+            put_gc(&mut b, values);
+            20
+        }
+        Q::ChangeGc { gc, values } => {
+            put_u32(&mut b, gc.0);
+            put_gc(&mut b, values);
+            21
+        }
+        Q::FreeGc { gc } => {
+            put_u32(&mut b, gc.0);
+            22
+        }
+        Q::FillRectangle { id, gc, x, y, w, h } => {
+            put_u32(&mut b, id.0);
+            put_u32(&mut b, gc.0);
+            put_i32(&mut b, *x);
+            put_i32(&mut b, *y);
+            put_u32(&mut b, *w);
+            put_u32(&mut b, *h);
+            23
+        }
+        Q::DrawRectangle { id, gc, x, y, w, h } => {
+            put_u32(&mut b, id.0);
+            put_u32(&mut b, gc.0);
+            put_i32(&mut b, *x);
+            put_i32(&mut b, *y);
+            put_u32(&mut b, *w);
+            put_u32(&mut b, *h);
+            24
+        }
+        Q::DrawLine {
+            id,
+            gc,
+            x0,
+            y0,
+            x1,
+            y1,
+        } => {
+            put_u32(&mut b, id.0);
+            put_u32(&mut b, gc.0);
+            put_i32(&mut b, *x0);
+            put_i32(&mut b, *y0);
+            put_i32(&mut b, *x1);
+            put_i32(&mut b, *y1);
+            25
+        }
+        Q::DrawString { id, gc, x, y, text } => {
+            put_u32(&mut b, id.0);
+            put_u32(&mut b, gc.0);
+            put_i32(&mut b, *x);
+            put_i32(&mut b, *y);
+            put_str(&mut b, text);
+            26
+        }
+        Q::ClearArea { id, x, y, w, h } => {
+            put_u32(&mut b, id.0);
+            put_i32(&mut b, *x);
+            put_i32(&mut b, *y);
+            put_u32(&mut b, *w);
+            put_u32(&mut b, *h);
+            27
+        }
+        Q::SetClip { id, rects } => {
+            put_u32(&mut b, id.0);
+            put_rects(&mut b, rects);
+            28
+        }
+        Q::ClearClip { id } => {
+            put_u32(&mut b, id.0);
+            29
+        }
+        Q::CopyArea {
+            id,
+            src_x,
+            src_y,
+            w,
+            h,
+            dst_x,
+            dst_y,
+        } => {
+            put_u32(&mut b, id.0);
+            put_i32(&mut b, *src_x);
+            put_i32(&mut b, *src_y);
+            put_u32(&mut b, *w);
+            put_u32(&mut b, *h);
+            put_i32(&mut b, *dst_x);
+            put_i32(&mut b, *dst_y);
+            30
+        }
+        Q::SetSelectionOwner { selection, owner } => {
+            put_u32(&mut b, selection.0);
+            put_u32(&mut b, owner.0);
+            31
+        }
+        Q::ConvertSelection {
+            requestor,
+            selection,
+            target,
+            property,
+        } => {
+            put_u32(&mut b, requestor.0);
+            put_u32(&mut b, selection.0);
+            put_u32(&mut b, target.0);
+            put_u32(&mut b, property.0);
+            32
+        }
+        Q::SendSelectionNotify {
+            requestor,
+            selection,
+            target,
+            property,
+        } => {
+            put_u32(&mut b, requestor.0);
+            put_u32(&mut b, selection.0);
+            put_u32(&mut b, target.0);
+            put_u32(&mut b, property.0);
+            33
+        }
+        Q::SetInputFocus { id } => {
+            put_u32(&mut b, id.0);
+            34
+        }
+        Q::InternAtom { seq: _, name } => {
+            put_str(&mut b, name);
+            35
+        }
+        Q::AllocColor { seq: _, rgb } => {
+            b.push(rgb.r);
+            b.push(rgb.g);
+            b.push(rgb.b);
+            36
+        }
+        Q::AllocNamedColor { seq: _, name } => {
+            put_str(&mut b, name);
+            37
+        }
+        Q::GetProperty { seq: _, id, atom } => {
+            put_u32(&mut b, id.0);
+            put_u32(&mut b, atom.0);
+            38
+        }
+        Q::GetGeometry { seq: _, id } => {
+            put_u32(&mut b, id.0);
+            39
+        }
+    };
+    (op, b)
+}
+
+/// Decodes a request frame payload; `seq` comes from the frame header.
+pub(crate) fn decode_request(
+    opcode: u16,
+    seq: u64,
+    payload: &[u8],
+) -> Result<QueuedRequest, WireError> {
+    use QueuedRequest as Q;
+    let mut r = Rd::new(payload);
+    let q = match opcode {
+        1 => Q::CreateWindow {
+            id: r.xid()?,
+            parent: r.xid()?,
+            x: r.i32()?,
+            y: r.i32()?,
+            width: r.u32()?,
+            height: r.u32()?,
+            border_width: r.u32()?,
+        },
+        2 => Q::DestroyWindow { id: r.xid()? },
+        3 => Q::MapWindow { id: r.xid()? },
+        4 => Q::UnmapWindow { id: r.xid()? },
+        5 => Q::ConfigureWindow {
+            id: r.xid()?,
+            x: r.opt_i32()?,
+            y: r.opt_i32()?,
+            width: r.opt_u32()?,
+            height: r.opt_u32()?,
+            border_width: r.opt_u32()?,
+        },
+        6 => Q::RaiseWindow { id: r.xid()? },
+        7 => Q::ReparentWindow {
+            id: r.xid()?,
+            new_parent: r.xid()?,
+            x: r.i32()?,
+            y: r.i32()?,
+        },
+        8 => Q::SelectInput {
+            id: r.xid()?,
+            event_mask: r.u32()?,
+        },
+        9 => Q::SetWindowBackground {
+            id: r.xid()?,
+            pixel: r.pixel()?,
+        },
+        10 => Q::SetWindowBorder {
+            id: r.xid()?,
+            pixel: r.pixel()?,
+        },
+        11 => Q::SetOverrideRedirect {
+            id: r.xid()?,
+            on: r.bool()?,
+        },
+        12 => Q::DefineCursor {
+            id: r.xid()?,
+            cursor: r.xid()?,
+        },
+        13 => Q::ChangeProperty {
+            id: r.xid()?,
+            atom: r.atom()?,
+            value: r.string()?,
+        },
+        14 => Q::AppendProperty {
+            id: r.xid()?,
+            atom: r.atom()?,
+            value: r.string()?,
+        },
+        15 => Q::DeleteProperty {
+            id: r.xid()?,
+            atom: r.atom()?,
+        },
+        16 => Q::FreeColor { pixel: r.pixel()? },
+        17 => Q::CreateBitmap {
+            id: r.xid()?,
+            bitmap: r.bitmap()?,
+        },
+        18 => Q::FreeBitmap { id: r.xid()? },
+        19 => Q::CopyBitmap {
+            id: r.xid()?,
+            gc: r.xid()?,
+            x: r.i32()?,
+            y: r.i32()?,
+            bitmap: r.xid()?,
+        },
+        20 => Q::CreateGc {
+            id: r.xid()?,
+            values: r.gc()?,
+        },
+        21 => Q::ChangeGc {
+            gc: r.xid()?,
+            values: r.gc()?,
+        },
+        22 => Q::FreeGc { gc: r.xid()? },
+        23 => Q::FillRectangle {
+            id: r.xid()?,
+            gc: r.xid()?,
+            x: r.i32()?,
+            y: r.i32()?,
+            w: r.u32()?,
+            h: r.u32()?,
+        },
+        24 => Q::DrawRectangle {
+            id: r.xid()?,
+            gc: r.xid()?,
+            x: r.i32()?,
+            y: r.i32()?,
+            w: r.u32()?,
+            h: r.u32()?,
+        },
+        25 => Q::DrawLine {
+            id: r.xid()?,
+            gc: r.xid()?,
+            x0: r.i32()?,
+            y0: r.i32()?,
+            x1: r.i32()?,
+            y1: r.i32()?,
+        },
+        26 => Q::DrawString {
+            id: r.xid()?,
+            gc: r.xid()?,
+            x: r.i32()?,
+            y: r.i32()?,
+            text: r.string()?,
+        },
+        27 => Q::ClearArea {
+            id: r.xid()?,
+            x: r.i32()?,
+            y: r.i32()?,
+            w: r.u32()?,
+            h: r.u32()?,
+        },
+        28 => Q::SetClip {
+            id: r.xid()?,
+            rects: r.rects()?,
+        },
+        29 => Q::ClearClip { id: r.xid()? },
+        30 => Q::CopyArea {
+            id: r.xid()?,
+            src_x: r.i32()?,
+            src_y: r.i32()?,
+            w: r.u32()?,
+            h: r.u32()?,
+            dst_x: r.i32()?,
+            dst_y: r.i32()?,
+        },
+        31 => Q::SetSelectionOwner {
+            selection: r.atom()?,
+            owner: r.xid()?,
+        },
+        32 => Q::ConvertSelection {
+            requestor: r.xid()?,
+            selection: r.atom()?,
+            target: r.atom()?,
+            property: r.atom()?,
+        },
+        33 => Q::SendSelectionNotify {
+            requestor: r.xid()?,
+            selection: r.atom()?,
+            target: r.atom()?,
+            property: r.atom()?,
+        },
+        34 => Q::SetInputFocus { id: r.xid()? },
+        35 => Q::InternAtom {
+            seq,
+            name: r.string()?,
+        },
+        36 => Q::AllocColor { seq, rgb: r.rgb()? },
+        37 => Q::AllocNamedColor {
+            seq,
+            name: r.string()?,
+        },
+        38 => Q::GetProperty {
+            seq,
+            id: r.xid()?,
+            atom: r.atom()?,
+        },
+        39 => Q::GetGeometry { seq, id: r.xid()? },
+        other => return Err(WireError::BadOpcode(other)),
+    };
+    r.done()?;
+    Ok(q)
+}
+
+// ----- synchronous round-trip codec -----
+
+/// Encodes a synchronous request into `(opcode, payload)`.
+pub(crate) fn encode_sync_request(req: &SyncRequest) -> (u16, Vec<u8>) {
+    use SyncRequest as S;
+    let mut b = Vec::new();
+    let op = match req {
+        S::InternAtom { name } => {
+            put_str(&mut b, name);
+            1
+        }
+        S::GetAtomName { atom } => {
+            put_u32(&mut b, atom.0);
+            2
+        }
+        S::QueryTree { id } => {
+            put_u32(&mut b, id.0);
+            3
+        }
+        S::GetGeometry { id } => {
+            put_u32(&mut b, id.0);
+            4
+        }
+        S::IsViewable { id } => {
+            put_u32(&mut b, id.0);
+            5
+        }
+        S::GetProperty { id, atom } => {
+            put_u32(&mut b, id.0);
+            put_u32(&mut b, atom.0);
+            6
+        }
+        S::AllocNamedColor { name } => {
+            put_str(&mut b, name);
+            7
+        }
+        S::AllocColor { rgb } => {
+            b.push(rgb.r);
+            b.push(rgb.g);
+            b.push(rgb.b);
+            8
+        }
+        S::QueryColor { pixel } => {
+            put_u32(&mut b, pixel.0);
+            9
+        }
+        S::OpenFont { name } => {
+            put_str(&mut b, name);
+            10
+        }
+        S::QueryFont { font } => {
+            put_u32(&mut b, font.0);
+            11
+        }
+        S::CreateCursor { name } => {
+            put_str(&mut b, name);
+            12
+        }
+        S::QueryBitmap { id } => {
+            put_u32(&mut b, id.0);
+            13
+        }
+        S::GetSelectionOwner { selection } => {
+            put_u32(&mut b, selection.0);
+            14
+        }
+        S::GetInputFocus => 15,
+        S::TakeProperty { id, atom } => {
+            put_u32(&mut b, id.0);
+            put_u32(&mut b, atom.0);
+            16
+        }
+    };
+    (op, b)
+}
+
+pub(crate) fn decode_sync_request(opcode: u16, payload: &[u8]) -> Result<SyncRequest, WireError> {
+    use SyncRequest as S;
+    let mut r = Rd::new(payload);
+    let req = match opcode {
+        1 => S::InternAtom { name: r.string()? },
+        2 => S::GetAtomName { atom: r.atom()? },
+        3 => S::QueryTree { id: r.xid()? },
+        4 => S::GetGeometry { id: r.xid()? },
+        5 => S::IsViewable { id: r.xid()? },
+        6 => S::GetProperty {
+            id: r.xid()?,
+            atom: r.atom()?,
+        },
+        7 => S::AllocNamedColor { name: r.string()? },
+        8 => S::AllocColor { rgb: r.rgb()? },
+        9 => S::QueryColor { pixel: r.pixel()? },
+        10 => S::OpenFont { name: r.string()? },
+        11 => S::QueryFont { font: r.xid()? },
+        12 => S::CreateCursor { name: r.string()? },
+        13 => S::QueryBitmap { id: r.xid()? },
+        14 => S::GetSelectionOwner {
+            selection: r.atom()?,
+        },
+        15 => S::GetInputFocus,
+        16 => S::TakeProperty {
+            id: r.xid()?,
+            atom: r.atom()?,
+        },
+        other => return Err(WireError::BadOpcode(other)),
+    };
+    r.done()?;
+    Ok(req)
+}
+
+/// Encodes a synchronous reply into `(opcode, payload)`.
+pub(crate) fn encode_sync_reply(reply: &SyncReply) -> (u16, Vec<u8>) {
+    use SyncReply as R;
+    let mut b = Vec::new();
+    let op = match reply {
+        R::Atom(a) => {
+            put_u32(&mut b, a.0);
+            1
+        }
+        R::OptString(s) => {
+            match s {
+                None => b.push(0),
+                Some(s) => {
+                    b.push(1);
+                    put_str(&mut b, s);
+                }
+            }
+            2
+        }
+        R::Tree(t) => {
+            match t {
+                None => b.push(0),
+                Some((parent, children)) => {
+                    b.push(1);
+                    put_u32(&mut b, parent.0);
+                    put_u32(&mut b, children.len() as u32);
+                    for c in children {
+                        put_u32(&mut b, c.0);
+                    }
+                }
+            }
+            3
+        }
+        R::Geometry(g) => {
+            match g {
+                None => b.push(0),
+                Some((x, y, w, h, bw)) => {
+                    b.push(1);
+                    put_i32(&mut b, *x);
+                    put_i32(&mut b, *y);
+                    put_u32(&mut b, *w);
+                    put_u32(&mut b, *h);
+                    put_u32(&mut b, *bw);
+                }
+            }
+            4
+        }
+        R::Bool(v) => {
+            put_bool(&mut b, *v);
+            5
+        }
+        R::NamedColor(c) => {
+            match c {
+                None => b.push(0),
+                Some((pixel, rgb)) => {
+                    b.push(1);
+                    put_u32(&mut b, pixel.0);
+                    b.push(rgb.r);
+                    b.push(rgb.g);
+                    b.push(rgb.b);
+                }
+            }
+            6
+        }
+        R::Pixel(p) => {
+            put_u32(&mut b, p.0);
+            7
+        }
+        R::Rgb(rgb) => {
+            b.push(rgb.r);
+            b.push(rgb.g);
+            b.push(rgb.b);
+            8
+        }
+        R::OptXid(x) => {
+            match x {
+                None => b.push(0),
+                Some(x) => {
+                    b.push(1);
+                    put_u32(&mut b, x.0);
+                }
+            }
+            9
+        }
+        R::Metrics(m) => {
+            match m {
+                None => b.push(0),
+                Some(m) => {
+                    b.push(1);
+                    put_u32(&mut b, m.char_width);
+                    put_u32(&mut b, m.ascent);
+                    put_u32(&mut b, m.descent);
+                }
+            }
+            10
+        }
+        R::Size(s) => {
+            match s {
+                None => b.push(0),
+                Some((w, h)) => {
+                    b.push(1);
+                    put_u32(&mut b, *w);
+                    put_u32(&mut b, *h);
+                }
+            }
+            11
+        }
+        R::Window(w) => {
+            put_u32(&mut b, w.0);
+            12
+        }
+    };
+    (op, b)
+}
+
+pub(crate) fn decode_sync_reply(opcode: u16, payload: &[u8]) -> Result<SyncReply, WireError> {
+    use SyncReply as R;
+    let mut r = Rd::new(payload);
+    let reply = match opcode {
+        1 => R::Atom(r.atom()?),
+        2 => R::OptString(match r.bool()? {
+            false => None,
+            true => Some(r.string()?),
+        }),
+        3 => R::Tree(match r.bool()? {
+            false => None,
+            true => {
+                let parent = r.xid()?;
+                let n = r.u32()? as usize;
+                if n.saturating_mul(4) > payload.len() {
+                    return Err(WireError::Malformed("child count exceeds payload"));
+                }
+                let mut children = Vec::with_capacity(n);
+                for _ in 0..n {
+                    children.push(r.xid()?);
+                }
+                Some((parent, children))
+            }
+        }),
+        4 => R::Geometry(match r.bool()? {
+            false => None,
+            true => Some((r.i32()?, r.i32()?, r.u32()?, r.u32()?, r.u32()?)),
+        }),
+        5 => R::Bool(r.bool()?),
+        6 => R::NamedColor(match r.bool()? {
+            false => None,
+            true => Some((r.pixel()?, r.rgb()?)),
+        }),
+        7 => R::Pixel(r.pixel()?),
+        8 => R::Rgb(r.rgb()?),
+        9 => R::OptXid(match r.bool()? {
+            false => None,
+            true => Some(r.xid()?),
+        }),
+        10 => R::Metrics(match r.bool()? {
+            false => None,
+            true => Some(FontMetrics {
+                char_width: r.u32()?,
+                ascent: r.u32()?,
+                descent: r.u32()?,
+            }),
+        }),
+        11 => R::Size(match r.bool()? {
+            false => None,
+            true => Some((r.u32()?, r.u32()?)),
+        }),
+        12 => R::Window(r.xid()?),
+        other => return Err(WireError::BadOpcode(other)),
+    };
+    r.done()?;
+    Ok(reply)
+}
+
+// ----- pipelined reply codec -----
+
+/// Encodes a collected pipelined reply into `(opcode, payload)`.
+pub(crate) fn encode_reply_value(v: &ReplyValue) -> (u16, Vec<u8>) {
+    use ReplyValue as V;
+    let mut b = Vec::new();
+    let op = match v {
+        V::Atom(a) => {
+            put_u32(&mut b, a.0);
+            1
+        }
+        V::Pixel(p) => {
+            put_u32(&mut b, p.0);
+            2
+        }
+        V::NamedColor(c) => {
+            match c {
+                None => b.push(0),
+                Some((pixel, rgb)) => {
+                    b.push(1);
+                    put_u32(&mut b, pixel.0);
+                    b.push(rgb.r);
+                    b.push(rgb.g);
+                    b.push(rgb.b);
+                }
+            }
+            3
+        }
+        V::Property(p) => {
+            match p {
+                None => b.push(0),
+                Some(s) => {
+                    b.push(1);
+                    put_str(&mut b, s);
+                }
+            }
+            4
+        }
+        V::Geometry(g) => {
+            match g {
+                None => b.push(0),
+                Some((x, y, w, h, bw)) => {
+                    b.push(1);
+                    put_i32(&mut b, *x);
+                    put_i32(&mut b, *y);
+                    put_u32(&mut b, *w);
+                    put_u32(&mut b, *h);
+                    put_u32(&mut b, *bw);
+                }
+            }
+            5
+        }
+        V::Error(e) => {
+            put_error(&mut b, e);
+            6
+        }
+    };
+    (op, b)
+}
+
+pub(crate) fn decode_reply_value(opcode: u16, payload: &[u8]) -> Result<ReplyValue, WireError> {
+    use ReplyValue as V;
+    let mut r = Rd::new(payload);
+    let v = match opcode {
+        1 => V::Atom(r.atom()?),
+        2 => V::Pixel(r.pixel()?),
+        3 => V::NamedColor(match r.bool()? {
+            false => None,
+            true => Some((r.pixel()?, r.rgb()?)),
+        }),
+        4 => V::Property(match r.bool()? {
+            false => None,
+            true => Some(r.string()?),
+        }),
+        5 => V::Geometry(match r.bool()? {
+            false => None,
+            true => Some((r.i32()?, r.i32()?, r.u32()?, r.u32()?, r.u32()?)),
+        }),
+        6 => V::Error(r.error()?),
+        other => return Err(WireError::BadOpcode(other)),
+    };
+    r.done()?;
+    Ok(v)
+}
+
+// ----- event codec -----
+
+/// Encodes an event into `(opcode, payload)`. Opcodes follow `Event`
+/// declaration order, 1-based.
+pub(crate) fn encode_event(ev: &Event) -> (u16, Vec<u8>) {
+    use Event as E;
+    let mut b = Vec::new();
+    let op = match ev {
+        E::Expose {
+            window,
+            x,
+            y,
+            width,
+            height,
+            count,
+        } => {
+            put_u32(&mut b, window.0);
+            put_i32(&mut b, *x);
+            put_i32(&mut b, *y);
+            put_u32(&mut b, *width);
+            put_u32(&mut b, *height);
+            put_u32(&mut b, *count);
+            1
+        }
+        E::ConfigureNotify {
+            window,
+            x,
+            y,
+            width,
+            height,
+            border_width,
+        } => {
+            put_u32(&mut b, window.0);
+            put_i32(&mut b, *x);
+            put_i32(&mut b, *y);
+            put_u32(&mut b, *width);
+            put_u32(&mut b, *height);
+            put_u32(&mut b, *border_width);
+            2
+        }
+        E::MapNotify { window } => {
+            put_u32(&mut b, window.0);
+            3
+        }
+        E::UnmapNotify { window } => {
+            put_u32(&mut b, window.0);
+            4
+        }
+        E::DestroyNotify { window } => {
+            put_u32(&mut b, window.0);
+            5
+        }
+        E::EnterNotify {
+            window,
+            x,
+            y,
+            state,
+            time,
+        } => {
+            put_u32(&mut b, window.0);
+            put_i32(&mut b, *x);
+            put_i32(&mut b, *y);
+            put_u32(&mut b, *state);
+            put_u64(&mut b, *time);
+            6
+        }
+        E::LeaveNotify {
+            window,
+            x,
+            y,
+            state,
+            time,
+        } => {
+            put_u32(&mut b, window.0);
+            put_i32(&mut b, *x);
+            put_i32(&mut b, *y);
+            put_u32(&mut b, *state);
+            put_u64(&mut b, *time);
+            7
+        }
+        E::MotionNotify {
+            window,
+            x,
+            y,
+            x_root,
+            y_root,
+            state,
+            time,
+        } => {
+            put_u32(&mut b, window.0);
+            put_i32(&mut b, *x);
+            put_i32(&mut b, *y);
+            put_i32(&mut b, *x_root);
+            put_i32(&mut b, *y_root);
+            put_u32(&mut b, *state);
+            put_u64(&mut b, *time);
+            8
+        }
+        E::ButtonPress {
+            window,
+            button,
+            x,
+            y,
+            x_root,
+            y_root,
+            state,
+            time,
+        } => {
+            put_u32(&mut b, window.0);
+            b.push(*button);
+            put_i32(&mut b, *x);
+            put_i32(&mut b, *y);
+            put_i32(&mut b, *x_root);
+            put_i32(&mut b, *y_root);
+            put_u32(&mut b, *state);
+            put_u64(&mut b, *time);
+            9
+        }
+        E::ButtonRelease {
+            window,
+            button,
+            x,
+            y,
+            x_root,
+            y_root,
+            state,
+            time,
+        } => {
+            put_u32(&mut b, window.0);
+            b.push(*button);
+            put_i32(&mut b, *x);
+            put_i32(&mut b, *y);
+            put_i32(&mut b, *x_root);
+            put_i32(&mut b, *y_root);
+            put_u32(&mut b, *state);
+            put_u64(&mut b, *time);
+            10
+        }
+        E::KeyPress {
+            window,
+            keysym,
+            x,
+            y,
+            state,
+            time,
+        } => {
+            put_u32(&mut b, window.0);
+            put_keysym(&mut b, keysym);
+            put_i32(&mut b, *x);
+            put_i32(&mut b, *y);
+            put_u32(&mut b, *state);
+            put_u64(&mut b, *time);
+            11
+        }
+        E::KeyRelease {
+            window,
+            keysym,
+            x,
+            y,
+            state,
+            time,
+        } => {
+            put_u32(&mut b, window.0);
+            put_keysym(&mut b, keysym);
+            put_i32(&mut b, *x);
+            put_i32(&mut b, *y);
+            put_u32(&mut b, *state);
+            put_u64(&mut b, *time);
+            12
+        }
+        E::PropertyNotify {
+            window,
+            atom,
+            deleted,
+            time,
+        } => {
+            put_u32(&mut b, window.0);
+            put_u32(&mut b, atom.0);
+            put_bool(&mut b, *deleted);
+            put_u64(&mut b, *time);
+            13
+        }
+        E::SelectionClear {
+            window,
+            selection,
+            time,
+        } => {
+            put_u32(&mut b, window.0);
+            put_u32(&mut b, selection.0);
+            put_u64(&mut b, *time);
+            14
+        }
+        E::SelectionRequest {
+            owner,
+            requestor,
+            selection,
+            target,
+            property,
+            time,
+        } => {
+            put_u32(&mut b, owner.0);
+            put_u32(&mut b, requestor.0);
+            put_u32(&mut b, selection.0);
+            put_u32(&mut b, target.0);
+            put_u32(&mut b, property.0);
+            put_u64(&mut b, *time);
+            15
+        }
+        E::SelectionNotify {
+            requestor,
+            selection,
+            target,
+            property,
+            time,
+        } => {
+            put_u32(&mut b, requestor.0);
+            put_u32(&mut b, selection.0);
+            put_u32(&mut b, target.0);
+            put_u32(&mut b, property.0);
+            put_u64(&mut b, *time);
+            16
+        }
+        E::FocusIn { window } => {
+            put_u32(&mut b, window.0);
+            17
+        }
+        E::FocusOut { window } => {
+            put_u32(&mut b, window.0);
+            18
+        }
+    };
+    (op, b)
+}
+
+pub(crate) fn decode_event(opcode: u16, payload: &[u8]) -> Result<Event, WireError> {
+    use Event as E;
+    let mut r = Rd::new(payload);
+    let ev = match opcode {
+        1 => E::Expose {
+            window: r.xid()?,
+            x: r.i32()?,
+            y: r.i32()?,
+            width: r.u32()?,
+            height: r.u32()?,
+            count: r.u32()?,
+        },
+        2 => E::ConfigureNotify {
+            window: r.xid()?,
+            x: r.i32()?,
+            y: r.i32()?,
+            width: r.u32()?,
+            height: r.u32()?,
+            border_width: r.u32()?,
+        },
+        3 => E::MapNotify { window: r.xid()? },
+        4 => E::UnmapNotify { window: r.xid()? },
+        5 => E::DestroyNotify { window: r.xid()? },
+        6 => E::EnterNotify {
+            window: r.xid()?,
+            x: r.i32()?,
+            y: r.i32()?,
+            state: r.u32()?,
+            time: r.u64()?,
+        },
+        7 => E::LeaveNotify {
+            window: r.xid()?,
+            x: r.i32()?,
+            y: r.i32()?,
+            state: r.u32()?,
+            time: r.u64()?,
+        },
+        8 => E::MotionNotify {
+            window: r.xid()?,
+            x: r.i32()?,
+            y: r.i32()?,
+            x_root: r.i32()?,
+            y_root: r.i32()?,
+            state: r.u32()?,
+            time: r.u64()?,
+        },
+        9 => E::ButtonPress {
+            window: r.xid()?,
+            button: r.u8()?,
+            x: r.i32()?,
+            y: r.i32()?,
+            x_root: r.i32()?,
+            y_root: r.i32()?,
+            state: r.u32()?,
+            time: r.u64()?,
+        },
+        10 => E::ButtonRelease {
+            window: r.xid()?,
+            button: r.u8()?,
+            x: r.i32()?,
+            y: r.i32()?,
+            x_root: r.i32()?,
+            y_root: r.i32()?,
+            state: r.u32()?,
+            time: r.u64()?,
+        },
+        11 => E::KeyPress {
+            window: r.xid()?,
+            keysym: r.keysym()?,
+            x: r.i32()?,
+            y: r.i32()?,
+            state: r.u32()?,
+            time: r.u64()?,
+        },
+        12 => E::KeyRelease {
+            window: r.xid()?,
+            keysym: r.keysym()?,
+            x: r.i32()?,
+            y: r.i32()?,
+            state: r.u32()?,
+            time: r.u64()?,
+        },
+        13 => E::PropertyNotify {
+            window: r.xid()?,
+            atom: r.atom()?,
+            deleted: r.bool()?,
+            time: r.u64()?,
+        },
+        14 => E::SelectionClear {
+            window: r.xid()?,
+            selection: r.atom()?,
+            time: r.u64()?,
+        },
+        15 => E::SelectionRequest {
+            owner: r.xid()?,
+            requestor: r.xid()?,
+            selection: r.atom()?,
+            target: r.atom()?,
+            property: r.atom()?,
+            time: r.u64()?,
+        },
+        16 => E::SelectionNotify {
+            requestor: r.xid()?,
+            selection: r.atom()?,
+            target: r.atom()?,
+            property: r.atom()?,
+            time: r.u64()?,
+        },
+        17 => E::FocusIn { window: r.xid()? },
+        18 => E::FocusOut { window: r.xid()? },
+        other => return Err(WireError::BadOpcode(other)),
+    };
+    r.done()?;
+    Ok(ev)
+}
+
+/// Encodes an error frame body.
+pub(crate) fn encode_error_payload(e: &XError) -> Vec<u8> {
+    let mut b = Vec::new();
+    put_error(&mut b, e);
+    b
+}
+
+pub(crate) fn decode_error(payload: &[u8]) -> Result<XError, WireError> {
+    let mut r = Rd::new(payload);
+    let e = r.error()?;
+    r.done()?;
+    Ok(e)
+}
+
+// ----- the threaded wire server -----
+
+/// One client's encoded-but-unflushed request frames.
+#[derive(Debug, Default)]
+struct ClientBuf {
+    bytes: Vec<u8>,
+    frames: usize,
+}
+
+/// A control frame in flight to the dispatcher, with its ack ticket.
+struct WireMsg {
+    ticket: u64,
+    client: ClientId,
+    bytes: Vec<u8>,
+}
+
+/// Everything behind the wire mutex: the server itself, the per-client
+/// output buffers (BTreeMap so flush-all walks clients in id order, the
+/// same order as [`Server::flush_all`]), the dispatcher inbox, and the
+/// per-client response bytes.
+pub(crate) struct WireState {
+    pub(crate) server: Server,
+    bufs: BTreeMap<u32, ClientBuf>,
+    inbox: VecDeque<WireMsg>,
+    outbox: HashMap<u32, Vec<u8>>,
+    shipped: u64,
+    processed: u64,
+    shutdown: bool,
+}
+
+pub(crate) struct WireShared {
+    pub(crate) state: Mutex<WireState>,
+    pub(crate) cond: Condvar,
+}
+
+/// The dispatcher loop: pops control frames in FIFO order, dispatches
+/// them against the server, and acks the ticket. Every message is acked
+/// even if dispatch did nothing (e.g. the client died mid-flush), so a
+/// waiting client can never hang.
+fn run_server(shared: Arc<WireShared>) {
+    let mut st = shared.state.lock().unwrap();
+    loop {
+        while st.inbox.is_empty() && !st.shutdown {
+            st = shared.cond.wait(st).unwrap();
+        }
+        let Some(msg) = st.inbox.pop_front() else {
+            return; // empty inbox + shutdown
+        };
+        dispatch(&mut st, msg.client, &msg.bytes);
+        st.processed = msg.ticket;
+        shared.cond.notify_all();
+    }
+}
+
+fn dispatch(st: &mut WireState, client: ClientId, bytes: &[u8]) {
+    let mut fr = FrameReader::new();
+    fr.push(bytes);
+    while let Ok(Some(f)) = fr.next_frame() {
+        st.server.note_wire_decode(client, f.wire_len());
+        match f.frame_type {
+            FT_FLUSH_CLIENT => flush_buffered(st, client.0),
+            FT_FLUSH_ALL => flush_all_buffered(st),
+            FT_SYNC => {
+                flush_all_buffered(st);
+                let resp = match decode_sync_request(f.opcode, &f.payload) {
+                    Ok(req) => match st.server.execute_round_trip(client, &req) {
+                        Ok(reply) => {
+                            let (op, payload) = encode_sync_reply(&reply);
+                            frame(FT_SYNC_REPLY, op, f.seq, &payload)
+                        }
+                        Err(e) => frame(FT_ERROR, 0, e.seq, &encode_error_payload(&e)),
+                    },
+                    Err(_) => {
+                        let e = XError {
+                            code: XErrorCode::BadValue,
+                            seq: f.seq,
+                            kind: None,
+                        };
+                        frame(FT_ERROR, 0, f.seq, &encode_error_payload(&e))
+                    }
+                };
+                respond(st, client, resp);
+            }
+            FT_TAKE_REPLY => {
+                if !st.server.has_reply(client, f.seq) {
+                    flush_all_buffered(st);
+                }
+                let resp = match st.server.take_reply(client, f.seq) {
+                    Some(v) => {
+                        let (op, payload) = encode_reply_value(&v);
+                        frame(FT_COOKIE_REPLY, op, f.seq, &payload)
+                    }
+                    None => {
+                        let alive = st.server.is_alive(client);
+                        frame(FT_NO_REPLY, 0, f.seq, &[alive as u8])
+                    }
+                };
+                respond(st, client, resp);
+            }
+            FT_POLL_EVENT => {
+                flush_all_buffered(st);
+                let resp = match st.server.poll_event(client) {
+                    Some(ev) => {
+                        let (op, payload) = encode_event(&ev);
+                        frame(FT_EVENT, op, 0, &payload)
+                    }
+                    None => frame(FT_NO_EVENT, 0, 0, &[]),
+                };
+                respond(st, client, resp);
+            }
+            FT_PENDING => {
+                flush_all_buffered(st);
+                let n = st.server.pending(client);
+                respond(st, client, frame(FT_PENDING_COUNT, 0, n as u64, &[]));
+            }
+            _ => {} // data frames never arrive via the inbox
+        }
+    }
+}
+
+/// Queues response bytes for the client that shipped the control frame.
+fn respond(st: &mut WireState, client: ClientId, bytes: Vec<u8>) {
+    st.server.note_wire_encode(client, bytes.len());
+    st.outbox
+        .entry(client.0)
+        .or_default()
+        .extend_from_slice(&bytes);
+}
+
+/// Decodes one client's buffered request frames and applies them as a
+/// single batch — the wire-side mirror of [`Server::flush_client`].
+fn flush_buffered(st: &mut WireState, raw: u32) {
+    let Some(buf) = st.bufs.get_mut(&raw) else {
+        return;
+    };
+    if buf.frames == 0 {
+        return;
+    }
+    let bytes = std::mem::take(&mut buf.bytes);
+    buf.frames = 0;
+    let client = ClientId(raw);
+    let mut fr = FrameReader::new();
+    fr.push(&bytes);
+    let mut batch = Vec::new();
+    while let Ok(Some(f)) = fr.next_frame() {
+        st.server.note_wire_decode(client, f.wire_len());
+        if let Ok(q) = decode_request(f.opcode, f.seq, &f.payload) {
+            batch.push((f.seq, q));
+        }
+    }
+    st.server.note_wire_flush(client);
+    st.server.apply_batch(client, batch);
+}
+
+/// Flushes every client's wire buffer in client-id order (the same order
+/// [`Server::flush_all`] uses for in-process buffers).
+fn flush_all_buffered(st: &mut WireState) {
+    let ids: Vec<u32> = st.bufs.keys().copied().collect();
+    for id in ids {
+        flush_buffered(st, id);
+    }
+}
+
+/// Owns the dispatcher thread; dropping it shuts the thread down.
+pub(crate) struct ServerJoin {
+    shared: Arc<WireShared>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Drop for ServerJoin {
+    fn drop(&mut self) {
+        {
+            let mut st = match self.shared.state.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            st.shutdown = true;
+            self.shared.cond.notify_all();
+        }
+        let handle = match self.handle.lock() {
+            Ok(mut g) => g.take(),
+            Err(mut p) => p.get_mut().take(),
+        };
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A `Send + Sync` handle to a running wire server. Clone it into other
+/// threads and rebuild per-thread [`Display`](crate::Display)s with
+/// [`Display::from_wire`](crate::Display::from_wire) — that is how
+/// several `TkApp`s, each on its own thread, share one display.
+#[derive(Clone)]
+pub struct WireHandle {
+    pub(crate) shared: Arc<WireShared>,
+    pub(crate) join: Arc<ServerJoin>,
+}
+
+/// The wire transport: byte frames to a server on its own thread.
+pub(crate) struct WireTransport {
+    shared: Arc<WireShared>,
+    join: Arc<ServerJoin>,
+}
+
+impl WireTransport {
+    /// Starts a fresh server on its own dispatcher thread.
+    pub(crate) fn new() -> WireTransport {
+        let shared = Arc::new(WireShared {
+            state: Mutex::new(WireState {
+                server: Server::new(),
+                bufs: BTreeMap::new(),
+                inbox: VecDeque::new(),
+                outbox: HashMap::new(),
+                shipped: 0,
+                processed: 0,
+                shutdown: false,
+            }),
+            cond: Condvar::new(),
+        });
+        let thread_shared = shared.clone();
+        let handle = std::thread::Builder::new()
+            .name("xsim-wire-server".into())
+            .spawn(move || run_server(thread_shared))
+            .expect("spawn wire server thread");
+        let join = Arc::new(ServerJoin {
+            shared: shared.clone(),
+            handle: Mutex::new(Some(handle)),
+        });
+        WireTransport { shared, join }
+    }
+
+    /// Attaches to an already-running wire server.
+    pub(crate) fn from_handle(h: &WireHandle) -> WireTransport {
+        WireTransport {
+            shared: h.shared.clone(),
+            join: h.join.clone(),
+        }
+    }
+
+    pub(crate) fn handle(&self) -> WireHandle {
+        WireHandle {
+            shared: self.shared.clone(),
+            join: self.join.clone(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, WireState> {
+        self.shared.state.lock().unwrap()
+    }
+
+    /// Ships a control frame through the inbox and blocks until the
+    /// dispatcher acks its ticket; returns the reacquired lock and any
+    /// response bytes. The synchronous ack is what makes wire-mode
+    /// accounting and fault timing indistinguishable from the in-process
+    /// transport.
+    fn ship_locked<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, WireState>,
+        client: ClientId,
+        bytes: Vec<u8>,
+    ) -> (MutexGuard<'a, WireState>, Vec<u8>) {
+        st.server.note_wire_encode(client, bytes.len());
+        st.shipped += 1;
+        let ticket = st.shipped;
+        st.inbox.push_back(WireMsg {
+            ticket,
+            client,
+            bytes,
+        });
+        self.shared.cond.notify_all();
+        while st.processed < ticket && !st.shutdown {
+            st = self.shared.cond.wait(st).unwrap();
+        }
+        let resp = st.outbox.remove(&client.0).unwrap_or_default();
+        (st, resp)
+    }
+
+    /// Encodes a request frame into the client's wire buffer; returns
+    /// whether the buffer hit capacity (a forced flush point).
+    fn push_request(
+        &self,
+        st: &mut WireState,
+        client: ClientId,
+        seq: u64,
+        q: &QueuedRequest,
+    ) -> bool {
+        let (op, payload) = encode_request(q);
+        let bytes = frame(FT_REQUEST, op, seq, &payload);
+        st.server.note_wire_encode(client, bytes.len());
+        let buf = st.bufs.entry(client.0).or_default();
+        buf.bytes.extend_from_slice(&bytes);
+        buf.frames += 1;
+        buf.frames >= OUT_BUF_CAPACITY
+    }
+
+    /// Decodes the single response frame a control round trip produced.
+    fn take_response(&self, st: &mut WireState, client: ClientId, resp: &[u8]) -> RawFrame {
+        let mut fr = FrameReader::new();
+        fr.push(resp);
+        let f = fr
+            .next_frame()
+            .expect("wire: corrupt response frame")
+            .expect("wire: missing response frame");
+        st.server.note_wire_decode(client, f.wire_len());
+        f
+    }
+
+    fn buffered_frames(st: &WireState, client: ClientId) -> usize {
+        st.bufs.get(&client.0).map_or(0, |b| b.frames)
+    }
+}
+
+impl Transport for WireTransport {
+    fn connect(&self) -> ClientId {
+        self.lock().server.connect()
+    }
+
+    fn is_wire(&self) -> bool {
+        true
+    }
+
+    fn wire_handle(&self) -> Option<WireHandle> {
+        Some(self.handle())
+    }
+
+    fn peek(&self, f: &mut dyn FnMut(&mut Server)) {
+        f(&mut self.lock().server);
+    }
+
+    fn sync(&self, f: &mut dyn FnMut(&mut Server)) {
+        let st = self.lock();
+        let bytes = frame(FT_FLUSH_ALL, 0, 0, &[]);
+        let (mut st, _) = self.ship_locked(st, ClientId(0), bytes);
+        f(&mut st.server);
+    }
+
+    fn flush_client(&self, client: ClientId) {
+        let st = self.lock();
+        if Self::buffered_frames(&st, client) == 0 {
+            return;
+        }
+        let bytes = frame(FT_FLUSH_CLIENT, 0, 0, &[]);
+        let _ = self.ship_locked(st, client, bytes);
+    }
+
+    fn set_batching(&self, on: bool) {
+        if on {
+            self.lock().server.set_batching(true);
+        } else {
+            // Turning batching off is a flush point for everyone, like
+            // Server::set_batching's internal flush_all.
+            let st = self.lock();
+            let bytes = frame(FT_FLUSH_ALL, 0, 0, &[]);
+            let (mut st, _) = self.ship_locked(st, ClientId(0), bytes);
+            st.server.set_batching(false);
+        }
+    }
+
+    fn reset_obs(&self, client: ClientId) {
+        let mut st = self.lock();
+        if Self::buffered_frames(&st, client) > 0 {
+            let bytes = frame(FT_FLUSH_CLIENT, 0, 0, &[]);
+            let (returned, _) = self.ship_locked(st, client, bytes);
+            st = returned;
+        }
+        st.server.reset_client_stats(client);
+    }
+
+    fn one_way(&self, client: ClientId, kind: RequestKind, window: WindowId, q: QueuedRequest) {
+        let mut st = self.lock();
+        if !st.server.is_alive(client) {
+            return;
+        }
+        let seq = st.server.next_seq(client);
+        let start = Instant::now();
+        let full = self.push_request(&mut st, client, seq, &q);
+        st.server
+            .note_issue(client, kind, false, window, seq, start);
+        if !st.server.batching() || full {
+            let bytes = frame(FT_FLUSH_CLIENT, 0, 0, &[]);
+            let _ = self.ship_locked(st, client, bytes);
+        }
+    }
+
+    fn pipelined(
+        &self,
+        client: ClientId,
+        kind: RequestKind,
+        window: WindowId,
+        make: &mut dyn FnMut(u64) -> QueuedRequest,
+    ) -> u64 {
+        let mut st = self.lock();
+        let seq = st.server.next_seq(client);
+        if st.server.is_alive(client) {
+            let q = make(seq);
+            let start = Instant::now();
+            let full = self.push_request(&mut st, client, seq, &q);
+            st.server.note_issue(client, kind, true, window, seq, start);
+            if !st.server.batching() || full {
+                let bytes = frame(FT_FLUSH_CLIENT, 0, 0, &[]);
+                let _ = self.ship_locked(st, client, bytes);
+            }
+        }
+        seq
+    }
+
+    fn round_trip(&self, client: ClientId, req: SyncRequest) -> Result<SyncReply, XError> {
+        let (op, payload) = encode_sync_request(&req);
+        let bytes = frame(FT_SYNC, op, 0, &payload);
+        let st = self.lock();
+        let (mut st, resp) = self.ship_locked(st, client, bytes);
+        let f = self.take_response(&mut st, client, &resp);
+        match f.frame_type {
+            FT_SYNC_REPLY => {
+                Ok(decode_sync_reply(f.opcode, &f.payload).expect("wire: malformed sync reply"))
+            }
+            FT_ERROR => Err(decode_error(&f.payload).expect("wire: malformed error frame")),
+            other => unreachable!("unexpected sync response frame type {other}"),
+        }
+    }
+
+    fn create_window(
+        &self,
+        client: ClientId,
+        parent: WindowId,
+        x: i32,
+        y: i32,
+        width: u32,
+        height: u32,
+        border_width: u32,
+    ) -> Result<WindowId, XError> {
+        let mut st = self.lock();
+        if !st.server.is_alive(client) {
+            return Err(XError::dead(0));
+        }
+        let seq = st.server.next_seq(client);
+        if !st.server.window_exists_or_pending(parent) {
+            // Counted like the in-process path (the server would answer
+            // with an error); no id handed out, nothing queued.
+            let start = Instant::now();
+            st.server
+                .note_issue(client, RequestKind::CreateWindow, false, parent, seq, start);
+            if !st.server.batching() && Self::buffered_frames(&st, client) > 0 {
+                let bytes = frame(FT_FLUSH_CLIENT, 0, 0, &[]);
+                let _ = self.ship_locked(st, client, bytes);
+            }
+            return Err(XError {
+                code: XErrorCode::BadWindow,
+                seq,
+                kind: Some(RequestKind::CreateWindow),
+            });
+        }
+        let id = st.server.reserve_window_id();
+        let start = Instant::now();
+        let full = self.push_request(
+            &mut st,
+            client,
+            seq,
+            &QueuedRequest::CreateWindow {
+                id,
+                parent,
+                x,
+                y,
+                width,
+                height,
+                border_width,
+            },
+        );
+        st.server
+            .note_issue(client, RequestKind::CreateWindow, false, parent, seq, start);
+        if !st.server.batching() || full {
+            let bytes = frame(FT_FLUSH_CLIENT, 0, 0, &[]);
+            let _ = self.ship_locked(st, client, bytes);
+        }
+        Ok(id)
+    }
+
+    fn create_gc(&self, client: ClientId, values: GcValues) -> crate::ids::GcId {
+        let mut st = self.lock();
+        let id = st.server.gcs.reserve();
+        if !st.server.is_alive(client) {
+            return id;
+        }
+        let seq = st.server.next_seq(client);
+        let start = Instant::now();
+        let full = self.push_request(
+            &mut st,
+            client,
+            seq,
+            &QueuedRequest::CreateGc { id, values },
+        );
+        st.server
+            .note_issue(client, RequestKind::CreateGc, false, Xid::NONE, seq, start);
+        if !st.server.batching() || full {
+            let bytes = frame(FT_FLUSH_CLIENT, 0, 0, &[]);
+            let _ = self.ship_locked(st, client, bytes);
+        }
+        id
+    }
+
+    fn create_bitmap(&self, client: ClientId, bitmap: Bitmap) -> BitmapId {
+        let mut st = self.lock();
+        let id = st.server.bitmaps.reserve();
+        if !st.server.is_alive(client) {
+            return id;
+        }
+        let seq = st.server.next_seq(client);
+        let start = Instant::now();
+        let full = self.push_request(
+            &mut st,
+            client,
+            seq,
+            &QueuedRequest::CreateBitmap { id, bitmap },
+        );
+        st.server.note_issue(
+            client,
+            RequestKind::CreateBitmap,
+            false,
+            Xid::NONE,
+            seq,
+            start,
+        );
+        if !st.server.batching() || full {
+            let bytes = frame(FT_FLUSH_CLIENT, 0, 0, &[]);
+            let _ = self.ship_locked(st, client, bytes);
+        }
+        id
+    }
+
+    fn wait_reply(&self, client: ClientId, seq: u64) -> WaitReply {
+        let bytes = frame(FT_TAKE_REPLY, 0, seq, &[]);
+        let st = self.lock();
+        let (mut st, resp) = self.ship_locked(st, client, bytes);
+        let f = self.take_response(&mut st, client, &resp);
+        match f.frame_type {
+            FT_COOKIE_REPLY => WaitReply::Reply(
+                decode_reply_value(f.opcode, &f.payload).expect("wire: malformed cookie reply"),
+            ),
+            FT_NO_REPLY => WaitReply::NoReply {
+                alive: f.payload.first().is_some_and(|&b| b == 1),
+            },
+            other => unreachable!("unexpected wait response frame type {other}"),
+        }
+    }
+
+    fn poll_event(&self, client: ClientId) -> Option<Event> {
+        let bytes = frame(FT_POLL_EVENT, 0, 0, &[]);
+        let st = self.lock();
+        let (mut st, resp) = self.ship_locked(st, client, bytes);
+        let f = self.take_response(&mut st, client, &resp);
+        match f.frame_type {
+            FT_EVENT => {
+                Some(decode_event(f.opcode, &f.payload).expect("wire: malformed event frame"))
+            }
+            FT_NO_EVENT => None,
+            other => unreachable!("unexpected poll response frame type {other}"),
+        }
+    }
+
+    fn pending(&self, client: ClientId) -> usize {
+        let bytes = frame(FT_PENDING, 0, 0, &[]);
+        let st = self.lock();
+        let (mut st, resp) = self.ship_locked(st, client, bytes);
+        let f = self.take_response(&mut st, client, &resp);
+        debug_assert_eq!(f.frame_type, FT_PENDING_COUNT);
+        f.seq as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::XorShift;
+
+    fn rxid(r: &mut XorShift) -> Xid {
+        Xid(r.below(1 << 20) as u32)
+    }
+    fn ratom(r: &mut XorShift) -> Atom {
+        Atom(r.below(1 << 16) as u32)
+    }
+    fn rpixel(r: &mut XorShift) -> Pixel {
+        Pixel(r.below(1 << 24) as u32)
+    }
+    fn ri32(r: &mut XorShift) -> i32 {
+        r.next_u64() as i32
+    }
+    fn ru32(r: &mut XorShift) -> u32 {
+        r.below(1 << 30) as u32
+    }
+    fn rstr(r: &mut XorShift) -> String {
+        let n = r.below(24) as usize;
+        (0..n)
+            .map(|_| char::from_u32(r.range(0x20, 0x24FF) as u32).unwrap_or('x'))
+            .collect()
+    }
+    fn rrgb(r: &mut XorShift) -> Rgb {
+        Rgb::new(r.below(256) as u8, r.below(256) as u8, r.below(256) as u8)
+    }
+    fn rgcv(r: &mut XorShift) -> GcValues {
+        GcValues {
+            foreground: rpixel(r),
+            background: rpixel(r),
+            line_width: r.below(8) as u32,
+            font: rxid(r),
+        }
+    }
+    fn rbitmap(r: &mut XorShift) -> Bitmap {
+        let w = r.range(1, 9) as u32;
+        let h = r.range(1, 9) as u32;
+        let bits = (0..(w * h) as usize).map(|_| r.below(2) == 1).collect();
+        Bitmap::new(w, h, bits).unwrap()
+    }
+    fn rkeysym(r: &mut XorShift) -> Keysym {
+        if r.below(2) == 0 {
+            Keysym::from_char(char::from_u32(r.range(0x21, 0x7E) as u32).unwrap())
+        } else {
+            Keysym::named("Escape")
+        }
+    }
+    fn ropt_i32(r: &mut XorShift) -> Option<i32> {
+        (r.below(2) == 1).then(|| ri32(r))
+    }
+    fn ropt_u32(r: &mut XorShift) -> Option<u32> {
+        (r.below(2) == 1).then(|| ru32(r))
+    }
+
+    /// A random request of the given opcode (1..=39).
+    fn rand_request(op: u16, r: &mut XorShift, seq: u64) -> QueuedRequest {
+        use QueuedRequest as Q;
+        match op {
+            1 => Q::CreateWindow {
+                id: rxid(r),
+                parent: rxid(r),
+                x: ri32(r),
+                y: ri32(r),
+                width: ru32(r),
+                height: ru32(r),
+                border_width: ru32(r),
+            },
+            2 => Q::DestroyWindow { id: rxid(r) },
+            3 => Q::MapWindow { id: rxid(r) },
+            4 => Q::UnmapWindow { id: rxid(r) },
+            5 => Q::ConfigureWindow {
+                id: rxid(r),
+                x: ropt_i32(r),
+                y: ropt_i32(r),
+                width: ropt_u32(r),
+                height: ropt_u32(r),
+                border_width: ropt_u32(r),
+            },
+            6 => Q::RaiseWindow { id: rxid(r) },
+            7 => Q::ReparentWindow {
+                id: rxid(r),
+                new_parent: rxid(r),
+                x: ri32(r),
+                y: ri32(r),
+            },
+            8 => Q::SelectInput {
+                id: rxid(r),
+                event_mask: ru32(r),
+            },
+            9 => Q::SetWindowBackground {
+                id: rxid(r),
+                pixel: rpixel(r),
+            },
+            10 => Q::SetWindowBorder {
+                id: rxid(r),
+                pixel: rpixel(r),
+            },
+            11 => Q::SetOverrideRedirect {
+                id: rxid(r),
+                on: r.below(2) == 1,
+            },
+            12 => Q::DefineCursor {
+                id: rxid(r),
+                cursor: rxid(r),
+            },
+            13 => Q::ChangeProperty {
+                id: rxid(r),
+                atom: ratom(r),
+                value: rstr(r),
+            },
+            14 => Q::AppendProperty {
+                id: rxid(r),
+                atom: ratom(r),
+                value: rstr(r),
+            },
+            15 => Q::DeleteProperty {
+                id: rxid(r),
+                atom: ratom(r),
+            },
+            16 => Q::FreeColor { pixel: rpixel(r) },
+            17 => Q::CreateBitmap {
+                id: rxid(r),
+                bitmap: rbitmap(r),
+            },
+            18 => Q::FreeBitmap { id: rxid(r) },
+            19 => Q::CopyBitmap {
+                id: rxid(r),
+                gc: rxid(r),
+                x: ri32(r),
+                y: ri32(r),
+                bitmap: rxid(r),
+            },
+            20 => Q::CreateGc {
+                id: rxid(r),
+                values: rgcv(r),
+            },
+            21 => Q::ChangeGc {
+                gc: rxid(r),
+                values: rgcv(r),
+            },
+            22 => Q::FreeGc { gc: rxid(r) },
+            23 => Q::FillRectangle {
+                id: rxid(r),
+                gc: rxid(r),
+                x: ri32(r),
+                y: ri32(r),
+                w: ru32(r),
+                h: ru32(r),
+            },
+            24 => Q::DrawRectangle {
+                id: rxid(r),
+                gc: rxid(r),
+                x: ri32(r),
+                y: ri32(r),
+                w: ru32(r),
+                h: ru32(r),
+            },
+            25 => Q::DrawLine {
+                id: rxid(r),
+                gc: rxid(r),
+                x0: ri32(r),
+                y0: ri32(r),
+                x1: ri32(r),
+                y1: ri32(r),
+            },
+            26 => Q::DrawString {
+                id: rxid(r),
+                gc: rxid(r),
+                x: ri32(r),
+                y: ri32(r),
+                text: rstr(r),
+            },
+            27 => Q::ClearArea {
+                id: rxid(r),
+                x: ri32(r),
+                y: ri32(r),
+                w: ru32(r),
+                h: ru32(r),
+            },
+            28 => Q::SetClip {
+                id: rxid(r),
+                rects: (0..r.below(5) as usize)
+                    .map(|_| Rect::new(ri32(r), ri32(r), ru32(r), ru32(r)))
+                    .collect(),
+            },
+            29 => Q::ClearClip { id: rxid(r) },
+            30 => Q::CopyArea {
+                id: rxid(r),
+                src_x: ri32(r),
+                src_y: ri32(r),
+                w: ru32(r),
+                h: ru32(r),
+                dst_x: ri32(r),
+                dst_y: ri32(r),
+            },
+            31 => Q::SetSelectionOwner {
+                selection: ratom(r),
+                owner: rxid(r),
+            },
+            32 => Q::ConvertSelection {
+                requestor: rxid(r),
+                selection: ratom(r),
+                target: ratom(r),
+                property: ratom(r),
+            },
+            33 => Q::SendSelectionNotify {
+                requestor: rxid(r),
+                selection: ratom(r),
+                target: ratom(r),
+                property: ratom(r),
+            },
+            34 => Q::SetInputFocus { id: rxid(r) },
+            35 => Q::InternAtom { seq, name: rstr(r) },
+            36 => Q::AllocColor { seq, rgb: rrgb(r) },
+            37 => Q::AllocNamedColor { seq, name: rstr(r) },
+            38 => Q::GetProperty {
+                seq,
+                id: rxid(r),
+                atom: ratom(r),
+            },
+            39 => Q::GetGeometry { seq, id: rxid(r) },
+            _ => unreachable!(),
+        }
+    }
+
+    fn rand_sync_request(op: u16, r: &mut XorShift) -> SyncRequest {
+        use SyncRequest as S;
+        match op {
+            1 => S::InternAtom { name: rstr(r) },
+            2 => S::GetAtomName { atom: ratom(r) },
+            3 => S::QueryTree { id: rxid(r) },
+            4 => S::GetGeometry { id: rxid(r) },
+            5 => S::IsViewable { id: rxid(r) },
+            6 => S::GetProperty {
+                id: rxid(r),
+                atom: ratom(r),
+            },
+            7 => S::AllocNamedColor { name: rstr(r) },
+            8 => S::AllocColor { rgb: rrgb(r) },
+            9 => S::QueryColor { pixel: rpixel(r) },
+            10 => S::OpenFont { name: rstr(r) },
+            11 => S::QueryFont { font: rxid(r) },
+            12 => S::CreateCursor { name: rstr(r) },
+            13 => S::QueryBitmap { id: rxid(r) },
+            14 => S::GetSelectionOwner {
+                selection: ratom(r),
+            },
+            15 => S::GetInputFocus,
+            16 => S::TakeProperty {
+                id: rxid(r),
+                atom: ratom(r),
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    fn rand_sync_reply(op: u16, r: &mut XorShift) -> SyncReply {
+        use SyncReply as R;
+        let some = r.below(2) == 1;
+        match op {
+            1 => R::Atom(ratom(r)),
+            2 => R::OptString(some.then(|| rstr(r))),
+            3 => R::Tree(
+                some.then(|| (rxid(r), (0..r.below(6) as usize).map(|_| rxid(r)).collect())),
+            ),
+            4 => R::Geometry(some.then(|| (ri32(r), ri32(r), ru32(r), ru32(r), ru32(r)))),
+            5 => R::Bool(some),
+            6 => R::NamedColor(some.then(|| (rpixel(r), rrgb(r)))),
+            7 => R::Pixel(rpixel(r)),
+            8 => R::Rgb(rrgb(r)),
+            9 => R::OptXid(some.then(|| rxid(r))),
+            10 => R::Metrics(some.then(|| FontMetrics {
+                char_width: ru32(r),
+                ascent: ru32(r),
+                descent: ru32(r),
+            })),
+            11 => R::Size(some.then(|| (ru32(r), ru32(r)))),
+            12 => R::Window(rxid(r)),
+            _ => unreachable!(),
+        }
+    }
+
+    fn rand_error(r: &mut XorShift) -> XError {
+        let code = match r.below(5) {
+            0 => XErrorCode::BadWindow,
+            1 => XErrorCode::BadAtom,
+            2 => XErrorCode::BadValue,
+            3 => XErrorCode::BadAlloc,
+            _ => XErrorCode::ConnectionDead,
+        };
+        let kind = (r.below(2) == 1)
+            .then(|| RequestKind::ALL[r.below(RequestKind::ALL.len() as u64) as usize]);
+        XError {
+            code,
+            seq: r.next_u64(),
+            kind,
+        }
+    }
+
+    fn rand_reply_value(op: u16, r: &mut XorShift) -> ReplyValue {
+        use ReplyValue as V;
+        let some = r.below(2) == 1;
+        match op {
+            1 => V::Atom(ratom(r)),
+            2 => V::Pixel(rpixel(r)),
+            3 => V::NamedColor(some.then(|| (rpixel(r), rrgb(r)))),
+            4 => V::Property(some.then(|| rstr(r))),
+            5 => V::Geometry(some.then(|| (ri32(r), ri32(r), ru32(r), ru32(r), ru32(r)))),
+            6 => V::Error(rand_error(r)),
+            _ => unreachable!(),
+        }
+    }
+
+    fn rand_event(op: u16, r: &mut XorShift) -> Event {
+        use Event as E;
+        match op {
+            1 => E::Expose {
+                window: rxid(r),
+                x: ri32(r),
+                y: ri32(r),
+                width: ru32(r),
+                height: ru32(r),
+                count: r.below(8) as u32,
+            },
+            2 => E::ConfigureNotify {
+                window: rxid(r),
+                x: ri32(r),
+                y: ri32(r),
+                width: ru32(r),
+                height: ru32(r),
+                border_width: ru32(r),
+            },
+            3 => E::MapNotify { window: rxid(r) },
+            4 => E::UnmapNotify { window: rxid(r) },
+            5 => E::DestroyNotify { window: rxid(r) },
+            6 => E::EnterNotify {
+                window: rxid(r),
+                x: ri32(r),
+                y: ri32(r),
+                state: ru32(r),
+                time: r.next_u64(),
+            },
+            7 => E::LeaveNotify {
+                window: rxid(r),
+                x: ri32(r),
+                y: ri32(r),
+                state: ru32(r),
+                time: r.next_u64(),
+            },
+            8 => E::MotionNotify {
+                window: rxid(r),
+                x: ri32(r),
+                y: ri32(r),
+                x_root: ri32(r),
+                y_root: ri32(r),
+                state: ru32(r),
+                time: r.next_u64(),
+            },
+            9 => E::ButtonPress {
+                window: rxid(r),
+                button: r.below(5) as u8,
+                x: ri32(r),
+                y: ri32(r),
+                x_root: ri32(r),
+                y_root: ri32(r),
+                state: ru32(r),
+                time: r.next_u64(),
+            },
+            10 => E::ButtonRelease {
+                window: rxid(r),
+                button: r.below(5) as u8,
+                x: ri32(r),
+                y: ri32(r),
+                x_root: ri32(r),
+                y_root: ri32(r),
+                state: ru32(r),
+                time: r.next_u64(),
+            },
+            11 => E::KeyPress {
+                window: rxid(r),
+                keysym: rkeysym(r),
+                x: ri32(r),
+                y: ri32(r),
+                state: ru32(r),
+                time: r.next_u64(),
+            },
+            12 => E::KeyRelease {
+                window: rxid(r),
+                keysym: rkeysym(r),
+                x: ri32(r),
+                y: ri32(r),
+                state: ru32(r),
+                time: r.next_u64(),
+            },
+            13 => E::PropertyNotify {
+                window: rxid(r),
+                atom: ratom(r),
+                deleted: r.below(2) == 1,
+                time: r.next_u64(),
+            },
+            14 => E::SelectionClear {
+                window: rxid(r),
+                selection: ratom(r),
+                time: r.next_u64(),
+            },
+            15 => E::SelectionRequest {
+                owner: rxid(r),
+                requestor: rxid(r),
+                selection: ratom(r),
+                target: ratom(r),
+                property: ratom(r),
+                time: r.next_u64(),
+            },
+            16 => E::SelectionNotify {
+                requestor: rxid(r),
+                selection: ratom(r),
+                target: ratom(r),
+                property: ratom(r),
+                time: r.next_u64(),
+            },
+            17 => E::FocusIn { window: rxid(r) },
+            18 => E::FocusOut { window: rxid(r) },
+            _ => unreachable!(),
+        }
+    }
+
+    /// Encodes through a frame and decodes back via a FrameReader.
+    fn frame_round_trip(ft: u8, op: u16, seq: u64, payload: &[u8]) -> RawFrame {
+        let bytes = frame(ft, op, seq, payload);
+        let mut fr = FrameReader::new();
+        fr.push(&bytes);
+        let f = fr.next_frame().unwrap().unwrap();
+        assert!(fr.next_frame().unwrap().is_none(), "exactly one frame");
+        assert_eq!(f.wire_len(), bytes.len());
+        f
+    }
+
+    #[test]
+    fn every_request_kind_round_trips() {
+        let mut r = XorShift::new(0x517e_5eed);
+        for op in 1..=39u16 {
+            for _ in 0..25 {
+                let seq = r.next_u64();
+                let q = rand_request(op, &mut r, seq);
+                let (enc_op, payload) = encode_request(&q);
+                assert_eq!(enc_op, op, "opcode table mismatch for {q:?}");
+                let f = frame_round_trip(FT_REQUEST, enc_op, seq, &payload);
+                let back = decode_request(f.opcode, f.seq, &f.payload).unwrap();
+                assert_eq!(format!("{q:?}"), format!("{back:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn every_sync_request_and_reply_round_trips() {
+        let mut r = XorShift::new(0x57ee1);
+        for op in 1..=16u16 {
+            for _ in 0..25 {
+                let req = rand_sync_request(op, &mut r);
+                let (enc_op, payload) = encode_sync_request(&req);
+                assert_eq!(enc_op, op);
+                let f = frame_round_trip(FT_SYNC, enc_op, 0, &payload);
+                let back = decode_sync_request(f.opcode, &f.payload).unwrap();
+                assert_eq!(format!("{req:?}"), format!("{back:?}"));
+            }
+        }
+        for op in 1..=12u16 {
+            for _ in 0..25 {
+                let reply = rand_sync_reply(op, &mut r);
+                let (enc_op, payload) = encode_sync_reply(&reply);
+                assert_eq!(enc_op, op);
+                let f = frame_round_trip(FT_SYNC_REPLY, enc_op, 0, &payload);
+                let back = decode_sync_reply(f.opcode, &f.payload).unwrap();
+                assert_eq!(format!("{reply:?}"), format!("{back:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn every_reply_value_event_and_error_round_trips() {
+        let mut r = XorShift::new(0xeeee);
+        for op in 1..=6u16 {
+            for _ in 0..25 {
+                let v = rand_reply_value(op, &mut r);
+                let (enc_op, payload) = encode_reply_value(&v);
+                assert_eq!(enc_op, op);
+                let f = frame_round_trip(FT_COOKIE_REPLY, enc_op, 7, &payload);
+                let back = decode_reply_value(f.opcode, &f.payload).unwrap();
+                assert_eq!(format!("{v:?}"), format!("{back:?}"));
+            }
+        }
+        for op in 1..=18u16 {
+            for _ in 0..25 {
+                let ev = rand_event(op, &mut r);
+                let (enc_op, payload) = encode_event(&ev);
+                assert_eq!(enc_op, op);
+                let f = frame_round_trip(FT_EVENT, enc_op, 0, &payload);
+                let back = decode_event(f.opcode, &f.payload).unwrap();
+                assert_eq!(format!("{ev:?}"), format!("{back:?}"));
+            }
+        }
+        for _ in 0..200 {
+            let e = rand_error(&mut r);
+            let payload = encode_error_payload(&e);
+            let f = frame_round_trip(FT_ERROR, 0, e.seq, &payload);
+            let back = decode_error(&f.payload).unwrap();
+            assert_eq!(format!("{e:?}"), format!("{back:?}"));
+        }
+    }
+
+    #[test]
+    fn truncated_frames_wait_instead_of_erroring() {
+        let mut r = XorShift::new(0x70c4);
+        let q = rand_request(26, &mut r, 9); // DrawString: variable length
+        let (op, payload) = encode_request(&q);
+        let bytes = frame(FT_REQUEST, op, 9, &payload);
+        for cut in 0..bytes.len() {
+            let mut fr = FrameReader::new();
+            fr.push(&bytes[..cut]);
+            assert_eq!(fr.next_frame().unwrap(), None, "cut at {cut}");
+            // Feeding the remainder completes the frame.
+            fr.push(&bytes[cut..]);
+            let f = fr.next_frame().unwrap().unwrap();
+            assert_eq!(
+                format!("{:?}", decode_request(f.opcode, f.seq, &f.payload).unwrap()),
+                format!("{q:?}")
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_frames_are_rejected_with_clean_errors() {
+        // Bad version.
+        let mut bytes = frame(FT_REQUEST, 3, 1, &[7, 0, 0, 0]);
+        bytes[4] = 99;
+        let mut fr = FrameReader::new();
+        fr.push(&bytes);
+        assert_eq!(fr.next_frame(), Err(WireError::BadVersion(99)));
+
+        // Bad frame type.
+        let mut bytes = frame(FT_REQUEST, 3, 1, &[7, 0, 0, 0]);
+        bytes[5] = 200;
+        let mut fr = FrameReader::new();
+        fr.push(&bytes);
+        assert_eq!(fr.next_frame(), Err(WireError::BadFrameType(200)));
+
+        // Length shorter than the header.
+        let mut fr = FrameReader::new();
+        fr.push(&3u32.to_le_bytes());
+        fr.push(&[0; 16]);
+        assert!(matches!(fr.next_frame(), Err(WireError::Malformed(_))));
+
+        // Oversized length prefix: rejected before any allocation.
+        let mut fr = FrameReader::new();
+        fr.push(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        assert_eq!(
+            fr.next_frame(),
+            Err(WireError::Oversized(MAX_FRAME_LEN + 1))
+        );
+
+        // Unknown opcode inside a well-formed frame.
+        assert_eq!(
+            decode_request(999, 1, &[]).err(),
+            Some(WireError::BadOpcode(999))
+        );
+        assert_eq!(decode_sync_request(99, &[]), Err(WireError::BadOpcode(99)));
+        assert!(matches!(
+            decode_event(99, &[]),
+            Err(WireError::BadOpcode(99))
+        ));
+
+        // Short payload, trailing bytes, and bad tags all map to Malformed.
+        assert!(matches!(
+            decode_request(1, 1, &[0, 0]),
+            Err(WireError::Malformed(_))
+        ));
+        let (op, mut payload) = encode_request(&QueuedRequest::MapWindow { id: Xid(5) });
+        payload.push(0);
+        assert_eq!(
+            decode_request(op, 1, &payload).err(),
+            Some(WireError::Malformed("trailing bytes"))
+        );
+        assert!(matches!(
+            decode_error(&[77, 0, 0, 0, 0, 0, 0, 0, 0, 0]),
+            Err(WireError::Malformed(_))
+        ));
+        // A corrupt bool/Option tag.
+        let (op, mut payload) = encode_request(&QueuedRequest::SetOverrideRedirect {
+            id: Xid(5),
+            on: true,
+        });
+        *payload.last_mut().unwrap() = 9;
+        assert!(matches!(
+            decode_request(op, 1, &payload),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn split_read_reassembly_across_arbitrary_chunks() {
+        let mut r = XorShift::new(0x4242);
+        // Build a stream of random frames of every opcode.
+        let mut stream = Vec::new();
+        let mut originals = Vec::new();
+        for i in 0..200u64 {
+            let op = r.range(1, 40) as u16;
+            let q = rand_request(op, &mut r, i);
+            let (enc_op, payload) = encode_request(&q);
+            stream.extend_from_slice(&frame(FT_REQUEST, enc_op, i, &payload));
+            originals.push(q);
+        }
+        // Feed it in random-size chunks; every frame must come back, in
+        // order, regardless of where the chunk boundaries fall.
+        let mut fr = FrameReader::new();
+        let mut decoded = Vec::new();
+        let mut pos = 0;
+        while pos < stream.len() {
+            let n = (r.range(1, 37) as usize).min(stream.len() - pos);
+            fr.push(&stream[pos..pos + n]);
+            pos += n;
+            while let Some(f) = fr.next_frame().unwrap() {
+                decoded.push(decode_request(f.opcode, f.seq, &f.payload).unwrap());
+            }
+        }
+        assert_eq!(decoded.len(), originals.len());
+        for (a, b) in originals.iter().zip(decoded.iter()) {
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+    }
+
+    #[test]
+    fn oversized_bitmap_is_rejected_not_allocated() {
+        // Claim a gigantic bitmap inside a tiny payload: the decoder must
+        // bail out on the dimension check, not try to allocate.
+        let mut payload = Vec::new();
+        put_u32(&mut payload, 5); // id
+        put_u32(&mut payload, 1 << 16); // width
+        put_u32(&mut payload, 1 << 16); // height
+        assert!(matches!(
+            decode_request(17, 1, &payload),
+            Err(WireError::Malformed(_))
+        ));
+    }
+}

@@ -34,6 +34,26 @@ cargo test -q --offline --locked --test golden_frames
 echo "==> bench --check-budgets"
 cargo run -p tk-bench --release --offline --locked --bin bench -- --check-budgets
 
+# Transport-equivalence gate: the framed wire transport must be
+# invisible. The full run above already exercised the wire side — the
+# threaded byte transport is the default unless RTK_NO_WIRE says
+# otherwise. Here the differential suite replays both chaos corpora and
+# a seeded random-script sweep wire-on vs wire-off, asserting
+# byte-identical results, error messages, request streams, fault
+# firings, and final screens; then the whole tier-1 suite runs a second
+# time on the in-process oracle transport, so both sides of the
+# differential stay green. See docs/PROTOCOL.md.
+echo "==> wire-equivalence gate (both transports, both corpora)"
+cargo test -q --offline --locked --test wire_equivalence
+echo "==> full suite on the oracle transport (RTK_NO_WIRE=1)"
+RTK_NO_WIRE=1 cargo test -q --workspace --offline --locked
+
+# The wire budgets must hold on the oracle run too: the wire_send
+# workload forces the framed transport regardless of RTK_NO_WIRE, so
+# its frame/byte counters are pinned in both CI transport runs.
+echo "==> bench --check-budgets (oracle transport)"
+RTK_NO_WIRE=1 cargo run -p tk-bench --release --offline --locked --bin bench -- --check-budgets
+
 # Compile-equivalence gate: the Tcl program cache must be invisible.
 # Replay both chaos corpora and a seeded random-script sweep with the
 # compiler on vs off (what RTK_NO_COMPILE=1 selects), asserting

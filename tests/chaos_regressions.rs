@@ -115,12 +115,12 @@ fn storm_replay_is_deterministic() {
 }
 
 /// At-most-once delivery under a fault-duplicated request: storm pair
-/// 29's plan fires exactly one fault kind — `duplicate` — on the send
+/// 0's plan fires exactly one fault kind — `duplicate` — on the send
 /// `ChangeProperty`, and the receiver's dedup window must drop the copy
 /// (the storm invariant separately proves the script evaluated once).
 #[test]
 fn a_duplicated_send_request_evaluates_exactly_once() {
-    let stats = run_storm_case(29, 10666449025517213841).expect("invariant holds");
+    let stats = run_storm_case(0, 10557559429025760638).expect("invariant holds");
     assert!(
         stats.fault_counts[fault_kind_index("duplicate")] >= 1,
         "plan no longer fires a duplicate fault"
@@ -131,11 +131,11 @@ fn a_duplicated_send_request_evaluates_exactly_once() {
     );
 }
 
-/// The same property holds in the generic two-app fuzz: corpus pair 151
+/// The same property holds in the generic two-app fuzz: corpus pair 142
 /// duplicates send traffic and the receiver drops the copy.
 #[test]
 fn two_app_dedup_pair_replays_with_a_drop() {
-    let stats = run_case(151, 11012473023910815089).expect("no panic");
+    let stats = run_case(142, 13393239823754549859).expect("no panic");
     assert!(stats.fault_counts[fault_kind_index("duplicate")] >= 1);
     assert!(stats.send_dedup_drops >= 1);
 }

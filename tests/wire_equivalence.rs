@@ -1,0 +1,213 @@
+//! The wire transport must be invisible: with the framed byte transport
+//! on (the default) and off (`RTK_NO_WIRE=1` / `Display::set_wire`),
+//! every script must produce byte-identical results, error messages,
+//! `errorInfo` traces, X request streams, fault firings, and screens.
+//! The in-process path is the semantics oracle; these tests replay the
+//! checked-in chaos corpora under their fault plans plus a seeded random
+//! sweep over both transports and diff everything observable.
+//!
+//! `Display::set_wire(false)` selects at runtime exactly what
+//! `RTK_NO_WIRE=1` selects at startup, so the sweep covers the env var's
+//! code path without env-mutation races.
+
+use tk::{TkApp, TkEnv};
+use tk_bench::chaos::{
+    generate_ops, generate_plan, generate_storm_ops, generate_storm_plan, Op, SCRIPT_OPS,
+    STORM_APPS, STORM_OPS,
+};
+use xsim::XorShift;
+
+fn parse_pairs(text: &str) -> Vec<(u64, u64)> {
+    text.lines()
+        .filter_map(|line| {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                return None;
+            }
+            let mut it = line.split_whitespace();
+            Some((
+                it.next().unwrap().parse().expect("script seed"),
+                it.next().unwrap().parse().expect("fault seed"),
+            ))
+        })
+        .collect()
+}
+
+/// Everything one replay produces that the other transport must
+/// reproduce byte for byte.
+#[derive(Debug, PartialEq)]
+struct Replay {
+    /// Per-Tcl-op outcome: the result string, or the full exception
+    /// (code, message, trace).
+    tcl: Vec<Result<String, tcl::Exception>>,
+    /// Final `errorInfo` per app — the stack trace of the last error.
+    error_info: Vec<Option<String>>,
+    /// Per-app protocol stream: (requests, flushes, round_trips).
+    protocol: Vec<(u64, u64, u64)>,
+    /// Faults fired on each connection. Fault schedules key on sequence
+    /// numbers, which both transports assign at issue time — so the
+    /// same requests must trip the same faults over the wire.
+    faults: Vec<u64>,
+    /// Final screen contents.
+    dump: String,
+}
+
+/// Replays an op list against apps `names` over one transport, under an
+/// optional fault plan.
+fn replay(ops: &[Op], names: &[&str], wire: bool, plan: Option<&xsim::FaultPlan>) -> Replay {
+    let env = TkEnv::new();
+    env.display().set_wire(wire);
+    let apps: Vec<TkApp> = names.iter().map(|n| env.app(n)).collect();
+    env.dispatch_all();
+    if let Some(plan) = plan {
+        env.display()
+            .with_server(|s| s.install_fault_plan(plan.clone()));
+    }
+    let mut tcl = Vec::new();
+    for op in ops {
+        match op {
+            Op::Tcl(i, s) => tcl.push(apps[*i].eval(s)),
+            Op::Click(x, y) => {
+                env.display().move_pointer(*x, *y);
+                env.display().click(1);
+                env.dispatch_all();
+            }
+            Op::Key(c) => {
+                env.display().type_char(*c);
+                env.dispatch_all();
+            }
+            Op::Advance(ms) => env.advance(*ms),
+        }
+    }
+    env.dispatch_all();
+    // The wire path must actually be exercised when requested: frame
+    // counters only move on the byte transport.
+    for app in &apps {
+        let frames = app.conn().with_obs(|o| o.wire.frames_encoded).unwrap_or(0);
+        if wire {
+            assert!(frames > 0, "wire replay encoded no frames");
+        } else {
+            assert_eq!(frames, 0, "oracle replay touched the wire codec");
+        }
+    }
+    Replay {
+        tcl,
+        error_info: apps
+            .iter()
+            .map(|a| a.interp().get_var_at(0, "errorInfo", None).ok())
+            .collect(),
+        protocol: apps
+            .iter()
+            .map(|a| {
+                let s = a.conn().stats();
+                (s.requests, s.flushes, s.round_trips)
+            })
+            .collect(),
+        faults: apps
+            .iter()
+            .map(|a| a.conn().with_obs(|o| o.faults_injected).unwrap_or(0))
+            .collect(),
+        dump: env.display().ascii_dump(),
+    }
+}
+
+fn assert_equivalent(label: &str, wire: &Replay, oracle: &Replay, ops: &[Op]) {
+    for (i, (w, o)) in wire.tcl.iter().zip(&oracle.tcl).enumerate() {
+        assert_eq!(
+            w,
+            o,
+            "{label}: wire and in-process transports disagree on Tcl op {i} \
+             ({:?})",
+            ops.iter()
+                .filter(|op| matches!(op, Op::Tcl(..)))
+                .nth(i)
+                .map(|op| op.to_string())
+        );
+    }
+    assert_eq!(
+        wire.error_info, oracle.error_info,
+        "{label}: errorInfo diverged between transports"
+    );
+    assert_eq!(
+        wire.protocol, oracle.protocol,
+        "{label}: request streams diverged between transports"
+    );
+    assert_eq!(
+        wire.faults, oracle.faults,
+        "{label}: different faults fired between transports"
+    );
+    assert_eq!(wire.dump, oracle.dump, "{label}: screens diverged");
+}
+
+/// Every chaos-corpus pair — random Tcl/Tk scripts across two apps under
+/// the corpus fault plans — must replay identically over the framed wire
+/// and the in-process oracle: same results, same error strings, same
+/// request streams, same faults, same final screen.
+#[test]
+fn chaos_corpus_is_identical_across_transports() {
+    let pairs = parse_pairs(include_str!("chaos_corpus.txt"));
+    assert!(!pairs.is_empty(), "corpus file is empty");
+    for (script_seed, fault_seed) in pairs {
+        let ops = generate_ops(script_seed, SCRIPT_OPS);
+        let plan = generate_plan(fault_seed);
+        let names = ["chaos0", "chaos1"];
+        let wire = replay(&ops, &names, true, Some(&plan));
+        let oracle = replay(&ops, &names, false, Some(&plan));
+        assert_equivalent(
+            &format!("chaos pair ({script_seed}, {fault_seed})"),
+            &wire,
+            &oracle,
+            &ops,
+        );
+    }
+}
+
+/// The storm corpus — three apps exchanging nested/concurrent sends
+/// under faults — must also be transport-blind. `send` round-trips
+/// through the display for every cross-app eval, so this covers deep
+/// request pipelines over the wire.
+#[test]
+fn storm_corpus_is_identical_across_transports() {
+    let pairs = parse_pairs(include_str!("chaos_storm_corpus.txt"));
+    assert!(!pairs.is_empty(), "storm corpus file is empty");
+    let names = ["storm0", "storm1", "storm2"];
+    for (script_seed, fault_seed) in pairs {
+        let ops = generate_storm_ops(script_seed, STORM_OPS, STORM_APPS);
+        let plan = generate_storm_plan(fault_seed, STORM_APPS);
+        let wire = replay(&ops, &names, true, Some(&plan));
+        let oracle = replay(&ops, &names, false, Some(&plan));
+        assert_equivalent(
+            &format!("storm pair ({script_seed}, {fault_seed})"),
+            &wire,
+            &oracle,
+            &ops,
+        );
+    }
+}
+
+/// A seeded random sweep beyond the checked-in corpora: fresh script
+/// seeds, half of them under fresh fault plans, replayed over both
+/// transports. Catches divergence the curated corpora happen to miss.
+#[test]
+fn random_scripts_agree_across_transports() {
+    const CASES: usize = 60;
+    let mut rng = XorShift::new(0x517e);
+    let names = ["sweep0", "sweep1"];
+    for case in 0..CASES {
+        let script_seed = rng.next_u64();
+        let ops = generate_ops(script_seed, SCRIPT_OPS);
+        let plan = if case % 2 == 0 {
+            Some(generate_plan(rng.next_u64()))
+        } else {
+            None
+        };
+        let wire = replay(&ops, &names, true, plan.as_ref());
+        let oracle = replay(&ops, &names, false, plan.as_ref());
+        assert_equivalent(
+            &format!("sweep case {case} (seed {script_seed})"),
+            &wire,
+            &oracle,
+            &ops,
+        );
+    }
+}

@@ -1,0 +1,265 @@
+//! Threaded-server stress: the framed wire transport's reason to exist
+//! is that each `TkApp` can own a thread while one server thread owns
+//! the semantics. These tests run several apps on their own OS threads
+//! against one shared wire server, exchanging `send`s and redraws, and
+//! assert the three properties that matter: no deadlock, per-client
+//! event ordering, and clean teardown when one client's connection is
+//! killed mid-flush.
+//!
+//! A watchdog aborts the process if a test wedges — a deadlock must
+//! fail CI loudly, not hang it.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use tk::TkEnv;
+use xsim::{Display, FaultPlan};
+
+const APPS: usize = 4;
+const ROUNDS: u64 = 6;
+/// Virtual-time send deadline: generous, because the target runs on
+/// another OS thread and "slow" must not be misread as "dead".
+const SEND_TIMEOUT_MS: u64 = 120_000;
+
+/// Aborts the whole process if `done` is still false after `secs` —
+/// turns a deadlock into a fast, attributable CI failure.
+fn watchdog(label: &'static str, secs: u64, done: Arc<AtomicBool>) {
+    thread::spawn(move || {
+        for _ in 0..secs {
+            thread::sleep(Duration::from_secs(1));
+            if done.load(Ordering::SeqCst) {
+                return;
+            }
+        }
+        eprintln!("watchdog: {label} wedged after {secs}s — aborting");
+        std::process::abort();
+    });
+}
+
+/// Parses a `log` entry of the form `sender:round`.
+fn parse_entry(entry: &str) -> (usize, u64) {
+    let (s, r) = entry.split_once(':').expect("log entry shape");
+    (s.parse().expect("sender"), r.parse().expect("round"))
+}
+
+/// N apps, one per thread, all sending to all the others every round
+/// while repainting their own UI. Every send appends `sender:round` to
+/// the receiver's `log`; because `send` is synchronous, a sender's
+/// entries must land at each receiver in round order — that is exactly
+/// the per-client (per-connection) event-ordering guarantee, observed
+/// end-to-end through PropertyNotify events over the wire.
+#[test]
+fn threaded_apps_exchange_sends_without_deadlock_and_in_order() {
+    let done = Arc::new(AtomicBool::new(false));
+    watchdog("send mesh", 240, done.clone());
+
+    let env = TkEnv::new();
+    let display = env.display();
+    if !display.wire() {
+        // RTK_NO_WIRE=1 forces the in-process oracle, which is
+        // single-threaded by design — nothing to stress.
+        done.store(true, Ordering::SeqCst);
+        eprintln!("skipping: wire transport disabled via RTK_NO_WIRE");
+        return;
+    }
+    let handle = display.wire_handle().expect("wire transport has a handle");
+
+    let registered = Arc::new(Barrier::new(APPS));
+    // Counts workers done sending; everyone keeps pumping until all
+    // have finished (a receiver that exits early would strand its
+    // senders mid-RPC). A plain barrier would convert one worker's
+    // failure into a hang, so the wait also watches a failure flag.
+    let finished = Arc::new(AtomicUsize::new(0));
+    let failed = Arc::new(AtomicBool::new(false));
+    // Registration rewrites the shared InterpRegistry property
+    // (read-modify-write), which real Tk serializes with XGrabServer;
+    // app startup takes this lock so announcements don't clobber each
+    // other. Everything after the barrier runs fully concurrently.
+    let startup = Arc::new(Mutex::new(()));
+    let mut workers = Vec::new();
+    for i in 0..APPS {
+        let handle = handle.clone();
+        let registered = registered.clone();
+        let finished = finished.clone();
+        let failed = failed.clone();
+        let startup = startup.clone();
+        workers.push(thread::spawn(move || {
+            let env = TkEnv::with_display(Display::from_wire(&handle));
+            let app = {
+                let _g = startup.lock().unwrap();
+                env.app(&format!("worker{i}"))
+            };
+            app.eval("label .l -text boot").unwrap();
+            app.eval("pack append . .l {top}").unwrap();
+            env.dispatch_all();
+            registered.wait();
+
+            let rounds = (|| -> Result<(), String> {
+                for round in 1..=ROUNDS {
+                    for t in 0..APPS {
+                        if t == i {
+                            continue;
+                        }
+                        if failed.load(Ordering::SeqCst) {
+                            return Err(format!("worker{i}: aborting, a peer failed"));
+                        }
+                        app.eval(&format!(
+                            "send -timeout {SEND_TIMEOUT_MS} worker{t} \
+                             {{lappend log {i}:{round}; llength $log}}"
+                        ))
+                        .map_err(|e| {
+                            format!("worker{i} round {round} send to worker{t}: {}", e.msg)
+                        })?;
+                    }
+                    // A redraw between sends: reconfigure forces damage,
+                    // dispatch repaints it — protocol traffic interleaved
+                    // with the send RPCs on the same connection.
+                    app.eval(&format!(".l configure -text round{round}"))
+                        .map_err(|e| format!("worker{i} redraw: {}", e.msg))?;
+                    env.dispatch_all();
+                }
+                Ok(())
+            })();
+            if rounds.is_err() {
+                failed.store(true, Ordering::SeqCst);
+            }
+            finished.fetch_add(1, Ordering::SeqCst);
+            while finished.load(Ordering::SeqCst) < APPS && !failed.load(Ordering::SeqCst) {
+                env.dispatch_all();
+                thread::yield_now();
+            }
+            rounds.unwrap();
+            env.dispatch_all();
+
+            let log = app.eval("set log").expect("every app received sends");
+            let entries: Vec<(usize, u64)> = log.split_whitespace().map(parse_entry).collect();
+            assert_eq!(
+                entries.len(),
+                ((APPS - 1) as u64 * ROUNDS) as usize,
+                "worker{i} log: {log}"
+            );
+            let mut last = [0u64; APPS];
+            for (sender, round) in entries {
+                assert!(
+                    round > last[sender],
+                    "worker{i}: sender {sender}'s round {round} arrived out of order \
+                     (already saw {}) in log {log}",
+                    last[sender]
+                );
+                last[sender] = round;
+            }
+        }));
+    }
+    for (i, w) in workers.into_iter().enumerate() {
+        w.join().unwrap_or_else(|_| panic!("worker{i} panicked"));
+    }
+
+    // The shared display outlives the worker threads: the main thread
+    // can still observe the final screen through the same server.
+    assert!(!env.display().ascii_dump().is_empty());
+    done.store(true, Ordering::SeqCst);
+}
+
+/// One of the threaded clients schedules a kill against its own
+/// connection, sequence-keyed a few requests ahead, so the connection
+/// dies *during a flush* while its thread is mid-conversation. The
+/// victim must observe its own death cleanly (errors, then app
+/// destruction — no panic, no hang), the survivors must keep talking to
+/// each other, and their sends to the dead app must fail with a
+/// diagnosis rather than wedge.
+#[test]
+fn killing_a_client_mid_flush_tears_down_cleanly() {
+    let done = Arc::new(AtomicBool::new(false));
+    watchdog("mid-flush kill", 240, done.clone());
+
+    let env = TkEnv::new();
+    let display = env.display();
+    if !display.wire() {
+        done.store(true, Ordering::SeqCst);
+        eprintln!("skipping: wire transport disabled via RTK_NO_WIRE");
+        return;
+    }
+    let handle = display.wire_handle().expect("wire transport has a handle");
+
+    let registered = Arc::new(Barrier::new(APPS));
+    let killed = Arc::new(Barrier::new(APPS));
+    // Same XGrabServer-style startup serialization as above.
+    let startup = Arc::new(Mutex::new(()));
+    let mut workers = Vec::new();
+    for i in 0..APPS {
+        let handle = handle.clone();
+        let registered = registered.clone();
+        let killed = killed.clone();
+        let startup = startup.clone();
+        workers.push(thread::spawn(move || {
+            let env = TkEnv::with_display(Display::from_wire(&handle));
+            let app = {
+                let _g = startup.lock().unwrap();
+                env.app(&format!("victim{i}"))
+            };
+            app.eval("label .l -text boot").unwrap();
+            app.eval("pack append . .l {top}").unwrap();
+            env.dispatch_all();
+            registered.wait();
+
+            if i == 0 {
+                // The victim: schedule a kill on this connection a few
+                // requests ahead, then keep drawing. The fatal request
+                // is buffered with the others and the connection dies
+                // when the batch flushes.
+                let client = app.conn().client_id();
+                let seq = app.conn().sequence();
+                env.display().with_server(|s| {
+                    s.install_fault_plan(FaultPlan::default().kill_at(client.0, seq + 4))
+                });
+                for round in 0..20 {
+                    if app.destroyed() {
+                        break;
+                    }
+                    let _ = app.eval(&format!(".l configure -text r{round}"));
+                    env.dispatch_all();
+                }
+                assert!(
+                    app.destroyed(),
+                    "victim survived a kill scheduled on its own sequence numbers"
+                );
+                assert!(!app.conn().alive(), "connection still alive after kill");
+                killed.wait();
+                return;
+            }
+
+            // Survivors: wait until the victim is dead, then prove the
+            // display still works — sends between live apps succeed,
+            // sends to the corpse fail fast with a diagnosis.
+            killed.wait();
+            let peer = if i == APPS - 1 { 1 } else { i + 1 };
+            let r = app.eval(&format!(
+                "send -timeout {SEND_TIMEOUT_MS} victim{peer} {{expr {i} * 10}}"
+            ));
+            assert_eq!(r.unwrap(), format!("{}", i * 10));
+            let dead = app.eval("send -timeout 2000 victim0 {expr 1}").unwrap_err();
+            assert!(
+                dead.msg.contains("victim0"),
+                "unexpected death diagnosis: {}",
+                dead.msg
+            );
+            app.eval(&format!(".l configure -text survivor{i}"))
+                .unwrap();
+            env.dispatch_all();
+        }));
+    }
+    for (i, w) in workers.into_iter().enumerate() {
+        w.join().unwrap_or_else(|_| panic!("victim{i} panicked"));
+    }
+
+    // Teardown left the server consistent: the main thread can connect
+    // a fresh app and repaint the world.
+    let post = env.app("postmortem");
+    post.eval("label .l -text after").unwrap();
+    post.eval("pack append . .l {top}").unwrap();
+    env.dispatch_all();
+    assert!(env.display().ascii_dump().contains("after"));
+    done.store(true, Ordering::SeqCst);
+}
