@@ -41,14 +41,25 @@
 
 use std::time::Instant;
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
 use rtk_obs::{json, Histogram, SpanShape};
-use tk::TkApp;
+use tk::{TkApp, TkEnv};
+use tk_bench::fleet::{percentile, run_fleet, run_wire_mesh, watchdog, FleetReport, MeshConfig};
 use tk_bench::{
     bind_dispatch, blink_button, create_display_delete_buttons, env_with_apps, env_with_apps_wire,
     eval_hot, fmt_time, scroll_listbox, setup_bind_dispatch, setup_blink, setup_entry,
     setup_eval_hot, setup_listbox, type_into_entry,
 };
 use xsim::{ClientStats, FaultPlan, RequestKind};
+
+/// The fleet size whose deterministic percentiles BUDGETS.json pins
+/// (`--write-budgets` regenerates it; the CI gate is
+/// `bench -- --fleet 64 --check-budgets`).
+const FLEET_BUDGET_APPS: usize = 64;
+/// Rounds for the threaded (report-only) mesh leg of `--fleet`.
+const FLEET_MESH_ROUNDS: u64 = 3;
 
 /// The counters pinned per workload, in file order.
 fn budget_fields(stats: &ClientStats) -> [(&'static str, u64); 7] {
@@ -291,7 +302,37 @@ fn check_compile_ratios(runs: &[BudgetRun]) {
     }
 }
 
-fn budgets_to_json(runs: &[BudgetRun]) -> String {
+/// The integer fields of a fleet report, in file order.
+fn fleet_fields(r: &FleetReport) -> [(&'static str, u64); 10] {
+    [
+        ("apps", r.apps as u64),
+        ("rounds", r.rounds),
+        ("sends", r.sends),
+        ("send_latency_p50_ms", r.send_latency_p50_ms),
+        ("send_latency_p95_ms", r.send_latency_p95_ms),
+        ("send_latency_p99_ms", r.send_latency_p99_ms),
+        ("send_latency_max_ms", r.send_latency_max_ms),
+        ("backpressure_stalls", r.backpressure_stalls),
+        ("deadline_misses", r.deadline_misses),
+        ("send_errors", r.send_errors),
+    ]
+}
+
+/// Runs the deterministic fleet twice; aborts if the runs disagree (the
+/// percentile budgets are only enforceable because the virtual-clock
+/// latencies are exact).
+fn measured_fleet(napps: usize) -> FleetReport {
+    let first = run_fleet(napps);
+    let second = run_fleet(napps);
+    assert_eq!(
+        first, second,
+        "the {napps}-app fleet is not deterministic: two identical runs \
+         produced different latency percentiles or stall counts"
+    );
+    first
+}
+
+fn budgets_to_json(runs: &[BudgetRun], fleet: &FleetReport) -> String {
     let mut workloads = json::Object::new();
     for (name, iters, stats, shape, tcl, wire) in runs {
         let mut w = json::Object::new();
@@ -326,6 +367,13 @@ fn budgets_to_json(runs: &[BudgetRun]) -> String {
          after an intentional protocol change.",
     );
     root.field_raw("workloads", &workloads.build());
+    let mut fleets = json::Object::new();
+    let mut f = json::Object::new();
+    for (field, value) in fleet_fields(fleet) {
+        f.field_u64(field, value);
+    }
+    fleets.field_raw(&format!("fleet{}", fleet.apps), &f.build());
+    root.field_raw("fleet", &fleets.build());
     root.build()
 }
 
@@ -362,7 +410,9 @@ fn measured_budgets() -> Vec<BudgetRun> {
 }
 
 fn write_budgets(path: &str) {
-    let text = budgets_to_json(&measured_budgets());
+    let runs = measured_budgets();
+    let fleet = measured_fleet(FLEET_BUDGET_APPS);
+    let text = budgets_to_json(&runs, &fleet);
     std::fs::write(path, format!("{text}\n")).expect("write budgets file");
     println!("wrote {path}");
 }
@@ -583,9 +633,104 @@ fn workload_json(name: &str, iters: u64, h: &Histogram, extra: Option<(&str, Str
     o.build()
 }
 
+/// Checks a measured fleet report against the `fleet` section of the
+/// budgets file. Exits non-zero on any drift.
+fn check_fleet_budgets(report: &FleetReport, path: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {path}: {e} (run --write-budgets first)"));
+    let expected = json::parse(&text).unwrap_or_else(|e| panic!("{path}: invalid JSON: {e}"));
+    let key = format!("fleet{}", report.apps);
+    let Some(budget) = expected.get("fleet").and_then(|f| f.get(&key)) else {
+        eprintln!(
+            "{path}: no \"{key}\" entry in the fleet section — the pinned size is \
+             fleet{FLEET_BUDGET_APPS}; regenerate with --write-budgets"
+        );
+        std::process::exit(1);
+    };
+    let mut failures = Vec::new();
+    for (field, got) in fleet_fields(report) {
+        match budget.get(field).and_then(|v| v.as_u64()) {
+            Some(want) if want == got => {}
+            Some(want) => failures.push(format!("{key}: {field} = {got}, budget says {want}")),
+            None => failures.push(format!("{key}: budget lacks field {field}")),
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!("fleet budgets FAILED:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        eprintln!(
+            "if the latency change is intentional, regenerate with \
+             `cargo run -p tk-bench --bin bench -- --write-budgets` and commit BUDGETS.json"
+        );
+        std::process::exit(1);
+    }
+    println!("fleet budgets OK ({key} in {path})");
+}
+
+/// `--fleet N`: the threaded wire mesh (liveness + ordering + report-only
+/// wall-clock latencies) followed by the deterministic fleet (exact
+/// virtual-clock percentiles, optionally checked against BUDGETS.json).
+fn fleet_mode(napps: usize, check: bool, path: &str) {
+    let done = Arc::new(AtomicBool::new(false));
+    watchdog("fleet mesh", 570, done.clone());
+    let env = TkEnv::new();
+    match run_wire_mesh(&env, &MeshConfig::ring(napps, FLEET_MESH_ROUNDS)) {
+        Some(mesh) => {
+            let l = &mesh.latencies_ns;
+            println!(
+                "fleet mesh: {} apps x {} rounds, {} sends in {:.2?} \
+                 (wall p50 {} / p95 {} / p99 {}, report-only)",
+                napps,
+                FLEET_MESH_ROUNDS,
+                mesh.sends,
+                mesh.wall,
+                fmt_time(percentile(l, 50.0) as f64 * 1e-9),
+                fmt_time(percentile(l, 95.0) as f64 * 1e-9),
+                fmt_time(percentile(l, 99.0) as f64 * 1e-9),
+            );
+        }
+        None => println!("fleet mesh: skipped (wire transport disabled via RTK_NO_WIRE)"),
+    }
+    done.store(true, Ordering::SeqCst);
+
+    let report = measured_fleet(napps);
+    println!(
+        "fleet deterministic: {} apps, {} sends, send_latency_ms p50 {} / p95 {} / p99 {} \
+         (max {}), {} backpressure stalls, {} deadline misses",
+        report.apps,
+        report.sends,
+        report.send_latency_p50_ms,
+        report.send_latency_p95_ms,
+        report.send_latency_p99_ms,
+        report.send_latency_max_ms,
+        report.backpressure_stalls,
+        report.deadline_misses,
+    );
+    println!(
+        "fleet tail: {} fault-dropped sends errored cleanly at the {}ms timeout",
+        report.send_errors,
+        tk_bench::fleet::FLEET_FAULT_TIMEOUT_MS,
+    );
+    if check {
+        check_fleet_budgets(&report, path);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
+        Some("--fleet") => {
+            let Some(napps) = args.get(1).and_then(|v| v.parse::<usize>().ok()) else {
+                eprintln!("usage: bench -- --fleet N [--check-budgets [BUDGETS.json]]");
+                std::process::exit(2);
+            };
+            let check = args.get(2).map(String::as_str) == Some("--check-budgets");
+            let path = args.get(3).map_or("BUDGETS.json", String::as_str);
+            fleet_mode(napps, check, path);
+            return;
+        }
         Some("--write-budgets") => {
             write_budgets(args.get(1).map_or("BUDGETS.json", String::as_str));
             return;

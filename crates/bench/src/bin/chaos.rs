@@ -4,15 +4,18 @@
 //!   chaos --seeds N [--base-seed S]     run N fresh (script, fault) pairs
 //!   chaos --replay SCRIPT FAULT         replay one pair and shrink on failure
 //!   chaos --corpus FILE [--seeds N]     run checked-in pairs first, then N fresh
-//!   chaos --storm ...                   same flags, send-storm mode (3 apps)
+//!   chaos --storm [--apps N] ...        same flags, send-storm mode (N apps)
 //!
-//! A corpus file holds one `script_seed fault_seed` pair per line
-//! (`#` comments allowed). Exit status is non-zero iff any case fails;
-//! the failing pair, its fault plan, and a greedily shrunk reproducer are
-//! printed so the pair can be checked in as a regression test.
+//! A corpus file holds one `script_seed fault_seed [apps]` entry per line
+//! (`#` comments allowed). The optional third column is the storm's app
+//! count; absent, the `--apps` value (default 3) applies, which keeps
+//! classic two-column pairs replayable unchanged. Exit status is non-zero
+//! iff any case fails; the failing pair, its fault plan, and a greedily
+//! shrunk reproducer are printed so the pair can be checked in as a
+//! regression test.
 //!
 //! `--storm` swaps the generic two-app fuzz for the send-storm harness:
-//! three applications exchanging seeded nested/concurrent `send`s under
+//! N applications exchanging seeded nested/concurrent `send`s under
 //! the same fault plans, checked against the exactly-once-or-clean-error
 //! invariant (a send that "succeeds" must have evaluated exactly once
 //! with the correct result; no send may ever evaluate twice).
@@ -83,9 +86,15 @@ impl Totals {
 
 /// Runs one pair in the selected mode; on failure prints the reproducer
 /// and returns false.
-fn run_one(script_seed: u64, fault_seed: u64, storm: bool, totals: &mut Totals) -> bool {
+fn run_one(
+    script_seed: u64,
+    fault_seed: u64,
+    storm: bool,
+    napps: usize,
+    totals: &mut Totals,
+) -> bool {
     let result = if storm {
-        run_storm_case(script_seed, fault_seed)
+        run_storm_case(script_seed, fault_seed, napps)
     } else {
         run_case(script_seed, fault_seed)
     };
@@ -104,8 +113,8 @@ fn run_one(script_seed: u64, fault_seed: u64, storm: bool, totals: &mut Totals) 
             println!("  shrinking...");
             let (ops, plan) = if storm {
                 (
-                    generate_storm_ops(script_seed, STORM_OPS, STORM_APPS),
-                    generate_storm_plan(fault_seed, STORM_APPS),
+                    generate_storm_ops(script_seed, STORM_OPS, napps),
+                    generate_storm_plan(fault_seed, napps),
                 )
             } else {
                 (
@@ -114,7 +123,7 @@ fn run_one(script_seed: u64, fault_seed: u64, storm: bool, totals: &mut Totals) 
                 )
             };
             let (min_ops, min_plan) = if storm {
-                shrink_storm(&ops, &plan)
+                shrink_storm(&ops, &plan, napps)
             } else {
                 shrink(&ops, &plan)
             };
@@ -132,21 +141,25 @@ fn run_one(script_seed: u64, fault_seed: u64, storm: bool, totals: &mut Totals) 
             // Confirm the shrunk case still fails (a flaky shrink would
             // mean nondeterminism, which is itself a bug worth flagging).
             let still_fails = if storm {
-                run_storm_ops(&min_ops, &min_plan, STORM_APPS).is_err()
+                run_storm_ops(&min_ops, &min_plan, napps).is_err()
             } else {
                 run_ops(&min_ops, &min_plan).is_err()
             };
             if !still_fails {
                 println!("  WARNING: shrunk reproducer no longer fails (nondeterminism?)");
             }
-            let storm_flag = if storm { "--storm " } else { "" };
+            let storm_flag = if storm {
+                format!("--storm --apps {napps} ")
+            } else {
+                String::new()
+            };
             println!("  replay with: chaos {storm_flag}--replay {script_seed} {fault_seed}");
             false
         }
     }
 }
 
-fn parse_corpus(path: &str) -> Result<Vec<(u64, u64)>, String> {
+fn parse_corpus(path: &str) -> Result<Vec<(u64, u64, Option<usize>)>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let mut pairs = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
@@ -155,26 +168,40 @@ fn parse_corpus(path: &str) -> Result<Vec<(u64, u64)>, String> {
             continue;
         }
         let mut it = line.split_whitespace();
-        let (Some(a), Some(b), None) = (it.next(), it.next(), it.next()) else {
+        let (Some(a), Some(b)) = (it.next(), it.next()) else {
             return Err(format!(
-                "{path}:{}: expected `script_seed fault_seed`",
+                "{path}:{}: expected `script_seed fault_seed [apps]`",
                 lineno + 1
             ));
         };
+        let apps = it.next();
+        if it.next().is_some() {
+            return Err(format!(
+                "{path}:{}: expected `script_seed fault_seed [apps]`",
+                lineno + 1
+            ));
+        }
         let a = a
             .parse()
             .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
         let b = b
             .parse()
             .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
-        pairs.push((a, b));
+        let apps = match apps {
+            Some(n) => Some(
+                n.parse()
+                    .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?,
+            ),
+            None => None,
+        };
+        pairs.push((a, b, apps));
     }
     Ok(pairs)
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: chaos [--storm] [--seeds N] [--base-seed S] [--corpus FILE] [--replay SCRIPT FAULT]"
+        "usage: chaos [--storm] [--apps N] [--seeds N] [--base-seed S] [--corpus FILE] [--replay SCRIPT FAULT]"
     );
     ExitCode::from(2)
 }
@@ -186,6 +213,7 @@ fn main() -> ExitCode {
     let mut corpus: Option<String> = None;
     let mut replay: Option<(u64, u64)> = None;
     let mut storm = false;
+    let mut apps: usize = STORM_APPS;
     fn num(it: &mut std::slice::Iter<'_, String>, name: &str) -> Option<u64> {
         let v = it.next().and_then(|v| v.parse().ok());
         if v.is_none() {
@@ -216,6 +244,10 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--storm" => storm = true,
+            "--apps" => match num(&mut it, "--apps") {
+                Some(n) if n >= 2 => apps = n as usize,
+                _ => return usage(),
+            },
             _ => return usage(),
         }
     }
@@ -228,7 +260,7 @@ fn main() -> ExitCode {
         let mut failed = false;
 
         if let Some((s, f)) = replay {
-            let ok = run_one(s, f, storm, &mut totals);
+            let ok = run_one(s, f, storm, apps, &mut totals);
             if ok {
                 println!("replay script_seed={s} fault_seed={f}: ok");
                 totals.print();
@@ -249,8 +281,8 @@ fn main() -> ExitCode {
                 }
             };
             println!("corpus: {} pairs from {path}", pairs.len());
-            for (s, f) in pairs {
-                failed |= !run_one(s, f, storm, &mut totals);
+            for (s, f, n) in pairs {
+                failed |= !run_one(s, f, storm, n.unwrap_or(apps), &mut totals);
             }
         }
 
@@ -262,7 +294,7 @@ fn main() -> ExitCode {
                 // neither scripts nor plans.
                 let script_seed = base_seed.wrapping_add(i);
                 let fault_seed = script_seed.wrapping_mul(0x9e3779b97f4a7c15).rotate_left(17);
-                failed |= !run_one(script_seed, fault_seed, storm, &mut totals);
+                failed |= !run_one(script_seed, fault_seed, storm, apps, &mut totals);
             }
         }
 

@@ -400,15 +400,17 @@ pub fn storm_sends(ops: &[Op]) -> Vec<StormSend> {
             continue;
         };
         // The innermost hop — the app whose interp runs the `incr` — is
-        // the last `storm<digit>` occurrence in the script.
+        // the last `storm<index>` occurrence in the script. The index can
+        // run to several digits in fleet-sized storms, so take the whole
+        // digit run, not just the first character.
         let Some(target) = script
             .match_indices("storm")
             .filter_map(|(i, _)| {
-                script[i + 5..]
+                let digits: String = script[i + 5..]
                     .chars()
-                    .next()
-                    .and_then(|c| c.to_digit(10))
-                    .map(|d| d as usize)
+                    .take_while(|c| c.is_ascii_digit())
+                    .collect();
+                digits.parse::<usize>().ok()
             })
             .last()
         else {
@@ -499,18 +501,23 @@ pub fn run_storm_ops(ops: &[Op], plan: &FaultPlan, napps: usize) -> Result<RunSt
     }
 }
 
-/// Runs one storm seed pair end to end with [`STORM_APPS`] applications.
-pub fn run_storm_case(script_seed: u64, fault_seed: u64) -> Result<RunStats, Failure> {
-    let ops = generate_storm_ops(script_seed, STORM_OPS, STORM_APPS);
-    let plan = generate_storm_plan(fault_seed, STORM_APPS);
-    run_storm_ops(&ops, &plan, STORM_APPS)
+/// Runs one storm seed pair end to end with `napps` applications
+/// (`STORM_APPS` is the classic default; fleet storms pass more).
+pub fn run_storm_case(
+    script_seed: u64,
+    fault_seed: u64,
+    napps: usize,
+) -> Result<RunStats, Failure> {
+    let ops = generate_storm_ops(script_seed, STORM_OPS, napps);
+    let plan = generate_storm_plan(fault_seed, napps);
+    run_storm_ops(&ops, &plan, napps)
 }
 
 /// [`shrink`] against the storm runner (panics *and* invariant
 /// violations count as failures).
-pub fn shrink_storm(ops: &[Op], plan: &FaultPlan) -> (Vec<Op>, FaultPlan) {
+pub fn shrink_storm(ops: &[Op], plan: &FaultPlan, napps: usize) -> (Vec<Op>, FaultPlan) {
     shrink_with(ops, plan, |ops, plan| {
-        run_storm_ops(ops, plan, STORM_APPS).is_err()
+        run_storm_ops(ops, plan, napps).is_err()
     })
 }
 
@@ -658,6 +665,32 @@ mod tests {
     }
 
     #[test]
+    fn storm_sends_parses_multi_digit_app_indices() {
+        let ops = vec![Op::Tcl(
+            12,
+            "set ok_4 [catch {send -timeout 150 storm37 {if {[catch {incr c_4}]} {set c_4 1}; set c_4}} r_4]"
+                .into(),
+        )];
+        assert_eq!(
+            storm_sends(&ops),
+            vec![StormSend {
+                op_index: 0,
+                sender: 12,
+                target: 37,
+                key: 4
+            }]
+        );
+    }
+
+    #[test]
+    fn faulted_fleet_storm_holds_the_invariant() {
+        with_quiet_panics(|| {
+            let r = run_storm_case(5, 0x0517_eed5, 16);
+            assert!(r.is_ok(), "{}", r.unwrap_err());
+        });
+    }
+
+    #[test]
     fn clean_storm_case_satisfies_the_invariant() {
         let ops = generate_storm_ops(1, STORM_OPS, STORM_APPS);
         let stats =
@@ -673,7 +706,7 @@ mod tests {
         with_quiet_panics(|| {
             for seed in 1..=4u64 {
                 let fault_seed = seed.wrapping_mul(0x9e3779b97f4a7c15).rotate_left(17);
-                let r = run_storm_case(seed, fault_seed);
+                let r = run_storm_case(seed, fault_seed, STORM_APPS);
                 assert!(r.is_ok(), "seed {seed}: {}", r.unwrap_err());
             }
         });

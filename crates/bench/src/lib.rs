@@ -30,6 +30,7 @@ pub fn env_with_apps_wire(names: &[&str]) -> (TkEnv, Vec<TkApp>) {
 pub use xsim::XorShift;
 
 pub mod chaos;
+pub mod fleet;
 
 /// The Table II row 3 workload: create `n` buttons, pack and display them,
 /// then delete them all. Returns nothing; timing is the caller's job.

@@ -82,6 +82,12 @@ pub struct TkEnv {
     /// tracer measures from here, so multi-app traces align on one
     /// timeline in the Chrome trace export.
     origin: std::time::Instant,
+    /// How many root-window property shards the `send` registry hashes
+    /// interpreter names into (`RTK_SEND_SHARDS`; 1 = the paper's single
+    /// `InterpRegistry` property). Every environment sharing a display
+    /// must agree — the value routes lookups, it is not stored anywhere
+    /// server-side.
+    send_shards: Rc<Cell<u32>>,
 }
 
 impl Default for TkEnv {
@@ -100,12 +106,31 @@ impl TkEnv {
     /// [`xsim::WireHandle`], so several environments on their own threads
     /// talk to one threaded wire server).
     pub fn with_display(display: Display) -> TkEnv {
+        let shards = std::env::var("RTK_SEND_SHARDS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|n| *n >= 1)
+            .unwrap_or(crate::send::DEFAULT_SEND_SHARDS);
         TkEnv {
             display,
             apps: Rc::new(RefCell::new(Vec::new())),
             clock: rtk_obs::VirtualClock::new(),
             origin: std::time::Instant::now(),
+            send_shards: Rc::new(Cell::new(shards)),
         }
+    }
+
+    /// The number of `send` registry shards this environment routes by.
+    pub fn send_shards(&self) -> u32 {
+        self.send_shards.get().max(1)
+    }
+
+    /// Overrides the registry shard count (tests comparing sharded
+    /// against unsharded behavior). Must be set before any application is
+    /// created on this environment: announced names are routed by the
+    /// count in effect at announce time.
+    pub fn set_send_shards(&self, n: u32) {
+        self.send_shards.set(n.max(1));
     }
 
     /// The underlying display (for input synthesis and screendumps).

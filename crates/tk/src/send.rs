@@ -38,9 +38,10 @@
 //! histogram and the `send_timeouts` / `send_retries` /
 //! `send_dedup_drops` / `registry_gc` counters.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use tcl::{wrong_args, Code, Exception, TclResult};
+use xsim::event::mask;
 use xsim::{Atom, Event, WindowId, XError, Xid};
 
 use crate::app::TkApp;
@@ -59,6 +60,49 @@ const RETRY_BACKOFF_MS: u64 = 10;
 const MAX_PUMPS_PER_TICK: u32 = 8;
 /// Executed-serial window kept per peer for duplicate suppression.
 const DEDUP_WINDOW: usize = 128;
+/// Default number of registry property shards (`RTK_SEND_SHARDS`
+/// overrides; 1 reproduces the paper's single `InterpRegistry`
+/// property byte for byte).
+pub const DEFAULT_SEND_SHARDS: u32 = 8;
+
+/// FNV-1a over the interpreter name: the shard router. Stable across
+/// processes by construction — every client sharing a display computes
+/// the same shard for the same name.
+fn name_hash(name: &str) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for b in name.bytes() {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Which of `n` shards holds `name`'s registry entry.
+fn shard_of(name: &str, n: u32) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        name_hash(name) % n
+    }
+}
+
+/// Property name of registry shard `i` of `n`. A single shard keeps the
+/// paper's bare `InterpRegistry` name, so `RTK_SEND_SHARDS=1` is
+/// byte-identical to the unsharded layout.
+fn shard_property(i: u32, n: u32) -> String {
+    if n <= 1 {
+        "InterpRegistry".to_string()
+    } else {
+        format!("InterpRegistry.{i}")
+    }
+}
+
+/// The interned registry atom (and shard index) responsible for `name`.
+fn registry_atom_for(app: &TkApp, name: &str) -> Result<(Atom, u32), Exception> {
+    let n = app.env().send_shards();
+    let shard = shard_of(name, n);
+    Ok((cached_atom(app, &shard_property(shard, n))?, shard))
+}
 
 /// How a send concluded, filled in from comm-window traffic.
 enum SendOutcome {
@@ -71,7 +115,11 @@ enum SendOutcome {
 /// Per-application send state.
 #[derive(Default)]
 pub struct SendState {
-    next_serial: u64,
+    /// Per-shard serial counters: each registry shard has its own serial
+    /// space (shard `k` of `n` issues wire serials `k+1, k+1+n,
+    /// k+1+2n, ...`), disjoint by construction so in-flight sends to
+    /// different shards can never collide on a serial.
+    next_serials: HashMap<u32, u64>,
     /// Outcomes by serial, filled in by `TkSendResult` property traffic
     /// or by a peer comm window's DestroyNotify.
     outcomes: HashMap<u64, SendOutcome>,
@@ -84,6 +132,11 @@ pub struct SendState {
     /// Per-peer (sender comm xid) windows of recently executed serials:
     /// the receiver side of at-most-once delivery.
     executed: HashMap<u32, VecDeque<u64>>,
+    /// Peer comm windows this app selected StructureNotify on: the
+    /// server's DestroyNotify delivery is interest-indexed, so anyone
+    /// who wants fast peer-death detection registers like any other
+    /// event consumer. One SelectInput per peer, not per send.
+    watched: HashSet<u32>,
 }
 
 /// Looks up a handshake atom in the per-app cache, interning (one round
@@ -126,11 +179,14 @@ fn retry_once<T>(app: &TkApp, mut f: impl FnMut() -> Result<T, XError>) -> Resul
 pub fn announce(app: &TkApp) -> String {
     let conn = app.conn();
     let base = app.name();
-    // Warm the handshake atom cache in one pipelined batch: all three
-    // interns travel to the server in a single flush. If the handshake
-    // fails (fault injection, dead connection) the application keeps its
-    // base name and stays unregistered — it still works standalone.
-    let reg_cookie = conn.send_intern_atom("InterpRegistry");
+    let shards = app.env().send_shards();
+    // Warm the handshake atom cache in one pipelined batch: the base
+    // name's registry shard and both transport atoms travel to the
+    // server in a single flush. If the handshake fails (fault injection,
+    // dead connection) the application keeps its base name and stays
+    // unregistered — it still works standalone.
+    let base_shard = shard_property(shard_of(&base, shards), shards);
+    let reg_cookie = conn.send_intern_atom(&base_shard);
     let cmd_cookie = conn.send_intern_atom("TkSendCommand");
     let res_cookie = conn.send_intern_atom("TkSendResult");
     let (Ok(registry), Ok(cmd), Ok(res)) = (
@@ -142,23 +198,33 @@ pub fn announce(app: &TkApp) -> String {
     };
     {
         let mut st = app.inner.send.borrow_mut();
-        st.atoms.insert("InterpRegistry".into(), registry);
+        st.atoms.insert(base_shard, registry);
         st.atoms.insert("TkSendCommand".into(), cmd);
         st.atoms.insert("TkSendResult".into(), res);
     }
     let root = conn.root();
-    let existing = conn
-        .get_property(root, registry)
-        .ok()
-        .flatten()
-        .unwrap_or_default();
-    let mut entries = parse_registry(&existing);
+    // Uniquify across shards: a candidate name lives in exactly one
+    // shard (its hash), so existence is decided by that shard alone.
+    // Each uniquification step re-routes, because "base #2" may hash
+    // somewhere else entirely.
     let mut name = base.clone();
     let mut n = 1;
-    while entries.iter().any(|(e, _)| *e == name) {
+    let (registry, mut entries) = loop {
+        let Ok((atom, _)) = registry_atom_for(app, &name) else {
+            return base;
+        };
+        let existing = conn
+            .get_property(root, atom)
+            .ok()
+            .flatten()
+            .unwrap_or_default();
+        let entries = parse_registry(&existing);
+        if !entries.iter().any(|(e, _)| *e == name) {
+            break (atom, entries);
+        }
         n += 1;
         name = format!("{base} #{n}");
-    }
+    };
     entries.push((name.clone(), app.inner.comm));
     conn.change_property(root, registry, &format_registry(&entries));
     *app.inner.name.borrow_mut() = name.clone();
@@ -168,7 +234,7 @@ pub fn announce(app: &TkApp) -> String {
 /// Removes an application from the registry (on destroy).
 pub fn withdraw(app: &TkApp) {
     let conn = app.conn();
-    let Ok(registry) = cached_atom(app, "InterpRegistry") else {
+    let Ok((registry, _)) = registry_atom_for(app, &app.name()) else {
         return;
     };
     let root = conn.root();
@@ -190,8 +256,10 @@ pub fn withdraw(app: &TkApp) {
 /// stale entry whose comm window no longer exists.
 pub fn withdraw_post_mortem(app: &TkApp) {
     let name = app.name();
+    let shards = app.env().send_shards();
+    let prop = shard_property(shard_of(&name, shards), shards);
     app.env().display().with_server(|s| {
-        let registry = s.intern_atom_direct("InterpRegistry");
+        let registry = s.intern_atom_direct(&prop);
         let root = s.root();
         let existing = s.get_property(root, registry).unwrap_or_default();
         let entries: Vec<(String, WindowId)> = parse_registry(&existing)
@@ -211,34 +279,60 @@ pub fn withdraw_post_mortem(app: &TkApp) {
 /// looks.
 pub fn interps(app: &TkApp) -> Vec<String> {
     let conn = app.conn();
-    let Ok(registry) = cached_atom(app, "InterpRegistry") else {
-        return Vec::new();
-    };
-    let existing = conn
-        .get_property(conn.root(), registry)
-        .ok()
-        .flatten()
-        .unwrap_or_default();
-    let entries = parse_registry(&existing);
-    let cookies: Vec<_> = entries
+    let shards = app.env().send_shards();
+    let mut shard_atoms = Vec::with_capacity(shards as usize);
+    for i in 0..shards {
+        let Ok(atom) = cached_atom(app, &shard_property(i, shards)) else {
+            return Vec::new();
+        };
+        shard_atoms.push(atom);
+    }
+    let root = conn.root();
+    // Read every shard in one pipelined batch (a single flush)...
+    let prop_cookies: Vec<_> = shard_atoms
         .iter()
-        .map(|(_, w)| conn.send_get_geometry(*w))
+        .map(|a| conn.send_get_property(root, *a))
         .collect();
-    let mut live: Vec<(String, WindowId)> = Vec::with_capacity(entries.len());
-    let mut pruned = 0u64;
-    for ((name, w), cookie) in entries.into_iter().zip(cookies) {
-        match conn.wait(cookie) {
-            Ok(Some(_)) => live.push((name, w)),
-            Ok(None) => pruned += 1,
-            // Probe faulted: keep the entry — never prune on uncertainty.
-            Err(_) => live.push((name, w)),
+    let per_shard: Vec<Vec<(String, WindowId)>> = prop_cookies
+        .into_iter()
+        .map(|c| parse_registry(&conn.wait(c).ok().flatten().unwrap_or_default()))
+        .collect();
+    // ...then probe every entry's comm window in a second batch.
+    let probe_cookies: Vec<Vec<_>> = per_shard
+        .iter()
+        .map(|entries| {
+            entries
+                .iter()
+                .map(|(_, w)| conn.send_get_geometry(*w))
+                .collect()
+        })
+        .collect();
+    let mut names = Vec::new();
+    let mut pruned_total = 0u64;
+    for ((atom, entries), cookies) in shard_atoms.into_iter().zip(per_shard).zip(probe_cookies) {
+        let mut live: Vec<(String, WindowId)> = Vec::with_capacity(entries.len());
+        let mut pruned = 0u64;
+        for ((name, w), cookie) in entries.into_iter().zip(cookies) {
+            match conn.wait(cookie) {
+                Ok(Some(_)) => live.push((name, w)),
+                Ok(None) => pruned += 1,
+                // Probe faulted: keep the entry — never prune on uncertainty.
+                Err(_) => live.push((name, w)),
+            }
         }
+        if pruned > 0 {
+            pruned_total += pruned;
+            conn.change_property(root, atom, &format_registry(&live));
+        }
+        names.extend(live.into_iter().map(|(n, _)| n));
     }
-    if pruned > 0 {
-        app.inner.obs.add("registry_gc", pruned);
-        conn.change_property(conn.root(), registry, &format_registry(&live));
+    if pruned_total > 0 {
+        app.inner.obs.add("registry_gc", pruned_total);
     }
-    live.into_iter().map(|(n, _)| n).collect()
+    // Sorted, so the listing is identical whatever the shard count —
+    // concatenation order would otherwise leak the shard layout.
+    names.sort();
+    names
 }
 
 fn parse_registry(text: &str) -> Vec<(String, WindowId)> {
@@ -270,7 +364,7 @@ fn format_registry(entries: &[(String, WindowId)]) -> String {
 /// that re-announced in the meantime is left untouched.
 fn prune_registry_entry(app: &TkApp, name: &str, comm: WindowId) {
     let conn = app.conn();
-    let Ok(registry) = cached_atom(app, "InterpRegistry") else {
+    let Ok((registry, _)) = registry_atom_for(app, name) else {
         return;
     };
     let Ok(existing) = conn.get_property(conn.root(), registry) else {
@@ -336,7 +430,9 @@ fn cmd_send(app: &TkApp, _interp: &tcl::Interp, argv: &[String]) -> TclResult {
 /// deadline-based wait for the outcome.
 fn send_remote(app: &TkApp, target_name: &str, script: &str, timeout_ms: u64) -> TclResult {
     let conn = app.conn();
-    let registry = cached_atom(app, "InterpRegistry")?;
+    // The target's name decides which registry shard to consult — one
+    // GetProperty against that shard, never a scan of all of them.
+    let (registry, shard) = registry_atom_for(app, target_name)?;
     let existing = retry_once(app, || conn.get_property(conn.root(), registry))
         .map_err(xerr)?
         .unwrap_or_default();
@@ -348,14 +444,32 @@ fn send_remote(app: &TkApp, target_name: &str, script: &str, timeout_ms: u64) ->
             Exception::error(format!("no registered interpreter named \"{target_name}\""))
         })?;
 
+    // First send to this peer: select StructureNotify on its comm window
+    // so the server's interest index routes the peer's DestroyNotify here
+    // (event delivery is O(interested clients), not a broadcast). Never
+    // on our own comm — SelectInput replaces this client's mask and would
+    // clobber the PropertyChange selection the protocol runs on.
+    if target_comm != app.inner.comm {
+        let newly_watched = app.inner.send.borrow_mut().watched.insert(target_comm.0);
+        if newly_watched {
+            conn.select_input(target_comm, mask::STRUCTURE_NOTIFY);
+        }
+    }
+
     // Compose the request and append it atomically (PropModeAppend) to
     // the target's comm property: one one-way request, no read-modify-
     // write race with concurrent senders.
     let cmd_atom = cached_atom(app, "TkSendCommand")?;
     let serial = {
         let mut st = app.inner.send.borrow_mut();
-        st.next_serial += 1;
-        let serial = st.next_serial;
+        // Each shard owns a disjoint serial space: shard k of n issues
+        // k+1, k+1+n, k+1+2n, ... so serials stay globally unique at the
+        // sender without cross-shard coordination (n=1 degenerates to the
+        // classic 1, 2, 3, ...).
+        let n = app.env().send_shards() as u64;
+        let count = st.next_serials.entry(shard).or_insert(0);
+        *count += 1;
+        let serial = (*count - 1) * n + shard as u64 + 1;
         st.pending.insert(serial, target_comm);
         serial
     };
@@ -493,6 +607,7 @@ pub fn handle_peer_destroyed(app: &TkApp, window: WindowId) {
         st.outcomes.insert(serial, SendOutcome::TargetDied);
     }
     st.executed.remove(&window.0);
+    st.watched.remove(&window.0);
 }
 
 /// Handles property traffic on this application's comm window.
@@ -540,6 +655,16 @@ pub fn handle_comm_event(app: &TkApp, ev: &Event) {
             if already_executed(app, sender, serial) {
                 app.inner.obs.incr("send_dedup_drops");
                 continue;
+            }
+            // First request from this peer: watch its comm window so we
+            // learn promptly (via the interest index) when it dies and
+            // can drop the dedup history kept for it. Skip self-sends —
+            // re-selecting our own comm would clobber PropertyChange.
+            if sender != 0 && sender != app.inner.comm.0 {
+                let newly_watched = app.inner.send.borrow_mut().watched.insert(sender);
+                if newly_watched {
+                    conn.select_input(Xid(sender), mask::STRUCTURE_NOTIFY);
+                }
             }
             // "The Tk of the target application executes the command
             // and returns the result back to the originating

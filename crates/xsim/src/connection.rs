@@ -129,7 +129,9 @@ impl Transport for LocalTransport {
 
     fn sync(&self, f: &mut dyn FnMut(&mut Server)) {
         let mut s = self.server.borrow_mut();
-        s.flush_all();
+        // The observation path drains quota-deferred work too: the user
+        // always sees the effect of every request already issued.
+        s.drain_all();
         f(&mut s);
     }
 

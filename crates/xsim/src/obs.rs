@@ -222,6 +222,11 @@ pub struct WireStats {
     /// Buffered-frame batches shipped to the server thread (the wire
     /// analogue of `ClientStats::flushes`).
     pub flushes: u64,
+    /// Flush batches the per-client request quota cut short: the
+    /// overflow was deferred (never dropped) to keep one hot client
+    /// from starving the rest. Counted under both transports — the
+    /// quota lives in the shared batch executor.
+    pub backpressure_stalls: u64,
     /// Size distribution of encoded frames, in bytes.
     pub frame_bytes: Histogram,
 }
@@ -418,6 +423,7 @@ impl ClientObs {
             w.field_u64("frames_decoded", self.wire.frames_decoded);
             w.field_u64("bytes_decoded", self.wire.bytes_decoded);
             w.field_u64("flushes", self.wire.flushes);
+            w.field_u64("backpressure_stalls", self.wire.backpressure_stalls);
             w.field_raw("frame_bytes", &self.wire.frame_bytes.to_json());
             o.field_raw("wire", &w.build());
         }

@@ -433,6 +433,9 @@ struct ClientState {
     next_event: u64,
     /// Events held back by an injected delay: `(release_index, event)`.
     delayed: Vec<(u64, Event)>,
+    /// Requests a quota-limited flush deferred (never dropped): they
+    /// apply ahead of the next flushed batch, in issue order.
+    deferred: Vec<(u64, QueuedRequest)>,
     /// Did an injected kill close this connection?
     dead: bool,
     /// The application's causal span tracer, when one is attached: flush
@@ -461,6 +464,14 @@ pub struct Server {
     ids: IdAllocator,
     next_client: u32,
     clients: HashMap<ClientId, ClientState>,
+    /// Clients with unapplied work (a non-empty output buffer or a
+    /// deferred-by-quota remainder): `flush_all` walks only these, in
+    /// sorted id order, instead of scanning every connection.
+    dirty: std::collections::BTreeSet<ClientId>,
+    /// Per-client request quota: the most requests one flushed batch may
+    /// apply before the remainder is deferred (backpressure, not loss).
+    /// `None` = unlimited (the default; `RTK_CLIENT_QUOTA` overrides).
+    quota: Option<usize>,
     /// Window ids handed to clients whose CreateWindow is still buffered.
     pending_windows: HashSet<WindowId>,
     /// Output buffering on/off (off = every request flushes immediately,
@@ -524,6 +535,11 @@ impl Server {
             ids,
             next_client: 0,
             clients: HashMap::new(),
+            dirty: std::collections::BTreeSet::new(),
+            quota: std::env::var("RTK_CLIENT_QUOTA")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|q| *q > 0),
             pending_windows: HashSet::new(),
             batching: std::env::var("RTK_NO_BATCH").map_or(true, |v| v.is_empty() || v == "0"),
             selections: HashMap::new(),
@@ -566,6 +582,35 @@ impl Server {
         }
     }
 
+    /// Sets (or clears) the per-client request quota: at most `q`
+    /// requests of one client apply per flushed batch; the overflow is
+    /// deferred — never dropped — and each deferral bumps the client's
+    /// `wire.backpressure_stalls` counter. Reply-bearing requests are
+    /// never deferred (a cookie must stay redeemable), so a batch whose
+    /// tail carries one applies through it.
+    pub fn set_client_quota(&mut self, quota: Option<usize>) {
+        self.quota = quota.filter(|q| *q > 0);
+    }
+
+    /// The configured per-client request quota, if any.
+    pub fn client_quota(&self) -> Option<usize> {
+        self.quota
+    }
+
+    /// Total quota deferrals recorded against `client` (the
+    /// `wire.backpressure_stalls` counter).
+    pub fn backpressure_stalls(&self, client: ClientId) -> u64 {
+        self.clients
+            .get(&client)
+            .map_or(0, |c| c.obs.wire.backpressure_stalls)
+    }
+
+    /// Number of quota-deferred requests still parked on `client`.
+    /// Zero once the backlog has drained — deferral is never loss.
+    pub fn deferred_len(&self, client: ClientId) -> usize {
+        self.clients.get(&client).map_or(0, |c| c.deferred.len())
+    }
+
     /// Is this client's connection still alive?
     pub fn is_alive(&self, client: ClientId) -> bool {
         self.clients.get(&client).is_some_and(|c| !c.dead)
@@ -599,10 +644,12 @@ impl Server {
         }
         c.dead = true;
         c.out_buf.clear();
+        c.deferred.clear();
         c.queue.clear();
         c.delayed.clear();
         c.replies.clear();
         c.pending_replies = 0;
+        self.dirty.remove(&client);
         let owned: Vec<WindowId> = self
             .tree
             .iter()
@@ -789,6 +836,7 @@ impl Server {
         if let Some(q) = q {
             if let Some(c) = self.clients.get_mut(&client) {
                 c.out_buf.push((seq, q));
+                self.dirty.insert(client);
                 if c.out_buf.len() >= OUT_BUF_CAPACITY {
                     flush_now = true;
                 }
@@ -836,7 +884,9 @@ impl Server {
     /// all travel back in one blocking wait).
     pub fn flush_client(&mut self, client: ClientId) {
         let buf = match self.clients.get_mut(&client) {
-            Some(c) if !c.out_buf.is_empty() => std::mem::take(&mut c.out_buf),
+            Some(c) if !c.out_buf.is_empty() || !c.deferred.is_empty() => {
+                std::mem::take(&mut c.out_buf)
+            }
             _ => return,
         };
         self.apply_batch(client, buf);
@@ -849,8 +899,49 @@ impl Server {
     /// spans, and every counter live here, so both transports apply
     /// batches with byte-identical semantics.
     pub(crate) fn apply_batch(&mut self, client: ClientId, buf: Vec<(u64, QueuedRequest)>) {
+        self.apply_batch_inner(client, buf, true);
+    }
+
+    /// [`Server::apply_batch`] with the quota optionally bypassed: drain
+    /// points (a client's own round trip, display observation) must apply
+    /// everything regardless of backpressure.
+    fn apply_batch_inner(
+        &mut self,
+        client: ClientId,
+        mut buf: Vec<(u64, QueuedRequest)>,
+        enforce_quota: bool,
+    ) {
+        // Deferred requests re-apply first, in issue order, ahead of the
+        // newly flushed batch.
+        if let Some(c) = self.clients.get_mut(&client) {
+            if !c.deferred.is_empty() {
+                let mut merged = std::mem::take(&mut c.deferred);
+                merged.append(&mut buf);
+                buf = merged;
+            }
+        }
+        self.dirty.remove(&client);
         if buf.is_empty() {
             return;
+        }
+        if enforce_quota {
+            if let Some(quota) = self.quota {
+                if buf.len() > quota {
+                    // Never defer past a reply-bearing request: its
+                    // cookie must stay redeemable, so the split lands
+                    // after the last one in the batch.
+                    let last_reply = buf.iter().rposition(|(_, q)| q.expects_reply());
+                    let split = last_reply.map_or(quota, |i| quota.max(i + 1));
+                    if split < buf.len() {
+                        let rest = buf.split_off(split);
+                        if let Some(c) = self.clients.get_mut(&client) {
+                            c.deferred = rest;
+                            c.obs.wire.backpressure_stalls += 1;
+                            self.dirty.insert(client);
+                        }
+                    }
+                }
+            }
         }
         let tracer = self.clients.get(&client).and_then(|c| c.tracer.clone());
         let n = buf.len() as u64;
@@ -953,14 +1044,42 @@ impl Server {
         }
     }
 
-    /// Flushes every client's output buffer in client-id order (the order
-    /// is fixed so request interleaving — and therefore every counter —
-    /// is deterministic run to run).
+    /// Flushes every dirty client's output buffer in client-id order (the
+    /// order is fixed so request interleaving — and therefore every
+    /// counter — is deterministic run to run). Only clients with buffered
+    /// or deferred work are visited, so a fleet of idle connections costs
+    /// nothing per flush. Quota-deferred remainders stay deferred — each
+    /// pass applies at most one quota's worth per client, which is the
+    /// backpressure that keeps one hot client from starving the rest.
     pub fn flush_all(&mut self) {
-        let mut ids: Vec<ClientId> = self.clients.keys().copied().collect();
-        ids.sort();
+        // BTreeSet iteration is already sorted by client id.
+        let ids: Vec<ClientId> = self.dirty.iter().copied().collect();
         for id in ids {
             self.flush_client(id);
+        }
+    }
+
+    /// Applies everything `client` has buffered or deferred, ignoring the
+    /// quota — the drain point before the client's own round trip
+    /// executes (its synchronous request must observe all its earlier
+    /// one-ways, in order).
+    fn drain_client(&mut self, client: ClientId) {
+        let buf = match self.clients.get_mut(&client) {
+            Some(c) if !c.out_buf.is_empty() || !c.deferred.is_empty() => {
+                std::mem::take(&mut c.out_buf)
+            }
+            _ => return,
+        };
+        self.apply_batch_inner(client, buf, false);
+    }
+
+    /// Drains every client completely, quota ignored — the "user observes
+    /// the display" path: a screenshot must show the effect of every
+    /// request already issued, deferred or not.
+    pub fn drain_all(&mut self) {
+        let ids: Vec<ClientId> = self.dirty.iter().copied().collect();
+        for id in ids {
+            self.drain_client(id);
         }
     }
 
@@ -1231,6 +1350,10 @@ impl Server {
         req: &SyncRequest,
     ) -> Result<SyncReply, XError> {
         self.flush_all();
+        // The round trip must observe every request this client already
+        // issued, so its own quota-deferred remainder (if any) drains
+        // fully — backpressure only ever holds back one-way traffic.
+        self.drain_client(client);
         // The flush may have executed an injected kill for this client.
         if !self.is_alive(client) {
             return Err(XError::dead(0));
@@ -1541,11 +1664,37 @@ impl Server {
     }
 
     /// Destroys a window and its subtree, generating DestroyNotify.
+    ///
+    /// Delivery is O(interested clients), not O(all clients): each
+    /// window's saved event masks are its interest index, captured before
+    /// removal, and the event goes only to clients that selected
+    /// StructureNotify on that window — plus its owner, who always hears
+    /// about its own window's destruction. A client that cares about a
+    /// peer's window (the `send` machinery watching a peer's comm window)
+    /// registers interest with SelectInput like any other event.
     pub fn destroy_window(&mut self, id: WindowId) {
         if id == self.tree.root() || self.tree.get(id).is_none() {
             return;
         }
-        // Capture masks before removal so DestroyNotify can be delivered.
+        // Capture each doomed window's interest set before removal — once
+        // the windows are gone, so are their saved masks.
+        let doomed = self.tree.subtree(id);
+        let mut interest: Vec<(WindowId, Vec<ClientId>)> = Vec::with_capacity(doomed.len());
+        for w in doomed {
+            let Some(win) = self.tree.get(w) else {
+                continue;
+            };
+            // BTreeSet: deterministic client order, owner deduplicated
+            // against its own StructureNotify selection.
+            let mut who: std::collections::BTreeSet<ClientId> = win
+                .event_masks
+                .iter()
+                .filter(|(_, m)| *m & mask::STRUCTURE_NOTIFY != 0)
+                .map(|(c, _)| *c)
+                .collect();
+            who.insert(win.owner);
+            interest.push((w, who.into_iter().collect()));
+        }
         let removed = self.tree.remove_subtree(id);
         for w in &removed {
             // Release any selections owned by the window.
@@ -1554,13 +1703,9 @@ impl Server {
                 self.focus = Xid::NONE;
             }
         }
-        // The windows are gone from the tree; notify every client (the
-        // real server uses the saved masks; broadcasting a DestroyNotify
-        // is observationally equivalent for well-behaved toolkits).
-        let clients: Vec<ClientId> = self.clients.keys().copied().collect();
-        for w in removed {
-            for c in &clients {
-                self.enqueue(*c, Event::DestroyNotify { window: w });
+        for (w, who) in interest {
+            for c in who {
+                self.enqueue(c, Event::DestroyNotify { window: w });
             }
         }
         self.refresh_pointer_window();

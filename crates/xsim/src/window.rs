@@ -157,6 +157,17 @@ impl WindowTree {
         removed
     }
 
+    /// The ids [`WindowTree::remove_subtree`] would remove, in the same
+    /// order (children before parents), without removing anything — for
+    /// callers that must capture per-window state (saved event masks)
+    /// before the windows are gone.
+    pub fn subtree(&self, id: WindowId) -> Vec<WindowId> {
+        let mut ids = Vec::new();
+        self.collect_subtree(id, &mut ids);
+        ids.reverse();
+        ids
+    }
+
     fn collect_subtree(&self, id: WindowId, out: &mut Vec<WindowId>) {
         out.push(id);
         if let Some(w) = self.windows.get(&id) {

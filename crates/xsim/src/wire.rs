@@ -1725,7 +1725,13 @@ fn dispatch(st: &mut WireState, client: ClientId, bytes: &[u8]) {
         st.server.note_wire_decode(client, f.wire_len());
         match f.frame_type {
             FT_FLUSH_CLIENT => flush_buffered(st, client.0),
-            FT_FLUSH_ALL => flush_all_buffered(st),
+            FT_FLUSH_ALL => {
+                // The observation / batching-off path: decode everything
+                // and drain quota-deferred remainders too, so the user
+                // sees the effect of every request already issued.
+                flush_all_buffered(st);
+                st.server.drain_all();
+            }
             FT_SYNC => {
                 flush_all_buffered(st);
                 let resp = match decode_sync_request(f.opcode, &f.payload) {
@@ -1800,6 +1806,9 @@ fn flush_buffered(st: &mut WireState, raw: u32) {
         return;
     };
     if buf.frames == 0 {
+        // No new frames, but a quota-deferred remainder may be waiting
+        // server-side; a flush is its chance to apply one more chunk.
+        st.server.flush_client(ClientId(raw));
         return;
     }
     let bytes = std::mem::take(&mut buf.bytes);
@@ -1825,6 +1834,9 @@ fn flush_all_buffered(st: &mut WireState) {
     for id in ids {
         flush_buffered(st, id);
     }
+    // Clients with deferred-but-unbuffered work (quota backpressure) get
+    // their next chunk applied here too, in sorted id order.
+    st.server.flush_all();
 }
 
 /// Owns the dispatcher thread; dropping it shuts the thread down.

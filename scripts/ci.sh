@@ -85,11 +85,28 @@ echo "==> chaos gate (corpus + 200 fresh seeds)"
 cargo run -p tk-bench --release --offline --locked --bin chaos -- \
     --corpus tests/chaos_corpus.txt --seeds 200
 
-# Send-storm gate: three apps exchanging seeded nested/concurrent sends
+# Send-storm gate: N apps exchanging seeded nested/concurrent sends
 # under fault plans, checked against the exactly-once-or-clean-error
-# invariant (docs/SEND.md). Corpus first, then fresh pairs.
+# invariant (docs/SEND.md). The corpus carries its own per-entry app
+# counts (3-, 8-, and 16-app storms); the fresh pairs run at the
+# classic three apps, then a smaller fleet-sized sweep at 16.
 echo "==> send-storm gate (corpus + 120 fresh seeds, 3 apps)"
 cargo run -p tk-bench --release --offline --locked --bin chaos -- \
     --storm --corpus tests/chaos_storm_corpus.txt --seeds 120
+echo "==> fleet-storm sweep (40 fresh seeds, 16 apps)"
+cargo run -p tk-bench --release --offline --locked --bin chaos -- \
+    --storm --apps 16 --seeds 40
+
+# Fleet gate: 64 applications in a send ring under the threaded wire
+# transport, with a quota-throttled hot client and a deterministic
+# faulted tail round. The p50/p95/p99 send-latency percentiles,
+# backpressure stalls, and clean-error counts are pinned in
+# BUDGETS.json's `fleet` section. The harness already runs the
+# deterministic fleet twice per invocation and diffs the reports; the
+# gate invokes it twice so the percentiles must also reproduce across
+# processes.
+echo "==> fleet gate (bench --fleet 64 --check-budgets, twice)"
+cargo run -p tk-bench --release --offline --locked --bin bench -- --fleet 64 --check-budgets
+cargo run -p tk-bench --release --offline --locked --bin bench -- --fleet 64 --check-budgets
 
 echo "==> ci OK"

@@ -9,10 +9,15 @@
 //! expected to surface as Tcl errors, `tkerror` reports, or clean
 //! connection teardown.
 
-use tk_bench::chaos::{generate_ops, generate_plan, run_case, run_ops, run_storm_case, SCRIPT_OPS};
+use tk_bench::chaos::{
+    generate_ops, generate_plan, run_case, run_ops, run_storm_case, SCRIPT_OPS, STORM_APPS,
+};
 use xsim::fault::{FAULT_KIND_COUNT, FAULT_KIND_NAMES};
 
-fn parse_pairs(text: &str) -> Vec<(u64, u64)> {
+/// Parses corpus lines of the form `script_seed fault_seed [apps]` —
+/// the third column is the storm's app count and defaults to the
+/// classic three-app storm when absent.
+fn parse_entries(text: &str) -> Vec<(u64, u64, usize)> {
     text.lines()
         .filter_map(|line| {
             let line = line.split('#').next().unwrap_or("").trim();
@@ -23,17 +28,23 @@ fn parse_pairs(text: &str) -> Vec<(u64, u64)> {
             Some((
                 it.next().unwrap().parse().expect("script seed"),
                 it.next().unwrap().parse().expect("fault seed"),
+                it.next()
+                    .map(|n| n.parse().expect("app count"))
+                    .unwrap_or(STORM_APPS),
             ))
         })
         .collect()
 }
 
 fn corpus() -> Vec<(u64, u64)> {
-    parse_pairs(include_str!("chaos_corpus.txt"))
+    parse_entries(include_str!("chaos_corpus.txt"))
+        .into_iter()
+        .map(|(s, f, _)| (s, f))
+        .collect()
 }
 
-fn storm_corpus() -> Vec<(u64, u64)> {
-    parse_pairs(include_str!("chaos_storm_corpus.txt"))
+fn storm_corpus() -> Vec<(u64, u64, usize)> {
+    parse_entries(include_str!("chaos_storm_corpus.txt"))
 }
 
 fn fault_kind_index(name: &str) -> usize {
@@ -73,12 +84,12 @@ fn the_corpus_exercises_every_fault_kind() {
 }
 
 #[test]
-fn every_storm_corpus_pair_holds_the_exactly_once_invariant() {
-    for (script_seed, fault_seed) in storm_corpus() {
-        let r = run_storm_case(script_seed, fault_seed);
+fn every_storm_corpus_entry_holds_the_exactly_once_invariant() {
+    for (script_seed, fault_seed, napps) in storm_corpus() {
+        let r = run_storm_case(script_seed, fault_seed, napps);
         assert!(
             r.is_ok(),
-            "storm pair ({script_seed}, {fault_seed}) failed: {}",
+            "storm entry ({script_seed}, {fault_seed}, {napps} apps) failed: {}",
             r.unwrap_err()
         );
     }
@@ -87,8 +98,8 @@ fn every_storm_corpus_pair_holds_the_exactly_once_invariant() {
 #[test]
 fn the_storm_corpus_exercises_every_fault_kind() {
     let mut totals = [0u64; FAULT_KIND_COUNT];
-    for (script_seed, fault_seed) in storm_corpus() {
-        let stats = run_storm_case(script_seed, fault_seed).expect("storm pair must hold");
+    for (script_seed, fault_seed, napps) in storm_corpus() {
+        let stats = run_storm_case(script_seed, fault_seed, napps).expect("storm entry must hold");
         for (slot, n) in totals.iter_mut().zip(stats.fault_counts) {
             *slot += n;
         }
@@ -103,9 +114,9 @@ fn the_storm_corpus_exercises_every_fault_kind() {
 
 #[test]
 fn storm_replay_is_deterministic() {
-    let (script_seed, fault_seed) = storm_corpus()[0];
-    let a = run_storm_case(script_seed, fault_seed).expect("invariant holds");
-    let b = run_storm_case(script_seed, fault_seed).expect("invariant holds");
+    let (script_seed, fault_seed, napps) = storm_corpus()[0];
+    let a = run_storm_case(script_seed, fault_seed, napps).expect("invariant holds");
+    let b = run_storm_case(script_seed, fault_seed, napps).expect("invariant holds");
     assert_eq!(a.ops, b.ops);
     assert_eq!(a.tcl_errors, b.tcl_errors);
     assert_eq!(a.fault_counts, b.fault_counts);
@@ -120,7 +131,8 @@ fn storm_replay_is_deterministic() {
 /// (the storm invariant separately proves the script evaluated once).
 #[test]
 fn a_duplicated_send_request_evaluates_exactly_once() {
-    let stats = run_storm_case(0, 10557559429025760638).expect("invariant holds");
+    let (script_seed, fault_seed, napps) = storm_corpus()[0];
+    let stats = run_storm_case(script_seed, fault_seed, napps).expect("invariant holds");
     assert!(
         stats.fault_counts[fault_kind_index("duplicate")] >= 1,
         "plan no longer fires a duplicate fault"
@@ -135,7 +147,7 @@ fn a_duplicated_send_request_evaluates_exactly_once() {
 /// duplicates send traffic and the receiver drops the copy.
 #[test]
 fn two_app_dedup_pair_replays_with_a_drop() {
-    let stats = run_case(142, 13393239823754549859).expect("no panic");
+    let stats = run_case(142, 14671272994938756755).expect("no panic");
     assert!(stats.fault_counts[fault_kind_index("duplicate")] >= 1);
     assert!(stats.send_dedup_drops >= 1);
 }

@@ -17,7 +17,10 @@ use tk_bench::chaos::{
 };
 use xsim::XorShift;
 
-fn parse_pairs(text: &str) -> Vec<(u64, u64)> {
+/// Corpus lines are `script_seed fault_seed [apps]`; the optional third
+/// column is the storm's app count (the two-app corpus carries none and
+/// the default applies).
+fn parse_entries(text: &str) -> Vec<(u64, u64, usize)> {
     text.lines()
         .filter_map(|line| {
             let line = line.split('#').next().unwrap_or("").trim();
@@ -28,6 +31,9 @@ fn parse_pairs(text: &str) -> Vec<(u64, u64)> {
             Some((
                 it.next().unwrap().parse().expect("script seed"),
                 it.next().unwrap().parse().expect("fault seed"),
+                it.next()
+                    .map(|n| n.parse().expect("app count"))
+                    .unwrap_or(STORM_APPS),
             ))
         })
         .collect()
@@ -126,9 +132,9 @@ fn assert_equivalent(label: &str, compiled: &Replay, direct: &Replay, ops: &[Op]
 /// final screen.
 #[test]
 fn chaos_corpus_is_identical_across_compile_modes() {
-    let pairs = parse_pairs(include_str!("chaos_corpus.txt"));
+    let pairs = parse_entries(include_str!("chaos_corpus.txt"));
     assert!(!pairs.is_empty(), "corpus file is empty");
-    for (script_seed, fault_seed) in pairs {
+    for (script_seed, fault_seed, _) in pairs {
         let ops = generate_ops(script_seed, SCRIPT_OPS);
         let plan = generate_plan(fault_seed);
         let names = ["chaos0", "chaos1"];
@@ -148,16 +154,17 @@ fn chaos_corpus_is_identical_across_compile_modes() {
 /// *remote* interpreter, so this covers the cross-interp eval path.
 #[test]
 fn storm_corpus_is_identical_across_compile_modes() {
-    let pairs = parse_pairs(include_str!("chaos_storm_corpus.txt"));
-    assert!(!pairs.is_empty(), "storm corpus file is empty");
-    let names = ["storm0", "storm1", "storm2"];
-    for (script_seed, fault_seed) in pairs {
-        let ops = generate_storm_ops(script_seed, STORM_OPS, STORM_APPS);
-        let plan = generate_storm_plan(fault_seed, STORM_APPS);
+    let entries = parse_entries(include_str!("chaos_storm_corpus.txt"));
+    assert!(!entries.is_empty(), "storm corpus file is empty");
+    for (script_seed, fault_seed, napps) in entries {
+        let names: Vec<String> = (0..napps).map(|i| format!("storm{i}")).collect();
+        let names: Vec<&str> = names.iter().map(String::as_str).collect();
+        let ops = generate_storm_ops(script_seed, STORM_OPS, napps);
+        let plan = generate_storm_plan(fault_seed, napps);
         let compiled = replay(&ops, &names, true, Some(&plan));
         let direct = replay(&ops, &names, false, Some(&plan));
         assert_equivalent(
-            &format!("storm pair ({script_seed}, {fault_seed})"),
+            &format!("storm entry ({script_seed}, {fault_seed}, {napps} apps)"),
             &compiled,
             &direct,
             &ops,

@@ -10,9 +10,11 @@
 //! shape assertions on top, so a tracer regression fails here by name
 //! rather than as a generic chaos failure.
 
-use tk_bench::chaos::{run_case, run_storm_case};
+use tk_bench::chaos::{run_case, run_storm_case, STORM_APPS};
 
-fn parse_pairs(text: &str) -> Vec<(u64, u64)> {
+/// Corpus lines are `script_seed fault_seed [apps]`; the third column is
+/// the storm's app count (the two-app corpus ignores it).
+fn parse_entries(text: &str) -> Vec<(u64, u64, usize)> {
     text.lines()
         .filter_map(|line| {
             let line = line.split('#').next().unwrap_or("").trim();
@@ -23,6 +25,9 @@ fn parse_pairs(text: &str) -> Vec<(u64, u64)> {
             Some((
                 it.next().unwrap().parse().expect("script seed"),
                 it.next().unwrap().parse().expect("fault seed"),
+                it.next()
+                    .map(|n| n.parse().expect("app count"))
+                    .unwrap_or(STORM_APPS),
             ))
         })
         .collect()
@@ -30,7 +35,7 @@ fn parse_pairs(text: &str) -> Vec<(u64, u64)> {
 
 #[test]
 fn every_corpus_pair_yields_a_well_formed_span_tree() {
-    for (script_seed, fault_seed) in parse_pairs(include_str!("chaos_corpus.txt")) {
+    for (script_seed, fault_seed, _) in parse_entries(include_str!("chaos_corpus.txt")) {
         let stats = run_case(script_seed, fault_seed)
             .unwrap_or_else(|e| panic!("pair ({script_seed}, {fault_seed}): {e}"));
         assert!(
@@ -50,8 +55,8 @@ fn every_corpus_pair_yields_a_well_formed_span_tree() {
 
 #[test]
 fn every_storm_pair_yields_a_well_formed_span_tree() {
-    for (script_seed, fault_seed) in parse_pairs(include_str!("chaos_storm_corpus.txt")) {
-        let stats = run_storm_case(script_seed, fault_seed)
+    for (script_seed, fault_seed, napps) in parse_entries(include_str!("chaos_storm_corpus.txt")) {
+        let stats = run_storm_case(script_seed, fault_seed, napps)
             .unwrap_or_else(|e| panic!("storm pair ({script_seed}, {fault_seed}): {e}"));
         assert!(
             stats.spans_recorded > 0,
@@ -72,7 +77,7 @@ fn every_storm_pair_yields_a_well_formed_span_tree() {
 /// for a faulted replay: same seeds, same span tree.
 #[test]
 fn faulted_replay_span_shapes_are_deterministic() {
-    let (script_seed, fault_seed) = parse_pairs(include_str!("chaos_corpus.txt"))[0];
+    let (script_seed, fault_seed, _) = parse_entries(include_str!("chaos_corpus.txt"))[0];
     let a = run_case(script_seed, fault_seed).expect("no panic");
     let b = run_case(script_seed, fault_seed).expect("no panic");
     assert_eq!(a.spans_recorded, b.spans_recorded);
@@ -84,8 +89,8 @@ fn faulted_replay_span_shapes_are_deterministic() {
 /// legitimately have fewer evals than sends — but never more.
 #[test]
 fn storm_send_spans_dominate_their_evals() {
-    let (script_seed, fault_seed) = parse_pairs(include_str!("chaos_storm_corpus.txt"))[0];
-    let stats = run_storm_case(script_seed, fault_seed).expect("invariant holds");
+    let (script_seed, fault_seed, napps) = parse_entries(include_str!("chaos_storm_corpus.txt"))[0];
+    let stats = run_storm_case(script_seed, fault_seed, napps).expect("invariant holds");
     let sends = stats.span_shape.by_kind.get("send").copied().unwrap_or(0);
     let evals = stats
         .span_shape

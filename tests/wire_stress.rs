@@ -6,15 +6,18 @@
 //! event ordering, and clean teardown when one client's connection is
 //! killed mid-flush.
 //!
-//! A watchdog aborts the process if a test wedges — a deadlock must
-//! fail CI loudly, not hang it.
+//! The mesh itself lives in `tk_bench::fleet::run_wire_mesh` — the same
+//! parameterized harness `bench --fleet N` drives at fleet sizes — so
+//! this file only picks the sizes and owns the kill scenario. A
+//! watchdog aborts the process if a test wedges: a deadlock must fail
+//! CI loudly, not hang it.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 use std::thread;
-use std::time::Duration;
 
 use tk::TkEnv;
+use tk_bench::fleet::{run_wire_mesh, watchdog, MeshConfig};
 use xsim::{Display, FaultPlan};
 
 const APPS: usize = 4;
@@ -23,142 +26,37 @@ const ROUNDS: u64 = 6;
 /// another OS thread and "slow" must not be misread as "dead".
 const SEND_TIMEOUT_MS: u64 = 120_000;
 
-/// Aborts the whole process if `done` is still false after `secs` —
-/// turns a deadlock into a fast, attributable CI failure.
-fn watchdog(label: &'static str, secs: u64, done: Arc<AtomicBool>) {
-    thread::spawn(move || {
-        for _ in 0..secs {
-            thread::sleep(Duration::from_secs(1));
-            if done.load(Ordering::SeqCst) {
-                return;
-            }
-        }
-        eprintln!("watchdog: {label} wedged after {secs}s — aborting");
-        std::process::abort();
-    });
-}
-
-/// Parses a `log` entry of the form `sender:round`.
-fn parse_entry(entry: &str) -> (usize, u64) {
-    let (s, r) = entry.split_once(':').expect("log entry shape");
-    (s.parse().expect("sender"), r.parse().expect("round"))
-}
-
 /// N apps, one per thread, all sending to all the others every round
-/// while repainting their own UI. Every send appends `sender:round` to
-/// the receiver's `log`; because `send` is synchronous, a sender's
-/// entries must land at each receiver in round order — that is exactly
-/// the per-client (per-connection) event-ordering guarantee, observed
-/// end-to-end through PropertyNotify events over the wire.
+/// while repainting their own UI (`fanout = APPS - 1` makes the shared
+/// ring harness all-to-all). Ordering and completion are asserted inside
+/// the harness; this test adds only the post-mesh display check.
 #[test]
 fn threaded_apps_exchange_sends_without_deadlock_and_in_order() {
     let done = Arc::new(AtomicBool::new(false));
     watchdog("send mesh", 240, done.clone());
 
     let env = TkEnv::new();
-    let display = env.display();
-    if !display.wire() {
-        // RTK_NO_WIRE=1 forces the in-process oracle, which is
-        // single-threaded by design — nothing to stress.
-        done.store(true, Ordering::SeqCst);
-        eprintln!("skipping: wire transport disabled via RTK_NO_WIRE");
-        return;
+    let cfg = MeshConfig {
+        apps: APPS,
+        rounds: ROUNDS,
+        fanout: APPS - 1,
+        send_timeout_ms: SEND_TIMEOUT_MS,
+        prefix: "worker",
+    };
+    match run_wire_mesh(&env, &cfg) {
+        Some(report) => {
+            assert_eq!(report.sends, (APPS * (APPS - 1)) as u64 * ROUNDS);
+            // The shared display outlives the worker threads: the main
+            // thread can still observe the final screen through the same
+            // server.
+            assert!(!env.display().ascii_dump().is_empty());
+        }
+        None => {
+            // RTK_NO_WIRE=1 forces the in-process oracle, which is
+            // single-threaded by design — nothing to stress.
+            eprintln!("skipping: wire transport disabled via RTK_NO_WIRE");
+        }
     }
-    let handle = display.wire_handle().expect("wire transport has a handle");
-
-    let registered = Arc::new(Barrier::new(APPS));
-    // Counts workers done sending; everyone keeps pumping until all
-    // have finished (a receiver that exits early would strand its
-    // senders mid-RPC). A plain barrier would convert one worker's
-    // failure into a hang, so the wait also watches a failure flag.
-    let finished = Arc::new(AtomicUsize::new(0));
-    let failed = Arc::new(AtomicBool::new(false));
-    // Registration rewrites the shared InterpRegistry property
-    // (read-modify-write), which real Tk serializes with XGrabServer;
-    // app startup takes this lock so announcements don't clobber each
-    // other. Everything after the barrier runs fully concurrently.
-    let startup = Arc::new(Mutex::new(()));
-    let mut workers = Vec::new();
-    for i in 0..APPS {
-        let handle = handle.clone();
-        let registered = registered.clone();
-        let finished = finished.clone();
-        let failed = failed.clone();
-        let startup = startup.clone();
-        workers.push(thread::spawn(move || {
-            let env = TkEnv::with_display(Display::from_wire(&handle));
-            let app = {
-                let _g = startup.lock().unwrap();
-                env.app(&format!("worker{i}"))
-            };
-            app.eval("label .l -text boot").unwrap();
-            app.eval("pack append . .l {top}").unwrap();
-            env.dispatch_all();
-            registered.wait();
-
-            let rounds = (|| -> Result<(), String> {
-                for round in 1..=ROUNDS {
-                    for t in 0..APPS {
-                        if t == i {
-                            continue;
-                        }
-                        if failed.load(Ordering::SeqCst) {
-                            return Err(format!("worker{i}: aborting, a peer failed"));
-                        }
-                        app.eval(&format!(
-                            "send -timeout {SEND_TIMEOUT_MS} worker{t} \
-                             {{lappend log {i}:{round}; llength $log}}"
-                        ))
-                        .map_err(|e| {
-                            format!("worker{i} round {round} send to worker{t}: {}", e.msg)
-                        })?;
-                    }
-                    // A redraw between sends: reconfigure forces damage,
-                    // dispatch repaints it — protocol traffic interleaved
-                    // with the send RPCs on the same connection.
-                    app.eval(&format!(".l configure -text round{round}"))
-                        .map_err(|e| format!("worker{i} redraw: {}", e.msg))?;
-                    env.dispatch_all();
-                }
-                Ok(())
-            })();
-            if rounds.is_err() {
-                failed.store(true, Ordering::SeqCst);
-            }
-            finished.fetch_add(1, Ordering::SeqCst);
-            while finished.load(Ordering::SeqCst) < APPS && !failed.load(Ordering::SeqCst) {
-                env.dispatch_all();
-                thread::yield_now();
-            }
-            rounds.unwrap();
-            env.dispatch_all();
-
-            let log = app.eval("set log").expect("every app received sends");
-            let entries: Vec<(usize, u64)> = log.split_whitespace().map(parse_entry).collect();
-            assert_eq!(
-                entries.len(),
-                ((APPS - 1) as u64 * ROUNDS) as usize,
-                "worker{i} log: {log}"
-            );
-            let mut last = [0u64; APPS];
-            for (sender, round) in entries {
-                assert!(
-                    round > last[sender],
-                    "worker{i}: sender {sender}'s round {round} arrived out of order \
-                     (already saw {}) in log {log}",
-                    last[sender]
-                );
-                last[sender] = round;
-            }
-        }));
-    }
-    for (i, w) in workers.into_iter().enumerate() {
-        w.join().unwrap_or_else(|_| panic!("worker{i} panicked"));
-    }
-
-    // The shared display outlives the worker threads: the main thread
-    // can still observe the final screen through the same server.
-    assert!(!env.display().ascii_dump().is_empty());
     done.store(true, Ordering::SeqCst);
 }
 
@@ -185,7 +83,9 @@ fn killing_a_client_mid_flush_tears_down_cleanly() {
 
     let registered = Arc::new(Barrier::new(APPS));
     let killed = Arc::new(Barrier::new(APPS));
-    // Same XGrabServer-style startup serialization as above.
+    // Registration rewrites a shared registry shard (read-modify-write),
+    // which real Tk serializes with XGrabServer; app startup takes this
+    // lock so announcements don't clobber each other.
     let startup = Arc::new(Mutex::new(()));
     let mut workers = Vec::new();
     for i in 0..APPS {
