@@ -5,6 +5,7 @@
 //!   chaos --replay SCRIPT FAULT         replay one pair and shrink on failure
 //!   chaos --corpus FILE [--seeds N]     run checked-in pairs first, then N fresh
 //!   chaos --storm [--apps N] ...        same flags, send-storm mode (N apps)
+//!   chaos --bytes ...                   same flags, byte-level wire-fault mode
 //!
 //! A corpus file holds one `script_seed fault_seed [apps]` entry per line
 //! (`#` comments allowed). The optional third column is the storm's app
@@ -19,13 +20,20 @@
 //! the same fault plans, checked against the exactly-once-or-clean-error
 //! invariant (a send that "succeeds" must have evaluated exactly once
 //! with the correct result; no send may ever evaluate twice).
+//!
+//! `--bytes` swaps the request-level fault plans for byte-level wire
+//! faults (corrupted bytes, truncated frames, injected garbage, split
+//! writes, stalled dispatch) and checks each run differentially against
+//! a fault-free wire run: byte-identical outcomes or clean-death
+//! evidence, with an intact span tree and a clean resource audit either
+//! way.
 
 use std::process::ExitCode;
 
 use tk_bench::chaos::{
-    generate_ops, generate_plan, generate_storm_ops, generate_storm_plan, run_case, run_ops,
-    run_storm_case, run_storm_ops, shrink, shrink_storm, with_quiet_panics, RunStats, SCRIPT_OPS,
-    STORM_APPS, STORM_OPS,
+    generate_bytes_plan, generate_ops, generate_plan, generate_storm_ops, generate_storm_plan,
+    run_bytes_case, run_bytes_ops, run_case, run_ops, run_storm_case, run_storm_ops, shrink,
+    shrink_bytes, shrink_storm, with_quiet_panics, RunStats, SCRIPT_OPS, STORM_APPS, STORM_OPS,
 };
 use xsim::fault::FAULT_KIND_NAMES;
 
@@ -84,19 +92,27 @@ impl Totals {
     }
 }
 
+/// The chaos driver's case mode.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Classic,
+    Storm,
+    Bytes,
+}
+
 /// Runs one pair in the selected mode; on failure prints the reproducer
 /// and returns false.
 fn run_one(
     script_seed: u64,
     fault_seed: u64,
-    storm: bool,
+    mode: Mode,
     napps: usize,
     totals: &mut Totals,
 ) -> bool {
-    let result = if storm {
-        run_storm_case(script_seed, fault_seed, napps)
-    } else {
-        run_case(script_seed, fault_seed)
+    let result = match mode {
+        Mode::Storm => run_storm_case(script_seed, fault_seed, napps),
+        Mode::Bytes => run_bytes_case(script_seed, fault_seed),
+        Mode::Classic => run_case(script_seed, fault_seed),
     };
     match result {
         Ok(stats) => {
@@ -111,21 +127,24 @@ fn run_one(
                 println!("    {line}");
             }
             println!("  shrinking...");
-            let (ops, plan) = if storm {
-                (
+            let (ops, plan) = match mode {
+                Mode::Storm => (
                     generate_storm_ops(script_seed, STORM_OPS, napps),
                     generate_storm_plan(fault_seed, napps),
-                )
-            } else {
-                (
+                ),
+                Mode::Bytes => (
+                    generate_ops(script_seed, SCRIPT_OPS),
+                    generate_bytes_plan(fault_seed),
+                ),
+                Mode::Classic => (
                     generate_ops(script_seed, SCRIPT_OPS),
                     generate_plan(fault_seed),
-                )
+                ),
             };
-            let (min_ops, min_plan) = if storm {
-                shrink_storm(&ops, &plan, napps)
-            } else {
-                shrink(&ops, &plan)
+            let (min_ops, min_plan) = match mode {
+                Mode::Storm => shrink_storm(&ops, &plan, napps),
+                Mode::Bytes => shrink_bytes(&ops, &plan),
+                Mode::Classic => shrink(&ops, &plan),
             };
             println!(
                 "  minimal reproducer: {} ops, {} fault specs",
@@ -140,20 +159,20 @@ fn run_one(
             }
             // Confirm the shrunk case still fails (a flaky shrink would
             // mean nondeterminism, which is itself a bug worth flagging).
-            let still_fails = if storm {
-                run_storm_ops(&min_ops, &min_plan, napps).is_err()
-            } else {
-                run_ops(&min_ops, &min_plan).is_err()
+            let still_fails = match mode {
+                Mode::Storm => run_storm_ops(&min_ops, &min_plan, napps).is_err(),
+                Mode::Bytes => run_bytes_ops(&min_ops, &min_plan).is_err(),
+                Mode::Classic => run_ops(&min_ops, &min_plan).is_err(),
             };
             if !still_fails {
                 println!("  WARNING: shrunk reproducer no longer fails (nondeterminism?)");
             }
-            let storm_flag = if storm {
-                format!("--storm --apps {napps} ")
-            } else {
-                String::new()
+            let mode_flag = match mode {
+                Mode::Storm => format!("--storm --apps {napps} "),
+                Mode::Bytes => "--bytes ".to_string(),
+                Mode::Classic => String::new(),
             };
-            println!("  replay with: chaos {storm_flag}--replay {script_seed} {fault_seed}");
+            println!("  replay with: chaos {mode_flag}--replay {script_seed} {fault_seed}");
             false
         }
     }
@@ -201,7 +220,8 @@ fn parse_corpus(path: &str) -> Result<Vec<(u64, u64, Option<usize>)>, String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: chaos [--storm] [--apps N] [--seeds N] [--base-seed S] [--corpus FILE] [--replay SCRIPT FAULT]"
+        "usage: chaos [--storm | --bytes] [--apps N] [--seeds N] [--base-seed S] \
+         [--corpus FILE] [--replay SCRIPT FAULT]"
     );
     ExitCode::from(2)
 }
@@ -212,7 +232,7 @@ fn main() -> ExitCode {
     let mut base_seed: u64 = 1;
     let mut corpus: Option<String> = None;
     let mut replay: Option<(u64, u64)> = None;
-    let mut storm = false;
+    let mut mode = Mode::Classic;
     let mut apps: usize = STORM_APPS;
     fn num(it: &mut std::slice::Iter<'_, String>, name: &str) -> Option<u64> {
         let v = it.next().and_then(|v| v.parse().ok());
@@ -243,7 +263,8 @@ fn main() -> ExitCode {
                 Some(p) => corpus = Some(p.clone()),
                 None => return usage(),
             },
-            "--storm" => storm = true,
+            "--storm" if mode == Mode::Classic => mode = Mode::Storm,
+            "--bytes" if mode == Mode::Classic => mode = Mode::Bytes,
             "--apps" => match num(&mut it, "--apps") {
                 Some(n) if n >= 2 => apps = n as usize,
                 _ => return usage(),
@@ -260,7 +281,7 @@ fn main() -> ExitCode {
         let mut failed = false;
 
         if let Some((s, f)) = replay {
-            let ok = run_one(s, f, storm, apps, &mut totals);
+            let ok = run_one(s, f, mode, apps, &mut totals);
             if ok {
                 println!("replay script_seed={s} fault_seed={f}: ok");
                 totals.print();
@@ -282,7 +303,7 @@ fn main() -> ExitCode {
             };
             println!("corpus: {} pairs from {path}", pairs.len());
             for (s, f, n) in pairs {
-                failed |= !run_one(s, f, storm, n.unwrap_or(apps), &mut totals);
+                failed |= !run_one(s, f, mode, n.unwrap_or(apps), &mut totals);
             }
         }
 
@@ -294,7 +315,7 @@ fn main() -> ExitCode {
                 // neither scripts nor plans.
                 let script_seed = base_seed.wrapping_add(i);
                 let fault_seed = script_seed.wrapping_mul(0x9e3779b97f4a7c15).rotate_left(17);
-                failed |= !run_one(script_seed, fault_seed, storm, apps, &mut totals);
+                failed |= !run_one(script_seed, fault_seed, mode, apps, &mut totals);
             }
         }
 

@@ -243,6 +243,7 @@ pub fn run_ops(ops: &[Op], plan: &FaultPlan) -> Result<RunStats, Failure> {
         }
         env.dispatch_all();
         check_span_integrity(&apps, plan)?;
+        check_audit(&env, plan)?;
         for app in &apps {
             stats.absorb_app(app);
         }
@@ -256,6 +257,22 @@ pub fn run_ops(ops: &[Op], plan: &FaultPlan) -> Result<RunStats, Failure> {
             plan: plan.describe(),
         }),
     }
+}
+
+/// The post-run resource reckoning: any server object still chargeable
+/// to a dead client at quiescence — a window, GC, selection, interest
+/// entry, queued event, or registry entry pointing at a vanished comm
+/// window — fails the case exactly like a panic would.
+fn check_audit(env: &TkEnv, plan: &FaultPlan) -> Result<(), Failure> {
+    let leaks = env.display().with_server(|s| s.audit());
+    if leaks.is_empty() {
+        return Ok(());
+    }
+    Err(Failure {
+        op_index: None,
+        message: format!("resource audit: {}", leaks.join("; ")),
+        plan: plan.describe(),
+    })
 }
 
 /// Asserts that every app's causal span tree stayed well formed (no
@@ -486,6 +503,7 @@ pub fn run_storm_ops(ops: &[Op], plan: &FaultPlan, napps: usize) -> Result<RunSt
             }
         }
         check_span_integrity(&apps, plan)?;
+        check_audit(&env, plan)?;
         for app in &apps {
             stats.absorb_app(app);
         }
@@ -519,6 +537,186 @@ pub fn shrink_storm(ops: &[Op], plan: &FaultPlan, napps: usize) -> (Vec<Op>, Fau
     shrink_with(ops, plan, |ops, plan| {
         run_storm_ops(ops, plan, napps).is_err()
     })
+}
+
+// ---------------------------------------------------------------------------
+// Byte-chaos mode: the same scripted two-app runs, but the faults attack
+// the *wire encoding* — flipped bytes, truncated frames, injected garbage,
+// split writes, stalled dispatch — instead of request semantics. The
+// invariant is differential: a faulted run must either match the
+// fault-free wire run byte for byte (Tcl outcomes and final tree), or
+// show clean-death evidence (a checksum or watchdog kill) — and either
+// way finish with a clean resource audit and intact span trees. Silent
+// divergence is the bug class this mode exists to catch.
+// ---------------------------------------------------------------------------
+
+/// Byte-fault specs a generated bytes plan carries. Fewer than
+/// [`PLAN_FAULTS`]: a single corrupt byte usually kills its connection,
+/// so dense plans just re-kill a corpse.
+pub const BYTES_FAULTS: usize = 4;
+/// Encoded-frame horizon for bytes plans. Byte faults key on per-client
+/// *frame* indices (every request and control frame counts), which run a
+/// little past the request horizon of the same script.
+pub const BYTES_HORIZON: u64 = 500;
+/// Sync-watchdog deadline for byte-chaos runs, in wall-clock ms. Low
+/// enough that a stalled dispatcher converts to a clean dead connection
+/// inside the test budget, high enough (1000x a normal dispatch) that a
+/// fault-free run never trips it.
+pub const BYTES_WATCHDOG_MS: u64 = 1000;
+
+/// Generates the deterministic byte-fault plan for a fault seed: two
+/// clients, [`BYTES_FAULTS`] specs, [`BYTES_HORIZON`] frame horizon.
+pub fn generate_bytes_plan(seed: u64) -> FaultPlan {
+    FaultPlan::bytes_from_seed(seed, BYTES_FAULTS, 2, BYTES_HORIZON)
+}
+
+/// One byte-chaos run's comparable outcome: every Tcl op's result (ok or
+/// error message, in order) plus a final `winfo children .` probe per
+/// app. Clicks, keys, and timer advances leave their traces in the Tcl
+/// results that follow them.
+type BytesSignature = Vec<Result<String, String>>;
+
+/// Runs one op list over the forced wire transport and returns the
+/// comparable signature, the run stats, and the death evidence (checksum
+/// kills + watchdog fires summed over both connections).
+fn run_bytes_once(
+    ops: &[Op],
+    plan: &FaultPlan,
+) -> Result<(BytesSignature, RunStats, u64), Failure> {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        // Force the framed wire transport regardless of RTK_NO_WIRE: byte
+        // faults only exist on the wire, and the differential oracle must
+        // run the same transport as the faulted run.
+        let display = xsim::Display::new();
+        display.set_wire(true);
+        display.set_wire_deadline(BYTES_WATCHDOG_MS);
+        let env = TkEnv::with_display(display);
+        let apps = [env.app("chaos0"), env.app("chaos1")];
+        env.dispatch_all();
+        env.display()
+            .with_server(|s| s.install_fault_plan(plan.clone()));
+        let mut stats = RunStats::default();
+        let mut sig: BytesSignature = Vec::with_capacity(ops.len() + 2);
+        for (i, op) in ops.iter().enumerate() {
+            let fail = |payload| Failure {
+                op_index: Some(i),
+                message: panic_message(payload),
+                plan: plan.describe(),
+            };
+            if let Op::Tcl(a, s) = op {
+                match catch_unwind(AssertUnwindSafe(|| apps[*a].eval(s))) {
+                    Ok(r) => {
+                        if r.is_err() {
+                            stats.tcl_errors += 1;
+                        }
+                        sig.push(r.map_err(|e| e.msg));
+                    }
+                    Err(payload) => return Err(fail(payload)),
+                }
+            } else if let Err(payload) =
+                catch_unwind(AssertUnwindSafe(|| apply(&env, &apps, op, &mut stats)))
+            {
+                return Err(fail(payload));
+            }
+            stats.ops = i + 1;
+        }
+        env.dispatch_all();
+        for app in &apps {
+            sig.push(app.eval("winfo children .").map_err(|e| e.msg));
+        }
+        // Settle before the audit. Byte faults key on per-client
+        // encoded-frame indices, and even an idle round of flush +
+        // dispatch walks those counters (event polling ships control
+        // frames), so a fault plotted past the scripted traffic fires
+        // *during* settling. Spec firing is an exact index match, so once
+        // a client's timeline has walked past the last plotted fault
+        // nothing further can fire; settle until every app is dead or
+        // past that point, then demand two quiet rounds so a late kill is
+        // noticed by `dispatch_all` (which scrubs the dead app's registry
+        // entry) before the audit takes the reckoning.
+        let max_at = plan.specs().iter().map(|sp| sp.at).max().unwrap_or(0);
+        let mut quiet = 0;
+        for _ in 0..(BYTES_HORIZON + 200) {
+            for app in &apps {
+                app.conn().flush();
+            }
+            let progressed = env.dispatch_all();
+            let past = apps
+                .iter()
+                .all(|app| !app.conn().alive() || app.conn().wire_frame_timeline() > max_at);
+            quiet = if past && !progressed { quiet + 1 } else { 0 };
+            if quiet >= 2 {
+                break;
+            }
+        }
+        check_span_integrity(&apps, plan)?;
+        check_audit(&env, plan)?;
+        let mut deaths = 0;
+        for app in &apps {
+            let w = app.conn().wire_stats();
+            deaths += w.checksum_errors + w.watchdog_fires;
+        }
+        for app in &apps {
+            stats.absorb_app(app);
+        }
+        Ok((sig, stats, deaths))
+    }));
+    match result {
+        Ok(r) => r,
+        Err(payload) => Err(Failure {
+            op_index: None,
+            message: panic_message(payload),
+            plan: plan.describe(),
+        }),
+    }
+}
+
+/// Runs an explicit op list against an explicit byte-fault plan (the
+/// shrinker's entry point) and checks the differential invariant: the
+/// faulted run is byte-identical to the fault-free wire run, or every
+/// divergence is backed by clean-death evidence. Both runs must pass the
+/// span-integrity check and the post-run resource audit.
+pub fn run_bytes_ops(ops: &[Op], plan: &FaultPlan) -> Result<RunStats, Failure> {
+    let (oracle_sig, _, oracle_deaths) = run_bytes_once(ops, &FaultPlan::new(Vec::new()))?;
+    if oracle_deaths > 0 {
+        return Err(Failure {
+            op_index: None,
+            message: format!("fault-free oracle run lost a connection ({oracle_deaths} kills)"),
+            plan: plan.describe(),
+        });
+    }
+    let (sig, stats, deaths) = run_bytes_once(ops, plan)?;
+    if sig != oracle_sig && deaths == 0 {
+        let first = sig
+            .iter()
+            .zip(&oracle_sig)
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| sig.len().min(oracle_sig.len()));
+        return Err(Failure {
+            op_index: Some(first.min(ops.len().saturating_sub(1))),
+            message: format!(
+                "silent divergence from the fault-free oracle at probe {first}: \
+                 faulted {:?} vs oracle {:?}",
+                sig.get(first),
+                oracle_sig.get(first)
+            ),
+            plan: plan.describe(),
+        });
+    }
+    Ok(stats)
+}
+
+/// Runs one byte-chaos seed pair end to end.
+pub fn run_bytes_case(script_seed: u64, fault_seed: u64) -> Result<RunStats, Failure> {
+    let ops = generate_ops(script_seed, SCRIPT_OPS);
+    let plan = generate_bytes_plan(fault_seed);
+    run_bytes_ops(&ops, &plan)
+}
+
+/// [`shrink`] against the byte-chaos runner (panics, silent divergence,
+/// audit leaks, and span breaks all count as failures).
+pub fn shrink_bytes(ops: &[Op], plan: &FaultPlan) -> (Vec<Op>, FaultPlan) {
+    shrink_with(ops, plan, |ops, plan| run_bytes_ops(ops, plan).is_err())
 }
 
 /// Greedily shrinks a failing `(ops, plan)` to a minimal still-failing
@@ -707,6 +905,33 @@ mod tests {
             for seed in 1..=4u64 {
                 let fault_seed = seed.wrapping_mul(0x9e3779b97f4a7c15).rotate_left(17);
                 let r = run_storm_case(seed, fault_seed, STORM_APPS);
+                assert!(r.is_ok(), "seed {seed}: {}", r.unwrap_err());
+            }
+        });
+    }
+
+    #[test]
+    fn bytes_plan_generation_is_deterministic_and_byte_only() {
+        let plan = generate_bytes_plan(21);
+        assert_eq!(plan.describe(), generate_bytes_plan(21).describe());
+        assert_eq!(plan.specs().len(), BYTES_FAULTS);
+        assert!(plan.specs().iter().all(|s| s.action.is_byte_fault()));
+    }
+
+    #[test]
+    fn clean_bytes_case_matches_its_own_oracle() {
+        let ops = generate_ops(1, 20);
+        let stats = run_bytes_ops(&ops, &FaultPlan::new(Vec::new())).expect("clean bytes run");
+        assert!(stats.ops > 0);
+        assert_eq!(stats.faults_injected, 0);
+    }
+
+    #[test]
+    fn byte_faulted_cases_hold_the_differential_invariant() {
+        with_quiet_panics(|| {
+            for seed in 1..=4u64 {
+                let fault_seed = seed.wrapping_mul(0x9e3779b97f4a7c15).rotate_left(17);
+                let r = run_bytes_case(seed, fault_seed);
                 assert!(r.is_ok(), "seed {seed}: {}", r.unwrap_err());
             }
         });

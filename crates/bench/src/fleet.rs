@@ -389,6 +389,16 @@ pub fn run_fleet(napps: usize) -> FleetReport {
         .with_server(|s| s.install_fault_plan(xsim::FaultPlan::default()));
     env.dispatch_all();
 
+    // Post-run resource reckoning: the tail-round faults killed nothing,
+    // so the server must hold zero objects chargeable to dead clients
+    // and every registry shard must point at live comm windows.
+    let leaks = env.display().with_server(|s| s.audit());
+    assert!(
+        leaks.is_empty(),
+        "fleet post-run resource audit: {}",
+        leaks.join("; ")
+    );
+
     let backpressure_stalls = apps
         .iter()
         .map(|a| {

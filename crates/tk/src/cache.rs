@@ -17,8 +17,14 @@ use tcl::Exception;
 use xsim::{Connection, CursorId, FontId, FontMetrics, GcId, GcValues, Pixel, XError};
 
 /// Converts a protocol error into a Tcl exception so it reaches scripts
-/// (and ultimately `tkerror`) instead of panicking the process.
+/// (and ultimately `tkerror`) instead of panicking the process. A dead
+/// connection — the server killed this client after wire corruption, or
+/// a sync watchdog fired — gets its own message so scripts (and the chaos
+/// harness) can tell a broken transport from an ordinary request error.
 pub fn xerr(e: XError) -> Exception {
+    if e.code == xsim::XErrorCode::ConnectionDead {
+        return Exception::error("X connection broken".to_string());
+    }
     Exception::error(format!("X protocol error: {e}"))
 }
 

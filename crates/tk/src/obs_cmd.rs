@@ -13,6 +13,7 @@
 //! obs spans flat            ;# one span per line
 //! obs spans json            ;# span records as JSON
 //! obs snapshot              ;# human-readable overview
+//! obs audit                 ;# post-run resource-leak audit (empty = clean)
 //! obs reset                 ;# zero every counter, histogram, and trace
 //! obs dump -format json     ;# machine-readable dump of everything
 //! ```
@@ -73,6 +74,16 @@ fn cmd_obs(app: &TkApp, _interp: &tcl::Interp, argv: &[String]) -> TclResult {
             }
         }
         "snapshot" => Ok(snapshot(app)),
+        "audit" => {
+            // The post-run resource-leak reckoning: every violation is a
+            // server object still chargeable to a dead client (or a
+            // registry shard pointing at a vanished comm window). Clean
+            // runs return the empty string, so scripts can gate on it.
+            let violations = app.conn().audit();
+            app.obs().incr("audit.runs");
+            app.obs().add("audit.violations", violations.len() as u64);
+            Ok(violations.join("\n"))
+        }
         "reset" => {
             // `reset_obs` starts a new tracer epoch server-side (the span
             // store clears and in-flight spans re-parent to the new root),
@@ -107,7 +118,7 @@ fn cmd_obs(app: &TkApp, _interp: &tcl::Interp, argv: &[String]) -> TclResult {
         }
         other => Err(Exception::error(format!(
             "bad option \"{other}\": must be counters, histogram, trace, spans, snapshot, \
-             reset, or dump"
+             audit, reset, or dump"
         ))),
     }
 }
@@ -146,6 +157,22 @@ fn counters_list(app: &TkApp) -> String {
         for (kind, n) in by_kind {
             items.push(format!("fault.{kind}"));
             items.push(n.to_string());
+        }
+    }
+    let wire = app.conn().wire_stats();
+    if wire.active() {
+        for (name, v) in [
+            ("wire.frames_encoded", wire.frames_encoded),
+            ("wire.bytes_encoded", wire.bytes_encoded),
+            ("wire.frames_decoded", wire.frames_decoded),
+            ("wire.bytes_decoded", wire.bytes_decoded),
+            ("wire.flushes", wire.flushes),
+            ("wire.backpressure_stalls", wire.backpressure_stalls),
+            ("wire.checksum_errors", wire.checksum_errors),
+            ("wire.watchdog_fires", wire.watchdog_fires),
+        ] {
+            items.push(name.into());
+            items.push(v.to_string());
         }
     }
     for (class, hits, misses) in app.cache().stats() {

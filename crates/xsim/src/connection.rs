@@ -68,6 +68,16 @@ pub(crate) trait Transport {
     fn flush_client(&self, client: ClientId);
     fn set_batching(&self, on: bool);
     fn reset_obs(&self, client: ClientId);
+    /// Reconfigures the sync-watchdog deadline (ms). The in-process
+    /// oracle has no dispatcher to wedge, so the default is a no-op.
+    fn set_wire_deadline(&self, _ms: u64) {}
+    /// The client's position on the byte-fault timeline: how many frames
+    /// it has encoded onto the wire (the per-client index [`FaultPlan`]
+    /// byte faults key on). Always 0 on the in-process oracle, which
+    /// ships no frames.
+    fn frame_timeline(&self, _client: ClientId) -> u64 {
+        0
+    }
     fn one_way(&self, client: ClientId, kind: RequestKind, window: WindowId, q: QueuedRequest);
     fn pipelined(
         &self,
@@ -380,6 +390,14 @@ impl Display {
         Connection { transport, client }
     }
 
+    /// Reconfigures the wire sync-watchdog deadline at runtime, in
+    /// milliseconds (`RTK_WIRE_DEADLINE_MS` sets the startup value;
+    /// chaos harnesses shrink it so injected stalls trip it quickly).
+    /// No-op on the in-process oracle transport.
+    pub fn set_wire_deadline(&self, ms: u64) {
+        self.transport().set_wire_deadline(ms);
+    }
+
     /// Runs `f` with direct access to the server (test assertions,
     /// compositing, statistics). Pending output buffers are flushed first.
     pub fn with_server<R>(&self, f: impl FnOnce(&mut Server) -> R) -> R {
@@ -588,6 +606,23 @@ impl Connection {
     /// actually crossed the framed byte transport.
     pub fn wire_stats(&self) -> WireStats {
         self.with_obs(|o| o.wire.clone()).unwrap_or_default()
+    }
+
+    /// This client's byte-fault timeline position: how many frames it
+    /// has encoded onto the wire so far (the per-client index that
+    /// [`FaultPlan`] byte faults key on). 0 on the in-process oracle.
+    /// Chaos harnesses use it to drive the timeline past a plan's last
+    /// plotted fault before auditing.
+    pub fn wire_frame_timeline(&self) -> u64 {
+        self.transport.frame_timeline(self.client)
+    }
+
+    /// Flushes this client's pending requests, then runs the server's
+    /// post-run resource-leak audit ([`Server::audit`]). Empty = clean.
+    pub fn audit(&self) -> Vec<String> {
+        let mut out = None;
+        self.transport.sync(&mut |s| out = Some(s.audit()));
+        out.expect("transport sync must run the closure")
     }
 
     /// Per-request-kind counts, non-zero kinds only.

@@ -126,10 +126,29 @@ pub enum FaultAction {
     ReorderEvent,
     /// Kill the connection when this sequence number is reached.
     KillConnection,
+    /// Byte-layer, wire-only: XOR one byte of the encoded frame at this
+    /// per-client frame index (`offset` wraps modulo the frame length).
+    /// The v2 CRC maps the damage to `WireError::Checksum` server-side.
+    CorruptByte { offset: u16, xor: u8 },
+    /// Byte-layer, wire-only: keep only the first `keep` bytes (modulo
+    /// the frame length) of the encoded frame — a write cut short.
+    TruncateFrame { keep: u16 },
+    /// Byte-layer, wire-only: append `bytes` seed-derived garbage bytes
+    /// after the encoded frame — line noise between writes.
+    InjectGarbage { bytes: u16 },
+    /// Byte-layer, wire-only: emit the encoded frame as two writes split
+    /// at `at` (modulo the frame length). Behavior-invisible by design:
+    /// the frame reader reassembles across write boundaries.
+    SplitWrite { at: u16 },
+    /// Byte-layer, wire-only: stall the dispatcher thread for `ticks`
+    /// ×10 ms of wall clock before it handles this client's next control
+    /// frame. A long enough stall trips the client's sync watchdog
+    /// (`RTK_WIRE_DEADLINE_MS`).
+    StallDispatch { ticks: u32 },
 }
 
 /// Number of distinct fault-counter kinds (see [`FAULT_KIND_NAMES`]).
-pub const FAULT_KIND_COUNT: usize = 9;
+pub const FAULT_KIND_COUNT: usize = 14;
 
 /// Counter names for the per-kind fault split, indexed by
 /// [`FaultAction::kind_index`].
@@ -143,6 +162,11 @@ pub const FAULT_KIND_NAMES: [&str; FAULT_KIND_COUNT] = [
     "delay",
     "reorder",
     "kill",
+    "byte.corrupt",
+    "byte.truncate",
+    "byte.garbage",
+    "byte.split",
+    "byte.stall",
 ];
 
 impl FaultAction {
@@ -160,6 +184,11 @@ impl FaultAction {
             FaultAction::DelayEvent(_) => 6,
             FaultAction::ReorderEvent => 7,
             FaultAction::KillConnection => 8,
+            FaultAction::CorruptByte { .. } => 9,
+            FaultAction::TruncateFrame { .. } => 10,
+            FaultAction::InjectGarbage { .. } => 11,
+            FaultAction::SplitWrite { .. } => 12,
+            FaultAction::StallDispatch { .. } => 13,
         }
     }
 
@@ -169,9 +198,30 @@ impl FaultAction {
     }
 
     /// Does this action trigger on a request sequence number (as opposed
-    /// to an event enqueue index)?
+    /// to an event enqueue index or an encoded-frame index)?
     pub fn is_request_fault(self) -> bool {
-        !matches!(self, FaultAction::DelayEvent(_) | FaultAction::ReorderEvent)
+        matches!(
+            self,
+            FaultAction::Error(_)
+                | FaultAction::DropRequest
+                | FaultAction::DuplicateRequest
+                | FaultAction::KillConnection
+        )
+    }
+
+    /// Does this action attack encoded frame bytes (or the dispatcher
+    /// clock) rather than protocol semantics? Byte faults key on the
+    /// client's encoded-frame index and only the wire transport applies
+    /// them — a byte-fault plan is a strict no-op under `RTK_NO_WIRE=1`.
+    pub fn is_byte_fault(self) -> bool {
+        matches!(
+            self,
+            FaultAction::CorruptByte { .. }
+                | FaultAction::TruncateFrame { .. }
+                | FaultAction::InjectGarbage { .. }
+                | FaultAction::SplitWrite { .. }
+                | FaultAction::StallDispatch { .. }
+        )
     }
 
     fn describe(self) -> String {
@@ -182,6 +232,13 @@ impl FaultAction {
             FaultAction::DelayEvent(n) => format!("delay {n}"),
             FaultAction::ReorderEvent => "reorder".into(),
             FaultAction::KillConnection => "kill".into(),
+            FaultAction::CorruptByte { offset, xor } => {
+                format!("corrupt byte at {offset} xor {xor:#04x}")
+            }
+            FaultAction::TruncateFrame { keep } => format!("truncate to {keep}"),
+            FaultAction::InjectGarbage { bytes } => format!("garbage {bytes}"),
+            FaultAction::SplitWrite { at } => format!("split at {at}"),
+            FaultAction::StallDispatch { ticks } => format!("stall {ticks}"),
         }
     }
 }
@@ -243,6 +300,41 @@ impl FaultPlan {
                 6 | 7 => FaultAction::DelayEvent(1 + rng.below(4) as u32),
                 8 => FaultAction::ReorderEvent,
                 _ => FaultAction::KillConnection,
+            };
+            specs.push(FaultSpec { client, at, action });
+        }
+        FaultPlan::new(specs)
+    }
+
+    /// Generates a random byte-layer plan: `faults` specs over clients
+    /// `1..=clients` and per-client encoded-frame indices `1..horizon`.
+    /// Only byte-fault actions are drawn (seed space disjoint from
+    /// [`FaultPlan::from_seed`]), so the plan is a strict no-op on the
+    /// in-process oracle transport — the `chaos --bytes` harness relies
+    /// on that to diff a faulted wire run against a fault-free one.
+    pub fn bytes_from_seed(seed: u64, faults: usize, clients: u32, horizon: u64) -> FaultPlan {
+        let mut rng = XorShift::new(seed ^ 0xB17E_C4A0_05EE_D000);
+        let mut specs = Vec::with_capacity(faults);
+        for _ in 0..faults {
+            let client = 1 + rng.below(clients.max(1) as u64) as u32;
+            let at = rng.range(1, horizon.max(2));
+            let action = match rng.below(10) {
+                0..=2 => FaultAction::CorruptByte {
+                    offset: rng.below(64) as u16,
+                    xor: 1 + rng.below(255) as u8,
+                },
+                3 | 4 => FaultAction::TruncateFrame {
+                    keep: rng.below(40) as u16,
+                },
+                5 | 6 => FaultAction::InjectGarbage {
+                    bytes: 1 + rng.below(96) as u16,
+                },
+                7 | 8 => FaultAction::SplitWrite {
+                    at: 1 + rng.below(32) as u16,
+                },
+                _ => FaultAction::StallDispatch {
+                    ticks: 1 + rng.below(40) as u32,
+                },
             };
             specs.push(FaultSpec { client, at, action });
         }
@@ -423,6 +515,14 @@ mod tests {
             FaultAction::DelayEvent(2),
             FaultAction::ReorderEvent,
             FaultAction::KillConnection,
+            FaultAction::CorruptByte {
+                offset: 3,
+                xor: 0x40,
+            },
+            FaultAction::TruncateFrame { keep: 5 },
+            FaultAction::InjectGarbage { bytes: 9 },
+            FaultAction::SplitWrite { at: 2 },
+            FaultAction::StallDispatch { ticks: 7 },
         ];
         let mut seen = [false; FAULT_KIND_COUNT];
         for a in actions {
@@ -430,6 +530,28 @@ mod tests {
             assert_eq!(a.kind_name(), FAULT_KIND_NAMES[a.kind_index()]);
         }
         assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn byte_plans_are_deterministic_and_byte_only() {
+        let a = FaultPlan::bytes_from_seed(7, 12, 3, 200);
+        let b = FaultPlan::bytes_from_seed(7, 12, 3, 200);
+        assert_eq!(a.specs(), b.specs());
+        assert_eq!(a.specs().len(), 12);
+        for s in a.specs() {
+            assert!((1..=3).contains(&s.client));
+            assert!((1..200).contains(&s.at));
+            assert!(s.action.is_byte_fault());
+            assert!(!s.action.is_request_fault());
+            if let FaultAction::CorruptByte { xor, .. } = s.action {
+                assert_ne!(xor, 0, "a zero xor would be a silent no-op");
+            }
+        }
+        // The seed space is distinct from the semantic generator's.
+        assert_ne!(
+            FaultPlan::bytes_from_seed(7, 12, 3, 200).specs(),
+            FaultPlan::from_seed(7, 12, 3, 200).specs()
+        );
     }
 
     #[test]

@@ -227,6 +227,14 @@ pub struct WireStats {
     /// from starving the rest. Counted under both transports — the
     /// quota lives in the shared batch executor.
     pub backpressure_stalls: u64,
+    /// Frame-integrity failures detected on this client's stream (bad
+    /// CRC, truncation, garbage between frames). Each one kills the
+    /// connection — corruption is never silently skipped.
+    pub checksum_errors: u64,
+    /// Sync-watchdog expiries: control round trips the dispatcher failed
+    /// to ack within `RTK_WIRE_DEADLINE_MS`, surfaced to the client as a
+    /// dead connection instead of a hang.
+    pub watchdog_fires: u64,
     /// Size distribution of encoded frames, in bytes.
     pub frame_bytes: Histogram,
 }
@@ -424,6 +432,8 @@ impl ClientObs {
             w.field_u64("bytes_decoded", self.wire.bytes_decoded);
             w.field_u64("flushes", self.wire.flushes);
             w.field_u64("backpressure_stalls", self.wire.backpressure_stalls);
+            w.field_u64("checksum_errors", self.wire.checksum_errors);
+            w.field_u64("watchdog_fires", self.wire.watchdog_fires);
             w.field_raw("frame_bytes", &self.wire.frame_bytes.to_json());
             o.field_raw("wire", &w.build());
         }

@@ -494,6 +494,10 @@ pub struct Server {
     round_trip_cost: std::time::Duration,
     /// The installed deterministic fault schedule, if any.
     fault_plan: Option<FaultPlan>,
+    /// Which client created each live GC — close-down bookkeeping so a
+    /// kill can free the dead client's GCs and [`Server::audit`] can
+    /// prove none survive it.
+    gc_owners: HashMap<GcId, ClientId>,
 }
 
 /// Screen dimensions of the simulated display.
@@ -553,6 +557,7 @@ impl Server {
             work_time: std::time::Duration::ZERO,
             round_trip_cost: std::time::Duration::ZERO,
             fault_plan: None,
+            gc_owners: HashMap::new(),
         }
     }
 
@@ -660,6 +665,24 @@ impl Server {
             self.destroy_window(w);
         }
         self.selections.retain(|_, o| o.client != client);
+        // Close-down also retracts the dead client's interest index
+        // entries on surviving windows (a dead connection receives
+        // nothing, so this is behavior-invisible — it exists so the
+        // post-run audit can prove no dangling interest survives a kill)
+        // and frees the GCs it created, like X's DestroyAll close-down.
+        for w in self.tree.iter_mut() {
+            w.event_masks.remove(&client);
+        }
+        let owned_gcs: Vec<GcId> = self
+            .gc_owners
+            .iter()
+            .filter(|(_, o)| **o == client)
+            .map(|(g, _)| *g)
+            .collect();
+        for g in owned_gcs {
+            self.gcs.free(g);
+            self.gc_owners.remove(&g);
+        }
     }
 
     /// Matches (and fires) a request-indexed fault for a buffered request.
@@ -672,6 +695,13 @@ impl Server {
             FaultAction::Error(_) | FaultAction::KillConnection => true,
             FaultAction::DropRequest | FaultAction::DuplicateRequest => !reply,
             FaultAction::DelayEvent(_) | FaultAction::ReorderEvent => false,
+            // Byte faults key on encoded-frame indices, not sequence
+            // numbers; only the wire transport fires them.
+            FaultAction::CorruptByte { .. }
+            | FaultAction::TruncateFrame { .. }
+            | FaultAction::InjectGarbage { .. }
+            | FaultAction::SplitWrite { .. }
+            | FaultAction::StallDispatch { .. } => false,
         })
     }
 
@@ -685,6 +715,20 @@ impl Server {
         plan.fire(client, seq, |a| {
             matches!(a, FaultAction::Error(_) | FaultAction::KillConnection)
         })
+    }
+
+    /// Matches (and fires) a byte-layer fault for `client`'s
+    /// `frame_idx`-th encoded wire frame. Only the wire transport calls
+    /// this, so byte faults are strict no-ops under `RTK_NO_WIRE=1`.
+    pub(crate) fn fire_byte_fault(
+        &mut self,
+        client: ClientId,
+        frame_idx: u64,
+    ) -> Option<FaultAction> {
+        let plan = self.fault_plan.as_mut()?;
+        let action = plan.fire(client, frame_idx, |a| a.is_byte_fault())?;
+        self.record_fault(client, frame_idx, action, None, Xid::NONE);
+        Some(action)
     }
 
     /// Books an injected fault into the client's obs counters/trace.
@@ -1146,11 +1190,17 @@ impl Server {
                 self.copy_bitmap(id, gc, x, y, bitmap);
                 self.drain_pixels(client, id);
             }
-            QueuedRequest::CreateGc { id, values } => self.gcs.create_with_id(id, values),
+            QueuedRequest::CreateGc { id, values } => {
+                self.gcs.create_with_id(id, values);
+                self.gc_owners.insert(id, client);
+            }
             QueuedRequest::ChangeGc { gc, values } => {
                 self.gcs.change(gc, values);
             }
-            QueuedRequest::FreeGc { gc } => self.gcs.free(gc),
+            QueuedRequest::FreeGc { gc } => {
+                self.gcs.free(gc);
+                self.gc_owners.remove(&gc);
+            }
             QueuedRequest::FillRectangle { id, gc, x, y, w, h } => {
                 self.fill_rectangle(id, gc, x, y, w, h);
                 self.drain_pixels(client, id);
@@ -1457,6 +1507,22 @@ impl Server {
         }
     }
 
+    /// Counts a detected frame-integrity failure (bad CRC, truncation,
+    /// garbage) on `client`'s stream — always followed by a kill.
+    pub(crate) fn note_checksum_error(&mut self, client: ClientId) {
+        if let Some(c) = self.clients.get_mut(&client) {
+            c.obs.wire.checksum_errors += 1;
+        }
+    }
+
+    /// Counts a sync-watchdog expiry: the dispatcher failed to ack
+    /// `client`'s control frame within `RTK_WIRE_DEADLINE_MS`.
+    pub(crate) fn note_watchdog_fire(&mut self, client: ClientId) {
+        if let Some(c) = self.clients.get_mut(&client) {
+            c.obs.wire.watchdog_fires += 1;
+        }
+    }
+
     // ----- event delivery -----------------------------------------------------
 
     fn enqueue(&mut self, client: ClientId, event: Event) {
@@ -1477,10 +1543,11 @@ impl Server {
         // by now — or targeting the same window — must go first, so
         // per-window order is never violated by an injected delay.
         self.release_delayed(client, Some(event.window()), idx);
-        let action = self
-            .fault_plan
-            .as_mut()
-            .and_then(|p| p.fire(client, idx, |a| !a.is_request_fault()));
+        let action = self.fault_plan.as_mut().and_then(|p| {
+            p.fire(client, idx, |a| {
+                matches!(a, FaultAction::DelayEvent(_) | FaultAction::ReorderEvent)
+            })
+        });
         if let Some(a) = action {
             self.record_fault(client, idx, a, None, event.window());
         }
@@ -2555,10 +2622,197 @@ impl Server {
         self.tree.len()
     }
 
+    // ----- post-run resource audit ------------------------------------------------
+
+    /// The post-run resource reckoning: checks every reclamation
+    /// invariant the kill/teardown paths promise and returns one line
+    /// per violation (empty = clean). Call at quiescence — after a final
+    /// dispatch/flush — since live clients may legitimately hold
+    /// deferred work mid-run. The chaos harnesses run this after every
+    /// run; Tcl exposes it as `obs audit`.
+    ///
+    /// Invariants:
+    /// * no window, window interest entry (saved event mask), selection,
+    ///   or GC is owned by a dead client;
+    /// * dead clients hold no buffered requests, queued or delayed
+    ///   events, parked replies, or dirty-set membership;
+    /// * no live client has a quota-deferred remainder (deferral is
+    ///   backpressure, never loss — at quiescence it must have drained);
+    /// * every `send` registry shard on the root window references only
+    ///   existing comm windows owned by live clients;
+    /// * dead clients' span tracers have no open spans.
+    pub fn audit(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        let root = self.tree.root();
+        for w in self.tree.iter() {
+            if w.id != root && !self.is_alive(w.owner) {
+                v.push(format!(
+                    "window {} owned by dead client {}",
+                    w.id.0, w.owner.0
+                ));
+            }
+            for c in w.event_masks.keys() {
+                if !self.is_alive(*c) {
+                    v.push(format!(
+                        "window {} holds an interest entry for dead client {}",
+                        w.id.0, c.0
+                    ));
+                }
+            }
+        }
+        for (atom, owner) in &self.selections {
+            if !self.is_alive(owner.client) {
+                v.push(format!(
+                    "selection {} owned by dead client {}",
+                    self.atoms.name(*atom).unwrap_or("?"),
+                    owner.client.0
+                ));
+            }
+        }
+        for (gc, owner) in &self.gc_owners {
+            if !self.is_alive(*owner) {
+                v.push(format!("gc {} owned by dead client {}", gc.0, owner.0));
+            }
+        }
+        for (id, c) in &self.clients {
+            if c.dead {
+                if !c.out_buf.is_empty() {
+                    v.push(format!(
+                        "dead client {} still buffers {} requests",
+                        id.0,
+                        c.out_buf.len()
+                    ));
+                }
+                if !c.deferred.is_empty() {
+                    v.push(format!(
+                        "dead client {} still holds {} quota-deferred requests",
+                        id.0,
+                        c.deferred.len()
+                    ));
+                }
+                if !c.queue.is_empty() || !c.delayed.is_empty() {
+                    v.push(format!(
+                        "dead client {} still has queued events ({} queued, {} delayed)",
+                        id.0,
+                        c.queue.len(),
+                        c.delayed.len()
+                    ));
+                }
+                if !c.replies.is_empty() || c.pending_replies != 0 {
+                    v.push(format!(
+                        "dead client {} still has {} parked / {} pending replies",
+                        id.0,
+                        c.replies.len(),
+                        c.pending_replies
+                    ));
+                }
+                if self.dirty.contains(id) {
+                    v.push(format!("dead client {} is still in the dirty set", id.0));
+                }
+                if let Some(t) = &c.tracer {
+                    let open = t.open_count();
+                    if open > 0 {
+                        v.push(format!("dead client {} has {open} unclosed spans", id.0));
+                    }
+                }
+            } else if !c.deferred.is_empty() {
+                v.push(format!(
+                    "live client {} still holds {} quota-deferred requests at quiescence",
+                    id.0,
+                    c.deferred.len()
+                ));
+            }
+        }
+        if let Some(rw) = self.tree.get(root) {
+            for (atom, value) in &rw.properties {
+                let Some(name) = self.atoms.name(*atom) else {
+                    continue;
+                };
+                if name != "InterpRegistry" && !name.starts_with("InterpRegistry.") {
+                    continue;
+                }
+                for item in split_braced_list(value) {
+                    let pair = split_braced_list(&item);
+                    let (Some(app), Some(xid)) = (pair.first(), pair.get(1)) else {
+                        v.push(format!(
+                            "registry shard {name} has malformed entry {item:?}"
+                        ));
+                        continue;
+                    };
+                    let Ok(raw) = xid.parse::<u32>() else {
+                        v.push(format!(
+                            "registry shard {name} has malformed entry {item:?}"
+                        ));
+                        continue;
+                    };
+                    match self.tree.get(Xid(raw)) {
+                        None => v.push(format!(
+                            "registry shard {name} entry \"{app}\" references missing window {raw}"
+                        )),
+                        Some(w) if !self.is_alive(w.owner) => v.push(format!(
+                            "registry shard {name} entry \"{app}\" references window {raw} \
+                             of dead client {}",
+                            w.owner.0
+                        )),
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
+        v.sort();
+        v
+    }
+
     /// Number of distinct colormap cells (cache ablation metric).
     pub fn colormap_cells(&self) -> usize {
         self.colormap.cell_count()
     }
+}
+
+/// Minimal Tcl-list splitter for [`Server::audit`]'s registry check:
+/// top-level items separated by whitespace, one brace layer stripped.
+/// Registry values are written by `tcl::format_list`; this subset covers
+/// its output for registry entries (app names and decimal window ids
+/// never need backslash quoting).
+fn split_braced_list(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    let mut in_item = false;
+    for ch in s.chars() {
+        match ch {
+            '{' => {
+                if depth > 0 {
+                    cur.push(ch);
+                }
+                depth += 1;
+                in_item = true;
+            }
+            '}' => {
+                depth = depth.saturating_sub(1);
+                if depth > 0 {
+                    cur.push(ch);
+                } else {
+                    out.push(std::mem::take(&mut cur));
+                    in_item = false;
+                }
+            }
+            c if c.is_whitespace() && depth == 0 => {
+                if in_item {
+                    out.push(std::mem::take(&mut cur));
+                    in_item = false;
+                }
+            }
+            c => {
+                cur.push(c);
+                in_item = true;
+            }
+        }
+    }
+    if in_item {
+        out.push(cur);
+    }
+    out
 }
 
 #[cfg(test)]

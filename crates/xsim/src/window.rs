@@ -266,6 +266,10 @@ impl WindowTree {
     pub fn iter(&self) -> impl Iterator<Item = &Window> {
         self.windows.values()
     }
+
+    pub(crate) fn iter_mut(&mut self) -> impl Iterator<Item = &mut Window> {
+        self.windows.values_mut()
+    }
 }
 
 #[cfg(test)]

@@ -5,15 +5,19 @@
 //! function call. A frame is
 //!
 //! ```text
-//! [u32 len LE][u8 version][u8 frame_type][u16 opcode LE][u64 seq LE][payload]
+//! [u32 len LE][u8 version][u8 frame_type][u16 opcode LE][u64 seq LE][u32 crc LE][payload]
 //! ```
 //!
 //! where `len` counts everything after itself (header + payload). The
 //! header is versioned ([`WIRE_VERSION`]) so a peer speaking a different
 //! revision is rejected with [`WireError::BadVersion`] instead of
-//! misparsing. [`FrameReader`] reassembles frames from arbitrary read
-//! chunks, so the decoder never assumes a write boundary survived the
-//! transport.
+//! misparsing, and carries a CRC32 of the header fields plus the payload
+//! so a flipped byte anywhere in the frame surfaces as
+//! [`WireError::Checksum`] instead of a misparse. [`FrameReader`]
+//! reassembles frames from arbitrary read chunks, so the decoder never
+//! assumes a write boundary survived the transport, and bounds its
+//! reassembly buffer at [`MAX_FRAME_LEN`] + header so a hostile length
+//! prefix or garbage flood cannot grow memory without limit.
 //!
 //! The transport half runs the [`Server`] on its own dispatcher thread:
 //! clients encode request frames into per-client byte buffers and ship
@@ -28,7 +32,7 @@
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::atom::Atom;
 use crate::bitmap::{Bitmap, BitmapId};
@@ -36,19 +40,72 @@ use crate::color::Rgb;
 use crate::connection::{Transport, WaitReply};
 use crate::damage::Rect;
 use crate::event::{Event, Keysym};
-use crate::fault::{XError, XErrorCode};
+use crate::fault::{FaultAction, XError, XErrorCode};
 use crate::font::FontMetrics;
 use crate::gc::GcValues;
 use crate::ids::{ClientId, Pixel, WindowId, Xid};
 use crate::obs::RequestKind;
 use crate::server::{QueuedRequest, ReplyValue, Server, SyncReply, SyncRequest, OUT_BUF_CAPACITY};
 
-/// Protocol revision carried in every frame header.
-pub const WIRE_VERSION: u8 = 1;
-/// Bytes between the length prefix and the payload.
-pub const HEADER_LEN: usize = 12;
+/// Protocol revision carried in every frame header. Version 2 added the
+/// CRC32 trailer field to the header; a version-1 peer is rejected with
+/// [`WireError::BadVersion`] (there is no negotiation — both ends of the
+/// simulated transport always speak the current revision).
+pub const WIRE_VERSION: u8 = 2;
+/// Bytes between the length prefix and the payload: version, frame type,
+/// opcode, sequence number, CRC32.
+pub const HEADER_LEN: usize = 16;
+/// Offset of the CRC field within the header (after `seq`).
+const CRC_OFFSET: usize = 12;
 /// Upper bound on `len`; anything larger is rejected before allocation.
 pub const MAX_FRAME_LEN: u32 = 1 << 20;
+/// Upper bound on unconsumed bytes a [`FrameReader`] will buffer: one
+/// maximal frame plus its length prefix. Growth past this is rejected by
+/// [`FrameReader::push`] before any allocation happens.
+pub const MAX_BUFFERED: usize = 4 + MAX_FRAME_LEN as usize;
+
+/// CRC32 (IEEE, reflected, polynomial 0xEDB88320) lookup table, built at
+/// compile time — the same function zlib and PNG use, hand-rolled so the
+/// wire layer stays zero-dependency.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// Feeds `bytes` into a running CRC32 state (init [`CRC32_INIT`],
+/// finalize by XOR with `0xFFFF_FFFF`).
+fn crc32_update(mut state: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
+        state = CRC32_TABLE[((state ^ b as u32) & 0xFF) as usize] ^ (state >> 8);
+    }
+    state
+}
+
+const CRC32_INIT: u32 = 0xFFFF_FFFF;
+
+/// CRC32 of a v2 frame: the 12 header bytes before the CRC field
+/// (version, frame type, opcode, seq) followed by the payload. The
+/// length prefix is excluded — it is validated structurally — and the
+/// CRC field itself is obviously excluded.
+fn frame_crc(header_pre_crc: &[u8], payload: &[u8]) -> u32 {
+    let state = crc32_update(CRC32_INIT, header_pre_crc);
+    crc32_update(state, payload) ^ 0xFFFF_FFFF
+}
 
 // Frame types. Requests flow client -> server; replies, events, and
 // errors flow back; FLUSH/SYNC/TAKE/POLL/PENDING are transport control.
@@ -82,6 +139,9 @@ pub enum WireError {
     BadOpcode(u16),
     /// The length prefix exceeds [`MAX_FRAME_LEN`].
     Oversized(u32),
+    /// The frame's CRC32 does not match its contents: the bytes were
+    /// corrupted somewhere between encode and decode.
+    Checksum,
     /// The payload does not parse as the opcode's layout.
     Malformed(&'static str),
 }
@@ -94,6 +154,7 @@ impl std::fmt::Display for WireError {
             WireError::BadFrameType(t) => write!(f, "unknown frame type {t}"),
             WireError::BadOpcode(o) => write!(f, "unknown opcode {o}"),
             WireError::Oversized(n) => write!(f, "frame length {n} exceeds limit"),
+            WireError::Checksum => write!(f, "frame checksum mismatch"),
             WireError::Malformed(what) => write!(f, "malformed payload: {what}"),
         }
     }
@@ -377,7 +438,8 @@ impl RawFrame {
     }
 }
 
-/// Encodes one frame: length prefix, versioned header, payload.
+/// Encodes one frame: length prefix, versioned header with CRC32 of
+/// header fields + payload, payload.
 pub fn frame(frame_type: u8, opcode: u16, seq: u64, payload: &[u8]) -> Vec<u8> {
     let len = (HEADER_LEN + payload.len()) as u32;
     debug_assert!(len <= MAX_FRAME_LEN, "frame exceeds MAX_FRAME_LEN");
@@ -387,6 +449,8 @@ pub fn frame(frame_type: u8, opcode: u16, seq: u64, payload: &[u8]) -> Vec<u8> {
     b.push(frame_type);
     put_u16(&mut b, opcode);
     put_u64(&mut b, seq);
+    let crc = frame_crc(&b[4..4 + CRC_OFFSET], payload);
+    put_u32(&mut b, crc);
     b.extend_from_slice(payload);
     b
 }
@@ -406,8 +470,26 @@ impl FrameReader {
         FrameReader::default()
     }
 
-    pub fn push(&mut self, chunk: &[u8]) {
+    /// Buffers a read chunk for reassembly. Rejects growth past
+    /// [`MAX_BUFFERED`] unconsumed bytes *before* copying anything: a
+    /// hostile length prefix that never completes, or a flood of garbage
+    /// that never parses, cannot grow memory past one maximal frame.
+    pub fn push(&mut self, chunk: &[u8]) -> Result<(), WireError> {
+        self.compact_now();
+        let unconsumed = self.buf.len() - self.pos;
+        if unconsumed + chunk.len() > MAX_BUFFERED {
+            return Err(WireError::Oversized(
+                (unconsumed + chunk.len()).min(u32::MAX as usize) as u32,
+            ));
+        }
         self.buf.extend_from_slice(chunk);
+        Ok(())
+    }
+
+    /// Unconsumed bytes sitting in the reassembly buffer — nonzero after
+    /// a drain means a partial (or corrupt) frame is still pending.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
     }
 
     pub fn next_frame(&mut self) -> Result<Option<RawFrame>, WireError> {
@@ -419,7 +501,9 @@ impl FrameReader {
         let at = self.pos;
         let len = u32::from_le_bytes(self.buf[at..at + 4].try_into().unwrap());
         if (len as usize) < HEADER_LEN {
-            return Err(WireError::Malformed("frame length shorter than header"));
+            // A length too short for its own header is byte damage, not a
+            // protocol disagreement: no valid encoder emits it.
+            return Err(WireError::Checksum);
         }
         if len > MAX_FRAME_LEN {
             return Err(WireError::Oversized(len));
@@ -433,6 +517,20 @@ impl FrameReader {
         if version != WIRE_VERSION {
             return Err(WireError::BadVersion(version));
         }
+        let stored = u32::from_le_bytes(
+            self.buf[start + CRC_OFFSET..start + CRC_OFFSET + 4]
+                .try_into()
+                .unwrap(),
+        );
+        let computed = frame_crc(
+            &self.buf[start..start + CRC_OFFSET],
+            &self.buf[start + HEADER_LEN..start + len as usize],
+        );
+        if stored != computed {
+            return Err(WireError::Checksum);
+        }
+        // Past the CRC the bytes are authentic, so an out-of-range frame
+        // type is a genuine protocol disagreement, not corruption.
         let frame_type = self.buf[start + 1];
         if !(FT_REQUEST..=FT_FLUSH_ALL).contains(&frame_type) {
             return Err(WireError::BadFrameType(frame_type));
@@ -451,6 +549,12 @@ impl FrameReader {
 
     fn compact(&mut self) {
         if self.pos > 4096 {
+            self.compact_now();
+        }
+    }
+
+    fn compact_now(&mut self) {
+        if self.pos > 0 {
             self.buf.drain(..self.pos);
             self.pos = 0;
         }
@@ -1678,6 +1782,10 @@ struct WireMsg {
     ticket: u64,
     client: ClientId,
     bytes: Vec<u8>,
+    /// Injected dispatcher stall (×10 ms of wall clock) before this
+    /// message is handled — the `StallDispatch` byte fault. Zero in
+    /// fault-free runs.
+    stall: u32,
 }
 
 /// Everything behind the wire mutex: the server itself, the per-client
@@ -1692,6 +1800,22 @@ pub(crate) struct WireState {
     shipped: u64,
     processed: u64,
     shutdown: bool,
+    /// Per-client count of encoded frames — the timeline byte faults key
+    /// on (`FaultSpec::at` for a byte action is a 1-based index into this
+    /// stream). Counted identically whether or not a plan is installed.
+    frame_seq: HashMap<u32, u64>,
+    /// Dispatcher stalls armed by a `StallDispatch` fault that fired on a
+    /// data frame; attached to the client's next shipped control frame.
+    pending_stalls: HashMap<u32, u32>,
+    /// Tickets whose waiting client gave up (watchdog expiry). When the
+    /// dispatcher eventually processes one, its response bytes are
+    /// discarded instead of leaking in the outbox forever.
+    abandoned: std::collections::HashSet<u64>,
+    /// Wall-clock watchdog for sync waits (`RTK_WIRE_DEADLINE_MS`): a
+    /// control frame unacked past this deadline means the dispatcher is
+    /// wedged, and the waiting client gets a clean dead connection
+    /// instead of a hang.
+    deadline: Duration,
 }
 
 pub(crate) struct WireShared {
@@ -1712,16 +1836,65 @@ fn run_server(shared: Arc<WireShared>) {
         let Some(msg) = st.inbox.pop_front() else {
             return; // empty inbox + shutdown
         };
+        if msg.stall > 0 {
+            // An injected dispatcher stall: sleep off the lock in short
+            // slices so shutdown (and the client's watchdog) stay
+            // responsive. Long stalls are exactly how the chaos harness
+            // proves a wedged dispatcher cannot hang a sync wait.
+            let mut remaining_ms = (msg.stall as u64).saturating_mul(10);
+            drop(st);
+            while remaining_ms > 0 {
+                let slice = remaining_ms.min(10);
+                std::thread::sleep(Duration::from_millis(slice));
+                remaining_ms -= slice;
+                if shared.state.lock().unwrap().shutdown {
+                    break;
+                }
+            }
+            st = shared.state.lock().unwrap();
+            if st.shutdown && st.inbox.is_empty() {
+                return;
+            }
+        }
         dispatch(&mut st, msg.client, &msg.bytes);
         st.processed = msg.ticket;
+        if st.abandoned.remove(&msg.ticket) {
+            // The shipper's watchdog expired while this message sat in
+            // the inbox; nobody will ever read the response.
+            st.outbox.remove(&msg.client.0);
+        }
         shared.cond.notify_all();
     }
 }
 
+/// The server's reaction to unrecoverable byte damage on `client`'s
+/// stream: count it, kill the connection (X's response to a protocol
+/// violation), and drop its wire-side buffers. Client id 0 is the
+/// transport's own control channel, not a connection — never killed.
+fn wire_corruption(st: &mut WireState, client: ClientId) {
+    st.server.note_checksum_error(client);
+    if client.0 != 0 {
+        st.server.kill_client(client);
+    }
+    st.bufs.remove(&client.0);
+    st.outbox.remove(&client.0);
+}
+
 fn dispatch(st: &mut WireState, client: ClientId, bytes: &[u8]) {
     let mut fr = FrameReader::new();
-    fr.push(bytes);
-    while let Ok(Some(f)) = fr.next_frame() {
+    if fr.push(bytes).is_err() {
+        wire_corruption(st, client);
+        return;
+    }
+    loop {
+        let f = match fr.next_frame() {
+            Ok(Some(f)) => f,
+            Ok(None) => break,
+            Err(_) => {
+                wire_corruption(st, client);
+                return;
+            }
+        };
         st.server.note_wire_decode(client, f.wire_len());
         match f.frame_type {
             FT_FLUSH_CLIENT => flush_buffered(st, client.0),
@@ -1788,6 +1961,12 @@ fn dispatch(st: &mut WireState, client: ClientId, bytes: &[u8]) {
             _ => {} // data frames never arrive via the inbox
         }
     }
+    if fr.pending() > 0 {
+        // A partial frame at the end of a control message is truncation
+        // damage: control frames are shipped whole, so leftover bytes
+        // can only mean the stream is broken.
+        wire_corruption(st, client);
+    }
 }
 
 /// Queues response bytes for the client that shipped the control frame.
@@ -1815,16 +1994,38 @@ fn flush_buffered(st: &mut WireState, raw: u32) {
     buf.frames = 0;
     let client = ClientId(raw);
     let mut fr = FrameReader::new();
-    fr.push(&bytes);
+    let mut corrupt = fr.push(&bytes).is_err();
     let mut batch = Vec::new();
-    while let Ok(Some(f)) = fr.next_frame() {
+    while !corrupt {
+        let f = match fr.next_frame() {
+            Ok(Some(f)) => f,
+            Ok(None) => break,
+            Err(_) => {
+                corrupt = true;
+                break;
+            }
+        };
         st.server.note_wire_decode(client, f.wire_len());
-        if let Ok(q) = decode_request(f.opcode, f.seq, &f.payload) {
-            batch.push((f.seq, q));
+        match decode_request(f.opcode, f.seq, &f.payload) {
+            Ok(q) => batch.push((f.seq, q)),
+            Err(_) => {
+                corrupt = true;
+                break;
+            }
         }
     }
+    // A partial trailing frame means truncation damage: data frames are
+    // buffered whole, so a flush must consume every byte.
+    if !corrupt && fr.pending() > 0 {
+        corrupt = true;
+    }
     st.server.note_wire_flush(client);
+    // Frames ahead of the damage still decoded cleanly and still apply —
+    // the stream was good up to that point.
     st.server.apply_batch(client, batch);
+    if corrupt {
+        wire_corruption(st, client);
+    }
 }
 
 /// Flushes every client's wire buffer in client-id order (the same order
@@ -1881,6 +2082,20 @@ pub(crate) struct WireTransport {
     join: Arc<ServerJoin>,
 }
 
+/// Default sync-watchdog deadline when `RTK_WIRE_DEADLINE_MS` is unset.
+pub const DEFAULT_WIRE_DEADLINE_MS: u64 = 5000;
+
+/// The configured watchdog deadline: `RTK_WIRE_DEADLINE_MS` (clamped to
+/// at least 1 ms), or 5000 ms.
+fn wire_deadline_from_env() -> Duration {
+    let ms = std::env::var("RTK_WIRE_DEADLINE_MS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(DEFAULT_WIRE_DEADLINE_MS)
+        .max(1);
+    Duration::from_millis(ms)
+}
+
 impl WireTransport {
     /// Starts a fresh server on its own dispatcher thread.
     pub(crate) fn new() -> WireTransport {
@@ -1893,6 +2108,10 @@ impl WireTransport {
                 shipped: 0,
                 processed: 0,
                 shutdown: false,
+                frame_seq: HashMap::new(),
+                pending_stalls: HashMap::new(),
+                abandoned: std::collections::HashSet::new(),
+                deadline: wire_deadline_from_env(),
             }),
             cond: Condvar::new(),
         });
@@ -1927,6 +2146,56 @@ impl WireTransport {
         self.shared.state.lock().unwrap()
     }
 
+    /// Fires any byte fault scheduled for `client`'s next encoded frame
+    /// and applies it to `bytes` in place. Returns the split point for a
+    /// `SplitWrite` (the frame goes out as two writes), arming any
+    /// `StallDispatch` in `pending_stalls` for the next ship. The frame
+    /// counter advances on every encoded frame, plan or no plan, so a
+    /// fault's timeline index is independent of the plan's own contents.
+    fn apply_byte_fault(
+        st: &mut WireState,
+        client: ClientId,
+        bytes: &mut Vec<u8>,
+    ) -> Option<usize> {
+        let counter = st.frame_seq.entry(client.0).or_insert(0);
+        *counter += 1;
+        let idx = *counter;
+        let action = st.server.fire_byte_fault(client, idx)?;
+        match action {
+            FaultAction::CorruptByte { offset, xor } => {
+                if !bytes.is_empty() {
+                    let off = offset as usize % bytes.len();
+                    bytes[off] ^= xor;
+                }
+                None
+            }
+            FaultAction::TruncateFrame { keep } => {
+                let keep = keep as usize % bytes.len().max(1);
+                bytes.truncate(keep);
+                None
+            }
+            FaultAction::InjectGarbage { bytes: n } => {
+                // Seed-derived line noise, deterministic per (client, idx).
+                let mut r = crate::rng::XorShift::new(
+                    (u64::from(client.0) << 32 | idx) ^ 0x6A_5B_4C_3D_2E_1F,
+                );
+                for _ in 0..n {
+                    bytes.push(r.below(256) as u8);
+                }
+                None
+            }
+            FaultAction::SplitWrite { at } => Some(at as usize % bytes.len().max(1)),
+            FaultAction::StallDispatch { ticks } => {
+                st.pending_stalls
+                    .entry(client.0)
+                    .and_modify(|t| *t += ticks)
+                    .or_insert(ticks);
+                None
+            }
+            _ => None, // fire_byte_fault only returns byte faults
+        }
+    }
+
     /// Ships a control frame through the inbox and blocks until the
     /// dispatcher acks its ticket; returns the reacquired lock and any
     /// response bytes. The synchronous ack is what makes wire-mode
@@ -1936,8 +2205,13 @@ impl WireTransport {
         &'a self,
         mut st: MutexGuard<'a, WireState>,
         client: ClientId,
-        bytes: Vec<u8>,
+        mut bytes: Vec<u8>,
     ) -> (MutexGuard<'a, WireState>, Vec<u8>) {
+        // Control frames ride the same byte stream as data frames, so
+        // they share the per-client frame timeline and take byte faults
+        // too (a corrupted sync request is damage the server must survive).
+        Self::apply_byte_fault(&mut st, client, &mut bytes);
+        let stall = st.pending_stalls.remove(&client.0).unwrap_or(0);
         st.server.note_wire_encode(client, bytes.len());
         st.shipped += 1;
         let ticket = st.shipped;
@@ -1945,10 +2219,32 @@ impl WireTransport {
             ticket,
             client,
             bytes,
+            stall,
         });
         self.shared.cond.notify_all();
+        let deadline = st.deadline;
+        let start = Instant::now();
         while st.processed < ticket && !st.shutdown {
-            st = self.shared.cond.wait(st).unwrap();
+            let Some(remaining) = deadline.checked_sub(start.elapsed()) else {
+                break;
+            };
+            let (guard, _) = self.shared.cond.wait_timeout(st, remaining).unwrap();
+            st = guard;
+        }
+        if st.processed < ticket && !st.shutdown {
+            // Watchdog: the dispatcher failed to ack within the deadline.
+            // Tear the connection down cleanly — the client sees
+            // ConnectionDead, never a hang. Client 0 is the transport's
+            // own control channel; its callers get an empty response but
+            // no connection is killed.
+            st.server.note_watchdog_fire(client);
+            if client.0 != 0 {
+                st.server.kill_client(client);
+            }
+            st.bufs.remove(&client.0);
+            st.outbox.remove(&client.0);
+            st.abandoned.insert(ticket);
+            return (st, Vec::new());
         }
         let resp = st.outbox.remove(&client.0).unwrap_or_default();
         (st, resp)
@@ -1964,24 +2260,37 @@ impl WireTransport {
         q: &QueuedRequest,
     ) -> bool {
         let (op, payload) = encode_request(q);
-        let bytes = frame(FT_REQUEST, op, seq, &payload);
+        let mut bytes = frame(FT_REQUEST, op, seq, &payload);
+        let split = Self::apply_byte_fault(st, client, &mut bytes);
         st.server.note_wire_encode(client, bytes.len());
         let buf = st.bufs.entry(client.0).or_default();
-        buf.bytes.extend_from_slice(&bytes);
+        match split {
+            // A split write lands as two appends to the same stream —
+            // byte-identical once buffered, which is exactly the
+            // invariant SplitWrite exists to witness.
+            Some(at) => {
+                let at = at.min(bytes.len());
+                buf.bytes.extend_from_slice(&bytes[..at]);
+                buf.bytes.extend_from_slice(&bytes[at..]);
+            }
+            None => buf.bytes.extend_from_slice(&bytes),
+        }
         buf.frames += 1;
         buf.frames >= OUT_BUF_CAPACITY
     }
 
     /// Decodes the single response frame a control round trip produced.
-    fn take_response(&self, st: &mut WireState, client: ClientId, resp: &[u8]) -> RawFrame {
+    /// `None` means the connection is gone: the watchdog expired (empty
+    /// response), the server shut down, or the response bytes failed
+    /// integrity checks — callers surface a dead connection, never panic.
+    fn take_response(&self, st: &mut WireState, client: ClientId, resp: &[u8]) -> Option<RawFrame> {
         let mut fr = FrameReader::new();
-        fr.push(resp);
-        let f = fr
-            .next_frame()
-            .expect("wire: corrupt response frame")
-            .expect("wire: missing response frame");
+        if fr.push(resp).is_err() {
+            return None;
+        }
+        let f = fr.next_frame().ok().flatten()?;
         st.server.note_wire_decode(client, f.wire_len());
-        f
+        Some(f)
     }
 
     fn buffered_frames(st: &WireState, client: ClientId) -> usize {
@@ -2004,6 +2313,10 @@ impl Transport for WireTransport {
 
     fn peek(&self, f: &mut dyn FnMut(&mut Server)) {
         f(&mut self.lock().server);
+    }
+
+    fn frame_timeline(&self, client: ClientId) -> u64 {
+        self.lock().frame_seq.get(&client.0).copied().unwrap_or(0)
     }
 
     fn sync(&self, f: &mut dyn FnMut(&mut Server)) {
@@ -2088,13 +2401,13 @@ impl Transport for WireTransport {
         let bytes = frame(FT_SYNC, op, 0, &payload);
         let st = self.lock();
         let (mut st, resp) = self.ship_locked(st, client, bytes);
-        let f = self.take_response(&mut st, client, &resp);
+        let Some(f) = self.take_response(&mut st, client, &resp) else {
+            return Err(XError::dead(0));
+        };
         match f.frame_type {
-            FT_SYNC_REPLY => {
-                Ok(decode_sync_reply(f.opcode, &f.payload).expect("wire: malformed sync reply"))
-            }
-            FT_ERROR => Err(decode_error(&f.payload).expect("wire: malformed error frame")),
-            other => unreachable!("unexpected sync response frame type {other}"),
+            FT_SYNC_REPLY => decode_sync_reply(f.opcode, &f.payload).map_err(|_| XError::dead(0)),
+            FT_ERROR => Err(decode_error(&f.payload).unwrap_or(XError::dead(0))),
+            _ => Err(XError::dead(0)),
         }
     }
 
@@ -2210,15 +2523,18 @@ impl Transport for WireTransport {
         let bytes = frame(FT_TAKE_REPLY, 0, seq, &[]);
         let st = self.lock();
         let (mut st, resp) = self.ship_locked(st, client, bytes);
-        let f = self.take_response(&mut st, client, &resp);
+        let Some(f) = self.take_response(&mut st, client, &resp) else {
+            return WaitReply::NoReply { alive: false };
+        };
         match f.frame_type {
-            FT_COOKIE_REPLY => WaitReply::Reply(
-                decode_reply_value(f.opcode, &f.payload).expect("wire: malformed cookie reply"),
-            ),
+            FT_COOKIE_REPLY => match decode_reply_value(f.opcode, &f.payload) {
+                Ok(v) => WaitReply::Reply(v),
+                Err(_) => WaitReply::NoReply { alive: false },
+            },
             FT_NO_REPLY => WaitReply::NoReply {
                 alive: f.payload.first().is_some_and(|&b| b == 1),
             },
-            other => unreachable!("unexpected wait response frame type {other}"),
+            _ => WaitReply::NoReply { alive: false },
         }
     }
 
@@ -2226,13 +2542,10 @@ impl Transport for WireTransport {
         let bytes = frame(FT_POLL_EVENT, 0, 0, &[]);
         let st = self.lock();
         let (mut st, resp) = self.ship_locked(st, client, bytes);
-        let f = self.take_response(&mut st, client, &resp);
+        let f = self.take_response(&mut st, client, &resp)?;
         match f.frame_type {
-            FT_EVENT => {
-                Some(decode_event(f.opcode, &f.payload).expect("wire: malformed event frame"))
-            }
-            FT_NO_EVENT => None,
-            other => unreachable!("unexpected poll response frame type {other}"),
+            FT_EVENT => decode_event(f.opcode, &f.payload).ok(),
+            _ => None,
         }
     }
 
@@ -2240,9 +2553,14 @@ impl Transport for WireTransport {
         let bytes = frame(FT_PENDING, 0, 0, &[]);
         let st = self.lock();
         let (mut st, resp) = self.ship_locked(st, client, bytes);
-        let f = self.take_response(&mut st, client, &resp);
-        debug_assert_eq!(f.frame_type, FT_PENDING_COUNT);
-        f.seq as usize
+        match self.take_response(&mut st, client, &resp) {
+            Some(f) if f.frame_type == FT_PENDING_COUNT => f.seq as usize,
+            _ => 0,
+        }
+    }
+
+    fn set_wire_deadline(&self, ms: u64) {
+        self.lock().deadline = Duration::from_millis(ms.max(1));
     }
 }
 
@@ -2679,7 +2997,7 @@ mod tests {
     fn frame_round_trip(ft: u8, op: u16, seq: u64, payload: &[u8]) -> RawFrame {
         let bytes = frame(ft, op, seq, payload);
         let mut fr = FrameReader::new();
-        fr.push(&bytes);
+        fr.push(&bytes).unwrap();
         let f = fr.next_frame().unwrap().unwrap();
         assert!(fr.next_frame().unwrap().is_none(), "exactly one frame");
         assert_eq!(f.wire_len(), bytes.len());
@@ -2767,10 +3085,10 @@ mod tests {
         let bytes = frame(FT_REQUEST, op, 9, &payload);
         for cut in 0..bytes.len() {
             let mut fr = FrameReader::new();
-            fr.push(&bytes[..cut]);
+            fr.push(&bytes[..cut]).unwrap();
             assert_eq!(fr.next_frame().unwrap(), None, "cut at {cut}");
             // Feeding the remainder completes the frame.
-            fr.push(&bytes[cut..]);
+            fr.push(&bytes[cut..]).unwrap();
             let f = fr.next_frame().unwrap().unwrap();
             assert_eq!(
                 format!("{:?}", decode_request(f.opcode, f.seq, &f.payload).unwrap()),
@@ -2781,29 +3099,42 @@ mod tests {
 
     #[test]
     fn corrupt_frames_are_rejected_with_clean_errors() {
-        // Bad version.
+        // Bad version (checked before the CRC so a version-negotiation
+        // mismatch is reported as such, not as corruption).
         let mut bytes = frame(FT_REQUEST, 3, 1, &[7, 0, 0, 0]);
         bytes[4] = 99;
         let mut fr = FrameReader::new();
-        fr.push(&bytes);
+        fr.push(&bytes).unwrap();
         assert_eq!(fr.next_frame(), Err(WireError::BadVersion(99)));
 
-        // Bad frame type.
+        // A flipped frame-type byte is caught by the CRC, which covers
+        // the whole header: checksum, not a misparse.
         let mut bytes = frame(FT_REQUEST, 3, 1, &[7, 0, 0, 0]);
         bytes[5] = 200;
         let mut fr = FrameReader::new();
-        fr.push(&bytes);
+        fr.push(&bytes).unwrap();
+        assert_eq!(fr.next_frame(), Err(WireError::Checksum));
+
+        // A genuinely bad frame type behind a valid CRC (a buggy or
+        // hostile encoder, not line noise).
+        let mut bytes = frame(FT_REQUEST, 3, 1, &[7, 0, 0, 0]);
+        bytes[5] = 200;
+        let crc = frame_crc(&bytes[4..4 + CRC_OFFSET], &bytes[4 + HEADER_LEN..]);
+        bytes[4 + CRC_OFFSET..4 + HEADER_LEN].copy_from_slice(&crc.to_le_bytes());
+        let mut fr = FrameReader::new();
+        fr.push(&bytes).unwrap();
         assert_eq!(fr.next_frame(), Err(WireError::BadFrameType(200)));
 
-        // Length shorter than the header.
+        // Length shorter than the header: no valid encoder emits it, so
+        // it is byte damage by definition.
         let mut fr = FrameReader::new();
-        fr.push(&3u32.to_le_bytes());
-        fr.push(&[0; 16]);
-        assert!(matches!(fr.next_frame(), Err(WireError::Malformed(_))));
+        fr.push(&3u32.to_le_bytes()).unwrap();
+        fr.push(&[0; 16]).unwrap();
+        assert_eq!(fr.next_frame(), Err(WireError::Checksum));
 
         // Oversized length prefix: rejected before any allocation.
         let mut fr = FrameReader::new();
-        fr.push(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        fr.push(&(MAX_FRAME_LEN + 1).to_le_bytes()).unwrap();
         assert_eq!(
             fr.next_frame(),
             Err(WireError::Oversized(MAX_FRAME_LEN + 1))
@@ -2867,7 +3198,7 @@ mod tests {
         let mut pos = 0;
         while pos < stream.len() {
             let n = (r.range(1, 37) as usize).min(stream.len() - pos);
-            fr.push(&stream[pos..pos + n]);
+            fr.push(&stream[pos..pos + n]).unwrap();
             pos += n;
             while let Some(f) = fr.next_frame().unwrap() {
                 decoded.push(decode_request(f.opcode, f.seq, &f.payload).unwrap());
@@ -2891,5 +3222,119 @@ mod tests {
             decode_request(17, 1, &payload),
             Err(WireError::Malformed(_))
         ));
+    }
+
+    /// Property: flipping ANY single byte of a v2 frame is detected.
+    /// The decode either fails structurally (`BadVersion` on the version
+    /// byte, `Oversized`/`Checksum` on the length prefix) or fails the
+    /// CRC — it must never hand back a frame. The only non-error outcome
+    /// allowed is a length prefix corrupted *upward*, which reads as an
+    /// incomplete frame (`Ok(None)`) and starves rather than misparses.
+    #[test]
+    fn any_single_byte_corruption_is_detected() {
+        let mut r = XorShift::new(0xC4C_5EED);
+        let mut cases = 0usize;
+        for i in 0..60u64 {
+            let op = r.range(1, 40) as u16;
+            let q = rand_request(op, &mut r, i);
+            let (enc_op, payload) = encode_request(&q);
+            let clean = frame(FT_REQUEST, enc_op, i, &payload);
+            for offset in 0..clean.len() {
+                let xor = 1 + r.below(255) as u8;
+                let mut bytes = clean.clone();
+                bytes[offset] ^= xor;
+                let mut fr = FrameReader::new();
+                fr.push(&bytes).unwrap();
+                match fr.next_frame() {
+                    Err(WireError::Checksum)
+                    | Err(WireError::BadVersion(_))
+                    | Err(WireError::Oversized(_))
+                    | Err(WireError::BadFrameType(_)) => {}
+                    Ok(None) => assert!(
+                        offset < 4,
+                        "only an inflated length prefix may starve \
+                         (offset {offset}, xor {xor:#04x})"
+                    ),
+                    other => panic!(
+                        "corruption at offset {offset} xor {xor:#04x} \
+                         survived decode: {other:?}"
+                    ),
+                }
+                cases += 1;
+            }
+        }
+        assert!(cases >= 500, "property must cover >=500 cases, ran {cases}");
+    }
+
+    /// Property: splitting the byte stream at EVERY boundary yields the
+    /// same frames as a whole-buffer decode — write boundaries are
+    /// invisible to the reader (the invariant `SplitWrite` leans on).
+    #[test]
+    fn split_at_every_boundary_matches_whole_buffer_decode() {
+        let mut r = XorShift::new(0x5117);
+        let mut stream = Vec::new();
+        for i in 0..5u64 {
+            let op = r.range(1, 40) as u16;
+            let q = rand_request(op, &mut r, i);
+            let (enc_op, payload) = encode_request(&q);
+            stream.extend_from_slice(&frame(FT_REQUEST, enc_op, i, &payload));
+        }
+        let decode_all = |chunks: &[&[u8]]| -> Vec<(u16, u64, Vec<u8>)> {
+            let mut fr = FrameReader::new();
+            let mut out = Vec::new();
+            for c in chunks {
+                fr.push(c).unwrap();
+                while let Some(f) = fr.next_frame().unwrap() {
+                    out.push((f.opcode, f.seq, f.payload.clone()));
+                }
+            }
+            out
+        };
+        let whole = decode_all(&[&stream]);
+        assert!(whole.len() == 5);
+        for cut in 0..=stream.len() {
+            let split = decode_all(&[&stream[..cut], &stream[cut..]]);
+            assert_eq!(split, whole, "split at {cut} diverged");
+        }
+    }
+
+    /// The reassembly buffer is bounded: a 1 GiB-claiming length prefix
+    /// is rejected structurally before any allocation, and a garbage
+    /// flood that never completes a frame is refused once it would grow
+    /// the buffer past `MAX_BUFFERED`.
+    #[test]
+    fn push_is_bounded_against_hostile_prefixes_and_floods() {
+        // 1 GiB length claim: Oversized, no buffering of the payload.
+        let mut fr = FrameReader::new();
+        fr.push(&(1u32 << 30).to_le_bytes()).unwrap();
+        assert_eq!(fr.next_frame(), Err(WireError::Oversized(1 << 30)));
+
+        // Garbage flood under a maximal (but legal) length prefix: the
+        // reader buffers up to the bound, then refuses further growth.
+        let mut fr = FrameReader::new();
+        fr.push(&MAX_FRAME_LEN.to_le_bytes()).unwrap();
+        let chunk = vec![0xAB_u8; 64 * 1024];
+        let mut rejected = false;
+        for _ in 0..((MAX_BUFFERED / chunk.len()) + 2) {
+            match fr.push(&chunk) {
+                Ok(()) => assert!(fr.pending() <= MAX_BUFFERED),
+                Err(WireError::Oversized(claim)) => {
+                    assert!(claim as usize > MAX_BUFFERED);
+                    rejected = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected push error: {e:?}"),
+            }
+        }
+        assert!(rejected, "flood was never refused");
+        assert!(fr.pending() <= MAX_BUFFERED);
+    }
+
+    /// The CRC table and update function match the reference IEEE 802.3
+    /// CRC-32 check value ("123456789" -> 0xCBF43926).
+    #[test]
+    fn crc32_matches_reference_check_value() {
+        let crc = crc32_update(CRC32_INIT, b"123456789") ^ 0xFFFF_FFFF;
+        assert_eq!(crc, 0xCBF4_3926);
     }
 }

@@ -97,6 +97,17 @@ echo "==> fleet-storm sweep (40 fresh seeds, 16 apps)"
 cargo run -p tk-bench --release --offline --locked --bin chaos -- \
     --storm --apps 16 --seeds 40
 
+# Byte-chaos gate: seed-deterministic byte-layer faults (corrupted
+# bytes, truncated frames, injected garbage, split writes, stalled
+# dispatch) applied inside the wire transport, checked differentially
+# against a fault-free wire run: identical outcomes or clean-death
+# evidence (checksum/watchdog counters), with an intact span tree and
+# a clean Server::audit() resource reckoning either way (docs/FAULTS.md,
+# "Byte-chaos mode"). Corpus replay first, then fresh pairs.
+echo "==> byte-chaos gate (corpus + 150 fresh seeds)"
+cargo run -p tk-bench --release --offline --locked --bin chaos -- \
+    --bytes --corpus tests/chaos_bytes_corpus.txt --seeds 150
+
 # Fleet gate: 64 applications in a send ring under the threaded wire
 # transport, with a quota-throttled hot client and a deterministic
 # faulted tail round. The p50/p95/p99 send-latency percentiles,

@@ -76,6 +76,11 @@ fn the_corpus_exercises_every_fault_kind() {
         }
     }
     for (i, name) in FAULT_KIND_NAMES.iter().enumerate() {
+        // Byte-layer kinds only fire in `--bytes` mode; the bytes corpus
+        // covers them (`the_bytes_corpus_exercises_every_byte_fault_kind`).
+        if name.starts_with("byte.") {
+            continue;
+        }
         assert!(
             totals[i] > 0,
             "corpus no longer exercises fault kind {name}; add a pair that does"
@@ -105,6 +110,10 @@ fn the_storm_corpus_exercises_every_fault_kind() {
         }
     }
     for (i, name) in FAULT_KIND_NAMES.iter().enumerate() {
+        // Byte-layer kinds are the bytes corpus's job, not the storm's.
+        if name.starts_with("byte.") {
+            continue;
+        }
         assert!(
             totals[i] > 0,
             "storm corpus no longer exercises fault kind {name}; add a pair that does"
@@ -207,4 +216,54 @@ fn run_ops_matches_run_case() {
     .expect("no panic");
     assert_eq!(from_case.faults_injected, from_ops.faults_injected);
     assert_eq!(from_case.tcl_errors, from_ops.tcl_errors);
+}
+
+fn bytes_corpus() -> Vec<(u64, u64)> {
+    parse_entries(include_str!("chaos_bytes_corpus.txt"))
+        .into_iter()
+        .map(|(s, f, _)| (s, f))
+        .collect()
+}
+
+/// Every byte-chaos corpus pair holds the full differential invariant:
+/// the faulted wire run matches a fault-free wire run or diverges only
+/// with clean-death evidence, with an intact span tree and a clean
+/// post-run resource audit either way.
+#[test]
+fn every_bytes_corpus_pair_holds_the_differential_invariant() {
+    use tk_bench::chaos::run_bytes_case;
+    for (script_seed, fault_seed) in bytes_corpus() {
+        let r = run_bytes_case(script_seed, fault_seed);
+        assert!(
+            r.is_ok(),
+            "bytes pair ({script_seed}, {fault_seed}) failed: {}",
+            r.unwrap_err()
+        );
+    }
+}
+
+/// The byte corpus keeps all five byte-fault kinds alive: losing one
+/// means the corpus no longer witnesses that the transport survives it.
+#[test]
+fn the_bytes_corpus_exercises_every_byte_fault_kind() {
+    use tk_bench::chaos::run_bytes_case;
+    let mut totals = [0u64; FAULT_KIND_COUNT];
+    for (script_seed, fault_seed) in bytes_corpus() {
+        let stats = run_bytes_case(script_seed, fault_seed).expect("bytes pair must hold");
+        for (slot, n) in totals.iter_mut().zip(stats.fault_counts) {
+            *slot += n;
+        }
+    }
+    for name in [
+        "byte.corrupt",
+        "byte.truncate",
+        "byte.garbage",
+        "byte.split",
+        "byte.stall",
+    ] {
+        assert!(
+            totals[fault_kind_index(name)] > 0,
+            "bytes corpus no longer exercises {name}; add a pair that does"
+        );
+    }
 }

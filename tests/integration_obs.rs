@@ -229,3 +229,47 @@ fn obs_reset_epoch_scopes_the_span_store() {
     let tree = app.eval("obs spans tree").unwrap();
     assert!(tree.contains("update"), "{tree}");
 }
+
+/// The wire-transport counters and the audit counters are epoch-scoped
+/// like everything else: `obs reset` zeroes them, and a clean post-run
+/// audit after the reset still reports no violations.
+#[test]
+fn obs_reset_zeroes_wire_and_audit_counters() {
+    let display = xsim::Display::new();
+    display.set_wire(true);
+    let env = TkEnv::with_display(display);
+    let app = env.app("wirereset");
+    fifty_buttons(&app);
+
+    // The workload crossed the framed transport and a first audit ran.
+    let audit = app.eval("obs audit").unwrap();
+    assert_eq!(audit, "", "clean run must audit clean: {audit}");
+    let pairs = parse_counters(&app.eval("obs counters").unwrap());
+    assert!(counter(&pairs, "wire.frames_encoded") > 0, "{pairs:?}");
+    assert!(counter(&pairs, "wire.flushes") > 0, "{pairs:?}");
+    assert_eq!(counter(&pairs, "wire.checksum_errors"), 0, "{pairs:?}");
+    assert_eq!(counter(&pairs, "wire.watchdog_fires"), 0, "{pairs:?}");
+    assert_eq!(counter(&pairs, "audit.runs"), 1, "{pairs:?}");
+    assert_eq!(counter(&pairs, "audit.violations"), 0, "{pairs:?}");
+
+    // Reset is an epoch boundary for the wire and audit families too.
+    app.eval("obs reset").unwrap();
+    let pairs = parse_counters(&app.eval("obs counters").unwrap());
+    for name in [
+        "wire.frames_encoded",
+        "wire.bytes_encoded",
+        "wire.frames_decoded",
+        "wire.flushes",
+        "wire.checksum_errors",
+        "wire.watchdog_fires",
+        "audit.runs",
+        "audit.violations",
+    ] {
+        assert_eq!(counter(&pairs, name), 0, "{name} survived obs reset");
+    }
+
+    // And the post-reset world still audits clean end to end.
+    assert_eq!(app.eval("obs audit").unwrap(), "");
+    let pairs = parse_counters(&app.eval("obs counters").unwrap());
+    assert_eq!(counter(&pairs, "audit.runs"), 1, "{pairs:?}");
+}
